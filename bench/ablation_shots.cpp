@@ -1,0 +1,50 @@
+// Ablation: shot-count convergence. The paper estimates distributions from
+// 1,024 executions; our campaigns default to exact density-matrix
+// distributions. This bench quantifies the sampling error at various shot
+// counts against the exact QVF, justifying the default.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qufi;
+  const bool full = bench::has_flag(argc, argv, "--full");
+
+  bench::print_header("Ablation: shots vs exact distributions");
+
+  auto base = bench::paper_spec("bv", 4, full);
+  base.max_points = 12;
+  base.grid.theta_step_deg = 45.0;
+  base.grid.phi_step_deg = 90.0;
+  base.shots = 0;
+  const auto exact = run_single_fault_campaign(base);
+  const auto exact_qvf = exact.all_qvf();
+
+  std::printf("%8s %16s %16s\n", "shots", "mean |QVF err|", "max |QVF err|");
+  double err_1024 = 0.0;
+  for (std::uint64_t shots : {64ULL, 256ULL, 1024ULL, 4096ULL, 16384ULL}) {
+    auto spec = base;
+    spec.shots = shots;
+    const auto sampled = run_single_fault_campaign(spec);
+    const auto sampled_qvf = sampled.all_qvf();
+    double mean_err = 0.0, max_err = 0.0;
+    for (std::size_t i = 0; i < exact_qvf.size(); ++i) {
+      const double err = std::abs(sampled_qvf[i] - exact_qvf[i]);
+      mean_err += err;
+      max_err = std::max(max_err, err);
+    }
+    mean_err /= static_cast<double>(exact_qvf.size());
+    if (shots == 1024) err_1024 = mean_err;
+    std::printf("%8llu %16.4f %16.4f\n",
+                static_cast<unsigned long long>(shots), mean_err, max_err);
+  }
+
+  std::printf("\n---- verdicts ----\n");
+  std::printf("1024 shots (the paper's setting) tracks exact QVF to ~%.3f "
+              "mean error: %s\n",
+              err_1024, err_1024 < 0.03 ? "OK" : "MISMATCH");
+  std::printf("exact mode = infinite shots: removes sampling noise from "
+              "heatmaps for free.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#pragma once
+
+// Shared helpers for the figure-regeneration benches. Every bench runs with
+// paper-structure defaults sized to finish in seconds; pass --full for the
+// paper-scale 15-degree grids and 1024-shot sampling.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "algorithms/algorithms.hpp"
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+
+namespace qufi::bench {
+
+inline bool has_flag(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Paper grid (15 deg, 312 configs) when full; 30-deg otherwise (84
+/// configs, same structure).
+inline FaultParamGrid grid_for(bool full) {
+  FaultParamGrid grid;
+  if (!full) {
+    grid.theta_step_deg = 30.0;
+    grid.phi_step_deg = 30.0;
+  }
+  return grid;
+}
+
+/// Campaign spec for one of the paper circuits on fake_casablanca with the
+/// paper's transpilation settings (optimization_level = 3).
+inline CampaignSpec paper_spec(const std::string& name, int width,
+                               bool full) {
+  const auto bench = algo::paper_circuit(name, width);
+  CampaignSpec spec;
+  spec.circuit = bench.circuit;
+  spec.expected_outputs = bench.expected_outputs;
+  spec.backend = noise::fake_casablanca();
+  spec.grid = grid_for(full);
+  spec.shots = full ? 1024 : 0;  // exact distributions by default
+  return spec;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace qufi::bench

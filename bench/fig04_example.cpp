@@ -1,0 +1,55 @@
+// Fig. 4: example fault injection in Bernstein-Vazirani and the QVF
+// calculation. A theta = pi/4 shift is injected on q0 after the first
+// H gate; the output distribution shifts from the blue (fault-free) to the
+// red (faulty) bars and the QVF is computed via the Michelson contrast.
+
+#include <cmath>
+#include <numbers>
+
+#include "backend/density_backend.hpp"
+#include "bench_common.hpp"
+#include "core/injection.hpp"
+#include "core/qvf.hpp"
+#include "util/bitstring.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qufi;
+  const bool full = bench::has_flag(argc, argv, "--full");
+
+  bench::print_header("Fig. 4: fault injection example (BV-4, secret 101)");
+
+  const auto bench_circuit = algo::bernstein_vazirani(4, 0b101);
+  backend::DensityMatrixBackend noisy(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+
+  const InjectionPoint point{0, 0, 0, 0};  // after the first H, on q0
+  const PhaseShiftFault fault{std::numbers::pi / 4, 0.0};
+  const auto faulty = inject_fault(bench_circuit.circuit, point, fault);
+
+  const std::uint64_t shots = full ? 1024 : 0;
+  const auto clean = noisy.run(bench_circuit.circuit, shots, 1);
+  const auto broken = noisy.run(faulty, shots, 2);
+
+  std::printf("injected: %s on q0 after instruction 0\n\n",
+              fault.label().c_str());
+  std::printf("%-8s %-12s %-12s\n", "state", "fault-free", "faulty");
+  for (std::size_t s = 0; s < clean.probabilities.size(); ++s) {
+    if (clean.probabilities[s] < 5e-3 && broken.probabilities[s] < 5e-3)
+      continue;
+    std::printf("%-8s %-12.3f %-12.3f\n", util::to_bitstring(s, 3).c_str(),
+                clean.probabilities[s], broken.probabilities[s]);
+  }
+
+  const auto golden = golden_from_expected(bench_circuit.expected_outputs, 3);
+  const double qvf_clean = compute_qvf(clean.probabilities, golden);
+  const double qvf_faulty = compute_qvf(broken.probabilities, golden);
+  std::printf("\nQVF fault-free = %.4f (%s)   [paper: low, correct state "
+              "dominates]\n",
+              qvf_clean, to_string(classify_qvf(qvf_clean)));
+  std::printf("QVF faulty     = %.4f (%s)\n", qvf_faulty,
+              to_string(classify_qvf(qvf_faulty)));
+  std::printf("\nshape check: fault-free QVF near 0; the pi/4 theta shift "
+              "degrades the\ncontrast (paper example: 0.901 -> 0.763 correct-"
+              "state probability).\n");
+  return 0;
+}

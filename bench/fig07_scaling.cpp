@@ -1,0 +1,51 @@
+// Fig. 7: QVF distribution histograms as the circuits scale from 4 to 7
+// qubits. Paper shape: BV and DJ distributions barely move with width;
+// QFT concentrates around 0.5 (stddev shrinks, peak grows), i.e. faults
+// increasingly leave the user unable to pick the correct answer.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qufi;
+  const bool full = bench::has_flag(argc, argv, "--full");
+
+  bench::print_header("Fig. 7: QVF distributions vs circuit scale (4-7 qubits)");
+
+  double qft_std_4 = 0.0, qft_std_7 = 0.0;
+  double bv_mean_4 = 0.0, bv_mean_7 = 0.0;
+
+  for (const std::string name : {"bv", "dj", "qft"}) {
+    std::printf("---- %s ----\n", name.c_str());
+    for (int width = 4; width <= 7; ++width) {
+      auto spec = bench::paper_spec(name, width, full);
+      if (!full) {
+        // Keep the default run laptop-fast: coarser grid, strided points.
+        spec.grid.theta_step_deg = 45.0;
+        spec.grid.phi_step_deg = 90.0;
+        spec.max_points = 48;
+      }
+      const auto result = run_single_fault_campaign(spec);
+      const auto stats = result.qvf_stats();
+      std::printf("%d qubits: executions=%llu mean=%.4f stddev=%.4f\n", width,
+                  static_cast<unsigned long long>(result.meta.executions),
+                  stats.mean(), stats.stddev());
+      const auto hist = result.qvf_histogram(20);
+      std::printf("%s\n",
+                  render_histogram(hist, name + "-" + std::to_string(width) +
+                                             " QVF density")
+                      .c_str());
+      if (name == "qft" && width == 4) qft_std_4 = stats.stddev();
+      if (name == "qft" && width == 7) qft_std_7 = stats.stddev();
+      if (name == "bv" && width == 4) bv_mean_4 = stats.mean();
+      if (name == "bv" && width == 7) bv_mean_7 = stats.mean();
+    }
+  }
+
+  std::printf("---- paper-shape verdicts ----\n");
+  std::printf("BV mean stable with scale (|%.4f - %.4f| small): %s\n",
+              bv_mean_4, bv_mean_7,
+              std::abs(bv_mean_4 - bv_mean_7) < 0.08 ? "OK" : "MISMATCH");
+  std::printf("QFT concentrates (stddev %.4f @4q -> %.4f @7q, shrinking): %s\n",
+              qft_std_4, qft_std_7, qft_std_7 < qft_std_4 ? "OK" : "MISMATCH");
+  return 0;
+}

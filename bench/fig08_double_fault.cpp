@@ -1,0 +1,69 @@
+// Fig. 8: Bernstein-Vazirani single vs double fault injection.
+//  (a) single-fault QVF heatmap restricted to phi in [0, pi] (BV is
+//      symmetric about pi, paper §V-D);
+//  (b) double-fault mean heatmap: each (theta0, phi0) cell averages over
+//      all secondary faults theta1 <= theta0, phi1 <= phi0 on neighbors;
+//  (c) detail at the fixed primary (pi, pi): QVF over every (theta1, phi1),
+//      with the single-fault QVF as the reference "gray plane".
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qufi;
+  const bool full = bench::has_flag(argc, argv, "--full");
+
+  bench::print_header("Fig. 8: single vs double fault injection (BV-4)");
+
+  auto spec = bench::paper_spec("bv", 4, full);
+  spec.grid.phi_max_deg = 180.0;  // paper's symmetry restriction
+  if (!full) spec.max_points = 24;
+
+  const auto single = run_single_fault_campaign(spec);
+  std::printf("%s", render_campaign_summary(single).c_str());
+  const auto single_map = single.mean_heatmap();
+  std::printf("%s\n",
+              render_heatmap(single_map, "(a) single fault, phi in [0, pi]")
+                  .c_str());
+
+  const auto dbl = run_double_fault_campaign(spec);
+  std::printf("%s", render_campaign_summary(dbl).c_str());
+  const auto double_map = dbl.mean_heatmap();
+  std::printf("%s\n",
+              render_heatmap(double_map,
+                             "(b) double fault (mean over secondary combos)")
+                  .c_str());
+
+  // (c) explosion plot at primary = (pi, pi).
+  const int ti = spec.grid.num_theta() - 1;
+  const int pj = spec.grid.num_phi() - 1;
+  const auto detail = dbl.secondary_detail(ti, pj);
+  const double reference = single_map.at(pj, ti);
+  std::printf("%s",
+              render_heatmap(detail,
+                             "(c) detail: primary fixed at (pi, pi), grid = "
+                             "(theta1, phi1)")
+                  .c_str());
+  std::printf("reference plane (single-fault QVF at (pi, pi)): %.4f\n\n",
+              reference);
+
+  // Paper-shape checks: the second injection worsens mean QVF, and the
+  // (pi, pi) tolerable corner of the single map disappears.
+  const double mean_single = single.qvf_stats().mean();
+  const double mean_double = dbl.qvf_stats().mean();
+  std::printf("---- paper-shape verdicts ----\n");
+  std::printf("mean QVF single %.4f -> double %.4f (must increase): %s\n",
+              mean_single, mean_double,
+              mean_double > mean_single ? "OK" : "MISMATCH");
+  std::printf("(pi,pi) corner: single %.4f -> double %.4f (green corner "
+              "disappears): %s\n",
+              single_map.at(pj, ti), double_map.at(pj, ti),
+              double_map.at(pj, ti) > single_map.at(pj, ti) ? "OK"
+                                                            : "MISMATCH");
+  // Detail-plot shape: worst when one shift ~pi and the other ~0.
+  const double corner_mixed = detail.at(0, ti);     // theta1=pi, phi1=0
+  const double corner_both = detail.at(pj, ti);     // theta1=pi, phi1=pi
+  std::printf("detail: (theta1=pi, phi1=0)=%.4f vs (pi,pi)=%.4f (mixed worse): %s\n",
+              corner_mixed, corner_both,
+              corner_mixed >= corner_both - 0.02 ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 9: delta-QVF heatmap (double minus single fault injection) for
+// Bernstein-Vazirani. Paper shape: the difference is positive nearly
+// everywhere and largest at high magnitudes (close to (pi, pi)).
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qufi;
+  const bool full = bench::has_flag(argc, argv, "--full");
+
+  bench::print_header("Fig. 9: delta QVF = double - single (BV-4)");
+
+  auto spec = bench::paper_spec("bv", 4, full);
+  spec.grid.phi_max_deg = 180.0;
+  if (!full) spec.max_points = 24;
+
+  const auto single = run_single_fault_campaign(spec);
+  const auto dbl = run_double_fault_campaign(spec);
+  const auto delta = dbl.mean_heatmap().delta(single.mean_heatmap());
+
+  HeatmapReportOptions options;
+  options.delta = true;
+  std::printf("%s\n",
+              render_heatmap(delta, "delta QVF (positive = double fault is "
+                                    "worse)",
+                             options)
+                  .c_str());
+
+  double mean_delta = 0.0;
+  double max_delta = -1.0;
+  int max_i = 0, max_j = 0;
+  std::size_t cells = 0;
+  std::size_t positive = 0;
+  for (std::size_t j = 0; j < delta.mean_qvf.size(); ++j) {
+    for (std::size_t i = 0; i < delta.mean_qvf[j].size(); ++i) {
+      const double v = delta.mean_qvf[j][i];
+      mean_delta += v;
+      ++cells;
+      if (v > 0) ++positive;
+      if (v > max_delta) {
+        max_delta = v;
+        max_i = static_cast<int>(i);
+        max_j = static_cast<int>(j);
+      }
+    }
+  }
+  mean_delta /= static_cast<double>(cells);
+
+  std::printf("mean delta = %.4f, positive cells = %zu/%zu\n", mean_delta,
+              positive, cells);
+  std::printf("largest delta %.4f at (theta=%s, phi=%s)\n", max_delta,
+              angle_label(delta.theta_rad[static_cast<std::size_t>(max_i)])
+                  .c_str(),
+              angle_label(delta.phi_rad[static_cast<std::size_t>(max_j)])
+                  .c_str());
+
+  const bool high_magnitude =
+      max_i + max_j >=
+      (static_cast<int>(delta.theta_rad.size()) +
+       static_cast<int>(delta.phi_rad.size())) / 2 - 1;
+  std::printf("---- paper-shape verdicts ----\n");
+  std::printf("double faults worsen QVF on average (mean delta > 0): %s\n",
+              mean_delta > 0 ? "OK" : "MISMATCH");
+  std::printf("worst deterioration at high shift magnitudes: %s\n",
+              high_magnitude ? "OK" : "MISMATCH");
+  return 0;
+}

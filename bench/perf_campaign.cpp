@@ -1,0 +1,89 @@
+// Microbenchmarks for the QuFI core (google-benchmark): injection-point
+// enumeration, faulty-circuit construction, QVF computation, and end-to-end
+// campaign throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "algorithms/algorithms.hpp"
+#include "core/campaign.hpp"
+#include "core/injection.hpp"
+#include "core/qvf.hpp"
+#include "noise/backend_props.hpp"
+
+namespace {
+
+using namespace qufi;
+
+CampaignSpec small_spec() {
+  const auto bench = algo::paper_circuit("bv", 4);
+  CampaignSpec spec;
+  spec.circuit = bench.circuit;
+  spec.expected_outputs = bench.expected_outputs;
+  spec.grid.theta_step_deg = 60.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.threads = 2;
+  return spec;
+}
+
+void BM_EnumerateInjectionPoints(benchmark::State& state) {
+  const auto spec = small_spec();
+  const auto transpiled = campaign_transpile(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_injection_points(
+        transpiled, InjectionStrategy::OperandsAfterEachGate));
+  }
+}
+BENCHMARK(BM_EnumerateInjectionPoints);
+
+void BM_InjectFault(benchmark::State& state) {
+  const auto spec = small_spec();
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  const PhaseShiftFault fault{1.0, 2.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        inject_fault(transpiled.circuit, points[points.size() / 2], fault));
+  }
+}
+BENCHMARK(BM_InjectFault);
+
+void BM_ComputeQvf(benchmark::State& state) {
+  const auto bench = algo::paper_circuit("qft", 5);
+  const auto golden = compute_golden(bench.circuit);
+  std::vector<double> probs(golden.ideal_probs.size(),
+                            1.0 / static_cast<double>(golden.ideal_probs.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_qvf(probs, golden));
+  }
+}
+BENCHMARK(BM_ComputeQvf);
+
+void BM_SingleFaultCampaign(benchmark::State& state) {
+  auto spec = small_spec();
+  spec.max_points = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto result = run_single_fault_campaign(spec);
+    benchmark::DoNotOptimize(result);
+    state.counters["executions"] =
+        static_cast<double>(result.meta.executions);
+  }
+}
+BENCHMARK(BM_SingleFaultCampaign)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_DoubleFaultCampaign(benchmark::State& state) {
+  auto spec = small_spec();
+  spec.grid.theta_step_deg = 90.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.grid.phi_max_deg = 180.0;
+  spec.max_points = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto result = run_double_fault_campaign(spec);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DoubleFaultCampaign)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

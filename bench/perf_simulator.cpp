@@ -1,0 +1,103 @@
+// Microbenchmarks for the simulation substrates (google-benchmark):
+// statevector and density-matrix gate throughput, Kraus channels,
+// transpilation, and one full noisy circuit execution.
+
+#include <benchmark/benchmark.h>
+
+#include "algorithms/algorithms.hpp"
+#include "backend/density_backend.hpp"
+#include "circuit/gate.hpp"
+#include "noise/channels.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace {
+
+using namespace qufi;
+
+void BM_StatevectorH(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Statevector sv(n);
+  const auto h = circ::gate_matrix1(circ::GateKind::H, {});
+  for (auto _ : state) {
+    sv.apply_matrix1(h, 0);
+    benchmark::DoNotOptimize(sv);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << n));
+}
+BENCHMARK(BM_StatevectorH)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_StatevectorCx(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Statevector sv(n);
+  const auto cx = circ::gate_matrix2(circ::GateKind::CX, {});
+  for (auto _ : state) {
+    sv.apply_matrix2(cx, 0, n - 1);
+    benchmark::DoNotOptimize(sv);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << n));
+}
+BENCHMARK(BM_StatevectorCx)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_DensityUnitary(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::DensityMatrix dm(n);
+  const auto h = circ::gate_matrix1(circ::GateKind::H, {});
+  for (auto _ : state) {
+    dm.apply_unitary1(h, 0);
+    benchmark::DoNotOptimize(dm);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << (2 * n)));
+}
+BENCHMARK(BM_DensityUnitary)->Arg(2)->Arg(4)->Arg(6)->Arg(7);
+
+void BM_DensityKrausThermal(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::DensityMatrix dm(n);
+  const auto relax = noise::thermal_relaxation(300.0, 120.0, 90.0);
+  for (auto _ : state) {
+    dm.apply_kraus1(relax.ops, 0);
+    benchmark::DoNotOptimize(dm);
+  }
+}
+BENCHMARK(BM_DensityKrausThermal)->Arg(2)->Arg(4)->Arg(6)->Arg(7);
+
+void BM_DensityKrausDepol2(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::DensityMatrix dm(n);
+  const auto depol = noise::depolarizing2(0.0125);
+  for (auto _ : state) {
+    dm.apply_kraus2(depol.ops, 0, 1);
+    benchmark::DoNotOptimize(dm);
+  }
+}
+BENCHMARK(BM_DensityKrausDepol2)->Arg(2)->Arg(4)->Arg(6)->Arg(7);
+
+void BM_TranspileQft(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const auto bench = algo::paper_circuit("qft", width);
+  const auto backend = noise::fake_casablanca();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transpile::transpile(bench.circuit, backend, {}));
+  }
+}
+BENCHMARK(BM_TranspileQft)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_NoisyCircuitExecution(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const auto bench = algo::paper_circuit("bv", width);
+  const auto backend_props = noise::fake_casablanca();
+  const auto transpiled = transpile::transpile(bench.circuit, backend_props, {});
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(backend_props));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.run(transpiled.circuit, 0, 0));
+  }
+}
+BENCHMARK(BM_NoisyCircuitExecution)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

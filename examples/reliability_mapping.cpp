@@ -1,0 +1,63 @@
+// Reliability-aware qubit mapping — the use case the paper motivates:
+// "the reliability information of individual logical qubits can also
+// provide significant improvements for physical qubit mapping" (§V-B).
+//
+// Runs a small per-qubit QVF campaign for the 4-qubit QFT on
+// fake_casablanca, ranks the logical qubits by mean QVF, then compares
+// the default dense layout against the noise-adaptive layout.
+//
+// Build & run:  ./build/examples/reliability_mapping
+
+#include <cstdio>
+
+#include "algorithms/algorithms.hpp"
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace qufi;
+
+  const auto bench = algo::paper_circuit("qft", 4);
+
+  CampaignSpec spec;
+  spec.circuit = bench.circuit;
+  spec.expected_outputs = bench.expected_outputs;
+  spec.backend = noise::fake_casablanca();
+  spec.grid.theta_step_deg = 45.0;  // coarse grid: this is a demo
+  spec.grid.phi_step_deg = 90.0;
+
+  std::printf("== per-qubit reliability profile (QFT-4, dense layout) ==\n");
+  const auto result = run_single_fault_campaign(spec);
+  std::printf("%s\n", render_campaign_summary(result).c_str());
+
+  for (int lq : result.logical_qubits()) {
+    const auto grid = result.heatmap_for_logical_qubit(lq);
+    double mean = 0.0;
+    std::size_t cells = 0;
+    for (const auto& row : grid.mean_qvf) {
+      for (double v : row) {
+        mean += v;
+        ++cells;
+      }
+    }
+    mean /= static_cast<double>(cells);
+    std::printf("logical qubit %d: mean QVF %.4f\n", lq, mean);
+  }
+
+  // Compare layout strategies: does reliability-aware mapping help?
+  std::printf("\n== layout comparison ==\n");
+  for (auto method : {transpile::LayoutMethod::Dense,
+                      transpile::LayoutMethod::NoiseAdaptive}) {
+    CampaignSpec variant = spec;
+    variant.transpile_options.layout_method = method;
+    const auto r = run_single_fault_campaign(variant);
+    const char* name =
+        method == transpile::LayoutMethod::Dense ? "dense" : "noise-adaptive";
+    std::printf("%-15s fault-free QVF %.4f, mean faulty QVF %.4f\n", name,
+                r.meta.faultfree_qvf, r.qvf_stats().mean());
+  }
+  std::printf(
+      "\nlower fault-free QVF = the layout tolerates the machine's intrinsic\n"
+      "noise better; per-qubit means show where extra protection pays off.\n");
+  return 0;
+}

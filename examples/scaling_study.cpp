@@ -1,0 +1,41 @@
+// Circuit-scaling study (a compact version of the paper's §V-C / Fig. 7):
+// how does the QVF distribution change as BV, DJ and QFT grow from 4 to 7
+// qubits?
+//
+// Build & run:  ./build/examples/scaling_study
+
+#include <cstdio>
+
+#include "algorithms/algorithms.hpp"
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace qufi;
+
+  for (const char* name : {"bv", "dj", "qft"}) {
+    std::printf("== %s ==\n", name);
+    for (int width = 4; width <= 7; ++width) {
+      const auto bench = algo::paper_circuit(name, width);
+      CampaignSpec spec;
+      spec.circuit = bench.circuit;
+      spec.expected_outputs = bench.expected_outputs;
+      spec.grid.theta_step_deg = 45.0;
+      spec.grid.phi_step_deg = 90.0;
+      spec.max_points = 12;  // cap the sweep: this is a demo
+
+      const auto result = run_single_fault_campaign(spec);
+      const auto stats = result.qvf_stats();
+      const auto impact = result.impact_breakdown();
+      std::printf(
+          "  %d qubits: mean QVF %.4f  stddev %.4f  masked %4.1f%%  dubious "
+          "%4.1f%%  silent %4.1f%%\n",
+          width, stats.mean(), stats.stddev(), impact.masked * 100,
+          impact.dubious * 100, impact.silent * 100);
+    }
+  }
+  std::printf(
+      "\nexpected shape (paper Fig. 7): BV and DJ stay stable with width;\n"
+      "QFT concentrates around QVF ~0.5 as it scales (stddev shrinks).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "algorithms/algorithms.hpp"
+
+#include "util/bitstring.hpp"
+#include "util/error.hpp"
+
+namespace qufi::algo {
+
+std::uint64_t default_bv_secret(int num_qubits) {
+  const int bits = num_qubits - 1;
+  std::uint64_t secret = 0;
+  for (int i = bits - 1; i >= 0; i -= 2) secret |= 1ULL << i;
+  return secret;
+}
+
+AlgorithmCircuit bernstein_vazirani(int num_qubits, std::uint64_t secret) {
+  require(num_qubits >= 2, "bernstein_vazirani: need >= 2 qubits");
+  const int data = num_qubits - 1;
+  require(data >= 64 || secret < (1ULL << data),
+          "bernstein_vazirani: secret wider than data register");
+
+  circ::QuantumCircuit qc(num_qubits, data);
+  qc.set_name("bv" + std::to_string(num_qubits));
+
+  const int ancilla = num_qubits - 1;
+  // Put the ancilla in |-> for phase kickback.
+  for (int q = 0; q < data; ++q) qc.h(q);
+  qc.x(ancilla).h(ancilla);
+  qc.barrier();
+  // Oracle U_f for f(x) = secret . x.
+  for (int q = 0; q < data; ++q) {
+    if ((secret >> q) & 1ULL) qc.cx(q, ancilla);
+  }
+  qc.barrier();
+  for (int q = 0; q < data; ++q) qc.h(q);
+  for (int q = 0; q < data; ++q) qc.measure(q, q);
+
+  return AlgorithmCircuit{std::move(qc),
+                          {util::to_bitstring(secret, data)}};
+}
+
+}  // namespace qufi::algo

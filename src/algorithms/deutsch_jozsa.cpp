@@ -1,0 +1,47 @@
+#include "algorithms/algorithms.hpp"
+
+#include "util/bitstring.hpp"
+#include "util/error.hpp"
+
+namespace qufi::algo {
+
+AlgorithmCircuit deutsch_jozsa(int num_qubits, DjOracle oracle,
+                               std::uint64_t mask) {
+  require(num_qubits >= 2, "deutsch_jozsa: need >= 2 qubits");
+  const int data = num_qubits - 1;
+  if (oracle == DjOracle::Balanced) {
+    require(mask != 0, "deutsch_jozsa: balanced oracle needs nonzero mask");
+    require(data >= 64 || mask < (1ULL << data),
+            "deutsch_jozsa: mask wider than data register");
+  }
+
+  circ::QuantumCircuit qc(num_qubits, data);
+  qc.set_name("dj" + std::to_string(num_qubits));
+
+  const int ancilla = num_qubits - 1;
+  for (int q = 0; q < data; ++q) qc.h(q);
+  qc.x(ancilla).h(ancilla);
+  qc.barrier();
+  switch (oracle) {
+    case DjOracle::ConstantZero:
+      break;  // f(x) = 0: identity oracle
+    case DjOracle::ConstantOne:
+      qc.x(ancilla);  // global phase via |-> ancilla
+      break;
+    case DjOracle::Balanced:
+      for (int q = 0; q < data; ++q) {
+        if ((mask >> q) & 1ULL) qc.cx(q, ancilla);
+      }
+      break;
+  }
+  qc.barrier();
+  for (int q = 0; q < data; ++q) qc.h(q);
+  for (int q = 0; q < data; ++q) qc.measure(q, q);
+
+  const std::uint64_t expected =
+      oracle == DjOracle::Balanced ? mask : 0ULL;
+  return AlgorithmCircuit{std::move(qc),
+                          {util::to_bitstring(expected, data)}};
+}
+
+}  // namespace qufi::algo

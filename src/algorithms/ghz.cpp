@@ -1,0 +1,23 @@
+#include "algorithms/algorithms.hpp"
+
+#include "util/bitstring.hpp"
+#include "util/error.hpp"
+
+namespace qufi::algo {
+
+AlgorithmCircuit ghz(int num_qubits) {
+  require(num_qubits >= 2, "ghz: need >= 2 qubits");
+  circ::QuantumCircuit qc(num_qubits, num_qubits);
+  qc.set_name("ghz" + std::to_string(num_qubits));
+  qc.h(0);
+  for (int q = 0; q + 1 < num_qubits; ++q) qc.cx(q, q + 1);
+  qc.measure_all();
+
+  std::uint64_t ones = 0;
+  for (int i = 0; i < num_qubits; ++i) ones |= 1ULL << i;
+  return AlgorithmCircuit{std::move(qc),
+                          {util::to_bitstring(0, num_qubits),
+                           util::to_bitstring(ones, num_qubits)}};
+}
+
+}  // namespace qufi::algo

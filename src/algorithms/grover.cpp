@@ -1,0 +1,71 @@
+#include "algorithms/algorithms.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/bitstring.hpp"
+#include "util/error.hpp"
+
+namespace qufi::algo {
+
+namespace {
+
+/// Multi-controlled Z over all qubits of qc (2 or 3 qubits).
+void append_mcz(circ::QuantumCircuit& qc) {
+  const int n = qc.num_qubits();
+  if (n == 2) {
+    qc.cz(0, 1);
+  } else {
+    qc.h(2);
+    qc.ccx(0, 1, 2);
+    qc.h(2);
+  }
+}
+
+/// Phase-flips the marked basis state.
+void append_oracle(circ::QuantumCircuit& qc, std::uint64_t marked) {
+  const int n = qc.num_qubits();
+  for (int q = 0; q < n; ++q) {
+    if (!((marked >> q) & 1ULL)) qc.x(q);
+  }
+  append_mcz(qc);
+  for (int q = 0; q < n; ++q) {
+    if (!((marked >> q) & 1ULL)) qc.x(q);
+  }
+}
+
+void append_diffusion(circ::QuantumCircuit& qc) {
+  const int n = qc.num_qubits();
+  for (int q = 0; q < n; ++q) qc.h(q);
+  for (int q = 0; q < n; ++q) qc.x(q);
+  append_mcz(qc);
+  for (int q = 0; q < n; ++q) qc.x(q);
+  for (int q = 0; q < n; ++q) qc.h(q);
+}
+
+}  // namespace
+
+AlgorithmCircuit grover(int num_qubits, std::uint64_t marked) {
+  require(num_qubits == 2 || num_qubits == 3,
+          "grover: supported widths are 2 and 3 qubits");
+  require(marked < (1ULL << num_qubits), "grover: marked state out of range");
+
+  circ::QuantumCircuit qc(num_qubits, num_qubits);
+  qc.set_name("grover" + std::to_string(num_qubits));
+  for (int q = 0; q < num_qubits; ++q) qc.h(q);
+
+  const double space = std::sqrt(static_cast<double>(1ULL << num_qubits));
+  const int iterations = std::max(
+      1, static_cast<int>(std::floor(std::numbers::pi / 4.0 * space)));
+  for (int it = 0; it < iterations; ++it) {
+    qc.barrier();
+    append_oracle(qc, marked);
+    append_diffusion(qc);
+  }
+  qc.measure_all();
+
+  return AlgorithmCircuit{std::move(qc),
+                          {util::to_bitstring(marked, num_qubits)}};
+}
+
+}  // namespace qufi::algo

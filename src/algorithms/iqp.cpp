@@ -1,0 +1,42 @@
+#include "algorithms/algorithms.hpp"
+
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace qufi::algo {
+
+circ::QuantumCircuit iqp_circuit(int num_qubits, std::uint64_t seed,
+                                 double two_qubit_fraction) {
+  require(num_qubits >= 1, "iqp_circuit: need >= 1 qubit");
+  require(two_qubit_fraction >= 0.0 && two_qubit_fraction <= 1.0,
+          "iqp_circuit: two_qubit_fraction out of [0, 1]");
+
+  util::Xoshiro256pp rng(seed);
+  circ::QuantumCircuit qc(num_qubits, num_qubits);
+  qc.set_name("iqp" + std::to_string(num_qubits));
+
+  // H layer, random diagonal layer, H layer: the IQP sandwich.
+  for (int q = 0; q < num_qubits; ++q) qc.h(q);
+  qc.barrier();
+  for (int q = 0; q < num_qubits; ++q) {
+    // Diagonal single-qubit phase: multiple of pi/4 (T-power), as in
+    // standard IQP constructions.
+    const auto power = static_cast<double>(rng.uniform_int(8));
+    if (power > 0) qc.p(power * std::numbers::pi / 4.0, q);
+  }
+  for (int a = 0; a < num_qubits; ++a) {
+    for (int b = a + 1; b < num_qubits; ++b) {
+      if (rng.uniform() < two_qubit_fraction) {
+        const auto power = 1 + rng.uniform_int(3);
+        qc.cp(static_cast<double>(power) * std::numbers::pi / 4.0, a, b);
+      }
+    }
+  }
+  qc.barrier();
+  for (int q = 0; q < num_qubits; ++q) qc.h(q);
+  qc.measure_all();
+  return qc;
+}
+
+}  // namespace qufi::algo

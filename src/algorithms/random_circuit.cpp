@@ -1,0 +1,54 @@
+#include "algorithms/algorithms.hpp"
+
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace qufi::algo {
+
+circ::QuantumCircuit random_circuit(int num_qubits, int depth,
+                                    std::uint64_t seed,
+                                    double two_qubit_fraction) {
+  require(num_qubits >= 1, "random_circuit: need >= 1 qubit");
+  require(depth >= 0, "random_circuit: negative depth");
+  require(two_qubit_fraction >= 0.0 && two_qubit_fraction <= 1.0,
+          "random_circuit: two_qubit_fraction out of [0, 1]");
+
+  util::Xoshiro256pp rng(seed);
+  circ::QuantumCircuit qc(num_qubits);
+  qc.set_name("random" + std::to_string(num_qubits) + "x" +
+              std::to_string(depth));
+
+  using circ::GateKind;
+  static constexpr GateKind k1q[] = {
+      GateKind::H,  GateKind::X,  GateKind::Y,  GateKind::Z, GateKind::S,
+      GateKind::T,  GateKind::SX, GateKind::Sdg, GateKind::Tdg};
+
+  for (int layer = 0; layer < depth; ++layer) {
+    for (int q = 0; q < num_qubits; ++q) {
+      if (num_qubits >= 2 && rng.uniform() < two_qubit_fraction) {
+        int other = static_cast<int>(
+            rng.uniform_int(static_cast<std::uint64_t>(num_qubits)));
+        if (other == q) other = (q + 1) % num_qubits;
+        qc.cx(q, other);
+        continue;
+      }
+      const double pick = rng.uniform();
+      if (pick < 0.4) {
+        // Parameterized rotation with a random angle.
+        const double angle = rng.uniform(-std::numbers::pi, std::numbers::pi);
+        const double which = rng.uniform();
+        if (which < 1.0 / 3) qc.rx(angle, q);
+        else if (which < 2.0 / 3) qc.ry(angle, q);
+        else qc.rz(angle, q);
+      } else {
+        const auto kind =
+            k1q[rng.uniform_int(sizeof(k1q) / sizeof(k1q[0]))];
+        qc.append(circ::Instruction{kind, {q}, {}, {}});
+      }
+    }
+  }
+  return qc;
+}
+
+}  // namespace qufi::algo

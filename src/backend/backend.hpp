@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "backend/result.hpp"
+#include "circuit/circuit.hpp"
+
+namespace qufi::backend {
+
+/// Execution target abstraction. The paper's three scenarios map to:
+///   (1) ideal simulation            -> IdealBackend
+///   (2) simulation with noise model -> DensityMatrixBackend (exact) or
+///                                      TrajectoryBackend (sampled)
+///   (3) physical IBM-Q machine      -> SimulatedHardwareBackend
+///                                      (drifting-calibration substitute)
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Executes `circuit`. shots == 0 requests the exact output distribution
+  /// (supported by all backends except TrajectoryBackend, which must
+  /// sample). `seed` makes sampling deterministic.
+  virtual ExecutionResult run(const circ::QuantumCircuit& circuit,
+                              std::uint64_t shots, std::uint64_t seed) = 0;
+};
+
+}  // namespace qufi::backend

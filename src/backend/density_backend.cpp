@@ -1,0 +1,265 @@
+#include "backend/density_backend.hpp"
+
+#include <algorithm>
+
+#include "circuit/moments.hpp"
+#include "noise/channels.hpp"
+#include "noise/readout.hpp"
+#include "sim/density_matrix.hpp"
+#include "util/error.hpp"
+
+namespace qufi::backend {
+
+using circ::GateKind;
+using circ::Instruction;
+
+namespace {
+
+/// Reset-to-|0> as a Kraus channel: {|0><0|, |0><1|}.
+const noise::KrausChannel1& reset_channel() {
+  static const noise::KrausChannel1 kChannel = [] {
+    util::Mat2 k0 = util::Mat2::zero();
+    k0(0, 0) = 1;
+    util::Mat2 k1 = util::Mat2::zero();
+    k1(0, 1) = 1;
+    return noise::KrausChannel1{{k0, k1}};
+  }();
+  return kChannel;
+}
+
+void apply_channel(sim::DensityMatrix& dm, const noise::KrausChannel1& ch,
+                   int q) {
+  if (!ch.is_identity()) dm.apply_kraus1(ch.ops, q);
+}
+
+double instruction_duration_ns(const Instruction& instr,
+                               const noise::NoiseModel& nm) {
+  switch (instr.kind) {
+    case GateKind::Barrier:
+      return 0.0;
+    case GateKind::Measure:
+      return nm.measure_duration_ns();
+    default:
+      break;
+  }
+  const auto& info = circ::gate_info(instr.kind);
+  if (info.num_qubits == 2) {
+    return nm.duration_2q_ns(instr.qubits[0], instr.qubits[1]);
+  }
+  if (info.num_qubits == 1 && noise::NoiseModel::is_noisy_1q_gate(instr.kind)) {
+    return nm.duration_1q_ns(instr.qubits[0]);
+  }
+  return 0.0;  // virtual gates
+}
+
+/// Executor over the *compacted* qubit set: the density matrix holds only
+/// qubits the circuit touches (a 4-qubit circuit transpiled onto a 7-qubit
+/// device simulates 16x16, not 128x128), while noise lookups keep the
+/// original physical indices so per-qubit calibration stays correct.
+struct DensityExecutor {
+  sim::DensityMatrix dm;
+  const noise::NoiseModel& nm;
+  const DensityRunOptions& options;
+  const std::vector<int>& to_compact;  // physical -> compact (-1 unused)
+
+  int compact(int physical) const {
+    return to_compact[static_cast<std::size_t>(physical)];
+  }
+
+  void execute(const Instruction& instr) {
+    switch (instr.kind) {
+      case GateKind::Barrier:
+      case GateKind::Measure:
+        return;  // terminal measures are resolved from the final diagonal
+      case GateKind::Reset:
+        dm.apply_kraus1(reset_channel().ops, compact(instr.qubits[0]));
+        return;
+      default:
+        break;
+    }
+
+    apply_unitary(instr);
+    if (nm.is_ideal()) return;
+
+    const auto& info = circ::gate_info(instr.kind);
+    if (info.num_qubits == 1) {
+      const int physical = instr.qubits[0];
+      const int q = compact(physical);
+      if (!options.coherent_errors.empty() &&
+          noise::NoiseModel::is_noisy_1q_gate(instr.kind)) {
+        const auto& ce =
+            options.coherent_errors[static_cast<std::size_t>(physical)];
+        if (ce.z_angle != 0.0) {
+          const double params[] = {ce.z_angle};
+          dm.apply_unitary1(circ::gate_matrix1(GateKind::RZ, params), q);
+        }
+        if (ce.x_angle != 0.0) {
+          const double params[] = {ce.x_angle};
+          dm.apply_unitary1(circ::gate_matrix1(GateKind::RX, params), q);
+        }
+      }
+      if (const auto* superop = nm.superop_after_1q(instr.kind, physical)) {
+        dm.apply_superop1(*superop, q);
+      }
+    } else if (info.num_qubits == 2) {
+      // Combined edge superoperator, built for the sorted physical pair.
+      const int lo = std::min(instr.qubits[0], instr.qubits[1]);
+      const int hi = std::max(instr.qubits[0], instr.qubits[1]);
+      if (const auto* superop = nm.superop_after_2q(lo, hi)) {
+        dm.apply_superop2(superop->a, compact(lo), compact(hi));
+      }
+    }
+    // 3q gates (ccx) run noiselessly: transpiled circuits never contain
+    // them; untranspiled use is an ideal-composition approximation.
+  }
+
+ private:
+  void apply_unitary(const Instruction& instr) {
+    const auto& info = circ::gate_info(instr.kind);
+    switch (info.num_qubits) {
+      case 1:
+        dm.apply_unitary1(circ::gate_matrix1(instr.kind, instr.params),
+                          compact(instr.qubits[0]));
+        return;
+      case 2:
+        dm.apply_unitary2(circ::gate_matrix2(instr.kind, instr.params),
+                          compact(instr.qubits[0]), compact(instr.qubits[1]));
+        return;
+      case 3: {
+        require(instr.kind == GateKind::CCX,
+                "run_density_probs: unsupported 3-qubit gate");
+        const Instruction mapped{instr.kind,
+                                 {compact(instr.qubits[0]),
+                                  compact(instr.qubits[1]),
+                                  compact(instr.qubits[2])},
+                                 {},
+                                 {}};
+        dm.apply_instruction(mapped);
+        return;
+      }
+      default:
+        throw Error("run_density_probs: unsupported operand count");
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<double> run_density_probs(const circ::QuantumCircuit& circuit,
+                                      const noise::NoiseModel& noise_model,
+                                      const DensityRunOptions& options) {
+  require(circuit.num_clbits() > 0,
+          "run_density_probs: circuit has no classical bits");
+  require(circuit.measurements_are_terminal(),
+          "run_density_probs: density-matrix execution requires terminal "
+          "measurements (use TrajectoryBackend for mid-circuit measures)");
+  require(options.coherent_errors.empty() ||
+              options.coherent_errors.size() ==
+                  static_cast<std::size_t>(circuit.num_qubits()),
+          "run_density_probs: coherent error vector size mismatch");
+
+  // Compaction: simulate only the qubits the circuit touches.
+  std::vector<int> active = circuit.active_qubits();
+  if (active.empty()) active.push_back(0);
+  std::vector<int> to_compact(static_cast<std::size_t>(circuit.num_qubits()),
+                              -1);
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    to_compact[static_cast<std::size_t>(active[k])] = static_cast<int>(k);
+  }
+
+  DensityExecutor exec{sim::DensityMatrix(static_cast<int>(active.size())),
+                       noise_model, options, to_compact};
+
+  if (options.idle_noise && !noise_model.is_ideal()) {
+    // Moment-scheduled execution: idle qubits decohere while others work.
+    const auto moments = circ::compute_moments(circuit);
+    const auto& instrs = circuit.instructions();
+    for (int m = 0; m < moments.num_moments(); ++m) {
+      const auto& idx =
+          moments.instructions_per_moment[static_cast<std::size_t>(m)];
+      double duration = 0.0;
+      std::vector<bool> busy(active.size(), false);
+      for (const auto i : idx) {
+        duration = std::max(duration,
+                            instruction_duration_ns(instrs[i], noise_model));
+        for (int q : instrs[i].qubits) {
+          const int c = exec.compact(q);
+          if (c >= 0) busy[static_cast<std::size_t>(c)] = true;
+        }
+      }
+      for (const auto i : idx) exec.execute(instrs[i]);
+      if (duration > 0.0) {
+        for (std::size_t k = 0; k < active.size(); ++k) {
+          if (busy[k]) continue;
+          const auto idle =
+              noise_model.idle_relaxation(active[k], duration);
+          apply_channel(exec.dm, idle, static_cast<int>(k));
+        }
+      }
+    }
+  } else {
+    for (const auto& instr : circuit.instructions()) exec.execute(instr);
+  }
+
+  // Resolve terminal measurements from the final diagonal (last measure
+  // into a clbit wins, Qiskit semantics).
+  std::vector<int> clbit_source_compact(
+      static_cast<std::size_t>(circuit.num_clbits()), -1);
+  std::vector<int> clbit_source_physical(
+      static_cast<std::size_t>(circuit.num_clbits()), -1);
+  bool any_measure = false;
+  for (const auto& instr : circuit.instructions()) {
+    if (instr.kind != GateKind::Measure) continue;
+    const auto c = static_cast<std::size_t>(instr.clbits[0]);
+    clbit_source_compact[c] = exec.compact(instr.qubits[0]);
+    clbit_source_physical[c] = instr.qubits[0];
+    any_measure = true;
+  }
+  require(any_measure, "run_density_probs: circuit has no measurements");
+
+  const auto qubit_probs = exec.dm.probabilities();
+  std::vector<double> clbit_probs(std::size_t{1} << circuit.num_clbits(), 0.0);
+  for (std::uint64_t i = 0; i < qubit_probs.size(); ++i) {
+    if (qubit_probs[i] == 0.0) continue;
+    std::uint64_t j = 0;
+    for (int c = 0; c < circuit.num_clbits(); ++c) {
+      const int q = clbit_source_compact[static_cast<std::size_t>(c)];
+      if (q >= 0 && ((i >> q) & 1ULL)) j |= 1ULL << c;
+    }
+    clbit_probs[j] += qubit_probs[i];
+  }
+
+  if (!noise_model.is_ideal()) {
+    std::vector<int> clbits;
+    std::vector<noise::ReadoutError> errors;
+    for (int c = 0; c < circuit.num_clbits(); ++c) {
+      const int q = clbit_source_physical[static_cast<std::size_t>(c)];
+      if (q < 0) continue;
+      clbits.push_back(c);
+      errors.push_back(noise_model.readout(q));
+    }
+    noise::apply_readout_error(clbit_probs, clbits, errors);
+  }
+  return clbit_probs;
+}
+
+DensityMatrixBackend::DensityMatrixBackend(noise::NoiseModel noise_model,
+                                           bool idle_noise)
+    : noise_model_(std::move(noise_model)), idle_noise_(idle_noise) {}
+
+std::string DensityMatrixBackend::name() const {
+  return "density_matrix(" + noise_model_.source_name() +
+         (idle_noise_ ? ", idle_noise" : "") + ")";
+}
+
+ExecutionResult DensityMatrixBackend::run(const circ::QuantumCircuit& circuit,
+                                          std::uint64_t shots,
+                                          std::uint64_t seed) {
+  DensityRunOptions options;
+  options.idle_noise = idle_noise_;
+  auto probs = run_density_probs(circuit, noise_model_, options);
+  return ExecutionResult::from_distribution(
+      std::move(probs), circuit.num_clbits(), shots, seed, name());
+}
+
+}  // namespace qufi::backend

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+
+#include "backend/backend.hpp"
+#include "noise/drift.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qufi::backend {
+
+/// Knobs for one density-matrix execution.
+struct DensityRunOptions {
+  /// Per-physical-qubit coherent miscalibration applied after every noisy
+  /// 1q gate (used by the simulated-hardware backend). Empty = none.
+  std::span<const noise::DriftModel::CoherentError> coherent_errors = {};
+  /// Apply thermal relaxation to idle qubits per circuit moment
+  /// (extension beyond the paper's Qiskit noise model; see ablation bench).
+  bool idle_noise = false;
+};
+
+/// Exact noisy execution: evolves the full density matrix through the
+/// circuit with the noise model's Kraus channels and returns the exact
+/// distribution over classical bitstrings (readout error included).
+/// Requires terminal measurements.
+std::vector<double> run_density_probs(const circ::QuantumCircuit& circuit,
+                                      const noise::NoiseModel& noise_model,
+                                      const DensityRunOptions& options = {});
+
+/// Backend wrapper over run_density_probs — the paper's scenario (2),
+/// "simulation of a physical machine, tuning the noise over which the
+/// fault is injected using the IBM-Q noise model".
+class DensityMatrixBackend : public Backend {
+ public:
+  explicit DensityMatrixBackend(noise::NoiseModel noise_model,
+                                bool idle_noise = false);
+
+  std::string name() const override;
+
+  ExecutionResult run(const circ::QuantumCircuit& circuit, std::uint64_t shots,
+                      std::uint64_t seed) override;
+
+  const noise::NoiseModel& noise_model() const { return noise_model_; }
+
+ private:
+  noise::NoiseModel noise_model_;
+  bool idle_noise_;
+};
+
+}  // namespace qufi::backend

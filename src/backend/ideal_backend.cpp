@@ -1,0 +1,14 @@
+#include "backend/ideal_backend.hpp"
+
+#include "sim/statevector.hpp"
+
+namespace qufi::backend {
+
+ExecutionResult IdealBackend::run(const circ::QuantumCircuit& circuit,
+                                  std::uint64_t shots, std::uint64_t seed) {
+  auto probs = sim::ideal_clbit_probabilities(circuit);
+  return ExecutionResult::from_distribution(
+      std::move(probs), circuit.num_clbits(), shots, seed, name());
+}
+
+}  // namespace qufi::backend

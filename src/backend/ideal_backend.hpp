@@ -1,0 +1,17 @@
+#pragma once
+
+#include "backend/backend.hpp"
+
+namespace qufi::backend {
+
+/// Noise-free statevector execution; the paper's scenario (1) and the
+/// source of QVF golden outputs.
+class IdealBackend : public Backend {
+ public:
+  std::string name() const override { return "ideal_statevector"; }
+
+  ExecutionResult run(const circ::QuantumCircuit& circuit, std::uint64_t shots,
+                      std::uint64_t seed) override;
+};
+
+}  // namespace qufi::backend

@@ -1,0 +1,73 @@
+#include "backend/result.hpp"
+
+#include "util/bitstring.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qufi::backend {
+
+double ExecutionResult::probability_of(const std::string& bitstring) const {
+  require(static_cast<int>(bitstring.size()) == num_clbits,
+          "probability_of: bitstring width mismatch");
+  return probabilities.at(util::from_bitstring(bitstring));
+}
+
+std::string ExecutionResult::most_probable() const {
+  require(!probabilities.empty(), "most_probable: empty result");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < probabilities.size(); ++i) {
+    if (probabilities[i] > probabilities[best]) best = i;
+  }
+  return util::to_bitstring(best, num_clbits);
+}
+
+ExecutionResult ExecutionResult::from_distribution(std::vector<double> probs,
+                                                   int num_clbits,
+                                                   std::uint64_t shots,
+                                                   std::uint64_t seed,
+                                                   std::string backend_name) {
+  require(probs.size() == (std::size_t{1} << num_clbits),
+          "from_distribution: size mismatch");
+  ExecutionResult result;
+  result.num_clbits = num_clbits;
+  result.shots = shots;
+  result.backend_name = std::move(backend_name);
+  if (shots == 0) {
+    result.probabilities = std::move(probs);
+    return result;
+  }
+  util::Xoshiro256pp rng(seed);
+  const auto sampled = util::sample_counts(probs, shots, rng);
+  result.probabilities.assign(probs.size(), 0.0);
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    if (sampled[i] == 0) continue;
+    result.counts[util::to_bitstring(i, num_clbits)] = sampled[i];
+    result.probabilities[i] =
+        static_cast<double>(sampled[i]) / static_cast<double>(shots);
+  }
+  return result;
+}
+
+ExecutionResult ExecutionResult::from_outcome_counts(
+    const std::vector<std::uint64_t>& outcome_counts, int num_clbits,
+    std::string backend_name) {
+  require(outcome_counts.size() == (std::size_t{1} << num_clbits),
+          "from_outcome_counts: size mismatch");
+  ExecutionResult result;
+  result.num_clbits = num_clbits;
+  result.backend_name = std::move(backend_name);
+  std::uint64_t total = 0;
+  for (const auto c : outcome_counts) total += c;
+  require(total > 0, "from_outcome_counts: zero shots");
+  result.shots = total;
+  result.probabilities.assign(outcome_counts.size(), 0.0);
+  for (std::size_t i = 0; i < outcome_counts.size(); ++i) {
+    if (outcome_counts[i] == 0) continue;
+    result.counts[util::to_bitstring(i, num_clbits)] = outcome_counts[i];
+    result.probabilities[i] = static_cast<double>(outcome_counts[i]) /
+                              static_cast<double>(total);
+  }
+  return result;
+}
+
+}  // namespace qufi::backend

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qufi::backend {
+
+/// Outcome of executing a circuit on a backend.
+///
+/// `probabilities` is the distribution over classical bitstrings
+/// (size 2^num_clbits, index bit c = clbit c). With shots == 0 it is the
+/// exact backend distribution; with shots > 0 it holds the empirical
+/// frequencies of the sampled `counts`, matching how the paper estimates
+/// distributions from 1,024 executions.
+struct ExecutionResult {
+  std::vector<double> probabilities;
+  std::map<std::string, std::uint64_t> counts;  ///< empty when shots == 0
+  std::uint64_t shots = 0;
+  int num_clbits = 0;
+  std::string backend_name;
+
+  /// Probability of an MSB-first bitstring (e.g. "101").
+  double probability_of(const std::string& bitstring) const;
+
+  /// Bitstring with the highest probability (lowest index wins ties).
+  std::string most_probable() const;
+
+  /// Builds a result from an exact distribution; samples `shots` outcomes
+  /// when shots > 0 (deterministic in `seed`) and replaces probabilities
+  /// with empirical frequencies.
+  static ExecutionResult from_distribution(std::vector<double> probs,
+                                           int num_clbits, std::uint64_t shots,
+                                           std::uint64_t seed,
+                                           std::string backend_name);
+
+  /// Builds a result directly from sampled outcome indices.
+  static ExecutionResult from_outcome_counts(
+      const std::vector<std::uint64_t>& outcome_counts, int num_clbits,
+      std::string backend_name);
+};
+
+}  // namespace qufi::backend

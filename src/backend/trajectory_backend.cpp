@@ -1,0 +1,138 @@
+#include "backend/trajectory_backend.hpp"
+
+#include <cmath>
+
+#include "noise/readout.hpp"
+#include "sim/statevector.hpp"
+#include "util/error.hpp"
+
+namespace qufi::backend {
+
+using circ::GateKind;
+using circ::Instruction;
+
+namespace {
+
+/// Samples one Kraus branch of a 1q channel and applies it (normalized).
+void sample_kraus1(sim::Statevector& sv, const noise::KrausChannel1& ch,
+                   int q, util::Xoshiro256pp& rng) {
+  if (ch.is_identity()) return;
+  const double draw = rng.uniform();
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k < ch.ops.size(); ++k) {
+    // Branch probability = ||K psi||^2; try op on a scratch copy.
+    sim::Statevector candidate = sv;
+    candidate.apply_matrix1(ch.ops[k], q);
+    const double p = candidate.norm() * candidate.norm();
+    cumulative += p;
+    if (draw < cumulative || k + 1 == ch.ops.size()) {
+      if (p > 0) candidate.normalize();
+      sv = std::move(candidate);
+      return;
+    }
+  }
+}
+
+void sample_kraus2(sim::Statevector& sv, const noise::KrausChannel2& ch,
+                   int q0, int q1, util::Xoshiro256pp& rng) {
+  if (ch.is_identity()) return;
+  const double draw = rng.uniform();
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k < ch.ops.size(); ++k) {
+    sim::Statevector candidate = sv;
+    candidate.apply_matrix2(ch.ops[k], q0, q1);
+    const double p = candidate.norm() * candidate.norm();
+    cumulative += p;
+    if (draw < cumulative || k + 1 == ch.ops.size()) {
+      if (p > 0) candidate.normalize();
+      sv = std::move(candidate);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+TrajectoryBackend::TrajectoryBackend(noise::NoiseModel noise_model)
+    : noise_model_(std::move(noise_model)) {}
+
+std::string TrajectoryBackend::name() const {
+  return "trajectory(" + noise_model_.source_name() + ")";
+}
+
+ExecutionResult TrajectoryBackend::run(const circ::QuantumCircuit& circuit,
+                                       std::uint64_t shots,
+                                       std::uint64_t seed) {
+  require(shots > 0, "TrajectoryBackend: shots must be > 0");
+  require(circuit.num_clbits() > 0,
+          "TrajectoryBackend: circuit has no classical bits");
+
+  std::vector<std::uint64_t> outcome_counts(
+      std::size_t{1} << circuit.num_clbits(), 0);
+
+  // Per-shot readout errors are applied to the measured clbits.
+  std::vector<int> measured_clbits;
+  std::vector<noise::ReadoutError> readout_errors;
+
+  for (std::uint64_t shot = 0; shot < shots; ++shot) {
+    const std::uint64_t words[] = {seed, shot};
+    util::Xoshiro256pp rng(util::hash_combine(words));
+
+    sim::Statevector sv(circuit.num_qubits());
+    std::uint64_t outcome = 0;
+    if (shot == 0) {
+      measured_clbits.clear();
+      readout_errors.clear();
+    }
+
+    for (const auto& instr : circuit.instructions()) {
+      switch (instr.kind) {
+        case GateKind::Barrier:
+          continue;
+        case GateKind::Measure: {
+          const int bit = sv.measure_qubit(instr.qubits[0], rng);
+          const std::uint64_t mask = 1ULL << instr.clbits[0];
+          outcome = bit ? (outcome | mask) : (outcome & ~mask);
+          if (shot == 0) {
+            measured_clbits.push_back(instr.clbits[0]);
+            readout_errors.push_back(noise_model_.readout(instr.qubits[0]));
+          }
+          continue;
+        }
+        case GateKind::Reset:
+          sv.reset_qubit(instr.qubits[0], rng);
+          continue;
+        default:
+          break;
+      }
+
+      sv.apply_instruction(instr);
+      if (noise_model_.is_ideal()) continue;
+
+      const auto& info = circ::gate_info(instr.kind);
+      if (info.num_qubits == 1) {
+        for (const auto* ch :
+             noise_model_.channels_after_1q(instr.kind, instr.qubits[0])) {
+          sample_kraus1(sv, *ch, instr.qubits[0], rng);
+        }
+      } else if (info.num_qubits == 2) {
+        const auto tq =
+            noise_model_.channels_after_2q(instr.qubits[0], instr.qubits[1]);
+        if (tq.relax_a) sample_kraus1(sv, *tq.relax_a, instr.qubits[0], rng);
+        if (tq.relax_b) sample_kraus1(sv, *tq.relax_b, instr.qubits[1], rng);
+        if (tq.depol) {
+          sample_kraus2(sv, *tq.depol, instr.qubits[0], instr.qubits[1], rng);
+        }
+      }
+    }
+
+    outcome = noise::sample_readout_flips(outcome, measured_clbits,
+                                          readout_errors, rng);
+    ++outcome_counts[outcome];
+  }
+
+  return ExecutionResult::from_outcome_counts(outcome_counts,
+                                              circuit.num_clbits(), name());
+}
+
+}  // namespace qufi::backend

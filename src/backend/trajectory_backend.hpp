@@ -1,0 +1,27 @@
+#pragma once
+
+#include "backend/backend.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qufi::backend {
+
+/// Monte-Carlo wavefunction (quantum trajectory) execution: each shot runs
+/// the statevector and samples one Kraus branch per noise channel. Agrees
+/// with DensityMatrixBackend in expectation (cross-validated by property
+/// tests); supports mid-circuit measurement and reset, which the density
+/// path does not.
+class TrajectoryBackend : public Backend {
+ public:
+  explicit TrajectoryBackend(noise::NoiseModel noise_model);
+
+  std::string name() const override;
+
+  /// shots must be > 0 (a trajectory backend cannot produce exact output).
+  ExecutionResult run(const circ::QuantumCircuit& circuit, std::uint64_t shots,
+                      std::uint64_t seed) override;
+
+ private:
+  noise::NoiseModel noise_model_;
+};
+
+}  // namespace qufi::backend

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace qufi::circ {
+
+/// One operation applied to specific qubits (and classical bits for
+/// Measure). Parameter count is validated against the gate metadata when
+/// appended to a circuit.
+struct Instruction {
+  GateKind kind = GateKind::I;
+  std::vector<int> qubits;
+  std::vector<int> clbits;   ///< only used by Measure (same length as qubits)
+  std::vector<double> params;
+
+  bool is_unitary() const { return gate_info(kind).is_unitary; }
+  const char* name() const { return gate_info(kind).name; }
+};
+
+/// A quantum circuit: an ordered list of instructions over `num_qubits`
+/// qubits and `num_clbits` classical bits.
+///
+/// Builder methods return *this so construction chains:
+///   QuantumCircuit qc(2, 2);
+///   qc.h(0).cx(0, 1).measure_all();
+///
+/// Conventions (Qiskit-compatible): qubit q is bit q of the state index;
+/// for controlled gates the first operand is the control.
+class QuantumCircuit {
+ public:
+  QuantumCircuit() = default;
+  QuantumCircuit(int num_qubits, int num_clbits = 0);
+
+  int num_qubits() const { return num_qubits_; }
+  int num_clbits() const { return num_clbits_; }
+  const std::vector<Instruction>& instructions() const { return instructions_; }
+  std::vector<Instruction>& mutable_instructions() { return instructions_; }
+  std::size_t size() const { return instructions_.size(); }
+  std::string name() const { return name_; }
+  QuantumCircuit& set_name(std::string name);
+
+  // ---- single-qubit gates ----
+  QuantumCircuit& i(int q) { return add1(GateKind::I, q); }
+  QuantumCircuit& x(int q) { return add1(GateKind::X, q); }
+  QuantumCircuit& y(int q) { return add1(GateKind::Y, q); }
+  QuantumCircuit& z(int q) { return add1(GateKind::Z, q); }
+  QuantumCircuit& h(int q) { return add1(GateKind::H, q); }
+  QuantumCircuit& s(int q) { return add1(GateKind::S, q); }
+  QuantumCircuit& sdg(int q) { return add1(GateKind::Sdg, q); }
+  QuantumCircuit& t(int q) { return add1(GateKind::T, q); }
+  QuantumCircuit& tdg(int q) { return add1(GateKind::Tdg, q); }
+  QuantumCircuit& sx(int q) { return add1(GateKind::SX, q); }
+  QuantumCircuit& sxdg(int q) { return add1(GateKind::SXdg, q); }
+  QuantumCircuit& rx(double angle, int q) { return add1p(GateKind::RX, angle, q); }
+  QuantumCircuit& ry(double angle, int q) { return add1p(GateKind::RY, angle, q); }
+  QuantumCircuit& rz(double angle, int q) { return add1p(GateKind::RZ, angle, q); }
+  QuantumCircuit& p(double angle, int q) { return add1p(GateKind::P, angle, q); }
+  QuantumCircuit& u(double theta, double phi, double lambda, int q);
+
+  // ---- multi-qubit gates ----
+  QuantumCircuit& cx(int control, int target) { return add2(GateKind::CX, control, target); }
+  QuantumCircuit& cy(int control, int target) { return add2(GateKind::CY, control, target); }
+  QuantumCircuit& cz(int control, int target) { return add2(GateKind::CZ, control, target); }
+  QuantumCircuit& ch(int control, int target) { return add2(GateKind::CH, control, target); }
+  QuantumCircuit& cp(double angle, int control, int target);
+  QuantumCircuit& crz(double angle, int control, int target);
+  QuantumCircuit& swap(int a, int b) { return add2(GateKind::SWAP, a, b); }
+  QuantumCircuit& ccx(int c0, int c1, int target);
+
+  // ---- non-unitary directives ----
+  /// Barrier over specific qubits; empty means all qubits.
+  QuantumCircuit& barrier(std::vector<int> qubits = {});
+  QuantumCircuit& measure(int qubit, int clbit);
+  /// Measures qubit i into clbit i for all qubits (grows clbits if needed).
+  QuantumCircuit& measure_all();
+  QuantumCircuit& reset(int qubit);
+
+  /// Appends a raw instruction (validated).
+  QuantumCircuit& append(Instruction instr);
+  /// Appends every instruction of `other` (dimension-checked).
+  QuantumCircuit& compose(const QuantumCircuit& other);
+  /// Appends `other` with its qubit i mapped to qubit_map[i] (clbits kept).
+  QuantumCircuit& compose(const QuantumCircuit& other,
+                          const std::vector<int>& qubit_map);
+
+  /// Dagger of the circuit: reversed order, inverted gates. Throws if the
+  /// circuit contains Measure or Reset. Barriers are preserved.
+  QuantumCircuit inverse() const;
+
+  /// Number of instructions per gate name, e.g. {"cx": 6, "h": 4}.
+  std::map<std::string, int> count_ops() const;
+
+  /// Number of unitary gate instructions (barriers/measures excluded).
+  int num_unitary_gates() const;
+
+  /// Circuit depth over unitary gates + measures (barriers are zero-width
+  /// synchronization points). Computed via ASAP layering.
+  int depth() const;
+
+  /// True when every Measure appears after the last unitary gate touching
+  /// its qubit (required by the density-matrix backend).
+  bool measurements_are_terminal() const;
+
+  /// Indices of qubits that are touched by at least one instruction.
+  std::vector<int> active_qubits() const;
+
+  /// Human-readable multi-line listing (one instruction per line).
+  std::string to_string() const;
+
+ private:
+  QuantumCircuit& add1(GateKind kind, int q);
+  QuantumCircuit& add1p(GateKind kind, double angle, int q);
+  QuantumCircuit& add2(GateKind kind, int a, int b);
+  void check_qubit(int q) const;
+  void check_clbit(int c) const;
+
+  int num_qubits_ = 0;
+  int num_clbits_ = 0;
+  std::string name_ = "circuit";
+  std::vector<Instruction> instructions_;
+};
+
+}  // namespace qufi::circ

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "util/matrix.hpp"
+
+namespace qufi::circ {
+
+/// Every operation the circuit IR understands.
+///
+/// Unitary gates follow Qiskit matrix conventions. `U` is the generic
+/// single-qubit rotation of the paper's Eq. (3) and is the fault-injection
+/// gate. Barrier/Measure/Reset are non-unitary directives.
+enum class GateKind {
+  I,
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  SX,
+  SXdg,
+  RX,
+  RY,
+  RZ,
+  P,
+  U,
+  CX,
+  CY,
+  CZ,
+  CH,
+  CP,
+  CRZ,
+  SWAP,
+  CCX,
+  Barrier,
+  Measure,
+  Reset,
+};
+
+/// Static metadata for a gate kind.
+struct GateInfo {
+  const char* name;  ///< lowercase mnemonic, matches OpenQASM where defined
+  int num_qubits;    ///< operand count (0 = variadic, only Barrier)
+  int num_params;    ///< rotation-angle count
+  bool is_unitary;   ///< false for Barrier/Measure/Reset
+};
+
+/// Looks up metadata for `kind`.
+const GateInfo& gate_info(GateKind kind);
+
+/// Resolves a lowercase mnemonic ("cx", "rz", ...) to its kind.
+/// Throws qufi::Error for unknown names.
+GateKind gate_from_name(const std::string& name);
+
+/// 2x2 matrix of a single-qubit unitary gate. `params` length must match
+/// gate_info(kind).num_params. Throws for non-1q or non-unitary kinds.
+util::Mat2 gate_matrix1(GateKind kind, std::span<const double> params);
+
+/// 4x4 matrix of a two-qubit unitary gate, in the convention that qubit
+/// operand 0 is the *low* bit of the 2-bit index (Qiskit ordering: for CX,
+/// operand 0 is the control). Throws for non-2q kinds (incl. CCX's 3q).
+util::Mat4 gate_matrix2(GateKind kind, std::span<const double> params);
+
+/// Returns the (kind, params) pair of the inverse gate. Throws for
+/// non-unitary kinds. Self-inverse gates return themselves.
+struct InverseGate {
+  GateKind kind;
+  std::array<double, 3> params;
+  int num_params;
+};
+InverseGate gate_inverse(GateKind kind, std::span<const double> params);
+
+}  // namespace qufi::circ

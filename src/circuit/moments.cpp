@@ -1,0 +1,45 @@
+#include "circuit/moments.hpp"
+
+#include <algorithm>
+
+namespace qufi::circ {
+
+Moments compute_moments(const QuantumCircuit& circuit) {
+  Moments result;
+  const auto& instrs = circuit.instructions();
+  result.moment_of.resize(instrs.size(), 0);
+
+  std::vector<int> level(
+      static_cast<std::size_t>(circuit.num_qubits() + circuit.num_clbits()),
+      0);
+
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    const auto& instr = instrs[i];
+    int start = 0;
+    for (int q : instr.qubits)
+      start = std::max(start, level[static_cast<std::size_t>(q)]);
+    for (int c : instr.clbits)
+      start = std::max(
+          start, level[static_cast<std::size_t>(circuit.num_qubits() + c)]);
+
+    if (instr.kind == GateKind::Barrier) {
+      for (int q : instr.qubits) level[static_cast<std::size_t>(q)] = start;
+      result.moment_of[i] = start;
+      continue;
+    }
+
+    result.moment_of[i] = start;
+    const int end = start + 1;
+    for (int q : instr.qubits) level[static_cast<std::size_t>(q)] = end;
+    for (int c : instr.clbits)
+      level[static_cast<std::size_t>(circuit.num_qubits() + c)] = end;
+
+    if (static_cast<std::size_t>(end) > result.instructions_per_moment.size())
+      result.instructions_per_moment.resize(static_cast<std::size_t>(end));
+    result.instructions_per_moment[static_cast<std::size_t>(start)].push_back(
+        i);
+  }
+  return result;
+}
+
+}  // namespace qufi::circ

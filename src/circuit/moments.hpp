@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qufi::circ {
+
+/// ASAP (as-soon-as-possible) layering of a circuit.
+///
+/// A *moment* is a set of instructions that act on disjoint qubits and can
+/// execute simultaneously. QuFI uses moments to define injection slots: the
+/// paper injects a fault "after each gate", i.e. between the moment a gate
+/// belongs to and the next one.
+struct Moments {
+  /// moment index of each instruction, parallel to circuit.instructions().
+  /// Barriers get the moment they synchronize at.
+  std::vector<int> moment_of;
+  /// instruction indices per moment.
+  std::vector<std::vector<std::size_t>> instructions_per_moment;
+
+  int num_moments() const {
+    return static_cast<int>(instructions_per_moment.size());
+  }
+};
+
+/// Computes the ASAP layering of `circuit`. Barriers synchronize their
+/// qubits but occupy no layer of their own.
+Moments compute_moments(const QuantumCircuit& circuit);
+
+}  // namespace qufi::circ

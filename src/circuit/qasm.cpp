@@ -1,0 +1,375 @@
+#include "circuit/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace qufi::circ {
+
+namespace {
+
+std::string format_angle(double value) {
+  // Emit clean multiples of pi where possible for readability.
+  constexpr double kPi = std::numbers::pi;
+  const double ratio = value / kPi;
+  for (int den = 1; den <= 16; ++den) {
+    const double num = ratio * den;
+    if (std::abs(num - std::round(num)) < 1e-12) {
+      const auto n = static_cast<long>(std::llround(num));
+      if (n == 0) return "0";
+      std::ostringstream os;
+      if (n == 1) os << "pi";
+      else if (n == -1) os << "-pi";
+      else os << n << "*pi";
+      if (den != 1) os << "/" << den;
+      return os.str();
+    }
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_qasm(const QuantumCircuit& circuit) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+
+  const auto ops = circuit.count_ops();
+  if (ops.contains("sx"))
+    os << "gate sx a { u(pi/2,-pi/2,pi/2) a; }\n";
+  if (ops.contains("sxdg"))
+    os << "gate sxdg a { u(pi/2,pi/2,-pi/2) a; }\n";
+
+  os << "qreg q[" << circuit.num_qubits() << "];\n";
+  if (circuit.num_clbits() > 0)
+    os << "creg c[" << circuit.num_clbits() << "];\n";
+
+  for (const auto& instr : circuit.instructions()) {
+    if (instr.kind == GateKind::Measure) {
+      os << "measure q[" << instr.qubits[0] << "] -> c[" << instr.clbits[0]
+         << "];\n";
+      continue;
+    }
+    os << instr.name();
+    if (!instr.params.empty()) {
+      os << '(';
+      for (std::size_t k = 0; k < instr.params.size(); ++k) {
+        if (k) os << ',';
+        os << format_angle(instr.params[k]);
+      }
+      os << ')';
+    }
+    os << ' ';
+    for (std::size_t k = 0; k < instr.qubits.size(); ++k) {
+      if (k) os << ',';
+      os << "q[" << instr.qubits[k] << ']';
+    }
+    os << ";\n";
+  }
+  return os.str();
+}
+
+// ------------------------------------------------------------------ parser
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Character-level scanner with line tracking for error messages.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  bool eof() const { return pos_ >= text_.size(); }
+  int line() const { return line_; }
+
+  char peek() const { return eof() ? '\0' : text_[pos_]; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void skip_ws_and_comments() {
+    while (!eof()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (!eof() && peek() != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error("QASM parse error (line " + std::to_string(line_) +
+                "): " + message);
+  }
+
+  void expect(char c) {
+    skip_ws_and_comments();
+    if (eof() || peek() != c)
+      fail(std::string("expected '") + c + "', got '" +
+           (eof() ? std::string("<eof>") : std::string(1, peek())) + "'");
+    advance();
+  }
+
+  bool consume(char c) {
+    skip_ws_and_comments();
+    if (!eof() && peek() == c) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  std::string identifier() {
+    skip_ws_and_comments();
+    std::string id;
+    while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_')) {
+      id += advance();
+    }
+    if (id.empty()) fail("expected identifier");
+    return id;
+  }
+
+  int integer() {
+    skip_ws_and_comments();
+    std::string digits;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+      digits += advance();
+    if (digits.empty()) fail("expected integer");
+    return std::stoi(digits);
+  }
+
+  double number() {
+    skip_ws_and_comments();
+    std::string num;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                      peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                      ((peek() == '+' || peek() == '-') && !num.empty() &&
+                       (num.back() == 'e' || num.back() == 'E')))) {
+      num += advance();
+    }
+    if (num.empty()) fail("expected number");
+    return std::stod(num);
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Recursive-descent evaluator for parameter expressions: numbers, pi,
+/// unary minus, + - * /, parentheses.
+class ExprParser {
+ public:
+  explicit ExprParser(Scanner& sc) : sc_(sc) {}
+
+  double parse() { return expression(); }
+
+ private:
+  double expression() {
+    double value = term();
+    for (;;) {
+      sc_.skip_ws_and_comments();
+      if (sc_.consume('+')) value += term();
+      else if (sc_.consume('-')) value -= term();
+      else return value;
+    }
+  }
+
+  double term() {
+    double value = factor();
+    for (;;) {
+      sc_.skip_ws_and_comments();
+      if (sc_.consume('*')) value *= factor();
+      else if (sc_.consume('/')) {
+        const double d = factor();
+        if (d == 0.0) sc_.fail("division by zero in parameter");
+        value /= d;
+      } else {
+        return value;
+      }
+    }
+  }
+
+  double factor() {
+    sc_.skip_ws_and_comments();
+    if (sc_.consume('-')) return -factor();
+    if (sc_.consume('+')) return factor();
+    if (sc_.consume('(')) {
+      const double v = expression();
+      sc_.expect(')');
+      return v;
+    }
+    const char c = sc_.peek();
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      const std::string id = sc_.identifier();
+      if (id == "pi") return kPi;
+      sc_.fail("unknown symbol in expression: " + id);
+    }
+    return sc_.number();
+  }
+
+  Scanner& sc_;
+};
+
+}  // namespace
+
+QuantumCircuit from_qasm(const std::string& text) {
+  Scanner sc(text);
+  sc.skip_ws_and_comments();
+
+  // Header.
+  {
+    const std::string kw = sc.identifier();
+    if (kw != "OPENQASM") sc.fail("expected OPENQASM header");
+    ExprParser version(sc);
+    const double v = version.parse();
+    if (std::abs(v - 2.0) > 1e-9) sc.fail("only OpenQASM 2.0 is supported");
+    sc.expect(';');
+  }
+
+  int num_qubits = -1;
+  int num_clbits = 0;
+  QuantumCircuit circuit;
+  bool circuit_ready = false;
+  std::string qreg_name = "q";
+  std::string creg_name = "c";
+
+  const auto ensure_circuit = [&] {
+    if (!circuit_ready) {
+      if (num_qubits < 0) sc.fail("gate before qreg declaration");
+      circuit = QuantumCircuit(num_qubits, num_clbits);
+      circuit_ready = true;
+    }
+  };
+
+  while (true) {
+    sc.skip_ws_and_comments();
+    if (sc.eof()) break;
+
+    if (sc.peek() == '}') sc.fail("unexpected '}'");
+
+    const std::string word = sc.identifier();
+
+    if (word == "include") {
+      sc.skip_ws_and_comments();
+      sc.expect('"');
+      while (!sc.eof() && sc.peek() != '"') sc.advance();
+      sc.expect('"');
+      sc.expect(';');
+      continue;
+    }
+    if (word == "gate") {
+      // Skip custom gate definitions entirely (our exporter only defines
+      // gates whose applications we parse natively).
+      while (!sc.eof() && sc.peek() != '{') sc.advance();
+      sc.expect('{');
+      int depth = 1;
+      while (!sc.eof() && depth > 0) {
+        const char c = sc.advance();
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+      }
+      if (depth != 0) sc.fail("unterminated gate definition");
+      continue;
+    }
+    if (word == "qreg") {
+      if (num_qubits >= 0) sc.fail("multiple qreg declarations not supported");
+      qreg_name = sc.identifier();
+      sc.expect('[');
+      num_qubits = sc.integer();
+      sc.expect(']');
+      sc.expect(';');
+      continue;
+    }
+    if (word == "creg") {
+      if (circuit_ready) sc.fail("creg after first gate not supported");
+      if (num_clbits > 0) sc.fail("multiple creg declarations not supported");
+      creg_name = sc.identifier();
+      sc.expect('[');
+      num_clbits = sc.integer();
+      sc.expect(']');
+      sc.expect(';');
+      continue;
+    }
+    if (word == "measure") {
+      ensure_circuit();
+      const std::string reg = sc.identifier();
+      if (reg != qreg_name) sc.fail("unknown quantum register: " + reg);
+      sc.expect('[');
+      const int q = sc.integer();
+      sc.expect(']');
+      sc.skip_ws_and_comments();
+      sc.expect('-');
+      sc.expect('>');
+      const std::string creg = sc.identifier();
+      if (creg != creg_name) sc.fail("unknown classical register: " + creg);
+      sc.expect('[');
+      const int c = sc.integer();
+      sc.expect(']');
+      sc.expect(';');
+      circuit.measure(q, c);
+      continue;
+    }
+
+    // Generic gate application.
+    ensure_circuit();
+    GateKind kind;
+    try {
+      kind = gate_from_name(word);
+    } catch (const Error&) {
+      sc.fail("unknown gate: " + word);
+    }
+
+    std::vector<double> params;
+    if (sc.consume('(')) {
+      if (!sc.consume(')')) {
+        do {
+          ExprParser expr(sc);
+          params.push_back(expr.parse());
+        } while (sc.consume(','));
+        sc.expect(')');
+      }
+    }
+
+    std::vector<int> qubits;
+    do {
+      const std::string reg = sc.identifier();
+      if (reg != qreg_name) sc.fail("unknown quantum register: " + reg);
+      if (sc.consume('[')) {
+        qubits.push_back(sc.integer());
+        sc.expect(']');
+      } else {
+        // Whole-register operand: only meaningful for barrier.
+        for (int q = 0; q < num_qubits; ++q) qubits.push_back(q);
+      }
+    } while (sc.consume(','));
+    sc.expect(';');
+
+    circuit.append(Instruction{kind, std::move(qubits), {}, std::move(params)});
+  }
+
+  if (!circuit_ready) {
+    require(num_qubits >= 0, "QASM parse error: no qreg declaration");
+    circuit = QuantumCircuit(num_qubits, num_clbits);
+  }
+  return circuit;
+}
+
+}  // namespace qufi::circ

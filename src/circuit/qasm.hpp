@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qufi::circ {
+
+/// Serializes a circuit to OpenQASM 2.0. Gates outside qelib1.inc (sx,
+/// sxdg) are emitted with local gate definitions so the output loads in any
+/// QASM 2 toolchain. The paper exports faulty circuits as QASM to run them
+/// on other systems; this is that interop path.
+std::string to_qasm(const QuantumCircuit& circuit);
+
+/// Parses the OpenQASM 2.0 subset produced by to_qasm (plus common
+/// variations: arbitrary whitespace, `pi` expressions with + - * / and
+/// parentheses, multiple qreg/creg declarations are rejected for clarity).
+/// Throws qufi::Error with a line-tagged message on any syntax problem.
+QuantumCircuit from_qasm(const std::string& text);
+
+}  // namespace qufi::circ

@@ -1,0 +1,286 @@
+#include "core/campaign.hpp"
+
+#include <memory>
+
+#include "backend/density_backend.hpp"
+#include "noise/noise_model.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qufi {
+
+namespace {
+
+/// Shared, prepared campaign state.
+struct Prepared {
+  transpile::TranspileResult transpiled;
+  transpile::CouplingMap coupling;
+  GoldenOutput golden;
+  std::unique_ptr<backend::Backend> owned_backend;
+  backend::Backend* exec = nullptr;
+};
+
+Prepared prepare(const CampaignSpec& spec) {
+  require(spec.circuit.num_clbits() > 0,
+          "campaign: circuit needs measurements");
+  spec.grid.validate();
+
+  Prepared prep{transpile::transpile(spec.circuit, spec.backend,
+                                     spec.transpile_options),
+                transpile::CouplingMap::from_backend(spec.backend),
+                {},
+                nullptr,
+                nullptr};
+
+  if (spec.expected_outputs.empty()) {
+    prep.golden = compute_golden(spec.circuit);
+  } else {
+    prep.golden =
+        golden_from_expected(spec.expected_outputs, spec.circuit.num_clbits());
+  }
+
+  if (spec.backend_override) {
+    prep.exec = spec.backend_override;
+  } else {
+    prep.owned_backend = std::make_unique<backend::DensityMatrixBackend>(
+        noise::NoiseModel::from_backend(spec.backend, spec.noise_scale));
+    prep.exec = prep.owned_backend.get();
+  }
+  return prep;
+}
+
+std::vector<InjectionPoint> stride_points(std::vector<InjectionPoint> points,
+                                          std::size_t max_points) {
+  if (max_points == 0 || points.size() <= max_points) return points;
+  std::vector<InjectionPoint> kept;
+  kept.reserve(max_points);
+  const double stride = static_cast<double>(points.size()) /
+                        static_cast<double>(max_points);
+  for (std::size_t k = 0; k < max_points; ++k) {
+    kept.push_back(points[static_cast<std::size_t>(
+        static_cast<double>(k) * stride)]);
+  }
+  return kept;
+}
+
+std::uint64_t config_seed(const CampaignSpec& spec, std::uint64_t a,
+                          std::uint64_t b, std::uint64_t c, std::uint64_t d) {
+  const std::uint64_t words[] = {spec.seed, a, b, c, d};
+  return util::hash_combine(words);
+}
+
+double faultfree_qvf(const Prepared& prep, const CampaignSpec& spec) {
+  const auto result = prep.exec->run(prep.transpiled.circuit, spec.shots,
+                                     config_seed(spec, ~0ULL, 0, 0, 0));
+  return compute_qvf(result.probabilities, prep.golden);
+}
+
+CampaignMetadata base_metadata(const CampaignSpec& spec, const Prepared& prep) {
+  CampaignMetadata meta;
+  meta.circuit_name = spec.circuit.name();
+  meta.backend_name = prep.exec->name();
+  meta.circuit_qubits = spec.circuit.num_qubits();
+  meta.transpiled_gates = prep.transpiled.circuit.num_unitary_gates();
+  meta.grid = spec.grid;
+  meta.shots = spec.shots;
+  meta.seed = spec.seed;
+  meta.faultfree_qvf = faultfree_qvf(prep, spec);
+  return meta;
+}
+
+}  // namespace
+
+transpile::TranspileResult campaign_transpile(const CampaignSpec& spec) {
+  return transpile::transpile(spec.circuit, spec.backend,
+                              spec.transpile_options);
+}
+
+std::vector<InjectionPoint> campaign_points(const CampaignSpec& spec) {
+  const auto transpiled = campaign_transpile(spec);
+  return stride_points(enumerate_injection_points(transpiled, spec.strategy),
+                       spec.max_points);
+}
+
+std::vector<std::pair<InjectionPoint, int>> campaign_point_neighbor_pairs(
+    const CampaignSpec& spec) {
+  const auto transpiled = campaign_transpile(spec);
+  const auto coupling = transpile::CouplingMap::from_backend(spec.backend);
+  const auto points = stride_points(
+      enumerate_injection_points(transpiled, spec.strategy), spec.max_points);
+  std::vector<std::pair<InjectionPoint, int>> pairs;
+  for (const auto& p : points) {
+    for (int nb : neighbor_candidates(transpiled, coupling, p)) {
+      pairs.emplace_back(p, nb);
+    }
+  }
+  return pairs;
+}
+
+CampaignResult run_single_fault_campaign(const CampaignSpec& spec) {
+  Prepared prep = prepare(spec);
+  CampaignResult result;
+  result.points = stride_points(
+      enumerate_injection_points(prep.transpiled, spec.strategy),
+      spec.max_points);
+  require(!result.points.empty(), "campaign: no injection points");
+
+  const int num_theta = spec.grid.num_theta();
+  const int num_phi = spec.grid.num_phi();
+  const std::size_t configs_per_point =
+      static_cast<std::size_t>(num_theta) * static_cast<std::size_t>(num_phi);
+  const std::size_t total = result.points.size() * configs_per_point;
+  result.records.resize(total);
+
+  util::ThreadPool pool(static_cast<std::size_t>(
+      spec.threads > 0 ? spec.threads : 0));
+  pool.parallel_for(total, [&](std::size_t idx) {
+    const std::size_t point_index = idx / configs_per_point;
+    const std::size_t rem = idx % configs_per_point;
+    const int phi_index = static_cast<int>(rem / num_theta);
+    const int theta_index = static_cast<int>(rem % num_theta);
+
+    const PhaseShiftFault fault{spec.grid.theta_at(theta_index),
+                                spec.grid.phi_at(phi_index)};
+    const auto faulty = inject_fault(prep.transpiled.circuit,
+                                     result.points[point_index], fault);
+    const auto run = prep.exec->run(
+        faulty, spec.shots,
+        config_seed(spec, point_index, static_cast<std::uint64_t>(phi_index),
+                    static_cast<std::uint64_t>(theta_index), 0));
+
+    InjectionRecord& rec = result.records[idx];
+    rec.point_index = static_cast<std::uint32_t>(point_index);
+    rec.theta_index = theta_index;
+    rec.phi_index = phi_index;
+    double pa = 0.0;
+    double pb = 0.0;
+    for (std::uint64_t s = 0; s < run.probabilities.size(); ++s) {
+      if (prep.golden.is_correct(s)) {
+        pa += run.probabilities[s];
+      } else {
+        pb = std::max(pb, run.probabilities[s]);
+      }
+    }
+    rec.pa = pa;
+    rec.pb = pb;
+    rec.qvf = qvf_from_contrast(michelson_contrast(pa, pb));
+  });
+
+  result.meta = base_metadata(spec, prep);
+  result.meta.double_fault = false;
+  result.meta.executions = total;
+  result.meta.injections = total * (spec.shots ? spec.shots : 1);
+  return result;
+}
+
+CampaignResult run_double_fault_campaign(const CampaignSpec& spec) {
+  Prepared prep = prepare(spec);
+  CampaignResult result;
+  result.points = stride_points(
+      enumerate_injection_points(prep.transpiled, spec.strategy),
+      spec.max_points);
+  require(!result.points.empty(), "campaign: no injection points");
+
+  // Flatten (point, neighbor, theta0, phi0, theta1 <= theta0, phi1 <= phi0).
+  struct Config {
+    std::uint32_t point_index;
+    std::int32_t neighbor;
+    std::int32_t theta_index, phi_index;
+    std::int32_t theta1_index, phi1_index;
+  };
+  std::vector<Config> configs;
+  for (std::size_t p = 0; p < result.points.size(); ++p) {
+    const auto neighbors =
+        neighbor_candidates(prep.transpiled, prep.coupling, result.points[p]);
+    for (int nb : neighbors) {
+      for (int j0 = 0; j0 < spec.grid.num_phi(); ++j0) {
+        for (int i0 = 0; i0 < spec.grid.num_theta(); ++i0) {
+          for (int j1 = 0; j1 <= j0; ++j1) {
+            for (int i1 = 0; i1 <= i0; ++i1) {
+              configs.push_back(Config{static_cast<std::uint32_t>(p), nb, i0,
+                                       j0, i1, j1});
+            }
+          }
+        }
+      }
+    }
+  }
+  require(!configs.empty(),
+          "double campaign: no coupled active neighbors (check topology)");
+  result.records.resize(configs.size());
+
+  util::ThreadPool pool(static_cast<std::size_t>(
+      spec.threads > 0 ? spec.threads : 0));
+  pool.parallel_for(configs.size(), [&](std::size_t idx) {
+    const Config& cfg = configs[idx];
+    const PhaseShiftFault primary{spec.grid.theta_at(cfg.theta_index),
+                                  spec.grid.phi_at(cfg.phi_index)};
+    const PhaseShiftFault secondary{spec.grid.theta_at(cfg.theta1_index),
+                                    spec.grid.phi_at(cfg.phi1_index)};
+    const auto faulty = inject_double_fault(prep.transpiled.circuit,
+                                            result.points[cfg.point_index],
+                                            primary, cfg.neighbor, secondary);
+    const auto run = prep.exec->run(
+        faulty, spec.shots,
+        config_seed(spec, idx, cfg.point_index,
+                    static_cast<std::uint64_t>(cfg.theta_index),
+                    static_cast<std::uint64_t>(cfg.phi_index)));
+
+    InjectionRecord& rec = result.records[idx];
+    rec.point_index = cfg.point_index;
+    rec.theta_index = cfg.theta_index;
+    rec.phi_index = cfg.phi_index;
+    rec.neighbor_qubit = cfg.neighbor;
+    rec.theta1_index = cfg.theta1_index;
+    rec.phi1_index = cfg.phi1_index;
+    double pa = 0.0;
+    double pb = 0.0;
+    for (std::uint64_t s = 0; s < run.probabilities.size(); ++s) {
+      if (prep.golden.is_correct(s)) {
+        pa += run.probabilities[s];
+      } else {
+        pb = std::max(pb, run.probabilities[s]);
+      }
+    }
+    rec.pa = pa;
+    rec.pb = pb;
+    rec.qvf = qvf_from_contrast(michelson_contrast(pa, pb));
+  });
+
+  result.meta = base_metadata(spec, prep);
+  result.meta.double_fault = true;
+  result.meta.executions = configs.size();
+  result.meta.injections = configs.size() * (spec.shots ? spec.shots : 1);
+  return result;
+}
+
+std::vector<NamedFaultQvf> run_named_fault_campaign(
+    const CampaignSpec& spec, std::span<const NamedFault> faults) {
+  Prepared prep = prepare(spec);
+  const auto points = stride_points(
+      enumerate_injection_points(prep.transpiled, spec.strategy),
+      spec.max_points);
+  require(!points.empty(), "named-fault campaign: no injection points");
+
+  std::vector<NamedFaultQvf> out;
+  util::ThreadPool pool(static_cast<std::size_t>(
+      spec.threads > 0 ? spec.threads : 0));
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    std::vector<double> qvfs(points.size(), 0.0);
+    pool.parallel_for(points.size(), [&](std::size_t p) {
+      const auto faulty =
+          inject_fault(prep.transpiled.circuit, points[p], faults[f].fault);
+      const auto run =
+          prep.exec->run(faulty, spec.shots, config_seed(spec, f, p, 0, 1));
+      qvfs[p] = compute_qvf(run.probabilities, prep.golden);
+    });
+    NamedFaultQvf entry;
+    entry.fault_name = faults[f].name;
+    entry.mean_qvf = util::mean_of(qvfs);
+    entry.executions = points.size();
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace qufi

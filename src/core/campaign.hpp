@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "circuit/circuit.hpp"
+#include "core/fault_model.hpp"
+#include "core/injection.hpp"
+#include "core/qvf.hpp"
+#include "core/results.hpp"
+#include "noise/backend_props.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qufi {
+
+/// Everything that defines one fault-injection campaign.
+struct CampaignSpec {
+  /// Logical circuit with terminal measurements (e.g. from qufi::algo).
+  circ::QuantumCircuit circuit;
+  /// Known correct outputs (MSB-first). Empty = derive by ideal simulation.
+  std::vector<std::string> expected_outputs;
+
+  /// Device the circuit is transpiled onto; also sources the noise model
+  /// and the coupling map used for neighbor discovery.
+  noise::BackendProperties backend = noise::fake_casablanca();
+  transpile::TranspileOptions transpile_options{};  // opt level 3, the paper's
+
+  FaultParamGrid grid;
+  InjectionStrategy strategy = InjectionStrategy::OperandsAfterEachGate;
+
+  std::uint64_t shots = 0;  ///< 0 = exact distributions; paper uses 1024
+  std::uint64_t seed = 0x51754649;
+  double noise_scale = 1.0;  ///< scales the backend noise (0 = ideal run)
+
+  /// Keep only every k-th injection point so the total stays <= max_points
+  /// (0 = keep all). Deterministic striding, used by quick benches.
+  std::size_t max_points = 0;
+
+  int threads = 0;  ///< worker threads; 0 = hardware concurrency
+
+  /// Execute on this backend instead of the density-matrix simulator built
+  /// from `backend` (e.g. SimulatedHardwareBackend). Must be thread-safe:
+  /// run() is called concurrently. Not owned.
+  backend::Backend* backend_override = nullptr;
+};
+
+/// Runs the single-fault campaign of §IV-B: every injection point x every
+/// grid (theta, phi), one faulty execution each.
+CampaignResult run_single_fault_campaign(const CampaignSpec& spec);
+
+/// Runs the double-fault campaign of §IV-C: for every injection point and
+/// every coupled, active neighbor, the primary fault (theta0, phi0) sweeps
+/// `spec.grid` and the secondary sweeps theta1 <= theta0, phi1 <= phi0 on
+/// the same step (the neighbor is farther from the particle impact).
+/// The paper restricts phi0 to [0, pi] for BV symmetry; pass a grid with
+/// phi_max_deg = 180 to reproduce that.
+CampaignResult run_double_fault_campaign(const CampaignSpec& spec);
+
+/// Mean QVF per named fault (paper Fig. 11): injects each named fault at
+/// every point and averages. Grid fields of `spec` are ignored.
+struct NamedFaultQvf {
+  std::string fault_name;
+  double mean_qvf = 0.0;
+  std::uint64_t executions = 0;
+};
+std::vector<NamedFaultQvf> run_named_fault_campaign(
+    const CampaignSpec& spec, std::span<const NamedFault> faults);
+
+/// Transpiles spec.circuit exactly as the campaign would (for inspection
+/// and point counting without running anything).
+transpile::TranspileResult campaign_transpile(const CampaignSpec& spec);
+
+/// Injection points the campaign would use (after max_points striding).
+std::vector<InjectionPoint> campaign_points(const CampaignSpec& spec);
+
+/// (point, neighbor) pairs a double campaign would use.
+std::vector<std::pair<InjectionPoint, int>> campaign_point_neighbor_pairs(
+    const CampaignSpec& spec);
+
+}  // namespace qufi

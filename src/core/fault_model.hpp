@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qufi {
+
+/// Radiation-induced transient fault on one qubit, modeled (paper §III) as
+/// a phase shift of parametrized magnitude: the injected gate is
+/// U(theta, phi, lambda=0) from Eq. (3). theta shifts the |0>/|1>
+/// probability; phi rotates about Z. Magnitudes depend on the deposited
+/// charge, hence the parameter sweep.
+struct PhaseShiftFault {
+  double theta = 0.0;  ///< radians, [0, pi]
+  double phi = 0.0;    ///< radians, [0, 2 pi)
+
+  /// The injector gate as a circuit instruction on `qubit`.
+  circ::Instruction as_instruction(int qubit) const;
+
+  /// True for (0, 0): injecting it reproduces the fault-free circuit.
+  bool is_identity() const { return theta == 0.0 && phi == 0.0; }
+
+  std::string label() const;
+};
+
+/// The paper's injection sweep: phi in [0, 2 pi) and theta in [0, pi],
+/// both in 15-degree steps -> 24 x 13 = 312 configurations per injection
+/// point. Benches shrink the step for quick runs (structure unchanged).
+struct FaultParamGrid {
+  double theta_step_deg = 15.0;
+  double phi_step_deg = 15.0;
+  double theta_max_deg = 180.0;  ///< inclusive
+  double phi_max_deg = 360.0;    ///< exclusive at 360, inclusive below
+
+  int num_theta() const;
+  int num_phi() const;
+  int num_configs() const { return num_theta() * num_phi(); }
+
+  double theta_at(int i) const;  ///< radians
+  double phi_at(int j) const;    ///< radians
+
+  /// All (theta, phi) combinations, phi-major ordering.
+  std::vector<PhaseShiftFault> enumerate() const;
+
+  /// Validates steps/ranges; throws qufi::Error on bad values.
+  void validate() const;
+};
+
+/// Named fault whose phase shift matches a basic gate's action — the four
+/// faults the paper injects on the physical machine (Fig. 11).
+struct NamedFault {
+  std::string name;
+  PhaseShiftFault fault;
+};
+
+/// T (phi=pi/4), S (phi=pi/2), Z (phi=pi) and the Y-like shift
+/// (theta=pi, phi=pi/2); all with lambda = 0 per the fault model.
+std::vector<NamedFault> gate_equivalent_faults();
+
+}  // namespace qufi

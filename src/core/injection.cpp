@@ -1,0 +1,154 @@
+#include "core/injection.hpp"
+
+#include <algorithm>
+
+#include "circuit/moments.hpp"
+#include "util/error.hpp"
+
+namespace qufi {
+
+using circ::GateKind;
+using circ::Instruction;
+using circ::QuantumCircuit;
+
+namespace {
+
+/// Index of the first Measure touching each qubit (SIZE_MAX when never
+/// measured). Injecting a fault gate at or after this index would break
+/// measurement terminality, so such points are excluded.
+std::vector<std::size_t> first_measure_index(const QuantumCircuit& circuit) {
+  std::vector<std::size_t> first(
+      static_cast<std::size_t>(circuit.num_qubits()), SIZE_MAX);
+  const auto& instrs = circuit.instructions();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    if (instrs[i].kind != GateKind::Measure) continue;
+    auto& slot = first[static_cast<std::size_t>(instrs[i].qubits[0])];
+    slot = std::min(slot, i);
+  }
+  return first;
+}
+
+std::vector<InjectionPoint> enumerate_impl(
+    const QuantumCircuit& circuit, InjectionStrategy strategy,
+    const std::vector<std::vector<int>>* p2l_per_instruction) {
+  const auto moments = circ::compute_moments(circuit);
+  const auto& instrs = circuit.instructions();
+
+  const auto logical_of = [&](std::size_t instr_index, int qubit) {
+    if (!p2l_per_instruction) return qubit;
+    return (*p2l_per_instruction)[instr_index][static_cast<std::size_t>(qubit)];
+  };
+
+  std::vector<InjectionPoint> points;
+  if (strategy == InjectionStrategy::OperandsAfterEachGate) {
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      if (!instrs[i].is_unitary()) continue;
+      for (int q : instrs[i].qubits) {
+        points.push_back(
+            InjectionPoint{i, q, logical_of(i, q), moments.moment_of[i]});
+      }
+    }
+    return points;
+  }
+
+  // EveryActiveQubitEveryMoment: inject after the last instruction of each
+  // moment, on every active qubit that has not been measured yet.
+  const auto active = circuit.active_qubits();
+  const auto measured_at = first_measure_index(circuit);
+  for (int m = 0; m < moments.num_moments(); ++m) {
+    const auto& in_moment =
+        moments.instructions_per_moment[static_cast<std::size_t>(m)];
+    if (in_moment.empty()) continue;
+    std::size_t last = in_moment.back();
+    // Skip measurement-only moments: faults after measurement are unseen.
+    const bool all_measures =
+        std::all_of(in_moment.begin(), in_moment.end(), [&](std::size_t i) {
+          return instrs[i].kind == GateKind::Measure;
+        });
+    if (all_measures) continue;
+    for (int q : active) {
+      if (measured_at[static_cast<std::size_t>(q)] <= last) continue;
+      points.push_back(InjectionPoint{last, q, logical_of(last, q), m});
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+std::vector<InjectionPoint> enumerate_injection_points(
+    const transpile::TranspileResult& transpiled, InjectionStrategy strategy) {
+  return enumerate_impl(transpiled.circuit, strategy,
+                        &transpiled.p2l_per_instruction);
+}
+
+std::vector<InjectionPoint> enumerate_injection_points(
+    const QuantumCircuit& circuit, InjectionStrategy strategy) {
+  return enumerate_impl(circuit, strategy, nullptr);
+}
+
+QuantumCircuit inject_fault(const QuantumCircuit& circuit,
+                            const InjectionPoint& point,
+                            const PhaseShiftFault& fault) {
+  require(point.instr_index < circuit.size(),
+          "inject_fault: instruction index out of range");
+  require(point.qubit >= 0 && point.qubit < circuit.num_qubits(),
+          "inject_fault: qubit out of range");
+
+  QuantumCircuit faulty(circuit.num_qubits(), circuit.num_clbits());
+  faulty.set_name(circuit.name() + "+fault");
+  const auto& instrs = circuit.instructions();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    faulty.append(instrs[i]);
+    if (i == point.instr_index) {
+      faulty.append(fault.as_instruction(point.qubit));
+    }
+  }
+  return faulty;
+}
+
+QuantumCircuit inject_double_fault(const QuantumCircuit& circuit,
+                                   const InjectionPoint& point,
+                                   const PhaseShiftFault& primary,
+                                   int neighbor_qubit,
+                                   const PhaseShiftFault& secondary) {
+  require(neighbor_qubit >= 0 && neighbor_qubit < circuit.num_qubits(),
+          "inject_double_fault: neighbor out of range");
+  require(neighbor_qubit != point.qubit,
+          "inject_double_fault: neighbor equals primary qubit");
+  require(point.instr_index < circuit.size(),
+          "inject_double_fault: instruction index out of range");
+
+  QuantumCircuit faulty(circuit.num_qubits(), circuit.num_clbits());
+  faulty.set_name(circuit.name() + "+fault2");
+  const auto& instrs = circuit.instructions();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    faulty.append(instrs[i]);
+    if (i == point.instr_index) {
+      faulty.append(primary.as_instruction(point.qubit));
+      faulty.append(secondary.as_instruction(neighbor_qubit));
+    }
+  }
+  return faulty;
+}
+
+std::vector<int> neighbor_candidates(
+    const transpile::TranspileResult& transpiled,
+    const transpile::CouplingMap& coupling, const InjectionPoint& point) {
+  require(point.instr_index < transpiled.p2l_per_instruction.size(),
+          "neighbor_candidates: instruction index out of range");
+  const auto measured_at = first_measure_index(transpiled.circuit);
+  std::vector<int> out;
+  for (int nb : coupling.neighbors(point.qubit)) {
+    // The neighbor must carry an active logical qubit AND not have been
+    // measured yet (a fault after measurement is physically meaningless
+    // and would break measurement terminality).
+    if (transpiled.logical_at(point.instr_index, nb) < 0) continue;
+    if (measured_at[static_cast<std::size_t>(nb)] <= point.instr_index)
+      continue;
+    out.push_back(nb);
+  }
+  return out;
+}
+
+}  // namespace qufi

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "core/fault_model.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qufi {
+
+/// One fault location: the injector gate goes immediately after instruction
+/// `instr_index` of the (transpiled) circuit, on physical qubit `qubit`.
+struct InjectionPoint {
+  std::size_t instr_index = 0;
+  int qubit = 0;          ///< physical qubit
+  int logical_qubit = -1; ///< logical qubit mapped there at that instruction
+  int moment = 0;         ///< ASAP moment of the host instruction
+};
+
+/// How injection points are enumerated over a circuit.
+enum class InjectionStrategy {
+  /// After each unitary gate, on each of its operand qubits — the paper's
+  /// "we inject faults after each gate of the original circuit".
+  OperandsAfterEachGate,
+  /// After the last gate of every moment, on every active qubit: a denser
+  /// sweep that also hits idle qubits.
+  EveryActiveQubitEveryMoment,
+};
+
+/// Enumerates points over a transpiled circuit, with logical attribution
+/// from the transpiler's layout tracking.
+std::vector<InjectionPoint> enumerate_injection_points(
+    const transpile::TranspileResult& transpiled, InjectionStrategy strategy);
+
+/// Enumerates points over a raw (untranspiled) circuit; logical == physical.
+std::vector<InjectionPoint> enumerate_injection_points(
+    const circ::QuantumCircuit& circuit, InjectionStrategy strategy);
+
+/// Builds the faulty circuit: a copy of `circuit` with the injector gate
+/// U(theta, phi, 0) inserted after `point.instr_index` on `point.qubit`.
+circ::QuantumCircuit inject_fault(const circ::QuantumCircuit& circuit,
+                                  const InjectionPoint& point,
+                                  const PhaseShiftFault& fault);
+
+/// Double-fault circuit (paper §IV-C): the primary fault on `point.qubit`
+/// and a secondary, lower-magnitude fault on `neighbor_qubit`, inserted at
+/// the same location (one particle strike hitting two adjacent qubits).
+circ::QuantumCircuit inject_double_fault(const circ::QuantumCircuit& circuit,
+                                         const InjectionPoint& point,
+                                         const PhaseShiftFault& primary,
+                                         int neighbor_qubit,
+                                         const PhaseShiftFault& secondary);
+
+/// Physical qubits adjacent to `point.qubit` in the coupling map that hold
+/// an active logical qubit when the instruction executes — the candidates
+/// for the secondary fault of a double injection.
+std::vector<int> neighbor_candidates(
+    const transpile::TranspileResult& transpiled,
+    const transpile::CouplingMap& coupling, const InjectionPoint& point);
+
+}  // namespace qufi

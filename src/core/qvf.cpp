@@ -1,0 +1,99 @@
+#include "core/qvf.hpp"
+
+#include <algorithm>
+
+#include "sim/statevector.hpp"
+#include "util/bitstring.hpp"
+#include "util/error.hpp"
+
+namespace qufi {
+
+bool GoldenOutput::is_correct(std::uint64_t state) const {
+  return std::find(correct_states.begin(), correct_states.end(), state) !=
+         correct_states.end();
+}
+
+GoldenOutput compute_golden(const circ::QuantumCircuit& circuit,
+                            double tie_tolerance) {
+  require(tie_tolerance > 0.0 && tie_tolerance <= 1.0,
+          "compute_golden: tie_tolerance must be in (0, 1]");
+  GoldenOutput golden;
+  golden.ideal_probs = sim::ideal_clbit_probabilities(circuit);
+  golden.num_clbits = circuit.num_clbits();
+
+  const double max_prob =
+      *std::max_element(golden.ideal_probs.begin(), golden.ideal_probs.end());
+  require(max_prob > 0.0, "compute_golden: degenerate ideal distribution");
+  for (std::uint64_t s = 0; s < golden.ideal_probs.size(); ++s) {
+    if (golden.ideal_probs[s] >= tie_tolerance * max_prob) {
+      golden.correct_states.push_back(s);
+    }
+  }
+  return golden;
+}
+
+GoldenOutput golden_from_expected(std::span<const std::string> bitstrings,
+                                  int num_clbits) {
+  require(!bitstrings.empty(), "golden_from_expected: no expected outputs");
+  GoldenOutput golden;
+  golden.num_clbits = num_clbits;
+  golden.ideal_probs.assign(std::size_t{1} << num_clbits, 0.0);
+  const double share = 1.0 / static_cast<double>(bitstrings.size());
+  for (const auto& bits : bitstrings) {
+    require(static_cast<int>(bits.size()) == num_clbits,
+            "golden_from_expected: bitstring width mismatch");
+    const std::uint64_t state = util::from_bitstring(bits);
+    golden.correct_states.push_back(state);
+    golden.ideal_probs[state] = share;
+  }
+  return golden;
+}
+
+double michelson_contrast(double pa, double pb) {
+  require(pa >= -1e-12 && pb >= -1e-12,
+          "michelson_contrast: negative probability");
+  const double denom = pa + pb;
+  if (denom <= 0.0) return 0.0;
+  return (pa - pb) / denom;
+}
+
+double qvf_from_contrast(double contrast) {
+  require(contrast >= -1.0 - 1e-12 && contrast <= 1.0 + 1e-12,
+          "qvf_from_contrast: contrast out of [-1, 1]");
+  return 1.0 - (contrast + 1.0) / 2.0;
+}
+
+double compute_qvf(std::span<const double> probs, const GoldenOutput& golden) {
+  require(probs.size() == golden.ideal_probs.size(),
+          "compute_qvf: distribution size mismatch");
+  double pa = 0.0;
+  double pb = 0.0;
+  for (std::uint64_t s = 0; s < probs.size(); ++s) {
+    if (golden.is_correct(s)) {
+      pa += probs[s];
+    } else {
+      pb = std::max(pb, probs[s]);
+    }
+  }
+  return qvf_from_contrast(michelson_contrast(pa, pb));
+}
+
+FaultImpact classify_qvf(double qvf, double low, double high) {
+  if (qvf < low) return FaultImpact::Masked;
+  if (qvf > high) return FaultImpact::SilentError;
+  return FaultImpact::Dubious;
+}
+
+const char* to_string(FaultImpact impact) {
+  switch (impact) {
+    case FaultImpact::Masked:
+      return "masked";
+    case FaultImpact::Dubious:
+      return "dubious";
+    case FaultImpact::SilentError:
+      return "silent-error";
+  }
+  return "unknown";
+}
+
+}  // namespace qufi

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qufi {
+
+/// The fault-free reference against which faulty runs are scored.
+struct GoldenOutput {
+  std::vector<std::uint64_t> correct_states;  ///< clbit-space indices
+  std::vector<double> ideal_probs;            ///< noise/fault-free distribution
+  int num_clbits = 0;
+
+  bool is_correct(std::uint64_t state) const;
+};
+
+/// Computes the golden output by ideal simulation: the correct state(s) are
+/// those whose noise-free probability is within `tie_tolerance` of the
+/// maximum (tie_tolerance = 0.5 captures exact multi-state answers like GHZ
+/// while rejecting numerically-small stragglers).
+GoldenOutput compute_golden(const circ::QuantumCircuit& circuit,
+                            double tie_tolerance = 0.5);
+
+/// Builds a golden output from externally-known expected bitstrings
+/// (MSB-first). Used when the algorithm's answer is known analytically.
+GoldenOutput golden_from_expected(std::span<const std::string> bitstrings,
+                                  int num_clbits);
+
+/// Michelson contrast between the correct-state probability mass P(A) and
+/// the strongest incorrect state P(B)  (paper Eq. 1). Returns 0 when both
+/// are zero (completely uninformative output).
+double michelson_contrast(double pa, double pb);
+
+/// Quantum Vulnerability Factor from a contrast value (paper Eq. 2):
+/// QVF = 1 - (contrast + 1) / 2, in [0, 1]; < 0.45 masked, > 0.55 silent
+/// error, in between dubious.
+double qvf_from_contrast(double contrast);
+
+/// QVF of an observed distribution over classical bitstrings against the
+/// golden output. P(A) aggregates all correct states (multi-state circuits
+/// supported, paper §IV-A).
+double compute_qvf(std::span<const double> probs, const GoldenOutput& golden);
+
+/// Classification thresholds used throughout the paper's figures.
+enum class FaultImpact { Masked, Dubious, SilentError };
+FaultImpact classify_qvf(double qvf, double low = 0.45, double high = 0.55);
+const char* to_string(FaultImpact impact);
+
+}  // namespace qufi

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/results.hpp"
+#include "util/stats.hpp"
+
+namespace qufi {
+
+/// Pretty-prints an angle as a multiple of pi ("3pi/4") or degrees.
+std::string angle_label(double radians);
+
+/// Rendering knobs for heatmap reports.
+struct HeatmapReportOptions {
+  bool color = false;
+  /// Delta heatmaps (Fig. 9) are centered on 0: thresholds +-0.05 and the
+  /// value range is [-1, 1].
+  bool delta = false;
+};
+
+/// Terminal rendering of a QVF heatmap, phi on rows (descending, like the
+/// paper's y axis) and theta on columns.
+std::string render_heatmap(const HeatmapGrid& grid, const std::string& title,
+                           const HeatmapReportOptions& options = {});
+
+/// Terminal rendering of a QVF density histogram (Fig. 7 / Fig. 10 style).
+std::string render_histogram(const util::Histogram& hist,
+                             const std::string& title);
+
+/// One-paragraph campaign summary: executions, fault-free QVF, mean/stddev,
+/// masked/dubious/silent breakdown.
+std::string render_campaign_summary(const CampaignResult& result);
+
+/// Side-by-side table of named-fault QVF for two executions (Fig. 11:
+/// simulation vs machine), with absolute differences.
+std::string render_named_fault_comparison(
+    std::span<const NamedFaultQvf> series_a,
+    std::span<const NamedFaultQvf> series_b, const std::string& name_a,
+    const std::string& name_b);
+
+/// Writes a heatmap as CSV (phi rows x theta columns).
+void write_heatmap_csv(const HeatmapGrid& grid, const std::string& path);
+
+}  // namespace qufi

@@ -1,0 +1,197 @@
+#include "core/results.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/qvf.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace qufi {
+
+HeatmapGrid HeatmapGrid::delta(const HeatmapGrid& other) const {
+  require(theta_rad.size() == other.theta_rad.size() &&
+              phi_rad.size() == other.phi_rad.size(),
+          "HeatmapGrid::delta: grid shape mismatch");
+  HeatmapGrid out = *this;
+  for (std::size_t j = 0; j < mean_qvf.size(); ++j) {
+    for (std::size_t i = 0; i < mean_qvf[j].size(); ++i) {
+      out.mean_qvf[j][i] -= other.mean_qvf[j][i];
+      out.samples[j][i] = std::min(samples[j][i], other.samples[j][i]);
+    }
+  }
+  return out;
+}
+
+double HeatmapGrid::at(int phi_index, int theta_index) const {
+  return mean_qvf.at(static_cast<std::size_t>(phi_index))
+      .at(static_cast<std::size_t>(theta_index));
+}
+
+namespace {
+
+HeatmapGrid make_grid(const FaultParamGrid& grid) {
+  HeatmapGrid out;
+  for (int i = 0; i < grid.num_theta(); ++i)
+    out.theta_rad.push_back(grid.theta_at(i));
+  for (int j = 0; j < grid.num_phi(); ++j) out.phi_rad.push_back(grid.phi_at(j));
+  out.mean_qvf.assign(out.phi_rad.size(),
+                      std::vector<double>(out.theta_rad.size(), 0.0));
+  out.samples.assign(out.phi_rad.size(),
+                     std::vector<std::uint64_t>(out.theta_rad.size(), 0));
+  return out;
+}
+
+void finalize_means(HeatmapGrid& grid) {
+  for (std::size_t j = 0; j < grid.mean_qvf.size(); ++j) {
+    for (std::size_t i = 0; i < grid.mean_qvf[j].size(); ++i) {
+      if (grid.samples[j][i] > 0) {
+        grid.mean_qvf[j][i] /= static_cast<double>(grid.samples[j][i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+HeatmapGrid CampaignResult::empty_primary_grid() const {
+  return make_grid(meta.grid);
+}
+
+HeatmapGrid CampaignResult::mean_heatmap() const {
+  HeatmapGrid grid = empty_primary_grid();
+  for (const auto& r : records) {
+    grid.mean_qvf[static_cast<std::size_t>(r.phi_index)]
+                 [static_cast<std::size_t>(r.theta_index)] += r.qvf;
+    ++grid.samples[static_cast<std::size_t>(r.phi_index)]
+                  [static_cast<std::size_t>(r.theta_index)];
+  }
+  finalize_means(grid);
+  return grid;
+}
+
+HeatmapGrid CampaignResult::heatmap_for_logical_qubit(int logical_qubit) const {
+  HeatmapGrid grid = empty_primary_grid();
+  for (const auto& r : records) {
+    if (points[r.point_index].logical_qubit != logical_qubit) continue;
+    grid.mean_qvf[static_cast<std::size_t>(r.phi_index)]
+                 [static_cast<std::size_t>(r.theta_index)] += r.qvf;
+    ++grid.samples[static_cast<std::size_t>(r.phi_index)]
+                  [static_cast<std::size_t>(r.theta_index)];
+  }
+  finalize_means(grid);
+  return grid;
+}
+
+std::vector<int> CampaignResult::logical_qubits() const {
+  std::set<int> seen;
+  for (const auto& p : points) {
+    if (p.logical_qubit >= 0) seen.insert(p.logical_qubit);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+HeatmapGrid CampaignResult::secondary_detail(int theta_index,
+                                             int phi_index) const {
+  require(meta.double_fault,
+          "secondary_detail: campaign has no secondary faults");
+  HeatmapGrid grid = empty_primary_grid();
+  for (const auto& r : records) {
+    if (r.theta_index != theta_index || r.phi_index != phi_index) continue;
+    if (r.theta1_index < 0) continue;
+    grid.mean_qvf[static_cast<std::size_t>(r.phi1_index)]
+                 [static_cast<std::size_t>(r.theta1_index)] += r.qvf;
+    ++grid.samples[static_cast<std::size_t>(r.phi1_index)]
+                  [static_cast<std::size_t>(r.theta1_index)];
+  }
+  finalize_means(grid);
+  return grid;
+}
+
+std::vector<double> CampaignResult::all_qvf() const {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.qvf);
+  return out;
+}
+
+util::Histogram CampaignResult::qvf_histogram(std::size_t bins) const {
+  util::Histogram hist(0.0, 1.0, bins);
+  for (const auto& r : records) hist.add(r.qvf);
+  return hist;
+}
+
+util::RunningStats CampaignResult::qvf_stats() const {
+  util::RunningStats stats;
+  for (const auto& r : records) stats.add(r.qvf);
+  return stats;
+}
+
+CampaignResult::ImpactBreakdown CampaignResult::impact_breakdown() const {
+  ImpactBreakdown b;
+  if (records.empty()) return b;
+  for (const auto& r : records) {
+    switch (classify_qvf(r.qvf)) {
+      case FaultImpact::Masked:
+        b.masked += 1;
+        break;
+      case FaultImpact::Dubious:
+        b.dubious += 1;
+        break;
+      case FaultImpact::SilentError:
+        b.silent += 1;
+        break;
+    }
+  }
+  const double n = static_cast<double>(records.size());
+  b.masked /= n;
+  b.dubious /= n;
+  b.silent /= n;
+  return b;
+}
+
+void CampaignResult::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path);
+  csv.write_row({"# circuit", meta.circuit_name, "backend", meta.backend_name,
+                 "shots", util::CsvWriter::field(meta.shots), "seed",
+                 util::CsvWriter::field(meta.seed), "faultfree_qvf",
+                 util::CsvWriter::field(meta.faultfree_qvf)});
+  csv.write_row({"point_index", "instr_index", "physical_qubit",
+                 "logical_qubit", "moment", "theta", "phi", "neighbor_qubit",
+                 "theta1", "phi1", "qvf", "pa", "pb"});
+  for (const auto& r : records) {
+    const auto& p = points[r.point_index];
+    const bool dbl = r.theta1_index >= 0;
+    csv.write_row(
+        {util::CsvWriter::field(r.point_index),
+         util::CsvWriter::field(p.instr_index),
+         util::CsvWriter::field(p.qubit),
+         util::CsvWriter::field(p.logical_qubit),
+         util::CsvWriter::field(p.moment),
+         util::CsvWriter::field(meta.grid.theta_at(r.theta_index)),
+         util::CsvWriter::field(meta.grid.phi_at(r.phi_index)),
+         util::CsvWriter::field(r.neighbor_qubit),
+         dbl ? util::CsvWriter::field(meta.grid.theta_at(r.theta1_index)) : "",
+         dbl ? util::CsvWriter::field(meta.grid.phi_at(r.phi1_index)) : "",
+         util::CsvWriter::field(r.qvf), util::CsvWriter::field(r.pa),
+         util::CsvWriter::field(r.pb)});
+  }
+}
+
+std::uint64_t single_campaign_executions(std::size_t num_points,
+                                         const FaultParamGrid& grid) {
+  return static_cast<std::uint64_t>(num_points) *
+         static_cast<std::uint64_t>(grid.num_configs());
+}
+
+std::uint64_t double_campaign_executions(std::size_t num_point_neighbor_pairs,
+                                         const FaultParamGrid& primary_grid) {
+  const auto triangle = [](std::uint64_t n) { return n * (n + 1) / 2; };
+  const auto combos = triangle(static_cast<std::uint64_t>(
+                          primary_grid.num_theta())) *
+                      triangle(static_cast<std::uint64_t>(
+                          primary_grid.num_phi()));
+  return static_cast<std::uint64_t>(num_point_neighbor_pairs) * combos;
+}
+
+}  // namespace qufi

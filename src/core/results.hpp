@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fault_model.hpp"
+#include "core/injection.hpp"
+#include "util/stats.hpp"
+
+namespace qufi {
+
+/// One executed injection configuration and its score.
+struct InjectionRecord {
+  std::uint32_t point_index = 0;  ///< into CampaignResult::points
+  std::int32_t theta_index = 0;   ///< primary-fault grid indices
+  std::int32_t phi_index = 0;
+  // Double-fault fields (negative when single fault):
+  std::int32_t neighbor_qubit = -1;
+  std::int32_t theta1_index = -1;
+  std::int32_t phi1_index = -1;
+
+  double qvf = 0.0;
+  double pa = 0.0;  ///< correct-state probability mass
+  double pb = 0.0;  ///< strongest incorrect state
+};
+
+/// (theta, phi)-indexed aggregation of QVF values — the data behind the
+/// paper's heatmap figures. mean_qvf[phi_index][theta_index].
+struct HeatmapGrid {
+  std::vector<double> theta_rad;
+  std::vector<double> phi_rad;
+  std::vector<std::vector<double>> mean_qvf;
+  std::vector<std::vector<std::uint64_t>> samples;
+
+  /// Elementwise difference this - other (paper Fig. 9). Grids must match.
+  HeatmapGrid delta(const HeatmapGrid& other) const;
+
+  double at(int phi_index, int theta_index) const;
+};
+
+/// Campaign-level metadata for reports.
+struct CampaignMetadata {
+  std::string circuit_name;
+  std::string backend_name;
+  int circuit_qubits = 0;
+  int transpiled_gates = 0;
+  FaultParamGrid grid;
+  std::uint64_t shots = 0;  ///< 0 = exact distributions
+  std::uint64_t seed = 0;
+  bool double_fault = false;
+  double faultfree_qvf = 0.0;  ///< QVF of the noisy, fault-free execution
+  std::uint64_t executions = 0;  ///< faulty circuits executed
+  std::uint64_t injections = 0;  ///< paper accounting: executions x shots
+};
+
+/// Full output of a fault-injection campaign plus the aggregations used by
+/// every figure of the paper.
+class CampaignResult {
+ public:
+  CampaignMetadata meta;
+  std::vector<InjectionPoint> points;
+  std::vector<InjectionRecord> records;
+
+  /// Mean QVF per primary (theta, phi) cell over all points (Fig. 5; for
+  /// double campaigns this averages over all secondary combos too, Fig 8b).
+  HeatmapGrid mean_heatmap() const;
+
+  /// Mean heatmap restricted to points attributed to one logical qubit
+  /// (Fig. 6 per-qubit profiles).
+  HeatmapGrid heatmap_for_logical_qubit(int logical_qubit) const;
+
+  /// Distinct logical qubits appearing across points (sorted).
+  std::vector<int> logical_qubits() const;
+
+  /// For double campaigns: QVF over the secondary (theta1, phi1) grid with
+  /// the primary fault fixed (Fig. 8c "explosion plot").
+  HeatmapGrid secondary_detail(int theta_index, int phi_index) const;
+
+  /// All per-record QVF values, in record order.
+  std::vector<double> all_qvf() const;
+
+  util::Histogram qvf_histogram(std::size_t bins = 25) const;
+  util::RunningStats qvf_stats() const;
+
+  /// Fraction of records in each impact class (masked/dubious/silent).
+  struct ImpactBreakdown {
+    double masked = 0.0;
+    double dubious = 0.0;
+    double silent = 0.0;
+  };
+  ImpactBreakdown impact_breakdown() const;
+
+  /// Writes one row per record (plus a metadata header comment).
+  void write_csv(const std::string& path) const;
+
+ private:
+  HeatmapGrid empty_primary_grid() const;
+};
+
+/// Paper-style injection accounting: executions x shots ("we report the
+/// finding of more than 285,249,536 injections").
+std::uint64_t single_campaign_executions(std::size_t num_points,
+                                         const FaultParamGrid& grid);
+std::uint64_t double_campaign_executions(std::size_t num_point_neighbor_pairs,
+                                         const FaultParamGrid& primary_grid);
+
+}  // namespace qufi

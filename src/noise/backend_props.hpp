@@ -1,0 +1,69 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "noise/readout.hpp"
+
+namespace qufi::noise {
+
+/// Per-qubit calibration data, mirroring the fields IBM publishes daily.
+struct QubitProperties {
+  double t1_us = 120.0;  ///< spin-lattice relaxation time
+  double t2_us = 90.0;   ///< spin-spin coherence time (<= 2*T1)
+  ReadoutError readout;  ///< measurement assignment errors
+};
+
+/// Calibration of a gate family on a specific qubit or edge.
+struct GateSpec {
+  double duration_ns = 0.0;
+  double error = 0.0;  ///< average gate infidelity as reported by IBM
+};
+
+/// Snapshot of a machine's calibration: topology plus per-qubit and
+/// per-gate specs. Equivalent of Qiskit's BackendProperties + coupling map;
+/// the fake_* factories below play the role of qiskit.test.mock.Fake*.
+struct BackendProperties {
+  std::string name;
+  int num_qubits = 0;
+  /// Undirected coupling edges, stored with first < second.
+  std::vector<std::pair<int, int>> coupling;
+  std::vector<QubitProperties> qubits;
+  /// Physical single-qubit gate (sx / x) calibration per qubit. rz is
+  /// virtual on IBM hardware: zero duration, zero error.
+  std::vector<GateSpec> gate_1q;
+  /// Two-qubit (cx) calibration per edge.
+  std::map<std::pair<int, int>, GateSpec> gate_2q;
+  double measure_duration_ns = 5351.1;
+
+  /// Order-insensitive edge lookup; throws when (a, b) is not an edge.
+  const GateSpec& cx_spec(int a, int b) const;
+
+  /// True when (a, b) is a coupling edge (order-insensitive).
+  bool connected(int a, int b) const;
+
+  /// Validates internal consistency (sizes, T2 <= 2*T1, edges in range).
+  void validate() const;
+};
+
+/// 7-qubit IBM Falcon "H" topology:  0-1-2, 1-3, 3-5, 4-5, 5-6.
+/// Calibration values modeled on published ibmq_casablanca snapshots.
+BackendProperties fake_casablanca();
+
+/// Same topology as Casablanca with the ibmq_jakarta-like calibration used
+/// for the paper's Fig. 11 hardware comparison.
+BackendProperties fake_jakarta();
+
+/// Line topology 0-1-...-(n-1) with deterministic per-qubit variation.
+BackendProperties fake_linear(int num_qubits);
+
+/// Fully-connected topology (no routing needed); for ablations isolating
+/// algorithmic effects from SWAP overhead.
+BackendProperties fake_fully_connected(int num_qubits);
+
+/// rows x cols grid topology, nearest-neighbor coupling.
+BackendProperties fake_grid(int rows, int cols);
+
+}  // namespace qufi::noise

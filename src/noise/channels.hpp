@@ -1,0 +1,88 @@
+#pragma once
+
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace qufi::noise {
+
+/// Single-qubit quantum channel in Kraus form: rho -> sum_i K_i rho K_i†.
+struct KrausChannel1 {
+  std::vector<util::Mat2> ops;
+
+  /// True when sum K†K == I within tol (trace preserving).
+  bool is_cptp(double tol = 1e-9) const;
+  /// True when the channel is exactly identity (single identity op).
+  bool is_identity(double tol = 1e-12) const;
+};
+
+/// Two-qubit quantum channel in Kraus form.
+struct KrausChannel2 {
+  std::vector<util::Mat4> ops;
+
+  bool is_cptp(double tol = 1e-9) const;
+  bool is_identity(double tol = 1e-12) const;
+};
+
+/// Row-major 16x16 two-qubit channel superoperator over the local index
+/// j = (rowpart << 2) | colpart, each part in gate-operand order
+/// (operand 0 = low bit). Built once per noise model; applied by the
+/// density-matrix simulator in a single kernel pass.
+struct SuperOp2 {
+  std::array<util::cplx, 256> a{};
+};
+
+/// vec_rm(K B K†) = (K (x) conj K) vec_rm(B): one-qubit channel as a 4x4
+/// superoperator over (column bit, row bit).
+util::Mat4 channel_superop(const KrausChannel1& channel);
+
+/// Two-qubit channel as a 16x16 superoperator (see SuperOp2 indexing).
+SuperOp2 channel_superop(const KrausChannel2& channel);
+
+/// Superoperator product: apply `first`, then `second`.
+util::Mat4 compose_superops(const util::Mat4& second, const util::Mat4& first);
+SuperOp2 compose_superops(const SuperOp2& second, const SuperOp2& first);
+
+/// Embeds two independent 1q channel superoperators into the two-qubit
+/// superoperator space: `slot0` acts on gate operand 0, `slot1` on
+/// operand 1.
+SuperOp2 embed_superops(const util::Mat4& slot0, const util::Mat4& slot1);
+
+/// Depolarizing channel: rho -> (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z).
+/// `p` is the probability that one uniformly-random non-identity Pauli is
+/// applied. Relation to average gate infidelity eps: p = 1.5 * eps.
+KrausChannel1 depolarizing1(double p);
+
+/// Two-qubit depolarizing: identity with prob 1-p, each of the 15
+/// non-identity Pauli pairs with prob p/15. p = 1.25 * eps for IBM-reported
+/// two-qubit gate infidelity eps.
+KrausChannel2 depolarizing2(double p);
+
+/// Amplitude damping (T1 decay) with probability gamma of |1> -> |0>.
+KrausChannel1 amplitude_damping(double gamma);
+
+/// Phase damping with dephasing probability lambda.
+KrausChannel1 phase_damping(double lambda);
+
+/// Thermal relaxation over `duration_ns` with relaxation times T1/T2 (us):
+/// amplitude damping gamma = 1 - exp(-t/T1) composed with the pure
+/// dephasing needed so off-diagonals decay as exp(-t/T2).
+/// Requires T1 > 0, 0 < T2 <= 2*T1. duration 0 returns identity.
+KrausChannel1 thermal_relaxation(double duration_ns, double t1_us,
+                                 double t2_us);
+
+/// General Pauli channel: I with prob 1-px-py-pz, X/Y/Z with px/py/pz.
+KrausChannel1 pauli_channel(double px, double py, double pz);
+
+/// Bit flip = pauli_channel(p, 0, 0); phase flip = pauli_channel(0, 0, p).
+KrausChannel1 bit_flip(double p);
+KrausChannel1 phase_flip(double p);
+
+/// Coherent error: a deterministic unitary over-rotation RZ(epsilon)
+/// (single Kraus op). Models gate miscalibration on real hardware.
+KrausChannel1 coherent_z_rotation(double epsilon);
+
+/// Coherent over-rotation about X: RX(epsilon).
+KrausChannel1 coherent_x_rotation(double epsilon);
+
+}  // namespace qufi::noise

@@ -1,0 +1,58 @@
+#include "noise/drift.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace qufi::noise {
+
+namespace {
+
+double drift_factor(util::Xoshiro256pp& rng, double rel_sigma) {
+  return std::clamp(1.0 + rel_sigma * rng.normal(), 0.5, 1.5);
+}
+
+}  // namespace
+
+BackendProperties DriftModel::sample(const BackendProperties& nominal,
+                                     std::uint64_t job_index) const {
+  const std::uint64_t words[] = {seed, job_index, 0xD81FUL};
+  util::Xoshiro256pp rng(util::hash_combine(words));
+
+  BackendProperties out = nominal;
+  out.name = nominal.name + "_drift" + std::to_string(job_index);
+  for (auto& qb : out.qubits) {
+    qb.t1_us *= drift_factor(rng, t1_t2_rel_sigma);
+    qb.t2_us *= drift_factor(rng, t1_t2_rel_sigma);
+    qb.t2_us = std::min(qb.t2_us, 2.0 * qb.t1_us);
+    qb.readout.p_meas1_given0 =
+        std::clamp(qb.readout.p_meas1_given0 * drift_factor(rng, readout_rel_sigma),
+                   0.0, 0.5);
+    qb.readout.p_meas0_given1 =
+        std::clamp(qb.readout.p_meas0_given1 * drift_factor(rng, readout_rel_sigma),
+                   0.0, 0.5);
+  }
+  for (auto& g1 : out.gate_1q) {
+    g1.error = std::clamp(g1.error * drift_factor(rng, gate_error_rel_sigma),
+                          0.0, 1.0);
+  }
+  for (auto& [edge, spec] : out.gate_2q) {
+    spec.error = std::clamp(spec.error * drift_factor(rng, gate_error_rel_sigma),
+                            0.0, 1.0);
+  }
+  return out;
+}
+
+std::vector<DriftModel::CoherentError> DriftModel::sample_coherent(
+    int num_qubits, std::uint64_t job_index) const {
+  const std::uint64_t words[] = {seed, job_index, 0xC0EUL};
+  util::Xoshiro256pp rng(util::hash_combine(words));
+  std::vector<CoherentError> out(static_cast<std::size_t>(num_qubits));
+  for (auto& ce : out) {
+    ce.z_angle = coherent_sigma_rad * rng.normal();
+    ce.x_angle = coherent_sigma_rad * rng.normal();
+  }
+  return out;
+}
+
+}  // namespace qufi::noise

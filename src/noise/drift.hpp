@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "noise/backend_props.hpp"
+
+namespace qufi::noise {
+
+/// Calibration drift model: the substitution for real-hardware execution.
+///
+/// The paper's Fig. 11 compares fault injection on a static noise model
+/// against the physical IBM-Q Jakarta machine, whose noise "is not static
+/// and may slightly change the state probability distribution". We model
+/// that by re-sampling every calibration figure around its nominal value
+/// for each job, plus small coherent over-rotations (gate miscalibration)
+/// that a static Kraus model cannot express.
+///
+/// Sampling is deterministic in (seed, job_index) so experiments reproduce.
+struct DriftModel {
+  double t1_t2_rel_sigma = 0.06;     ///< relative sigma on T1/T2
+  double gate_error_rel_sigma = 0.15;  ///< relative sigma on gate infidelity
+  double readout_rel_sigma = 0.12;   ///< relative sigma on readout errors
+  double coherent_sigma_rad = 0.012; ///< sigma of per-qubit RZ/RX miscalibration
+  std::uint64_t seed = 0x5157464a414bULL;  // "QWFJAK"
+
+  /// Returns a drifted copy of `nominal` for the given job. Relative factors
+  /// are log-normal-ish (1 + sigma * N(0,1), clamped to [0.5, 1.5]) and T2
+  /// is re-clamped to 2*T1.
+  BackendProperties sample(const BackendProperties& nominal,
+                           std::uint64_t job_index) const;
+
+  /// Per-qubit coherent miscalibration angles for the given job; first =
+  /// Z over-rotation, second = X over-rotation (radians), applied after
+  /// every physical 1q gate by the hardware backend.
+  struct CoherentError {
+    double z_angle = 0.0;
+    double x_angle = 0.0;
+  };
+  std::vector<CoherentError> sample_coherent(int num_qubits,
+                                             std::uint64_t job_index) const;
+};
+
+}  // namespace qufi::noise

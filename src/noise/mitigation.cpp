@@ -1,0 +1,51 @@
+#include "noise/mitigation.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qufi::noise {
+
+std::vector<double> mitigate_readout(std::span<const double> observed,
+                                     std::span<const int> clbits,
+                                     std::span<const ReadoutError> errors) {
+  require(clbits.size() == errors.size(),
+          "mitigate_readout: clbit/error count mismatch");
+  require(std::has_single_bit(observed.size()),
+          "mitigate_readout: distribution size must be a power of two");
+  const int num_clbits = std::bit_width(observed.size()) - 1;
+
+  std::vector<double> probs(observed.begin(), observed.end());
+  for (std::size_t k = 0; k < clbits.size(); ++k) {
+    const int c = clbits[k];
+    require(c >= 0 && c < num_clbits, "mitigate_readout: bad clbit index");
+    const double e0 = errors[k].p_meas1_given0;
+    const double e1 = errors[k].p_meas0_given1;
+    const double det = 1.0 - e0 - e1;  // determinant of the confusion matrix
+    require(std::abs(det) > 1e-9,
+            "mitigate_readout: confusion matrix is singular (e0 + e1 == 1)");
+    // Inverse of [[1-e0, e1], [e0, 1-e1]] applied per bit-pair.
+    const std::uint64_t bit = 1ULL << c;
+    for (std::uint64_t j = 0; j < probs.size(); ++j) {
+      if (j & bit) continue;
+      const double m0 = probs[j];
+      const double m1 = probs[j | bit];
+      probs[j] = ((1.0 - e1) * m0 - e1 * m1) / det;
+      probs[j | bit] = (-e0 * m0 + (1.0 - e0) * m1) / det;
+    }
+  }
+
+  // Clip quasi-probabilities and renormalize.
+  double total = 0.0;
+  for (auto& p : probs) {
+    if (p < 0.0) p = 0.0;
+    total += p;
+  }
+  if (total > 0.0) {
+    for (auto& p : probs) p /= total;
+  }
+  return probs;
+}
+
+}  // namespace qufi::noise

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "noise/readout.hpp"
+
+namespace qufi::noise {
+
+/// Readout-error mitigation by confusion-matrix inversion (the standard
+/// "measurement calibration" technique, cf. qiskit.utils.mitigation).
+///
+/// Each clbit's 2x2 confusion matrix
+///     [[1-e0, e1], [e0, 1-e1]]
+/// (e0 = P(read 1|0), e1 = P(read 0|1)) is inverted and applied to the
+/// observed distribution. Inversion can produce small negative
+/// quasi-probabilities from sampling noise; these are clipped to zero and
+/// the vector renormalized.
+///
+/// `clbits[i]` is mitigated with `errors[i]`; other clbits are untouched.
+/// Throws qufi::Error for non-invertible confusion (e0 + e1 == 1).
+std::vector<double> mitigate_readout(std::span<const double> observed,
+                                     std::span<const int> clbits,
+                                     std::span<const ReadoutError> errors);
+
+}  // namespace qufi::noise

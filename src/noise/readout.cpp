@@ -1,0 +1,52 @@
+#include "noise/readout.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace qufi::noise {
+
+void apply_readout_error(std::vector<double>& clbit_probs,
+                         std::span<const int> clbits,
+                         std::span<const ReadoutError> errors) {
+  require(clbits.size() == errors.size(),
+          "apply_readout_error: clbit/error count mismatch");
+  require(std::has_single_bit(clbit_probs.size()),
+          "apply_readout_error: distribution size must be a power of two");
+  const int num_clbits = std::bit_width(clbit_probs.size()) - 1;
+
+  for (std::size_t k = 0; k < clbits.size(); ++k) {
+    const int c = clbits[k];
+    require(c >= 0 && c < num_clbits, "apply_readout_error: bad clbit index");
+    const ReadoutError& e = errors[k];
+    if (e.is_trivial()) continue;
+    const std::uint64_t bit = 1ULL << c;
+    for (std::uint64_t j = 0; j < clbit_probs.size(); ++j) {
+      if (j & bit) continue;
+      const double p0 = clbit_probs[j];
+      const double p1 = clbit_probs[j | bit];
+      clbit_probs[j] = p0 * (1.0 - e.p_meas1_given0) + p1 * e.p_meas0_given1;
+      clbit_probs[j | bit] =
+          p0 * e.p_meas1_given0 + p1 * (1.0 - e.p_meas0_given1);
+    }
+  }
+}
+
+std::uint64_t sample_readout_flips(std::uint64_t outcome,
+                                   std::span<const int> clbits,
+                                   std::span<const ReadoutError> errors,
+                                   util::Xoshiro256pp& rng) {
+  require(clbits.size() == errors.size(),
+          "sample_readout_flips: clbit/error count mismatch");
+  for (std::size_t k = 0; k < clbits.size(); ++k) {
+    const ReadoutError& e = errors[k];
+    if (e.is_trivial()) continue;
+    const std::uint64_t bit = 1ULL << clbits[k];
+    const double flip_prob = (outcome & bit) ? e.p_meas0_given1
+                                             : e.p_meas1_given0;
+    if (rng.uniform() < flip_prob) outcome ^= bit;
+  }
+  return outcome;
+}
+
+}  // namespace qufi::noise

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qufi::noise {
+
+/// Classical measurement assignment error for one qubit.
+struct ReadoutError {
+  double p_meas1_given0 = 0.0;  ///< P(read 1 | prepared 0)
+  double p_meas0_given1 = 0.0;  ///< P(read 0 | prepared 1)
+
+  bool is_trivial() const {
+    return p_meas1_given0 == 0.0 && p_meas0_given1 == 0.0;
+  }
+  /// Mean assignment error, the figure IBM reports per qubit.
+  double mean_error() const { return 0.5 * (p_meas1_given0 + p_meas0_given1); }
+};
+
+/// Applies per-clbit readout confusion to a distribution over classical
+/// bitstrings (size 2^num_clbits). `errors[i]` is the error of the qubit
+/// measured into clbit `clbits[i]`. The confusion matrix factorizes per bit
+/// so this runs one in-place pass per clbit.
+void apply_readout_error(std::vector<double>& clbit_probs,
+                         std::span<const int> clbits,
+                         std::span<const ReadoutError> errors);
+
+/// Sampling version: flips bits of an ideal outcome according to the
+/// per-clbit errors. Used by the trajectory backend per shot.
+std::uint64_t sample_readout_flips(std::uint64_t outcome,
+                                   std::span<const int> clbits,
+                                   std::span<const ReadoutError> errors,
+                                   util::Xoshiro256pp& rng);
+
+}  // namespace qufi::noise

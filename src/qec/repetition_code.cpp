@@ -1,0 +1,122 @@
+#include "qec/repetition_code.hpp"
+
+#include <bit>
+
+#include "util/bitstring.hpp"
+#include "util/error.hpp"
+
+namespace qufi::qec {
+
+using circ::GateKind;
+using circ::QuantumCircuit;
+
+namespace {
+
+void prepare_payload(QuantumCircuit& qc, Payload payload) {
+  if (payload == Payload::One) qc.x(0);
+  if (payload == Payload::Plus) qc.h(0);
+}
+
+/// Maps the payload back to the computational basis so the ideal output is
+/// a deterministic bit.
+void unprepare_payload(QuantumCircuit& qc, Payload payload) {
+  if (payload == Payload::Plus) qc.h(0);
+}
+
+std::string expected_bit(Payload payload) {
+  return payload == Payload::One ? "1" : "0";
+}
+
+}  // namespace
+
+algo::AlgorithmCircuit protected_memory(Payload payload, CodeType code) {
+  const int width = code == CodeType::None ? 1 : 3;
+  QuantumCircuit qc(width, 1);
+  qc.set_name(std::string("memory_") +
+              (code == CodeType::None       ? "plain"
+               : code == CodeType::BitFlip  ? "bitflip3"
+                                            : "phaseflip3"));
+
+  prepare_payload(qc, payload);
+  if (code != CodeType::None) {
+    qc.cx(0, 1).cx(0, 2);
+    if (code == CodeType::PhaseFlip) qc.h(0).h(1).h(2);
+  }
+
+  qc.barrier();  // <- the memory window; faults are injected here
+
+  if (code != CodeType::None) {
+    if (code == CodeType::PhaseFlip) qc.h(0).h(1).h(2);
+    qc.cx(0, 1).cx(0, 2);
+    qc.ccx(1, 2, 0);  // majority correction of the data qubit
+  }
+  unprepare_payload(qc, payload);
+  qc.measure(0, 0);
+
+  return algo::AlgorithmCircuit{std::move(qc), {expected_bit(payload)}};
+}
+
+std::size_t memory_window_index(const circ::QuantumCircuit& circuit) {
+  const auto& instrs = circuit.instructions();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    if (instrs[i].kind == GateKind::Barrier) return i;
+  }
+  throw Error("memory_window_index: no barrier in circuit");
+}
+
+algo::AlgorithmCircuit repetition_memory_measured(int distance,
+                                                  Payload payload,
+                                                  CodeType code) {
+  require(distance >= 1 && distance % 2 == 1,
+          "repetition_memory_measured: distance must be odd");
+  require(code != CodeType::None || distance == 1,
+          "repetition_memory_measured: CodeType::None implies distance 1");
+  require(payload != Payload::Plus,
+          "repetition_memory_measured: majority decoding reads the "
+          "computational basis; use protected_memory for |+>");
+
+  QuantumCircuit qc(distance, distance);
+  qc.set_name("memory_measured_d" + std::to_string(distance));
+  prepare_payload(qc, payload);
+  for (int q = 1; q < distance; ++q) qc.cx(0, q);
+  if (code == CodeType::PhaseFlip) {
+    for (int q = 0; q < distance; ++q) qc.h(q);
+  }
+
+  qc.barrier();
+
+  if (code == CodeType::PhaseFlip) {
+    for (int q = 0; q < distance; ++q) qc.h(q);
+  }
+  // No in-circuit correction: measure every data qubit; the majority vote
+  // happens classically (decode_majority).
+  qc.measure_all();
+
+  return algo::AlgorithmCircuit{
+      std::move(qc), majority_strings(distance, payload == Payload::One)};
+}
+
+std::vector<double> decode_majority(std::span<const double> probs,
+                                    int distance) {
+  require(probs.size() == (std::size_t{1} << distance),
+          "decode_majority: size mismatch");
+  std::vector<double> logical(2, 0.0);
+  for (std::uint64_t s = 0; s < probs.size(); ++s) {
+    const int ones = std::popcount(s);
+    logical[ones * 2 > distance ? 1 : 0] += probs[s];
+  }
+  return logical;
+}
+
+std::vector<std::string> majority_strings(int distance, bool logical_one) {
+  std::vector<std::string> out;
+  for (std::uint64_t s = 0; s < (std::uint64_t{1} << distance); ++s) {
+    const bool majority_is_one = std::popcount(s) * 2 > distance;
+    if (majority_is_one == logical_one) {
+      out.push_back(util::to_bitstring(s, distance));
+    }
+  }
+  return out;
+}
+
+}  // namespace qufi::qec

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.hpp"
+#include "circuit/circuit.hpp"
+
+namespace qufi::qec {
+
+/// Logical payload stored in the protected memory.
+enum class Payload {
+  Zero,  ///< |0>  (classical bit, sensitive to theta/bit-flip faults)
+  One,   ///< |1>  (classical bit, sensitive to theta/bit-flip faults)
+  Plus,  ///< |+>  (phase-sensitive: phi/Z faults flip it)
+};
+
+/// Which repetition code protects the memory window.
+enum class CodeType {
+  None,       ///< unprotected single qubit (baseline)
+  BitFlip,    ///< 3-qubit repetition in the computational basis
+  PhaseFlip,  ///< 3-qubit repetition in the Hadamard basis
+};
+
+/// Quantum-memory experiment (paper §II-B context: "QEC is designed to
+/// protect a qubit from the intrinsic noise ... QEC is inefficient in
+/// handling radiation-induced transient faults").
+///
+/// Circuit: prepare payload on q0 -> encode -> barrier (the *memory window*
+/// where faults are injected) -> decode + Toffoli majority correction ->
+/// un-prepare -> measure q0. Ideal output: "1" for Payload::One, else "0".
+///
+/// The barrier index in the returned circuit marks the fault window; use
+/// memory_window_index() to inject there.
+algo::AlgorithmCircuit protected_memory(Payload payload, CodeType code);
+
+/// Index of the memory-window barrier instruction in a protected_memory
+/// circuit (inject faults right after this instruction).
+std::size_t memory_window_index(const circ::QuantumCircuit& circuit);
+
+/// Measured-decode variant for arbitrary odd distance: encode, window
+/// (+ basis restore for PhaseFlip), then measure every copy; correctness
+/// is judged by a classical majority vote over the measured bits (see
+/// decode_majority / majority_strings).
+/// Supports CodeType::BitFlip and PhaseFlip, Payload::Zero and One.
+algo::AlgorithmCircuit repetition_memory_measured(int distance,
+                                                  Payload payload,
+                                                  CodeType code);
+
+/// Collapses a distribution over `distance` measured bits to the 2-outcome
+/// logical distribution by majority vote.
+std::vector<double> decode_majority(std::span<const double> probs,
+                                    int distance);
+
+/// All bitstrings whose majority equals `logical_one` — the golden set for
+/// majority-decoded repetition memories.
+std::vector<std::string> majority_strings(int distance, bool logical_one);
+
+}  // namespace qufi::qec

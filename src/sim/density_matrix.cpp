@@ -1,0 +1,154 @@
+#include "sim/density_matrix.hpp"
+
+#include "sim/kernels.hpp"
+#include "util/error.hpp"
+
+namespace qufi::sim {
+
+DensityMatrix::DensityMatrix(int num_qubits) : num_qubits_(num_qubits) {
+  require(num_qubits >= 1 && num_qubits <= 12,
+          "DensityMatrix: qubit count out of supported range [1, 12]");
+  dim_ = std::uint64_t{1} << num_qubits;
+  rho_.assign(dim_ * dim_, cplx{});
+  rho_[0] = cplx{1, 0};
+}
+
+DensityMatrix DensityMatrix::from_statevector(const Statevector& sv) {
+  DensityMatrix dm(sv.num_qubits());
+  const auto amps = sv.amplitudes();
+  for (std::uint64_t r = 0; r < dm.dim_; ++r)
+    for (std::uint64_t c = 0; c < dm.dim_; ++c)
+      dm.rho_[(r << dm.num_qubits_) | c] = amps[r] * std::conj(amps[c]);
+  return dm;
+}
+
+cplx DensityMatrix::at(std::uint64_t r, std::uint64_t c) const {
+  require(r < dim_ && c < dim_, "DensityMatrix::at: index out of range");
+  return rho_[(r << num_qubits_) | c];
+}
+
+void DensityMatrix::apply_unitary1(const util::Mat2& u, int q) {
+  require(q >= 0 && q < num_qubits_, "apply_unitary1: qubit out of range");
+  detail::apply_matrix1(rho_, u, q + num_qubits_);          // rows: U rho
+  detail::apply_matrix1(rho_, detail::conj_elementwise(u), q);  // cols: rho U†
+}
+
+void DensityMatrix::apply_unitary2(const util::Mat4& u, int q0, int q1) {
+  require(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 && q1 < num_qubits_ &&
+              q0 != q1,
+          "apply_unitary2: bad qubit operands");
+  detail::apply_matrix2(rho_, u, q0 + num_qubits_, q1 + num_qubits_);
+  detail::apply_matrix2(rho_, detail::conj_elementwise(u), q0, q1);
+}
+
+void DensityMatrix::apply_instruction(const circ::Instruction& instr) {
+  require(instr.is_unitary(),
+          std::string("DensityMatrix: cannot apply non-unitary op ") +
+              instr.name());
+  const auto& info = circ::gate_info(instr.kind);
+  switch (info.num_qubits) {
+    case 1:
+      apply_unitary1(circ::gate_matrix1(instr.kind, instr.params),
+                     instr.qubits[0]);
+      return;
+    case 2:
+      apply_unitary2(circ::gate_matrix2(instr.kind, instr.params),
+                     instr.qubits[0], instr.qubits[1]);
+      return;
+    case 3: {
+      require(instr.kind == circ::GateKind::CCX,
+              "DensityMatrix: unsupported 3-qubit gate");
+      detail::apply_ccx(rho_, instr.qubits[0] + num_qubits_,
+                        instr.qubits[1] + num_qubits_,
+                        instr.qubits[2] + num_qubits_);
+      detail::apply_ccx(rho_, instr.qubits[0], instr.qubits[1],
+                        instr.qubits[2]);
+      return;
+    }
+    default:
+      throw Error("DensityMatrix: unsupported operand count");
+  }
+}
+
+void DensityMatrix::apply_kraus1(std::span<const util::Mat2> kraus, int q) {
+  require(q >= 0 && q < num_qubits_, "apply_kraus1: qubit out of range");
+  require(!kraus.empty(), "apply_kraus1: empty Kraus set");
+  if (kraus.size() == 1) {
+    // Single operator: same machinery as a (possibly non-unitary) gate.
+    detail::apply_matrix1(rho_, kraus[0], q + num_qubits_);
+    detail::apply_matrix1(rho_, detail::conj_elementwise(kraus[0]), q);
+    return;
+  }
+  // Superoperator fast path: vec_rm(K B K†) = (K (x) conj(K)) vec_rm(B), so
+  // the whole channel is one 4x4 matrix over (column bit q, row bit q+n).
+  util::Mat4 superop = util::Mat4::zero();
+  for (const auto& k : kraus) {
+    superop = superop + util::kron(k, detail::conj_elementwise(k));
+  }
+  detail::apply_matrix2(rho_, superop, q, q + num_qubits_);
+}
+
+void DensityMatrix::apply_kraus2(std::span<const util::Mat4> kraus, int q0,
+                                 int q1) {
+  require(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 && q1 < num_qubits_ &&
+              q0 != q1,
+          "apply_kraus2: bad qubit operands");
+  require(!kraus.empty(), "apply_kraus2: empty Kraus set");
+  // 16x16 superoperator over local bits [col q0, col q1, row q0, row q1]:
+  // entry M[(r<<2)|c', ...] = K[row part] * conj(K)[col part].
+  std::array<cplx, 256> superop{};
+  for (const auto& k : kraus) {
+    const util::Mat4 kc = detail::conj_elementwise(k);
+    for (int rr = 0; rr < 4; ++rr) {
+      for (int rc = 0; rc < 4; ++rc) {
+        for (int cr = 0; cr < 4; ++cr) {
+          for (int cc = 0; cc < 4; ++cc) {
+            superop[static_cast<std::size_t>(((rr << 2) | rc) * 16 +
+                                             ((cr << 2) | cc))] +=
+                k(rr, cr) * kc(rc, cc);
+          }
+        }
+      }
+    }
+  }
+  const int bits[] = {q0, q1, q0 + num_qubits_, q1 + num_qubits_};
+  detail::apply_matrix_k(rho_, superop, bits);
+}
+
+void DensityMatrix::apply_superop1(const util::Mat4& superop, int q) {
+  require(q >= 0 && q < num_qubits_, "apply_superop1: qubit out of range");
+  detail::apply_matrix2(rho_, superop, q, q + num_qubits_);
+}
+
+void DensityMatrix::apply_superop2(std::span<const util::cplx> superop,
+                                   int q0, int q1) {
+  require(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 && q1 < num_qubits_ &&
+              q0 != q1,
+          "apply_superop2: bad qubit operands");
+  require(superop.size() == 256, "apply_superop2: need a 16x16 matrix");
+  const int bits[] = {q0, q1, q0 + num_qubits_, q1 + num_qubits_};
+  detail::apply_matrix_k(rho_, superop, bits);
+}
+
+std::vector<double> DensityMatrix::probabilities() const {
+  std::vector<double> probs(dim_);
+  for (std::uint64_t i = 0; i < dim_; ++i)
+    probs[i] = rho_[(i << num_qubits_) | i].real();
+  return probs;
+}
+
+double DensityMatrix::trace() const {
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < dim_; ++i)
+    t += rho_[(i << num_qubits_) | i].real();
+  return t;
+}
+
+double DensityMatrix::purity() const {
+  // tr(rho^2) = sum_{r,c} rho[r,c] * rho[c,r] = sum |rho[r,c]|^2 (Hermitian).
+  double sum = 0.0;
+  for (const auto& v : rho_) sum += std::norm(v);
+  return sum;
+}
+
+}  // namespace qufi::sim

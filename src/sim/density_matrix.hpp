@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/statevector.hpp"
+#include "util/matrix.hpp"
+
+namespace qufi::sim {
+
+/// Mixed-state simulator: the full 2^n x 2^n density matrix, row-major.
+///
+/// This is the exact noisy-execution engine: unitaries evolve the state as
+/// rho -> U rho U†, noise is applied through Kraus channels, and the final
+/// diagonal gives exact outcome probabilities (no sampling noise) — the
+/// equivalent of Qiskit Aer's density_matrix method used by the paper's
+/// noise-model scenario.
+///
+/// Implementation note: rho is stored flat with index (row << n) | col, so
+/// a unitary on qubit q is one statevector-style kernel pass over the row
+/// bit (q + n) followed by the elementwise-conjugate matrix over the column
+/// bit q.
+class DensityMatrix {
+ public:
+  /// Initializes |0...0><0...0|.
+  explicit DensityMatrix(int num_qubits);
+
+  /// rho = |psi><psi|.
+  static DensityMatrix from_statevector(const Statevector& sv);
+
+  int num_qubits() const { return num_qubits_; }
+  std::uint64_t dim() const { return std::uint64_t{1} << num_qubits_; }
+
+  /// Element rho[r, c].
+  cplx at(std::uint64_t r, std::uint64_t c) const;
+
+  /// Applies a single-qubit unitary on qubit q.
+  void apply_unitary1(const util::Mat2& u, int q);
+  /// Applies a two-qubit unitary; operand 0 is the low local bit.
+  void apply_unitary2(const util::Mat4& u, int q0, int q1);
+
+  /// Applies one unitary circuit instruction.
+  void apply_instruction(const circ::Instruction& instr);
+
+  /// Applies a single-qubit Kraus channel {K_i}: rho -> sum K rho K†.
+  void apply_kraus1(std::span<const util::Mat2> kraus, int q);
+  /// Applies a two-qubit Kraus channel.
+  void apply_kraus2(std::span<const util::Mat4> kraus, int q0, int q1);
+
+  /// Fast path: applies a precomputed 1q channel superoperator (4x4 over
+  /// (column bit, row bit), as built by noise::channel_superop).
+  void apply_superop1(const util::Mat4& superop, int q);
+  /// Fast path: applies a precomputed 2q channel superoperator (16x16,
+  /// local index (rowpart << 2) | colpart, operand 0 = low bit).
+  void apply_superop2(std::span<const util::cplx> superop, int q0, int q1);
+
+  /// Diagonal of rho: probability of each basis state.
+  std::vector<double> probabilities() const;
+
+  /// tr(rho); should stay ~1 under CPTP evolution.
+  double trace() const;
+
+  /// tr(rho^2); 1 for pure states, 1/2^n for the maximally mixed state.
+  double purity() const;
+
+ private:
+  int num_qubits_;
+  std::uint64_t dim_;
+  std::vector<cplx> rho_;
+};
+
+}  // namespace qufi::sim

@@ -1,0 +1,51 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qufi::sim {
+
+double expectation_z(const Statevector& sv, int qubit) {
+  const double p1 = sv.probability_one(qubit);
+  return 1.0 - 2.0 * p1;
+}
+
+std::vector<double> marginal_probabilities(std::span<const double> probs,
+                                           std::span<const int> qubits,
+                                           int num_qubits) {
+  require(probs.size() == (std::size_t{1} << num_qubits),
+          "marginal_probabilities: size mismatch");
+  for (int q : qubits)
+    require(q >= 0 && q < num_qubits,
+            "marginal_probabilities: qubit out of range");
+  std::vector<double> out(std::size_t{1} << qubits.size(), 0.0);
+  for (std::uint64_t i = 0; i < probs.size(); ++i) {
+    if (probs[i] == 0.0) continue;
+    std::uint64_t j = 0;
+    for (std::size_t k = 0; k < qubits.size(); ++k) {
+      if ((i >> qubits[k]) & 1ULL) j |= 1ULL << k;
+    }
+    out[j] += probs[i];
+  }
+  return out;
+}
+
+double total_variation_distance(std::span<const double> p,
+                                std::span<const double> q) {
+  require(p.size() == q.size(), "total_variation_distance: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) sum += std::abs(p[i] - q[i]);
+  return 0.5 * sum;
+}
+
+double hellinger_fidelity(std::span<const double> p,
+                          std::span<const double> q) {
+  require(p.size() == q.size(), "hellinger_fidelity: size mismatch");
+  double bc = 0.0;  // Bhattacharyya coefficient
+  for (std::size_t i = 0; i < p.size(); ++i)
+    bc += std::sqrt(std::max(0.0, p[i]) * std::max(0.0, q[i]));
+  return bc * bc;
+}
+
+}  // namespace qufi::sim

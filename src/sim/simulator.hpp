@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/statevector.hpp"
+
+namespace qufi::sim {
+
+/// <Z> on `qubit` for a pure state: P(0) - P(1).
+double expectation_z(const Statevector& sv, int qubit);
+
+/// Marginal distribution of `probs` (over 2^n states) restricted to the
+/// given qubits; result is indexed with qubits[0] as the low bit.
+std::vector<double> marginal_probabilities(std::span<const double> probs,
+                                           std::span<const int> qubits,
+                                           int num_qubits);
+
+/// Total variation distance: 0.5 * sum |p_i - q_i| in [0, 1].
+double total_variation_distance(std::span<const double> p,
+                                std::span<const double> q);
+
+/// Hellinger fidelity (sum sqrt(p_i q_i))^2 in [0, 1]; 1 for identical
+/// distributions. Used to compare backend outputs in tests and ablations.
+double hellinger_fidelity(std::span<const double> p, std::span<const double> q);
+
+}  // namespace qufi::sim

@@ -1,0 +1,103 @@
+#include "sim/unitary.hpp"
+
+#include <cmath>
+
+#include "sim/kernels.hpp"
+#include "sim/statevector.hpp"
+#include "util/bitstring.hpp"
+#include "util/error.hpp"
+
+namespace qufi::sim {
+
+DenseUnitary::DenseUnitary(int num_qubits) : num_qubits_(num_qubits) {
+  require(num_qubits >= 1 && num_qubits <= 10,
+          "DenseUnitary: qubit count out of supported range [1, 10]");
+  const std::uint64_t d = dim();
+  m_.assign(d * d, util::cplx{});
+  for (std::uint64_t i = 0; i < d; ++i) at(i, i) = util::cplx{1, 0};
+}
+
+util::cplx& DenseUnitary::at(std::uint64_t r, std::uint64_t c) {
+  return m_[r * dim() + c];
+}
+
+const util::cplx& DenseUnitary::at(std::uint64_t r, std::uint64_t c) const {
+  return m_[r * dim() + c];
+}
+
+double DenseUnitary::distance(const DenseUnitary& other) const {
+  require(num_qubits_ == other.num_qubits_, "distance: dimension mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m_.size(); ++i)
+    sum += std::norm(m_[i] - other.m_[i]);
+  return std::sqrt(sum);
+}
+
+bool DenseUnitary::equal_up_to_phase(const DenseUnitary& other,
+                                     double tol) const {
+  require(num_qubits_ == other.num_qubits_,
+          "equal_up_to_phase: dimension mismatch");
+  // Find the largest entry of `other` and compute the relative phase there.
+  std::size_t best = 0;
+  double best_mag = 0.0;
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    const double mag = std::abs(other.m_[i]);
+    if (mag > best_mag) {
+      best_mag = mag;
+      best = i;
+    }
+  }
+  if (best_mag < 1e-12) return distance(other) <= tol;
+  util::cplx phase = m_[best] / other.m_[best];
+  const double pm = std::abs(phase);
+  if (pm < 1e-12) return false;
+  phase /= pm;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m_.size(); ++i)
+    sum += std::norm(m_[i] - phase * other.m_[i]);
+  return std::sqrt(sum) <= tol;
+}
+
+DenseUnitary DenseUnitary::permute_qubits(const std::vector<int>& perm) const {
+  require(static_cast<int>(perm.size()) == num_qubits_,
+          "permute_qubits: permutation size mismatch");
+  const auto map_index = [&](std::uint64_t i) {
+    std::uint64_t out = 0;
+    for (int q = 0; q < num_qubits_; ++q) {
+      if ((i >> q) & 1ULL)
+        out |= 1ULL << perm[static_cast<std::size_t>(q)];
+    }
+    return out;
+  };
+  DenseUnitary out(num_qubits_);
+  const std::uint64_t d = dim();
+  for (std::uint64_t r = 0; r < d; ++r)
+    for (std::uint64_t c = 0; c < d; ++c)
+      out.at(map_index(r), map_index(c)) = at(r, c);
+  return out;
+}
+
+DenseUnitary unitary_of(const circ::QuantumCircuit& circuit) {
+  DenseUnitary u(circuit.num_qubits());
+  const std::uint64_t d = u.dim();
+  // Apply the circuit to each basis column via the statevector kernels.
+  for (std::uint64_t col = 0; col < d; ++col) {
+    std::vector<util::cplx> amps(d, util::cplx{});
+    amps[col] = util::cplx{1, 0};
+    Statevector sv = Statevector::from_amplitudes(std::move(amps));
+    for (const auto& instr : circuit.instructions()) {
+      if (instr.kind == circ::GateKind::Barrier ||
+          instr.kind == circ::GateKind::Measure) {
+        continue;
+      }
+      require(instr.kind != circ::GateKind::Reset,
+              "unitary_of: circuit contains Reset");
+      sv.apply_instruction(instr);
+    }
+    const auto out = sv.amplitudes();
+    for (std::uint64_t r = 0; r < d; ++r) u.at(r, col) = out[r];
+  }
+  return u;
+}
+
+}  // namespace qufi::sim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "util/matrix.hpp"
+
+namespace qufi::sim {
+
+/// Dense 2^n x 2^n unitary, row-major. Testing oracle: lets property tests
+/// assert full semantic equivalence of circuits (e.g. original vs
+/// transpiled) instead of spot-checking a few inputs.
+class DenseUnitary {
+ public:
+  explicit DenseUnitary(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  std::uint64_t dim() const { return std::uint64_t{1} << num_qubits_; }
+
+  util::cplx& at(std::uint64_t r, std::uint64_t c);
+  const util::cplx& at(std::uint64_t r, std::uint64_t c) const;
+
+  /// ||this - other||_F.
+  double distance(const DenseUnitary& other) const;
+
+  /// True when this == e^{i phase} * other within tol.
+  bool equal_up_to_phase(const DenseUnitary& other, double tol = 1e-9) const;
+
+  /// Returns the unitary conjugated by a qubit relabeling: qubit q of this
+  /// becomes qubit perm[q] of the result. Used to compare a transpiled
+  /// (physically laid-out) circuit against the original logical circuit.
+  DenseUnitary permute_qubits(const std::vector<int>& perm) const;
+
+ private:
+  int num_qubits_;
+  std::vector<util::cplx> m_;
+};
+
+/// Builds the full unitary of a circuit (unitary instructions only; Barrier
+/// skipped, Measure/Reset throw). Intended for n <= 10.
+DenseUnitary unitary_of(const circ::QuantumCircuit& circuit);
+
+}  // namespace qufi::sim

@@ -1,0 +1,89 @@
+#include "transpile/coupling.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace qufi::transpile {
+
+CouplingMap::CouplingMap(int num_qubits,
+                         std::span<const std::pair<int, int>> edges)
+    : num_qubits_(num_qubits) {
+  require(num_qubits >= 1, "CouplingMap: need at least one qubit");
+  adj_.resize(static_cast<std::size_t>(num_qubits));
+  for (auto [a, b] : edges) {
+    require(a >= 0 && a < num_qubits && b >= 0 && b < num_qubits,
+            "CouplingMap: edge endpoint out of range");
+    require(a != b, "CouplingMap: self edge");
+    const auto key = std::pair{std::min(a, b), std::max(a, b)};
+    if (std::find(edges_.begin(), edges_.end(), key) != edges_.end()) continue;
+    edges_.push_back(key);
+    adj_[static_cast<std::size_t>(a)].push_back(b);
+    adj_[static_cast<std::size_t>(b)].push_back(a);
+  }
+  for (auto& nbrs : adj_) std::sort(nbrs.begin(), nbrs.end());
+
+  // All-pairs BFS.
+  dist_.assign(static_cast<std::size_t>(num_qubits),
+               std::vector<int>(static_cast<std::size_t>(num_qubits), -1));
+  for (int src = 0; src < num_qubits; ++src) {
+    auto& d = dist_[static_cast<std::size_t>(src)];
+    d[static_cast<std::size_t>(src)] = 0;
+    std::deque<int> queue{src};
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (int v : adj_[static_cast<std::size_t>(u)]) {
+        if (d[static_cast<std::size_t>(v)] < 0) {
+          d[static_cast<std::size_t>(v)] = d[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+CouplingMap CouplingMap::from_backend(const noise::BackendProperties& props) {
+  return CouplingMap(props.num_qubits, props.coupling);
+}
+
+bool CouplingMap::connected(int a, int b) const { return distance(a, b) == 1; }
+
+const std::vector<int>& CouplingMap::neighbors(int q) const {
+  require(q >= 0 && q < num_qubits_, "CouplingMap: qubit out of range");
+  return adj_[static_cast<std::size_t>(q)];
+}
+
+int CouplingMap::distance(int a, int b) const {
+  require(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_,
+          "CouplingMap: qubit out of range");
+  return dist_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+std::vector<int> CouplingMap::shortest_path(int a, int b) const {
+  const int d = distance(a, b);
+  require(d >= 0, "CouplingMap: qubits are not connected");
+  std::vector<int> path{a};
+  int current = a;
+  while (current != b) {
+    // Greedy descent on the distance field.
+    for (int v : adj_[static_cast<std::size_t>(current)]) {
+      if (distance(v, b) == distance(current, b) - 1) {
+        current = v;
+        path.push_back(v);
+        break;
+      }
+    }
+  }
+  return path;
+}
+
+bool CouplingMap::is_connected() const {
+  for (int q = 1; q < num_qubits_; ++q) {
+    if (distance(0, q) < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace qufi::transpile

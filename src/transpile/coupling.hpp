@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "noise/backend_props.hpp"
+
+namespace qufi::transpile {
+
+/// Qubit connectivity graph of a device, with precomputed all-pairs BFS
+/// distances (devices here are <= a few dozen qubits).
+class CouplingMap {
+ public:
+  /// Builds from undirected edges. Throws on out-of-range or self edges.
+  CouplingMap(int num_qubits, std::span<const std::pair<int, int>> edges);
+
+  static CouplingMap from_backend(const noise::BackendProperties& props);
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  /// True when a and b share an edge.
+  bool connected(int a, int b) const;
+
+  /// Sorted neighbor list of q.
+  const std::vector<int>& neighbors(int q) const;
+
+  /// Hop distance between a and b; -1 when unreachable.
+  int distance(int a, int b) const;
+
+  /// One shortest path from a to b, inclusive of both endpoints.
+  /// Throws when unreachable.
+  std::vector<int> shortest_path(int a, int b) const;
+
+  /// True when the whole graph is one connected component.
+  bool is_connected() const;
+
+ private:
+  int num_qubits_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<std::vector<int>> dist_;  // -1 = unreachable
+};
+
+}  // namespace qufi::transpile

@@ -1,0 +1,198 @@
+#include "transpile/decompose.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace qufi::transpile {
+
+using circ::GateKind;
+using circ::Instruction;
+using circ::QuantumCircuit;
+using util::Mat2;
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kTol = 1e-9;
+
+/// Wraps an angle into (-pi, pi].
+double wrap_angle(double a) {
+  a = std::fmod(a, 2 * kPi);
+  if (a > kPi) a -= 2 * kPi;
+  if (a <= -kPi) a += 2 * kPi;
+  return a;
+}
+
+bool angle_is_zero(double a) { return std::abs(wrap_angle(a)) < 1e-10; }
+
+void emit_rz(QuantumCircuit& qc, double angle, int qubit) {
+  angle = wrap_angle(angle);
+  if (!angle_is_zero(angle)) qc.rz(angle, qubit);
+}
+
+}  // namespace
+
+EulerAngles euler_angles(const Mat2& u) {
+  require(u.is_unitary(1e-8), "euler_angles: matrix is not unitary");
+  EulerAngles e;
+  const double m00 = std::abs(u(0, 0));
+  const double m10 = std::abs(u(1, 0));
+  e.theta = 2.0 * std::atan2(m10, m00);
+  if (m10 < kTol) {
+    // Diagonal: theta ~ 0. Fold the whole relative phase into lambda.
+    e.phase = std::arg(u(0, 0));
+    e.phi = 0.0;
+    e.lambda = wrap_angle(std::arg(u(1, 1)) - e.phase);
+    e.theta = 0.0;
+  } else if (m00 < kTol) {
+    // Anti-diagonal: theta ~ pi; phase is absorbed into phi and lambda.
+    e.phase = 0.0;
+    e.theta = kPi;
+    e.phi = std::arg(u(1, 0));
+    e.lambda = std::arg(-u(0, 1));
+  } else {
+    e.phase = std::arg(u(0, 0));
+    e.phi = wrap_angle(std::arg(u(1, 0)) - e.phase);
+    e.lambda = wrap_angle(std::arg(-u(0, 1)) - e.phase);
+  }
+  return e;
+}
+
+void append_1q_basis(QuantumCircuit& circuit, const Mat2& u, int qubit) {
+  const EulerAngles e = euler_angles(u);
+
+  if (std::abs(e.theta) < kTol) {
+    emit_rz(circuit, e.phi + e.lambda, qubit);
+    return;
+  }
+  // Exact X: U(pi, 0, pi).
+  if (std::abs(e.theta - kPi) < kTol && angle_is_zero(e.phi) &&
+      angle_is_zero(e.lambda - kPi)) {
+    circuit.x(qubit);
+    return;
+  }
+  if (std::abs(e.theta - kPi / 2) < kTol) {
+    // U(pi/2, phi, lambda) = e^{ig} RZ(phi+pi/2) SX RZ(lambda-pi/2).
+    emit_rz(circuit, e.lambda - kPi / 2, qubit);
+    circuit.sx(qubit);
+    emit_rz(circuit, e.phi + kPi / 2, qubit);
+    return;
+  }
+  // General ZSX: U(theta, phi, lambda)
+  //   = e^{ig} RZ(phi+pi) SX RZ(theta+pi) SX RZ(lambda).
+  emit_rz(circuit, e.lambda, qubit);
+  circuit.sx(qubit);
+  emit_rz(circuit, e.theta + kPi, qubit);
+  circuit.sx(qubit);
+  emit_rz(circuit, e.phi + kPi, qubit);
+}
+
+bool in_basis(GateKind kind) {
+  switch (kind) {
+    case GateKind::RZ:
+    case GateKind::SX:
+    case GateKind::X:
+    case GateKind::CX:
+    case GateKind::Barrier:
+    case GateKind::Measure:
+    case GateKind::Reset:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+/// Appends Qiskit's exact controlled-U(theta, phi, lambda) network
+/// (2 cx + 1q rotations) to `qc`.
+void append_controlled_u(QuantumCircuit& qc, double theta, double phi,
+                         double lambda, int control, int target) {
+  qc.p((lambda + phi) / 2, control);
+  qc.p((lambda - phi) / 2, target);
+  qc.cx(control, target);
+  qc.u(-theta / 2, 0.0, -(phi + lambda) / 2, target);
+  qc.cx(control, target);
+  qc.u(theta / 2, phi, 0.0, target);
+}
+
+/// One level of expansion of a non-basis instruction into simpler gates.
+/// Returned gates may themselves need further lowering.
+QuantumCircuit expand(const Instruction& instr, int num_qubits) {
+  QuantumCircuit qc(num_qubits);
+  const auto q = instr.qubits;
+  switch (instr.kind) {
+    case GateKind::SWAP:
+      qc.cx(q[0], q[1]).cx(q[1], q[0]).cx(q[0], q[1]);
+      return qc;
+    case GateKind::CZ:
+      qc.h(q[1]).cx(q[0], q[1]).h(q[1]);
+      return qc;
+    case GateKind::CY:
+      qc.sdg(q[1]).cx(q[0], q[1]).s(q[1]);
+      return qc;
+    case GateKind::CH:
+      // H = U(pi/2, 0, pi) exactly.
+      append_controlled_u(qc, kPi / 2, 0.0, kPi, q[0], q[1]);
+      return qc;
+    case GateKind::CP: {
+      const double lam = instr.params[0];
+      qc.p(lam / 2, q[0]);
+      qc.cx(q[0], q[1]);
+      qc.p(-lam / 2, q[1]);
+      qc.cx(q[0], q[1]);
+      qc.p(lam / 2, q[1]);
+      return qc;
+    }
+    case GateKind::CRZ: {
+      const double lam = instr.params[0];
+      qc.rz(lam / 2, q[1]);
+      qc.cx(q[0], q[1]);
+      qc.rz(-lam / 2, q[1]);
+      qc.cx(q[0], q[1]);
+      return qc;
+    }
+    case GateKind::CCX: {
+      const int a = q[0], b = q[1], c = q[2];
+      qc.h(c);
+      qc.cx(b, c).tdg(c);
+      qc.cx(a, c).t(c);
+      qc.cx(b, c).tdg(c);
+      qc.cx(a, c).t(b).t(c).h(c);
+      qc.cx(a, b).t(a).tdg(b);
+      qc.cx(a, b);
+      return qc;
+    }
+    default:
+      throw Error(std::string("expand: no decomposition for ") +
+                  circ::gate_info(instr.kind).name);
+  }
+}
+
+void lower_into(const Instruction& instr, QuantumCircuit& out) {
+  if (in_basis(instr.kind)) {
+    out.append(instr);
+    return;
+  }
+  const auto& info = circ::gate_info(instr.kind);
+  if (info.is_unitary && info.num_qubits == 1) {
+    append_1q_basis(out, circ::gate_matrix1(instr.kind, instr.params),
+                    instr.qubits[0]);
+    return;
+  }
+  const QuantumCircuit expanded = expand(instr, out.num_qubits());
+  for (const auto& sub : expanded.instructions()) lower_into(sub, out);
+}
+
+}  // namespace
+
+QuantumCircuit decompose_to_basis(const QuantumCircuit& input) {
+  QuantumCircuit out(input.num_qubits(), input.num_clbits());
+  out.set_name(input.name());
+  for (const auto& instr : input.instructions()) lower_into(instr, out);
+  return out;
+}
+
+}  // namespace qufi::transpile

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "util/matrix.hpp"
+
+namespace qufi::transpile {
+
+/// ZYZ Euler decomposition of a 2x2 unitary:
+/// u = e^{i phase} * U(theta, phi, lambda)   (paper Eq. 3 convention).
+struct EulerAngles {
+  double theta = 0.0;
+  double phi = 0.0;
+  double lambda = 0.0;
+  double phase = 0.0;
+};
+
+/// Extracts the Euler angles of `u` (must be unitary within 1e-8).
+EulerAngles euler_angles(const util::Mat2& u);
+
+/// Appends the minimal {rz, sx, x} realization of a 1q unitary to `circuit`
+/// on `qubit` (IBM's "ZSX" basis):
+///   theta ~ 0      -> rz(phi+lambda)                       (0 physical gates)
+///   theta ~ pi/2   -> rz(lambda-pi/2) sx rz(phi+pi/2)      (1 physical gate)
+///   otherwise      -> rz(lambda) sx rz(theta+pi) sx rz(phi+pi)
+/// Near-identity rz rotations are dropped. Global phase is discarded.
+void append_1q_basis(circ::QuantumCircuit& circuit, const util::Mat2& u,
+                     int qubit);
+
+/// True when `kind` is in the hardware basis {rz, sx, x, cx} or is a
+/// non-unitary directive (barrier / measure / reset).
+bool in_basis(circ::GateKind kind);
+
+/// Lowers every instruction to the basis {rz, sx, x, cx}: 1q gates via
+/// append_1q_basis, swap -> 3 cx, cz/cy/ch/cp/crz -> cx + 1q, ccx -> the
+/// standard 6-cx network. Idempotent on already-lowered circuits.
+circ::QuantumCircuit decompose_to_basis(const circ::QuantumCircuit& input);
+
+}  // namespace qufi::transpile

@@ -1,0 +1,162 @@
+#include "transpile/layout.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace qufi::transpile {
+
+Layout Layout::from_l2p(std::vector<int> l2p, int num_physical) {
+  Layout layout;
+  layout.p2l.assign(static_cast<std::size_t>(num_physical), -1);
+  for (std::size_t l = 0; l < l2p.size(); ++l) {
+    const int p = l2p[l];
+    require(p >= 0 && p < num_physical, "Layout: physical index out of range");
+    require(layout.p2l[static_cast<std::size_t>(p)] < 0,
+            "Layout: duplicate physical assignment");
+    layout.p2l[static_cast<std::size_t>(p)] = static_cast<int>(l);
+  }
+  layout.l2p = std::move(l2p);
+  return layout;
+}
+
+void Layout::swap_physical(int pa, int pb) {
+  const int la = p2l.at(static_cast<std::size_t>(pa));
+  const int lb = p2l.at(static_cast<std::size_t>(pb));
+  std::swap(p2l[static_cast<std::size_t>(pa)],
+            p2l[static_cast<std::size_t>(pb)]);
+  if (la >= 0) l2p[static_cast<std::size_t>(la)] = pb;
+  if (lb >= 0) l2p[static_cast<std::size_t>(lb)] = pa;
+}
+
+Layout trivial_layout(int num_logical, int num_physical) {
+  require(num_logical <= num_physical,
+          "trivial_layout: circuit needs more qubits than the device has");
+  std::vector<int> l2p(static_cast<std::size_t>(num_logical));
+  for (int l = 0; l < num_logical; ++l) l2p[static_cast<std::size_t>(l)] = l;
+  return Layout::from_l2p(std::move(l2p), num_physical);
+}
+
+namespace {
+
+/// Grows a connected set of size k from `seed`, preferring candidates with
+/// the most edges into the current set (ties: lower index, deterministic).
+/// Returns the selected physical qubits in insertion order, or empty if the
+/// component is too small.
+std::vector<int> grow_dense_set(int seed, int k, const CouplingMap& coupling) {
+  std::vector<int> selected{seed};
+  std::vector<bool> in_set(static_cast<std::size_t>(coupling.num_qubits()),
+                           false);
+  in_set[static_cast<std::size_t>(seed)] = true;
+  while (static_cast<int>(selected.size()) < k) {
+    int best = -1;
+    int best_links = -1;
+    for (int q : selected) {
+      for (int nb : coupling.neighbors(q)) {
+        if (in_set[static_cast<std::size_t>(nb)]) continue;
+        int links = 0;
+        for (int nb2 : coupling.neighbors(nb)) {
+          if (in_set[static_cast<std::size_t>(nb2)]) ++links;
+        }
+        if (links > best_links || (links == best_links && nb < best)) {
+          best_links = links;
+          best = nb;
+        }
+      }
+    }
+    if (best < 0) return {};  // component exhausted
+    selected.push_back(best);
+    in_set[static_cast<std::size_t>(best)] = true;
+  }
+  return selected;
+}
+
+int internal_edges(const std::vector<int>& set, const CouplingMap& coupling) {
+  int count = 0;
+  for (std::size_t i = 0; i < set.size(); ++i)
+    for (std::size_t j = i + 1; j < set.size(); ++j)
+      if (coupling.connected(set[i], set[j])) ++count;
+  return count;
+}
+
+}  // namespace
+
+Layout dense_layout(int num_logical, const CouplingMap& coupling) {
+  require(num_logical >= 1, "dense_layout: need at least one logical qubit");
+  require(num_logical <= coupling.num_qubits(),
+          "dense_layout: circuit needs more qubits than the device has");
+
+  std::vector<int> best_set;
+  int best_score = -1;
+  for (int seed = 0; seed < coupling.num_qubits(); ++seed) {
+    const auto set = grow_dense_set(seed, num_logical, coupling);
+    if (set.empty()) continue;
+    const int score = internal_edges(set, coupling);
+    if (score > best_score) {
+      best_score = score;
+      best_set = set;
+    }
+  }
+  require(!best_set.empty(),
+          "dense_layout: no connected subgraph of the required size");
+  // Logical i -> i-th selected qubit (BFS insertion order keeps logically
+  // adjacent indices physically close for chain-structured circuits).
+  return Layout::from_l2p(best_set, coupling.num_qubits());
+}
+
+Layout noise_adaptive_layout(int num_logical, const CouplingMap& coupling,
+                             const noise::BackendProperties& props) {
+  require(num_logical <= coupling.num_qubits(),
+          "noise_adaptive_layout: circuit too wide for device");
+  require(props.num_qubits == coupling.num_qubits(),
+          "noise_adaptive_layout: backend/coupling size mismatch");
+
+  // Per-qubit badness: readout + 1q error; per-edge badness: cx error.
+  const auto qubit_cost = [&](int q) {
+    return props.qubits[static_cast<std::size_t>(q)].readout.mean_error() +
+           props.gate_1q[static_cast<std::size_t>(q)].error;
+  };
+
+  std::vector<int> best_set;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int seed = 0; seed < coupling.num_qubits(); ++seed) {
+    std::vector<int> selected{seed};
+    std::vector<bool> in_set(static_cast<std::size_t>(coupling.num_qubits()),
+                             false);
+    in_set[static_cast<std::size_t>(seed)] = true;
+    double cost = qubit_cost(seed);
+    while (static_cast<int>(selected.size()) < num_logical) {
+      int best = -1;
+      double best_delta = std::numeric_limits<double>::infinity();
+      for (int q : selected) {
+        for (int nb : coupling.neighbors(q)) {
+          if (in_set[static_cast<std::size_t>(nb)]) continue;
+          double delta = qubit_cost(nb);
+          // Favor candidates whose links into the set are low-error edges.
+          for (int nb2 : coupling.neighbors(nb)) {
+            if (in_set[static_cast<std::size_t>(nb2)])
+              delta += 0.5 * props.cx_spec(nb, nb2).error;
+          }
+          if (delta < best_delta || (delta == best_delta && nb < best)) {
+            best_delta = delta;
+            best = nb;
+          }
+        }
+      }
+      if (best < 0) break;
+      selected.push_back(best);
+      in_set[static_cast<std::size_t>(best)] = true;
+      cost += best_delta;
+    }
+    if (static_cast<int>(selected.size()) == num_logical && cost < best_cost) {
+      best_cost = cost;
+      best_set = selected;
+    }
+  }
+  require(!best_set.empty(),
+          "noise_adaptive_layout: no connected subgraph of the required size");
+  return Layout::from_l2p(best_set, coupling.num_qubits());
+}
+
+}  // namespace qufi::transpile

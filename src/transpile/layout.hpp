@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "transpile/coupling.hpp"
+
+namespace qufi::transpile {
+
+/// Bidirectional logical <-> physical qubit assignment.
+struct Layout {
+  std::vector<int> l2p;  ///< logical -> physical
+  std::vector<int> p2l;  ///< physical -> logical, -1 for unused ancillas
+
+  static Layout from_l2p(std::vector<int> l2p, int num_physical);
+
+  int num_logical() const { return static_cast<int>(l2p.size()); }
+  int num_physical() const { return static_cast<int>(p2l.size()); }
+  int physical(int logical) const { return l2p.at(static_cast<std::size_t>(logical)); }
+  int logical(int physical) const { return p2l.at(static_cast<std::size_t>(physical)); }
+
+  /// Applies a physical SWAP: the logical payloads of pa and pb exchange.
+  void swap_physical(int pa, int pb);
+};
+
+/// Identity assignment: logical i -> physical i.
+Layout trivial_layout(int num_logical, int num_physical);
+
+/// Greedy densest-connected-subgraph layout (the effect of Qiskit's
+/// DenseLayout at optimization_level=3): chooses `num_logical` physical
+/// qubits forming a connected subgraph with as many internal edges as
+/// possible, so fewer SWAPs are needed.
+Layout dense_layout(int num_logical, const CouplingMap& coupling);
+
+/// Reliability-aware layout: picks a connected subgraph greedily minimizing
+/// accumulated gate + readout error. The paper motivates exactly this use
+/// of per-qubit reliability data ("reliability-aware mapping of the circuit
+/// qubits to physical qubits").
+Layout noise_adaptive_layout(int num_logical, const CouplingMap& coupling,
+                             const noise::BackendProperties& props);
+
+}  // namespace qufi::transpile

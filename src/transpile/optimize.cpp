@@ -1,0 +1,151 @@
+#include "transpile/optimize.hpp"
+
+#include <optional>
+
+#include "transpile/decompose.hpp"
+#include "util/error.hpp"
+
+namespace qufi::transpile {
+
+using circ::GateKind;
+using circ::Instruction;
+using circ::QuantumCircuit;
+using util::Mat2;
+
+QuantumCircuit remove_trivial_gates(const QuantumCircuit& input) {
+  QuantumCircuit out(input.num_qubits(), input.num_clbits());
+  out.set_name(input.name());
+  for (const auto& instr : input.instructions()) {
+    const auto& info = circ::gate_info(instr.kind);
+    if (info.is_unitary && info.num_qubits == 1) {
+      const Mat2 m = circ::gate_matrix1(instr.kind, instr.params);
+      if (m.equal_up_to_phase(Mat2::identity(), 1e-12)) continue;
+    }
+    out.append(instr);
+  }
+  return out;
+}
+
+namespace {
+
+bool is_self_inverse_2q(GateKind kind) {
+  return kind == GateKind::CX || kind == GateKind::CZ ||
+         kind == GateKind::SWAP;
+}
+
+bool same_2q_gate(const Instruction& a, const Instruction& b) {
+  if (a.kind != b.kind) return false;
+  if (a.qubits == b.qubits) return true;
+  // cz and swap are symmetric in their operands.
+  if (a.kind == GateKind::CZ || a.kind == GateKind::SWAP) {
+    return a.qubits[0] == b.qubits[1] && a.qubits[1] == b.qubits[0];
+  }
+  return false;
+}
+
+bool cancel_pass(std::vector<Instruction>& instrs, int num_wires) {
+  std::vector<std::optional<Instruction>> out;
+  std::vector<long> last_touch(static_cast<std::size_t>(num_wires), -1);
+  bool changed = false;
+
+  const auto rescan_touch = [&](int wire) {
+    last_touch[static_cast<std::size_t>(wire)] = -1;
+    for (long j = static_cast<long>(out.size()) - 1; j >= 0; --j) {
+      if (!out[static_cast<std::size_t>(j)]) continue;
+      const auto& prev = *out[static_cast<std::size_t>(j)];
+      for (int q : prev.qubits) {
+        if (q == wire) {
+          last_touch[static_cast<std::size_t>(wire)] = j;
+          return;
+        }
+      }
+    }
+  };
+
+  for (const auto& instr : instrs) {
+    if (is_self_inverse_2q(instr.kind)) {
+      const int a = instr.qubits[0];
+      const int b = instr.qubits[1];
+      const long ja = last_touch[static_cast<std::size_t>(a)];
+      const long jb = last_touch[static_cast<std::size_t>(b)];
+      if (ja >= 0 && ja == jb && out[static_cast<std::size_t>(ja)] &&
+          same_2q_gate(*out[static_cast<std::size_t>(ja)], instr)) {
+        out[static_cast<std::size_t>(ja)].reset();
+        rescan_touch(a);
+        rescan_touch(b);
+        changed = true;
+        continue;
+      }
+    }
+    out.emplace_back(instr);
+    const long idx = static_cast<long>(out.size()) - 1;
+    for (int q : instr.qubits) last_touch[static_cast<std::size_t>(q)] = idx;
+  }
+
+  instrs.clear();
+  for (auto& slot : out) {
+    if (slot) instrs.push_back(std::move(*slot));
+  }
+  return changed;
+}
+
+}  // namespace
+
+QuantumCircuit cancel_adjacent_pairs(const QuantumCircuit& input) {
+  std::vector<Instruction> instrs = input.instructions();
+  while (cancel_pass(instrs, input.num_qubits())) {
+  }
+  QuantumCircuit out(input.num_qubits(), input.num_clbits());
+  out.set_name(input.name());
+  for (auto& instr : instrs) out.append(std::move(instr));
+  return out;
+}
+
+QuantumCircuit merge_1q_runs(const QuantumCircuit& input) {
+  QuantumCircuit out(input.num_qubits(), input.num_clbits());
+  out.set_name(input.name());
+
+  std::vector<std::optional<Mat2>> pending(
+      static_cast<std::size_t>(input.num_qubits()));
+
+  const auto flush = [&](int q) {
+    auto& slot = pending[static_cast<std::size_t>(q)];
+    if (!slot) return;
+    if (!slot->equal_up_to_phase(Mat2::identity(), 1e-12)) {
+      append_1q_basis(out, *slot, q);
+    }
+    slot.reset();
+  };
+
+  for (const auto& instr : input.instructions()) {
+    const auto& info = circ::gate_info(instr.kind);
+    if (info.is_unitary && info.num_qubits == 1) {
+      auto& slot = pending[static_cast<std::size_t>(instr.qubits[0])];
+      const Mat2 g = circ::gate_matrix1(instr.kind, instr.params);
+      slot = slot ? (g * *slot) : g;
+      continue;
+    }
+    for (int q : instr.qubits) flush(q);
+    out.append(instr);
+  }
+  for (int q = 0; q < input.num_qubits(); ++q) flush(q);
+  return out;
+}
+
+QuantumCircuit optimize(const QuantumCircuit& input, int level) {
+  require(level >= 0 && level <= 3, "optimize: level must be in [0, 3]");
+  if (level == 0) return input;
+  QuantumCircuit current = cancel_adjacent_pairs(remove_trivial_gates(input));
+  if (level == 1) return current;
+  // Level 2+: fuse 1q runs, then re-run cheap cleanups until stable.
+  for (int iter = 0; iter < 4; ++iter) {
+    QuantumCircuit next = cancel_adjacent_pairs(
+        remove_trivial_gates(merge_1q_runs(current)));
+    const bool stable = next.size() == current.size();
+    current = std::move(next);
+    if (stable) break;
+  }
+  return current;
+}
+
+}  // namespace qufi::transpile

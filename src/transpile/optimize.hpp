@@ -1,0 +1,27 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace qufi::transpile {
+
+/// Removes gates that are the identity up to global phase: id, rz/p/u with
+/// trivial angles, and any 1q gate whose matrix ~ e^{ia} I.
+circ::QuantumCircuit remove_trivial_gates(const circ::QuantumCircuit& input);
+
+/// Cancels adjacent self-inverse two-qubit gate pairs (cx·cx, cz·cz,
+/// swap·swap on identical operands with nothing touching either qubit in
+/// between). Runs to fixpoint.
+circ::QuantumCircuit cancel_adjacent_pairs(const circ::QuantumCircuit& input);
+
+/// Fuses maximal runs of single-qubit unitaries on each qubit into one
+/// matrix and re-emits the minimal {rz, sx, x} realization. Produces at
+/// most 5 gates (3 of them virtual rz) per run.
+circ::QuantumCircuit merge_1q_runs(const circ::QuantumCircuit& input);
+
+/// Applies the optimization pipeline for a transpiler optimization level:
+///   0: nothing
+///   1: remove_trivial_gates + cancel_adjacent_pairs
+///   2+: level 1 passes + merge_1q_runs, iterated to fixpoint
+circ::QuantumCircuit optimize(const circ::QuantumCircuit& input, int level);
+
+}  // namespace qufi::transpile

@@ -1,0 +1,65 @@
+#include "transpile/router.hpp"
+
+#include "util/error.hpp"
+
+namespace qufi::transpile {
+
+using circ::GateKind;
+using circ::Instruction;
+using circ::QuantumCircuit;
+
+RoutingResult route(const QuantumCircuit& logical, const CouplingMap& coupling,
+                    const Layout& initial) {
+  require(logical.num_qubits() <= coupling.num_qubits(),
+          "route: circuit wider than device");
+  require(initial.num_logical() == logical.num_qubits(),
+          "route: layout size mismatch");
+  require(initial.num_physical() == coupling.num_qubits(),
+          "route: layout/device size mismatch");
+
+  RoutingResult result{
+      QuantumCircuit(coupling.num_qubits(), logical.num_clbits()),
+      initial,
+      initial,
+      {}};
+  result.circuit.set_name(logical.name());
+  Layout& layout = result.final_layout;
+
+  const auto emit = [&](Instruction instr) {
+    result.circuit.append(std::move(instr));
+    result.p2l_per_instruction.push_back(layout.p2l);
+  };
+
+  for (const auto& instr : logical.instructions()) {
+    require(instr.qubits.size() <= 2 || instr.kind == GateKind::Barrier,
+            "route: decompose 3+ qubit gates before routing");
+
+    Instruction mapped = instr;
+    for (auto& q : mapped.qubits) q = layout.physical(q);
+
+    if (mapped.qubits.size() == 2 && instr.kind != GateKind::Barrier) {
+      int pa = mapped.qubits[0];
+      int pb = mapped.qubits[1];
+      if (!coupling.connected(pa, pb)) {
+        // Walk operand A toward B along a shortest path.
+        const auto path = coupling.shortest_path(pa, pb);
+        require(path.size() >= 3, "route: inconsistent path");
+        for (std::size_t step = 0; step + 2 < path.size(); ++step) {
+          const int from = path[step];
+          const int to = path[step + 1];
+          // Record mapping *before* the swap takes effect.
+          emit(Instruction{GateKind::SWAP, {from, to}, {}, {}});
+          layout.swap_physical(from, to);
+        }
+        pa = path[path.size() - 2];
+        mapped.qubits[0] = pa;
+        // pb unchanged; the moved qubit is now adjacent to it.
+        require(coupling.connected(pa, pb), "route: swap walk failed");
+      }
+    }
+    emit(std::move(mapped));
+  }
+  return result;
+}
+
+}  // namespace qufi::transpile

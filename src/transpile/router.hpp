@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "transpile/coupling.hpp"
+#include "transpile/layout.hpp"
+
+namespace qufi::transpile {
+
+/// Output of SWAP routing: a circuit over *physical* qubits whose two-qubit
+/// gates all act on coupled pairs, plus the layout bookkeeping QuFI needs
+/// to attribute injected faults to logical qubits ("QuFI keeps track of the
+/// logical and physical qubits throughout the transpiling process").
+struct RoutingResult {
+  circ::QuantumCircuit circuit;  ///< width = device qubits; SWAPs explicit
+  Layout initial_layout;
+  Layout final_layout;
+  /// For each instruction of `circuit`: physical -> logical mapping in
+  /// effect when that instruction executes (for SWAPs: before the swap).
+  std::vector<std::vector<int>> p2l_per_instruction;
+};
+
+/// Greedy shortest-path router: processes gates in order; when a two-qubit
+/// gate spans non-adjacent physical qubits, SWAPs walk one operand along a
+/// shortest path until adjacent. Deterministic.
+///
+/// `logical` may contain 1q gates, cx (any 2q unitary), barrier, measure
+/// and reset; 3q gates must be decomposed first.
+RoutingResult route(const circ::QuantumCircuit& logical,
+                    const CouplingMap& coupling, const Layout& initial);
+
+}  // namespace qufi::transpile

@@ -1,0 +1,213 @@
+#include "transpile/transpiler.hpp"
+
+#include <optional>
+
+#include "transpile/decompose.hpp"
+#include "transpile/optimize.hpp"
+#include "transpile/router.hpp"
+#include "util/error.hpp"
+
+namespace qufi::transpile {
+
+using circ::GateKind;
+using circ::Instruction;
+using circ::QuantumCircuit;
+
+int TranspileResult::logical_at(std::size_t instr_index, int physical) const {
+  require(instr_index < p2l_per_instruction.size(),
+          "logical_at: instruction index out of range");
+  const auto& p2l = p2l_per_instruction[instr_index];
+  require(physical >= 0 && physical < static_cast<int>(p2l.size()),
+          "logical_at: physical qubit out of range");
+  return p2l[static_cast<std::size_t>(physical)];
+}
+
+namespace {
+
+struct TrackedCircuit {
+  std::vector<Instruction> instrs;
+  std::vector<std::vector<int>> snaps;  // parallel p2l snapshots
+};
+
+/// SWAP -> 3 cx; the three gates inherit the pre-swap snapshot (the logical
+/// handoff is attributed to the boundary between swap and successor).
+TrackedCircuit lower_swaps(TrackedCircuit in) {
+  TrackedCircuit out;
+  for (std::size_t i = 0; i < in.instrs.size(); ++i) {
+    const auto& instr = in.instrs[i];
+    if (instr.kind != GateKind::SWAP) {
+      out.instrs.push_back(instr);
+      out.snaps.push_back(in.snaps[i]);
+      continue;
+    }
+    const int a = instr.qubits[0];
+    const int b = instr.qubits[1];
+    for (const auto& q : {std::pair{a, b}, std::pair{b, a}, std::pair{a, b}}) {
+      out.instrs.push_back(Instruction{GateKind::CX, {q.first, q.second}, {}, {}});
+      out.snaps.push_back(in.snaps[i]);
+    }
+  }
+  return out;
+}
+
+/// Snapshot-aware adjacent-cx cancellation (the unitary-preserving subset
+/// of the optimizer that is safe after routing: removing an identity pair
+/// leaves every recorded p2l snapshot valid).
+TrackedCircuit cancel_cx_pairs(TrackedCircuit in, int num_wires) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::optional<std::size_t>> live_idx;
+    std::vector<long> last_touch(static_cast<std::size_t>(num_wires), -1);
+    std::vector<bool> dead(in.instrs.size(), false);
+
+    std::vector<long> position_of(in.instrs.size(), -1);
+    std::vector<std::size_t> order;
+
+    const auto rescan = [&](int wire) {
+      last_touch[static_cast<std::size_t>(wire)] = -1;
+      for (long j = static_cast<long>(order.size()) - 1; j >= 0; --j) {
+        const std::size_t idx = order[static_cast<std::size_t>(j)];
+        if (dead[idx]) continue;
+        for (int q : in.instrs[idx].qubits) {
+          if (q == wire) {
+            last_touch[static_cast<std::size_t>(wire)] = j;
+            return;
+          }
+        }
+      }
+    };
+
+    for (std::size_t i = 0; i < in.instrs.size(); ++i) {
+      const auto& instr = in.instrs[i];
+      if (instr.kind == GateKind::CX) {
+        const int a = instr.qubits[0];
+        const int b = instr.qubits[1];
+        const long ja = last_touch[static_cast<std::size_t>(a)];
+        const long jb = last_touch[static_cast<std::size_t>(b)];
+        if (ja >= 0 && ja == jb) {
+          const std::size_t prev = order[static_cast<std::size_t>(ja)];
+          if (!dead[prev] && in.instrs[prev].kind == GateKind::CX &&
+              in.instrs[prev].qubits == instr.qubits) {
+            dead[prev] = true;
+            dead[i] = true;
+            changed = true;
+            rescan(a);
+            rescan(b);
+            continue;
+          }
+        }
+      }
+      order.push_back(i);
+      const long pos = static_cast<long>(order.size()) - 1;
+      for (int q : instr.qubits) last_touch[static_cast<std::size_t>(q)] = pos;
+    }
+
+    if (changed) {
+      TrackedCircuit next;
+      for (std::size_t i = 0; i < in.instrs.size(); ++i) {
+        if (dead[i]) continue;
+        next.instrs.push_back(std::move(in.instrs[i]));
+        next.snaps.push_back(std::move(in.snaps[i]));
+      }
+      in = std::move(next);
+    }
+  }
+  return in;
+}
+
+/// Drops rz gates with ~0 angle (can appear at snapshot boundaries after
+/// routing); snapshot array stays aligned.
+TrackedCircuit drop_trivial_rz(TrackedCircuit in) {
+  TrackedCircuit out;
+  for (std::size_t i = 0; i < in.instrs.size(); ++i) {
+    const auto& instr = in.instrs[i];
+    if (instr.kind == GateKind::RZ) {
+      const util::Mat2 m = circ::gate_matrix1(instr.kind, instr.params);
+      if (m.equal_up_to_phase(util::Mat2::identity(), 1e-12)) continue;
+    }
+    out.instrs.push_back(instr);
+    out.snaps.push_back(in.snaps[i]);
+  }
+  return out;
+}
+
+TranspileResult transpile_impl(const QuantumCircuit& circuit,
+                               const CouplingMap& coupling,
+                               const noise::BackendProperties* props,
+                               const TranspileOptions& options,
+                               const std::string& backend_name) {
+  require(options.optimization_level >= 0 && options.optimization_level <= 3,
+          "transpile: optimization_level must be in [0, 3]");
+  require(coupling.is_connected(), "transpile: device graph is disconnected");
+  require(circuit.num_qubits() <= coupling.num_qubits(),
+          "transpile: circuit wider than device");
+
+  const int level = options.optimization_level;
+
+  // 1) Lower to basis gates, 2) logical-domain optimization.
+  QuantumCircuit lowered = decompose_to_basis(circuit);
+  lowered = optimize(lowered, level);
+
+  // 3) Layout selection.
+  LayoutMethod method = options.layout_method;
+  if (method == LayoutMethod::ByLevel) {
+    method = level >= 2 ? LayoutMethod::Dense : LayoutMethod::Trivial;
+  }
+  Layout initial = [&] {
+    switch (method) {
+      case LayoutMethod::Trivial:
+        return trivial_layout(circuit.num_qubits(), coupling.num_qubits());
+      case LayoutMethod::Dense:
+        return dense_layout(circuit.num_qubits(), coupling);
+      case LayoutMethod::NoiseAdaptive:
+        require(props != nullptr,
+                "transpile: NoiseAdaptive layout needs BackendProperties");
+        return noise_adaptive_layout(circuit.num_qubits(), coupling, *props);
+      default:
+        throw Error("transpile: bad layout method");
+    }
+  }();
+
+  // 4) Routing, 5) SWAP lowering with snapshot replication.
+  RoutingResult routed = route(lowered, coupling, initial);
+  TrackedCircuit tracked{routed.circuit.instructions(),
+                         std::move(routed.p2l_per_instruction)};
+  tracked = lower_swaps(std::move(tracked));
+
+  // 6) Post-routing cleanup (snapshot-preserving passes only).
+  if (level >= 1) {
+    tracked = cancel_cx_pairs(std::move(tracked), coupling.num_qubits());
+    tracked = drop_trivial_rz(std::move(tracked));
+  }
+
+  TranspileResult result{
+      QuantumCircuit(coupling.num_qubits(), circuit.num_clbits()),
+      routed.initial_layout,
+      routed.final_layout,
+      std::move(tracked.snaps),
+      backend_name,
+      level};
+  result.circuit.set_name(circuit.name() + "@" + backend_name);
+  for (auto& instr : tracked.instrs) result.circuit.append(std::move(instr));
+  require(result.circuit.size() == result.p2l_per_instruction.size(),
+          "transpile: snapshot bookkeeping out of sync");
+  return result;
+}
+
+}  // namespace
+
+TranspileResult transpile(const QuantumCircuit& circuit,
+                          const noise::BackendProperties& backend,
+                          const TranspileOptions& options) {
+  const CouplingMap coupling = CouplingMap::from_backend(backend);
+  return transpile_impl(circuit, coupling, &backend, options, backend.name);
+}
+
+TranspileResult transpile(const QuantumCircuit& circuit,
+                          const CouplingMap& coupling,
+                          const TranspileOptions& options) {
+  return transpile_impl(circuit, coupling, nullptr, options, "coupling_map");
+}
+
+}  // namespace qufi::transpile

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "noise/backend_props.hpp"
+#include "transpile/coupling.hpp"
+#include "transpile/layout.hpp"
+
+namespace qufi::transpile {
+
+/// Layout selection strategy.
+enum class LayoutMethod {
+  ByLevel,        ///< trivial for levels 0-1, dense for 2-3 (Qiskit-like)
+  Trivial,
+  Dense,
+  NoiseAdaptive,  ///< requires BackendProperties
+};
+
+struct TranspileOptions {
+  /// 0 = map only; 1 = + cheap cleanups; 2 = + 1q fusion;
+  /// 3 = + post-routing cleanup (the paper uses optimization_level=3).
+  int optimization_level = 3;
+  LayoutMethod layout_method = LayoutMethod::ByLevel;
+};
+
+/// Everything QuFI needs from transpilation: the physical-basis circuit
+/// plus the logical <-> physical tracking for fault attribution and
+/// neighbor discovery.
+struct TranspileResult {
+  circ::QuantumCircuit circuit;  ///< physical qubits, {rz, sx, x, cx} basis
+  Layout initial_layout;
+  Layout final_layout;
+  /// Physical -> logical map in effect at each instruction of `circuit`.
+  std::vector<std::vector<int>> p2l_per_instruction;
+  std::string backend_name;
+  int optimization_level = 0;
+
+  /// Logical qubit whose state is on physical qubit `physical` when
+  /// instruction `instr_index` executes; -1 for ancillas.
+  int logical_at(std::size_t instr_index, int physical) const;
+};
+
+/// Full pipeline: decompose -> optimize -> layout -> route -> lower SWAPs
+/// -> (level 3) post-routing cleanup. Deterministic.
+TranspileResult transpile(const circ::QuantumCircuit& circuit,
+                          const noise::BackendProperties& backend,
+                          const TranspileOptions& options = {});
+
+/// Topology-only overload (no calibration data; NoiseAdaptive unavailable).
+TranspileResult transpile(const circ::QuantumCircuit& circuit,
+                          const CouplingMap& coupling,
+                          const TranspileOptions& options = {});
+
+}  // namespace qufi::transpile

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qufi::util {
+
+/// Options for terminal heatmap rendering.
+struct HeatmapOptions {
+  double lo = 0.0;         ///< value mapped to the "best" end of the scale
+  double hi = 1.0;         ///< value mapped to the "worst" end of the scale
+  bool use_color = false;  ///< emit ANSI colors (off by default: log-friendly)
+  /// QVF-style classification thresholds used for the color/per-cell glyph:
+  /// value < low_threshold  -> "masked" (paper: green),
+  /// value > high_threshold -> "silent error" (paper: red),
+  /// otherwise              -> "dubious" (paper: white).
+  double low_threshold = 0.45;
+  double high_threshold = 0.55;
+  int cell_width = 5;  ///< printed width of each numeric cell
+};
+
+/// Renders a row-major grid (rows.size() == row_labels.size(), each row has
+/// col_labels.size() entries) as an ASCII table with one glyph + number per
+/// cell. This is the terminal stand-in for the paper's heatmap figures.
+std::string ascii_heatmap(const std::vector<std::vector<double>>& rows,
+                          std::span<const std::string> row_labels,
+                          std::span<const std::string> col_labels,
+                          const HeatmapOptions& options = {});
+
+/// Renders a horizontal-bar histogram: one line per bin with `#` bars scaled
+/// to `max_width` characters. `values` are densities or counts.
+std::string ascii_histogram(std::span<const double> bin_centers,
+                            std::span<const double> values,
+                            int max_width = 50);
+
+/// Renders several named series as grouped horizontal bars per category
+/// (terminal stand-in for the grouped bar chart of the paper's Fig. 11).
+std::string ascii_grouped_bars(std::span<const std::string> categories,
+                               std::span<const std::string> series_names,
+                               const std::vector<std::vector<double>>& values,
+                               double hi = 1.0, int max_width = 40);
+
+}  // namespace qufi::util

@@ -1,0 +1,26 @@
+#include "util/bitstring.hpp"
+
+#include "util/error.hpp"
+
+namespace qufi::util {
+
+std::string to_bitstring(std::uint64_t value, int bits) {
+  require(bits >= 0 && bits <= 64, "to_bitstring: bits out of range");
+  std::string s(static_cast<std::size_t>(bits), '0');
+  for (int i = 0; i < bits; ++i) {
+    if ((value >> i) & 1ULL) s[static_cast<std::size_t>(bits - 1 - i)] = '1';
+  }
+  return s;
+}
+
+std::uint64_t from_bitstring(const std::string& s) {
+  require(!s.empty() && s.size() <= 64, "from_bitstring: bad length");
+  std::uint64_t value = 0;
+  for (char c : s) {
+    require(c == '0' || c == '1', "from_bitstring: non-binary character");
+    value = (value << 1) | static_cast<std::uint64_t>(c == '1');
+  }
+  return value;
+}
+
+}  // namespace qufi::util

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qufi::util {
+
+/// Bit/bitstring conventions (Qiskit-compatible):
+///  * qubit q maps to bit q of the state index (little-endian);
+///  * formatted bitstrings print the highest bit first, so qubit 0 is the
+///    rightmost character.
+
+/// Formats `value` as a binary string of `bits` characters, MSB first.
+std::string to_bitstring(std::uint64_t value, int bits);
+
+/// Parses an MSB-first binary string. Throws qufi::Error on bad input.
+std::uint64_t from_bitstring(const std::string& s);
+
+/// Returns bit `bit` of `value`.
+inline int get_bit(std::uint64_t value, int bit) {
+  return static_cast<int>((value >> bit) & 1ULL);
+}
+
+/// Returns `value` with bit `bit` set to `on`.
+inline std::uint64_t set_bit(std::uint64_t value, int bit, bool on) {
+  return on ? (value | (1ULL << bit)) : (value & ~(1ULL << bit));
+}
+
+/// Returns `value` with bit `bit` flipped.
+inline std::uint64_t flip_bit(std::uint64_t value, int bit) {
+  return value ^ (1ULL << bit);
+}
+
+}  // namespace qufi::util

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace qufi::util {
+
+/// Minimal CSV writer with RFC-4180-style quoting.
+///
+/// Used by campaign result exporters; rows are flushed eagerly so partial
+/// campaign output survives interruption.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws qufi::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes a header/data row. Fields containing commas, quotes or newlines
+  /// are quoted.
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(std::initializer_list<std::string> fields);
+
+  /// Convenience: formats arithmetic values with full round-trip precision.
+  template <typename T>
+  static std::string field(const T& value) {
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+  }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Splits one CSV line into fields (handles quoted fields). Used by tests
+/// and the result-import path.
+std::vector<std::string> split_csv_line(const std::string& line);
+
+}  // namespace qufi::util

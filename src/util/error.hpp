@@ -1,0 +1,23 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qufi {
+
+/// Base exception for all qufi validation and usage errors.
+///
+/// Thrown on programmer errors (bad qubit index, malformed QASM, non-CPTP
+/// channel, ...). Hot simulation paths never throw; validation happens at
+/// construction / configuration boundaries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws qufi::Error with `message` when `condition` is false.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace qufi

@@ -1,0 +1,205 @@
+#include "util/matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace qufi::util {
+
+namespace {
+
+// Finds a phase factor z (|z|=1) such that lhs ≈ z * rhs, by scanning for
+// the largest-magnitude entry of rhs. Returns false when rhs ~ 0.
+template <typename M>
+bool phase_between(const M& lhs, const M& rhs, cplx& phase) {
+  std::size_t best = 0;
+  double best_mag = 0.0;
+  for (std::size_t i = 0; i < rhs.a.size(); ++i) {
+    const double m = std::abs(rhs.a[i]);
+    if (m > best_mag) {
+      best_mag = m;
+      best = i;
+    }
+  }
+  if (best_mag < 1e-12) return false;
+  phase = lhs.a[best] / rhs.a[best];
+  const double mag = std::abs(phase);
+  if (mag < 1e-12) return false;
+  phase /= mag;  // force onto the unit circle
+  return true;
+}
+
+template <typename M>
+bool approx_equal_impl(const M& lhs, const M& rhs, double tol) {
+  for (std::size_t i = 0; i < lhs.a.size(); ++i) {
+    if (std::abs(lhs.a[i] - rhs.a[i]) > tol) return false;
+  }
+  return true;
+}
+
+template <typename M>
+std::string to_string_impl(const M& m, int dim) {
+  std::ostringstream os;
+  os.precision(4);
+  for (int r = 0; r < dim; ++r) {
+    os << "[ ";
+    for (int c = 0; c < dim; ++c) {
+      const cplx v = m(r, c);
+      os << "(" << v.real() << (v.imag() < 0 ? "" : "+") << v.imag() << "i) ";
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Mat2
+
+Mat2 Mat2::identity() { return Mat2{{cplx{1, 0}, {}, {}, cplx{1, 0}}}; }
+Mat2 Mat2::zero() { return Mat2{}; }
+
+Mat2 Mat2::operator*(const Mat2& rhs) const {
+  Mat2 out;
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c)
+      out(r, c) = (*this)(r, 0) * rhs(0, c) + (*this)(r, 1) * rhs(1, c);
+  return out;
+}
+
+Mat2 Mat2::operator+(const Mat2& rhs) const {
+  Mat2 out;
+  for (std::size_t i = 0; i < 4; ++i) out.a[i] = a[i] + rhs.a[i];
+  return out;
+}
+
+Mat2 Mat2::operator-(const Mat2& rhs) const {
+  Mat2 out;
+  for (std::size_t i = 0; i < 4; ++i) out.a[i] = a[i] - rhs.a[i];
+  return out;
+}
+
+Mat2 Mat2::operator*(cplx scalar) const {
+  Mat2 out;
+  for (std::size_t i = 0; i < 4; ++i) out.a[i] = a[i] * scalar;
+  return out;
+}
+
+Mat2 Mat2::adjoint() const {
+  Mat2 out;
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c) out(r, c) = std::conj((*this)(c, r));
+  return out;
+}
+
+cplx Mat2::determinant() const { return a[0] * a[3] - a[1] * a[2]; }
+cplx Mat2::trace() const { return a[0] + a[3]; }
+
+double Mat2::distance(const Mat2& rhs) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) sum += std::norm(a[i] - rhs.a[i]);
+  return std::sqrt(sum);
+}
+
+bool Mat2::is_unitary(double tol) const {
+  return (*this * adjoint()).approx_equal(identity(), tol);
+}
+
+bool Mat2::approx_equal(const Mat2& rhs, double tol) const {
+  return approx_equal_impl(*this, rhs, tol);
+}
+
+bool Mat2::equal_up_to_phase(const Mat2& rhs, double tol) const {
+  cplx phase;
+  if (!phase_between(*this, rhs, phase)) return approx_equal(rhs, tol);
+  return approx_equal(rhs * phase, tol);
+}
+
+std::string Mat2::to_string() const { return to_string_impl(*this, 2); }
+
+// ---------------------------------------------------------------- Mat4
+
+Mat4 Mat4::identity() {
+  Mat4 out;
+  for (int i = 0; i < 4; ++i) out(i, i) = cplx{1, 0};
+  return out;
+}
+Mat4 Mat4::zero() { return Mat4{}; }
+
+Mat4 Mat4::operator*(const Mat4& rhs) const {
+  Mat4 out;
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) {
+      cplx sum{};
+      for (int k = 0; k < 4; ++k) sum += (*this)(r, k) * rhs(k, c);
+      out(r, c) = sum;
+    }
+  return out;
+}
+
+Mat4 Mat4::operator+(const Mat4& rhs) const {
+  Mat4 out;
+  for (std::size_t i = 0; i < 16; ++i) out.a[i] = a[i] + rhs.a[i];
+  return out;
+}
+
+Mat4 Mat4::operator*(cplx scalar) const {
+  Mat4 out;
+  for (std::size_t i = 0; i < 16; ++i) out.a[i] = a[i] * scalar;
+  return out;
+}
+
+Mat4 Mat4::adjoint() const {
+  Mat4 out;
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) out(r, c) = std::conj((*this)(c, r));
+  return out;
+}
+
+cplx Mat4::trace() const { return a[0] + a[5] + a[10] + a[15]; }
+
+double Mat4::distance(const Mat4& rhs) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) sum += std::norm(a[i] - rhs.a[i]);
+  return std::sqrt(sum);
+}
+
+bool Mat4::is_unitary(double tol) const {
+  return (*this * adjoint()).approx_equal(identity(), tol);
+}
+
+bool Mat4::approx_equal(const Mat4& rhs, double tol) const {
+  return approx_equal_impl(*this, rhs, tol);
+}
+
+bool Mat4::equal_up_to_phase(const Mat4& rhs, double tol) const {
+  cplx phase;
+  if (!phase_between(*this, rhs, phase)) return approx_equal(rhs, tol);
+  return approx_equal(rhs * phase, tol);
+}
+
+std::string Mat4::to_string() const { return to_string_impl(*this, 4); }
+
+Mat4 kron(const Mat2& a, const Mat2& b) {
+  Mat4 out;
+  for (int ar = 0; ar < 2; ++ar)
+    for (int ac = 0; ac < 2; ++ac)
+      for (int br = 0; br < 2; ++br)
+        for (int bc = 0; bc < 2; ++bc)
+          out(2 * ar + br, 2 * ac + bc) = a(ar, ac) * b(br, bc);
+  return out;
+}
+
+Mat2 unitary_from_angles(double theta, double phi, double lambda,
+                         double global_phase) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  const cplx g = std::exp(cplx{0, global_phase});
+  Mat2 u;
+  u(0, 0) = g * c;
+  u(0, 1) = g * (-std::exp(cplx{0, lambda}) * s);
+  u(1, 0) = g * (std::exp(cplx{0, phi}) * s);
+  u(1, 1) = g * (std::exp(cplx{0, phi + lambda}) * c);
+  return u;
+}
+
+}  // namespace qufi::util

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <array>
+#include <complex>
+#include <string>
+
+namespace qufi::util {
+
+using cplx = std::complex<double>;
+
+/// Dense 2x2 complex matrix in row-major order. Value type; cheap to copy.
+/// The workhorse for single-qubit gate algebra.
+struct Mat2 {
+  std::array<cplx, 4> a{};  // [ a[0] a[1] ; a[2] a[3] ]
+
+  static Mat2 identity();
+  static Mat2 zero();
+
+  cplx& operator()(int r, int c) { return a[static_cast<std::size_t>(2 * r + c)]; }
+  const cplx& operator()(int r, int c) const {
+    return a[static_cast<std::size_t>(2 * r + c)];
+  }
+
+  Mat2 operator*(const Mat2& rhs) const;
+  Mat2 operator+(const Mat2& rhs) const;
+  Mat2 operator-(const Mat2& rhs) const;
+  Mat2 operator*(cplx scalar) const;
+
+  /// Conjugate transpose.
+  Mat2 adjoint() const;
+  cplx determinant() const;
+  cplx trace() const;
+
+  /// Frobenius norm of (this - rhs).
+  double distance(const Mat2& rhs) const;
+
+  /// True when this is unitary within `tol` (U U† == I).
+  bool is_unitary(double tol = 1e-9) const;
+
+  /// True when matrices are elementwise equal within `tol`.
+  bool approx_equal(const Mat2& rhs, double tol = 1e-9) const;
+
+  /// True when `this == e^{i phase} rhs` for some real phase, within `tol`.
+  bool equal_up_to_phase(const Mat2& rhs, double tol = 1e-9) const;
+
+  std::string to_string() const;
+};
+
+/// Dense 4x4 complex matrix in row-major order, for two-qubit gates.
+struct Mat4 {
+  std::array<cplx, 16> a{};
+
+  static Mat4 identity();
+  static Mat4 zero();
+
+  cplx& operator()(int r, int c) { return a[static_cast<std::size_t>(4 * r + c)]; }
+  const cplx& operator()(int r, int c) const {
+    return a[static_cast<std::size_t>(4 * r + c)];
+  }
+
+  Mat4 operator*(const Mat4& rhs) const;
+  Mat4 operator+(const Mat4& rhs) const;
+  Mat4 operator*(cplx scalar) const;
+
+  Mat4 adjoint() const;
+  cplx trace() const;
+  double distance(const Mat4& rhs) const;
+  bool is_unitary(double tol = 1e-9) const;
+  bool approx_equal(const Mat4& rhs, double tol = 1e-9) const;
+  bool equal_up_to_phase(const Mat4& rhs, double tol = 1e-9) const;
+
+  std::string to_string() const;
+};
+
+/// Kronecker product: (a ⊗ b), with `a` acting on the high bit.
+Mat4 kron(const Mat2& a, const Mat2& b);
+
+/// Random single-qubit unitary, Haar-ish (from random U(θ,φ,λ) + phase).
+/// Defined in matrix.cpp to keep gate definitions out of util; takes the
+/// three Euler angles and a global phase directly.
+Mat2 unitary_from_angles(double theta, double phi, double lambda,
+                         double global_phase = 0.0);
+
+}  // namespace qufi::util

@@ -1,0 +1,137 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace qufi::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_combine(std::span<const std::uint64_t> words) {
+  std::uint64_t state = 0x243f6a8885a308d3ULL;  // pi digits
+  std::uint64_t acc = 0;
+  for (std::uint64_t w : words) {
+    state ^= w + 0x9e3779b97f4a7c15ULL + (acc << 6) + (acc >> 2);
+    acc = splitmix64(state);
+  }
+  return acc;
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // zeros from any seed, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+Xoshiro256pp::result_type Xoshiro256pp::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256pp::uniform() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256pp::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256pp::uniform_int(std::uint64_t bound) {
+  require(bound > 0, "uniform_int: bound must be positive");
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256pp::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(angle);
+  has_cached_normal_ = true;
+  return r * std::cos(angle);
+}
+
+double Xoshiro256pp::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+std::size_t Xoshiro256pp::discrete(std::span<const double> weights) {
+  require(!weights.empty(), "discrete: empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "discrete: negative weight");
+    total += w;
+  }
+  require(total > 0.0, "discrete: all weights are zero");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: return the last index
+}
+
+std::vector<std::uint64_t> sample_counts(std::span<const double> probs,
+                                         std::uint64_t shots,
+                                         Xoshiro256pp& rng) {
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  if (shots == 0 || probs.empty()) return counts;
+
+  // Draw `shots` uniforms, sort them, and sweep the CDF once.
+  std::vector<double> draws(shots);
+  for (auto& d : draws) d = rng.uniform();
+  std::sort(draws.begin(), draws.end());
+
+  double cdf = 0.0;
+  std::size_t outcome = 0;
+  for (double d : draws) {
+    while (outcome + 1 < probs.size() && d >= cdf + probs[outcome]) {
+      cdf += probs[outcome];
+      ++outcome;
+    }
+    ++counts[outcome];
+  }
+  return counts;
+}
+
+}  // namespace qufi::util

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qufi::util {
+
+/// splitmix64 step: hashes `state` forward and returns the next value.
+///
+/// Used both as a standalone mixing function (deterministic per-config seeds
+/// derived from a campaign seed and a config index) and to seed Xoshiro256pp.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Hashes an arbitrary sequence of 64-bit words into a single seed.
+/// Order-sensitive. Useful to derive independent, reproducible RNG streams
+/// from structured identifiers (campaign seed, config index, shot index...).
+std::uint64_t hash_combine(std::span<const std::uint64_t> words);
+
+/// xoshiro256++ PRNG (Blackman & Vigna). Deterministic, fast, and good
+/// statistical quality; satisfies std::uniform_random_bit_generator.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via splitmix64 from a single 64-bit seed.
+  explicit Xoshiro256pp(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1) with 53-bit resolution.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire rejection).
+  std::uint64_t uniform_int(std::uint64_t bound);
+
+  /// Standard normal deviate (Box-Muller, one value cached).
+  double normal();
+
+  /// Normal deviate with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Samples an index from an (unnormalized) non-negative weight vector.
+  /// Linear scan over the CDF; fine for the small distributions used here.
+  std::size_t discrete(std::span<const double> weights);
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Samples `shots` outcomes from probability vector `probs` (assumed to sum
+/// to ~1) and returns per-outcome counts. Uses inverse-CDF with a single
+/// pass per shot batch: outcomes are drawn by sorted uniform positions, so
+/// the cost is O(shots + |probs|) and the result is deterministic in `rng`.
+std::vector<std::uint64_t> sample_counts(std::span<const double> probs,
+                                         std::uint64_t shots,
+                                         Xoshiro256pp& rng);
+
+}  // namespace qufi::util

@@ -1,0 +1,97 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qufi::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  require(bins > 0, "Histogram: need at least one bin");
+  require(hi > lo, "Histogram: hi must exceed lo");
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<long>((x - lo_) / width_);
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+  stats_.add(x);
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  const double norm = 1.0 / (static_cast<double>(total_) * width_);
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i] = static_cast<double>(counts_[i]) * norm;
+  return out;
+}
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev_of(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean_of(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return std::sqrt(sum / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace qufi::util

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qufi::util {
+
+/// Online mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over a closed range [lo, hi]. Values outside the
+/// range are clamped into the first/last bin (QVF is bounded so this only
+/// absorbs float round-off).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+
+  /// Center of bin `i`.
+  double bin_center(std::size_t i) const;
+
+  /// Normalized density per bin: count / (total * bin_width), matching the
+  /// density histograms of the paper's Fig. 7/10.
+  std::vector<double> density() const;
+
+  const RunningStats& stats() const { return stats_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  RunningStats stats_;
+};
+
+/// Mean of a span; 0 for empty input.
+double mean_of(std::span<const double> xs);
+
+/// Sample standard deviation of a span; 0 when fewer than two values.
+double stddev_of(std::span<const double> xs);
+
+}  // namespace qufi::util

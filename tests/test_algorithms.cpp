@@ -1,0 +1,229 @@
+// Algorithm-library tests: ideal outputs across widths and parameters.
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.hpp"
+#include "sim/statevector.hpp"
+#include "util/bitstring.hpp"
+#include "util/error.hpp"
+
+namespace qufi::algo {
+namespace {
+
+double expected_probability(const AlgorithmCircuit& bench) {
+  const auto probs = sim::ideal_clbit_probabilities(bench.circuit);
+  double total = 0.0;
+  for (const auto& s : bench.expected_outputs) {
+    total += probs[util::from_bitstring(s)];
+  }
+  return total;
+}
+
+// ----------------------------------------------------- Bernstein-Vazirani
+
+class BvAllSecrets : public ::testing::TestWithParam<int> {};
+
+TEST_P(BvAllSecrets, RecoversEverySecret) {
+  const int width = GetParam();
+  const int data = width - 1;
+  for (std::uint64_t secret = 0; secret < (1ULL << data); ++secret) {
+    const auto bench = bernstein_vazirani(width, secret);
+    EXPECT_EQ(bench.expected_outputs[0], util::to_bitstring(secret, data));
+    EXPECT_NEAR(expected_probability(bench), 1.0, 1e-9)
+        << "secret " << secret;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BvAllSecrets, ::testing::Values(2, 3, 4, 5));
+
+TEST(Bv, DefaultSecretAlternates) {
+  EXPECT_EQ(default_bv_secret(4), 0b101u);
+  EXPECT_EQ(default_bv_secret(5), 0b1010u);
+  EXPECT_EQ(default_bv_secret(7), 0b101010u);
+}
+
+TEST(Bv, Validation) {
+  EXPECT_THROW(bernstein_vazirani(1, 0), Error);
+  EXPECT_THROW(bernstein_vazirani(3, 0b100), Error);  // secret too wide
+}
+
+TEST(Bv, PaperFig4Configuration) {
+  // 4-qubit BV with secret 101: the Fig. 4 example.
+  const auto bench = bernstein_vazirani(4, 0b101);
+  EXPECT_EQ(bench.expected_outputs[0], "101");
+  EXPECT_EQ(bench.circuit.num_qubits(), 4);
+  EXPECT_EQ(bench.circuit.num_clbits(), 3);
+  EXPECT_NEAR(expected_probability(bench), 1.0, 1e-9);
+}
+
+// --------------------------------------------------------- Deutsch-Jozsa
+
+class DjWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(DjWidths, ConstantOraclesGiveZeros) {
+  for (auto oracle : {DjOracle::ConstantZero, DjOracle::ConstantOne}) {
+    const auto bench = deutsch_jozsa(GetParam(), oracle);
+    EXPECT_EQ(bench.expected_outputs[0],
+              std::string(static_cast<std::size_t>(GetParam() - 1), '0'));
+    EXPECT_NEAR(expected_probability(bench), 1.0, 1e-9);
+  }
+}
+
+TEST_P(DjWidths, BalancedOracleGivesMask) {
+  const int data = GetParam() - 1;
+  for (std::uint64_t mask = 1; mask < (1ULL << data); ++mask) {
+    const auto bench = deutsch_jozsa(GetParam(), DjOracle::Balanced, mask);
+    EXPECT_EQ(bench.expected_outputs[0], util::to_bitstring(mask, data));
+    EXPECT_NEAR(expected_probability(bench), 1.0, 1e-9) << "mask " << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DjWidths, ::testing::Values(2, 3, 4, 5));
+
+TEST(Dj, BalancedNeedsNonzeroMask) {
+  EXPECT_THROW(deutsch_jozsa(4, DjOracle::Balanced, 0), Error);
+}
+
+// ------------------------------------------------------------------- QFT
+
+class QftAllValues : public ::testing::TestWithParam<int> {};
+
+TEST_P(QftAllValues, BenchmarkRecoversEveryValue) {
+  const int n = GetParam();
+  for (std::uint64_t value = 0; value < (1ULL << n); ++value) {
+    const auto bench = qft_benchmark(n, value);
+    EXPECT_NEAR(expected_probability(bench), 1.0, 1e-9)
+        << "n=" << n << " value=" << value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QftAllValues, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Qft, InverseUndoesQft) {
+  circ::QuantumCircuit qc(3);
+  qc.x(0).x(2);
+  qc.compose(qft_circuit(3));
+  qc.compose(iqft_circuit(3));
+  const auto probs = sim::run_statevector(qc).probabilities();
+  EXPECT_NEAR(probs[0b101], 1.0, 1e-9);
+}
+
+TEST(Qft, GateInventory) {
+  const auto qc = qft_circuit(4);
+  const auto ops = qc.count_ops();
+  EXPECT_EQ(ops.at("h"), 4);
+  EXPECT_EQ(ops.at("cp"), 6);  // n(n-1)/2 controlled phases
+  EXPECT_EQ(ops.at("swap"), 2);
+}
+
+// ------------------------------------------------------------------- GHZ
+
+class GhzWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(GhzWidths, TwoCorrectStatesSplitEvenly) {
+  const auto bench = ghz(GetParam());
+  ASSERT_EQ(bench.expected_outputs.size(), 2u);
+  const auto probs = sim::ideal_clbit_probabilities(bench.circuit);
+  for (const auto& s : bench.expected_outputs) {
+    EXPECT_NEAR(probs[util::from_bitstring(s)], 0.5, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GhzWidths, ::testing::Values(2, 3, 4, 5, 6));
+
+// ---------------------------------------------------------------- Grover
+
+TEST(Grover, TwoQubitFindsEveryMark) {
+  for (std::uint64_t marked = 0; marked < 4; ++marked) {
+    const auto bench = grover(2, marked);
+    const auto probs = sim::ideal_clbit_probabilities(bench.circuit);
+    EXPECT_NEAR(probs[marked], 1.0, 1e-9) << "marked " << marked;
+  }
+}
+
+TEST(Grover, ThreeQubitAmplifiesMark) {
+  for (std::uint64_t marked : {0ULL, 3ULL, 7ULL}) {
+    const auto bench = grover(3, marked);
+    const auto probs = sim::ideal_clbit_probabilities(bench.circuit);
+    // Two iterations on 8 states: ~0.945 success probability.
+    EXPECT_GT(probs[marked], 0.9) << "marked " << marked;
+  }
+}
+
+TEST(Grover, Validation) {
+  EXPECT_THROW(grover(4, 0), Error);
+  EXPECT_THROW(grover(2, 9), Error);
+}
+
+// -------------------------------------------------------- random circuit
+
+TEST(RandomCircuit, DeterministicInSeed) {
+  const auto a = random_circuit(3, 5, 42);
+  const auto b = random_circuit(3, 5, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.instructions()[i].kind, b.instructions()[i].kind);
+    EXPECT_EQ(a.instructions()[i].qubits, b.instructions()[i].qubits);
+  }
+}
+
+TEST(RandomCircuit, DifferentSeedsDiffer) {
+  const auto a = random_circuit(3, 8, 1);
+  const auto b = random_circuit(3, 8, 2);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a.instructions()[i].kind != b.instructions()[i].kind ||
+              a.instructions()[i].qubits != b.instructions()[i].qubits;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomCircuit, TwoQubitFractionZeroMeansNoCx) {
+  const auto qc = random_circuit(4, 10, 7, 0.0);
+  EXPECT_EQ(qc.count_ops().count("cx"), 0u);
+}
+
+// --------------------------------------------------------------- IQP
+
+TEST(Iqp, DeterministicAndMeasured) {
+  const auto a = iqp_circuit(4, 9);
+  const auto b = iqp_circuit(4, 9);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.count_ops().at("measure"), 4);
+  EXPECT_EQ(a.count_ops().at("h"), 8);  // two H layers
+}
+
+TEST(Iqp, ProducesValidDistribution) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto qc = iqp_circuit(4, seed);
+    const auto probs = sim::ideal_clbit_probabilities(qc);
+    double total = 0.0;
+    for (double p : probs) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Iqp, DiagonalLayerCommutes) {
+  // The middle layer is diagonal: circuits with the diagonal gates in any
+  // order are identical. Reversing the 1q phase layer must not change the
+  // distribution (sanity check of the IQP structure).
+  const auto qc = iqp_circuit(3, 5, 1.0);
+  const auto probs = sim::ideal_clbit_probabilities(qc);
+  EXPECT_EQ(probs.size(), 8u);
+}
+
+// -------------------------------------------------------- paper_circuit
+
+TEST(PaperCircuit, BuildsAllThree) {
+  for (const char* name : {"bv", "dj", "qft"}) {
+    for (int width = 4; width <= 7; ++width) {
+      const auto bench = paper_circuit(name, width);
+      EXPECT_EQ(bench.circuit.num_qubits(), width) << name;
+      EXPECT_NEAR(expected_probability(bench), 1.0, 1e-9)
+          << name << " width " << width;
+    }
+  }
+  EXPECT_THROW(paper_circuit("shor", 4), Error);
+}
+
+}  // namespace
+}  // namespace qufi::algo

@@ -1,0 +1,250 @@
+// Backend tests: result bookkeeping, ideal/density/trajectory agreement,
+// simulated-hardware behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/algorithms.hpp"
+#include "backend/density_backend.hpp"
+#include "backend/hardware_backend.hpp"
+#include "backend/ideal_backend.hpp"
+#include "backend/trajectory_backend.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace qufi::backend {
+namespace {
+
+// ----------------------------------------------------------------- result
+
+TEST(Result, ExactDistribution) {
+  auto r = ExecutionResult::from_distribution({0.25, 0.75}, 1, 0, 0, "test");
+  EXPECT_EQ(r.shots, 0u);
+  EXPECT_TRUE(r.counts.empty());
+  EXPECT_EQ(r.most_probable(), "1");
+  EXPECT_DOUBLE_EQ(r.probability_of("0"), 0.25);
+}
+
+TEST(Result, SampledCountsSumToShots) {
+  auto r = ExecutionResult::from_distribution({0.5, 0.5}, 1, 1024, 7, "test");
+  std::uint64_t total = 0;
+  for (const auto& [bits, count] : r.counts) total += count;
+  EXPECT_EQ(total, 1024u);
+  EXPECT_NEAR(r.probability_of("0"), 0.5, 0.08);
+}
+
+TEST(Result, SamplingDeterministicInSeed) {
+  auto a = ExecutionResult::from_distribution({0.3, 0.7}, 1, 512, 9, "t");
+  auto b = ExecutionResult::from_distribution({0.3, 0.7}, 1, 512, 9, "t");
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(Result, FromOutcomeCounts) {
+  auto r = ExecutionResult::from_outcome_counts({10, 30}, 1, "t");
+  EXPECT_EQ(r.shots, 40u);
+  EXPECT_DOUBLE_EQ(r.probabilities[1], 0.75);
+  EXPECT_THROW(ExecutionResult::from_outcome_counts({0, 0}, 1, "t"), Error);
+}
+
+TEST(Result, ValidatesWidth) {
+  auto r = ExecutionResult::from_distribution({1.0, 0.0}, 1, 0, 0, "t");
+  EXPECT_THROW(r.probability_of("00"), Error);
+  EXPECT_THROW(
+      ExecutionResult::from_distribution({1.0, 0.0, 0.0}, 1, 0, 0, "t"),
+      Error);
+}
+
+// ------------------------------------------------------------------ ideal
+
+TEST(IdealBackend, DeterministicCircuitSingleOutcome) {
+  IdealBackend backend;
+  const auto bench = algo::bernstein_vazirani(4, 0b101);
+  const auto result = backend.run(bench.circuit, 0, 0);
+  EXPECT_NEAR(result.probability_of("101"), 1.0, 1e-9);
+  EXPECT_EQ(result.most_probable(), "101");
+}
+
+TEST(IdealBackend, SampledGhzIsBimodal) {
+  IdealBackend backend;
+  const auto bench = algo::ghz(3);
+  const auto result = backend.run(bench.circuit, 2048, 5);
+  EXPECT_NEAR(result.probability_of("000"), 0.5, 0.06);
+  EXPECT_NEAR(result.probability_of("111"), 0.5, 0.06);
+  EXPECT_NEAR(result.probability_of("010"), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- density
+
+TEST(DensityBackend, IdealNoiseMatchesIdealBackend) {
+  DensityMatrixBackend noisy(noise::NoiseModel::ideal());
+  IdealBackend ideal;
+  const auto bench = algo::paper_circuit("qft", 4);
+  const auto a = noisy.run(bench.circuit, 0, 0);
+  const auto b = ideal.run(bench.circuit, 0, 0);
+  for (std::size_t i = 0; i < a.probabilities.size(); ++i) {
+    EXPECT_NEAR(a.probabilities[i], b.probabilities[i], 1e-9);
+  }
+}
+
+TEST(DensityBackend, NoiseDegradesCorrectState) {
+  const auto bench = algo::bernstein_vazirani(4, 0b101);
+  DensityMatrixBackend ideal(noise::NoiseModel::ideal());
+  DensityMatrixBackend noisy(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+  const double p_ideal =
+      ideal.run(bench.circuit, 0, 0).probability_of("101");
+  const double p_noisy =
+      noisy.run(bench.circuit, 0, 0).probability_of("101");
+  EXPECT_GT(p_ideal, 0.999);
+  EXPECT_LT(p_noisy, p_ideal);
+  EXPECT_GT(p_noisy, 0.7);  // realistic calibration: still dominant
+}
+
+TEST(DensityBackend, NoiseScalesMonotonically) {
+  const auto bench = algo::paper_circuit("qft", 4);
+  double previous = 1.1;
+  for (double scale : {0.5, 1.0, 2.0, 4.0}) {
+    DensityMatrixBackend backend(
+        noise::NoiseModel::from_backend(noise::fake_casablanca(), scale));
+    const double p = backend.run(bench.circuit, 0, 0)
+                         .probability_of(bench.expected_outputs[0]);
+    EXPECT_LT(p, previous) << "scale " << scale;
+    previous = p;
+  }
+}
+
+TEST(DensityBackend, DistributionsSumToOne) {
+  DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(noise::fake_jakarta()));
+  const auto bench = algo::paper_circuit("dj", 5);
+  const auto result = backend.run(bench.circuit, 0, 0);
+  double total = 0;
+  for (double p : result.probabilities) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DensityBackend, RejectsMidCircuitMeasurement) {
+  circ::QuantumCircuit qc(2, 2);
+  qc.h(0).measure(0, 0).cx(0, 1).measure(1, 1);
+  DensityMatrixBackend backend(noise::NoiseModel::ideal());
+  EXPECT_THROW(backend.run(qc, 0, 0), Error);
+}
+
+TEST(DensityBackend, SupportsReset) {
+  circ::QuantumCircuit qc(1, 1);
+  qc.x(0).reset(0).measure(0, 0);
+  DensityMatrixBackend backend(noise::NoiseModel::ideal());
+  EXPECT_NEAR(backend.run(qc, 0, 0).probability_of("0"), 1.0, 1e-9);
+}
+
+TEST(DensityBackend, IdleNoiseIncreasesError) {
+  // A circuit where one qubit idles while others work.
+  circ::QuantumCircuit qc(3, 3);
+  qc.x(0);
+  for (int i = 0; i < 10; ++i) qc.x(1).x(2);
+  qc.measure_all();
+  const auto nm = noise::NoiseModel::from_backend(noise::fake_casablanca());
+  DensityMatrixBackend plain(nm, false);
+  DensityMatrixBackend idle(nm, true);
+  const double p_plain = plain.run(qc, 0, 0).probability_of("001");
+  const double p_idle = idle.run(qc, 0, 0).probability_of("001");
+  EXPECT_LT(p_idle, p_plain);
+}
+
+// ------------------------------------------------------------- trajectory
+
+TEST(TrajectoryBackend, RequiresShots) {
+  TrajectoryBackend backend(noise::NoiseModel::ideal());
+  const auto bench = algo::ghz(2);
+  EXPECT_THROW(backend.run(bench.circuit, 0, 0), Error);
+}
+
+TEST(TrajectoryBackend, IdealMatchesExpectation) {
+  TrajectoryBackend backend(noise::NoiseModel::ideal());
+  const auto bench = algo::bernstein_vazirani(4, 0b110);
+  const auto result = backend.run(bench.circuit, 512, 3);
+  EXPECT_NEAR(result.probability_of("110"), 1.0, 1e-12);
+}
+
+TEST(TrajectoryBackend, AgreesWithDensityMatrixUnderNoise) {
+  // Property: trajectory sampling converges to the exact density-matrix
+  // distribution. Use boosted noise so the difference is visible.
+  const auto nm =
+      noise::NoiseModel::from_backend(noise::fake_casablanca(), 5.0);
+  const auto bench = algo::paper_circuit("bv", 4);
+
+  DensityMatrixBackend exact(nm);
+  TrajectoryBackend sampled(nm);
+  const auto p_exact = exact.run(bench.circuit, 0, 0).probabilities;
+  const auto p_sampled = sampled.run(bench.circuit, 6000, 11).probabilities;
+  EXPECT_GT(sim::hellinger_fidelity(p_exact, p_sampled), 0.99);
+}
+
+TEST(TrajectoryBackend, SupportsMidCircuitMeasureAndReset) {
+  circ::QuantumCircuit qc(2, 2);
+  qc.h(0).measure(0, 0).reset(0).x(0).measure(0, 1);
+  TrajectoryBackend backend(noise::NoiseModel::ideal());
+  const auto result = backend.run(qc, 256, 5);
+  // clbit 1 always reads 1 after reset+x; clbit 0 is random.
+  double p_c1 = 0.0;
+  for (std::size_t i = 0; i < result.probabilities.size(); ++i) {
+    if (i & 2) p_c1 += result.probabilities[i];
+  }
+  EXPECT_NEAR(p_c1, 1.0, 1e-12);
+}
+
+TEST(TrajectoryBackend, DeterministicInSeed) {
+  const auto nm = noise::NoiseModel::from_backend(noise::fake_jakarta());
+  TrajectoryBackend backend(nm);
+  const auto bench = algo::ghz(3);
+  const auto a = backend.run(bench.circuit, 128, 77);
+  const auto b = backend.run(bench.circuit, 128, 77);
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+// --------------------------------------------------------------- hardware
+
+TEST(HardwareBackend, ProducesFiniteShots) {
+  SimulatedHardwareBackend hw(noise::fake_jakarta());
+  const auto bench = algo::bernstein_vazirani(4, 0b101);
+  const auto result = hw.run(bench.circuit, 0, 1);  // promoted to 1024
+  EXPECT_EQ(result.shots, 1024u);
+  EXPECT_GT(result.probability_of("101"), 0.5);
+}
+
+TEST(HardwareBackend, DriftMakesJobsDiffer) {
+  SimulatedHardwareBackend hw(noise::fake_jakarta());
+  const auto bench = algo::paper_circuit("qft", 4);
+  const auto a = hw.run(bench.circuit, 4096, 1);
+  const auto b = hw.run(bench.circuit, 4096, 2);
+  // Different jobs see different calibration: distributions differ
+  // slightly but not wildly.
+  const double tvd =
+      sim::total_variation_distance(a.probabilities, b.probabilities);
+  EXPECT_GT(tvd, 0.0);
+  EXPECT_LT(tvd, 0.25);
+}
+
+TEST(HardwareBackend, CloseToStaticNoiseModel) {
+  // The premise of Fig. 11: simulation with the nominal noise model is a
+  // good predictor of the (drifting) machine.
+  const auto props = noise::fake_jakarta();
+  SimulatedHardwareBackend hw(props);
+  DensityMatrixBackend sim_backend(noise::NoiseModel::from_backend(props));
+  const auto bench = algo::bernstein_vazirani(4, 0b101);
+  const auto hw_result = hw.run(bench.circuit, 8192, 3);
+  const auto sim_result = sim_backend.run(bench.circuit, 0, 0);
+  EXPECT_GT(sim::hellinger_fidelity(hw_result.probabilities,
+                                    sim_result.probabilities),
+            0.98);
+}
+
+TEST(HardwareBackend, RejectsOversizedCircuit) {
+  SimulatedHardwareBackend hw(noise::fake_jakarta());
+  circ::QuantumCircuit qc(9, 9);
+  qc.h(0).measure_all();
+  EXPECT_THROW(hw.run(qc, 1024, 0), Error);
+}
+
+}  // namespace
+}  // namespace qufi::backend

@@ -1,0 +1,428 @@
+// Campaign tests: injection-point enumeration, faulty-circuit construction,
+// single/double campaigns, determinism, aggregations, reports.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <numbers>
+
+#include "algorithms/algorithms.hpp"
+#include "backend/hardware_backend.hpp"
+#include "core/campaign.hpp"
+#include "core/injection.hpp"
+#include "core/report.hpp"
+#include "core/results.hpp"
+#include "sim/statevector.hpp"
+#include "util/error.hpp"
+
+namespace qufi {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Small, fast spec shared by the campaign tests.
+CampaignSpec quick_spec(const char* circuit_name = "bv", int width = 4) {
+  const auto bench = algo::paper_circuit(circuit_name, width);
+  CampaignSpec spec;
+  spec.circuit = bench.circuit;
+  spec.expected_outputs = bench.expected_outputs;
+  spec.grid.theta_step_deg = 60.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.threads = 2;
+  return spec;
+}
+
+// -------------------------------------------------------------- injection
+
+TEST(Injection, PointsAfterEachGateOperand) {
+  circ::QuantumCircuit qc(2, 2);
+  qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+  const auto points =
+      enumerate_injection_points(qc, InjectionStrategy::OperandsAfterEachGate);
+  // h -> 1 point, cx -> 2 points, measures -> none.
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].qubit, 0);
+  EXPECT_EQ(points[1].instr_index, 1u);
+  EXPECT_EQ(points[2].qubit, 1);
+}
+
+TEST(Injection, MomentStrategyCoversActiveQubits) {
+  circ::QuantumCircuit qc(3, 3);
+  qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1);  // qubit 2 inactive
+  const auto points = enumerate_injection_points(
+      qc, InjectionStrategy::EveryActiveQubitEveryMoment);
+  // 2 gate moments x 2 active qubits; measurement-only moment skipped.
+  EXPECT_EQ(points.size(), 4u);
+  for (const auto& p : points) EXPECT_NE(p.qubit, 2);
+}
+
+TEST(Injection, FaultGateInsertedAfterInstruction) {
+  circ::QuantumCircuit qc(2, 2);
+  qc.h(0).cx(0, 1).measure_all();
+  const InjectionPoint point{0, 0, 0, 0};
+  const PhaseShiftFault fault{kPi / 4, 0.0};
+  const auto faulty = inject_fault(qc, point, fault);
+  ASSERT_EQ(faulty.size(), qc.size() + 1);
+  EXPECT_EQ(faulty.instructions()[1].kind, circ::GateKind::U);
+  EXPECT_DOUBLE_EQ(faulty.instructions()[1].params[0], kPi / 4);
+}
+
+TEST(Injection, IdentityFaultPreservesDistribution) {
+  const auto bench = algo::bernstein_vazirani(4, 0b101);
+  const InjectionPoint point{2, 1, 1, 0};
+  const auto faulty =
+      inject_fault(bench.circuit, point, PhaseShiftFault{0.0, 0.0});
+  const auto p0 = sim::ideal_clbit_probabilities(bench.circuit);
+  const auto p1 = sim::ideal_clbit_probabilities(faulty);
+  for (std::size_t i = 0; i < p0.size(); ++i) EXPECT_NEAR(p0[i], p1[i], 1e-12);
+}
+
+TEST(Injection, ThetaPiFaultFlipsMeasuredQubit) {
+  // X-like fault right before measurement flips the output bit.
+  circ::QuantumCircuit qc(1, 1);
+  qc.i(0);
+  qc.measure(0, 0);
+  const InjectionPoint point{0, 0, 0, 0};
+  const auto faulty = inject_fault(qc, point, PhaseShiftFault{kPi, 0.0});
+  const auto probs = sim::ideal_clbit_probabilities(faulty);
+  EXPECT_NEAR(probs[1], 1.0, 1e-12);
+}
+
+TEST(Injection, DoubleFaultInsertsTwoGates) {
+  circ::QuantumCircuit qc(3, 3);
+  qc.h(0).cx(0, 1).measure_all();
+  const InjectionPoint point{1, 0, 0, 1};
+  const auto faulty = inject_double_fault(
+      qc, point, PhaseShiftFault{kPi, kPi}, 1, PhaseShiftFault{kPi / 2, 0.0});
+  ASSERT_EQ(faulty.size(), qc.size() + 2);
+  EXPECT_EQ(faulty.instructions()[2].kind, circ::GateKind::U);
+  EXPECT_EQ(faulty.instructions()[3].kind, circ::GateKind::U);
+  EXPECT_EQ(faulty.instructions()[3].qubits[0], 1);
+  EXPECT_THROW(inject_double_fault(qc, point, PhaseShiftFault{kPi, kPi}, 0,
+                                   PhaseShiftFault{0, 0}),
+               Error);
+}
+
+TEST(Injection, ValidatesRanges) {
+  circ::QuantumCircuit qc(2, 2);
+  qc.h(0).measure_all();
+  EXPECT_THROW(
+      inject_fault(qc, InjectionPoint{99, 0, 0, 0}, PhaseShiftFault{}),
+      Error);
+  EXPECT_THROW(
+      inject_fault(qc, InjectionPoint{0, 7, 0, 0}, PhaseShiftFault{}),
+      Error);
+}
+
+TEST(Injection, NeighborCandidatesFollowCoupling) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  const auto coupling =
+      transpile::CouplingMap::from_backend(spec.backend);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  ASSERT_FALSE(points.empty());
+  for (const auto& p : points) {
+    for (int nb : neighbor_candidates(transpiled, coupling, p)) {
+      EXPECT_TRUE(coupling.connected(p.qubit, nb));
+      EXPECT_GE(transpiled.logical_at(p.instr_index, nb), 0);
+    }
+  }
+}
+
+// -------------------------------------------------------- single campaign
+
+TEST(SingleCampaign, RunsAllConfigs) {
+  const auto spec = quick_spec();
+  const auto result = run_single_fault_campaign(spec);
+  const auto points = campaign_points(spec);
+  EXPECT_EQ(result.points.size(), points.size());
+  EXPECT_EQ(result.records.size(),
+            points.size() * static_cast<std::size_t>(spec.grid.num_configs()));
+  EXPECT_EQ(result.meta.executions, result.records.size());
+  EXPECT_FALSE(result.meta.double_fault);
+  for (const auto& r : result.records) {
+    EXPECT_GE(r.qvf, 0.0);
+    EXPECT_LE(r.qvf, 1.0);
+  }
+}
+
+TEST(SingleCampaign, IdentityConfigMatchesFaultFree) {
+  const auto spec = quick_spec();
+  const auto result = run_single_fault_campaign(spec);
+  // All (theta=0, phi=0) records equal the fault-free QVF.
+  for (const auto& r : result.records) {
+    if (r.theta_index == 0 && r.phi_index == 0) {
+      EXPECT_NEAR(r.qvf, result.meta.faultfree_qvf, 1e-9);
+    }
+  }
+  // Noise floor: fault-free QVF is small but positive (paper §V-B).
+  EXPECT_GT(result.meta.faultfree_qvf, 0.0);
+  EXPECT_LT(result.meta.faultfree_qvf, 0.3);
+}
+
+TEST(SingleCampaign, ThetaPiIsWorstRow) {
+  const auto spec = quick_spec();
+  const auto result = run_single_fault_campaign(spec);
+  const auto heatmap = result.mean_heatmap();
+  // Mean QVF at theta=pi (last column) must exceed theta=0 (first column).
+  const int last = static_cast<int>(heatmap.theta_rad.size()) - 1;
+  double mean_flip = 0.0, mean_none = 0.0;
+  for (std::size_t j = 0; j < heatmap.phi_rad.size(); ++j) {
+    mean_flip += heatmap.mean_qvf[j][static_cast<std::size_t>(last)];
+    mean_none += heatmap.mean_qvf[j][0];
+  }
+  EXPECT_GT(mean_flip, mean_none + 0.2);
+}
+
+TEST(SingleCampaign, DeterministicAcrossThreadCounts) {
+  auto spec = quick_spec();
+  spec.shots = 64;  // exercise the sampling path too
+  spec.threads = 1;
+  const auto a = run_single_fault_campaign(spec);
+  spec.threads = 4;
+  const auto b = run_single_fault_campaign(spec);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].qvf, b.records[i].qvf) << i;
+  }
+}
+
+TEST(SingleCampaign, GoldenFromIdealSimWhenNotProvided) {
+  auto spec = quick_spec();
+  spec.expected_outputs.clear();
+  const auto result = run_single_fault_campaign(spec);
+  EXPECT_FALSE(result.records.empty());
+  EXPECT_LT(result.meta.faultfree_qvf, 0.3);
+}
+
+TEST(SingleCampaign, MaxPointsStrides) {
+  auto spec = quick_spec();
+  spec.max_points = 3;
+  const auto result = run_single_fault_campaign(spec);
+  EXPECT_EQ(result.points.size(), 3u);
+}
+
+TEST(SingleCampaign, BackendOverrideIsUsed) {
+  auto spec = quick_spec();
+  spec.max_points = 2;
+  spec.grid.theta_step_deg = 90.0;
+  backend::SimulatedHardwareBackend hw(spec.backend);
+  spec.backend_override = &hw;
+  const auto result = run_single_fault_campaign(spec);
+  EXPECT_NE(result.meta.backend_name.find("hardware_sim"), std::string::npos);
+}
+
+TEST(SingleCampaign, PerQubitHeatmapsPartitionRecords) {
+  const auto spec = quick_spec();
+  const auto result = run_single_fault_campaign(spec);
+  const auto qubits = result.logical_qubits();
+  ASSERT_FALSE(qubits.empty());
+  std::uint64_t total_samples = 0;
+  for (int lq : qubits) {
+    const auto grid = result.heatmap_for_logical_qubit(lq);
+    total_samples += grid.samples[0][0];
+  }
+  EXPECT_EQ(total_samples, result.mean_heatmap().samples[0][0]);
+}
+
+TEST(SingleCampaign, HandlesSpreadDistributionCircuits) {
+  // IQP output distributions are spread over many states; the golden set
+  // comes from compute_golden's most-probable rule and the campaign must
+  // still produce valid QVF values.
+  CampaignSpec spec;
+  spec.circuit = algo::iqp_circuit(4, 11);
+  spec.grid.theta_step_deg = 90.0;
+  spec.grid.phi_step_deg = 180.0;
+  spec.max_points = 6;
+  spec.threads = 2;
+  const auto result = run_single_fault_campaign(spec);
+  ASSERT_FALSE(result.records.empty());
+  for (const auto& r : result.records) {
+    EXPECT_GE(r.qvf, 0.0);
+    EXPECT_LE(r.qvf, 1.0);
+  }
+}
+
+// -------------------------------------------------------- double campaign
+
+TEST(DoubleCampaign, SecondaryBoundedByPrimary) {
+  auto spec = quick_spec();
+  spec.grid.theta_step_deg = 90.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.grid.phi_max_deg = 180.0;
+  spec.max_points = 4;
+  const auto result = run_double_fault_campaign(spec);
+  EXPECT_TRUE(result.meta.double_fault);
+  ASSERT_FALSE(result.records.empty());
+  for (const auto& r : result.records) {
+    EXPECT_LE(r.theta1_index, r.theta_index);
+    EXPECT_LE(r.phi1_index, r.phi_index);
+    EXPECT_GE(r.neighbor_qubit, 0);
+  }
+}
+
+TEST(DoubleCampaign, ExecutionCountMatchesFormula) {
+  auto spec = quick_spec();
+  spec.grid.theta_step_deg = 90.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.grid.phi_max_deg = 180.0;
+  spec.max_points = 4;
+  const auto pairs = campaign_point_neighbor_pairs(spec);
+  const auto result = run_double_fault_campaign(spec);
+  EXPECT_EQ(result.meta.executions,
+            double_campaign_executions(pairs.size(), spec.grid));
+}
+
+TEST(DoubleCampaign, WorsensMeanQvf) {
+  // The paper's central multi-fault finding: double faults push QVF up.
+  auto spec = quick_spec();
+  spec.grid.theta_step_deg = 60.0;
+  spec.grid.phi_step_deg = 60.0;
+  spec.grid.phi_max_deg = 180.0;
+  spec.max_points = 6;
+  const auto single = run_single_fault_campaign(spec);
+  const auto dbl = run_double_fault_campaign(spec);
+  EXPECT_GT(dbl.qvf_stats().mean(), single.qvf_stats().mean());
+}
+
+TEST(DoubleCampaign, SecondaryDetailGridFilled) {
+  auto spec = quick_spec();
+  spec.grid.theta_step_deg = 90.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.grid.phi_max_deg = 180.0;
+  spec.max_points = 3;
+  const auto result = run_double_fault_campaign(spec);
+  const int ti = spec.grid.num_theta() - 1;
+  const int pi_idx = spec.grid.num_phi() - 1;
+  const auto detail = result.secondary_detail(ti, pi_idx);
+  // Full secondary triangle available at the (pi, pi) primary.
+  EXPECT_GT(detail.samples[0][0], 0u);
+  EXPECT_GT(detail.samples[static_cast<std::size_t>(pi_idx)]
+                          [static_cast<std::size_t>(ti)],
+            0u);
+}
+
+TEST(DoubleCampaign, SingleCampaignHasNoSecondaryDetail) {
+  const auto spec = quick_spec();
+  const auto result = run_single_fault_campaign(spec);
+  EXPECT_THROW(result.secondary_detail(0, 0), Error);
+}
+
+// ---------------------------------------------------- named-fault campaign
+
+TEST(NamedFaultCampaign, ProducesOneEntryPerFault) {
+  auto spec = quick_spec();
+  spec.max_points = 4;
+  const auto faults = gate_equivalent_faults();
+  const auto results = run_named_fault_campaign(spec, faults);
+  ASSERT_EQ(results.size(), faults.size());
+  for (const auto& r : results) {
+    EXPECT_GE(r.mean_qvf, 0.0);
+    EXPECT_LE(r.mean_qvf, 1.0);
+    EXPECT_EQ(r.executions, 4u);
+  }
+  // Z fault (phi=pi) should be at least as harmful as T (phi=pi/4) on BV.
+  EXPECT_GE(results[2].mean_qvf, results[0].mean_qvf - 0.05);
+}
+
+// ------------------------------------------------------------ aggregation
+
+TEST(Results, HeatmapDeltaAndAccessors) {
+  const auto spec = quick_spec();
+  const auto result = run_single_fault_campaign(spec);
+  const auto grid = result.mean_heatmap();
+  const auto zero = grid.delta(grid);
+  for (std::size_t j = 0; j < zero.mean_qvf.size(); ++j) {
+    for (double v : zero.mean_qvf[j]) EXPECT_NEAR(v, 0.0, 1e-12);
+  }
+  EXPECT_NO_THROW(grid.at(0, 0));
+}
+
+TEST(Results, HistogramAndStatsConsistent) {
+  const auto spec = quick_spec();
+  const auto result = run_single_fault_campaign(spec);
+  const auto hist = result.qvf_histogram(10);
+  EXPECT_EQ(hist.total(), result.records.size());
+  EXPECT_NEAR(hist.stats().mean(), result.qvf_stats().mean(), 1e-12);
+  const auto impact = result.impact_breakdown();
+  EXPECT_NEAR(impact.masked + impact.dubious + impact.silent, 1.0, 1e-12);
+}
+
+TEST(Results, CsvExportHasHeaderAndRows) {
+  const auto spec = quick_spec();
+  const auto result = run_single_fault_campaign(spec);
+  const std::string path = ::testing::TempDir() + "qufi_campaign.csv";
+  result.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, result.records.size() + 2);  // meta + header + rows
+  std::remove(path.c_str());
+}
+
+TEST(Results, InjectionAccountingFormulas) {
+  // Reproduce the paper's arithmetic: 312 configs x 1024 shots x 59 points
+  // = 18,849,792 injections for the fixed-width campaign (§V-B).
+  const FaultParamGrid paper_grid;
+  EXPECT_EQ(single_campaign_executions(59, paper_grid) * 1024,
+            18849792u);
+  // Double campaign (§V-D): 20 pairs x T(13)^2 x 1024 = 169,594,880.
+  FaultParamGrid primary;
+  primary.phi_max_deg = 180.0;
+  EXPECT_EQ(double_campaign_executions(20, primary) * 1024, 169594880u);
+}
+
+// ---------------------------------------------------------------- report
+
+TEST(Report, AngleLabels) {
+  EXPECT_EQ(angle_label(0.0), "0");
+  EXPECT_EQ(angle_label(kPi), "pi");
+  EXPECT_EQ(angle_label(kPi / 4), "pi/4");
+  EXPECT_EQ(angle_label(3 * kPi / 4), "3pi/4");
+  EXPECT_EQ(angle_label(-kPi / 2), "-pi/2");
+}
+
+TEST(Report, HeatmapRendering) {
+  const auto spec = quick_spec();
+  const auto result = run_single_fault_campaign(spec);
+  const std::string out = render_heatmap(result.mean_heatmap(), "test map");
+  EXPECT_NE(out.find("test map"), std::string::npos);
+  EXPECT_NE(out.find("pi"), std::string::npos);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+}
+
+TEST(Report, CampaignSummaryMentionsKeyFigures) {
+  const auto spec = quick_spec();
+  const auto result = run_single_fault_campaign(spec);
+  const std::string out = render_campaign_summary(result);
+  EXPECT_NE(out.find("fault-free QVF"), std::string::npos);
+  EXPECT_NE(out.find("masked="), std::string::npos);
+}
+
+TEST(Report, NamedFaultComparison) {
+  const std::vector<NamedFaultQvf> a{{"t", 0.3, 4}, {"z", 0.5, 4}};
+  const std::vector<NamedFaultQvf> b{{"t", 0.32, 4}, {"z", 0.48, 4}};
+  const std::string out =
+      render_named_fault_comparison(a, b, "sim", "machine");
+  EXPECT_NE(out.find("max |diff|"), std::string::npos);
+  const std::vector<NamedFaultQvf> mismatched{{"x", 0.1, 1}, {"z", 0.2, 1}};
+  EXPECT_THROW(render_named_fault_comparison(a, mismatched, "a", "b"), Error);
+}
+
+TEST(Report, HeatmapCsv) {
+  const auto spec = quick_spec();
+  const auto result = run_single_fault_campaign(spec);
+  const std::string path = ::testing::TempDir() + "qufi_heatmap.csv";
+  write_heatmap_csv(result.mean_heatmap(), path);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, result.mean_heatmap().phi_rad.size() + 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qufi

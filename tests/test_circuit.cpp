@@ -1,0 +1,283 @@
+// Unit tests for the circuit IR: gates, builder, moments, inverse.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/circuit.hpp"
+#include "circuit/gate.hpp"
+#include "circuit/moments.hpp"
+#include "util/error.hpp"
+
+namespace qufi::circ {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// ---------------------------------------------------------------- gates
+
+TEST(Gate, InfoLookup) {
+  EXPECT_STREQ(gate_info(GateKind::CX).name, "cx");
+  EXPECT_EQ(gate_info(GateKind::CX).num_qubits, 2);
+  EXPECT_EQ(gate_info(GateKind::U).num_params, 3);
+  EXPECT_FALSE(gate_info(GateKind::Measure).is_unitary);
+  EXPECT_EQ(gate_info(GateKind::CCX).num_qubits, 3);
+}
+
+TEST(Gate, FromNameRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(GateKind::Reset); ++i) {
+    const auto kind = static_cast<GateKind>(i);
+    EXPECT_EQ(gate_from_name(gate_info(kind).name), kind);
+  }
+  EXPECT_THROW(gate_from_name("bogus"), Error);
+}
+
+// Every 1q gate matrix must be unitary (parameter sweep).
+class OneQubitGateUnitarity
+    : public ::testing::TestWithParam<std::tuple<GateKind, double>> {};
+
+TEST_P(OneQubitGateUnitarity, MatrixIsUnitary) {
+  const auto [kind, angle] = GetParam();
+  const auto& info = gate_info(kind);
+  std::vector<double> params;
+  for (int k = 0; k < info.num_params; ++k)
+    params.push_back(angle * (k + 1) / 2.0);
+  EXPECT_TRUE(gate_matrix1(kind, params).is_unitary())
+      << info.name << " angle=" << angle;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGatesAndAngles, OneQubitGateUnitarity,
+    ::testing::Combine(
+        ::testing::Values(GateKind::I, GateKind::X, GateKind::Y, GateKind::Z,
+                          GateKind::H, GateKind::S, GateKind::Sdg, GateKind::T,
+                          GateKind::Tdg, GateKind::SX, GateKind::SXdg,
+                          GateKind::RX, GateKind::RY, GateKind::RZ, GateKind::P,
+                          GateKind::U),
+        ::testing::Values(-kPi, -kPi / 3, 0.0, kPi / 7, kPi / 2, kPi,
+                          1.9 * kPi)));
+
+class TwoQubitGateUnitarity
+    : public ::testing::TestWithParam<std::tuple<GateKind, double>> {};
+
+TEST_P(TwoQubitGateUnitarity, MatrixIsUnitary) {
+  const auto [kind, angle] = GetParam();
+  std::vector<double> params;
+  for (int k = 0; k < gate_info(kind).num_params; ++k) params.push_back(angle);
+  EXPECT_TRUE(gate_matrix2(kind, params).is_unitary());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGatesAndAngles, TwoQubitGateUnitarity,
+    ::testing::Combine(::testing::Values(GateKind::CX, GateKind::CY,
+                                         GateKind::CZ, GateKind::CH,
+                                         GateKind::CP, GateKind::CRZ,
+                                         GateKind::SWAP),
+                       ::testing::Values(-kPi / 2, 0.3, kPi)));
+
+TEST(Gate, KnownMatrices) {
+  const auto x = gate_matrix1(GateKind::X, {});
+  EXPECT_EQ(x(0, 1), (util::cplx{1, 0}));
+  EXPECT_EQ(x(0, 0), (util::cplx{0, 0}));
+
+  // SX^2 == X.
+  const auto sx = gate_matrix1(GateKind::SX, {});
+  EXPECT_TRUE((sx * sx).approx_equal(x));
+
+  // T^2 == S, S^2 == Z.
+  const auto t = gate_matrix1(GateKind::T, {});
+  const auto s = gate_matrix1(GateKind::S, {});
+  const auto z = gate_matrix1(GateKind::Z, {});
+  EXPECT_TRUE((t * t).approx_equal(s));
+  EXPECT_TRUE((s * s).approx_equal(z));
+
+  // H Z H == X.
+  const auto h = gate_matrix1(GateKind::H, {});
+  EXPECT_TRUE((h * z * h).approx_equal(x, 1e-12));
+}
+
+TEST(Gate, UGateMatchesSpecialCases) {
+  // U(0, 0, lambda) == P(lambda).
+  const double lam[] = {0.73};
+  const double u_args[] = {0.0, 0.0, 0.73};
+  EXPECT_TRUE(gate_matrix1(GateKind::U, u_args)
+                  .approx_equal(gate_matrix1(GateKind::P, lam)));
+  // U(pi, 0, pi) == X.
+  const double x_args[] = {kPi, 0.0, kPi};
+  EXPECT_TRUE(gate_matrix1(GateKind::U, x_args)
+                  .approx_equal(gate_matrix1(GateKind::X, {}), 1e-12));
+  // U(theta, -pi/2, pi/2) == RX(theta).
+  const double rx_arg[] = {0.9};
+  const double urx[] = {0.9, -kPi / 2, kPi / 2};
+  EXPECT_TRUE(gate_matrix1(GateKind::U, urx)
+                  .approx_equal(gate_matrix1(GateKind::RX, rx_arg), 1e-12));
+}
+
+TEST(Gate, CxMatrixLittleEndian) {
+  // Control = operand 0 = low bit: |01> (q0=1) -> |11>.
+  const auto cx = gate_matrix2(GateKind::CX, {});
+  EXPECT_EQ(cx(3, 1), (util::cplx{1, 0}));
+  EXPECT_EQ(cx(1, 3), (util::cplx{1, 0}));
+  EXPECT_EQ(cx(0, 0), (util::cplx{1, 0}));
+  EXPECT_EQ(cx(2, 2), (util::cplx{1, 0}));
+  EXPECT_EQ(cx(1, 1), (util::cplx{0, 0}));
+}
+
+TEST(Gate, InversePairs) {
+  const auto check_inverse = [](GateKind kind, std::span<const double> params) {
+    const auto inv = gate_inverse(kind, params);
+    const std::span<const double> inv_params{inv.params.data(),
+                                             static_cast<std::size_t>(inv.num_params)};
+    const auto m = gate_matrix1(kind, params);
+    const auto mi = gate_matrix1(inv.kind, inv_params);
+    EXPECT_TRUE((m * mi).equal_up_to_phase(util::Mat2::identity(), 1e-12))
+        << gate_info(kind).name;
+  };
+  check_inverse(GateKind::S, {});
+  check_inverse(GateKind::T, {});
+  check_inverse(GateKind::SX, {});
+  const double angle[] = {1.234};
+  check_inverse(GateKind::RX, angle);
+  check_inverse(GateKind::RZ, angle);
+  check_inverse(GateKind::P, angle);
+  const double u_args[] = {0.5, 1.5, -0.7};
+  check_inverse(GateKind::U, u_args);
+  EXPECT_THROW(gate_inverse(GateKind::Measure, {}), Error);
+}
+
+// --------------------------------------------------------------- circuit
+
+TEST(Circuit, BuilderChainsAndCounts) {
+  QuantumCircuit qc(3, 3);
+  qc.h(0).cx(0, 1).cx(1, 2).measure_all();
+  EXPECT_EQ(qc.size(), 6u);
+  EXPECT_EQ(qc.count_ops().at("cx"), 2);
+  EXPECT_EQ(qc.count_ops().at("measure"), 3);
+  EXPECT_EQ(qc.num_unitary_gates(), 3);
+}
+
+TEST(Circuit, ValidatesQubitRanges) {
+  QuantumCircuit qc(2, 1);
+  EXPECT_THROW(qc.h(2), Error);
+  EXPECT_THROW(qc.h(-1), Error);
+  EXPECT_THROW(qc.cx(0, 0), Error);  // duplicate operand
+  EXPECT_THROW(qc.measure(0, 5), Error);
+  EXPECT_THROW(qc.measure(3, 0), Error);
+}
+
+TEST(Circuit, ValidatesParamCounts) {
+  QuantumCircuit qc(1);
+  EXPECT_THROW(qc.append(Instruction{GateKind::RZ, {0}, {}, {}}), Error);
+  EXPECT_THROW(qc.append(Instruction{GateKind::H, {0}, {}, {0.5}}), Error);
+  EXPECT_THROW(qc.append(Instruction{GateKind::H, {0}, {0}, {}}), Error);
+}
+
+TEST(Circuit, DepthComputation) {
+  QuantumCircuit qc(3);
+  qc.h(0).h(1).h(2);  // one layer
+  EXPECT_EQ(qc.depth(), 1);
+  qc.cx(0, 1);  // second layer
+  EXPECT_EQ(qc.depth(), 2);
+  qc.h(2);  // still fits layer 2
+  EXPECT_EQ(qc.depth(), 2);
+  qc.cx(1, 2);  // layer 3
+  EXPECT_EQ(qc.depth(), 3);
+}
+
+TEST(Circuit, BarrierSynchronizesWithoutDepth) {
+  QuantumCircuit qc(2);
+  qc.h(0);
+  qc.barrier();
+  qc.h(1);  // must start after the barrier => layer 2
+  EXPECT_EQ(qc.depth(), 2);
+}
+
+TEST(Circuit, MeasureAllGrowsClbits) {
+  QuantumCircuit qc(3, 0);
+  qc.h(0).measure_all();
+  EXPECT_EQ(qc.num_clbits(), 3);
+}
+
+TEST(Circuit, ComposeWithMapping) {
+  QuantumCircuit inner(2);
+  inner.h(0).cx(0, 1);
+  QuantumCircuit outer(4);
+  outer.compose(inner, {2, 3});
+  ASSERT_EQ(outer.size(), 2u);
+  EXPECT_EQ(outer.instructions()[0].qubits[0], 2);
+  EXPECT_EQ(outer.instructions()[1].qubits, (std::vector<int>{2, 3}));
+  EXPECT_THROW(outer.compose(inner, {0}), Error);
+}
+
+TEST(Circuit, InverseReversesAndInverts) {
+  QuantumCircuit qc(2);
+  qc.h(0).s(1).cx(0, 1).t(0);
+  const auto inv = qc.inverse();
+  ASSERT_EQ(inv.size(), 4u);
+  EXPECT_EQ(inv.instructions()[0].kind, GateKind::Tdg);
+  EXPECT_EQ(inv.instructions()[1].kind, GateKind::CX);
+  EXPECT_EQ(inv.instructions()[2].kind, GateKind::Sdg);
+  EXPECT_EQ(inv.instructions()[3].kind, GateKind::H);
+}
+
+TEST(Circuit, InverseRejectsMeasurement) {
+  QuantumCircuit qc(1, 1);
+  qc.h(0).measure(0, 0);
+  EXPECT_THROW(qc.inverse(), Error);
+}
+
+TEST(Circuit, MeasurementsAreTerminalDetection) {
+  QuantumCircuit ok(2, 2);
+  ok.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+  EXPECT_TRUE(ok.measurements_are_terminal());
+
+  QuantumCircuit bad(2, 2);
+  bad.h(0).measure(0, 0).cx(0, 1);
+  EXPECT_FALSE(bad.measurements_are_terminal());
+}
+
+TEST(Circuit, ActiveQubits) {
+  QuantumCircuit qc(5);
+  qc.h(1).cx(1, 3);
+  EXPECT_EQ(qc.active_qubits(), (std::vector<int>{1, 3}));
+}
+
+TEST(Circuit, ToStringMentionsGates) {
+  QuantumCircuit qc(2, 2);
+  qc.set_name("demo").h(0).cx(0, 1).measure(1, 0);
+  const std::string s = qc.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("cx q0,q1"), std::string::npos);
+  EXPECT_NE(s.find("-> c0"), std::string::npos);
+}
+
+// --------------------------------------------------------------- moments
+
+TEST(Moments, AsapLayering) {
+  QuantumCircuit qc(3);
+  qc.h(0).h(1).cx(0, 1).h(2);
+  const auto m = compute_moments(qc);
+  EXPECT_EQ(m.moment_of[0], 0);
+  EXPECT_EQ(m.moment_of[1], 0);
+  EXPECT_EQ(m.moment_of[2], 1);  // cx waits for both h
+  EXPECT_EQ(m.moment_of[3], 0);  // h(2) independent
+  EXPECT_EQ(m.num_moments(), 2);
+  EXPECT_EQ(m.instructions_per_moment[0].size(), 3u);
+}
+
+TEST(Moments, BarrierForcesOrdering) {
+  QuantumCircuit qc(2);
+  qc.h(0);
+  qc.barrier();
+  qc.h(1);
+  const auto m = compute_moments(qc);
+  EXPECT_EQ(m.moment_of[2], 1);  // h(1) pushed past the barrier
+}
+
+TEST(Moments, EmptyCircuit) {
+  QuantumCircuit qc(2);
+  const auto m = compute_moments(qc);
+  EXPECT_EQ(m.num_moments(), 0);
+}
+
+}  // namespace
+}  // namespace qufi::circ

@@ -1,0 +1,297 @@
+// Noise subsystem tests: Kraus channels (CPTP sweeps), readout, backend
+// properties, noise model construction, drift model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noise/backend_props.hpp"
+#include "noise/channels.hpp"
+#include "noise/drift.hpp"
+#include "noise/noise_model.hpp"
+#include "noise/readout.hpp"
+#include "sim/density_matrix.hpp"
+#include "util/error.hpp"
+
+namespace qufi::noise {
+namespace {
+
+// ------------------------------------------------------------- channels
+
+class Depolarizing1Cptp : public ::testing::TestWithParam<double> {};
+
+TEST_P(Depolarizing1Cptp, IsCptp) {
+  EXPECT_TRUE(depolarizing1(GetParam()).is_cptp());
+}
+INSTANTIATE_TEST_SUITE_P(Probabilities, Depolarizing1Cptp,
+                         ::testing::Values(0.0, 1e-4, 0.01, 0.25, 0.75, 1.0));
+
+class Depolarizing2Cptp : public ::testing::TestWithParam<double> {};
+
+TEST_P(Depolarizing2Cptp, IsCptp) {
+  const auto ch = depolarizing2(GetParam());
+  EXPECT_TRUE(ch.is_cptp());
+  if (GetParam() > 0) {
+    EXPECT_EQ(ch.ops.size(), 16u);
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Probabilities, Depolarizing2Cptp,
+                         ::testing::Values(0.0, 1e-3, 0.0125, 0.5, 1.0));
+
+class DampingCptp : public ::testing::TestWithParam<double> {};
+
+TEST_P(DampingCptp, AmplitudeAndPhaseDampingAreCptp) {
+  EXPECT_TRUE(amplitude_damping(GetParam()).is_cptp());
+  EXPECT_TRUE(phase_damping(GetParam()).is_cptp());
+}
+INSTANTIATE_TEST_SUITE_P(Gammas, DampingCptp,
+                         ::testing::Values(0.0, 0.001, 0.1, 0.5, 0.99, 1.0));
+
+TEST(Channels, ProbabilityValidation) {
+  EXPECT_THROW(depolarizing1(-0.1), Error);
+  EXPECT_THROW(depolarizing1(1.1), Error);
+  EXPECT_THROW(amplitude_damping(2.0), Error);
+  EXPECT_THROW(pauli_channel(0.6, 0.6, 0.0), Error);
+}
+
+TEST(Channels, AmplitudeDampingDecaysExcitedState) {
+  sim::DensityMatrix dm(1);
+  dm.apply_unitary1(circ::gate_matrix1(circ::GateKind::X, {}), 0);
+  dm.apply_kraus1(amplitude_damping(0.3).ops, 0);
+  EXPECT_NEAR(dm.probabilities()[1], 0.7, 1e-12);
+  EXPECT_NEAR(dm.probabilities()[0], 0.3, 1e-12);
+}
+
+TEST(Channels, PhaseDampingKillsCoherenceOnly) {
+  sim::DensityMatrix dm(1);
+  dm.apply_unitary1(circ::gate_matrix1(circ::GateKind::H, {}), 0);
+  dm.apply_kraus1(phase_damping(1.0).ops, 0);
+  EXPECT_NEAR(dm.probabilities()[0], 0.5, 1e-12);
+  EXPECT_NEAR(std::abs(dm.at(0, 1)), 0.0, 1e-12);
+}
+
+class ThermalRelaxCptp
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(ThermalRelaxCptp, IsCptp) {
+  const auto [t, t1, t2] = GetParam();
+  EXPECT_TRUE(thermal_relaxation(t, t1, t2).is_cptp());
+}
+INSTANTIATE_TEST_SUITE_P(
+    Durations, ThermalRelaxCptp,
+    ::testing::Values(std::tuple{0.0, 100.0, 80.0},
+                      std::tuple{35.5, 100.0, 80.0},
+                      std::tuple{300.0, 100.0, 80.0},
+                      std::tuple{5351.0, 100.0, 80.0},
+                      std::tuple{35.5, 150.0, 290.0},  // T2 close to 2*T1
+                      std::tuple{1e6, 100.0, 80.0}));
+
+TEST(Channels, ThermalRelaxationMatchesT1T2Decay) {
+  // After time t: P(1) decays by exp(-t/T1); |rho01| decays by exp(-t/T2).
+  const double t1 = 100.0, t2 = 60.0;    // us
+  const double t_ns = 50000.0;           // 50 us
+  const double t_us = 50.0;
+
+  sim::DensityMatrix excited(1);
+  excited.apply_unitary1(circ::gate_matrix1(circ::GateKind::X, {}), 0);
+  excited.apply_kraus1(thermal_relaxation(t_ns, t1, t2).ops, 0);
+  EXPECT_NEAR(excited.probabilities()[1], std::exp(-t_us / t1), 1e-9);
+
+  sim::DensityMatrix coherent(1);
+  coherent.apply_unitary1(circ::gate_matrix1(circ::GateKind::H, {}), 0);
+  coherent.apply_kraus1(thermal_relaxation(t_ns, t1, t2).ops, 0);
+  EXPECT_NEAR(std::abs(coherent.at(0, 1)), 0.5 * std::exp(-t_us / t2), 1e-9);
+}
+
+TEST(Channels, ThermalRelaxationValidation) {
+  EXPECT_THROW(thermal_relaxation(-1.0, 100, 80), Error);
+  EXPECT_THROW(thermal_relaxation(10, 0.0, 80), Error);
+  EXPECT_THROW(thermal_relaxation(10, 100, 250), Error);  // T2 > 2*T1
+}
+
+TEST(Channels, PauliChannelFlipsWithGivenProbability) {
+  sim::DensityMatrix dm(1);
+  dm.apply_kraus1(bit_flip(0.25).ops, 0);
+  EXPECT_NEAR(dm.probabilities()[1], 0.25, 1e-12);
+  EXPECT_TRUE(bit_flip(0.25).is_cptp());
+  EXPECT_TRUE(phase_flip(0.4).is_cptp());
+  EXPECT_TRUE(pauli_channel(0.1, 0.2, 0.3).is_cptp());
+}
+
+TEST(Channels, CoherentRotationsAreUnitary) {
+  EXPECT_TRUE(coherent_z_rotation(0.01).is_cptp());
+  EXPECT_TRUE(coherent_x_rotation(-0.02).is_cptp());
+  EXPECT_EQ(coherent_z_rotation(0.01).ops.size(), 1u);
+}
+
+// -------------------------------------------------------------- readout
+
+TEST(Readout, ConfusionMixesDistribution) {
+  std::vector<double> probs{1.0, 0.0};  // certainly "0"
+  const int clbits[] = {0};
+  const ReadoutError errors[] = {{0.1, 0.2}};
+  apply_readout_error(probs, clbits, errors);
+  EXPECT_NEAR(probs[0], 0.9, 1e-12);
+  EXPECT_NEAR(probs[1], 0.1, 1e-12);
+}
+
+TEST(Readout, TwoBitFactorization) {
+  std::vector<double> probs{0.0, 0.0, 0.0, 1.0};  // "11"
+  const int clbits[] = {0, 1};
+  const ReadoutError errors[] = {{0.0, 0.1}, {0.0, 0.2}};
+  apply_readout_error(probs, clbits, errors);
+  EXPECT_NEAR(probs[0b11], 0.9 * 0.8, 1e-12);
+  EXPECT_NEAR(probs[0b10], 0.1 * 0.8, 1e-12);
+  EXPECT_NEAR(probs[0b01], 0.9 * 0.2, 1e-12);
+  EXPECT_NEAR(probs[0b00], 0.1 * 0.2, 1e-12);
+}
+
+TEST(Readout, PreservesTotalProbability) {
+  std::vector<double> probs{0.25, 0.25, 0.25, 0.25};
+  const int clbits[] = {0, 1};
+  const ReadoutError errors[] = {{0.03, 0.07}, {0.02, 0.05}};
+  apply_readout_error(probs, clbits, errors);
+  double total = 0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Readout, SampleFlipsDeterministicInSeed) {
+  util::Xoshiro256pp rng1(9), rng2(9);
+  const int clbits[] = {0, 2};
+  const ReadoutError errors[] = {{0.5, 0.5}, {0.5, 0.5}};
+  const auto a = sample_readout_flips(0b101, clbits, errors, rng1);
+  const auto b = sample_readout_flips(0b101, clbits, errors, rng2);
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------- backend props
+
+TEST(BackendProps, FakeBackendsValidate) {
+  for (const auto& props :
+       {fake_casablanca(), fake_jakarta(), fake_linear(7),
+        fake_fully_connected(5), fake_grid(2, 4)}) {
+    EXPECT_NO_THROW(props.validate()) << props.name;
+    EXPECT_GT(props.num_qubits, 0);
+  }
+}
+
+TEST(BackendProps, CasablancaTopology) {
+  const auto props = fake_casablanca();
+  EXPECT_EQ(props.num_qubits, 7);
+  EXPECT_EQ(props.coupling.size(), 6u);  // the H-shaped tree
+  EXPECT_TRUE(props.connected(0, 1));
+  EXPECT_TRUE(props.connected(5, 6));
+  EXPECT_FALSE(props.connected(0, 6));
+  EXPECT_GT(props.cx_spec(1, 3).error, 0.0);
+  EXPECT_GT(props.cx_spec(3, 1).duration_ns, 0.0);  // order-insensitive
+  EXPECT_THROW(props.cx_spec(0, 6), Error);
+}
+
+TEST(BackendProps, LinearAndGridShapes) {
+  EXPECT_EQ(fake_linear(5).coupling.size(), 4u);
+  EXPECT_EQ(fake_grid(3, 3).coupling.size(), 12u);
+  EXPECT_EQ(fake_fully_connected(5).coupling.size(), 10u);
+}
+
+TEST(BackendProps, T2Bounded) {
+  for (const auto& props : {fake_casablanca(), fake_jakarta(), fake_linear(12)}) {
+    for (const auto& q : props.qubits) {
+      EXPECT_LE(q.t2_us, 2.0 * q.t1_us + 1e-9) << props.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------- noise model
+
+TEST(NoiseModel, IdealModelHasNoChannels) {
+  const auto nm = NoiseModel::ideal();
+  EXPECT_TRUE(nm.is_ideal());
+  EXPECT_TRUE(nm.channels_after_1q(circ::GateKind::SX, 0).empty());
+  EXPECT_EQ(nm.channels_after_2q(0, 1).depol, nullptr);
+  EXPECT_TRUE(nm.readout(0).is_trivial());
+}
+
+TEST(NoiseModel, FromBackendBuildsChannels) {
+  const auto nm = NoiseModel::from_backend(fake_casablanca());
+  EXPECT_FALSE(nm.is_ideal());
+  EXPECT_EQ(nm.num_qubits(), 7);
+  const auto chans = nm.channels_after_1q(circ::GateKind::SX, 0);
+  EXPECT_EQ(chans.size(), 2u);  // thermal relaxation + depolarizing
+  for (const auto* ch : chans) EXPECT_TRUE(ch->is_cptp());
+
+  const auto tq = nm.channels_after_2q(0, 1);
+  ASSERT_NE(tq.depol, nullptr);
+  EXPECT_TRUE(tq.depol->is_cptp());
+  EXPECT_TRUE(tq.relax_a->is_cptp());
+}
+
+TEST(NoiseModel, VirtualGatesAreNoiseFree) {
+  const auto nm = NoiseModel::from_backend(fake_casablanca());
+  EXPECT_TRUE(nm.channels_after_1q(circ::GateKind::RZ, 0).empty());
+  EXPECT_TRUE(nm.channels_after_1q(circ::GateKind::I, 0).empty());
+  // The fault-injector U gate is exempt by design.
+  EXPECT_TRUE(nm.channels_after_1q(circ::GateKind::U, 0).empty());
+  // Physical gates are not.
+  EXPECT_FALSE(nm.channels_after_1q(circ::GateKind::X, 0).empty());
+  EXPECT_FALSE(nm.channels_after_1q(circ::GateKind::H, 0).empty());
+}
+
+TEST(NoiseModel, ScaleZeroIsIdeal) {
+  const auto nm = NoiseModel::from_backend(fake_casablanca(), 0.0);
+  EXPECT_TRUE(nm.is_ideal());
+}
+
+TEST(NoiseModel, UncalibratedEdgeFallsBack) {
+  const auto nm = NoiseModel::from_backend(fake_casablanca());
+  const auto tq = nm.channels_after_2q(0, 6);  // not a coupling edge
+  ASSERT_NE(tq.depol, nullptr);
+  EXPECT_TRUE(tq.depol->is_cptp());
+}
+
+TEST(NoiseModel, DurationsExposed) {
+  const auto nm = NoiseModel::from_backend(fake_casablanca());
+  EXPECT_NEAR(nm.duration_1q_ns(0), 35.5, 1e-9);
+  EXPECT_GT(nm.duration_2q_ns(0, 1), 100.0);
+  EXPECT_GT(nm.measure_duration_ns(), 1000.0);
+  EXPECT_TRUE(nm.idle_relaxation(0, 100.0).is_cptp());
+}
+
+// ----------------------------------------------------------------- drift
+
+TEST(Drift, DeterministicPerJob) {
+  const DriftModel drift;
+  const auto nominal = fake_jakarta();
+  const auto a = drift.sample(nominal, 3);
+  const auto b = drift.sample(nominal, 3);
+  const auto c = drift.sample(nominal, 4);
+  EXPECT_DOUBLE_EQ(a.qubits[0].t1_us, b.qubits[0].t1_us);
+  EXPECT_NE(a.qubits[0].t1_us, c.qubits[0].t1_us);
+}
+
+TEST(Drift, StaysNearNominal) {
+  const DriftModel drift;
+  const auto nominal = fake_jakarta();
+  for (std::uint64_t job = 0; job < 20; ++job) {
+    const auto d = drift.sample(nominal, job);
+    EXPECT_NO_THROW(d.validate());
+    for (int q = 0; q < d.num_qubits; ++q) {
+      const double ratio = d.qubits[static_cast<std::size_t>(q)].t1_us /
+                           nominal.qubits[static_cast<std::size_t>(q)].t1_us;
+      EXPECT_GT(ratio, 0.45);
+      EXPECT_LT(ratio, 1.55);
+    }
+  }
+}
+
+TEST(Drift, CoherentAnglesSmall) {
+  const DriftModel drift;
+  const auto angles = drift.sample_coherent(7, 1);
+  EXPECT_EQ(angles.size(), 7u);
+  for (const auto& a : angles) {
+    EXPECT_LT(std::abs(a.z_angle), 0.1);
+    EXPECT_LT(std::abs(a.x_angle), 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace qufi::noise

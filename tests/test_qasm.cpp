@@ -1,0 +1,138 @@
+// OpenQASM 2 export + parser tests, including round-trip property sweeps.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "algorithms/algorithms.hpp"
+#include "circuit/qasm.hpp"
+#include "sim/unitary.hpp"
+#include "util/error.hpp"
+
+namespace qufi::circ {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(QasmExport, HeaderAndRegisters) {
+  QuantumCircuit qc(3, 2);
+  qc.h(0).measure(0, 1);
+  const std::string q = to_qasm(qc);
+  EXPECT_NE(q.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(q.find("qreg q[3];"), std::string::npos);
+  EXPECT_NE(q.find("creg c[2];"), std::string::npos);
+  EXPECT_NE(q.find("h q[0];"), std::string::npos);
+  EXPECT_NE(q.find("measure q[0] -> c[1];"), std::string::npos);
+}
+
+TEST(QasmExport, CleanPiAngles) {
+  QuantumCircuit qc(1);
+  qc.rz(kPi / 2, 0).rz(-kPi, 0).rz(3 * kPi / 4, 0).rz(0.1234, 0);
+  const std::string q = to_qasm(qc);
+  EXPECT_NE(q.find("rz(pi/2)"), std::string::npos);
+  EXPECT_NE(q.find("rz(-pi)"), std::string::npos);
+  EXPECT_NE(q.find("rz(3*pi/4)"), std::string::npos);
+  EXPECT_NE(q.find("rz(0.1234"), std::string::npos);
+}
+
+TEST(QasmExport, SxGetsGateDefinition) {
+  QuantumCircuit qc(1);
+  qc.sx(0);
+  const std::string q = to_qasm(qc);
+  EXPECT_NE(q.find("gate sx a"), std::string::npos);
+}
+
+TEST(QasmParse, BasicProgram) {
+  const std::string src = R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[2];
+    creg c[2];
+    h q[0];
+    cx q[0],q[1];
+    measure q[0] -> c[0];
+    measure q[1] -> c[1];
+  )";
+  const auto qc = from_qasm(src);
+  EXPECT_EQ(qc.num_qubits(), 2);
+  EXPECT_EQ(qc.num_clbits(), 2);
+  ASSERT_EQ(qc.size(), 4u);
+  EXPECT_EQ(qc.instructions()[1].kind, GateKind::CX);
+}
+
+TEST(QasmParse, ParameterExpressions) {
+  const std::string src =
+      "OPENQASM 2.0;\nqreg q[1];\n"
+      "rz(pi/2) q[0]; rz(-pi/4) q[0]; rz(3*pi/4) q[0]; "
+      "u(pi/2,-pi/2,pi/2) q[0]; p((pi+pi)/4) q[0]; rz(1.5e-1) q[0];\n";
+  const auto qc = from_qasm(src);
+  ASSERT_EQ(qc.size(), 6u);
+  EXPECT_NEAR(qc.instructions()[0].params[0], kPi / 2, 1e-12);
+  EXPECT_NEAR(qc.instructions()[1].params[0], -kPi / 4, 1e-12);
+  EXPECT_NEAR(qc.instructions()[2].params[0], 3 * kPi / 4, 1e-12);
+  EXPECT_NEAR(qc.instructions()[3].params[1], -kPi / 2, 1e-12);
+  EXPECT_NEAR(qc.instructions()[4].params[0], kPi / 2, 1e-12);
+  EXPECT_NEAR(qc.instructions()[5].params[0], 0.15, 1e-12);
+}
+
+TEST(QasmParse, SkipsCommentsAndGateDefs) {
+  const std::string src =
+      "OPENQASM 2.0;\n// a comment\n"
+      "gate sx a { u(pi/2,-pi/2,pi/2) a; }\n"
+      "qreg q[1];\nsx q[0]; // trailing comment\n";
+  const auto qc = from_qasm(src);
+  ASSERT_EQ(qc.size(), 1u);
+  EXPECT_EQ(qc.instructions()[0].kind, GateKind::SX);
+}
+
+TEST(QasmParse, BarrierWholeRegister) {
+  const std::string src = "OPENQASM 2.0;\nqreg q[3];\nh q[0];\nbarrier q;\n";
+  const auto qc = from_qasm(src);
+  ASSERT_EQ(qc.size(), 2u);
+  EXPECT_EQ(qc.instructions()[1].qubits.size(), 3u);
+}
+
+TEST(QasmParse, Errors) {
+  EXPECT_THROW(from_qasm("qreg q[1];"), Error);  // missing header
+  EXPECT_THROW(from_qasm("OPENQASM 3.0;\nqreg q[1];"), Error);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0;\nh q[0];"), Error);  // no qreg
+  EXPECT_THROW(from_qasm("OPENQASM 2.0;\nqreg q[1];\nbogus q[0];"), Error);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0;\nqreg q[1];\nh r[0];"), Error);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0;\nqreg q[1];\nh q[5];"), Error);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0;\nqreg q[1];\nrz(1/0) q[0];"), Error);
+}
+
+TEST(QasmParse, ErrorMessagesCarryLineNumbers) {
+  try {
+    from_qasm("OPENQASM 2.0;\nqreg q[1];\nbogus q[0];\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+// Round-trip property: parse(export(c)) is semantically identical to c.
+class QasmRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QasmRoundTrip, PreservesUnitary) {
+  const auto original = algo::random_circuit(3, 6, GetParam(), 0.25);
+  const auto reparsed = from_qasm(to_qasm(original));
+  EXPECT_EQ(reparsed.num_qubits(), original.num_qubits());
+  const auto u_orig = sim::unitary_of(original);
+  const auto u_back = sim::unitary_of(reparsed);
+  EXPECT_TRUE(u_back.equal_up_to_phase(u_orig, 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QasmRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(QasmRoundTripAlgorithms, BvDjQftSurvive) {
+  for (const char* name : {"bv", "dj", "qft"}) {
+    const auto bench = algo::paper_circuit(name, 4);
+    const auto reparsed = from_qasm(to_qasm(bench.circuit));
+    EXPECT_EQ(reparsed.size(), bench.circuit.size()) << name;
+    EXPECT_EQ(reparsed.num_clbits(), bench.circuit.num_clbits()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace qufi::circ

@@ -1,0 +1,351 @@
+// Simulator tests: statevector, density matrix, unitary builder, and the
+// statevector == density-matrix property on random circuits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "algorithms/algorithms.hpp"
+#include "circuit/circuit.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/kernels.hpp"
+#include "sim/simulator.hpp"
+#include "sim/statevector.hpp"
+#include "sim/unitary.hpp"
+#include "util/error.hpp"
+
+namespace qufi::sim {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Statevector, InitializesToZeroState) {
+  Statevector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_NEAR(sv.probabilities()[0], 1.0, 1e-12);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, RejectsBadSizes) {
+  EXPECT_THROW(Statevector(0), Error);
+  EXPECT_THROW(Statevector(25), Error);
+  EXPECT_THROW(Statevector::from_amplitudes({{1, 0}, {0, 0}, {0, 0}}), Error);
+}
+
+TEST(Statevector, HadamardSuperposition) {
+  Statevector sv(1);
+  sv.apply_matrix1(circ::gate_matrix1(circ::GateKind::H, {}), 0);
+  const auto p = sv.probabilities();
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.5, 1e-12);
+}
+
+TEST(Statevector, BellState) {
+  circ::QuantumCircuit qc(2);
+  qc.h(0).cx(0, 1);
+  const auto sv = run_statevector(qc);
+  const auto p = sv.probabilities();
+  EXPECT_NEAR(p[0b00], 0.5, 1e-12);
+  EXPECT_NEAR(p[0b11], 0.5, 1e-12);
+  EXPECT_NEAR(p[0b01], 0.0, 1e-12);
+  EXPECT_NEAR(p[0b10], 0.0, 1e-12);
+}
+
+TEST(Statevector, CxLittleEndianControl) {
+  // X on q0 (control), then cx(0, 1) must flip q1: state |11> = index 3.
+  circ::QuantumCircuit qc(2);
+  qc.x(0).cx(0, 1);
+  EXPECT_NEAR(run_statevector(qc).probabilities()[3], 1.0, 1e-12);
+  // Control q1 = 0: no flip, state stays |01> = index 1.
+  circ::QuantumCircuit qc2(2);
+  qc2.x(0).cx(1, 0);
+  EXPECT_NEAR(run_statevector(qc2).probabilities()[1], 1.0, 1e-12);
+}
+
+TEST(Statevector, SwapGate) {
+  circ::QuantumCircuit qc(3);
+  qc.x(0).swap(0, 2);
+  EXPECT_NEAR(run_statevector(qc).probabilities()[0b100], 1.0, 1e-12);
+}
+
+TEST(Statevector, ToffoliTruthTable) {
+  for (int input = 0; input < 8; ++input) {
+    circ::QuantumCircuit qc(3);
+    for (int b = 0; b < 3; ++b) {
+      if ((input >> b) & 1) qc.x(b);
+    }
+    qc.ccx(0, 1, 2);
+    const int expected = ((input & 3) == 3) ? (input ^ 4) : input;
+    EXPECT_NEAR(run_statevector(qc).probabilities()[expected], 1.0, 1e-12)
+        << "input " << input;
+  }
+}
+
+TEST(Statevector, PhaseKickback) {
+  // |-> target: cx control picks up a phase; verify via interference.
+  circ::QuantumCircuit qc(2);
+  qc.h(0).x(1).h(1).cx(0, 1).h(0);
+  // f(x) = x: result on q0 should be |1>.
+  const auto p = run_statevector(qc).probabilities();
+  EXPECT_NEAR(p[0b01] + p[0b11], 1.0, 1e-12);
+}
+
+TEST(Statevector, MeasureCollapses) {
+  util::Xoshiro256pp rng(5);
+  Statevector sv(2);
+  sv.apply_matrix1(circ::gate_matrix1(circ::GateKind::H, {}), 0);
+  const int outcome = sv.measure_qubit(0, rng);
+  EXPECT_NEAR(sv.probability_one(0), static_cast<double>(outcome), 1e-12);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, MeasureStatistics) {
+  int ones = 0;
+  for (int i = 0; i < 2000; ++i) {
+    util::Xoshiro256pp rng(1000 + i);
+    Statevector sv(1);
+    sv.apply_matrix1(circ::gate_matrix1(circ::GateKind::H, {}), 0);
+    ones += sv.measure_qubit(0, rng);
+  }
+  EXPECT_NEAR(ones / 2000.0, 0.5, 0.05);
+}
+
+TEST(Statevector, ResetForcesZero) {
+  util::Xoshiro256pp rng(3);
+  Statevector sv(1);
+  sv.apply_matrix1(circ::gate_matrix1(circ::GateKind::X, {}), 0);
+  sv.reset_qubit(0, rng);
+  EXPECT_NEAR(sv.probabilities()[0], 1.0, 1e-12);
+}
+
+TEST(Statevector, FidelitySelfIsOne) {
+  const auto bench = algo::ghz(3);
+  circ::QuantumCircuit unitary_part(3);
+  unitary_part.h(0).cx(0, 1).cx(1, 2);
+  const auto sv = run_statevector(unitary_part);
+  EXPECT_NEAR(sv.fidelity(sv), 1.0, 1e-12);
+  EXPECT_NEAR(Statevector(3).fidelity(sv), 0.5, 1e-12);
+}
+
+TEST(Statevector, RunRejectsReset) {
+  circ::QuantumCircuit qc(1, 1);
+  qc.reset(0);
+  EXPECT_THROW(run_statevector(qc), Error);
+}
+
+// ---------------------------------------------------- clbit mapping
+
+TEST(ClbitMapping, SelectsMeasuredQubits) {
+  circ::QuantumCircuit qc(3, 2);
+  qc.x(2);
+  qc.measure(2, 0);  // clbit 0 <- qubit 2 (which is |1>)
+  qc.measure(0, 1);  // clbit 1 <- qubit 0 (|0>)
+  const auto probs = ideal_clbit_probabilities(qc);
+  EXPECT_NEAR(probs[0b01], 1.0, 1e-12);
+}
+
+TEST(ClbitMapping, LastMeasureWins) {
+  circ::QuantumCircuit qc(2, 1);
+  qc.x(1);
+  qc.measure(0, 0);
+  qc.measure(1, 0);  // overrides: clbit 0 reads qubit 1
+  const auto probs = ideal_clbit_probabilities(qc);
+  EXPECT_NEAR(probs[1], 1.0, 1e-12);
+}
+
+TEST(ClbitMapping, RequiresMeasurements) {
+  circ::QuantumCircuit qc(1, 1);
+  qc.h(0);
+  const auto sv_probs = run_statevector(qc).probabilities();
+  EXPECT_THROW(map_to_clbit_probs(sv_probs, qc), Error);
+}
+
+// ---------------------------------------------------- density matrix
+
+TEST(DensityMatrix, PureStateAgreesWithStatevector) {
+  circ::QuantumCircuit qc(2);
+  qc.h(0).cx(0, 1).t(1);
+  const auto sv = run_statevector(qc);
+  DensityMatrix dm(2);
+  for (const auto& instr : qc.instructions()) dm.apply_instruction(instr);
+  const auto sp = sv.probabilities();
+  const auto dp = dm.probabilities();
+  for (std::size_t i = 0; i < sp.size(); ++i) EXPECT_NEAR(sp[i], dp[i], 1e-12);
+  EXPECT_NEAR(dm.purity(), 1.0, 1e-12);
+  EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, FromStatevector) {
+  circ::QuantumCircuit qc(2);
+  qc.h(0);
+  const auto sv = run_statevector(qc);
+  const auto dm = DensityMatrix::from_statevector(sv);
+  EXPECT_NEAR(dm.at(0, 1).real(), 0.5, 1e-12);  // coherence present
+  EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, DepolarizingDrivesToMaximallyMixed) {
+  DensityMatrix dm(1);
+  // p = 3/4 is the fully-depolarizing point of our parametrization.
+  util::Mat2 kraus_id = util::Mat2::identity() * util::cplx{0.5, 0};
+  const auto x = circ::gate_matrix1(circ::GateKind::X, {});
+  const auto y = circ::gate_matrix1(circ::GateKind::Y, {});
+  const auto z = circ::gate_matrix1(circ::GateKind::Z, {});
+  const std::vector<util::Mat2> kraus = {kraus_id, x * util::cplx{0.5, 0},
+                                         y * util::cplx{0.5, 0},
+                                         z * util::cplx{0.5, 0}};
+  dm.apply_kraus1(kraus, 0);
+  EXPECT_NEAR(dm.at(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(dm.at(1, 1).real(), 0.5, 1e-12);
+  EXPECT_NEAR(dm.purity(), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, CcxMatchesStatevector) {
+  circ::QuantumCircuit qc(3);
+  qc.h(0).h(1).ccx(0, 1, 2);
+  const auto sv = run_statevector(qc);
+  DensityMatrix dm(3);
+  for (const auto& instr : qc.instructions()) dm.apply_instruction(instr);
+  const auto sp = sv.probabilities();
+  const auto dp = dm.probabilities();
+  for (std::size_t i = 0; i < sp.size(); ++i) EXPECT_NEAR(sp[i], dp[i], 1e-12);
+}
+
+TEST(DensityMatrix, RejectsNonUnitaryInstruction) {
+  DensityMatrix dm(1);
+  EXPECT_THROW(
+      dm.apply_instruction(circ::Instruction{circ::GateKind::Measure, {0}, {0}, {}}),
+      Error);
+}
+
+// Property: statevector and density matrix agree on random circuits.
+class SvDmEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SvDmEquivalence, ProbabilitiesMatch) {
+  const auto qc = algo::random_circuit(4, 8, GetParam(), 0.3);
+  const auto sv = run_statevector(qc);
+  DensityMatrix dm(4);
+  for (const auto& instr : qc.instructions()) {
+    if (instr.kind == circ::GateKind::Barrier) continue;
+    dm.apply_instruction(instr);
+  }
+  const auto sp = sv.probabilities();
+  const auto dp = dm.probabilities();
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    EXPECT_NEAR(sp[i], dp[i], 1e-10) << "seed " << GetParam() << " idx " << i;
+  }
+  EXPECT_NEAR(dm.purity(), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvDmEquivalence,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// ---------------------------------------------------- unitary builder
+
+TEST(Unitary, HadamardColumns) {
+  circ::QuantumCircuit qc(1);
+  qc.h(0);
+  const auto u = unitary_of(qc);
+  const double s = 1 / std::sqrt(2.0);
+  EXPECT_NEAR(u.at(0, 0).real(), s, 1e-12);
+  EXPECT_NEAR(u.at(1, 1).real(), -s, 1e-12);
+}
+
+TEST(Unitary, EqualUpToPhase) {
+  circ::QuantumCircuit a(2);
+  a.h(0).cx(0, 1);
+  circ::QuantumCircuit b(2);
+  // Same circuit with an extra global phase via rz pair.
+  b.h(0).cx(0, 1).rz(kPi, 0).rz(-kPi, 0);
+  EXPECT_TRUE(unitary_of(a).equal_up_to_phase(unitary_of(b), 1e-9));
+}
+
+TEST(Unitary, PermuteQubitsRelabels) {
+  circ::QuantumCircuit qc(2);
+  qc.x(0);
+  const auto u = unitary_of(qc).permute_qubits({1, 0});
+  circ::QuantumCircuit expected(2);
+  expected.x(1);
+  EXPECT_TRUE(u.equal_up_to_phase(unitary_of(expected), 1e-12));
+}
+
+TEST(Unitary, QftMatchesDftMatrix) {
+  const int n = 3;
+  const auto u = unitary_of(algo::qft_circuit(n));
+  const double norm = 1.0 / std::sqrt(8.0);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    for (std::uint64_t y = 0; y < 8; ++y) {
+      const double angle = 2 * kPi * static_cast<double>(x * y) / 8.0;
+      EXPECT_NEAR(u.at(y, x).real(), norm * std::cos(angle), 1e-9);
+      EXPECT_NEAR(u.at(y, x).imag(), norm * std::sin(angle), 1e-9);
+    }
+  }
+}
+
+// --------------------------------------------------- generic k-bit kernel
+
+TEST(KernelMatrixK, MatchesDedicatedKernels) {
+  // apply_matrix_k with k=1 and k=2 must agree with the specialized paths.
+  util::Xoshiro256pp rng(77);
+  std::vector<util::cplx> amps(32);
+  for (auto& a : amps) a = util::cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto amps2 = amps;
+
+  const auto h = circ::gate_matrix1(circ::GateKind::H, {});
+  detail::apply_matrix1(std::span<util::cplx>(amps), h, 3);
+  const int bits1[] = {3};
+  detail::apply_matrix_k(std::span<util::cplx>(amps2), h.a, bits1);
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    ASSERT_NEAR(std::abs(amps[i] - amps2[i]), 0.0, 1e-12);
+  }
+
+  const auto cx = circ::gate_matrix2(circ::GateKind::CX, {});
+  detail::apply_matrix2(std::span<util::cplx>(amps), cx, 1, 4);
+  const int bits2[] = {1, 4};
+  detail::apply_matrix_k(std::span<util::cplx>(amps2), cx.a, bits2);
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    ASSERT_NEAR(std::abs(amps[i] - amps2[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(KernelMatrixK, SparseDropIsHarmless) {
+  // A matrix with explicit tiny entries must behave like one with zeros.
+  std::array<util::cplx, 4> nearly_x{util::cplx{1e-15, 0}, util::cplx{1, 0},
+                                     util::cplx{1, 0}, util::cplx{-1e-15, 0}};
+  std::vector<util::cplx> amps(4, util::cplx{});
+  amps[0] = 1.0;
+  const int bits[] = {0};
+  detail::apply_matrix_k(std::span<util::cplx>(amps), nearly_x, bits);
+  EXPECT_NEAR(std::abs(amps[1] - util::cplx{1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(amps[0]), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------- distribution utils
+
+TEST(Distributions, MarginalProbabilities) {
+  circ::QuantumCircuit qc(3);
+  qc.x(1).h(2);
+  const auto probs = run_statevector(qc).probabilities();
+  const int qubits[] = {1, 2};
+  const auto marginal = marginal_probabilities(probs, qubits, 3);
+  EXPECT_NEAR(marginal[0b01], 0.5, 1e-12);  // q1=1, q2=0
+  EXPECT_NEAR(marginal[0b11], 0.5, 1e-12);  // q1=1, q2=1
+}
+
+TEST(Distributions, TvdAndHellinger) {
+  const double p[] = {1.0, 0.0};
+  const double q[] = {0.5, 0.5};
+  EXPECT_NEAR(total_variation_distance(p, q), 0.5, 1e-12);
+  EXPECT_NEAR(hellinger_fidelity(p, p), 1.0, 1e-12);
+  EXPECT_NEAR(hellinger_fidelity(p, q), 0.5, 1e-12);
+}
+
+TEST(Distributions, ExpectationZ) {
+  Statevector sv(1);
+  EXPECT_NEAR(expectation_z(sv, 0), 1.0, 1e-12);
+  sv.apply_matrix1(circ::gate_matrix1(circ::GateKind::X, {}), 0);
+  EXPECT_NEAR(expectation_z(sv, 0), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qufi::sim

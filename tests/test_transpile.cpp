@@ -1,0 +1,507 @@
+// Transpiler tests: coupling maps, layouts, basis decomposition,
+// optimization passes, routing, and end-to-end semantic equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "algorithms/algorithms.hpp"
+#include "sim/statevector.hpp"
+#include "sim/unitary.hpp"
+#include "transpile/coupling.hpp"
+#include "transpile/decompose.hpp"
+#include "transpile/layout.hpp"
+#include "transpile/optimize.hpp"
+#include "transpile/router.hpp"
+#include "transpile/transpiler.hpp"
+#include "util/bitstring.hpp"
+#include "util/error.hpp"
+
+namespace qufi::transpile {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// ---------------------------------------------------------------- coupling
+
+TEST(Coupling, CasablancaDistances) {
+  const auto cm = CouplingMap::from_backend(noise::fake_casablanca());
+  EXPECT_EQ(cm.num_qubits(), 7);
+  EXPECT_EQ(cm.distance(0, 1), 1);
+  EXPECT_EQ(cm.distance(0, 2), 2);
+  EXPECT_EQ(cm.distance(0, 6), 4);  // 0-1-3-5-6
+  EXPECT_TRUE(cm.is_connected());
+  EXPECT_EQ(cm.neighbors(5), (std::vector<int>{3, 4, 6}));
+}
+
+TEST(Coupling, ShortestPathEndpoints) {
+  const auto cm = CouplingMap::from_backend(noise::fake_casablanca());
+  const auto path = cm.shortest_path(0, 6);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 6);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(cm.connected(path[i], path[i + 1]));
+  }
+}
+
+TEST(Coupling, DisconnectedGraphDetected) {
+  const std::pair<int, int> edges[] = {{0, 1}};
+  const CouplingMap cm(4, edges);
+  EXPECT_FALSE(cm.is_connected());
+  EXPECT_EQ(cm.distance(0, 3), -1);
+  EXPECT_THROW(cm.shortest_path(0, 3), Error);
+}
+
+TEST(Coupling, RejectsBadEdges) {
+  const std::pair<int, int> self[] = {{1, 1}};
+  EXPECT_THROW(CouplingMap(3, self), Error);
+  const std::pair<int, int> oob[] = {{0, 9}};
+  EXPECT_THROW(CouplingMap(3, oob), Error);
+}
+
+// ------------------------------------------------------------------ layout
+
+TEST(Layout, TrivialIsIdentity) {
+  const auto layout = trivial_layout(3, 7);
+  EXPECT_EQ(layout.physical(2), 2);
+  EXPECT_EQ(layout.logical(2), 2);
+  EXPECT_EQ(layout.logical(5), -1);
+  EXPECT_THROW(trivial_layout(8, 7), Error);
+}
+
+TEST(Layout, FromL2pValidates) {
+  EXPECT_THROW(Layout::from_l2p({0, 0}, 3), Error);   // duplicate
+  EXPECT_THROW(Layout::from_l2p({0, 9}, 3), Error);   // out of range
+}
+
+TEST(Layout, SwapPhysicalUpdatesBothMaps) {
+  auto layout = trivial_layout(2, 3);
+  layout.swap_physical(1, 2);
+  EXPECT_EQ(layout.physical(1), 2);
+  EXPECT_EQ(layout.logical(2), 1);
+  EXPECT_EQ(layout.logical(1), -1);
+}
+
+TEST(Layout, DenseLayoutPicksConnectedSubgraph) {
+  const auto cm = CouplingMap::from_backend(noise::fake_casablanca());
+  for (int k = 2; k <= 7; ++k) {
+    const auto layout = dense_layout(k, cm);
+    EXPECT_EQ(layout.num_logical(), k);
+    // Every selected qubit must connect to at least one other selected.
+    for (int l = 0; l < k; ++l) {
+      if (k == 1) break;
+      bool linked = false;
+      for (int m = 0; m < k; ++m) {
+        if (l != m && cm.connected(layout.physical(l), layout.physical(m)))
+          linked = true;
+      }
+      EXPECT_TRUE(linked) << "k=" << k << " logical " << l;
+    }
+  }
+}
+
+TEST(Layout, DenseLayoutPrefersHub) {
+  // On Casablanca, a 3-qubit dense set should include hub qubit 1 or 5.
+  const auto cm = CouplingMap::from_backend(noise::fake_casablanca());
+  const auto layout = dense_layout(3, cm);
+  bool has_hub = false;
+  for (int l = 0; l < 3; ++l) {
+    if (layout.physical(l) == 1 || layout.physical(l) == 5) has_hub = true;
+  }
+  EXPECT_TRUE(has_hub);
+}
+
+TEST(Layout, NoiseAdaptiveAvoidsWorstQubits) {
+  const auto props = noise::fake_casablanca();
+  const auto cm = CouplingMap::from_backend(props);
+  const auto layout = noise_adaptive_layout(4, cm, props);
+  EXPECT_EQ(layout.num_logical(), 4);
+  // Selection must be connected.
+  for (int l = 0; l < 4; ++l) {
+    bool linked = false;
+    for (int m = 0; m < 4; ++m) {
+      if (l != m && cm.connected(layout.physical(l), layout.physical(m)))
+        linked = true;
+    }
+    EXPECT_TRUE(linked);
+  }
+}
+
+// --------------------------------------------------------------- decompose
+
+class EulerAngleExtraction : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EulerAngleExtraction, ReconstructsUnitary) {
+  util::Xoshiro256pp rng(GetParam());
+  const auto u = util::unitary_from_angles(
+      rng.uniform(0, kPi), rng.uniform(-kPi, kPi), rng.uniform(-kPi, kPi),
+      rng.uniform(-kPi, kPi));
+  const auto e = euler_angles(u);
+  const auto rebuilt =
+      util::unitary_from_angles(e.theta, e.phi, e.lambda, e.phase);
+  EXPECT_TRUE(rebuilt.approx_equal(u, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerAngleExtraction,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+TEST(EulerAngles, SpecialCases) {
+  // Identity.
+  auto e = euler_angles(util::Mat2::identity());
+  EXPECT_NEAR(e.theta, 0.0, 1e-12);
+  // Diagonal (theta = 0).
+  e = euler_angles(circ::gate_matrix1(circ::GateKind::S, {}));
+  EXPECT_NEAR(e.theta, 0.0, 1e-12);
+  EXPECT_NEAR(e.phi + e.lambda, kPi / 2, 1e-12);
+  // Anti-diagonal (theta = pi).
+  e = euler_angles(circ::gate_matrix1(circ::GateKind::X, {}));
+  EXPECT_NEAR(e.theta, kPi, 1e-12);
+  // Rejects non-unitary input.
+  util::Mat2 bad;
+  bad(0, 0) = 2.0;
+  EXPECT_THROW(euler_angles(bad), Error);
+}
+
+class OneQubitBasisLowering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OneQubitBasisLowering, MatchesOriginalUpToPhase) {
+  util::Xoshiro256pp rng(GetParam());
+  const auto u = util::unitary_from_angles(
+      rng.uniform(0, kPi), rng.uniform(-kPi, kPi), rng.uniform(-kPi, kPi),
+      rng.uniform(-kPi, kPi));
+  circ::QuantumCircuit qc(1);
+  append_1q_basis(qc, u, 0);
+  for (const auto& instr : qc.instructions()) {
+    EXPECT_TRUE(in_basis(instr.kind)) << instr.name();
+  }
+  // Multiply the emitted gates.
+  util::Mat2 total = util::Mat2::identity();
+  for (const auto& instr : qc.instructions()) {
+    total = circ::gate_matrix1(instr.kind, instr.params) * total;
+  }
+  EXPECT_TRUE(total.equal_up_to_phase(u, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OneQubitBasisLowering,
+                         ::testing::Range<std::uint64_t>(200, 230));
+
+TEST(OneQubitBasis, SpecialCaseGateCounts) {
+  // theta ~ 0: pure rz (zero physical gates).
+  circ::QuantumCircuit qc(1);
+  append_1q_basis(qc, circ::gate_matrix1(circ::GateKind::T, {}), 0);
+  ASSERT_EQ(qc.size(), 1u);
+  EXPECT_EQ(qc.instructions()[0].kind, circ::GateKind::RZ);
+
+  // Hadamard (theta = pi/2): rz sx rz.
+  circ::QuantumCircuit qh(1);
+  append_1q_basis(qh, circ::gate_matrix1(circ::GateKind::H, {}), 0);
+  EXPECT_EQ(qh.count_ops()["sx"], 1);
+
+  // X: single x gate.
+  circ::QuantumCircuit qx(1);
+  append_1q_basis(qx, circ::gate_matrix1(circ::GateKind::X, {}), 0);
+  ASSERT_EQ(qx.size(), 1u);
+  EXPECT_EQ(qx.instructions()[0].kind, circ::GateKind::X);
+
+  // Identity: nothing at all.
+  circ::QuantumCircuit qi(1);
+  append_1q_basis(qi, util::Mat2::identity(), 0);
+  EXPECT_EQ(qi.size(), 0u);
+}
+
+// Every decomposable gate must survive lowering with identical semantics.
+class GateDecomposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(GateDecomposition, PreservesUnitary) {
+  circ::QuantumCircuit qc(3);
+  switch (GetParam()) {
+    case 0: qc.swap(0, 2); break;
+    case 1: qc.cz(0, 1); break;
+    case 2: qc.cy(1, 2); break;
+    case 3: qc.ch(0, 2); break;
+    case 4: qc.cp(0.77, 2, 0); break;
+    case 5: qc.crz(-1.3, 0, 1); break;
+    case 6: qc.ccx(0, 1, 2); break;
+    case 7: qc.ccx(2, 0, 1); break;
+    case 8: qc.h(0).cz(1, 0).t(2).swap(1, 2).cp(kPi / 3, 0, 2); break;
+    default: FAIL();
+  }
+  const auto lowered = decompose_to_basis(qc);
+  for (const auto& instr : lowered.instructions()) {
+    EXPECT_TRUE(in_basis(instr.kind)) << instr.name();
+  }
+  EXPECT_TRUE(sim::unitary_of(lowered).equal_up_to_phase(sim::unitary_of(qc),
+                                                         1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, GateDecomposition, ::testing::Range(0, 9));
+
+TEST(Decompose, PreservesMeasureAndBarrier) {
+  circ::QuantumCircuit qc(2, 2);
+  qc.h(0);
+  qc.barrier();
+  qc.measure(0, 0).measure(1, 1);
+  const auto lowered = decompose_to_basis(qc);
+  EXPECT_EQ(lowered.count_ops()["measure"], 2);
+  EXPECT_EQ(lowered.count_ops()["barrier"], 1);
+  EXPECT_EQ(lowered.num_clbits(), 2);
+}
+
+class RandomCircuitDecomposition
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCircuitDecomposition, PreservesUnitary) {
+  const auto qc = algo::random_circuit(4, 6, GetParam(), 0.3);
+  const auto lowered = decompose_to_basis(qc);
+  EXPECT_TRUE(
+      sim::unitary_of(lowered).equal_up_to_phase(sim::unitary_of(qc), 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitDecomposition,
+                         ::testing::Range<std::uint64_t>(300, 312));
+
+// ---------------------------------------------------------------- optimize
+
+TEST(Optimize, RemoveTrivialGates) {
+  circ::QuantumCircuit qc(1);
+  qc.i(0).rz(0.0, 0).p(0.0, 0).u(0, 0, 0, 0).h(0).rz(2 * kPi, 0);
+  const auto cleaned = remove_trivial_gates(qc);
+  EXPECT_EQ(cleaned.size(), 1u);
+  EXPECT_EQ(cleaned.instructions()[0].kind, circ::GateKind::H);
+}
+
+TEST(Optimize, CancelAdjacentCx) {
+  circ::QuantumCircuit qc(2);
+  qc.cx(0, 1).cx(0, 1).h(0);
+  const auto cleaned = cancel_adjacent_pairs(qc);
+  EXPECT_EQ(cleaned.size(), 1u);
+}
+
+TEST(Optimize, DoesNotCancelAcrossBlockers) {
+  circ::QuantumCircuit qc(2);
+  qc.cx(0, 1).h(1).cx(0, 1);
+  const auto cleaned = cancel_adjacent_pairs(qc);
+  EXPECT_EQ(cleaned.size(), 3u);
+}
+
+TEST(Optimize, CancelsSymmetricSwapAndCz) {
+  circ::QuantumCircuit qc(2);
+  qc.swap(0, 1).swap(1, 0).cz(0, 1).cz(1, 0);
+  EXPECT_EQ(cancel_adjacent_pairs(qc).size(), 0u);
+}
+
+TEST(Optimize, CancellationCascades) {
+  circ::QuantumCircuit qc(2);
+  qc.cx(0, 1).cx(1, 0).cx(1, 0).cx(0, 1);
+  EXPECT_EQ(cancel_adjacent_pairs(qc).size(), 0u);
+}
+
+TEST(Optimize, Merge1qRunsReducesGates) {
+  circ::QuantumCircuit qc(1);
+  qc.h(0).t(0).h(0).s(0).h(0).t(0);
+  const auto merged = merge_1q_runs(qc);
+  EXPECT_LE(merged.size(), 5u);
+  EXPECT_TRUE(sim::unitary_of(merged).equal_up_to_phase(sim::unitary_of(qc),
+                                                        1e-8));
+}
+
+TEST(Optimize, MergeRespectsBlockers) {
+  circ::QuantumCircuit qc(2);
+  qc.h(0).cx(0, 1).h(0);  // h's must not merge across the cx
+  const auto merged = merge_1q_runs(qc);
+  EXPECT_TRUE(sim::unitary_of(merged).equal_up_to_phase(sim::unitary_of(qc),
+                                                        1e-8));
+}
+
+TEST(Optimize, MergeDropsIdentityRuns) {
+  circ::QuantumCircuit qc(1);
+  qc.h(0).h(0);
+  EXPECT_EQ(merge_1q_runs(qc).size(), 0u);
+}
+
+class OptimizeLevels
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(OptimizeLevels, PreservesSemantics) {
+  const auto [level, seed] = GetParam();
+  const auto qc =
+      decompose_to_basis(algo::random_circuit(3, 8, seed, 0.35));
+  const auto optimized = optimize(qc, level);
+  EXPECT_LE(optimized.size(), qc.size());
+  EXPECT_TRUE(sim::unitary_of(optimized)
+                  .equal_up_to_phase(sim::unitary_of(qc), 1e-8))
+      << "level " << level << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LevelsAndSeeds, OptimizeLevels,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(400, 401, 402, 403)));
+
+// ------------------------------------------------------------------ router
+
+TEST(Router, AllTwoQubitGatesAdjacentAfterRouting) {
+  const auto cm = CouplingMap::from_backend(noise::fake_casablanca());
+  circ::QuantumCircuit qc(5);
+  qc.cx(0, 4).cx(1, 3).cx(0, 2).cx(2, 4);
+  const auto routed = route(qc, cm, trivial_layout(5, 7));
+  for (const auto& instr : routed.circuit.instructions()) {
+    if (instr.qubits.size() == 2 && instr.kind != circ::GateKind::Barrier) {
+      EXPECT_TRUE(cm.connected(instr.qubits[0], instr.qubits[1]))
+          << instr.name() << " " << instr.qubits[0] << "," << instr.qubits[1];
+    }
+  }
+  EXPECT_EQ(routed.p2l_per_instruction.size(), routed.circuit.size());
+}
+
+TEST(Router, SnapshotsTrackSwaps) {
+  const std::pair<int, int> line[] = {{0, 1}, {1, 2}};
+  const CouplingMap cm(3, line);
+  circ::QuantumCircuit qc(3);
+  qc.cx(0, 2);  // needs one swap
+  const auto routed = route(qc, cm, trivial_layout(3, 3));
+  ASSERT_EQ(routed.circuit.size(), 2u);  // swap + cx
+  // Before the swap: identity mapping.
+  EXPECT_EQ(routed.p2l_per_instruction[0], (std::vector<int>{0, 1, 2}));
+  // After the swap (0<->1): logical 0 now lives on physical 1.
+  EXPECT_EQ(routed.p2l_per_instruction[1], (std::vector<int>{1, 0, 2}));
+  EXPECT_EQ(routed.final_layout.physical(0), 1);
+}
+
+TEST(Router, PreservesMeasurementClbits) {
+  const auto cm = CouplingMap::from_backend(noise::fake_casablanca());
+  circ::QuantumCircuit qc(3, 3);
+  qc.cx(0, 2).measure(0, 0).measure(1, 1).measure(2, 2);
+  const auto routed = route(qc, cm, trivial_layout(3, 7));
+  int measures = 0;
+  for (const auto& instr : routed.circuit.instructions()) {
+    if (instr.kind == circ::GateKind::Measure) {
+      ++measures;
+      // The measured physical qubit must hold the right logical qubit.
+      const auto& p2l = routed.p2l_per_instruction
+          [static_cast<std::size_t>(&instr - routed.circuit.instructions().data())];
+      EXPECT_EQ(p2l[static_cast<std::size_t>(instr.qubits[0])],
+                instr.clbits[0]);
+    }
+  }
+  EXPECT_EQ(measures, 3);
+}
+
+// -------------------------------------------------------------- transpiler
+
+// Core invariant: transpilation preserves the measured output distribution.
+class TranspileEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, int, int>> {};
+
+TEST_P(TranspileEquivalence, ClbitDistributionPreserved) {
+  const auto [name, width, level] = GetParam();
+  const auto bench = algo::paper_circuit(name, width);
+  const auto original = sim::ideal_clbit_probabilities(bench.circuit);
+
+  TranspileOptions options;
+  options.optimization_level = level;
+  const auto result =
+      transpile(bench.circuit, noise::fake_casablanca(), options);
+
+  // Only basis gates + directives in the output.
+  for (const auto& instr : result.circuit.instructions()) {
+    EXPECT_TRUE(in_basis(instr.kind)) << instr.name();
+  }
+  const auto transpiled = sim::ideal_clbit_probabilities(result.circuit);
+  ASSERT_EQ(transpiled.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(transpiled[i], original[i], 1e-8)
+        << name << " width " << width << " level " << level << " state " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CircuitsWidthsLevels, TranspileEquivalence,
+    ::testing::Combine(::testing::Values("bv", "dj", "qft"),
+                       ::testing::Values(4, 5, 6, 7),
+                       ::testing::Values(0, 1, 2, 3)));
+
+class TranspileRandomEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TranspileRandomEquivalence, ClbitDistributionPreserved) {
+  auto qc = algo::random_circuit(4, 6, GetParam(), 0.4);
+  qc.measure_all();
+  const auto original = sim::ideal_clbit_probabilities(qc);
+  for (int level : {0, 1, 2, 3}) {
+    TranspileOptions options;
+    options.optimization_level = level;
+    const auto result = transpile(qc, noise::fake_casablanca(), options);
+    const auto probs = sim::ideal_clbit_probabilities(result.circuit);
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_NEAR(probs[i], original[i], 1e-8)
+          << "seed " << GetParam() << " level " << level;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TranspileRandomEquivalence,
+                         ::testing::Range<std::uint64_t>(500, 510));
+
+TEST(Transpile, SnapshotBookkeepingConsistent) {
+  const auto bench = algo::paper_circuit("qft", 5);
+  const auto result = transpile(bench.circuit, noise::fake_casablanca(), {});
+  ASSERT_EQ(result.p2l_per_instruction.size(), result.circuit.size());
+  // First snapshot must equal the initial layout.
+  if (!result.p2l_per_instruction.empty()) {
+    EXPECT_EQ(result.p2l_per_instruction.front(), result.initial_layout.p2l);
+    EXPECT_EQ(result.p2l_per_instruction.back(), result.final_layout.p2l);
+  }
+  // logical_at matches the snapshots.
+  EXPECT_EQ(result.logical_at(0, result.initial_layout.physical(0)), 0);
+  EXPECT_THROW(result.logical_at(result.circuit.size(), 0), Error);
+}
+
+TEST(Transpile, HigherLevelsDoNotAddGates) {
+  const auto bench = algo::paper_circuit("qft", 5);
+  std::size_t previous = SIZE_MAX;
+  for (int level : {0, 1, 2}) {
+    TranspileOptions options;
+    options.optimization_level = level;
+    options.layout_method = LayoutMethod::Dense;  // fix layout across levels
+    const auto result =
+        transpile(bench.circuit, noise::fake_casablanca(), options);
+    const auto gates =
+        static_cast<std::size_t>(result.circuit.num_unitary_gates());
+    EXPECT_LE(gates, previous) << "level " << level;
+    previous = gates;
+  }
+}
+
+TEST(Transpile, NoiseAdaptiveLayoutWorks) {
+  TranspileOptions options;
+  options.layout_method = LayoutMethod::NoiseAdaptive;
+  const auto bench = algo::paper_circuit("bv", 4);
+  const auto result =
+      transpile(bench.circuit, noise::fake_casablanca(), options);
+  const auto probs = sim::ideal_clbit_probabilities(result.circuit);
+  EXPECT_NEAR(probs[util::from_bitstring(bench.expected_outputs[0])], 1.0,
+              1e-8);
+}
+
+TEST(Transpile, RejectsOversizedCircuit) {
+  circ::QuantumCircuit qc(9, 9);
+  qc.h(0).measure_all();
+  EXPECT_THROW(transpile(qc, noise::fake_casablanca(), {}), Error);
+}
+
+TEST(Transpile, CouplingOnlyOverload) {
+  const auto cm = CouplingMap::from_backend(noise::fake_linear(5));
+  const auto bench = algo::paper_circuit("bv", 4);
+  const auto result = transpile(bench.circuit, cm, {});
+  const auto probs = sim::ideal_clbit_probabilities(result.circuit);
+  EXPECT_NEAR(probs[util::from_bitstring(bench.expected_outputs[0])], 1.0,
+              1e-8);
+  TranspileOptions na;
+  na.layout_method = LayoutMethod::NoiseAdaptive;
+  EXPECT_THROW(transpile(bench.circuit, cm, na), Error);
+}
+
+}  // namespace
+}  // namespace qufi::transpile
