@@ -1,8 +1,15 @@
 // Microbenchmarks for the QuFI core (google-benchmark): injection-point
 // enumeration, faulty-circuit construction, QVF computation, and end-to-end
 // campaign throughput.
+//
+// Pass --no-checkpoint to run every campaign with prefix checkpointing
+// disabled (full re-simulation per config) — the baseline against which the
+// checkpointed default is measured.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
 
 #include "algorithms/algorithms.hpp"
 #include "core/campaign.hpp"
@@ -14,6 +21,8 @@ namespace {
 
 using namespace qufi;
 
+bool g_use_checkpoints = true;
+
 CampaignSpec small_spec() {
   const auto bench = algo::paper_circuit("bv", 4);
   CampaignSpec spec;
@@ -22,6 +31,20 @@ CampaignSpec small_spec() {
   spec.grid.theta_step_deg = 60.0;
   spec.grid.phi_step_deg = 90.0;
   spec.threads = 2;
+  spec.use_checkpoints = g_use_checkpoints;
+  return spec;
+}
+
+/// One of the paper circuits on fake_casablanca with the 30-degree quick
+/// grid (84 configs per injection point) — the speedup-acceptance workload.
+CampaignSpec paper_spec_30deg(const std::string& name, int width) {
+  const auto bench = algo::paper_circuit(name, width);
+  CampaignSpec spec;
+  spec.circuit = bench.circuit;
+  spec.expected_outputs = bench.expected_outputs;
+  spec.grid.theta_step_deg = 30.0;
+  spec.grid.phi_step_deg = 30.0;
+  spec.use_checkpoints = g_use_checkpoints;
   return spec;
 }
 
@@ -84,6 +107,41 @@ void BM_DoubleFaultCampaign(benchmark::State& state) {
 }
 BENCHMARK(BM_DoubleFaultCampaign)->Arg(4)->Unit(benchmark::kMillisecond);
 
+void BM_PaperCampaign30Deg(benchmark::State& state) {
+  static const char* kNames[] = {"bv", "dj", "qft"};
+  auto spec = paper_spec_30deg(kNames[state.range(0)], 4);
+  spec.max_points = 8;
+  for (auto _ : state) {
+    const auto result = run_single_fault_campaign(spec);
+    benchmark::DoNotOptimize(result);
+    state.counters["executions"] =
+        static_cast<double>(result.meta.executions);
+  }
+  state.SetLabel(std::string(kNames[state.range(0)]) +
+                 (spec.use_checkpoints ? "/checkpoint" : "/no-checkpoint"));
+}
+BENCHMARK(BM_PaperCampaign30Deg)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --no-checkpoint before google-benchmark parses the rest.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-checkpoint") == 0) {
+      g_use_checkpoints = false;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

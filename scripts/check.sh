@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Local/CI entry point mirroring the tier-1 verify command.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build && ctest --output-on-failure -j

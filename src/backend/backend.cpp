@@ -1,0 +1,62 @@
+#include "backend/backend.hpp"
+
+#include "util/error.hpp"
+
+namespace qufi::backend {
+
+namespace {
+
+/// Fallback snapshot: no simulator state, just the circuit and the split.
+class SpliceSnapshot final : public PrefixSnapshot {
+ public:
+  SpliceSnapshot(circ::QuantumCircuit circuit, std::size_t prefix_length)
+      : PrefixSnapshot(prefix_length), circuit_(std::move(circuit)) {}
+
+  const circ::QuantumCircuit& circuit() const { return circuit_; }
+
+ private:
+  circ::QuantumCircuit circuit_;
+};
+
+}  // namespace
+
+circ::QuantumCircuit splice_circuit(
+    const circ::QuantumCircuit& circuit, std::size_t prefix_length,
+    std::span<const circ::Instruction> injected) {
+  require(prefix_length <= circuit.size(),
+          "splice_circuit: prefix length exceeds circuit size");
+  circ::QuantumCircuit spliced(circuit.num_qubits(), circuit.num_clbits());
+  spliced.set_name(circuit.name() + "+fault");
+  const auto& instrs = circuit.instructions();
+  for (std::size_t i = 0; i < prefix_length; ++i) spliced.append(instrs[i]);
+  for (const auto& instr : injected) {
+    require(instr.is_unitary(), "splice_circuit: injected gate not unitary");
+    spliced.append(instr);
+  }
+  for (std::size_t i = prefix_length; i < instrs.size(); ++i) {
+    spliced.append(instrs[i]);
+  }
+  return spliced;
+}
+
+PrefixSnapshotPtr Backend::prepare_prefix(const circ::QuantumCircuit& circuit,
+                                          std::size_t prefix_length,
+                                          std::uint64_t /*shots_hint*/,
+                                          std::uint64_t /*snapshot_seed*/) {
+  require(prefix_length <= circuit.size(),
+          "prepare_prefix: prefix length exceeds circuit size");
+  return std::make_shared<SpliceSnapshot>(circuit, prefix_length);
+}
+
+ExecutionResult Backend::run_suffix(const PrefixSnapshot& snapshot,
+                                    std::span<const circ::Instruction> injected,
+                                    std::uint64_t shots, std::uint64_t seed) {
+  const auto* splice = dynamic_cast<const SpliceSnapshot*>(&snapshot);
+  require(splice != nullptr,
+          "run_suffix: snapshot was not produced by this backend");
+  return run(splice_circuit(splice->circuit(), splice->prefix_length(),
+                            injected),
+             shots, seed);
+}
+
+}  // namespace qufi::backend

@@ -1,12 +1,38 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 
 #include "backend/result.hpp"
 #include "circuit/circuit.hpp"
 
 namespace qufi::backend {
+
+/// Opaque simulator state captured after a circuit prefix.
+///
+/// Injection campaigns sweep hundreds of fault configurations that all share
+/// the gates before the injection site; a snapshot lets the backend evolve
+/// that prefix once and resume per configuration (the QVF-methodology
+/// amortization). Snapshots are immutable once built and safe to share
+/// across threads; run_suffix never mutates them.
+class PrefixSnapshot {
+ public:
+  virtual ~PrefixSnapshot() = default;
+
+  /// Number of leading circuit instructions folded into this snapshot.
+  std::size_t prefix_length() const { return prefix_length_; }
+
+ protected:
+  explicit PrefixSnapshot(std::size_t prefix_length)
+      : prefix_length_(prefix_length) {}
+
+ private:
+  std::size_t prefix_length_;
+};
+
+using PrefixSnapshotPtr = std::shared_ptr<const PrefixSnapshot>;
 
 /// Execution target abstraction. The paper's three scenarios map to:
 ///   (1) ideal simulation            -> IdealBackend
@@ -25,6 +51,41 @@ class Backend {
   /// sample). `seed` makes sampling deterministic.
   virtual ExecutionResult run(const circ::QuantumCircuit& circuit,
                               std::uint64_t shots, std::uint64_t seed) = 0;
+
+  /// True when prepare_prefix captures real simulator state, so run_suffix
+  /// skips re-executing the prefix. The base implementation only records
+  /// the circuit split (run_suffix re-simulates from scratch), so campaigns
+  /// use this to decide whether grouping work by injection point pays off.
+  virtual bool supports_checkpointing() const { return false; }
+
+  /// Captures the execution state after the first `prefix_length`
+  /// instructions of `circuit`. `shots_hint` is the shot count the caller
+  /// intends to pass to run_suffix (sampling backends size per-shot caches
+  /// from it; exact backends ignore it). `snapshot_seed` feeds any
+  /// randomness the snapshot itself consumes (the trajectory backend's
+  /// prefix noise sampling), so replications with different campaign seeds
+  /// resample the prefix; exact backends ignore it.
+  virtual PrefixSnapshotPtr prepare_prefix(const circ::QuantumCircuit& circuit,
+                                           std::size_t prefix_length,
+                                           std::uint64_t shots_hint = 0,
+                                           std::uint64_t snapshot_seed = 0);
+
+  /// Resumes from `snapshot`: executes the `injected` gates (all unitary),
+  /// then the remaining instructions of the snapshot's circuit, and
+  /// resolves measurements exactly as run() would. For exact backends the
+  /// result is bit-identical to run() on the spliced faulty circuit; the
+  /// trajectory backend shares prefix randomness across calls (common
+  /// random numbers), which is distribution-equivalent but not bit-equal.
+  virtual ExecutionResult run_suffix(const PrefixSnapshot& snapshot,
+                                     std::span<const circ::Instruction> injected,
+                                     std::uint64_t shots, std::uint64_t seed);
 };
+
+/// Builds the faulty circuit run_suffix models: instructions [0,
+/// prefix_length), then `injected`, then the rest. Shared by the base
+/// fallback and by backends that need the spliced circuit explicitly.
+circ::QuantumCircuit splice_circuit(const circ::QuantumCircuit& circuit,
+                                    std::size_t prefix_length,
+                                    std::span<const circ::Instruction> injected);
 
 }  // namespace qufi::backend

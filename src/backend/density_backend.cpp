@@ -143,66 +143,28 @@ struct DensityExecutor {
   }
 };
 
-}  // namespace
+/// Physical <-> compact index maps for a circuit's active-qubit set.
+struct Compaction {
+  std::vector<int> active;      // compact -> physical
+  std::vector<int> to_compact;  // physical -> compact (-1 unused)
+};
 
-std::vector<double> run_density_probs(const circ::QuantumCircuit& circuit,
-                                      const noise::NoiseModel& noise_model,
-                                      const DensityRunOptions& options) {
-  require(circuit.num_clbits() > 0,
-          "run_density_probs: circuit has no classical bits");
-  require(circuit.measurements_are_terminal(),
-          "run_density_probs: density-matrix execution requires terminal "
-          "measurements (use TrajectoryBackend for mid-circuit measures)");
-  require(options.coherent_errors.empty() ||
-              options.coherent_errors.size() ==
-                  static_cast<std::size_t>(circuit.num_qubits()),
-          "run_density_probs: coherent error vector size mismatch");
-
-  // Compaction: simulate only the qubits the circuit touches.
-  std::vector<int> active = circuit.active_qubits();
-  if (active.empty()) active.push_back(0);
-  std::vector<int> to_compact(static_cast<std::size_t>(circuit.num_qubits()),
-                              -1);
-  for (std::size_t k = 0; k < active.size(); ++k) {
-    to_compact[static_cast<std::size_t>(active[k])] = static_cast<int>(k);
+Compaction build_compaction(const circ::QuantumCircuit& circuit) {
+  Compaction c;
+  c.active = circuit.active_qubits();
+  if (c.active.empty()) c.active.push_back(0);
+  c.to_compact.assign(static_cast<std::size_t>(circuit.num_qubits()), -1);
+  for (std::size_t k = 0; k < c.active.size(); ++k) {
+    c.to_compact[static_cast<std::size_t>(c.active[k])] = static_cast<int>(k);
   }
+  return c;
+}
 
-  DensityExecutor exec{sim::DensityMatrix(static_cast<int>(active.size())),
-                       noise_model, options, to_compact};
-
-  if (options.idle_noise && !noise_model.is_ideal()) {
-    // Moment-scheduled execution: idle qubits decohere while others work.
-    const auto moments = circ::compute_moments(circuit);
-    const auto& instrs = circuit.instructions();
-    for (int m = 0; m < moments.num_moments(); ++m) {
-      const auto& idx =
-          moments.instructions_per_moment[static_cast<std::size_t>(m)];
-      double duration = 0.0;
-      std::vector<bool> busy(active.size(), false);
-      for (const auto i : idx) {
-        duration = std::max(duration,
-                            instruction_duration_ns(instrs[i], noise_model));
-        for (int q : instrs[i].qubits) {
-          const int c = exec.compact(q);
-          if (c >= 0) busy[static_cast<std::size_t>(c)] = true;
-        }
-      }
-      for (const auto i : idx) exec.execute(instrs[i]);
-      if (duration > 0.0) {
-        for (std::size_t k = 0; k < active.size(); ++k) {
-          if (busy[k]) continue;
-          const auto idle =
-              noise_model.idle_relaxation(active[k], duration);
-          apply_channel(exec.dm, idle, static_cast<int>(k));
-        }
-      }
-    }
-  } else {
-    for (const auto& instr : circuit.instructions()) exec.execute(instr);
-  }
-
-  // Resolve terminal measurements from the final diagonal (last measure
-  // into a clbit wins, Qiskit semantics).
+/// Resolves terminal measurements from the final diagonal (last measure
+/// into a clbit wins, Qiskit semantics) and applies readout error.
+std::vector<double> resolve_clbit_probs(const DensityExecutor& exec,
+                                        const circ::QuantumCircuit& circuit,
+                                        const noise::NoiseModel& noise_model) {
   std::vector<int> clbit_source_compact(
       static_cast<std::size_t>(circuit.num_clbits()), -1);
   std::vector<int> clbit_source_physical(
@@ -243,6 +205,83 @@ std::vector<double> run_density_probs(const circ::QuantumCircuit& circuit,
   return clbit_probs;
 }
 
+/// Density-matrix state captured after a circuit prefix, together with the
+/// compaction maps and the circuit whose suffix run_suffix will replay.
+class DensitySnapshot final : public PrefixSnapshot {
+ public:
+  DensitySnapshot(sim::DensityMatrix dm, Compaction compaction,
+                  circ::QuantumCircuit circuit, std::size_t prefix_length)
+      : PrefixSnapshot(prefix_length),
+        dm_(std::move(dm)),
+        compaction_(std::move(compaction)),
+        circuit_(std::move(circuit)) {}
+
+  const sim::DensityMatrix& dm() const { return dm_; }
+  const Compaction& compaction() const { return compaction_; }
+  const circ::QuantumCircuit& circuit() const { return circuit_; }
+
+ private:
+  sim::DensityMatrix dm_;
+  Compaction compaction_;
+  circ::QuantumCircuit circuit_;
+};
+
+}  // namespace
+
+std::vector<double> run_density_probs(const circ::QuantumCircuit& circuit,
+                                      const noise::NoiseModel& noise_model,
+                                      const DensityRunOptions& options) {
+  require(circuit.num_clbits() > 0,
+          "run_density_probs: circuit has no classical bits");
+  require(circuit.measurements_are_terminal(),
+          "run_density_probs: density-matrix execution requires terminal "
+          "measurements (use TrajectoryBackend for mid-circuit measures)");
+  require(options.coherent_errors.empty() ||
+              options.coherent_errors.size() ==
+                  static_cast<std::size_t>(circuit.num_qubits()),
+          "run_density_probs: coherent error vector size mismatch");
+
+  // Compaction: simulate only the qubits the circuit touches.
+  const Compaction compaction = build_compaction(circuit);
+  const std::vector<int>& active = compaction.active;
+
+  DensityExecutor exec{sim::DensityMatrix(static_cast<int>(active.size())),
+                       noise_model, options, compaction.to_compact};
+
+  if (options.idle_noise && !noise_model.is_ideal()) {
+    // Moment-scheduled execution: idle qubits decohere while others work.
+    const auto moments = circ::compute_moments(circuit);
+    const auto& instrs = circuit.instructions();
+    for (int m = 0; m < moments.num_moments(); ++m) {
+      const auto& idx =
+          moments.instructions_per_moment[static_cast<std::size_t>(m)];
+      double duration = 0.0;
+      std::vector<bool> busy(active.size(), false);
+      for (const auto i : idx) {
+        duration = std::max(duration,
+                            instruction_duration_ns(instrs[i], noise_model));
+        for (int q : instrs[i].qubits) {
+          const int c = exec.compact(q);
+          if (c >= 0) busy[static_cast<std::size_t>(c)] = true;
+        }
+      }
+      for (const auto i : idx) exec.execute(instrs[i]);
+      if (duration > 0.0) {
+        for (std::size_t k = 0; k < active.size(); ++k) {
+          if (busy[k]) continue;
+          const auto idle =
+              noise_model.idle_relaxation(active[k], duration);
+          apply_channel(exec.dm, idle, static_cast<int>(k));
+        }
+      }
+    }
+  } else {
+    for (const auto& instr : circuit.instructions()) exec.execute(instr);
+  }
+
+  return resolve_clbit_probs(exec, circuit, noise_model);
+}
+
 DensityMatrixBackend::DensityMatrixBackend(noise::NoiseModel noise_model,
                                            bool idle_noise)
     : noise_model_(std::move(noise_model)), idle_noise_(idle_noise) {}
@@ -258,6 +297,72 @@ ExecutionResult DensityMatrixBackend::run(const circ::QuantumCircuit& circuit,
   DensityRunOptions options;
   options.idle_noise = idle_noise_;
   auto probs = run_density_probs(circuit, noise_model_, options);
+  return ExecutionResult::from_distribution(
+      std::move(probs), circuit.num_clbits(), shots, seed, name());
+}
+
+PrefixSnapshotPtr DensityMatrixBackend::prepare_prefix(
+    const circ::QuantumCircuit& circuit, std::size_t prefix_length,
+    std::uint64_t shots_hint, std::uint64_t snapshot_seed) {
+  if (!supports_checkpointing()) {
+    return Backend::prepare_prefix(circuit, prefix_length, shots_hint,
+                                   snapshot_seed);
+  }
+  require(prefix_length <= circuit.size(),
+          "prepare_prefix: prefix length exceeds circuit size");
+  require(circuit.num_clbits() > 0,
+          "prepare_prefix: circuit has no classical bits");
+  require(circuit.measurements_are_terminal(),
+          "prepare_prefix: density-matrix execution requires terminal "
+          "measurements");
+
+  // The compaction is built from the full circuit so the snapshot's matrix
+  // has the same dimension a full faulty run would use; injected gates may
+  // only touch qubits already active in the full circuit.
+  Compaction compaction = build_compaction(circuit);
+  const DensityRunOptions options{};
+  DensityExecutor exec{
+      sim::DensityMatrix(static_cast<int>(compaction.active.size())),
+      noise_model_, options, compaction.to_compact};
+  const auto& instrs = circuit.instructions();
+  for (std::size_t i = 0; i < prefix_length; ++i) exec.execute(instrs[i]);
+  return std::make_shared<DensitySnapshot>(std::move(exec.dm),
+                                           std::move(compaction), circuit,
+                                           prefix_length);
+}
+
+ExecutionResult DensityMatrixBackend::run_suffix(
+    const PrefixSnapshot& snapshot,
+    std::span<const circ::Instruction> injected, std::uint64_t shots,
+    std::uint64_t seed) {
+  const auto* snap = dynamic_cast<const DensitySnapshot*>(&snapshot);
+  if (!snap) return Backend::run_suffix(snapshot, injected, shots, seed);
+
+  const circ::QuantumCircuit& circuit = snap->circuit();
+  for (const auto& instr : injected) {
+    require(instr.is_unitary(), "run_suffix: injected gate not unitary");
+    for (int q : instr.qubits) {
+      require(q >= 0 && q < circuit.num_qubits(),
+              "run_suffix: injected gate qubit out of range");
+      // A fault on a qubit outside the snapshot's compacted set (mapped but
+      // never gated, e.g. an idle double-fault neighbor) cannot resume from
+      // the snapshot; re-simulate the spliced circuit, which stays exact.
+      if (snap->compaction().to_compact[static_cast<std::size_t>(q)] < 0) {
+        return run(splice_circuit(circuit, snap->prefix_length(), injected),
+                   shots, seed);
+      }
+    }
+  }
+
+  const DensityRunOptions options{};
+  DensityExecutor exec{snap->dm().clone(), noise_model_, options,
+                       snap->compaction().to_compact};
+  for (const auto& instr : injected) exec.execute(instr);
+  const auto& instrs = circuit.instructions();
+  for (std::size_t i = snap->prefix_length(); i < instrs.size(); ++i) {
+    exec.execute(instrs[i]);
+  }
+  auto probs = resolve_clbit_probs(exec, circuit, noise_model_);
   return ExecutionResult::from_distribution(
       std::move(probs), circuit.num_clbits(), shots, seed, name());
 }

@@ -39,6 +39,22 @@ class DensityMatrixBackend : public Backend {
   ExecutionResult run(const circ::QuantumCircuit& circuit, std::uint64_t shots,
                       std::uint64_t seed) override;
 
+  /// Real checkpointing: the snapshot holds the evolved density matrix.
+  /// Disabled under idle_noise, where the moment schedule of the spliced
+  /// faulty circuit differs from the original's and a prefix state would
+  /// not be equivalent to full re-simulation (the base splice fallback is
+  /// used instead, which stays exact).
+  bool supports_checkpointing() const override { return !idle_noise_; }
+
+  PrefixSnapshotPtr prepare_prefix(const circ::QuantumCircuit& circuit,
+                                   std::size_t prefix_length,
+                                   std::uint64_t shots_hint = 0,
+                                   std::uint64_t snapshot_seed = 0) override;
+
+  ExecutionResult run_suffix(const PrefixSnapshot& snapshot,
+                             std::span<const circ::Instruction> injected,
+                             std::uint64_t shots, std::uint64_t seed) override;
+
   const noise::NoiseModel& noise_model() const { return noise_model_; }
 
  private:

@@ -1,5 +1,6 @@
 #include "backend/trajectory_backend.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "noise/readout.hpp"
@@ -51,6 +52,93 @@ void sample_kraus2(sim::Statevector& sv, const noise::KrausChannel2& ch,
   }
 }
 
+/// Executes one instruction of a trajectory: unitary + sampled noise
+/// branches, or the non-unitary Measure/Reset/Barrier handling. Measure
+/// outcomes accumulate into `outcome` (bit = clbit index).
+void execute_one(sim::Statevector& sv, std::uint64_t& outcome,
+                 const Instruction& instr, util::Xoshiro256pp& rng,
+                 const noise::NoiseModel& nm) {
+  switch (instr.kind) {
+    case GateKind::Barrier:
+      return;
+    case GateKind::Measure: {
+      const int bit = sv.measure_qubit(instr.qubits[0], rng);
+      const std::uint64_t mask = 1ULL << instr.clbits[0];
+      outcome = bit ? (outcome | mask) : (outcome & ~mask);
+      return;
+    }
+    case GateKind::Reset:
+      sv.reset_qubit(instr.qubits[0], rng);
+      return;
+    default:
+      break;
+  }
+
+  sv.apply_instruction(instr);
+  if (nm.is_ideal()) return;
+
+  const auto& info = circ::gate_info(instr.kind);
+  if (info.num_qubits == 1) {
+    for (const auto* ch : nm.channels_after_1q(instr.kind, instr.qubits[0])) {
+      sample_kraus1(sv, *ch, instr.qubits[0], rng);
+    }
+  } else if (info.num_qubits == 2) {
+    const auto tq = nm.channels_after_2q(instr.qubits[0], instr.qubits[1]);
+    if (tq.relax_a) sample_kraus1(sv, *tq.relax_a, instr.qubits[0], rng);
+    if (tq.relax_b) sample_kraus1(sv, *tq.relax_b, instr.qubits[1], rng);
+    if (tq.depol) {
+      sample_kraus2(sv, *tq.depol, instr.qubits[0], instr.qubits[1], rng);
+    }
+  }
+}
+
+/// Measured clbits and their readout errors, in instruction order (the
+/// same list run() builds during its first shot).
+void collect_readout(const circ::QuantumCircuit& circuit,
+                     const noise::NoiseModel& nm, std::vector<int>& clbits,
+                     std::vector<noise::ReadoutError>& errors) {
+  for (const auto& instr : circuit.instructions()) {
+    if (instr.kind != GateKind::Measure) continue;
+    clbits.push_back(instr.clbits[0]);
+    errors.push_back(nm.readout(instr.qubits[0]));
+  }
+}
+
+/// One cached prefix trajectory: the statevector plus the mid-circuit
+/// measurement bits already drawn.
+struct CachedShot {
+  sim::Statevector sv;
+  std::uint64_t outcome = 0;
+};
+
+class TrajectorySnapshot final : public PrefixSnapshot {
+ public:
+  TrajectorySnapshot(circ::QuantumCircuit circuit, std::size_t prefix_length,
+                     std::vector<CachedShot> shots)
+      : PrefixSnapshot(prefix_length),
+        circuit_(std::move(circuit)),
+        shots_(std::move(shots)) {}
+
+  const circ::QuantumCircuit& circuit() const { return circuit_; }
+  const std::vector<CachedShot>& shots() const { return shots_; }
+
+ private:
+  circ::QuantumCircuit circuit_;
+  std::vector<CachedShot> shots_;
+};
+
+// Bounds on the per-shot cache. Campaigns build one snapshot per
+// concurrently-processed injection point, so the budget is per snapshot and
+// deliberately modest; shots beyond the cache re-simulate their prefix.
+constexpr std::uint64_t kMaxCachedTrajectories = 4096;
+constexpr std::uint64_t kMaxCacheBytes = 64ULL << 20;  // 64 MiB per snapshot
+
+// Snapshot-internal randomness: prefix draws must not depend on the
+// per-config seed (that is what makes one snapshot shareable), so they are
+// salted independently of the suffix stream.
+constexpr std::uint64_t kPrefixSalt = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kSuffixSalt = 0xd1b54a32d192ed03ULL;
+
 }  // namespace
 
 TrajectoryBackend::TrajectoryBackend(noise::NoiseModel noise_model)
@@ -73,6 +161,7 @@ ExecutionResult TrajectoryBackend::run(const circ::QuantumCircuit& circuit,
   // Per-shot readout errors are applied to the measured clbits.
   std::vector<int> measured_clbits;
   std::vector<noise::ReadoutError> readout_errors;
+  collect_readout(circuit, noise_model_, measured_clbits, readout_errors);
 
   for (std::uint64_t shot = 0; shot < shots; ++shot) {
     const std::uint64_t words[] = {seed, shot};
@@ -80,54 +169,108 @@ ExecutionResult TrajectoryBackend::run(const circ::QuantumCircuit& circuit,
 
     sim::Statevector sv(circuit.num_qubits());
     std::uint64_t outcome = 0;
-    if (shot == 0) {
-      measured_clbits.clear();
-      readout_errors.clear();
-    }
-
     for (const auto& instr : circuit.instructions()) {
-      switch (instr.kind) {
-        case GateKind::Barrier:
-          continue;
-        case GateKind::Measure: {
-          const int bit = sv.measure_qubit(instr.qubits[0], rng);
-          const std::uint64_t mask = 1ULL << instr.clbits[0];
-          outcome = bit ? (outcome | mask) : (outcome & ~mask);
-          if (shot == 0) {
-            measured_clbits.push_back(instr.clbits[0]);
-            readout_errors.push_back(noise_model_.readout(instr.qubits[0]));
-          }
-          continue;
-        }
-        case GateKind::Reset:
-          sv.reset_qubit(instr.qubits[0], rng);
-          continue;
-        default:
-          break;
-      }
-
-      sv.apply_instruction(instr);
-      if (noise_model_.is_ideal()) continue;
-
-      const auto& info = circ::gate_info(instr.kind);
-      if (info.num_qubits == 1) {
-        for (const auto* ch :
-             noise_model_.channels_after_1q(instr.kind, instr.qubits[0])) {
-          sample_kraus1(sv, *ch, instr.qubits[0], rng);
-        }
-      } else if (info.num_qubits == 2) {
-        const auto tq =
-            noise_model_.channels_after_2q(instr.qubits[0], instr.qubits[1]);
-        if (tq.relax_a) sample_kraus1(sv, *tq.relax_a, instr.qubits[0], rng);
-        if (tq.relax_b) sample_kraus1(sv, *tq.relax_b, instr.qubits[1], rng);
-        if (tq.depol) {
-          sample_kraus2(sv, *tq.depol, instr.qubits[0], instr.qubits[1], rng);
-        }
-      }
+      execute_one(sv, outcome, instr, rng, noise_model_);
     }
 
     outcome = noise::sample_readout_flips(outcome, measured_clbits,
                                           readout_errors, rng);
+    ++outcome_counts[outcome];
+  }
+
+  return ExecutionResult::from_outcome_counts(outcome_counts,
+                                              circuit.num_clbits(), name());
+}
+
+PrefixSnapshotPtr TrajectoryBackend::prepare_prefix(
+    const circ::QuantumCircuit& circuit, std::size_t prefix_length,
+    std::uint64_t shots_hint, std::uint64_t snapshot_seed) {
+  const std::uint64_t bytes_per_shot =
+      sizeof(sim::cplx) * (std::uint64_t{1} << circuit.num_qubits());
+  const std::uint64_t cacheable = std::min(
+      {shots_hint, kMaxCachedTrajectories, kMaxCacheBytes / bytes_per_shot});
+  if (cacheable == 0) {
+    return Backend::prepare_prefix(circuit, prefix_length, shots_hint,
+                                   snapshot_seed);
+  }
+  require(prefix_length <= circuit.size(),
+          "prepare_prefix: prefix length exceeds circuit size");
+
+  std::vector<CachedShot> cached;
+  cached.reserve(cacheable);
+  const auto& instrs = circuit.instructions();
+  for (std::uint64_t shot = 0; shot < cacheable; ++shot) {
+    const std::uint64_t words[] = {kPrefixSalt, snapshot_seed, shot};
+    util::Xoshiro256pp rng(util::hash_combine(words));
+    CachedShot state{sim::Statevector(circuit.num_qubits()), 0};
+    for (std::size_t i = 0; i < prefix_length; ++i) {
+      execute_one(state.sv, state.outcome, instrs[i], rng, noise_model_);
+    }
+    cached.push_back(std::move(state));
+  }
+  return std::make_shared<TrajectorySnapshot>(circuit, prefix_length,
+                                              std::move(cached));
+}
+
+ExecutionResult TrajectoryBackend::run_suffix(
+    const PrefixSnapshot& snapshot,
+    std::span<const circ::Instruction> injected, std::uint64_t shots,
+    std::uint64_t seed) {
+  const auto* snap = dynamic_cast<const TrajectorySnapshot*>(&snapshot);
+  if (!snap) return Backend::run_suffix(snapshot, injected, shots, seed);
+  require(shots > 0, "TrajectoryBackend: shots must be > 0");
+
+  const circ::QuantumCircuit& circuit = snap->circuit();
+  const auto& instrs = circuit.instructions();
+  std::vector<std::uint64_t> outcome_counts(
+      std::size_t{1} << circuit.num_clbits(), 0);
+
+  std::vector<int> measured_clbits;
+  std::vector<noise::ReadoutError> readout_errors;
+  collect_readout(circuit, noise_model_, measured_clbits, readout_errors);
+
+  // Shots past the cache re-simulate the whole spliced circuit (run()
+  // semantics); built lazily since campaigns size the cache to the shots.
+  circ::QuantumCircuit spliced;
+  if (shots > snap->shots().size()) {
+    spliced = splice_circuit(circuit, snap->prefix_length(), injected);
+  }
+
+  for (const auto& instr : injected) {
+    require(instr.is_unitary(), "run_suffix: injected gate not unitary");
+    for (int q : instr.qubits) {
+      require(q >= 0 && q < circuit.num_qubits(),
+              "run_suffix: injected gate qubit out of range");
+    }
+  }
+
+  for (std::uint64_t shot = 0; shot < shots; ++shot) {
+    std::uint64_t outcome = 0;
+    if (shot < snap->shots().size()) {
+      // Resume the cached prefix trajectory with a fresh suffix stream.
+      const CachedShot& start = snap->shots()[shot];
+      const std::uint64_t words[] = {seed, shot, kSuffixSalt};
+      util::Xoshiro256pp rng(util::hash_combine(words));
+      sim::Statevector sv = start.sv.clone();
+      outcome = start.outcome;
+      for (const auto& instr : injected) {
+        execute_one(sv, outcome, instr, rng, noise_model_);
+      }
+      for (std::size_t i = snap->prefix_length(); i < instrs.size(); ++i) {
+        execute_one(sv, outcome, instrs[i], rng, noise_model_);
+      }
+      outcome = noise::sample_readout_flips(outcome, measured_clbits,
+                                            readout_errors, rng);
+    } else {
+      const std::uint64_t words[] = {seed, shot};
+      util::Xoshiro256pp rng(util::hash_combine(words));
+      sim::Statevector sv(circuit.num_qubits());
+      for (const auto& instr : spliced.instructions()) {
+        execute_one(sv, outcome, instr, rng, noise_model_);
+      }
+      outcome = noise::sample_readout_flips(outcome, measured_clbits,
+                                            readout_errors, rng);
+    }
     ++outcome_counts[outcome];
   }
 

@@ -1,5 +1,6 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "backend/density_backend.hpp"
@@ -49,20 +50,6 @@ Prepared prepare(const CampaignSpec& spec) {
   return prep;
 }
 
-std::vector<InjectionPoint> stride_points(std::vector<InjectionPoint> points,
-                                          std::size_t max_points) {
-  if (max_points == 0 || points.size() <= max_points) return points;
-  std::vector<InjectionPoint> kept;
-  kept.reserve(max_points);
-  const double stride = static_cast<double>(points.size()) /
-                        static_cast<double>(max_points);
-  for (std::size_t k = 0; k < max_points; ++k) {
-    kept.push_back(points[static_cast<std::size_t>(
-        static_cast<double>(k) * stride)]);
-  }
-  return kept;
-}
-
 std::uint64_t config_seed(const CampaignSpec& spec, std::uint64_t a,
                           std::uint64_t b, std::uint64_t c, std::uint64_t d) {
   const std::uint64_t words[] = {spec.seed, a, b, c, d};
@@ -88,7 +75,31 @@ CampaignMetadata base_metadata(const CampaignSpec& spec, const Prepared& prep) {
   return meta;
 }
 
+/// Scores one executed config: pa/pb via the shared QVF split (paper
+/// Eq. 1) instead of a re-implemented loop.
+void score_record(InjectionRecord& rec, std::span<const double> probs,
+                  const GoldenOutput& golden) {
+  const ProbabilitySplit split = split_probabilities(probs, golden);
+  rec.pa = split.pa;
+  rec.pb = split.pb;
+  rec.qvf = qvf_from_contrast(michelson_contrast(split.pa, split.pb));
+}
+
 }  // namespace
+
+std::vector<InjectionPoint> stride_points(std::vector<InjectionPoint> points,
+                                          std::size_t max_points) {
+  if (max_points == 0 || points.size() <= max_points) return points;
+  std::vector<InjectionPoint> kept;
+  kept.reserve(max_points);
+  // Integer striding: floor(k * N / M) is strictly increasing for M <= N,
+  // so exactly M distinct in-range points are kept (the floating-point
+  // stride this replaces could duplicate or skip points).
+  for (std::size_t k = 0; k < max_points; ++k) {
+    kept.push_back(points[k * points.size() / max_points]);
+  }
+  return kept;
+}
 
 transpile::TranspileResult campaign_transpile(const CampaignSpec& spec) {
   return transpile::transpile(spec.circuit, spec.backend,
@@ -131,40 +142,86 @@ CampaignResult run_single_fault_campaign(const CampaignSpec& spec) {
   const std::size_t total = result.points.size() * configs_per_point;
   result.records.resize(total);
 
-  util::ThreadPool pool(static_cast<std::size_t>(
-      spec.threads > 0 ? spec.threads : 0));
-  pool.parallel_for(total, [&](std::size_t idx) {
-    const std::size_t point_index = idx / configs_per_point;
-    const std::size_t rem = idx % configs_per_point;
+  // One config = one faulty execution; seeds and record slots are addressed
+  // by (point, phi, theta) so results are independent of scheduling.
+  const auto run_config = [&](std::size_t point_index, std::size_t rem,
+                              const backend::PrefixSnapshot* snapshot) {
     const int phi_index = static_cast<int>(rem / num_theta);
     const int theta_index = static_cast<int>(rem % num_theta);
+    const InjectionPoint& point = result.points[point_index];
 
     const PhaseShiftFault fault{spec.grid.theta_at(theta_index),
                                 spec.grid.phi_at(phi_index)};
-    const auto faulty = inject_fault(prep.transpiled.circuit,
-                                     result.points[point_index], fault);
-    const auto run = prep.exec->run(
-        faulty, spec.shots,
+    const std::uint64_t seed =
         config_seed(spec, point_index, static_cast<std::uint64_t>(phi_index),
-                    static_cast<std::uint64_t>(theta_index), 0));
+                    static_cast<std::uint64_t>(theta_index), 0);
+    backend::ExecutionResult run;
+    if (snapshot) {
+      const circ::Instruction injected[] = {fault.as_instruction(point.qubit)};
+      run = prep.exec->run_suffix(*snapshot, injected, spec.shots, seed);
+    } else {
+      run = prep.exec->run(inject_fault(prep.transpiled.circuit, point, fault),
+                           spec.shots, seed);
+    }
 
-    InjectionRecord& rec = result.records[idx];
+    InjectionRecord& rec =
+        result.records[point_index * configs_per_point + rem];
     rec.point_index = static_cast<std::uint32_t>(point_index);
     rec.theta_index = theta_index;
     rec.phi_index = phi_index;
-    double pa = 0.0;
-    double pb = 0.0;
-    for (std::uint64_t s = 0; s < run.probabilities.size(); ++s) {
-      if (prep.golden.is_correct(s)) {
-        pa += run.probabilities[s];
-      } else {
-        pb = std::max(pb, run.probabilities[s]);
-      }
+    score_record(rec, run.probabilities, prep.golden);
+  };
+
+  util::ThreadPool pool(static_cast<std::size_t>(
+      spec.threads > 0 ? spec.threads : 0));
+  if (spec.use_checkpoints && prep.exec->supports_checkpointing()) {
+    // All configs at one injection point share the gate prefix before the
+    // fault, so the natural unit of parallel work is the point: evolve the
+    // prefix once, then sweep the whole grid from that snapshot.
+    if (result.points.size() >= pool.size()) {
+      // Enough points to saturate the pool; at most one live snapshot per
+      // lane bounds snapshot memory.
+      pool.parallel_for(result.points.size(), [&](std::size_t point_index) {
+        const auto snapshot = prep.exec->prepare_prefix(
+            prep.transpiled.circuit, result.points[point_index].split_index(),
+            spec.shots, spec.seed);
+        for (std::size_t rem = 0; rem < configs_per_point; ++rem) {
+          run_config(point_index, rem, snapshot.get());
+        }
+      });
+    } else {
+      // Fewer points than workers: prepare the (few) snapshots in
+      // parallel, then chunk each point's grid sweep across the pool so no
+      // lane idles. Snapshots are immutable and thread-shareable.
+      std::vector<backend::PrefixSnapshotPtr> snapshots(result.points.size());
+      pool.parallel_for(result.points.size(), [&](std::size_t p) {
+        snapshots[p] = prep.exec->prepare_prefix(
+            prep.transpiled.circuit, result.points[p].split_index(),
+            spec.shots, spec.seed);
+      });
+      const std::size_t chunks_per_point = std::min(
+          configs_per_point,
+          (pool.size() + result.points.size() - 1) / result.points.size());
+      const std::size_t chunk_size =
+          (configs_per_point + chunks_per_point - 1) / chunks_per_point;
+      pool.parallel_for(
+          result.points.size() * chunks_per_point, [&](std::size_t item) {
+            const std::size_t p = item / chunks_per_point;
+            const std::size_t begin = (item % chunks_per_point) * chunk_size;
+            const std::size_t end =
+                std::min(begin + chunk_size, configs_per_point);
+            for (std::size_t rem = begin; rem < end; ++rem) {
+              run_config(p, rem, snapshots[p].get());
+            }
+          });
     }
-    rec.pa = pa;
-    rec.pb = pb;
-    rec.qvf = qvf_from_contrast(michelson_contrast(pa, pb));
-  });
+  } else {
+    // No prefix amortization available: fan out per config so small point
+    // counts still use every worker.
+    pool.parallel_for(total, [&](std::size_t idx) {
+      run_config(idx / configs_per_point, idx % configs_per_point, nullptr);
+    });
+  }
 
   result.meta = base_metadata(spec, prep);
   result.meta.double_fault = false;
@@ -209,22 +266,30 @@ CampaignResult run_double_fault_campaign(const CampaignSpec& spec) {
           "double campaign: no coupled active neighbors (check topology)");
   result.records.resize(configs.size());
 
-  util::ThreadPool pool(static_cast<std::size_t>(
-      spec.threads > 0 ? spec.threads : 0));
-  pool.parallel_for(configs.size(), [&](std::size_t idx) {
+  const auto run_config = [&](std::size_t idx,
+                              const backend::PrefixSnapshot* snapshot) {
     const Config& cfg = configs[idx];
+    const InjectionPoint& point = result.points[cfg.point_index];
     const PhaseShiftFault primary{spec.grid.theta_at(cfg.theta_index),
                                   spec.grid.phi_at(cfg.phi_index)};
     const PhaseShiftFault secondary{spec.grid.theta_at(cfg.theta1_index),
                                     spec.grid.phi_at(cfg.phi1_index)};
-    const auto faulty = inject_double_fault(prep.transpiled.circuit,
-                                            result.points[cfg.point_index],
-                                            primary, cfg.neighbor, secondary);
-    const auto run = prep.exec->run(
-        faulty, spec.shots,
+    const std::uint64_t seed =
         config_seed(spec, idx, cfg.point_index,
                     static_cast<std::uint64_t>(cfg.theta_index),
-                    static_cast<std::uint64_t>(cfg.phi_index)));
+                    static_cast<std::uint64_t>(cfg.phi_index));
+    backend::ExecutionResult run;
+    if (snapshot) {
+      const circ::Instruction injected[] = {
+          primary.as_instruction(point.qubit),
+          secondary.as_instruction(cfg.neighbor)};
+      run = prep.exec->run_suffix(*snapshot, injected, spec.shots, seed);
+    } else {
+      run = prep.exec->run(
+          inject_double_fault(prep.transpiled.circuit, point, primary,
+                              cfg.neighbor, secondary),
+          spec.shots, seed);
+    }
 
     InjectionRecord& rec = result.records[idx];
     rec.point_index = cfg.point_index;
@@ -233,19 +298,34 @@ CampaignResult run_double_fault_campaign(const CampaignSpec& spec) {
     rec.neighbor_qubit = cfg.neighbor;
     rec.theta1_index = cfg.theta1_index;
     rec.phi1_index = cfg.phi1_index;
-    double pa = 0.0;
-    double pb = 0.0;
-    for (std::uint64_t s = 0; s < run.probabilities.size(); ++s) {
-      if (prep.golden.is_correct(s)) {
-        pa += run.probabilities[s];
-      } else {
-        pb = std::max(pb, run.probabilities[s]);
-      }
+    score_record(rec, run.probabilities, prep.golden);
+  };
+
+  util::ThreadPool pool(static_cast<std::size_t>(
+      spec.threads > 0 ? spec.threads : 0));
+  if (spec.use_checkpoints && prep.exec->supports_checkpointing()) {
+    // `configs` is ordered by point, so each point owns one contiguous
+    // slice; every config in a slice shares the prefix before the
+    // injection site and sweeps from one snapshot.
+    std::vector<std::size_t> slice_begin(result.points.size() + 1, 0);
+    for (const Config& cfg : configs) ++slice_begin[cfg.point_index + 1];
+    for (std::size_t p = 0; p < result.points.size(); ++p) {
+      slice_begin[p + 1] += slice_begin[p];
     }
-    rec.pa = pa;
-    rec.pb = pb;
-    rec.qvf = qvf_from_contrast(michelson_contrast(pa, pb));
-  });
+
+    pool.parallel_for(result.points.size(), [&](std::size_t p) {
+      if (slice_begin[p] == slice_begin[p + 1]) return;  // no neighbors
+      const auto snapshot = prep.exec->prepare_prefix(
+          prep.transpiled.circuit, result.points[p].split_index(), spec.shots,
+          spec.seed);
+      for (std::size_t idx = slice_begin[p]; idx < slice_begin[p + 1]; ++idx) {
+        run_config(idx, snapshot.get());
+      }
+    });
+  } else {
+    pool.parallel_for(configs.size(),
+                      [&](std::size_t idx) { run_config(idx, nullptr); });
+  }
 
   result.meta = base_metadata(spec, prep);
   result.meta.double_fault = true;
@@ -262,21 +342,42 @@ std::vector<NamedFaultQvf> run_named_fault_campaign(
       spec.max_points);
   require(!points.empty(), "named-fault campaign: no injection points");
 
-  std::vector<NamedFaultQvf> out;
+  // One prefix snapshot per point covers every named fault injected there,
+  // so the point loop is the parallel (and amortization) axis.
+  const bool checkpointed =
+      spec.use_checkpoints && prep.exec->supports_checkpointing();
+  std::vector<std::vector<double>> qvfs(
+      faults.size(), std::vector<double>(points.size(), 0.0));
   util::ThreadPool pool(static_cast<std::size_t>(
       spec.threads > 0 ? spec.threads : 0));
+  pool.parallel_for(points.size(), [&](std::size_t p) {
+    const InjectionPoint& point = points[p];
+    backend::PrefixSnapshotPtr snapshot;
+    if (checkpointed) {
+      snapshot = prep.exec->prepare_prefix(
+          prep.transpiled.circuit, point.split_index(), spec.shots, spec.seed);
+    }
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      const std::uint64_t seed = config_seed(spec, f, p, 0, 1);
+      backend::ExecutionResult run;
+      if (snapshot) {
+        const circ::Instruction injected[] = {
+            faults[f].fault.as_instruction(point.qubit)};
+        run = prep.exec->run_suffix(*snapshot, injected, spec.shots, seed);
+      } else {
+        run = prep.exec->run(
+            inject_fault(prep.transpiled.circuit, point, faults[f].fault),
+            spec.shots, seed);
+      }
+      qvfs[f][p] = compute_qvf(run.probabilities, prep.golden);
+    }
+  });
+
+  std::vector<NamedFaultQvf> out;
   for (std::size_t f = 0; f < faults.size(); ++f) {
-    std::vector<double> qvfs(points.size(), 0.0);
-    pool.parallel_for(points.size(), [&](std::size_t p) {
-      const auto faulty =
-          inject_fault(prep.transpiled.circuit, points[p], faults[f].fault);
-      const auto run =
-          prep.exec->run(faulty, spec.shots, config_seed(spec, f, p, 0, 1));
-      qvfs[p] = compute_qvf(run.probabilities, prep.golden);
-    });
     NamedFaultQvf entry;
     entry.fault_name = faults[f].name;
-    entry.mean_qvf = util::mean_of(qvfs);
+    entry.mean_qvf = util::mean_of(qvfs[f]);
     entry.executions = points.size();
     out.push_back(std::move(entry));
   }

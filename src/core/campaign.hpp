@@ -40,9 +40,18 @@ struct CampaignSpec {
 
   int threads = 0;  ///< worker threads; 0 = hardware concurrency
 
+  /// Evolve the gate prefix of each injection point once (one backend
+  /// snapshot per point) and sweep the whole (theta, phi) grid from it,
+  /// instead of re-simulating the full faulty circuit per config. Only
+  /// takes effect when the executing backend supports checkpointing; the
+  /// exact density-matrix backend produces bit-identical records either
+  /// way. Disable for the re-simulation baseline (bench --no-checkpoint).
+  bool use_checkpoints = true;
+
   /// Execute on this backend instead of the density-matrix simulator built
   /// from `backend` (e.g. SimulatedHardwareBackend). Must be thread-safe:
-  /// run() is called concurrently. Not owned.
+  /// run(), prepare_prefix() and run_suffix() are all called concurrently
+  /// from pool workers. Not owned.
   backend::Backend* backend_override = nullptr;
 };
 
@@ -74,6 +83,14 @@ transpile::TranspileResult campaign_transpile(const CampaignSpec& spec);
 
 /// Injection points the campaign would use (after max_points striding).
 std::vector<InjectionPoint> campaign_points(const CampaignSpec& spec);
+
+/// Deterministic down-selection to at most `max_points` points (0 = keep
+/// all): integer striding over the input order — exact output count,
+/// strictly increasing source indices, never a duplicate or an out-of-range
+/// pick (regression: the old floating-point stride could repeat or skip
+/// points for large counts).
+std::vector<InjectionPoint> stride_points(std::vector<InjectionPoint> points,
+                                          std::size_t max_points);
 
 /// (point, neighbor) pairs a double campaign would use.
 std::vector<std::pair<InjectionPoint, int>> campaign_point_neighbor_pairs(

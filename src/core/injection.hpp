@@ -15,6 +15,12 @@ struct InjectionPoint {
   int qubit = 0;          ///< physical qubit
   int logical_qubit = -1; ///< logical qubit mapped there at that instruction
   int moment = 0;         ///< ASAP moment of the host instruction
+
+  /// Number of instructions strictly before the injected gate — the prefix
+  /// every (theta, phi) config at this point shares. The faulty circuit is
+  /// instrs[0, split_index()) + fault gate(s) + instrs[split_index(), end),
+  /// which is what Backend::prepare_prefix/run_suffix checkpoint on.
+  std::size_t split_index() const { return instr_index + 1; }
 };
 
 /// How injection points are enumerated over a circuit.

@@ -8,7 +8,20 @@
 
 namespace qufi {
 
+void GoldenOutput::build_index() {
+  correct_mask_.assign((std::size_t{1} << num_clbits) / 64 + 1, 0);
+  for (const std::uint64_t s : correct_states) {
+    require(s < (std::uint64_t{1} << num_clbits),
+            "GoldenOutput: correct state outside the clbit space");
+    correct_mask_[s >> 6] |= 1ULL << (s & 63);
+  }
+}
+
 bool GoldenOutput::is_correct(std::uint64_t state) const {
+  if (!correct_mask_.empty()) {
+    if ((state >> 6) >= correct_mask_.size()) return false;
+    return (correct_mask_[state >> 6] >> (state & 63)) & 1ULL;
+  }
   return std::find(correct_states.begin(), correct_states.end(), state) !=
          correct_states.end();
 }
@@ -29,6 +42,7 @@ GoldenOutput compute_golden(const circ::QuantumCircuit& circuit,
       golden.correct_states.push_back(s);
     }
   }
+  golden.build_index();
   return golden;
 }
 
@@ -46,6 +60,7 @@ GoldenOutput golden_from_expected(std::span<const std::string> bitstrings,
     golden.correct_states.push_back(state);
     golden.ideal_probs[state] = share;
   }
+  golden.build_index();
   return golden;
 }
 
@@ -63,19 +78,24 @@ double qvf_from_contrast(double contrast) {
   return 1.0 - (contrast + 1.0) / 2.0;
 }
 
-double compute_qvf(std::span<const double> probs, const GoldenOutput& golden) {
+ProbabilitySplit split_probabilities(std::span<const double> probs,
+                                     const GoldenOutput& golden) {
   require(probs.size() == golden.ideal_probs.size(),
-          "compute_qvf: distribution size mismatch");
-  double pa = 0.0;
-  double pb = 0.0;
+          "split_probabilities: distribution size mismatch");
+  ProbabilitySplit split;
   for (std::uint64_t s = 0; s < probs.size(); ++s) {
     if (golden.is_correct(s)) {
-      pa += probs[s];
+      split.pa += probs[s];
     } else {
-      pb = std::max(pb, probs[s]);
+      split.pb = std::max(split.pb, probs[s]);
     }
   }
-  return qvf_from_contrast(michelson_contrast(pa, pb));
+  return split;
+}
+
+double compute_qvf(std::span<const double> probs, const GoldenOutput& golden) {
+  const ProbabilitySplit split = split_probabilities(probs, golden);
+  return qvf_from_contrast(michelson_contrast(split.pa, split.pb));
 }
 
 FaultImpact classify_qvf(double qvf, double low, double high) {

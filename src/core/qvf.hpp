@@ -15,8 +15,26 @@ struct GoldenOutput {
   std::vector<double> ideal_probs;            ///< noise/fault-free distribution
   int num_clbits = 0;
 
+  /// O(1) membership via a bitmask over the 2^num_clbits state space.
+  /// The factories below build the index; call again after mutating
+  /// `correct_states` by hand. Without an index is_correct falls back to a
+  /// linear scan (campaign hot loops hit this once per output state).
+  void build_index();
+
   bool is_correct(std::uint64_t state) const;
+
+ private:
+  std::vector<std::uint64_t> correct_mask_;  ///< bit s = state s is correct
 };
+
+/// P(A) / P(B) of the paper's Eq. 1: the total probability mass on correct
+/// states and the strongest single incorrect state.
+struct ProbabilitySplit {
+  double pa = 0.0;
+  double pb = 0.0;
+};
+ProbabilitySplit split_probabilities(std::span<const double> probs,
+                                     const GoldenOutput& golden);
 
 /// Computes the golden output by ideal simulation: the correct state(s) are
 /// those whose noise-free probability is within `tie_tolerance` of the

@@ -30,6 +30,14 @@ class DensityMatrix {
   /// rho = |psi><psi|.
   static DensityMatrix from_statevector(const Statevector& sv);
 
+  /// Explicit deep copy — checkpointed execution resumes campaigns from a
+  /// shared prefix snapshot, so the copy intent is spelled out at call
+  /// sites instead of relying on implicit copies.
+  DensityMatrix clone() const { return *this; }
+
+  /// Read-only view of the flat row-major storage (index (row << n) | col).
+  std::span<const cplx> raw() const { return rho_; }
+
   int num_qubits() const { return num_qubits_; }
   std::uint64_t dim() const { return std::uint64_t{1} << num_qubits_; }
 

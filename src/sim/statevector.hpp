@@ -29,6 +29,10 @@ class Statevector {
   std::uint64_t dim() const { return std::uint64_t{1} << num_qubits_; }
   std::span<const cplx> amplitudes() const { return amps_; }
 
+  /// Explicit deep copy (see DensityMatrix::clone): trajectory prefix
+  /// snapshots are resumed by cloning the cached per-shot state.
+  Statevector clone() const { return *this; }
+
   /// Applies a single-qubit unitary to qubit q.
   void apply_matrix1(const util::Mat2& m, int q);
   /// Applies a two-qubit unitary; operand 0 is the low local bit.

@@ -71,16 +71,21 @@ void ThreadPool::parallel_for(std::size_t n,
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
 
   const std::size_t lanes = std::min(n, workers_.size());
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     submit([&] {
       for (;;) {
+        // Once any iteration failed, stop claiming work: a failing campaign
+        // aborts promptly instead of burning the rest of the grid.
+        if (failed.load(std::memory_order_relaxed)) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
         try {
           fn(i);
         } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
           std::scoped_lock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }

@@ -34,7 +34,9 @@ class ThreadPool {
   void wait_idle();
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Exceptions from tasks are captured and the first one is rethrown.
+  /// Exceptions from tasks are captured and the first one is rethrown;
+  /// after any failure, lanes stop claiming new iterations (already-claimed
+  /// ones still finish), so not every remaining index is attempted.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -1,0 +1,347 @@
+// Prefix-checkpointed execution tests: the two-phase backend API, campaign
+// equivalence against full re-simulation, integer point striding, and
+// thread-pool exception short-circuiting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "algorithms/algorithms.hpp"
+#include "backend/density_backend.hpp"
+#include "backend/ideal_backend.hpp"
+#include "backend/trajectory_backend.hpp"
+#include "core/campaign.hpp"
+#include "core/injection.hpp"
+#include "core/qvf.hpp"
+#include "noise/backend_props.hpp"
+#include "noise/noise_model.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qufi {
+namespace {
+
+CampaignSpec quick_spec(const std::string& name, int width) {
+  const auto bench = algo::paper_circuit(name, width);
+  CampaignSpec spec;
+  spec.circuit = bench.circuit;
+  spec.expected_outputs = bench.expected_outputs;
+  spec.grid.theta_step_deg = 60.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.threads = 2;
+  return spec;
+}
+
+// ---- integer striding ------------------------------------------------------
+
+std::vector<InjectionPoint> synthetic_points(std::size_t n) {
+  std::vector<InjectionPoint> points(n);
+  for (std::size_t i = 0; i < n; ++i) points[i].instr_index = i;
+  return points;
+}
+
+TEST(StridePoints, ExactCountNoDuplicatesNoSkipsPastEnd) {
+  const std::size_t n = 100000;
+  const auto points = synthetic_points(n);
+  for (const std::size_t m : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{7}, std::size_t{312},
+                              std::size_t{49999}, std::size_t{99999},
+                              std::size_t{100000}}) {
+    const auto kept = stride_points(points, m);
+    ASSERT_EQ(kept.size(), std::min(m, n)) << "max_points=" << m;
+    // Strictly increasing source indices: no duplicate, no out-of-range.
+    for (std::size_t k = 0; k < kept.size(); ++k) {
+      ASSERT_LT(kept[k].instr_index, n);
+      if (k > 0) {
+        ASSERT_GT(kept[k].instr_index, kept[k - 1].instr_index)
+            << "duplicate/skip at k=" << k << " max_points=" << m;
+      }
+    }
+    // First point is always kept; coverage reaches the tail of the list.
+    EXPECT_EQ(kept.front().instr_index, 0u);
+    EXPECT_GE(kept.back().instr_index, (m - 1) * n / m);
+  }
+}
+
+TEST(StridePoints, ZeroOrLargeBudgetKeepsAll) {
+  const auto points = synthetic_points(17);
+  EXPECT_EQ(stride_points(points, 0).size(), 17u);
+  EXPECT_EQ(stride_points(points, 17).size(), 17u);
+  EXPECT_EQ(stride_points(points, 1000).size(), 17u);
+}
+
+// ---- thread-pool short-circuiting ------------------------------------------
+
+TEST(ThreadPoolCheckpoint, SingleLaneStopsClaimingAfterException) {
+  util::ThreadPool pool(1);
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          ++executed;
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // One lane claims in order; after i == 3 fails it must bail, not run the
+  // remaining 96 iterations.
+  EXPECT_EQ(executed.load(), 4u);
+}
+
+TEST(ThreadPoolCheckpoint, AllLanesBailAfterFirstFailure) {
+  util::ThreadPool pool(4);
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(pool.parallel_for(10000,
+                                 [&](std::size_t) {
+                                   ++executed;
+                                   throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // Each lane executes at most one iteration before seeing the flag.
+  EXPECT_LE(executed.load(), 4u);
+  EXPECT_GE(executed.load(), 1u);
+}
+
+// ---- backend-level prefix/suffix equivalence -------------------------------
+
+TEST(PrefixCheckpoint, DensityRunSuffixMatchesFullRun) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  ASSERT_GE(points.size(), 3u);
+
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  ASSERT_TRUE(backend.supports_checkpointing());
+
+  const PhaseShiftFault fault{0.3, 1.1};
+  for (const std::size_t p :
+       {std::size_t{0}, points.size() / 2, points.size() - 1}) {
+    const InjectionPoint& point = points[p];
+    const auto full = backend.run(
+        inject_fault(transpiled.circuit, point, fault), 0, 42);
+
+    const auto snapshot =
+        backend.prepare_prefix(transpiled.circuit, point.split_index());
+    const circ::Instruction injected[] = {fault.as_instruction(point.qubit)};
+    const auto resumed = backend.run_suffix(*snapshot, injected, 0, 42);
+
+    ASSERT_EQ(resumed.probabilities.size(), full.probabilities.size());
+    for (std::size_t s = 0; s < full.probabilities.size(); ++s) {
+      EXPECT_NEAR(resumed.probabilities[s], full.probabilities[s], 1e-12)
+          << "point " << p << " state " << s;
+    }
+  }
+}
+
+TEST(PrefixCheckpoint, IdleNoiseBackendFallsBackToExactSplice) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0), /*idle_noise=*/true);
+  EXPECT_FALSE(backend.supports_checkpointing());
+
+  const InjectionPoint& point = points[points.size() / 2];
+  const PhaseShiftFault fault{1.2, 0.4};
+  const auto full =
+      backend.run(inject_fault(transpiled.circuit, point, fault), 0, 7);
+  const auto snapshot =
+      backend.prepare_prefix(transpiled.circuit, point.split_index());
+  const circ::Instruction injected[] = {fault.as_instruction(point.qubit)};
+  const auto resumed = backend.run_suffix(*snapshot, injected, 0, 7);
+  ASSERT_EQ(resumed.probabilities.size(), full.probabilities.size());
+  for (std::size_t s = 0; s < full.probabilities.size(); ++s) {
+    EXPECT_NEAR(resumed.probabilities[s], full.probabilities[s], 1e-15);
+  }
+}
+
+TEST(PrefixCheckpoint, BaseSpliceFallbackMatchesRunOnIdealBackend) {
+  const auto bench = algo::ghz(3);
+  const auto points = enumerate_injection_points(
+      bench.circuit, InjectionStrategy::OperandsAfterEachGate);
+  ASSERT_FALSE(points.empty());
+  backend::IdealBackend backend;
+  EXPECT_FALSE(backend.supports_checkpointing());
+
+  const InjectionPoint& point = points.front();
+  const PhaseShiftFault fault{0.8, 2.0};
+  const auto full =
+      backend.run(inject_fault(bench.circuit, point, fault), 0, 1);
+  const auto snapshot =
+      backend.prepare_prefix(bench.circuit, point.split_index());
+  const circ::Instruction injected[] = {fault.as_instruction(point.qubit)};
+  const auto resumed = backend.run_suffix(*snapshot, injected, 0, 1);
+  ASSERT_EQ(resumed.probabilities.size(), full.probabilities.size());
+  for (std::size_t s = 0; s < full.probabilities.size(); ++s) {
+    EXPECT_NEAR(resumed.probabilities[s], full.probabilities[s], 1e-15);
+  }
+}
+
+TEST(PrefixCheckpoint, IdentityFaultReproducesFaultFreeRun) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  const auto clean = backend.run(transpiled.circuit, 0, 5);
+
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  const InjectionPoint& point = points[points.size() / 3];
+  const auto snapshot =
+      backend.prepare_prefix(transpiled.circuit, point.split_index());
+  const PhaseShiftFault identity{0.0, 0.0};
+  const circ::Instruction injected[] = {identity.as_instruction(point.qubit)};
+  const auto resumed = backend.run_suffix(*snapshot, injected, 0, 5);
+  ASSERT_EQ(resumed.probabilities.size(), clean.probabilities.size());
+  for (std::size_t s = 0; s < clean.probabilities.size(); ++s) {
+    // The injected U(0, 0) still passes through the noisy-gate channel, so
+    // allow a small deviation from the gate-free clean run.
+    EXPECT_NEAR(resumed.probabilities[s], clean.probabilities[s], 5e-3);
+  }
+}
+
+// ---- campaign-level equivalence (the acceptance property) ------------------
+
+void expect_campaigns_match(const CampaignResult& a, const CampaignResult& b,
+                            double tol) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  ASSERT_EQ(a.meta.executions, b.meta.executions);
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].point_index, b.records[i].point_index);
+    EXPECT_EQ(a.records[i].theta_index, b.records[i].theta_index);
+    EXPECT_EQ(a.records[i].phi_index, b.records[i].phi_index);
+    EXPECT_NEAR(a.records[i].qvf, b.records[i].qvf, tol) << "record " << i;
+    EXPECT_NEAR(a.records[i].pa, b.records[i].pa, tol) << "record " << i;
+    EXPECT_NEAR(a.records[i].pb, b.records[i].pb, tol) << "record " << i;
+  }
+}
+
+TEST(CheckpointEquivalence, SingleFaultCampaignsMatchOnPaperCircuits) {
+  const std::pair<const char*, int> circuits[] = {
+      {"bv", 4}, {"dj", 3}, {"qft", 3}};
+  for (const auto& [name, width] : circuits) {
+    auto spec = quick_spec(name, width);
+    spec.max_points = 10;  // multiple injection points across the circuit
+
+    spec.use_checkpoints = true;
+    const auto checkpointed = run_single_fault_campaign(spec);
+    spec.use_checkpoints = false;
+    const auto resimulated = run_single_fault_campaign(spec);
+
+    SCOPED_TRACE(name);
+    expect_campaigns_match(checkpointed, resimulated, 1e-9);
+  }
+}
+
+TEST(CheckpointEquivalence, GhzCampaignMatches) {
+  const auto bench = algo::ghz(3);
+  CampaignSpec spec;
+  spec.circuit = bench.circuit;
+  spec.expected_outputs = bench.expected_outputs;
+  spec.grid.theta_step_deg = 60.0;
+  spec.grid.phi_step_deg = 90.0;
+  // More workers than points exercises the chunked grid sweep (shared
+  // snapshots split across lanes).
+  spec.threads = 16;
+  spec.max_points = 8;
+
+  spec.use_checkpoints = true;
+  const auto checkpointed = run_single_fault_campaign(spec);
+  spec.use_checkpoints = false;
+  const auto resimulated = run_single_fault_campaign(spec);
+  expect_campaigns_match(checkpointed, resimulated, 1e-9);
+}
+
+TEST(CheckpointEquivalence, DoubleFaultCampaignsMatch) {
+  auto spec = quick_spec("bv", 4);
+  spec.grid.theta_step_deg = 90.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.grid.phi_max_deg = 180.0;
+  spec.max_points = 6;
+
+  spec.use_checkpoints = true;
+  const auto checkpointed = run_double_fault_campaign(spec);
+  spec.use_checkpoints = false;
+  const auto resimulated = run_double_fault_campaign(spec);
+
+  ASSERT_EQ(checkpointed.records.size(), resimulated.records.size());
+  for (std::size_t i = 0; i < checkpointed.records.size(); ++i) {
+    EXPECT_EQ(checkpointed.records[i].neighbor_qubit,
+              resimulated.records[i].neighbor_qubit);
+    EXPECT_EQ(checkpointed.records[i].theta1_index,
+              resimulated.records[i].theta1_index);
+    EXPECT_NEAR(checkpointed.records[i].qvf, resimulated.records[i].qvf, 1e-9);
+  }
+}
+
+TEST(CheckpointEquivalence, SampledCampaignsMatchBitExactly) {
+  // With shots > 0 the density backend samples from the exact distribution
+  // using the per-config seed; checkpointing must not disturb the stream.
+  auto spec = quick_spec("bv", 4);
+  spec.shots = 128;
+  spec.max_points = 5;
+
+  spec.use_checkpoints = true;
+  const auto checkpointed = run_single_fault_campaign(spec);
+  spec.use_checkpoints = false;
+  const auto resimulated = run_single_fault_campaign(spec);
+  expect_campaigns_match(checkpointed, resimulated, 1e-12);
+}
+
+TEST(CheckpointEquivalence, NamedFaultCampaignMatches) {
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 6;
+  const auto faults = gate_equivalent_faults();
+
+  spec.use_checkpoints = true;
+  const auto checkpointed = run_named_fault_campaign(spec, faults);
+  spec.use_checkpoints = false;
+  const auto resimulated = run_named_fault_campaign(spec, faults);
+
+  ASSERT_EQ(checkpointed.size(), resimulated.size());
+  for (std::size_t f = 0; f < checkpointed.size(); ++f) {
+    EXPECT_EQ(checkpointed[f].fault_name, resimulated[f].fault_name);
+    EXPECT_NEAR(checkpointed[f].mean_qvf, resimulated[f].mean_qvf, 1e-9);
+  }
+}
+
+// ---- trajectory checkpointing ----------------------------------------------
+
+TEST(TrajectoryCheckpoint, SuffixDistributionTracksFullRun) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  const InjectionPoint& point = points[points.size() / 2];
+  const PhaseShiftFault fault{0.5, 1.0};
+  const std::uint64_t shots = 512;
+
+  backend::TrajectoryBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  ASSERT_TRUE(backend.supports_checkpointing());
+
+  const auto full = backend.run(
+      inject_fault(transpiled.circuit, point, fault), shots, 99);
+  const auto snapshot =
+      backend.prepare_prefix(transpiled.circuit, point.split_index(), shots);
+  const circ::Instruction injected[] = {fault.as_instruction(point.qubit)};
+  const auto resumed = backend.run_suffix(*snapshot, injected, shots, 99);
+
+  // Prefix randomness is shared across run_suffix calls (common random
+  // numbers), so the comparison is distributional, not bit-exact.
+  ASSERT_EQ(resumed.probabilities.size(), full.probabilities.size());
+  double tv = 0.0;
+  for (std::size_t s = 0; s < full.probabilities.size(); ++s) {
+    tv += std::abs(resumed.probabilities[s] - full.probabilities[s]);
+  }
+  EXPECT_LT(tv / 2.0, 0.15) << "total variation distance too large";
+
+  // Same snapshot + seed must be exactly reproducible.
+  const auto again = backend.run_suffix(*snapshot, injected, shots, 99);
+  EXPECT_EQ(again.probabilities, resumed.probabilities);
+}
+
+}  // namespace
+}  // namespace qufi

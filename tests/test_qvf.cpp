@@ -182,6 +182,49 @@ TEST(FaultModel, InstructionIsUGateWithLambdaZero) {
   EXPECT_DOUBLE_EQ(instr.params[2], 0.0);
 }
 
+TEST(Golden, IndexedMembershipMatchesLinearScan) {
+  GoldenOutput golden;
+  golden.num_clbits = 10;
+  golden.ideal_probs.assign(1u << 10, 0.0);
+  golden.correct_states = {0, 5, 513, 1023};
+  for (const auto s : golden.correct_states) golden.ideal_probs[s] = 0.25;
+
+  // Without an index, is_correct falls back to the linear scan; building
+  // the mask must not change any answer over the full state space.
+  std::vector<bool> linear(1u << 10, false);
+  for (std::uint64_t s = 0; s < (1u << 10); ++s) linear[s] = golden.is_correct(s);
+  golden.build_index();
+  for (std::uint64_t s = 0; s < (1u << 10); ++s) {
+    ASSERT_EQ(golden.is_correct(s), linear[s]) << "state " << s;
+  }
+  // States beyond the clbit space are never correct.
+  EXPECT_FALSE(golden.is_correct(1u << 10));
+  EXPECT_FALSE(golden.is_correct(~0ULL));
+}
+
+TEST(Golden, BuildIndexRejectsOutOfSpaceStates) {
+  GoldenOutput golden;
+  golden.num_clbits = 3;
+  golden.ideal_probs.assign(8, 0.0);
+  golden.correct_states = {9};  // outside 2^3
+  EXPECT_THROW(golden.build_index(), Error);
+}
+
+TEST(SplitProbabilities, MatchesComputeQvf) {
+  const auto bench = algo::ghz(3);
+  const auto golden = compute_golden(bench.circuit);
+  std::vector<double> probs(golden.ideal_probs.size(), 0.0);
+  probs[0] = 0.6;
+  probs[3] = 0.3;
+  probs[7] = 0.1;
+  const auto split = split_probabilities(probs, golden);
+  EXPECT_NEAR(split.pa, 0.7, 1e-12);  // GHZ correct states: 000 and 111
+  EXPECT_NEAR(split.pb, 0.3, 1e-12);
+  EXPECT_NEAR(compute_qvf(probs, golden),
+              qvf_from_contrast(michelson_contrast(split.pa, split.pb)),
+              1e-15);
+}
+
 TEST(FaultModel, GateEquivalentFaults) {
   const auto faults = gate_equivalent_faults();
   ASSERT_EQ(faults.size(), 4u);
