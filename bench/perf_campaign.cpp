@@ -2,12 +2,23 @@
 // enumeration, faulty-circuit construction, QVF computation, and end-to-end
 // campaign throughput.
 //
-// Pass --no-checkpoint to run every campaign with prefix checkpointing
-// disabled (full re-simulation per config) — the baseline against which the
-// checkpointed default is measured.
+// Execution-mode flags (combine with any google-benchmark flags):
+//   --no-checkpoint  disable prefix checkpointing (full re-simulation per
+//                    config) — the PR 1 baseline;
+//   --no-batch       keep checkpointing but submit per-config run_suffix
+//                    jobs instead of one run_suffix_batch per injection
+//                    point — the batching baseline;
+//   --json           skip google-benchmark and instead time one campaign
+//                    per paper circuit (30-degree grid), printing one
+//                    machine-readable JSON line each:
+//                      {"bench":"perf_campaign","circuit":"bv",
+//                       "mode":"batch","wall_ms":123.456,"executions":N}
+//                    so BENCH_*.json files can track the perf trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <string>
 
@@ -22,6 +33,12 @@ namespace {
 using namespace qufi;
 
 bool g_use_checkpoints = true;
+bool g_use_batch = true;
+
+const char* mode_label() {
+  if (!g_use_checkpoints) return "no-checkpoint";
+  return g_use_batch ? "batch" : "no-batch";
+}
 
 CampaignSpec small_spec() {
   const auto bench = algo::paper_circuit("bv", 4);
@@ -32,6 +49,7 @@ CampaignSpec small_spec() {
   spec.grid.phi_step_deg = 90.0;
   spec.threads = 2;
   spec.use_checkpoints = g_use_checkpoints;
+  spec.use_batch = g_use_batch;
   return spec;
 }
 
@@ -45,7 +63,36 @@ CampaignSpec paper_spec_30deg(const std::string& name, int width) {
   spec.grid.theta_step_deg = 30.0;
   spec.grid.phi_step_deg = 30.0;
   spec.use_checkpoints = g_use_checkpoints;
+  spec.use_batch = g_use_batch;
   return spec;
+}
+
+/// Direct timing mode for perf tracking: runs the acceptance workload once
+/// per paper circuit (after one untimed warm-up of the smallest) and emits
+/// one JSON line per circuit on stdout.
+int run_json_summary() {
+  static const char* kNames[] = {"bv", "dj", "qft"};
+  {
+    auto warm = paper_spec_30deg("bv", 4);
+    warm.max_points = 2;
+    run_single_fault_campaign(warm);
+  }
+  for (const char* name : kNames) {
+    auto spec = paper_spec_30deg(name, 4);
+    spec.max_points = 8;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = run_single_fault_campaign(spec);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf(
+        "{\"bench\":\"perf_campaign\",\"circuit\":\"%s\",\"mode\":\"%s\","
+        "\"wall_ms\":%.3f,\"executions\":%llu}\n",
+        name, mode_label(), wall_ms,
+        static_cast<unsigned long long>(result.meta.executions));
+  }
+  return 0;
 }
 
 void BM_EnumerateInjectionPoints(benchmark::State& state) {
@@ -117,8 +164,7 @@ void BM_PaperCampaign30Deg(benchmark::State& state) {
     state.counters["executions"] =
         static_cast<double>(result.meta.executions);
   }
-  state.SetLabel(std::string(kNames[state.range(0)]) +
-                 (spec.use_checkpoints ? "/checkpoint" : "/no-checkpoint"));
+  state.SetLabel(std::string(kNames[state.range(0)]) + "/" + mode_label());
 }
 BENCHMARK(BM_PaperCampaign30Deg)
     ->Arg(0)
@@ -129,16 +175,22 @@ BENCHMARK(BM_PaperCampaign30Deg)
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --no-checkpoint before google-benchmark parses the rest.
+  // Strip our mode flags before google-benchmark parses the rest.
+  bool json_summary = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-checkpoint") == 0) {
       g_use_checkpoints = false;
+    } else if (std::strcmp(argv[i], "--no-batch") == 0) {
+      g_use_batch = false;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_summary = true;
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  if (json_summary) return run_json_summary();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,8 +1,43 @@
 #!/usr/bin/env bash
-# Local/CI entry point mirroring the tier-1 verify command.
+# Local/CI entry point mirroring the tier-1 verify command, plus the docs
+# target: the documentation layer must exist and every bench executable the
+# README lists must be present in the build tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j
-cd build && ctest --output-on-failure -j
+(cd build && ctest --output-on-failure -j)
+
+# ---- docs target ------------------------------------------------------------
+status=0
+for doc in README.md docs/ARCHITECTURE.md; do
+  if [[ ! -f "$doc" ]]; then
+    echo "docs check FAILED: $doc is missing" >&2
+    status=1
+  fi
+done
+
+# Every fig*/tab*/ablation_*/ext*/perf_* executable named in the README's
+# bench table must exist in the build tree. (while-read instead of mapfile
+# for bash 3.2 compatibility; empty-array guards for set -u on bash < 4.4.)
+bench_count=0
+if [[ -f README.md ]]; then
+  while IFS= read -r name; do
+    bench_count=$((bench_count + 1))
+    if [[ ! -x "build/$name" ]]; then
+      echo "docs check FAILED: README.md lists $name but build/$name is missing" >&2
+      status=1
+    fi
+  done < <(grep -oE '`(fig[0-9]|tab[0-9]|ext[0-9]|ablation_|perf_)[a-z0-9_]+`' README.md |
+    tr -d '\`' | sort -u)
+  if [[ $bench_count -eq 0 ]]; then
+    echo "docs check FAILED: README.md lists no bench executables" >&2
+    status=1
+  fi
+fi
+
+if [[ $status -ne 0 ]]; then
+  exit $status
+fi
+echo "docs check OK (README.md, docs/ARCHITECTURE.md, $bench_count bench executables)"

@@ -59,4 +59,16 @@ ExecutionResult Backend::run_suffix(const PrefixSnapshot& snapshot,
              shots, seed);
 }
 
+std::vector<ExecutionResult> Backend::run_suffix_batch(
+    const PrefixSnapshot& snapshot, std::span<const SuffixConfig> configs,
+    std::uint64_t shots) {
+  std::vector<ExecutionResult> results;
+  results.reserve(configs.size());
+  for (const auto& config : configs) {
+    results.push_back(run_suffix(snapshot, config.injected, shots,
+                                 config.seed));
+  }
+  return results;
+}
+
 }  // namespace qufi::backend

@@ -1,6 +1,7 @@
 #include "backend/density_backend.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "circuit/moments.hpp"
 #include "noise/channels.hpp"
@@ -160,53 +161,218 @@ Compaction build_compaction(const circ::QuantumCircuit& circuit) {
   return c;
 }
 
-/// Resolves terminal measurements from the final diagonal (last measure
-/// into a clbit wins, Qiskit semantics) and applies readout error.
-std::vector<double> resolve_clbit_probs(const DensityExecutor& exec,
-                                        const circ::QuantumCircuit& circuit,
-                                        const noise::NoiseModel& noise_model) {
-  std::vector<int> clbit_source_compact(
+/// Terminal-measurement layout of a circuit, precomputed once and reused
+/// across every execution that shares the circuit (batched suffix sweeps
+/// resolve hundreds of distributions against one resolver).
+struct MeasurementResolver {
+  std::vector<int> clbit_source_compact;  ///< per clbit, -1 = never measured
+  std::vector<int> measured_clbits;
+  std::vector<noise::ReadoutError> readout_errors;
+  int num_clbits = 0;
+  bool apply_readout = false;
+};
+
+MeasurementResolver build_measurement_resolver(
+    const circ::QuantumCircuit& circuit, const std::vector<int>& to_compact,
+    const noise::NoiseModel& noise_model) {
+  MeasurementResolver res;
+  res.num_clbits = circuit.num_clbits();
+  res.clbit_source_compact.assign(
       static_cast<std::size_t>(circuit.num_clbits()), -1);
   std::vector<int> clbit_source_physical(
       static_cast<std::size_t>(circuit.num_clbits()), -1);
   bool any_measure = false;
   for (const auto& instr : circuit.instructions()) {
     if (instr.kind != GateKind::Measure) continue;
+    // Last measure into a clbit wins (Qiskit semantics).
     const auto c = static_cast<std::size_t>(instr.clbits[0]);
-    clbit_source_compact[c] = exec.compact(instr.qubits[0]);
+    res.clbit_source_compact[c] =
+        to_compact[static_cast<std::size_t>(instr.qubits[0])];
     clbit_source_physical[c] = instr.qubits[0];
     any_measure = true;
   }
   require(any_measure, "run_density_probs: circuit has no measurements");
 
-  const auto qubit_probs = exec.dm.probabilities();
-  std::vector<double> clbit_probs(std::size_t{1} << circuit.num_clbits(), 0.0);
+  res.apply_readout = !noise_model.is_ideal();
+  if (res.apply_readout) {
+    for (int c = 0; c < circuit.num_clbits(); ++c) {
+      const int q = clbit_source_physical[static_cast<std::size_t>(c)];
+      if (q < 0) continue;
+      res.measured_clbits.push_back(c);
+      res.readout_errors.push_back(noise_model.readout(q));
+    }
+  }
+  return res;
+}
+
+/// Resolves terminal measurements from the final diagonal and applies
+/// readout error per the resolver.
+std::vector<double> resolve_probs(const sim::DensityMatrix& dm,
+                                  const MeasurementResolver& res) {
+  const auto qubit_probs = dm.probabilities();
+  std::vector<double> clbit_probs(std::size_t{1} << res.num_clbits, 0.0);
   for (std::uint64_t i = 0; i < qubit_probs.size(); ++i) {
     if (qubit_probs[i] == 0.0) continue;
     std::uint64_t j = 0;
-    for (int c = 0; c < circuit.num_clbits(); ++c) {
-      const int q = clbit_source_compact[static_cast<std::size_t>(c)];
+    for (int c = 0; c < res.num_clbits; ++c) {
+      const int q = res.clbit_source_compact[static_cast<std::size_t>(c)];
       if (q >= 0 && ((i >> q) & 1ULL)) j |= 1ULL << c;
     }
     clbit_probs[j] += qubit_probs[i];
   }
-
-  if (!noise_model.is_ideal()) {
-    std::vector<int> clbits;
-    std::vector<noise::ReadoutError> errors;
-    for (int c = 0; c < circuit.num_clbits(); ++c) {
-      const int q = clbit_source_physical[static_cast<std::size_t>(c)];
-      if (q < 0) continue;
-      clbits.push_back(c);
-      errors.push_back(noise_model.readout(q));
-    }
-    noise::apply_readout_error(clbit_probs, clbits, errors);
+  if (res.apply_readout) {
+    noise::apply_readout_error(clbit_probs, res.measured_clbits,
+                               res.readout_errors);
   }
   return clbit_probs;
 }
 
+std::vector<double> resolve_clbit_probs(const DensityExecutor& exec,
+                                        const circ::QuantumCircuit& circuit,
+                                        const noise::NoiseModel& noise_model) {
+  return resolve_probs(
+      exec.dm,
+      build_measurement_resolver(circuit, exec.to_compact, noise_model));
+}
+
+// ---- batched suffix execution ----------------------------------------------
+//
+// A batch sweeps hundreds of fault configs from one snapshot; every config
+// replays the *same* suffix instructions. The suffix is therefore compiled
+// once into a flat list of prebaked operations: gate matrices are built
+// once (no per-config trig), noise superoperators are looked up once, and —
+// the big win — each noisy gate's unitary is fused into its noise channel so
+// the replay applies one superoperator pass instead of a unitary pass plus a
+// channel pass. Only the injected U-gate parameters differ per config.
+
+/// Swaps the operand order of a two-qubit gate matrix (local index bit 0
+/// <-> bit 1), so a gate given in (q0, q1) order can be expressed over the
+/// sorted pair an edge superoperator is built for.
+util::Mat4 swap_operand_order(const util::Mat4& u) {
+  static constexpr int kPerm[4] = {0, 2, 1, 3};
+  util::Mat4 out;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) out(r, c) = u(kPerm[r], kPerm[c]);
+  }
+  return out;
+}
+
+/// One precompiled suffix operation over compact qubit indices.
+struct BakedOp {
+  enum class Kind : std::uint8_t {
+    Unitary1,  ///< noiseless 1q gate: m1 on q0
+    Unitary2,  ///< noiseless 2q gate: m4 on (q0, q1)
+    Superop1,  ///< fused 1q gate+channel superop: m4 on q0
+    Superop2,  ///< fused 2q gate+channel superop: so2 on (q0, q1)
+    CCX,       ///< noiseless Toffoli on (q0, q1, q2)
+  };
+  Kind kind = Kind::Unitary1;
+  int q0 = 0, q1 = 0, q2 = 0;
+  util::Mat2 m1{};
+  util::Mat4 m4{};
+  noise::SuperOp2 so2{};
+};
+
+std::vector<BakedOp> bake_suffix(const circ::QuantumCircuit& circuit,
+                                 std::size_t prefix_length,
+                                 const std::vector<int>& to_compact,
+                                 const noise::NoiseModel& nm) {
+  const auto compact = [&](int physical) {
+    return to_compact[static_cast<std::size_t>(physical)];
+  };
+  std::vector<BakedOp> ops;
+  const auto& instrs = circuit.instructions();
+  for (std::size_t i = prefix_length; i < instrs.size(); ++i) {
+    const Instruction& instr = instrs[i];
+    BakedOp op;
+    switch (instr.kind) {
+      case GateKind::Barrier:
+      case GateKind::Measure:
+        continue;  // terminal measures are resolved from the final diagonal
+      case GateKind::Reset:
+        op.kind = BakedOp::Kind::Superop1;
+        op.q0 = compact(instr.qubits[0]);
+        op.m4 = noise::channel_superop(reset_channel());
+        ops.push_back(op);
+        continue;
+      default:
+        break;
+    }
+
+    const auto& info = circ::gate_info(instr.kind);
+    if (info.num_qubits == 1) {
+      const util::Mat2 u = circ::gate_matrix1(instr.kind, instr.params);
+      op.q0 = compact(instr.qubits[0]);
+      if (const auto* superop = nm.superop_after_1q(instr.kind,
+                                                    instr.qubits[0])) {
+        op.kind = BakedOp::Kind::Superop1;
+        op.m4 = noise::compose_superops(
+            *superop, noise::channel_superop(noise::KrausChannel1{{u}}));
+      } else {
+        op.kind = BakedOp::Kind::Unitary1;
+        op.m1 = u;
+      }
+    } else if (info.num_qubits == 2) {
+      const util::Mat4 u = circ::gate_matrix2(instr.kind, instr.params);
+      const int lo = std::min(instr.qubits[0], instr.qubits[1]);
+      const int hi = std::max(instr.qubits[0], instr.qubits[1]);
+      if (const auto* superop = nm.superop_after_2q(lo, hi)) {
+        // Edge superops are built for the sorted pair, so re-express the
+        // gate over (lo, hi) before fusing.
+        const util::Mat4 u_sorted =
+            instr.qubits[0] == lo ? u : swap_operand_order(u);
+        op.kind = BakedOp::Kind::Superop2;
+        op.q0 = compact(lo);
+        op.q1 = compact(hi);
+        op.so2 = noise::compose_superops(
+            *superop, noise::channel_superop(noise::KrausChannel2{{u_sorted}}));
+      } else {
+        op.kind = BakedOp::Kind::Unitary2;
+        op.q0 = compact(instr.qubits[0]);
+        op.q1 = compact(instr.qubits[1]);
+        op.m4 = u;
+      }
+    } else {
+      require(instr.kind == GateKind::CCX,
+              "run_suffix_batch: unsupported 3-qubit gate");
+      op.kind = BakedOp::Kind::CCX;
+      op.q0 = compact(instr.qubits[0]);
+      op.q1 = compact(instr.qubits[1]);
+      op.q2 = compact(instr.qubits[2]);
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+void replay_suffix(sim::DensityMatrix& dm, std::span<const BakedOp> ops) {
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case BakedOp::Kind::Unitary1:
+        dm.apply_unitary1(op.m1, op.q0);
+        break;
+      case BakedOp::Kind::Unitary2:
+        dm.apply_unitary2(op.m4, op.q0, op.q1);
+        break;
+      case BakedOp::Kind::Superop1:
+        dm.apply_superop1(op.m4, op.q0);
+        break;
+      case BakedOp::Kind::Superop2:
+        dm.apply_superop2(op.so2.a, op.q0, op.q1);
+        break;
+      case BakedOp::Kind::CCX: {
+        const Instruction mapped{GateKind::CCX, {op.q0, op.q1, op.q2}, {}, {}};
+        dm.apply_instruction(mapped);
+        break;
+      }
+    }
+  }
+}
+
 /// Density-matrix state captured after a circuit prefix, together with the
-/// compaction maps and the circuit whose suffix run_suffix will replay.
+/// compaction maps, the circuit whose suffix run_suffix will replay, and a
+/// lazily-built cache of the compiled suffix program so every batch chunk
+/// submitted against this snapshot shares one compilation.
 class DensitySnapshot final : public PrefixSnapshot {
  public:
   DensitySnapshot(sim::DensityMatrix dm, Compaction compaction,
@@ -220,10 +386,30 @@ class DensitySnapshot final : public PrefixSnapshot {
   const Compaction& compaction() const { return compaction_; }
   const circ::QuantumCircuit& circuit() const { return circuit_; }
 
+  /// The fused suffix program plus the terminal-measurement resolver,
+  /// compiled on first use and cached. Thread-safe: snapshots are shared
+  /// across pool lanes, and chunked campaigns submit several batches
+  /// against one snapshot.
+  struct CompiledSuffix {
+    std::vector<BakedOp> ops;
+    MeasurementResolver resolver;
+  };
+  const CompiledSuffix& compiled_suffix(const noise::NoiseModel& nm) const {
+    std::call_once(compile_once_, [&] {
+      compiled_.ops =
+          bake_suffix(circuit_, prefix_length(), compaction_.to_compact, nm);
+      compiled_.resolver =
+          build_measurement_resolver(circuit_, compaction_.to_compact, nm);
+    });
+    return compiled_;
+  }
+
  private:
   sim::DensityMatrix dm_;
   Compaction compaction_;
   circ::QuantumCircuit circuit_;
+  mutable std::once_flag compile_once_;
+  mutable CompiledSuffix compiled_;
 };
 
 }  // namespace
@@ -365,6 +551,66 @@ ExecutionResult DensityMatrixBackend::run_suffix(
   auto probs = resolve_clbit_probs(exec, circuit, noise_model_);
   return ExecutionResult::from_distribution(
       std::move(probs), circuit.num_clbits(), shots, seed, name());
+}
+
+std::vector<ExecutionResult> DensityMatrixBackend::run_suffix_batch(
+    const PrefixSnapshot& snapshot, std::span<const SuffixConfig> configs,
+    std::uint64_t shots) {
+  const auto* snap = dynamic_cast<const DensitySnapshot*>(&snapshot);
+  if (!snap) return Backend::run_suffix_batch(snapshot, configs, shots);
+  if (configs.empty()) return {};
+
+  const circ::QuantumCircuit& circuit = snap->circuit();
+  const std::vector<int>& to_compact = snap->compaction().to_compact;
+
+  // Validate every config up front; configs whose fault touches a qubit
+  // outside the snapshot's compacted set (mapped but never gated, e.g. an
+  // idle double-fault neighbor) cannot resume from the snapshot and fall
+  // back to exact splice re-simulation individually.
+  std::vector<char> needs_splice(configs.size(), 0);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    for (const auto& instr : configs[c].injected) {
+      require(instr.is_unitary(), "run_suffix_batch: injected gate not unitary");
+      for (int q : instr.qubits) {
+        require(q >= 0 && q < circuit.num_qubits(),
+                "run_suffix_batch: injected gate qubit out of range");
+        if (to_compact[static_cast<std::size_t>(q)] < 0) needs_splice[c] = 1;
+      }
+    }
+  }
+
+  // Per-batch setup amortized over every config: the compiled suffix
+  // (cached on the snapshot, so chunked submissions share one compile), the
+  // backend name string, and one scratch density matrix (re-filled from the
+  // snapshot with no allocation).
+  const DensitySnapshot::CompiledSuffix& compiled =
+      snap->compiled_suffix(noise_model_);
+  const std::string backend_name = name();
+
+  const DensityRunOptions options{};
+  // The scratch starts empty (cheap |0><0| init, no snapshot copy) and is
+  // re-filled from the snapshot per config below.
+  DensityExecutor exec{sim::DensityMatrix(snap->dm().num_qubits()),
+                       noise_model_, options, to_compact};
+
+  std::vector<ExecutionResult> results;
+  results.reserve(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const SuffixConfig& config = configs[c];
+    if (needs_splice[c]) {
+      results.push_back(
+          run(splice_circuit(circuit, snap->prefix_length(), config.injected),
+              shots, config.seed));
+      continue;
+    }
+    exec.dm = snap->dm();
+    for (const auto& instr : config.injected) exec.execute(instr);
+    replay_suffix(exec.dm, compiled.ops);
+    results.push_back(ExecutionResult::from_distribution(
+        resolve_probs(exec.dm, compiled.resolver), circuit.num_clbits(),
+        shots, config.seed, backend_name));
+  }
+  return results;
 }
 
 }  // namespace qufi::backend

@@ -218,64 +218,90 @@ ExecutionResult TrajectoryBackend::run_suffix(
     std::uint64_t seed) {
   const auto* snap = dynamic_cast<const TrajectorySnapshot*>(&snapshot);
   if (!snap) return Backend::run_suffix(snapshot, injected, shots, seed);
+  // A single-config batch: keeps the subtle per-shot RNG-stream derivation
+  // (cached resume vs overflow re-simulation) in exactly one place.
+  const SuffixConfig config{{injected.begin(), injected.end()}, seed};
+  auto results = run_suffix_batch(snapshot, {&config, 1}, shots);
+  return std::move(results.front());
+}
+
+std::vector<ExecutionResult> TrajectoryBackend::run_suffix_batch(
+    const PrefixSnapshot& snapshot, std::span<const SuffixConfig> configs,
+    std::uint64_t shots) {
+  const auto* snap = dynamic_cast<const TrajectorySnapshot*>(&snapshot);
+  if (!snap) return Backend::run_suffix_batch(snapshot, configs, shots);
+  if (configs.empty()) return {};
   require(shots > 0, "TrajectoryBackend: shots must be > 0");
 
   const circ::QuantumCircuit& circuit = snap->circuit();
   const auto& instrs = circuit.instructions();
-  std::vector<std::uint64_t> outcome_counts(
-      std::size_t{1} << circuit.num_clbits(), 0);
+  for (const auto& config : configs) {
+    for (const auto& instr : config.injected) {
+      require(instr.is_unitary(), "run_suffix_batch: injected gate not unitary");
+      for (int q : instr.qubits) {
+        require(q >= 0 && q < circuit.num_qubits(),
+                "run_suffix_batch: injected gate qubit out of range");
+      }
+    }
+  }
 
+  // Per-batch setup shared by every config: the readout table, the backend
+  // name, one reusable outcome histogram, and a scratch statevector that
+  // cached prefix shots are copied into without reallocating.
   std::vector<int> measured_clbits;
   std::vector<noise::ReadoutError> readout_errors;
   collect_readout(circuit, noise_model_, measured_clbits, readout_errors);
+  const std::string backend_name = name();
+  const std::size_t cached = snap->shots().size();
+  sim::Statevector scratch(circuit.num_qubits());
+  std::vector<std::uint64_t> outcome_counts(
+      std::size_t{1} << circuit.num_clbits(), 0);
 
-  // Shots past the cache re-simulate the whole spliced circuit (run()
-  // semantics); built lazily since campaigns size the cache to the shots.
-  circ::QuantumCircuit spliced;
-  if (shots > snap->shots().size()) {
-    spliced = splice_circuit(circuit, snap->prefix_length(), injected);
-  }
-
-  for (const auto& instr : injected) {
-    require(instr.is_unitary(), "run_suffix: injected gate not unitary");
-    for (int q : instr.qubits) {
-      require(q >= 0 && q < circuit.num_qubits(),
-              "run_suffix: injected gate qubit out of range");
+  std::vector<ExecutionResult> results;
+  results.reserve(configs.size());
+  for (const auto& config : configs) {
+    std::fill(outcome_counts.begin(), outcome_counts.end(), 0);
+    // Shots past the cache re-simulate the whole spliced circuit (run()
+    // semantics); the splice differs per config, so it is built lazily.
+    circ::QuantumCircuit spliced;
+    if (shots > cached) {
+      spliced = splice_circuit(circuit, snap->prefix_length(), config.injected);
     }
-  }
 
-  for (std::uint64_t shot = 0; shot < shots; ++shot) {
-    std::uint64_t outcome = 0;
-    if (shot < snap->shots().size()) {
-      // Resume the cached prefix trajectory with a fresh suffix stream.
-      const CachedShot& start = snap->shots()[shot];
-      const std::uint64_t words[] = {seed, shot, kSuffixSalt};
-      util::Xoshiro256pp rng(util::hash_combine(words));
-      sim::Statevector sv = start.sv.clone();
-      outcome = start.outcome;
-      for (const auto& instr : injected) {
-        execute_one(sv, outcome, instr, rng, noise_model_);
+    for (std::uint64_t shot = 0; shot < shots; ++shot) {
+      std::uint64_t outcome = 0;
+      if (shot < cached) {
+        // Resume the cached prefix trajectory (common random numbers across
+        // configs) with this config's suffix stream.
+        const CachedShot& start = snap->shots()[shot];
+        const std::uint64_t words[] = {config.seed, shot, kSuffixSalt};
+        util::Xoshiro256pp rng(util::hash_combine(words));
+        scratch = start.sv;
+        outcome = start.outcome;
+        for (const auto& instr : config.injected) {
+          execute_one(scratch, outcome, instr, rng, noise_model_);
+        }
+        for (std::size_t i = snap->prefix_length(); i < instrs.size(); ++i) {
+          execute_one(scratch, outcome, instrs[i], rng, noise_model_);
+        }
+        outcome = noise::sample_readout_flips(outcome, measured_clbits,
+                                              readout_errors, rng);
+      } else {
+        const std::uint64_t words[] = {config.seed, shot};
+        util::Xoshiro256pp rng(util::hash_combine(words));
+        sim::Statevector sv(circuit.num_qubits());
+        for (const auto& instr : spliced.instructions()) {
+          execute_one(sv, outcome, instr, rng, noise_model_);
+        }
+        outcome = noise::sample_readout_flips(outcome, measured_clbits,
+                                              readout_errors, rng);
       }
-      for (std::size_t i = snap->prefix_length(); i < instrs.size(); ++i) {
-        execute_one(sv, outcome, instrs[i], rng, noise_model_);
-      }
-      outcome = noise::sample_readout_flips(outcome, measured_clbits,
-                                            readout_errors, rng);
-    } else {
-      const std::uint64_t words[] = {seed, shot};
-      util::Xoshiro256pp rng(util::hash_combine(words));
-      sim::Statevector sv(circuit.num_qubits());
-      for (const auto& instr : spliced.instructions()) {
-        execute_one(sv, outcome, instr, rng, noise_model_);
-      }
-      outcome = noise::sample_readout_flips(outcome, measured_clbits,
-                                            readout_errors, rng);
+      ++outcome_counts[outcome];
     }
-    ++outcome_counts[outcome];
+    results.push_back(ExecutionResult::from_outcome_counts(
+        outcome_counts, circuit.num_clbits(), backend_name));
   }
-
-  return ExecutionResult::from_outcome_counts(outcome_counts,
-                                              circuit.num_clbits(), name());
+  return results;
 }
 
 }  // namespace qufi::backend

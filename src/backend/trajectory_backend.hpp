@@ -41,6 +41,15 @@ class TrajectoryBackend : public Backend {
                              std::span<const circ::Instruction> injected,
                              std::uint64_t shots, std::uint64_t seed) override;
 
+  /// Batched grid sweep: replays the cached per-shot prefix statevectors
+  /// across every config with common random numbers, hoisting the readout
+  /// table and reusing one scratch statevector (no per-shot clone
+  /// allocation). Each config's counts are bit-identical to a sequential
+  /// run_suffix call with the same snapshot and per-config seed.
+  std::vector<ExecutionResult> run_suffix_batch(
+      const PrefixSnapshot& snapshot, std::span<const SuffixConfig> configs,
+      std::uint64_t shots) override;
+
  private:
   noise::NoiseModel noise_model_;
 };

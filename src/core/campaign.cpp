@@ -142,34 +142,78 @@ CampaignResult run_single_fault_campaign(const CampaignSpec& spec) {
   const std::size_t total = result.points.size() * configs_per_point;
   result.records.resize(total);
 
-  // One config = one faulty execution; seeds and record slots are addressed
-  // by (point, phi, theta) so results are independent of scheduling.
-  const auto run_config = [&](std::size_t point_index, std::size_t rem,
-                              const backend::PrefixSnapshot* snapshot) {
+  // The single source of a config's fault gate and seed, addressed by
+  // (point, phi, theta) so results are independent of scheduling and of
+  // batched vs per-config submission.
+  const auto make_config = [&](std::size_t point_index, std::size_t rem) {
     const int phi_index = static_cast<int>(rem / num_theta);
     const int theta_index = static_cast<int>(rem % num_theta);
     const InjectionPoint& point = result.points[point_index];
-
     const PhaseShiftFault fault{spec.grid.theta_at(theta_index),
                                 spec.grid.phi_at(phi_index)};
-    const std::uint64_t seed =
+    backend::SuffixConfig config;
+    config.injected = {fault.as_instruction(point.qubit)};
+    config.seed =
         config_seed(spec, point_index, static_cast<std::uint64_t>(phi_index),
                     static_cast<std::uint64_t>(theta_index), 0);
-    backend::ExecutionResult run;
-    if (snapshot) {
-      const circ::Instruction injected[] = {fault.as_instruction(point.qubit)};
-      run = prep.exec->run_suffix(*snapshot, injected, spec.shots, seed);
-    } else {
-      run = prep.exec->run(inject_fault(prep.transpiled.circuit, point, fault),
-                           spec.shots, seed);
-    }
+    return config;
+  };
 
+  // Fills and scores the record slot for config `rem` at `point_index`;
+  // shared by the per-config and batched paths so record addressing has a
+  // single source.
+  const auto fill_record = [&](std::size_t point_index, std::size_t rem,
+                               std::span<const double> probs) {
     InjectionRecord& rec =
         result.records[point_index * configs_per_point + rem];
     rec.point_index = static_cast<std::uint32_t>(point_index);
-    rec.theta_index = theta_index;
-    rec.phi_index = phi_index;
-    score_record(rec, run.probabilities, prep.golden);
+    rec.theta_index = static_cast<int>(rem % num_theta);
+    rec.phi_index = static_cast<int>(rem / num_theta);
+    score_record(rec, probs, prep.golden);
+  };
+
+  // One config = one faulty execution.
+  const auto run_config = [&](std::size_t point_index, std::size_t rem,
+                              const backend::PrefixSnapshot* snapshot) {
+    const backend::SuffixConfig config = make_config(point_index, rem);
+    backend::ExecutionResult run;
+    if (snapshot) {
+      run = prep.exec->run_suffix(*snapshot, config.injected, spec.shots,
+                                  config.seed);
+    } else {
+      run = prep.exec->run(
+          backend::splice_circuit(prep.transpiled.circuit,
+                                  result.points[point_index].split_index(),
+                                  config.injected),
+          spec.shots, config.seed);
+    }
+    fill_record(point_index, rem, run.probabilities);
+  };
+
+  // Sweeps configs [begin, end) at one point from its snapshot: one
+  // run_suffix_batch submission when batching, per-config run_suffix jobs
+  // otherwise (the --no-batch baseline).
+  const auto sweep_range = [&](std::size_t point_index, std::size_t begin,
+                               std::size_t end,
+                               const backend::PrefixSnapshot* snapshot) {
+    if (!spec.use_batch) {
+      for (std::size_t rem = begin; rem < end; ++rem) {
+        run_config(point_index, rem, snapshot);
+      }
+      return;
+    }
+    std::vector<backend::SuffixConfig> configs;
+    configs.reserve(end - begin);
+    for (std::size_t rem = begin; rem < end; ++rem) {
+      configs.push_back(make_config(point_index, rem));
+    }
+    const auto runs =
+        prep.exec->run_suffix_batch(*snapshot, configs, spec.shots);
+    require(runs.size() == configs.size(),
+            "campaign: run_suffix_batch returned wrong result count");
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+      fill_record(point_index, begin + k, runs[k].probabilities);
+    }
   };
 
   util::ThreadPool pool(static_cast<std::size_t>(
@@ -185,14 +229,13 @@ CampaignResult run_single_fault_campaign(const CampaignSpec& spec) {
         const auto snapshot = prep.exec->prepare_prefix(
             prep.transpiled.circuit, result.points[point_index].split_index(),
             spec.shots, spec.seed);
-        for (std::size_t rem = 0; rem < configs_per_point; ++rem) {
-          run_config(point_index, rem, snapshot.get());
-        }
+        sweep_range(point_index, 0, configs_per_point, snapshot.get());
       });
     } else {
       // Fewer points than workers: prepare the (few) snapshots in
       // parallel, then chunk each point's grid sweep across the pool so no
-      // lane idles. Snapshots are immutable and thread-shareable.
+      // lane idles. Snapshots are immutable and thread-shareable; each
+      // chunk is its own (smaller) batch submission.
       std::vector<backend::PrefixSnapshotPtr> snapshots(result.points.size());
       pool.parallel_for(result.points.size(), [&](std::size_t p) {
         snapshots[p] = prep.exec->prepare_prefix(
@@ -210,9 +253,7 @@ CampaignResult run_single_fault_campaign(const CampaignSpec& spec) {
             const std::size_t begin = (item % chunks_per_point) * chunk_size;
             const std::size_t end =
                 std::min(begin + chunk_size, configs_per_point);
-            for (std::size_t rem = begin; rem < end; ++rem) {
-              run_config(p, rem, snapshots[p].get());
-            }
+            if (begin < end) sweep_range(p, begin, end, snapshots[p].get());
           });
     }
   } else {
@@ -266,31 +307,28 @@ CampaignResult run_double_fault_campaign(const CampaignSpec& spec) {
           "double campaign: no coupled active neighbors (check topology)");
   result.records.resize(configs.size());
 
-  const auto run_config = [&](std::size_t idx,
-                              const backend::PrefixSnapshot* snapshot) {
+  // The single source of a flat config's fault pair and seed, shared by
+  // batched and per-config submission.
+  const auto make_config = [&](std::size_t idx) {
     const Config& cfg = configs[idx];
     const InjectionPoint& point = result.points[cfg.point_index];
     const PhaseShiftFault primary{spec.grid.theta_at(cfg.theta_index),
                                   spec.grid.phi_at(cfg.phi_index)};
     const PhaseShiftFault secondary{spec.grid.theta_at(cfg.theta1_index),
                                     spec.grid.phi_at(cfg.phi1_index)};
-    const std::uint64_t seed =
-        config_seed(spec, idx, cfg.point_index,
-                    static_cast<std::uint64_t>(cfg.theta_index),
-                    static_cast<std::uint64_t>(cfg.phi_index));
-    backend::ExecutionResult run;
-    if (snapshot) {
-      const circ::Instruction injected[] = {
-          primary.as_instruction(point.qubit),
-          secondary.as_instruction(cfg.neighbor)};
-      run = prep.exec->run_suffix(*snapshot, injected, spec.shots, seed);
-    } else {
-      run = prep.exec->run(
-          inject_double_fault(prep.transpiled.circuit, point, primary,
-                              cfg.neighbor, secondary),
-          spec.shots, seed);
-    }
+    backend::SuffixConfig sc;
+    sc.injected = {primary.as_instruction(point.qubit),
+                   secondary.as_instruction(cfg.neighbor)};
+    sc.seed = config_seed(spec, idx, cfg.point_index,
+                          static_cast<std::uint64_t>(cfg.theta_index),
+                          static_cast<std::uint64_t>(cfg.phi_index));
+    return sc;
+  };
 
+  // Fills and scores record `idx`; shared by the per-config and batched
+  // paths so the field mapping from Config has a single source.
+  const auto fill_record = [&](std::size_t idx, std::span<const double> probs) {
+    const Config& cfg = configs[idx];
     InjectionRecord& rec = result.records[idx];
     rec.point_index = cfg.point_index;
     rec.theta_index = cfg.theta_index;
@@ -298,7 +336,47 @@ CampaignResult run_double_fault_campaign(const CampaignSpec& spec) {
     rec.neighbor_qubit = cfg.neighbor;
     rec.theta1_index = cfg.theta1_index;
     rec.phi1_index = cfg.phi1_index;
-    score_record(rec, run.probabilities, prep.golden);
+    score_record(rec, probs, prep.golden);
+  };
+
+  const auto run_config = [&](std::size_t idx,
+                              const backend::PrefixSnapshot* snapshot) {
+    const backend::SuffixConfig sc = make_config(idx);
+    backend::ExecutionResult run;
+    if (snapshot) {
+      run = prep.exec->run_suffix(*snapshot, sc.injected, spec.shots, sc.seed);
+    } else {
+      run = prep.exec->run(
+          backend::splice_circuit(
+              prep.transpiled.circuit,
+              result.points[configs[idx].point_index].split_index(),
+              sc.injected),
+          spec.shots, sc.seed);
+    }
+    fill_record(idx, run.probabilities);
+  };
+
+  // Sweeps flat configs [begin, end) — all at the same point — from one
+  // snapshot, batched or per-config.
+  const auto sweep_range = [&](std::size_t begin, std::size_t end,
+                               const backend::PrefixSnapshot* snapshot) {
+    if (!spec.use_batch) {
+      for (std::size_t idx = begin; idx < end; ++idx) {
+        run_config(idx, snapshot);
+      }
+      return;
+    }
+    std::vector<backend::SuffixConfig> batch;
+    batch.reserve(end - begin);
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      batch.push_back(make_config(idx));
+    }
+    const auto runs = prep.exec->run_suffix_batch(*snapshot, batch, spec.shots);
+    require(runs.size() == batch.size(),
+            "campaign: run_suffix_batch returned wrong result count");
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+      fill_record(begin + k, runs[k].probabilities);
+    }
   };
 
   util::ThreadPool pool(static_cast<std::size_t>(
@@ -313,15 +391,47 @@ CampaignResult run_double_fault_campaign(const CampaignSpec& spec) {
       slice_begin[p + 1] += slice_begin[p];
     }
 
-    pool.parallel_for(result.points.size(), [&](std::size_t p) {
-      if (slice_begin[p] == slice_begin[p + 1]) return;  // no neighbors
-      const auto snapshot = prep.exec->prepare_prefix(
-          prep.transpiled.circuit, result.points[p].split_index(), spec.shots,
-          spec.seed);
-      for (std::size_t idx = slice_begin[p]; idx < slice_begin[p + 1]; ++idx) {
-        run_config(idx, snapshot.get());
+    if (result.points.size() >= pool.size()) {
+      pool.parallel_for(result.points.size(), [&](std::size_t p) {
+        if (slice_begin[p] == slice_begin[p + 1]) return;  // no neighbors
+        const auto snapshot = prep.exec->prepare_prefix(
+            prep.transpiled.circuit, result.points[p].split_index(),
+            spec.shots, spec.seed);
+        sweep_range(slice_begin[p], slice_begin[p + 1], snapshot.get());
+      });
+    } else {
+      // Fewer points than workers: shared snapshots, slices chunked across
+      // lanes so the (large) secondary sweeps saturate the pool.
+      std::vector<backend::PrefixSnapshotPtr> snapshots(result.points.size());
+      pool.parallel_for(result.points.size(), [&](std::size_t p) {
+        if (slice_begin[p] == slice_begin[p + 1]) return;
+        snapshots[p] = prep.exec->prepare_prefix(
+            prep.transpiled.circuit, result.points[p].split_index(),
+            spec.shots, spec.seed);
+      });
+      struct ChunkItem {
+        std::size_t point, begin, end;
+      };
+      std::vector<ChunkItem> chunks;
+      const std::size_t chunks_per_point =
+          (pool.size() + result.points.size() - 1) / result.points.size();
+      for (std::size_t p = 0; p < result.points.size(); ++p) {
+        const std::size_t len = slice_begin[p + 1] - slice_begin[p];
+        if (len == 0) continue;
+        const std::size_t n_chunks = std::min(len, chunks_per_point);
+        const std::size_t chunk_size = (len + n_chunks - 1) / n_chunks;
+        for (std::size_t k = 0; k < n_chunks; ++k) {
+          const std::size_t begin = slice_begin[p] + k * chunk_size;
+          const std::size_t end =
+              std::min(begin + chunk_size, slice_begin[p + 1]);
+          if (begin < end) chunks.push_back({p, begin, end});
+        }
       }
-    });
+      pool.parallel_for(chunks.size(), [&](std::size_t i) {
+        sweep_range(chunks[i].begin, chunks[i].end,
+                    snapshots[chunks[i].point].get());
+      });
+    }
   } else {
     pool.parallel_for(configs.size(),
                       [&](std::size_t idx) { run_config(idx, nullptr); });
@@ -352,22 +462,46 @@ std::vector<NamedFaultQvf> run_named_fault_campaign(
       spec.threads > 0 ? spec.threads : 0));
   pool.parallel_for(points.size(), [&](std::size_t p) {
     const InjectionPoint& point = points[p];
+    // Single source of each fault's injected gate and seed, shared by the
+    // batched, sequential-suffix, and full-run submission paths.
+    const auto make_config = [&](std::size_t f) {
+      backend::SuffixConfig config;
+      config.injected = {faults[f].fault.as_instruction(point.qubit)};
+      config.seed = config_seed(spec, f, p, 0, 1);
+      return config;
+    };
     backend::PrefixSnapshotPtr snapshot;
     if (checkpointed) {
       snapshot = prep.exec->prepare_prefix(
           prep.transpiled.circuit, point.split_index(), spec.shots, spec.seed);
     }
+    if (snapshot && spec.use_batch) {
+      // All named faults at one point go out as a single batch.
+      std::vector<backend::SuffixConfig> batch;
+      batch.reserve(faults.size());
+      for (std::size_t f = 0; f < faults.size(); ++f) {
+        batch.push_back(make_config(f));
+      }
+      const auto runs =
+          prep.exec->run_suffix_batch(*snapshot, batch, spec.shots);
+      require(runs.size() == batch.size(),
+              "campaign: run_suffix_batch returned wrong result count");
+      for (std::size_t f = 0; f < faults.size(); ++f) {
+        qvfs[f][p] = compute_qvf(runs[f].probabilities, prep.golden);
+      }
+      return;
+    }
     for (std::size_t f = 0; f < faults.size(); ++f) {
-      const std::uint64_t seed = config_seed(spec, f, p, 0, 1);
+      const backend::SuffixConfig config = make_config(f);
       backend::ExecutionResult run;
       if (snapshot) {
-        const circ::Instruction injected[] = {
-            faults[f].fault.as_instruction(point.qubit)};
-        run = prep.exec->run_suffix(*snapshot, injected, spec.shots, seed);
+        run = prep.exec->run_suffix(*snapshot, config.injected, spec.shots,
+                                    config.seed);
       } else {
         run = prep.exec->run(
-            inject_fault(prep.transpiled.circuit, point, faults[f].fault),
-            spec.shots, seed);
+            backend::splice_circuit(prep.transpiled.circuit,
+                                    point.split_index(), config.injected),
+            spec.shots, config.seed);
       }
       qvfs[f][p] = compute_qvf(run.probabilities, prep.golden);
     }

@@ -48,15 +48,33 @@ struct CampaignSpec {
   /// way. Disable for the re-simulation baseline (bench --no-checkpoint).
   bool use_checkpoints = true;
 
+  /// Submit each injection point's configs as one Backend::run_suffix_batch
+  /// call (chunked across pool lanes when points are scarce) instead of
+  /// per-config run_suffix jobs, letting the backend amortize suffix
+  /// compilation and scratch state across the grid. Only takes effect
+  /// together with use_checkpoints on a checkpointing backend; records
+  /// match the per-config path within 1e-9 (QVF parity) on the density
+  /// backend. Disable for the batching baseline (bench --no-batch).
+  bool use_batch = true;
+
   /// Execute on this backend instead of the density-matrix simulator built
   /// from `backend` (e.g. SimulatedHardwareBackend). Must be thread-safe:
-  /// run(), prepare_prefix() and run_suffix() are all called concurrently
-  /// from pool workers. Not owned.
+  /// run(), prepare_prefix(), run_suffix() and run_suffix_batch() are all
+  /// called concurrently from pool workers (batched campaigns submit
+  /// multiple chunks against one shared snapshot). Not owned.
   backend::Backend* backend_override = nullptr;
 };
 
 /// Runs the single-fault campaign of §IV-B: every injection point x every
 /// grid (theta, phi), one faulty execution each.
+///
+/// \param spec Campaign definition (circuit, device, grid, execution knobs).
+/// \return Per-config records (indexed by point/theta/phi), the point list,
+///         and campaign metadata. Record values are independent of thread
+///         count and scheduling (per-config seeds, index-addressed slots).
+///
+/// Thread-safety: runs its own worker pool internally; concurrent campaign
+/// calls are safe as long as any backend_override is itself thread-safe.
 CampaignResult run_single_fault_campaign(const CampaignSpec& spec);
 
 /// Runs the double-fault campaign of §IV-C: for every injection point and
@@ -65,6 +83,10 @@ CampaignResult run_single_fault_campaign(const CampaignSpec& spec);
 /// the same step (the neighbor is farther from the particle impact).
 /// The paper restricts phi0 to [0, pi] for BV symmetry; pass a grid with
 /// phi_max_deg = 180 to reproduce that.
+///
+/// \param spec Campaign definition; spec.grid drives the primary sweep.
+/// \return Records carrying both fault index tuples (neighbor_qubit,
+///         theta1/phi1 set). Deterministic as in run_single_fault_campaign.
 CampaignResult run_double_fault_campaign(const CampaignSpec& spec);
 
 /// Mean QVF per named fault (paper Fig. 11): injects each named fault at
@@ -74,14 +96,23 @@ struct NamedFaultQvf {
   double mean_qvf = 0.0;
   std::uint64_t executions = 0;
 };
+
+/// \param spec   Campaign definition (grid fields ignored).
+/// \param faults Named faults to inject (e.g. gate_equivalent_faults()).
+/// \return One entry per fault, in input order, with the mean QVF over all
+///         injection points.
 std::vector<NamedFaultQvf> run_named_fault_campaign(
     const CampaignSpec& spec, std::span<const NamedFault> faults);
 
 /// Transpiles spec.circuit exactly as the campaign would (for inspection
 /// and point counting without running anything).
+///
+/// \return The transpiled circuit plus layout/attribution metadata.
 transpile::TranspileResult campaign_transpile(const CampaignSpec& spec);
 
 /// Injection points the campaign would use (after max_points striding).
+///
+/// \return Points over the transpiled circuit, in instruction order.
 std::vector<InjectionPoint> campaign_points(const CampaignSpec& spec);
 
 /// Deterministic down-selection to at most `max_points` points (0 = keep
@@ -89,10 +120,17 @@ std::vector<InjectionPoint> campaign_points(const CampaignSpec& spec);
 /// strictly increasing source indices, never a duplicate or an out-of-range
 /// pick (regression: the old floating-point stride could repeat or skip
 /// points for large counts).
+///
+/// \param points     Candidate points, in enumeration order.
+/// \param max_points Budget; 0 keeps everything.
+/// \return The strided subset (always includes the first point).
 std::vector<InjectionPoint> stride_points(std::vector<InjectionPoint> points,
                                           std::size_t max_points);
 
 /// (point, neighbor) pairs a double campaign would use.
+///
+/// \return One pair per (injection point, coupled active neighbor), in
+///         point order.
 std::vector<std::pair<InjectionPoint, int>> campaign_point_neighbor_pairs(
     const CampaignSpec& spec);
 

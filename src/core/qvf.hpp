@@ -10,17 +10,23 @@
 namespace qufi {
 
 /// The fault-free reference against which faulty runs are scored.
+///
+/// Thread-safety: immutable after construction (and after build_index),
+/// so one golden output is safely shared by every campaign worker; all
+/// scoring functions below take it by const reference.
 struct GoldenOutput {
   std::vector<std::uint64_t> correct_states;  ///< clbit-space indices
   std::vector<double> ideal_probs;            ///< noise/fault-free distribution
   int num_clbits = 0;
 
-  /// O(1) membership via a bitmask over the 2^num_clbits state space.
-  /// The factories below build the index; call again after mutating
+  /// Builds the O(1) membership index: a bitmask over the 2^num_clbits
+  /// state space. The factories below call it; call again after mutating
   /// `correct_states` by hand. Without an index is_correct falls back to a
   /// linear scan (campaign hot loops hit this once per output state).
   void build_index();
 
+  /// \param state Classical-bit-space index (bit c = clbit c).
+  /// \return True when `state` is one of the correct outputs.
   bool is_correct(std::uint64_t state) const;
 
  private:
@@ -33,39 +39,77 @@ struct ProbabilitySplit {
   double pa = 0.0;
   double pb = 0.0;
 };
+
+/// Splits a distribution into the paper's P(A) / P(B).
+///
+/// \param probs  Distribution over classical bitstrings (size must equal
+///               golden.ideal_probs.size()).
+/// \param golden The fault-free reference.
+/// \return P(A) = sum of probabilities over correct states, P(B) = max
+///         probability over incorrect states.
 ProbabilitySplit split_probabilities(std::span<const double> probs,
                                      const GoldenOutput& golden);
 
-/// Computes the golden output by ideal simulation: the correct state(s) are
-/// those whose noise-free probability is within `tie_tolerance` of the
-/// maximum (tie_tolerance = 0.5 captures exact multi-state answers like GHZ
-/// while rejecting numerically-small stragglers).
+/// Computes the golden output by ideal simulation.
+///
+/// \param circuit       Circuit with terminal measurements.
+/// \param tie_tolerance Correct state(s) are those whose noise-free
+///                      probability is within `tie_tolerance` of the
+///                      maximum (0.5 captures exact multi-state answers
+///                      like GHZ while rejecting numerically-small
+///                      stragglers). Must be in (0, 1].
+/// \return Golden output with the membership index built.
 GoldenOutput compute_golden(const circ::QuantumCircuit& circuit,
                             double tie_tolerance = 0.5);
 
-/// Builds a golden output from externally-known expected bitstrings
-/// (MSB-first). Used when the algorithm's answer is known analytically.
+/// Builds a golden output from externally-known expected bitstrings,
+/// used when the algorithm's answer is known analytically.
+///
+/// \param bitstrings Expected outputs, MSB-first (e.g. "101"); each must
+///                   have exactly `num_clbits` characters.
+/// \param num_clbits Width of the classical register.
+/// \return Golden output whose ideal distribution is uniform over the
+///         expected states, with the membership index built.
 GoldenOutput golden_from_expected(std::span<const std::string> bitstrings,
                                   int num_clbits);
 
 /// Michelson contrast between the correct-state probability mass P(A) and
-/// the strongest incorrect state P(B)  (paper Eq. 1). Returns 0 when both
-/// are zero (completely uninformative output).
+/// the strongest incorrect state P(B) (paper Eq. 1).
+///
+/// \param pa P(A), >= 0.
+/// \param pb P(B), >= 0.
+/// \return (pa - pb) / (pa + pb), or 0 when both are zero (completely
+///         uninformative output).
 double michelson_contrast(double pa, double pb);
 
-/// Quantum Vulnerability Factor from a contrast value (paper Eq. 2):
-/// QVF = 1 - (contrast + 1) / 2, in [0, 1]; < 0.45 masked, > 0.55 silent
-/// error, in between dubious.
+/// Quantum Vulnerability Factor from a contrast value (paper Eq. 2).
+///
+/// \param contrast Michelson contrast in [-1, 1].
+/// \return QVF = 1 - (contrast + 1) / 2, in [0, 1]; < 0.45 masked,
+///         > 0.55 silent error, in between dubious.
 double qvf_from_contrast(double contrast);
 
 /// QVF of an observed distribution over classical bitstrings against the
 /// golden output. P(A) aggregates all correct states (multi-state circuits
 /// supported, paper §IV-A).
+///
+/// \param probs  Distribution over classical bitstrings.
+/// \param golden The fault-free reference.
+/// \return QVF in [0, 1].
 double compute_qvf(std::span<const double> probs, const GoldenOutput& golden);
 
 /// Classification thresholds used throughout the paper's figures.
 enum class FaultImpact { Masked, Dubious, SilentError };
+
+/// Classifies a QVF value into the paper's impact classes.
+///
+/// \param qvf  QVF in [0, 1].
+/// \param low  Masked/dubious threshold (paper: 0.45).
+/// \param high Dubious/silent-error threshold (paper: 0.55).
+/// \return Masked (qvf < low), SilentError (qvf > high), else Dubious.
 FaultImpact classify_qvf(double qvf, double low = 0.45, double high = 0.55);
+
+/// \return Static lowercase label ("masked" / "dubious" / "silent-error").
 const char* to_string(FaultImpact impact);
 
 }  // namespace qufi

@@ -307,6 +307,227 @@ TEST(CheckpointEquivalence, NamedFaultCampaignMatches) {
   }
 }
 
+// ---- batched suffix execution (run_suffix_batch) ---------------------------
+
+TEST(BatchApi, EmptyConfigBatchReturnsNoResults) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  const auto snapshot = backend.prepare_prefix(
+      transpiled.circuit, points.front().split_index());
+  EXPECT_TRUE(backend.run_suffix_batch(*snapshot, {}, 0).empty());
+}
+
+TEST(BatchApi, SingleConfigBatchMatchesRunSuffix) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  const InjectionPoint& point = points[points.size() / 2];
+  const auto snapshot =
+      backend.prepare_prefix(transpiled.circuit, point.split_index());
+
+  const PhaseShiftFault fault{0.7, 2.2};
+  const backend::SuffixConfig config{{fault.as_instruction(point.qubit)}, 42};
+  const auto batched = backend.run_suffix_batch(*snapshot, {&config, 1}, 0);
+  ASSERT_EQ(batched.size(), 1u);
+
+  const circ::Instruction injected[] = {fault.as_instruction(point.qubit)};
+  const auto sequential = backend.run_suffix(*snapshot, injected, 0, 42);
+  ASSERT_EQ(batched[0].probabilities.size(), sequential.probabilities.size());
+  for (std::size_t s = 0; s < sequential.probabilities.size(); ++s) {
+    EXPECT_NEAR(batched[0].probabilities[s], sequential.probabilities[s], 1e-12)
+        << "state " << s;
+  }
+}
+
+TEST(BatchApi, GridBatchMatchesSequentialRunSuffixPerConfig) {
+  const auto spec = quick_spec("dj", 3);
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  const InjectionPoint& point = points[points.size() / 3];
+  const auto snapshot =
+      backend.prepare_prefix(transpiled.circuit, point.split_index());
+
+  std::vector<backend::SuffixConfig> configs;
+  for (const auto& fault : spec.grid.enumerate()) {
+    configs.push_back(backend::SuffixConfig{
+        {fault.as_instruction(point.qubit)}, configs.size()});
+  }
+  const auto batched = backend.run_suffix_batch(*snapshot, configs, 0);
+  ASSERT_EQ(batched.size(), configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const auto sequential = backend.run_suffix(
+        *snapshot, configs[c].injected, 0, configs[c].seed);
+    for (std::size_t s = 0; s < sequential.probabilities.size(); ++s) {
+      EXPECT_NEAR(batched[c].probabilities[s], sequential.probabilities[s],
+                  1e-12)
+          << "config " << c << " state " << s;
+    }
+  }
+}
+
+TEST(BatchApi, BaseFallbackLoopsRunSuffix) {
+  const auto bench = algo::ghz(3);
+  const auto points = enumerate_injection_points(
+      bench.circuit, InjectionStrategy::OperandsAfterEachGate);
+  backend::IdealBackend backend;  // no checkpointing: base splice fallback
+  const InjectionPoint& point = points.front();
+  const auto snapshot =
+      backend.prepare_prefix(bench.circuit, point.split_index());
+
+  const PhaseShiftFault faults[] = {{0.4, 0.9}, {1.3, 2.6}};
+  std::vector<backend::SuffixConfig> configs;
+  for (const auto& fault : faults) {
+    configs.push_back(backend::SuffixConfig{
+        {fault.as_instruction(point.qubit)}, configs.size() + 7});
+  }
+  const auto batched = backend.run_suffix_batch(*snapshot, configs, 0);
+  ASSERT_EQ(batched.size(), configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const auto sequential = backend.run_suffix(
+        *snapshot, configs[c].injected, 0, configs[c].seed);
+    EXPECT_EQ(batched[c].probabilities, sequential.probabilities);
+  }
+}
+
+TEST(BatchEquivalence, SingleFaultCampaignsMatchOnPaperCircuits) {
+  const std::pair<const char*, int> circuits[] = {
+      {"bv", 4}, {"dj", 3}, {"qft", 3}};
+  for (const auto& [name, width] : circuits) {
+    auto spec = quick_spec(name, width);
+    spec.max_points = 10;
+    spec.use_checkpoints = true;
+
+    spec.use_batch = true;
+    const auto batched = run_single_fault_campaign(spec);
+    spec.use_batch = false;
+    const auto sequential = run_single_fault_campaign(spec);
+
+    SCOPED_TRACE(name);
+    expect_campaigns_match(batched, sequential, 1e-9);
+  }
+}
+
+TEST(BatchEquivalence, GhzCampaignMatchesAcrossChunkedLanes) {
+  const auto bench = algo::ghz(3);
+  CampaignSpec spec;
+  spec.circuit = bench.circuit;
+  spec.expected_outputs = bench.expected_outputs;
+  spec.grid.theta_step_deg = 60.0;
+  spec.grid.phi_step_deg = 90.0;
+  // More workers than points exercises the chunked-batch path (each chunk
+  // is its own run_suffix_batch submission against a shared snapshot).
+  spec.threads = 16;
+  spec.max_points = 8;
+  spec.use_checkpoints = true;
+
+  spec.use_batch = true;
+  const auto batched = run_single_fault_campaign(spec);
+  spec.use_batch = false;
+  const auto sequential = run_single_fault_campaign(spec);
+  expect_campaigns_match(batched, sequential, 1e-9);
+}
+
+TEST(BatchEquivalence, DoubleFaultCampaignsMatch) {
+  auto spec = quick_spec("bv", 4);
+  spec.grid.theta_step_deg = 90.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.grid.phi_max_deg = 180.0;
+  spec.max_points = 6;
+  spec.use_checkpoints = true;
+
+  spec.use_batch = true;
+  const auto batched = run_double_fault_campaign(spec);
+  spec.use_batch = false;
+  const auto sequential = run_double_fault_campaign(spec);
+
+  ASSERT_EQ(batched.records.size(), sequential.records.size());
+  for (std::size_t i = 0; i < batched.records.size(); ++i) {
+    EXPECT_EQ(batched.records[i].neighbor_qubit,
+              sequential.records[i].neighbor_qubit);
+    EXPECT_EQ(batched.records[i].theta1_index,
+              sequential.records[i].theta1_index);
+    EXPECT_EQ(batched.records[i].phi1_index,
+              sequential.records[i].phi1_index);
+    EXPECT_NEAR(batched.records[i].qvf, sequential.records[i].qvf, 1e-9)
+        << "record " << i;
+  }
+}
+
+TEST(BatchEquivalence, SampledCampaignsMatch) {
+  // Per-config seeds are carried inside the batch, so the sampling streams
+  // match the per-config path regardless of submission granularity.
+  auto spec = quick_spec("bv", 4);
+  spec.shots = 128;
+  spec.max_points = 5;
+  spec.use_checkpoints = true;
+
+  spec.use_batch = true;
+  const auto batched = run_single_fault_campaign(spec);
+  spec.use_batch = false;
+  const auto sequential = run_single_fault_campaign(spec);
+  expect_campaigns_match(batched, sequential, 1e-9);
+}
+
+TEST(BatchEquivalence, NamedFaultCampaignMatches) {
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 6;
+  const auto faults = gate_equivalent_faults();
+
+  spec.use_batch = true;
+  const auto batched = run_named_fault_campaign(spec, faults);
+  spec.use_batch = false;
+  const auto sequential = run_named_fault_campaign(spec, faults);
+
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (std::size_t f = 0; f < batched.size(); ++f) {
+    EXPECT_EQ(batched[f].fault_name, sequential[f].fault_name);
+    EXPECT_NEAR(batched[f].mean_qvf, sequential[f].mean_qvf, 1e-9);
+  }
+}
+
+TEST(TrajectoryBatch, BitIdenticalToSequentialRunSuffix) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  const InjectionPoint& point = points[points.size() / 2];
+  const std::uint64_t shots = 256;
+
+  backend::TrajectoryBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  const auto snapshot =
+      backend.prepare_prefix(transpiled.circuit, point.split_index(), shots);
+
+  const PhaseShiftFault faults[] = {{0.5, 1.0}, {1.5, 0.25}, {2.8, 3.0}};
+  std::vector<backend::SuffixConfig> configs;
+  for (const auto& fault : faults) {
+    configs.push_back(backend::SuffixConfig{
+        {fault.as_instruction(point.qubit)}, 1000 + configs.size()});
+  }
+  const auto batched = backend.run_suffix_batch(*snapshot, configs, shots);
+  ASSERT_EQ(batched.size(), configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    // Common random numbers: the batched sweep resumes the same cached
+    // prefix trajectories with the same per-config suffix streams, so the
+    // counts are exactly equal, not just distribution-close.
+    const auto sequential = backend.run_suffix(
+        *snapshot, configs[c].injected, shots, configs[c].seed);
+    EXPECT_EQ(batched[c].probabilities, sequential.probabilities)
+        << "config " << c;
+    EXPECT_EQ(batched[c].counts, sequential.counts) << "config " << c;
+  }
+}
+
 // ---- trajectory checkpointing ----------------------------------------------
 
 TEST(TrajectoryCheckpoint, SuffixDistributionTracksFullRun) {
