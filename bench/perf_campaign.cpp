@@ -13,7 +13,14 @@
 //                    machine-readable JSON line each:
 //                      {"bench":"perf_campaign","circuit":"bv",
 //                       "mode":"batch","wall_ms":123.456,"executions":N}
-//                    so BENCH_*.json files can track the perf trajectory.
+//                    so BENCH_*.json files can track the perf trajectory;
+//   --shards N       (with --json) run each campaign through the sharded
+//                    path instead: plan N cost-weighted shards, execute
+//                    every shard as an isolated subset campaign on its own
+//                    thread (each re-transpiles and owns a backend, like a
+//                    worker process would), then merge — so the reported
+//                    wall time includes the full plan -> execute -> merge
+//                    distribution overhead (mode "shardsN").
 
 #include <benchmark/benchmark.h>
 
@@ -21,11 +28,15 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "algorithms/algorithms.hpp"
 #include "core/campaign.hpp"
 #include "core/injection.hpp"
 #include "core/qvf.hpp"
+#include "dist/merge.hpp"
+#include "dist/shard_plan.hpp"
 #include "noise/backend_props.hpp"
 
 namespace {
@@ -34,8 +45,10 @@ using namespace qufi;
 
 bool g_use_checkpoints = true;
 bool g_use_batch = true;
+unsigned g_shards = 1;
 
-const char* mode_label() {
+std::string mode_label() {
+  if (g_shards > 1) return "shards" + std::to_string(g_shards);
   if (!g_use_checkpoints) return "no-checkpoint";
   return g_use_batch ? "batch" : "no-batch";
 }
@@ -67,6 +80,31 @@ CampaignSpec paper_spec_30deg(const std::string& name, int width) {
   return spec;
 }
 
+/// The sharded execution path: plan -> one isolated subset campaign per
+/// shard (own thread, own transpile + backend, like a worker process) ->
+/// deterministic merge. Returns the merged result.
+CampaignResult run_sharded(const CampaignSpec& spec, unsigned num_shards) {
+  const auto plan = dist::plan_campaign_shards(spec, num_shards);
+  std::vector<CampaignResult> shard_results(plan.shards.size());
+  std::vector<std::thread> workers;
+  workers.reserve(plan.shards.size());
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (std::size_t k = 0; k < plan.shards.size(); ++k) {
+    workers.emplace_back([&, k] {
+      CampaignSpec shard_spec = spec;
+      // Split the machine across concurrent shard workers.
+      shard_spec.threads = static_cast<int>(std::max(1u, hw / num_shards));
+      shard_results[k] = run_single_fault_campaign_subset(
+          shard_spec, plan.shards[k].point_indices);
+    });
+  }
+  for (auto& w : workers) w.join();
+  dist::MergeOptions merge_options;
+  merge_options.expected_records = single_campaign_executions(
+      shard_results[0].points.size(), spec.grid);
+  return dist::merge_shard_results(shard_results, merge_options);
+}
+
 /// Direct timing mode for perf tracking: runs the acceptance workload once
 /// per paper circuit (after one untimed warm-up of the smallest) and emits
 /// one JSON line per circuit on stdout.
@@ -81,7 +119,8 @@ int run_json_summary() {
     auto spec = paper_spec_30deg(name, 4);
     spec.max_points = 8;
     const auto start = std::chrono::steady_clock::now();
-    const auto result = run_single_fault_campaign(spec);
+    const auto result = g_shards > 1 ? run_sharded(spec, g_shards)
+                                     : run_single_fault_campaign(spec);
     const double wall_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
@@ -89,7 +128,7 @@ int run_json_summary() {
     std::printf(
         "{\"bench\":\"perf_campaign\",\"circuit\":\"%s\",\"mode\":\"%s\","
         "\"wall_ms\":%.3f,\"executions\":%llu}\n",
-        name, mode_label(), wall_ms,
+        name, mode_label().c_str(), wall_ms,
         static_cast<unsigned long long>(result.meta.executions));
   }
   return 0;
@@ -185,11 +224,20 @@ int main(int argc, char** argv) {
       g_use_batch = false;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_summary = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      g_shards = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (g_shards < 1) g_shards = 1;
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  if (g_shards > 1 && !json_summary) {
+    std::fprintf(stderr,
+                 "perf_campaign: --shards requires --json (the registered "
+                 "google-benchmark suite times the single-process engine)\n");
+    return 2;
+  }
   if (json_summary) return run_json_summary();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -92,13 +92,7 @@ algo::AlgorithmCircuit build_circuit(const CliOptions& options) {
 }
 
 noise::BackendProperties build_backend(const CliOptions& options) {
-  if (options.backend == "casablanca") return noise::fake_casablanca();
-  if (options.backend == "jakarta") return noise::fake_jakarta();
-  if (options.backend == "linear")
-    return noise::fake_linear(std::max(options.width, 2));
-  if (options.backend == "full")
-    return noise::fake_fully_connected(std::max(options.width, 2));
-  throw Error("unknown backend: " + options.backend);
+  return noise::fake_backend_by_name(options.backend, options.width);
 }
 
 }  // namespace

@@ -1,0 +1,69 @@
+// Shard-merge CLI — recombines partial-result files into the full-campaign
+// CSV (docs/SHARDING.md). Deterministic: output row order is canonical
+// (ascending point index), independent of the order partials are listed or
+// arrived in; on the density backend the merged CSV is byte-identical to
+// the one a single-process `qufi_cli --csv` run writes.
+//
+// Usage examples:
+//   qufi_shard_merge --out merged.csv parts/part_000.csv parts/part_001.csv
+//   qufi_shard_merge --out partial.csv --allow-partial parts/part_000.csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dist/merge.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --out PATH [--allow-partial] PARTIAL.csv...\n"
+      "  --out PATH       merged campaign CSV to write\n"
+      "  --allow-partial  merge even when shard outputs are missing\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  qufi::dist::MergeOptions options;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) usage(argv[0]);
+      out_path = argv[++i];
+    } else if (arg == "--allow-partial") {
+      options.allow_incomplete = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (out_path.empty() || inputs.empty()) usage(argv[0]);
+
+  try {
+    std::vector<qufi::dist::PartialResult> parts;
+    parts.reserve(inputs.size());
+    for (const auto& path : inputs) {
+      parts.push_back(qufi::dist::read_partial(path));
+    }
+    const auto merged = qufi::dist::merge_partial_results(parts, options);
+    merged.write_csv(out_path);
+    std::printf(
+        "{\"tool\":\"qufi_shard_merge\",\"partials\":%zu,\"records\":%zu,"
+        "\"mean_qvf\":%.6f,\"out\":\"%s\"}\n",
+        parts.size(), merged.records.size(), merged.qvf_stats().mean(),
+        out_path.c_str());
+    return 0;
+  } catch (const qufi::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

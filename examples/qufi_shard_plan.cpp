@@ -1,0 +1,167 @@
+// Shard-plan CLI — the coordinator step of a distributed campaign
+// (docs/SHARDING.md): partitions a campaign's injection points into N
+// deterministic shards and writes one self-contained manifest per shard.
+// Re-running with the same flags reproduces byte-identical manifests, so a
+// crashed coordinator just re-plans.
+//
+// Usage examples:
+//   qufi_shard_plan --circuit bv --width 4 --shards 4 --out-dir shards/
+//   qufi_shard_plan --circuit qft --width 5 --shards 8 --policy points
+//                   --theta-step 30 --phi-step 30 --out-dir shards/
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "algorithms/algorithms.hpp"
+#include "core/campaign.hpp"
+#include "dist/manifest.hpp"
+#include "dist/shard_plan.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace qufi;
+
+struct CliOptions {
+  std::string circuit = "bv";
+  int width = 4;
+  std::string device = "casablanca";
+  int opt_level = 3;
+  double theta_step = 15.0;
+  double phi_step = 15.0;
+  double phi_max = 360.0;
+  std::uint64_t shots = 0;
+  std::uint64_t seed = 0x51754649;
+  std::size_t points = 0;
+  bool double_faults = false;
+  std::uint32_t shards = 2;
+  std::string policy = "cost";
+  std::string backend_kind = "density";
+  std::string out_dir = ".";
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --circuit NAME      bv | dj | qft | ghz | grover     (default bv)\n"
+      "  --width N           total qubits                      (default 4)\n"
+      "  --device NAME       casablanca | jakarta | linear | full\n"
+      "  --opt N             transpiler optimization level 0-3 (default 3)\n"
+      "  --theta-step DEG    theta grid step                   (default 15)\n"
+      "  --phi-step DEG      phi grid step                     (default 15)\n"
+      "  --phi-max DEG       phi range limit                   (default 360)\n"
+      "  --shots N           0 = exact distributions           (default 0)\n"
+      "  --seed N            campaign seed\n"
+      "  --points N          cap injection points (0 = all)\n"
+      "  --double            plan the double-fault campaign\n"
+      "  --shards N          number of shards                  (default 2)\n"
+      "  --policy NAME       cost | points                     (default cost)\n"
+      "  --backend-kind NAME density | trajectory              (default density)\n"
+      "  --out-dir DIR       where shard_NNN.manifest files go (default .)\n",
+      argv0);
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--circuit") options.circuit = value();
+    else if (arg == "--width") options.width = std::stoi(value());
+    else if (arg == "--device") options.device = value();
+    else if (arg == "--opt") options.opt_level = std::stoi(value());
+    else if (arg == "--theta-step") options.theta_step = std::stod(value());
+    else if (arg == "--phi-step") options.phi_step = std::stod(value());
+    else if (arg == "--phi-max") options.phi_max = std::stod(value());
+    else if (arg == "--shots") options.shots = std::stoull(value());
+    else if (arg == "--seed") options.seed = std::stoull(value());
+    else if (arg == "--points") options.points = std::stoull(value());
+    else if (arg == "--double") options.double_faults = true;
+    else if (arg == "--shards")
+      options.shards = static_cast<std::uint32_t>(std::stoul(value()));
+    else if (arg == "--policy") options.policy = value();
+    else if (arg == "--backend-kind") options.backend_kind = value();
+    else if (arg == "--out-dir") options.out_dir = value();
+    else usage(argv[0]);
+  }
+  return options;
+}
+
+algo::AlgorithmCircuit build_circuit(const CliOptions& options) {
+  if (options.circuit == "ghz") return algo::ghz(options.width);
+  if (options.circuit == "grover") {
+    return algo::grover(options.width, (1ULL << options.width) - 1);
+  }
+  return algo::paper_circuit(options.circuit, options.width);
+}
+
+noise::BackendProperties build_device(const CliOptions& options) {
+  return noise::fake_backend_by_name(options.device, options.width);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions options = parse(argc, argv);
+    const auto bench = build_circuit(options);
+
+    CampaignSpec spec;
+    spec.circuit = bench.circuit;
+    spec.expected_outputs = bench.expected_outputs;
+    spec.backend = build_device(options);
+    spec.transpile_options.optimization_level = options.opt_level;
+    spec.grid.theta_step_deg = options.theta_step;
+    spec.grid.phi_step_deg = options.phi_step;
+    spec.grid.phi_max_deg = options.phi_max;
+    spec.shots = options.shots;
+    spec.seed = options.seed;
+    spec.max_points = options.points;
+
+    dist::ShardPolicy policy;
+    if (options.policy == "cost") policy = dist::ShardPolicy::CostWeighted;
+    else if (options.policy == "points") policy = dist::ShardPolicy::PointCount;
+    else throw Error("unknown policy: " + options.policy);
+
+    dist::WorkerBackendKind kind;
+    if (options.backend_kind == "density") {
+      kind = dist::WorkerBackendKind::Density;
+    } else if (options.backend_kind == "trajectory") {
+      kind = dist::WorkerBackendKind::Trajectory;
+    } else {
+      throw Error("unknown backend kind: " + options.backend_kind);
+    }
+
+    const auto plan = dist::plan_campaign_shards(spec, options.shards, policy);
+    const auto manifests =
+        dist::make_manifests(spec, options.device, kind, plan,
+                             options.double_faults);
+
+    std::filesystem::create_directories(options.out_dir);
+    for (const auto& manifest : manifests) {
+      char name[64];
+      std::snprintf(name, sizeof name, "shard_%03u.manifest",
+                    manifest.shard_index);
+      const auto path =
+          (std::filesystem::path(options.out_dir) / name).string();
+      dist::save_manifest(manifest, path);
+      std::printf("shard %u: %zu points, est. cost %llu -> %s\n",
+                  manifest.shard_index, manifest.point_indices.size(),
+                  static_cast<unsigned long long>(
+                      plan.shards[manifest.shard_index].estimated_cost),
+                  path.c_str());
+    }
+    std::printf("planned %zu points across %u shards (%s policy)\n",
+                plan.total_points, plan.num_shards, options.policy.c_str());
+    return 0;
+  } catch (const qufi::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,71 @@
+// Shard-worker CLI — executes exactly one shard manifest and writes the
+// partial-result file the merger consumes (docs/SHARDING.md). Workers are
+// stateless and idempotent: re-running a manifest reproduces the same
+// partial bit-for-bit, and --snapshot-dir lets retries (or co-located
+// workers) resume serialized prefix snapshots instead of re-simulating.
+//
+// Usage examples:
+//   qufi_shard_worker --manifest shards/shard_000.manifest \
+//                     --out parts/part_000.csv
+//   qufi_shard_worker --manifest shards/shard_001.manifest \
+//                     --out parts/part_001.csv --snapshot-dir snaps/ -j 4
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dist/shard_runner.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --manifest PATH --out PATH [options]\n"
+      "  --manifest PATH      shard manifest from qufi_shard_plan\n"
+      "  --out PATH           partial-result file to write\n"
+      "  --snapshot-dir DIR   load/save serialized prefix snapshots here\n"
+      "  -j, --threads N      worker threads (0 = hardware concurrency)\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string manifest_path, out_path;
+  qufi::dist::ShardRunOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--manifest") manifest_path = value();
+    else if (arg == "--out") out_path = value();
+    else if (arg == "--snapshot-dir") options.snapshot_dir = value();
+    else if (arg == "-j" || arg == "--threads")
+      options.threads = std::stoi(value());
+    else usage(argv[0]);
+  }
+  if (manifest_path.empty() || out_path.empty()) usage(argv[0]);
+
+  try {
+    const auto manifest = qufi::dist::load_manifest(manifest_path);
+    const auto output = qufi::dist::run_shard(manifest, options);
+    qufi::dist::write_partial(out_path, output.partial);
+    std::printf(
+        "{\"tool\":\"qufi_shard_worker\",\"shard\":%u,\"of\":%u,"
+        "\"points\":%zu,\"records\":%zu,\"snapshot_hits\":%llu,"
+        "\"snapshot_misses\":%llu,\"out\":\"%s\"}\n",
+        output.partial.shard_index, output.partial.shard_count,
+        manifest.point_indices.size(), output.partial.records.size(),
+        static_cast<unsigned long long>(output.snapshot_hits),
+        static_cast<unsigned long long>(output.snapshot_misses),
+        out_path.c_str());
+    return 0;
+  } catch (const qufi::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

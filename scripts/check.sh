@@ -11,7 +11,7 @@ cmake --build build -j
 
 # ---- docs target ------------------------------------------------------------
 status=0
-for doc in README.md docs/ARCHITECTURE.md; do
+for doc in README.md docs/ARCHITECTURE.md docs/SHARDING.md docs/SNAPSHOT_FORMAT.md; do
   if [[ ! -f "$doc" ]]; then
     echo "docs check FAILED: $doc is missing" >&2
     status=1
@@ -40,4 +40,29 @@ fi
 if [[ $status -ne 0 ]]; then
   exit $status
 fi
-echo "docs check OK (README.md, docs/ARCHITECTURE.md, $bench_count bench executables)"
+echo "docs check OK (README.md, docs/{ARCHITECTURE,SHARDING,SNAPSHOT_FORMAT}.md, $bench_count bench executables)"
+
+# ---- sharding smoke ----------------------------------------------------------
+# Drive the distribution layer end to end through its real CLIs — plan two
+# shards, execute each as a separate worker process (one resuming serialized
+# snapshots), merge — and require the merged CSV to be byte-identical to the
+# single-process campaign (the docs/SHARDING.md equivalence contract).
+smoke_dir=build/shard_smoke
+rm -rf "$smoke_dir"
+mkdir -p "$smoke_dir"
+./build/qufi_shard_plan --circuit bv --width 4 --theta-step 60 --phi-step 90 \
+  --points 4 --shards 2 --out-dir "$smoke_dir" > /dev/null
+./build/qufi_shard_worker --manifest "$smoke_dir/shard_000.manifest" \
+  --out "$smoke_dir/part_000.csv" --snapshot-dir "$smoke_dir/snaps" > /dev/null
+./build/qufi_shard_worker --manifest "$smoke_dir/shard_001.manifest" \
+  --out "$smoke_dir/part_001.csv" > /dev/null
+./build/qufi_shard_merge --out "$smoke_dir/merged.csv" \
+  "$smoke_dir/part_001.csv" "$smoke_dir/part_000.csv" > /dev/null
+./build/qufi_cli --circuit bv --width 4 --theta-step 60 --phi-step 90 \
+  --points 4 --csv "$smoke_dir/single.csv" > /dev/null
+if ! diff -q "$smoke_dir/merged.csv" "$smoke_dir/single.csv" > /dev/null; then
+  echo "sharding smoke FAILED: merged shard CSV differs from single-process CSV" >&2
+  diff "$smoke_dir/merged.csv" "$smoke_dir/single.csv" | head -5 >&2
+  exit 1
+fi
+echo "sharding smoke OK (2-shard plan -> worker -> merge == single-process)"

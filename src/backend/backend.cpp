@@ -59,6 +59,15 @@ ExecutionResult Backend::run_suffix(const PrefixSnapshot& snapshot,
              shots, seed);
 }
 
+bool Backend::save_snapshot(const PrefixSnapshot& /*snapshot*/,
+                            std::ostream& /*out*/) const {
+  return false;  // splice snapshots carry no simulator state worth shipping
+}
+
+PrefixSnapshotPtr Backend::load_snapshot(std::istream& /*in*/) const {
+  throw Error("load_snapshot: backend has no serializable snapshot form");
+}
+
 std::vector<ExecutionResult> Backend::run_suffix_batch(
     const PrefixSnapshot& snapshot, std::span<const SuffixConfig> configs,
     std::uint64_t shots) {

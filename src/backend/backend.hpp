@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <string>
@@ -150,6 +151,32 @@ class Backend {
   virtual std::vector<ExecutionResult> run_suffix_batch(
       const PrefixSnapshot& snapshot, std::span<const SuffixConfig> configs,
       std::uint64_t shots);
+
+  /// Serializes `snapshot` into the versioned binary container documented in
+  /// docs/SNAPSHOT_FORMAT.md (magic + version + backend kind + payload +
+  /// checksum). Serialized snapshots are the unit of distribution: a shard
+  /// worker can resume a prefix another process evolved.
+  ///
+  /// \param snapshot Snapshot produced by prepare_prefix on this backend.
+  /// \param out      Binary stream (open files with std::ios::binary).
+  /// \return True when the snapshot was written; false when this backend has
+  ///         no serializable snapshot form (the base splice snapshot carries
+  ///         no simulator state worth shipping — workers re-simulate).
+  virtual bool save_snapshot(const PrefixSnapshot& snapshot,
+                             std::ostream& out) const;
+
+  /// Reconstructs a snapshot previously written by save_snapshot on a
+  /// backend of the same kind. The result is usable exactly like the
+  /// original: run_suffix / run_suffix_batch from it reproduce the same
+  /// records (bit-identical — the payload stores exact state bits).
+  ///
+  /// \param in Binary stream positioned at the container start.
+  /// \return The reconstructed snapshot.
+  /// \throws qufi::Error on bad magic, version or backend-kind mismatch,
+  ///         checksum failure, or truncation — corrupt files never yield a
+  ///         snapshot. The base implementation always throws (no
+  ///         serializable form).
+  virtual PrefixSnapshotPtr load_snapshot(std::istream& in) const;
 };
 
 /// Builds the faulty circuit run_suffix models: instructions [0,

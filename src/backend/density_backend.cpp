@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <mutex>
 
+#include "backend/snapshot_io.hpp"
 #include "circuit/moments.hpp"
 #include "noise/channels.hpp"
 #include "noise/readout.hpp"
 #include "sim/density_matrix.hpp"
+#include "util/binary_io.hpp"
 #include "util/error.hpp"
 
 namespace qufi::backend {
@@ -551,6 +553,59 @@ ExecutionResult DensityMatrixBackend::run_suffix(
   auto probs = resolve_clbit_probs(exec, circuit, noise_model_);
   return ExecutionResult::from_distribution(
       std::move(probs), circuit.num_clbits(), shots, seed, name());
+}
+
+bool DensityMatrixBackend::save_snapshot(const PrefixSnapshot& snapshot,
+                                         std::ostream& out) const {
+  const auto* snap = dynamic_cast<const DensitySnapshot*>(&snapshot);
+  if (!snap) return false;
+
+  util::ByteWriter payload;
+  snapio::write_circuit(payload, snap->circuit());
+  payload.u64(snap->prefix_length());
+  const sim::DensityMatrix& dm = snap->dm();
+  payload.u32(static_cast<std::uint32_t>(dm.num_qubits()));
+  for (const auto& amp : dm.raw()) {
+    payload.f64(amp.real());
+    payload.f64(amp.imag());
+  }
+  snapio::write_container(out, snapio::SnapshotKind::Density, payload.data());
+  return true;
+}
+
+PrefixSnapshotPtr DensityMatrixBackend::load_snapshot(std::istream& in) const {
+  const snapio::Container container = snapio::read_container(in);
+  require(container.kind == snapio::SnapshotKind::Density,
+          "load_snapshot: container was not written by a density backend");
+
+  util::ByteReader r(container.payload);
+  circ::QuantumCircuit circuit = snapio::read_circuit(r);
+  const std::uint64_t prefix_length = r.u64();
+  require(prefix_length <= circuit.size(),
+          "load_snapshot: prefix length exceeds circuit size");
+
+  // The compaction is a pure function of the circuit, so it is re-derived
+  // instead of stored; the qubit count cross-checks payload vs circuit.
+  Compaction compaction = build_compaction(circuit);
+  const auto num_qubits = static_cast<int>(r.u32());
+  require(num_qubits == static_cast<int>(compaction.active.size()),
+          "load_snapshot: density dimension does not match circuit");
+  // DensityMatrix supports at most 12 qubits; checking before the shift
+  // keeps the arithmetic defined for any checksum-valid file.
+  require(num_qubits >= 1 && num_qubits <= 12,
+          "load_snapshot: density qubit count out of range");
+  const std::uint64_t dim = std::uint64_t{1} << num_qubits;
+  std::vector<sim::cplx> rho(dim * dim);
+  for (auto& amp : rho) {
+    const double re = r.f64();
+    const double im = r.f64();
+    amp = sim::cplx{re, im};
+  }
+  require(r.at_end(), "load_snapshot: trailing bytes in density payload");
+  return std::make_shared<DensitySnapshot>(
+      sim::DensityMatrix::from_raw(num_qubits, std::move(rho)),
+      std::move(compaction), std::move(circuit),
+      static_cast<std::size_t>(prefix_length));
 }
 
 std::vector<ExecutionResult> DensityMatrixBackend::run_suffix_batch(

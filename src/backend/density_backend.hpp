@@ -65,6 +65,17 @@ class DensityMatrixBackend : public Backend {
       const PrefixSnapshot& snapshot, std::span<const SuffixConfig> configs,
       std::uint64_t shots) override;
 
+  /// Writes the evolved density matrix plus the circuit and split point as
+  /// a kind=Density snapshot container (docs/SNAPSHOT_FORMAT.md). Returns
+  /// false only for foreign/fallback snapshots with no density state.
+  bool save_snapshot(const PrefixSnapshot& snapshot,
+                     std::ostream& out) const override;
+
+  /// Rebuilds a density snapshot from a kind=Density container; the
+  /// compaction maps are re-derived from the embedded circuit. The loaded
+  /// snapshot is bit-equivalent to the one save_snapshot consumed.
+  PrefixSnapshotPtr load_snapshot(std::istream& in) const override;
+
   const noise::NoiseModel& noise_model() const { return noise_model_; }
 
  private:

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "util/binary_io.hpp"
+
+namespace qufi::backend::snapio {
+
+/// Which backend family wrote a snapshot file. A backend's load_snapshot
+/// rejects containers of the other kind instead of misinterpreting the
+/// payload.
+enum class SnapshotKind : std::uint32_t {
+  Density = 1,     ///< evolved density matrix (DensityMatrixBackend)
+  Trajectory = 2,  ///< cached per-shot statevectors (TrajectoryBackend)
+};
+
+/// 8-byte file magic; the version bumps on any layout change (no in-place
+/// migration — old snapshots are cheap to regenerate from the circuit).
+inline constexpr char kMagic[8] = {'Q', 'U', 'F', 'I', 'S', 'N', 'A', 'P'};
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Serializes a circuit into `w` (dims, name, and every instruction with
+/// full-precision params). The exact byte layout is documented in
+/// docs/SNAPSHOT_FORMAT.md and is shared by every snapshot kind.
+void write_circuit(util::ByteWriter& w, const circ::QuantumCircuit& circuit);
+
+/// Mirror of write_circuit. Throws qufi::Error on malformed input (unknown
+/// gate id, operand counts that fail circuit validation, truncation).
+circ::QuantumCircuit read_circuit(util::ByteReader& r);
+
+/// Frames `payload` as a snapshot container — magic, version, kind, payload,
+/// trailing FNV-1a checksum over everything between magic and checksum —
+/// and writes it to `out`. Throws qufi::Error when the stream write fails.
+void write_container(std::ostream& out, SnapshotKind kind,
+                     const std::string& payload);
+
+/// A parsed container: the kind tag plus the raw payload bytes.
+struct Container {
+  SnapshotKind kind = SnapshotKind::Density;
+  std::string payload;
+};
+
+/// Reads one container from `in` (consumes the remainder of the stream) and
+/// validates magic, version, kind tag, and checksum. Throws qufi::Error with
+/// a reason ("bad magic", "unsupported version", "checksum mismatch",
+/// "truncated") on any violation — corrupt files never produce a snapshot.
+Container read_container(std::istream& in);
+
+/// FNV-1a hash of a circuit's serialized bytes — the cache key component
+/// that keys snapshot files to the exact circuit they were built from.
+std::uint64_t circuit_fingerprint(const circ::QuantumCircuit& circuit);
+
+}  // namespace qufi::backend::snapio

@@ -85,6 +85,25 @@ void score_record(InjectionRecord& rec, std::span<const double> probs,
   rec.qvf = qvf_from_contrast(michelson_contrast(split.pa, split.pb));
 }
 
+/// Validates a shard subset against the global point table: strictly
+/// increasing indices, all in range. Sorted-unique input keeps shard record
+/// order canonical (ascending global point index) by construction.
+void validate_subset(std::span<const std::size_t> subset,
+                     std::size_t num_points) {
+  for (std::size_t s = 0; s < subset.size(); ++s) {
+    require(subset[s] < num_points,
+            "campaign subset: point index out of range");
+    require(s == 0 || subset[s - 1] < subset[s],
+            "campaign subset: point indices must be strictly increasing");
+  }
+}
+
+std::vector<std::size_t> identity_subset(std::size_t n) {
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  return all;
+}
+
 }  // namespace
 
 std::vector<InjectionPoint> stride_points(std::vector<InjectionPoint> points,
@@ -127,55 +146,61 @@ std::vector<std::pair<InjectionPoint, int>> campaign_point_neighbor_pairs(
   return pairs;
 }
 
-CampaignResult run_single_fault_campaign(const CampaignSpec& spec) {
-  Prepared prep = prepare(spec);
+namespace {
+
+/// Shared single-fault engine: executes the configs of the subset's points
+/// (subset entries are *global* indices into `result.points`). Seeds and
+/// record point_index fields use global indices, so disjoint subsets union
+/// to exactly the full-campaign record set; record slots are subset-local
+/// (slot = subset position x configs_per_point + rem), keeping shard output
+/// compact and in canonical ascending-point order.
+CampaignResult single_campaign_impl(const CampaignSpec& spec, Prepared& prep,
+                                    std::vector<InjectionPoint> points,
+                                    std::span<const std::size_t> subset) {
   CampaignResult result;
-  result.points = stride_points(
-      enumerate_injection_points(prep.transpiled, spec.strategy),
-      spec.max_points);
-  require(!result.points.empty(), "campaign: no injection points");
+  result.points = std::move(points);
+  validate_subset(subset, result.points.size());
 
   const int num_theta = spec.grid.num_theta();
   const int num_phi = spec.grid.num_phi();
   const std::size_t configs_per_point =
       static_cast<std::size_t>(num_theta) * static_cast<std::size_t>(num_phi);
-  const std::size_t total = result.points.size() * configs_per_point;
+  const std::size_t total = subset.size() * configs_per_point;
   result.records.resize(total);
 
-  // The single source of a config's fault gate and seed, addressed by
-  // (point, phi, theta) so results are independent of scheduling and of
-  // batched vs per-config submission.
-  const auto make_config = [&](std::size_t point_index, std::size_t rem) {
+  // The single source of a config's fault gate and seed, addressed by the
+  // GLOBAL (point, phi, theta) triple so results are independent of
+  // scheduling, of batched vs per-config submission, and of sharding.
+  const auto make_config = [&](std::size_t global_point, std::size_t rem) {
     const int phi_index = static_cast<int>(rem / num_theta);
     const int theta_index = static_cast<int>(rem % num_theta);
-    const InjectionPoint& point = result.points[point_index];
+    const InjectionPoint& point = result.points[global_point];
     const PhaseShiftFault fault{spec.grid.theta_at(theta_index),
                                 spec.grid.phi_at(phi_index)};
     backend::SuffixConfig config;
     config.injected = {fault.as_instruction(point.qubit)};
     config.seed =
-        config_seed(spec, point_index, static_cast<std::uint64_t>(phi_index),
+        config_seed(spec, global_point, static_cast<std::uint64_t>(phi_index),
                     static_cast<std::uint64_t>(theta_index), 0);
     return config;
   };
 
-  // Fills and scores the record slot for config `rem` at `point_index`;
-  // shared by the per-config and batched paths so record addressing has a
-  // single source.
-  const auto fill_record = [&](std::size_t point_index, std::size_t rem,
+  // Fills and scores the record slot for config `rem` at subset position
+  // `s`; shared by the per-config and batched paths so record addressing
+  // has a single source.
+  const auto fill_record = [&](std::size_t s, std::size_t rem,
                                std::span<const double> probs) {
-    InjectionRecord& rec =
-        result.records[point_index * configs_per_point + rem];
-    rec.point_index = static_cast<std::uint32_t>(point_index);
+    InjectionRecord& rec = result.records[s * configs_per_point + rem];
+    rec.point_index = static_cast<std::uint32_t>(subset[s]);
     rec.theta_index = static_cast<int>(rem % num_theta);
     rec.phi_index = static_cast<int>(rem / num_theta);
     score_record(rec, probs, prep.golden);
   };
 
   // One config = one faulty execution.
-  const auto run_config = [&](std::size_t point_index, std::size_t rem,
+  const auto run_config = [&](std::size_t s, std::size_t rem,
                               const backend::PrefixSnapshot* snapshot) {
-    const backend::SuffixConfig config = make_config(point_index, rem);
+    const backend::SuffixConfig config = make_config(subset[s], rem);
     backend::ExecutionResult run;
     if (snapshot) {
       run = prep.exec->run_suffix(*snapshot, config.injected, spec.shots,
@@ -183,77 +208,79 @@ CampaignResult run_single_fault_campaign(const CampaignSpec& spec) {
     } else {
       run = prep.exec->run(
           backend::splice_circuit(prep.transpiled.circuit,
-                                  result.points[point_index].split_index(),
+                                  result.points[subset[s]].split_index(),
                                   config.injected),
           spec.shots, config.seed);
     }
-    fill_record(point_index, rem, run.probabilities);
+    fill_record(s, rem, run.probabilities);
   };
 
   // Sweeps configs [begin, end) at one point from its snapshot: one
   // run_suffix_batch submission when batching, per-config run_suffix jobs
   // otherwise (the --no-batch baseline).
-  const auto sweep_range = [&](std::size_t point_index, std::size_t begin,
+  const auto sweep_range = [&](std::size_t s, std::size_t begin,
                                std::size_t end,
                                const backend::PrefixSnapshot* snapshot) {
     if (!spec.use_batch) {
       for (std::size_t rem = begin; rem < end; ++rem) {
-        run_config(point_index, rem, snapshot);
+        run_config(s, rem, snapshot);
       }
       return;
     }
     std::vector<backend::SuffixConfig> configs;
     configs.reserve(end - begin);
     for (std::size_t rem = begin; rem < end; ++rem) {
-      configs.push_back(make_config(point_index, rem));
+      configs.push_back(make_config(subset[s], rem));
     }
     const auto runs =
         prep.exec->run_suffix_batch(*snapshot, configs, spec.shots);
     require(runs.size() == configs.size(),
             "campaign: run_suffix_batch returned wrong result count");
     for (std::size_t k = 0; k < runs.size(); ++k) {
-      fill_record(point_index, begin + k, runs[k].probabilities);
+      fill_record(s, begin + k, runs[k].probabilities);
     }
   };
 
   util::ThreadPool pool(static_cast<std::size_t>(
       spec.threads > 0 ? spec.threads : 0));
-  if (spec.use_checkpoints && prep.exec->supports_checkpointing()) {
+  if (subset.empty()) {
+    // Empty shard: metadata + full point table, no work (idempotent).
+  } else if (spec.use_checkpoints && prep.exec->supports_checkpointing()) {
     // All configs at one injection point share the gate prefix before the
     // fault, so the natural unit of parallel work is the point: evolve the
     // prefix once, then sweep the whole grid from that snapshot.
-    if (result.points.size() >= pool.size()) {
+    if (subset.size() >= pool.size()) {
       // Enough points to saturate the pool; at most one live snapshot per
       // lane bounds snapshot memory.
-      pool.parallel_for(result.points.size(), [&](std::size_t point_index) {
+      pool.parallel_for(subset.size(), [&](std::size_t s) {
         const auto snapshot = prep.exec->prepare_prefix(
-            prep.transpiled.circuit, result.points[point_index].split_index(),
+            prep.transpiled.circuit, result.points[subset[s]].split_index(),
             spec.shots, spec.seed);
-        sweep_range(point_index, 0, configs_per_point, snapshot.get());
+        sweep_range(s, 0, configs_per_point, snapshot.get());
       });
     } else {
       // Fewer points than workers: prepare the (few) snapshots in
       // parallel, then chunk each point's grid sweep across the pool so no
       // lane idles. Snapshots are immutable and thread-shareable; each
       // chunk is its own (smaller) batch submission.
-      std::vector<backend::PrefixSnapshotPtr> snapshots(result.points.size());
-      pool.parallel_for(result.points.size(), [&](std::size_t p) {
-        snapshots[p] = prep.exec->prepare_prefix(
-            prep.transpiled.circuit, result.points[p].split_index(),
+      std::vector<backend::PrefixSnapshotPtr> snapshots(subset.size());
+      pool.parallel_for(subset.size(), [&](std::size_t s) {
+        snapshots[s] = prep.exec->prepare_prefix(
+            prep.transpiled.circuit, result.points[subset[s]].split_index(),
             spec.shots, spec.seed);
       });
       const std::size_t chunks_per_point = std::min(
           configs_per_point,
-          (pool.size() + result.points.size() - 1) / result.points.size());
+          (pool.size() + subset.size() - 1) / subset.size());
       const std::size_t chunk_size =
           (configs_per_point + chunks_per_point - 1) / chunks_per_point;
       pool.parallel_for(
-          result.points.size() * chunks_per_point, [&](std::size_t item) {
-            const std::size_t p = item / chunks_per_point;
+          subset.size() * chunks_per_point, [&](std::size_t item) {
+            const std::size_t s = item / chunks_per_point;
             const std::size_t begin = (item % chunks_per_point) * chunk_size;
             const std::size_t end =
                 std::min(begin + chunk_size, configs_per_point);
-            if (begin < end) sweep_range(p, begin, end, snapshots[p].get());
+            if (begin < end) sweep_range(s, begin, end, snapshots[s].get());
           });
     }
   } else {
@@ -267,43 +294,85 @@ CampaignResult run_single_fault_campaign(const CampaignSpec& spec) {
   result.meta = base_metadata(spec, prep);
   result.meta.double_fault = false;
   result.meta.executions = total;
-  result.meta.injections = total * (spec.shots ? spec.shots : 1);
+  result.meta.injections = campaign_injections(total, spec.shots);
   return result;
 }
 
-CampaignResult run_double_fault_campaign(const CampaignSpec& spec) {
+}  // namespace
+
+CampaignResult run_single_fault_campaign(const CampaignSpec& spec) {
   Prepared prep = prepare(spec);
-  CampaignResult result;
-  result.points = stride_points(
+  auto points = stride_points(
       enumerate_injection_points(prep.transpiled, spec.strategy),
       spec.max_points);
-  require(!result.points.empty(), "campaign: no injection points");
+  require(!points.empty(), "campaign: no injection points");
+  const auto subset = identity_subset(points.size());
+  return single_campaign_impl(spec, prep, std::move(points), subset);
+}
 
-  // Flatten (point, neighbor, theta0, phi0, theta1 <= theta0, phi1 <= phi0).
+CampaignResult run_single_fault_campaign_subset(
+    const CampaignSpec& spec, std::span<const std::size_t> point_indices) {
+  Prepared prep = prepare(spec);
+  auto points = stride_points(
+      enumerate_injection_points(prep.transpiled, spec.strategy),
+      spec.max_points);
+  require(!points.empty(), "campaign: no injection points");
+  return single_campaign_impl(spec, prep, std::move(points), point_indices);
+}
+
+namespace {
+
+/// Shared double-fault engine (see single_campaign_impl for the sharding
+/// contract). The flat config list is enumerated over ALL points so every
+/// config knows its global flat index — the seed input — and then filtered
+/// to the subset's points; record slots are subset-local in global order.
+CampaignResult double_campaign_impl(const CampaignSpec& spec, Prepared& prep,
+                                    std::vector<InjectionPoint> points,
+                                    std::span<const std::size_t> subset,
+                                    bool require_neighbors) {
+  CampaignResult result;
+  result.points = std::move(points);
+  validate_subset(subset, result.points.size());
+
+  std::vector<char> in_subset(result.points.size(), 0);
+  for (const std::size_t g : subset) in_subset[g] = 1;
+
+  // Flatten (point, neighbor, theta0, phi0, theta1 <= theta0, phi1 <= phi0)
+  // over all points, keeping only the subset's configs. `global_index` is
+  // the position in the full enumeration — the seed stays sharding-
+  // independent even though the kept list is compact.
   struct Config {
+    std::uint64_t global_index;
     std::uint32_t point_index;
     std::int32_t neighbor;
     std::int32_t theta_index, phi_index;
     std::int32_t theta1_index, phi1_index;
   };
   std::vector<Config> configs;
+  std::uint64_t global_index = 0;
+  bool any_neighbors = false;
   for (std::size_t p = 0; p < result.points.size(); ++p) {
     const auto neighbors =
         neighbor_candidates(prep.transpiled, prep.coupling, result.points[p]);
+    if (!neighbors.empty()) any_neighbors = true;
     for (int nb : neighbors) {
       for (int j0 = 0; j0 < spec.grid.num_phi(); ++j0) {
         for (int i0 = 0; i0 < spec.grid.num_theta(); ++i0) {
           for (int j1 = 0; j1 <= j0; ++j1) {
             for (int i1 = 0; i1 <= i0; ++i1) {
-              configs.push_back(Config{static_cast<std::uint32_t>(p), nb, i0,
-                                       j0, i1, j1});
+              if (in_subset[p]) {
+                configs.push_back(Config{global_index,
+                                         static_cast<std::uint32_t>(p), nb,
+                                         i0, j0, i1, j1});
+              }
+              ++global_index;
             }
           }
         }
       }
     }
   }
-  require(!configs.empty(),
+  require(!require_neighbors || any_neighbors,
           "double campaign: no coupled active neighbors (check topology)");
   result.records.resize(configs.size());
 
@@ -319,7 +388,7 @@ CampaignResult run_double_fault_campaign(const CampaignSpec& spec) {
     backend::SuffixConfig sc;
     sc.injected = {primary.as_instruction(point.qubit),
                    secondary.as_instruction(cfg.neighbor)};
-    sc.seed = config_seed(spec, idx, cfg.point_index,
+    sc.seed = config_seed(spec, cfg.global_index, cfg.point_index,
                           static_cast<std::uint64_t>(cfg.theta_index),
                           static_cast<std::uint64_t>(cfg.phi_index));
     return sc;
@@ -381,55 +450,61 @@ CampaignResult run_double_fault_campaign(const CampaignSpec& spec) {
 
   util::ThreadPool pool(static_cast<std::size_t>(
       spec.threads > 0 ? spec.threads : 0));
-  if (spec.use_checkpoints && prep.exec->supports_checkpointing()) {
-    // `configs` is ordered by point, so each point owns one contiguous
-    // slice; every config in a slice shares the prefix before the
-    // injection site and sweeps from one snapshot.
-    std::vector<std::size_t> slice_begin(result.points.size() + 1, 0);
-    for (const Config& cfg : configs) ++slice_begin[cfg.point_index + 1];
-    for (std::size_t p = 0; p < result.points.size(); ++p) {
-      slice_begin[p + 1] += slice_begin[p];
+  if (configs.empty()) {
+    // Empty shard (or no neighbors anywhere in the subset): metadata only.
+  } else if (spec.use_checkpoints && prep.exec->supports_checkpointing()) {
+    // `configs` is ordered by point, so each subset point owns one
+    // contiguous slice; every config in a slice shares the prefix before
+    // the injection site and sweeps from one snapshot.
+    std::vector<std::size_t> slice_begin(subset.size() + 1, 0);
+    std::vector<std::size_t> subset_pos(result.points.size(), 0);
+    for (std::size_t s = 0; s < subset.size(); ++s) subset_pos[subset[s]] = s;
+    for (const Config& cfg : configs) {
+      ++slice_begin[subset_pos[cfg.point_index] + 1];
+    }
+    for (std::size_t s = 0; s < subset.size(); ++s) {
+      slice_begin[s + 1] += slice_begin[s];
     }
 
-    if (result.points.size() >= pool.size()) {
-      pool.parallel_for(result.points.size(), [&](std::size_t p) {
-        if (slice_begin[p] == slice_begin[p + 1]) return;  // no neighbors
+    if (subset.size() >= pool.size()) {
+      pool.parallel_for(subset.size(), [&](std::size_t s) {
+        if (slice_begin[s] == slice_begin[s + 1]) return;  // no neighbors
         const auto snapshot = prep.exec->prepare_prefix(
-            prep.transpiled.circuit, result.points[p].split_index(),
+            prep.transpiled.circuit, result.points[subset[s]].split_index(),
             spec.shots, spec.seed);
-        sweep_range(slice_begin[p], slice_begin[p + 1], snapshot.get());
+        sweep_range(slice_begin[s], slice_begin[s + 1], snapshot.get());
       });
     } else {
       // Fewer points than workers: shared snapshots, slices chunked across
       // lanes so the (large) secondary sweeps saturate the pool.
-      std::vector<backend::PrefixSnapshotPtr> snapshots(result.points.size());
-      pool.parallel_for(result.points.size(), [&](std::size_t p) {
-        if (slice_begin[p] == slice_begin[p + 1]) return;
-        snapshots[p] = prep.exec->prepare_prefix(
-            prep.transpiled.circuit, result.points[p].split_index(),
+      std::vector<backend::PrefixSnapshotPtr> snapshots(subset.size());
+      pool.parallel_for(subset.size(), [&](std::size_t s) {
+        if (slice_begin[s] == slice_begin[s + 1]) return;
+        snapshots[s] = prep.exec->prepare_prefix(
+            prep.transpiled.circuit, result.points[subset[s]].split_index(),
             spec.shots, spec.seed);
       });
       struct ChunkItem {
-        std::size_t point, begin, end;
+        std::size_t subset_pos, begin, end;
       };
       std::vector<ChunkItem> chunks;
       const std::size_t chunks_per_point =
-          (pool.size() + result.points.size() - 1) / result.points.size();
-      for (std::size_t p = 0; p < result.points.size(); ++p) {
-        const std::size_t len = slice_begin[p + 1] - slice_begin[p];
+          (pool.size() + subset.size() - 1) / subset.size();
+      for (std::size_t s = 0; s < subset.size(); ++s) {
+        const std::size_t len = slice_begin[s + 1] - slice_begin[s];
         if (len == 0) continue;
         const std::size_t n_chunks = std::min(len, chunks_per_point);
         const std::size_t chunk_size = (len + n_chunks - 1) / n_chunks;
         for (std::size_t k = 0; k < n_chunks; ++k) {
-          const std::size_t begin = slice_begin[p] + k * chunk_size;
+          const std::size_t begin = slice_begin[s] + k * chunk_size;
           const std::size_t end =
-              std::min(begin + chunk_size, slice_begin[p + 1]);
-          if (begin < end) chunks.push_back({p, begin, end});
+              std::min(begin + chunk_size, slice_begin[s + 1]);
+          if (begin < end) chunks.push_back({s, begin, end});
         }
       }
       pool.parallel_for(chunks.size(), [&](std::size_t i) {
         sweep_range(chunks[i].begin, chunks[i].end,
-                    snapshots[chunks[i].point].get());
+                    snapshots[chunks[i].subset_pos].get());
       });
     }
   } else {
@@ -440,8 +515,32 @@ CampaignResult run_double_fault_campaign(const CampaignSpec& spec) {
   result.meta = base_metadata(spec, prep);
   result.meta.double_fault = true;
   result.meta.executions = configs.size();
-  result.meta.injections = configs.size() * (spec.shots ? spec.shots : 1);
+  result.meta.injections = campaign_injections(configs.size(), spec.shots);
   return result;
+}
+
+}  // namespace
+
+CampaignResult run_double_fault_campaign(const CampaignSpec& spec) {
+  Prepared prep = prepare(spec);
+  auto points = stride_points(
+      enumerate_injection_points(prep.transpiled, spec.strategy),
+      spec.max_points);
+  require(!points.empty(), "campaign: no injection points");
+  const auto subset = identity_subset(points.size());
+  return double_campaign_impl(spec, prep, std::move(points), subset,
+                              /*require_neighbors=*/true);
+}
+
+CampaignResult run_double_fault_campaign_subset(
+    const CampaignSpec& spec, std::span<const std::size_t> point_indices) {
+  Prepared prep = prepare(spec);
+  auto points = stride_points(
+      enumerate_injection_points(prep.transpiled, spec.strategy),
+      spec.max_points);
+  require(!points.empty(), "campaign: no injection points");
+  return double_campaign_impl(spec, prep, std::move(points), point_indices,
+                              /*require_neighbors=*/false);
 }
 
 std::vector<NamedFaultQvf> run_named_fault_campaign(

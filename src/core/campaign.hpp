@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,38 @@ CampaignResult run_single_fault_campaign(const CampaignSpec& spec);
 /// \return Records carrying both fault index tuples (neighbor_qubit,
 ///         theta1/phi1 set). Deterministic as in run_single_fault_campaign.
 CampaignResult run_double_fault_campaign(const CampaignSpec& spec);
+
+/// Runs the single-fault campaign restricted to a subset of the campaign's
+/// injection points — the shard-execution primitive (src/dist). Point
+/// indices refer to the *global* enumeration (campaign_points(spec)), and
+/// per-config seeds are derived from those global indices, so the union of
+/// disjoint shard runs is record-for-record identical to the one-process
+/// run: qufi::dist::merge_shard_results reassembles it bit-exactly on the
+/// density backend and under common random numbers on the trajectory
+/// backend.
+///
+/// \param spec          Campaign definition, as in run_single_fault_campaign.
+/// \param point_indices Strictly increasing global point indices (a shard
+///                      from qufi::dist::plan_shards). May be empty: the
+///                      result then carries metadata and the full point
+///                      table but no records (idempotent empty shard).
+/// \return Shard-local records (point_index fields stay global) plus the
+///         full point table, so shards merge without re-transpiling.
+CampaignResult run_single_fault_campaign_subset(
+    const CampaignSpec& spec, std::span<const std::size_t> point_indices);
+
+/// Shard form of run_double_fault_campaign: executes only configs whose
+/// primary injection point is in `point_indices`. Seeds are derived from
+/// the *global* flat config enumeration, so shard unions match the
+/// one-process run exactly (see run_single_fault_campaign_subset).
+///
+/// \param spec          Campaign definition; spec.grid drives the sweep.
+/// \param point_indices Strictly increasing global point indices; may be
+///                      empty (and a non-empty shard may still yield zero
+///                      records when none of its points has a coupled,
+///                      active neighbor).
+CampaignResult run_double_fault_campaign_subset(
+    const CampaignSpec& spec, std::span<const std::size_t> point_indices);
 
 /// Mean QVF per named fault (paper Fig. 11): injects each named fault at
 /// every point and averages. Grid fields of `spec` are ignored.

@@ -159,7 +159,19 @@ void CampaignResult::write_csv(const std::string& path) const {
   csv.write_row({"point_index", "instr_index", "physical_qubit",
                  "logical_qubit", "moment", "theta", "phi", "neighbor_qubit",
                  "theta1", "phi1", "qvf", "pa", "pb"});
-  for (const auto& r : records) {
+  // Rows are emitted in canonical point-ascending order no matter how the
+  // records were assembled (merged shard results arrive grouped by shard,
+  // not by point), so single-process and merged-shard CSVs are
+  // byte-comparable. The sort is stable: within a point, records keep their
+  // enumeration order, which every assembly path already shares.
+  std::vector<std::size_t> order(records.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return records[a].point_index < records[b].point_index;
+                   });
+  for (const std::size_t i : order) {
+    const auto& r = records[i];
     const auto& p = points[r.point_index];
     const bool dbl = r.theta1_index >= 0;
     csv.write_row(
@@ -182,6 +194,11 @@ std::uint64_t single_campaign_executions(std::size_t num_points,
                                          const FaultParamGrid& grid) {
   return static_cast<std::uint64_t>(num_points) *
          static_cast<std::uint64_t>(grid.num_configs());
+}
+
+std::uint64_t campaign_injections(std::uint64_t executions,
+                                  std::uint64_t shots) {
+  return executions * (shots ? shots : 1);
 }
 
 std::uint64_t double_campaign_executions(std::size_t num_point_neighbor_pairs,

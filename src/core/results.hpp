@@ -91,7 +91,10 @@ class CampaignResult {
   };
   ImpactBreakdown impact_breakdown() const;
 
-  /// Writes one row per record (plus a metadata header comment).
+  /// Writes one row per record (plus a metadata header comment). Rows are
+  /// sorted by point index (stable within a point), so output is
+  /// deterministic for merged shard results as well as single-process runs;
+  /// the column schema is documented in the README ("Campaign CSV schema").
   void write_csv(const std::string& path) const;
 
  private:
@@ -104,5 +107,11 @@ std::uint64_t single_campaign_executions(std::size_t num_points,
                                          const FaultParamGrid& grid);
 std::uint64_t double_campaign_executions(std::size_t num_point_neighbor_pairs,
                                          const FaultParamGrid& primary_grid);
+
+/// executions x shots, with exact runs (shots == 0) counting one injection
+/// per execution — the single source of CampaignMetadata::injections,
+/// shared by the campaign engines and the shard merger.
+std::uint64_t campaign_injections(std::uint64_t executions,
+                                  std::uint64_t shots);
 
 }  // namespace qufi

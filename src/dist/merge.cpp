@@ -1,0 +1,144 @@
+#include "dist/merge.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace qufi::dist {
+
+namespace {
+
+/// Uniform view over in-memory shard results and file-loaded partials.
+struct ShardView {
+  const CampaignMetadata* meta;
+  const std::vector<InjectionPoint>* points;
+  const std::vector<InjectionRecord>* records;
+};
+
+bool meta_matches(const CampaignMetadata& a, const CampaignMetadata& b) {
+  return a.circuit_name == b.circuit_name &&
+         a.backend_name == b.backend_name &&
+         a.circuit_qubits == b.circuit_qubits &&
+         a.transpiled_gates == b.transpiled_gates &&
+         a.grid.theta_step_deg == b.grid.theta_step_deg &&
+         a.grid.phi_step_deg == b.grid.phi_step_deg &&
+         a.grid.theta_max_deg == b.grid.theta_max_deg &&
+         a.grid.phi_max_deg == b.grid.phi_max_deg && a.shots == b.shots &&
+         a.seed == b.seed && a.double_fault == b.double_fault &&
+         a.faultfree_qvf == b.faultfree_qvf;
+}
+
+bool points_match(const std::vector<InjectionPoint>& a,
+                  const std::vector<InjectionPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].instr_index != b[i].instr_index || a[i].qubit != b[i].qubit ||
+        a[i].logical_qubit != b[i].logical_qubit ||
+        a[i].moment != b[i].moment) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool record_matches(const InjectionRecord& a, const InjectionRecord& b) {
+  return a.point_index == b.point_index && a.theta_index == b.theta_index &&
+         a.phi_index == b.phi_index && a.neighbor_qubit == b.neighbor_qubit &&
+         a.theta1_index == b.theta1_index && a.phi1_index == b.phi1_index &&
+         a.qvf == b.qvf && a.pa == b.pa && a.pb == b.pb;
+}
+
+CampaignResult merge_views(std::span<const ShardView> shards,
+                           const MergeOptions& options) {
+  require(!shards.empty(), "merge: no shard results");
+  for (const ShardView& shard : shards) {
+    require(meta_matches(*shards[0].meta, *shard.meta),
+            "merge: shard metadata mismatch (different campaigns?)");
+    require(points_match(*shards[0].points, *shard.points),
+            "merge: shard point tables differ (different campaigns?)");
+  }
+
+  const std::size_t num_points = shards[0].points->size();
+  // Per-point record slices, taken from the first shard (in input order)
+  // that executed the point. Shards are idempotent retry units, so a point
+  // appearing in several shards is legal — but only when the duplicates
+  // agree bit-exactly; disagreement means divergent workers, not a retry.
+  std::vector<std::vector<const InjectionRecord*>> buckets(num_points);
+  std::vector<int> owner(num_points, -1);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    // Bucket this shard's records per point (order-preserving).
+    std::vector<std::vector<const InjectionRecord*>> mine(num_points);
+    for (const InjectionRecord& r : *shards[s].records) {
+      require(r.point_index < num_points,
+              "merge: record references point outside the table");
+      mine[r.point_index].push_back(&r);
+    }
+    for (std::size_t p = 0; p < num_points; ++p) {
+      if (mine[p].empty()) continue;
+      if (owner[p] < 0) {
+        owner[p] = static_cast<int>(s);
+        buckets[p] = std::move(mine[p]);
+        continue;
+      }
+      require(buckets[p].size() == mine[p].size(),
+              "merge: conflicting duplicate records for a point");
+      for (std::size_t k = 0; k < mine[p].size(); ++k) {
+        require(record_matches(*buckets[p][k], *mine[p][k]),
+                "merge: conflicting duplicate records for a point");
+      }
+    }
+  }
+
+  CampaignResult merged;
+  merged.meta = *shards[0].meta;
+  merged.points = *shards[0].points;
+  // Ascending point index — the single-process enumeration order — so the
+  // output is independent of shard arrival order.
+  for (std::size_t p = 0; p < num_points; ++p) {
+    for (const InjectionRecord* r : buckets[p]) merged.records.push_back(*r);
+  }
+  merged.meta.executions = merged.records.size();
+  merged.meta.injections =
+      campaign_injections(merged.records.size(), merged.meta.shots);
+
+  if (!options.allow_incomplete && options.expected_records > 0) {
+    require(merged.records.size() == options.expected_records,
+            "merge: incomplete campaign (missing shard output?)");
+  }
+  return merged;
+}
+
+}  // namespace
+
+CampaignResult merge_shard_results(std::span<const CampaignResult> shards,
+                                   const MergeOptions& options) {
+  std::vector<ShardView> views;
+  views.reserve(shards.size());
+  for (const CampaignResult& shard : shards) {
+    views.push_back({&shard.meta, &shard.points, &shard.records});
+  }
+  return merge_views(views, options);
+}
+
+CampaignResult merge_partial_results(std::span<const PartialResult> parts,
+                                     const MergeOptions& options) {
+  require(!parts.empty(), "merge: no partial results");
+  for (const PartialResult& part : parts) {
+    require(part.shard_count == parts[0].shard_count,
+            "merge: partials disagree on shard count");
+    require(part.expected_total_records == parts[0].expected_total_records,
+            "merge: partials disagree on expected record count");
+  }
+  MergeOptions effective = options;
+  if (effective.expected_records == 0) {
+    effective.expected_records = parts[0].expected_total_records;
+  }
+  std::vector<ShardView> views;
+  views.reserve(parts.size());
+  for (const PartialResult& part : parts) {
+    views.push_back({&part.meta, &part.points, &part.records});
+  }
+  return merge_views(views, effective);
+}
+
+}  // namespace qufi::dist

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/results.hpp"
+#include "dist/partial.hpp"
+
+namespace qufi::dist {
+
+/// Knobs for recombining shard outputs.
+struct MergeOptions {
+  /// Expected record count of the full campaign; 0 skips the completeness
+  /// check (merge_partial_results then defaults it to the partials' own
+  /// expected_total_records).
+  std::uint64_t expected_records = 0;
+  /// Accept an incomplete merge (lost shard recovery): suppresses the
+  /// completeness check entirely, including the partials' default.
+  bool allow_incomplete = false;
+};
+
+/// Recombines shard results into the full-campaign result.
+///
+/// Deterministic by construction: records are reassembled in ascending
+/// global point-index order (the single-process enumeration order), not in
+/// shard arrival order — merging the same shard set in any permutation
+/// yields the identical CampaignResult, and on the density backend the
+/// records are bit-identical to the one-process run (trajectory: identical
+/// under common random numbers, i.e. when every shard was produced with
+/// the same manifest seed).
+///
+/// Shards are idempotent retry units: when two inputs both carry a point
+/// (a retried shard re-ran it), the duplicates must agree bit-exactly and
+/// one copy is kept; conflicting duplicates throw (they indicate divergent
+/// workers, not a retry).
+///
+/// \param shards  One CampaignResult per shard (from
+///                run_*_fault_campaign_subset). Metadata and point tables
+///                must agree across shards; `meta.executions` may differ
+///                (it is shard-local).
+/// \param options See MergeOptions.
+/// \return The recombined result; meta.executions/injections are recomputed
+///         from the merged record set.
+/// \throws qufi::Error on empty input, metadata/point-table mismatch,
+///         conflicting duplicate points, or a failed completeness check.
+CampaignResult merge_shard_results(std::span<const CampaignResult> shards,
+                                   const MergeOptions& options = {});
+
+/// File-level merge: validates the PartialResult headers (matching shard
+/// counts, consistent expected totals) and merges, defaulting the
+/// completeness check to the partials' expected_total_records.
+CampaignResult merge_partial_results(std::span<const PartialResult> parts,
+                                     const MergeOptions& options = {});
+
+}  // namespace qufi::dist

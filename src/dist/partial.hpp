@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/results.hpp"
+
+namespace qufi::dist {
+
+/// One shard's output on disk: the campaign metadata (shard-local
+/// executions), the full global point table (identical across shards, so
+/// the merger can cross-check without re-transpiling), and the shard's
+/// records with global point indices. Rows are CSV (first field = row kind)
+/// so partials stay greppable; values use %.17g, which round-trips doubles
+/// exactly — a merged result carries the same bits the worker computed.
+struct PartialResult {
+  std::uint32_t format_version = 1;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  /// Global record count of the *full* campaign (all shards), computed by
+  /// every worker from the manifest — the merger's completeness check.
+  std::uint64_t expected_total_records = 0;
+
+  CampaignMetadata meta;
+  std::vector<InjectionPoint> points;
+  std::vector<InjectionRecord> records;
+};
+
+/// Writes one shard's partial-result file.
+///
+/// \param path     Output file (truncated).
+/// \param partial  Shard output; `meta.executions` is shard-local.
+void write_partial(const std::string& path, const PartialResult& partial);
+
+/// Parses a file written by write_partial. Throws qufi::Error with a
+/// line-tagged reason on malformed input or an unsupported version.
+PartialResult read_partial(const std::string& path);
+
+}  // namespace qufi::dist

@@ -1,0 +1,78 @@
+#include "dist/shard_plan.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace qufi::dist {
+
+std::uint64_t point_cost(const InjectionPoint& point,
+                         std::size_t circuit_size) {
+  require(point.split_index() <= circuit_size,
+          "point_cost: split index beyond circuit size");
+  return 1 + static_cast<std::uint64_t>(circuit_size - point.split_index());
+}
+
+ShardPlan plan_shards(std::span<const InjectionPoint> points,
+                      std::size_t circuit_size, std::uint32_t num_shards,
+                      ShardPolicy policy) {
+  require(num_shards >= 1, "plan_shards: need at least one shard");
+
+  ShardPlan plan;
+  plan.num_shards = num_shards;
+  plan.total_points = points.size();
+  plan.policy = policy;
+  plan.shards.resize(num_shards);
+  for (std::uint32_t k = 0; k < num_shards; ++k) {
+    plan.shards[k].shard_index = k;
+  }
+
+  if (policy == ShardPolicy::PointCount) {
+    // Contiguous integer-strided ranges (the stride_points idiom): shard k
+    // owns [k*N/M, (k+1)*N/M), which covers every point exactly once.
+    for (std::uint32_t k = 0; k < num_shards; ++k) {
+      const std::size_t begin = points.size() * k / num_shards;
+      const std::size_t end = points.size() * (k + 1) / num_shards;
+      for (std::size_t i = begin; i < end; ++i) {
+        plan.shards[k].point_indices.push_back(i);
+        plan.shards[k].estimated_cost += point_cost(points[i], circuit_size);
+      }
+    }
+    return plan;
+  }
+
+  // CostWeighted: LPT greedy. Sort by descending cost (stable, so equal
+  // costs keep point order), then assign each point to the least-loaded
+  // shard, breaking load ties toward the lowest shard index. Deterministic
+  // by construction.
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return point_cost(points[a], circuit_size) >
+                            point_cost(points[b], circuit_size);
+                   });
+  for (const std::size_t i : order) {
+    ShardAssignment* lightest = &plan.shards[0];
+    for (auto& shard : plan.shards) {
+      if (shard.estimated_cost < lightest->estimated_cost) lightest = &shard;
+    }
+    lightest->point_indices.push_back(i);
+    lightest->estimated_cost += point_cost(points[i], circuit_size);
+  }
+  // Subset runners require strictly increasing indices.
+  for (auto& shard : plan.shards) {
+    std::sort(shard.point_indices.begin(), shard.point_indices.end());
+  }
+  return plan;
+}
+
+ShardPlan plan_campaign_shards(const CampaignSpec& spec,
+                               std::uint32_t num_shards, ShardPolicy policy) {
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = stride_points(
+      enumerate_injection_points(transpiled, spec.strategy), spec.max_points);
+  return plan_shards(points, transpiled.circuit.size(), num_shards, policy);
+}
+
+}  // namespace qufi::dist

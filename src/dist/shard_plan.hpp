@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/injection.hpp"
+
+/// \dir src/dist
+/// Distribution layer: turns one campaign into shardable work. Campaigns
+/// are embarrassingly parallel across injection points (the paper sweeps
+/// every (qubit, gate, theta, phi) config independently), so the unit of
+/// distribution is the point — each shard owns whole points, evolves their
+/// prefixes (or loads serialized snapshots), sweeps their grids, and emits
+/// partial results that merge deterministically. See docs/SHARDING.md.
+
+namespace qufi::dist {
+
+/// How injection points are split across shards.
+enum class ShardPolicy {
+  /// Contiguous, near-equal point-count ranges (shard k takes points
+  /// [k*N/M, (k+1)*N/M)). Cheapest to reason about; ignores that early
+  /// points carry longer suffixes than late ones.
+  PointCount,
+  /// Greedy longest-processing-time balancing on the per-point cost model
+  /// (suffix length dominates a batched grid sweep). Deterministic:
+  /// stable-sorted by descending cost, ties broken by point index, assigned
+  /// to the least-loaded shard (ties to the lowest shard index).
+  CostWeighted,
+};
+
+/// The points one worker executes, in strictly increasing global order (the
+/// order run_single_fault_campaign_subset requires).
+struct ShardAssignment {
+  std::uint32_t shard_index = 0;
+  std::vector<std::size_t> point_indices;
+  /// Sum of point_cost over the assignment (both policies fill it in, so
+  /// plans can report imbalance either way).
+  std::uint64_t estimated_cost = 0;
+};
+
+/// A full partition of a campaign's injection points: every point appears
+/// in exactly one shard; shards may be empty when num_shards > num_points.
+struct ShardPlan {
+  std::uint32_t num_shards = 1;
+  std::size_t total_points = 0;
+  ShardPolicy policy = ShardPolicy::CostWeighted;
+  std::vector<ShardAssignment> shards;
+};
+
+/// Cost model for one injection point: 1 (the prefix snapshot) plus the
+/// number of instructions after the split, which is what every config of
+/// the point's grid sweep replays. Units are arbitrary; only ratios matter.
+std::uint64_t point_cost(const InjectionPoint& point,
+                         std::size_t circuit_size);
+
+/// Partitions `points` (the global enumeration, in order) into
+/// `num_shards` deterministic shards.
+///
+/// \param points       Global injection-point table (campaign_points order).
+/// \param circuit_size Instruction count of the transpiled circuit the
+///                     points index into (cost-model input).
+/// \param num_shards   Must be >= 1.
+/// \param policy       Split policy; see ShardPolicy.
+/// \return A plan covering every point exactly once. Deterministic: the
+///         same inputs always produce the same plan, so re-planning after
+///         a coordinator crash reproduces identical shard manifests.
+ShardPlan plan_shards(std::span<const InjectionPoint> points,
+                      std::size_t circuit_size, std::uint32_t num_shards,
+                      ShardPolicy policy = ShardPolicy::CostWeighted);
+
+/// Convenience: transpiles `spec`, enumerates + strides its points exactly
+/// as the campaign would, and plans over them.
+ShardPlan plan_campaign_shards(const CampaignSpec& spec,
+                               std::uint32_t num_shards,
+                               ShardPolicy policy = ShardPolicy::CostWeighted);
+
+}  // namespace qufi::dist

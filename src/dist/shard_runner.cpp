@@ -1,0 +1,75 @@
+#include "dist/shard_runner.hpp"
+
+#include <memory>
+
+#include "backend/density_backend.hpp"
+#include "backend/trajectory_backend.hpp"
+#include "dist/snapshot_cache.hpp"
+#include "noise/noise_model.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace qufi::dist {
+
+ShardRunOutput run_shard(const ShardManifest& manifest,
+                         const ShardRunOptions& options) {
+  CampaignSpec spec = manifest_to_spec(manifest);
+  spec.threads = options.threads;
+
+  // The worker owns its execution backend explicitly (instead of letting
+  // the campaign build one) so the snapshot cache can wrap it and so the
+  // trajectory family is reachable from a manifest.
+  std::unique_ptr<backend::Backend> exec;
+  const auto noise_model =
+      noise::NoiseModel::from_backend(spec.backend, spec.noise_scale);
+  if (manifest.backend_kind == WorkerBackendKind::Trajectory) {
+    require(spec.shots > 0,
+            "run_shard: trajectory backend requires shots > 0");
+    exec = std::make_unique<backend::TrajectoryBackend>(noise_model);
+  } else {
+    exec = std::make_unique<backend::DensityMatrixBackend>(noise_model);
+  }
+
+  std::unique_ptr<SnapshotCachingBackend> cache;
+  if (!options.snapshot_dir.empty()) {
+    // noise_scale changes the evolved state but is invisible in both the
+    // circuit bytes and the backend name, so it must ride in the key.
+    cache = std::make_unique<SnapshotCachingBackend>(
+        *exec, options.snapshot_dir,
+        "noise_scale=" + util::CsvWriter::field(spec.noise_scale));
+    spec.backend_override = cache.get();
+  } else {
+    spec.backend_override = exec.get();
+  }
+
+  const CampaignResult result =
+      manifest.double_fault
+          ? run_double_fault_campaign_subset(spec, manifest.point_indices)
+          : run_single_fault_campaign_subset(spec, manifest.point_indices);
+
+  ShardRunOutput out;
+  out.partial.shard_index = manifest.shard_index;
+  out.partial.shard_count = manifest.shard_count;
+  // The merger's completeness total: planner-stamped when available,
+  // otherwise derived here (hand-written manifests; double campaigns pay a
+  // transpile via campaign_point_neighbor_pairs in that fallback only).
+  if (manifest.expected_records > 0) {
+    out.partial.expected_total_records = manifest.expected_records;
+  } else if (manifest.double_fault) {
+    out.partial.expected_total_records = double_campaign_executions(
+        campaign_point_neighbor_pairs(spec).size(), spec.grid);
+  } else {
+    out.partial.expected_total_records =
+        single_campaign_executions(result.points.size(), spec.grid);
+  }
+  out.partial.meta = result.meta;
+  out.partial.points = result.points;
+  out.partial.records = result.records;
+  if (cache) {
+    out.snapshot_hits = cache->hits();
+    out.snapshot_misses = cache->misses();
+  }
+  return out;
+}
+
+}  // namespace qufi::dist

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dist/manifest.hpp"
+#include "dist/partial.hpp"
+
+namespace qufi::dist {
+
+/// Worker-side execution knobs that are not part of the campaign identity
+/// (they never change the computed records, only how fast they appear).
+struct ShardRunOptions {
+  /// Directory of serialized prefix snapshots; empty = always re-simulate
+  /// prefixes. Shared across workers/retries, keyed to circuit bytes.
+  std::string snapshot_dir;
+  /// Worker threads; 0 = hardware concurrency.
+  int threads = 0;
+};
+
+/// What one shard execution produced.
+struct ShardRunOutput {
+  PartialResult partial;
+  /// Snapshot-cache counters (both 0 when no snapshot_dir was given).
+  std::uint64_t snapshot_hits = 0;
+  std::uint64_t snapshot_misses = 0;
+};
+
+/// Executes one shard manifest end to end: rebuilds the campaign spec,
+/// constructs the worker backend (density or trajectory, optionally behind
+/// a snapshot cache), runs the subset campaign over the shard's points, and
+/// packages the partial result (including the global expected-record count
+/// the merger checks completeness against).
+///
+/// Deterministic and idempotent: re-running the same manifest reproduces
+/// the same partial bit-for-bit, so retries after a crash are safe and the
+/// merger can treat duplicate shard outputs as confirmations.
+ShardRunOutput run_shard(const ShardManifest& manifest,
+                         const ShardRunOptions& options = {});
+
+}  // namespace qufi::dist

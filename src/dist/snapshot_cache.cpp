@@ -1,0 +1,132 @@
+#include "dist/snapshot_cache.hpp"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "backend/snapshot_io.hpp"
+#include "util/binary_io.hpp"
+#include "util/error.hpp"
+
+namespace qufi::dist {
+
+namespace fs = std::filesystem;
+
+SnapshotCachingBackend::SnapshotCachingBackend(backend::Backend& inner,
+                                               std::string cache_dir,
+                                               std::string key_context)
+    : inner_(inner), cache_dir_(std::move(cache_dir)) {
+  require(!cache_dir_.empty(), "snapshot cache: empty cache directory");
+  // The inner backend's name encodes its family and noise-model source
+  // ("density_matrix(fake_casablanca)"), so two devices with identical
+  // coupling (and therefore identical transpiled circuit bytes) still key
+  // to different files; key_context carries whatever else the caller knows
+  // changes the evolved state (e.g. noise_scale).
+  context_hash_ = util::fnv1a64(inner_.name() + "\x1f" + key_context);
+  std::error_code ec;
+  fs::create_directories(cache_dir_, ec);
+  require(!ec, "snapshot cache: cannot create directory: " + cache_dir_);
+}
+
+std::string SnapshotCachingBackend::name() const { return inner_.name(); }
+
+bool SnapshotCachingBackend::supports_checkpointing() const {
+  return inner_.supports_checkpointing();
+}
+
+backend::ExecutionResult SnapshotCachingBackend::run(
+    const circ::QuantumCircuit& circuit, std::uint64_t shots,
+    std::uint64_t seed) {
+  return inner_.run(circuit, shots, seed);
+}
+
+backend::PrefixSnapshotPtr SnapshotCachingBackend::prepare_prefix(
+    const circ::QuantumCircuit& circuit, std::size_t prefix_length,
+    std::uint64_t shots_hint, std::uint64_t snapshot_seed) {
+  if (!inner_.supports_checkpointing()) {
+    return inner_.prepare_prefix(circuit, prefix_length, shots_hint,
+                                 snapshot_seed);
+  }
+
+  // Key = execution identity (backend name + context) + exact circuit
+  // bytes + every prepare_prefix argument, so a cache directory can be
+  // shared by campaigns over different circuits, devices, noise scales or
+  // seeds without ever serving the wrong state.
+  const std::uint64_t words[] = {context_hash_,
+                                 backend::snapio::circuit_fingerprint(circuit),
+                                 prefix_length, shots_hint, snapshot_seed};
+  char key[64];
+  std::snprintf(key, sizeof key, "snap_%016" PRIx64 ".qsnap",
+                util::fnv1a64({reinterpret_cast<const char*>(words),
+                               sizeof words}));
+  const fs::path path = fs::path(cache_dir_) / key;
+
+  if (fs::exists(path)) {
+    try {
+      std::ifstream in(path, std::ios::binary);
+      if (in.is_open()) {
+        auto snapshot = inner_.load_snapshot(in);
+        hits_.fetch_add(1);
+        return snapshot;
+      }
+    } catch (const Error&) {
+      // Corrupt/truncated file (killed worker mid-write without the atomic
+      // rename, bit rot): fall through and recompute.
+    }
+  }
+
+  auto snapshot = inner_.prepare_prefix(circuit, prefix_length, shots_hint,
+                                        snapshot_seed);
+  misses_.fetch_add(1);
+
+  // Write-then-rename keeps readers from ever seeing a partial file; the
+  // pid + counter temp name keeps concurrent writers of the same key —
+  // other threads AND other worker processes sharing the directory — from
+  // clobbering each other mid-write (content is identical either way:
+  // snapshots are deterministic in the key).
+  const fs::path temp = path.string() + ".tmp" +
+                        std::to_string(::getpid()) + "." +
+                        std::to_string(temp_counter_.fetch_add(1));
+  {
+    std::ofstream out(temp, std::ios::binary);
+    if (!out.is_open()) return snapshot;  // cache dir vanished: still correct
+    if (!inner_.save_snapshot(*snapshot, out)) {
+      out.close();
+      std::error_code ec;
+      fs::remove(temp, ec);
+      return snapshot;  // inner backend has no serializable form
+    }
+  }
+  std::error_code ec;
+  fs::rename(temp, path, ec);
+  if (ec) fs::remove(temp, ec);
+  return snapshot;
+}
+
+backend::ExecutionResult SnapshotCachingBackend::run_suffix(
+    const backend::PrefixSnapshot& snapshot,
+    std::span<const circ::Instruction> injected, std::uint64_t shots,
+    std::uint64_t seed) {
+  return inner_.run_suffix(snapshot, injected, shots, seed);
+}
+
+std::vector<backend::ExecutionResult> SnapshotCachingBackend::run_suffix_batch(
+    const backend::PrefixSnapshot& snapshot,
+    std::span<const backend::SuffixConfig> configs, std::uint64_t shots) {
+  return inner_.run_suffix_batch(snapshot, configs, shots);
+}
+
+bool SnapshotCachingBackend::save_snapshot(
+    const backend::PrefixSnapshot& snapshot, std::ostream& out) const {
+  return inner_.save_snapshot(snapshot, out);
+}
+
+backend::PrefixSnapshotPtr SnapshotCachingBackend::load_snapshot(
+    std::istream& in) const {
+  return inner_.load_snapshot(in);
+}
+
+}  // namespace qufi::dist

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "backend/backend.hpp"
+
+namespace qufi::dist {
+
+/// Backend decorator that persists prefix snapshots to a directory.
+///
+/// prepare_prefix first tries to load a previously serialized snapshot for
+/// the same (circuit, prefix_length, shots_hint, snapshot_seed) key; on a
+/// miss it delegates to the inner backend and saves the result. Everything
+/// else forwards unchanged, so a campaign pointed at this wrapper (via
+/// CampaignSpec::backend_override) transparently reuses prefix work across
+/// worker processes and across retries of the same shard — the
+/// "resume from serialized snapshots" mode of qufi_shard_worker.
+///
+/// Cache keys include a fingerprint of the circuit bytes, the inner
+/// backend's name (which encodes the backend family and noise-model
+/// source), and the caller's `key_context` (anything else that changes the
+/// evolved state, e.g. the campaign's noise scale) — so a stale or shared
+/// directory can never satisfy a lookup for different physics; corrupt or
+/// truncated files fail validation on load and are silently recomputed.
+/// Saves write to a process-unique temp file and atomically rename into
+/// place, so concurrent workers sharing one directory (same-content keys)
+/// race benignly.
+///
+/// Thread-safety: matches the inner backend's (campaign pools call
+/// prepare_prefix concurrently; the counters are atomic).
+class SnapshotCachingBackend final : public backend::Backend {
+ public:
+  /// \param inner       Backend that actually executes (not owned; must
+  ///                    outlive this wrapper).
+  /// \param cache_dir   Directory for snapshot files (created if absent).
+  /// \param key_context Extra execution identity folded into every cache
+  ///                    key — pass everything that alters evolved state
+  ///                    but is not visible in the circuit bytes or the
+  ///                    inner backend's name (e.g. noise_scale).
+  SnapshotCachingBackend(backend::Backend& inner, std::string cache_dir,
+                         std::string key_context = {});
+
+  std::string name() const override;
+  bool supports_checkpointing() const override;
+
+  backend::ExecutionResult run(const circ::QuantumCircuit& circuit,
+                               std::uint64_t shots,
+                               std::uint64_t seed) override;
+
+  backend::PrefixSnapshotPtr prepare_prefix(
+      const circ::QuantumCircuit& circuit, std::size_t prefix_length,
+      std::uint64_t shots_hint = 0, std::uint64_t snapshot_seed = 0) override;
+
+  backend::ExecutionResult run_suffix(
+      const backend::PrefixSnapshot& snapshot,
+      std::span<const circ::Instruction> injected, std::uint64_t shots,
+      std::uint64_t seed) override;
+
+  std::vector<backend::ExecutionResult> run_suffix_batch(
+      const backend::PrefixSnapshot& snapshot,
+      std::span<const backend::SuffixConfig> configs,
+      std::uint64_t shots) override;
+
+  bool save_snapshot(const backend::PrefixSnapshot& snapshot,
+                     std::ostream& out) const override;
+  backend::PrefixSnapshotPtr load_snapshot(std::istream& in) const override;
+
+  /// Snapshots served from disk so far.
+  std::uint64_t hits() const { return hits_.load(); }
+  /// Snapshots computed by the inner backend (and saved when possible).
+  std::uint64_t misses() const { return misses_.load(); }
+
+ private:
+  backend::Backend& inner_;
+  std::string cache_dir_;
+  std::uint64_t context_hash_ = 0;  ///< hash of name() + key_context
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> temp_counter_{0};
+};
+
+}  // namespace qufi::dist

@@ -196,4 +196,14 @@ BackendProperties fake_grid(int rows, int cols) {
                   std::move(dcx));
 }
 
+BackendProperties fake_backend_by_name(const std::string& name,
+                                       int min_qubits) {
+  if (name == "casablanca") return fake_casablanca();
+  if (name == "jakarta") return fake_jakarta();
+  if (name == "linear") return fake_linear(std::max(min_qubits, 2));
+  if (name == "full") return fake_fully_connected(std::max(min_qubits, 2));
+  throw Error("unknown backend device name: " + name +
+              " (expected casablanca | jakarta | linear | full)");
+}
+
 }  // namespace qufi::noise

@@ -66,4 +66,13 @@ BackendProperties fake_fully_connected(int num_qubits);
 /// rows x cols grid topology, nearest-neighbor coupling.
 BackendProperties fake_grid(int rows, int cols);
 
+/// Resolves a fake device by CLI/manifest name: "casablanca", "jakarta",
+/// "linear", or "full" (the latter two sized to at least `min_qubits`,
+/// clamped to >= 2). The single source of the name mapping shared by
+/// qufi_cli, qufi_shard_plan, and shard manifests — a device added here is
+/// immediately plannable and executable everywhere. Throws qufi::Error on
+/// unknown names.
+BackendProperties fake_backend_by_name(const std::string& name,
+                                       int min_qubits);
+
 }  // namespace qufi::noise

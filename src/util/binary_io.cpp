@@ -1,0 +1,81 @@
+#include "util/binary_io.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace qufi::util {
+
+namespace {
+
+void append_le(std::string& buf, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+}  // namespace
+
+void ByteWriter::u8(std::uint8_t v) { append_le(buf_, v, 1); }
+void ByteWriter::u32(std::uint32_t v) { append_le(buf_, v, 4); }
+void ByteWriter::u64(std::uint64_t v) { append_le(buf_, v, 8); }
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  u64(s.size());
+  raw(s.data(), s.size());
+}
+
+void ByteWriter::raw(const void* data, std::size_t size) {
+  buf_.append(static_cast<const char*>(data), size);
+}
+
+std::uint8_t ByteReader::u8() {
+  std::uint8_t v = 0;
+  raw(&v, 1);
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  unsigned char b[4];
+  raw(b, sizeof b);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{b[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  unsigned char b[8];
+  raw(b, sizeof b);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[i]} << (8 * i);
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint64_t size = u64();
+  require(size <= remaining(), "binary_io: truncated input");
+  std::string out(static_cast<std::size_t>(size), '\0');
+  raw(out.data(), out.size());
+  return out;
+}
+
+void ByteReader::raw(void* out, std::size_t size) {
+  require(size <= remaining(), "binary_io: truncated input");
+  std::memcpy(out, buf_.data() + pos_, size);
+  pos_ += size;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace qufi::util

@@ -1,0 +1,533 @@
+// Distribution-layer tests: snapshot serialization round-trips (both
+// checkpointing backends) and corruption rejection, shard planning,
+// manifest/partial round-trips, the snapshot cache, and N-shard merge
+// equivalence against the single-process campaign.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "algorithms/algorithms.hpp"
+#include "backend/density_backend.hpp"
+#include "backend/trajectory_backend.hpp"
+#include "core/campaign.hpp"
+#include "dist/manifest.hpp"
+#include "dist/merge.hpp"
+#include "dist/partial.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/shard_runner.hpp"
+#include "dist/snapshot_cache.hpp"
+#include "noise/backend_props.hpp"
+#include "noise/noise_model.hpp"
+#include "util/error.hpp"
+
+namespace qufi {
+namespace {
+
+namespace fs = std::filesystem;
+
+CampaignSpec quick_spec(const std::string& name, int width) {
+  const auto bench = algo::paper_circuit(name, width);
+  CampaignSpec spec;
+  spec.circuit = bench.circuit;
+  spec.expected_outputs = bench.expected_outputs;
+  spec.grid.theta_step_deg = 60.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.threads = 2;
+  return spec;
+}
+
+circ::QuantumCircuit small_circuit() {
+  circ::QuantumCircuit qc(3, 3);
+  qc.set_name("dist_test");
+  qc.h(0).cx(0, 1).rz(0.7853981633974483, 1).cx(1, 2).x(2);
+  qc.measure_all();
+  return qc;
+}
+
+backend::SuffixConfig fault_config(int qubit, std::uint64_t seed) {
+  backend::SuffixConfig config;
+  config.injected = {PhaseShiftFault{1.1, 2.2}.as_instruction(qubit)};
+  config.seed = seed;
+  return config;
+}
+
+void expect_same_probs(const backend::ExecutionResult& a,
+                       const backend::ExecutionResult& b) {
+  ASSERT_EQ(a.probabilities.size(), b.probabilities.size());
+  for (std::size_t i = 0; i < a.probabilities.size(); ++i) {
+    EXPECT_EQ(a.probabilities[i], b.probabilities[i]) << "index " << i;
+  }
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+void expect_same_records(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    ASSERT_EQ(ra.point_index, rb.point_index) << "record " << i;
+    ASSERT_EQ(ra.theta_index, rb.theta_index) << "record " << i;
+    ASSERT_EQ(ra.phi_index, rb.phi_index) << "record " << i;
+    ASSERT_EQ(ra.neighbor_qubit, rb.neighbor_qubit) << "record " << i;
+    ASSERT_EQ(ra.theta1_index, rb.theta1_index) << "record " << i;
+    ASSERT_EQ(ra.phi1_index, rb.phi1_index) << "record " << i;
+    // Bit-identical on the density backend; the 1e-9 QVF acceptance bound
+    // is the documented contract, so assert the tighter equality here and
+    // the bound explicitly.
+    EXPECT_NEAR(ra.qvf, rb.qvf, 1e-9) << "record " << i;
+    EXPECT_EQ(ra.qvf, rb.qvf) << "record " << i;
+    EXPECT_EQ(ra.pa, rb.pa) << "record " << i;
+    EXPECT_EQ(ra.pb, rb.pb) << "record " << i;
+  }
+}
+
+/// Runs spec as N shards via the subset API and merges.
+CampaignResult run_sharded(const CampaignSpec& spec, std::uint32_t shards,
+                           dist::ShardPolicy policy) {
+  const auto plan = dist::plan_campaign_shards(spec, shards, policy);
+  std::vector<CampaignResult> results;
+  for (const auto& shard : plan.shards) {
+    results.push_back(
+        run_single_fault_campaign_subset(spec, shard.point_indices));
+  }
+  dist::MergeOptions options;
+  options.expected_records = single_campaign_executions(
+      results.at(0).points.size(), spec.grid);
+  return dist::merge_shard_results(results, options);
+}
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("qufi_dist_" + tag + "_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+// ---- snapshot serialization ------------------------------------------------
+
+TEST(SnapshotSerialization, DensityRoundTripReproducesSuffixResults) {
+  const auto qc = small_circuit();
+  backend::DensityMatrixBackend be(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+
+  const auto snapshot = be.prepare_prefix(qc, 3, 0, 42);
+  std::stringstream stream;
+  ASSERT_TRUE(be.save_snapshot(*snapshot, stream));
+  const auto loaded = be.load_snapshot(stream);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->prefix_length(), snapshot->prefix_length());
+
+  const backend::SuffixConfig configs[] = {fault_config(0, 7),
+                                           fault_config(1, 8)};
+  const auto original = be.run_suffix_batch(*snapshot, configs, 0);
+  const auto resumed = be.run_suffix_batch(*loaded, configs, 0);
+  ASSERT_EQ(original.size(), resumed.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    expect_same_probs(original[i], resumed[i]);
+  }
+}
+
+TEST(SnapshotSerialization, TrajectoryRoundTripIsBitIdentical) {
+  const auto qc = small_circuit();
+  backend::TrajectoryBackend be(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+
+  const std::uint64_t shots = 48;
+  const auto snapshot = be.prepare_prefix(qc, 3, shots, 42);
+  std::stringstream stream;
+  ASSERT_TRUE(be.save_snapshot(*snapshot, stream));
+  const auto loaded = be.load_snapshot(stream);
+  ASSERT_NE(loaded, nullptr);
+
+  const backend::SuffixConfig configs[] = {fault_config(0, 7),
+                                           fault_config(2, 9)};
+  const auto original = be.run_suffix_batch(*snapshot, configs, shots);
+  const auto resumed = be.run_suffix_batch(*loaded, configs, shots);
+  ASSERT_EQ(original.size(), resumed.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    expect_same_probs(original[i], resumed[i]);  // common random numbers
+  }
+}
+
+TEST(SnapshotSerialization, SpliceFallbackSnapshotIsNotSerializable) {
+  const auto qc = small_circuit();
+  backend::TrajectoryBackend be(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+  // shots_hint = 0 degrades to the base splice snapshot (nothing cached).
+  const auto snapshot = be.prepare_prefix(qc, 3, 0, 42);
+  std::stringstream stream;
+  EXPECT_FALSE(be.save_snapshot(*snapshot, stream));
+}
+
+TEST(SnapshotSerialization, RejectsCorruptHeaderTruncationAndWrongKind) {
+  const auto qc = small_circuit();
+  backend::DensityMatrixBackend density(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+  backend::TrajectoryBackend trajectory(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+
+  std::stringstream stream;
+  ASSERT_TRUE(density.save_snapshot(*density.prepare_prefix(qc, 2), stream));
+  const std::string good = stream.str();
+
+  {  // corrupt magic
+    std::string bad = good;
+    bad[0] ^= 0x01;
+    std::istringstream in(bad);
+    EXPECT_THROW((void)density.load_snapshot(in), Error);
+  }
+  {  // corrupt payload byte -> checksum mismatch
+    std::string bad = good;
+    bad[bad.size() / 2] ^= 0x40;
+    std::istringstream in(bad);
+    EXPECT_THROW((void)density.load_snapshot(in), Error);
+  }
+  {  // truncated file
+    std::istringstream in(good.substr(0, good.size() / 2));
+    EXPECT_THROW((void)density.load_snapshot(in), Error);
+  }
+  {  // empty file
+    std::istringstream in{std::string()};
+    EXPECT_THROW((void)density.load_snapshot(in), Error);
+  }
+  {  // wrong backend kind
+    std::istringstream in(good);
+    EXPECT_THROW((void)trajectory.load_snapshot(in), Error);
+  }
+}
+
+TEST(SnapshotCache, SecondPrepareHitsDiskAndMatches) {
+  TempDir dir("cache");
+  const auto qc = small_circuit();
+  backend::DensityMatrixBackend inner(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+
+  const backend::SuffixConfig configs[] = {fault_config(1, 3)};
+  std::vector<double> first_probs;
+  {
+    dist::SnapshotCachingBackend cached(inner, dir.str());
+    const auto snapshot = cached.prepare_prefix(qc, 3, 0, 42);
+    EXPECT_EQ(cached.hits(), 0u);
+    EXPECT_EQ(cached.misses(), 1u);
+    first_probs =
+        cached.run_suffix_batch(*snapshot, configs, 0).at(0).probabilities;
+  }
+  {
+    dist::SnapshotCachingBackend cached(inner, dir.str());
+    const auto snapshot = cached.prepare_prefix(qc, 3, 0, 42);
+    EXPECT_EQ(cached.hits(), 1u);
+    EXPECT_EQ(cached.misses(), 0u);
+    const auto probs =
+        cached.run_suffix_batch(*snapshot, configs, 0).at(0).probabilities;
+    EXPECT_EQ(probs, first_probs);
+    // A different key (other prefix length) must miss.
+    (void)cached.prepare_prefix(qc, 2, 0, 42);
+    EXPECT_EQ(cached.misses(), 1u);
+  }
+}
+
+TEST(SnapshotCache, KeysSeparateDevicesAndContexts) {
+  TempDir dir("cache_key");
+  const auto qc = small_circuit();
+  // Casablanca and Jakarta share a topology, so the same circuit can
+  // transpile to identical bytes — the key must still tell them apart.
+  backend::DensityMatrixBackend casablanca(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+  backend::DensityMatrixBackend jakarta(
+      noise::NoiseModel::from_backend(noise::fake_jakarta()));
+
+  dist::SnapshotCachingBackend cached_a(casablanca, dir.str());
+  (void)cached_a.prepare_prefix(qc, 3, 0, 42);
+  EXPECT_EQ(cached_a.misses(), 1u);
+
+  dist::SnapshotCachingBackend cached_b(jakarta, dir.str());
+  (void)cached_b.prepare_prefix(qc, 3, 0, 42);
+  EXPECT_EQ(cached_b.hits(), 0u);  // different device: no cross-serving
+  EXPECT_EQ(cached_b.misses(), 1u);
+
+  // Same device, different caller context (e.g. noise_scale) also misses.
+  dist::SnapshotCachingBackend cached_c(casablanca, dir.str(), "scale=0.5");
+  (void)cached_c.prepare_prefix(qc, 3, 0, 42);
+  EXPECT_EQ(cached_c.hits(), 0u);
+  EXPECT_EQ(cached_c.misses(), 1u);
+
+  // Identical identity does hit.
+  dist::SnapshotCachingBackend cached_d(casablanca, dir.str());
+  (void)cached_d.prepare_prefix(qc, 3, 0, 42);
+  EXPECT_EQ(cached_d.hits(), 1u);
+}
+
+// ---- shard planning --------------------------------------------------------
+
+TEST(ShardPlan, BothPoliciesPartitionEveryPointExactlyOnce) {
+  const auto spec = quick_spec("bv", 4);
+  const auto points = campaign_points(spec);
+  ASSERT_GT(points.size(), 4u);
+  for (const auto policy :
+       {dist::ShardPolicy::PointCount, dist::ShardPolicy::CostWeighted}) {
+    for (const std::uint32_t shards : {1u, 2u, 3u, 8u}) {
+      const auto plan = dist::plan_campaign_shards(spec, shards, policy);
+      ASSERT_EQ(plan.shards.size(), shards);
+      std::vector<int> seen(points.size(), 0);
+      for (const auto& shard : plan.shards) {
+        for (std::size_t s = 1; s < shard.point_indices.size(); ++s) {
+          EXPECT_LT(shard.point_indices[s - 1], shard.point_indices[s]);
+        }
+        for (const std::size_t p : shard.point_indices) {
+          ASSERT_LT(p, points.size());
+          ++seen[p];
+        }
+      }
+      for (std::size_t p = 0; p < seen.size(); ++p) {
+        EXPECT_EQ(seen[p], 1) << "point " << p << " shards " << shards;
+      }
+    }
+  }
+}
+
+TEST(ShardPlan, MoreShardsThanPointsYieldsEmptyShards) {
+  const auto spec = quick_spec("bv", 4);
+  const auto points = campaign_points(spec);
+  const auto shards = static_cast<std::uint32_t>(points.size() + 5);
+  const auto plan = dist::plan_campaign_shards(spec, shards);
+  std::size_t empty = 0, covered = 0;
+  for (const auto& shard : plan.shards) {
+    if (shard.point_indices.empty()) ++empty;
+    covered += shard.point_indices.size();
+  }
+  EXPECT_EQ(covered, points.size());
+  EXPECT_GE(empty, 5u);
+}
+
+TEST(ShardPlan, DeterministicAndCostBalanced) {
+  const auto spec = quick_spec("qft", 4);
+  const auto a = dist::plan_campaign_shards(spec, 4);
+  const auto b = dist::plan_campaign_shards(spec, 4);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  std::uint64_t max_cost = 0, min_cost = ~0ULL;
+  for (std::size_t k = 0; k < a.shards.size(); ++k) {
+    EXPECT_EQ(a.shards[k].point_indices, b.shards[k].point_indices);
+    EXPECT_EQ(a.shards[k].estimated_cost, b.shards[k].estimated_cost);
+    max_cost = std::max(max_cost, a.shards[k].estimated_cost);
+    min_cost = std::min(min_cost, a.shards[k].estimated_cost);
+  }
+  // LPT keeps the spread below one max-point cost; loose sanity bound.
+  EXPECT_LT(max_cost - min_cost, max_cost);
+}
+
+// ---- manifest / partial round-trips ----------------------------------------
+
+TEST(ShardManifest, SaveLoadRoundTripPreservesEverything) {
+  TempDir dir("manifest");
+  auto spec = quick_spec("qft", 4);
+  spec.shots = 256;
+  spec.max_points = 6;
+  const auto plan = dist::plan_campaign_shards(spec, 2);
+  const auto manifests = dist::make_manifests(
+      spec, "casablanca", dist::WorkerBackendKind::Trajectory, plan, false);
+  ASSERT_EQ(manifests.size(), 2u);
+
+  const auto path = (dir.path / "shard_000.manifest").string();
+  dist::save_manifest(manifests[0], path);
+  const auto loaded = dist::load_manifest(path);
+
+  EXPECT_EQ(loaded.shard_index, manifests[0].shard_index);
+  EXPECT_EQ(loaded.shard_count, manifests[0].shard_count);
+  EXPECT_EQ(loaded.device, "casablanca");
+  EXPECT_EQ(loaded.backend_kind, dist::WorkerBackendKind::Trajectory);
+  EXPECT_EQ(loaded.point_indices, manifests[0].point_indices);
+  EXPECT_EQ(loaded.expected_outputs, manifests[0].expected_outputs);
+  EXPECT_EQ(loaded.shots, 256u);
+  EXPECT_EQ(loaded.seed, spec.seed);
+  EXPECT_EQ(loaded.max_points, 6u);
+  ASSERT_EQ(loaded.circuit.size(), spec.circuit.size());
+  EXPECT_EQ(loaded.circuit.name(), spec.circuit.name());
+  for (std::size_t i = 0; i < loaded.circuit.size(); ++i) {
+    const auto& a = loaded.circuit.instructions()[i];
+    const auto& b = spec.circuit.instructions()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.qubits, b.qubits);
+    EXPECT_EQ(a.clbits, b.clbits);
+    ASSERT_EQ(a.params.size(), b.params.size());
+    for (std::size_t k = 0; k < a.params.size(); ++k) {
+      EXPECT_EQ(a.params[k], b.params[k]) << "instr " << i;  // exact bits
+    }
+  }
+}
+
+TEST(PartialResult, WriteReadRoundTripIsExact) {
+  TempDir dir("partial");
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 4;
+  const std::size_t subset[] = {1, 3};
+  const auto shard = run_single_fault_campaign_subset(spec, subset);
+
+  dist::PartialResult partial;
+  partial.shard_index = 1;
+  partial.shard_count = 2;
+  partial.expected_total_records =
+      single_campaign_executions(shard.points.size(), spec.grid);
+  partial.meta = shard.meta;
+  partial.points = shard.points;
+  partial.records = shard.records;
+
+  const auto path = (dir.path / "part.csv").string();
+  dist::write_partial(path, partial);
+  const auto loaded = dist::read_partial(path);
+
+  EXPECT_EQ(loaded.shard_index, 1u);
+  EXPECT_EQ(loaded.shard_count, 2u);
+  EXPECT_EQ(loaded.expected_total_records, partial.expected_total_records);
+  EXPECT_EQ(loaded.meta.circuit_name, shard.meta.circuit_name);
+  EXPECT_EQ(loaded.meta.backend_name, shard.meta.backend_name);
+  EXPECT_EQ(loaded.meta.faultfree_qvf, shard.meta.faultfree_qvf);  // exact
+  EXPECT_EQ(loaded.meta.executions, shard.meta.executions);
+  ASSERT_EQ(loaded.points.size(), shard.points.size());
+  CampaignResult reconstructed;
+  reconstructed.meta = loaded.meta;
+  reconstructed.points = loaded.points;
+  reconstructed.records = loaded.records;
+  expect_same_records(reconstructed, shard);
+}
+
+TEST(PartialResult, ReadRejectsGarbage) {
+  TempDir dir("garbage");
+  const auto path = (dir.path / "bad.csv").string();
+  {
+    std::ofstream out(path);
+    out << "not,a,partial\n";
+  }
+  EXPECT_THROW((void)dist::read_partial(path), Error);
+}
+
+// ---- shard execution + merge equivalence -----------------------------------
+
+TEST(ShardMerge, OneTwoAndEightShardsMatchSingleProcessOnPaperCircuits) {
+  for (const char* name : {"bv", "dj", "qft"}) {
+    auto spec = quick_spec(name, 4);
+    spec.max_points = 6;  // keep the 3-circuit sweep quick
+    const auto single = run_single_fault_campaign(spec);
+    for (const std::uint32_t shards : {1u, 2u, 8u}) {
+      for (const auto policy :
+           {dist::ShardPolicy::PointCount, dist::ShardPolicy::CostWeighted}) {
+        const auto merged = run_sharded(spec, shards, policy);
+        EXPECT_EQ(merged.meta.executions, single.meta.executions);
+        EXPECT_EQ(merged.meta.faultfree_qvf, single.meta.faultfree_qvf);
+        expect_same_records(merged, single);
+      }
+    }
+  }
+}
+
+TEST(ShardMerge, TrajectoryShardsAreBitIdenticalUnderCommonRandomNumbers) {
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 4;
+  spec.shots = 64;
+  noise::BackendProperties device = noise::fake_casablanca();
+  backend::TrajectoryBackend be(noise::NoiseModel::from_backend(device));
+  spec.backend_override = &be;
+
+  const auto single = run_single_fault_campaign(spec);
+  const auto merged = run_sharded(spec, 2, dist::ShardPolicy::CostWeighted);
+  expect_same_records(merged, single);  // exact equality inside
+}
+
+TEST(ShardMerge, EmptyShardContributesNothingAndMergesCleanly) {
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 4;
+
+  const auto empty =
+      run_single_fault_campaign_subset(spec, std::span<const std::size_t>{});
+  EXPECT_TRUE(empty.records.empty());
+  EXPECT_EQ(empty.meta.executions, 0u);
+  EXPECT_EQ(empty.points.size(), 4u);  // full table still present
+
+  const auto single = run_single_fault_campaign(spec);
+  const std::size_t all[] = {0, 1, 2, 3};
+  const auto full = run_single_fault_campaign_subset(spec, all);
+  const CampaignResult shards[] = {empty, full};
+  const auto merged = dist::merge_shard_results(shards);
+  expect_same_records(merged, single);
+}
+
+TEST(ShardMerge, DuplicateShardOutputsAreIdempotent) {
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 4;
+  const std::size_t lo[] = {0, 1};
+  const std::size_t hi[] = {2, 3};
+  const auto a = run_single_fault_campaign_subset(spec, lo);
+  const auto b = run_single_fault_campaign_subset(spec, hi);
+  const auto b_retry = run_single_fault_campaign_subset(spec, hi);
+
+  const CampaignResult shards[] = {b, a, b_retry};  // arrival order scrambled
+  const auto merged = dist::merge_shard_results(shards);
+  const auto single = run_single_fault_campaign(spec);
+  expect_same_records(merged, single);
+}
+
+TEST(ShardMerge, CompletenessCheckCatchesMissingShard) {
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 4;
+  const std::size_t lo[] = {0, 1};
+  const auto a = run_single_fault_campaign_subset(spec, lo);
+  const CampaignResult shards[] = {a};
+  dist::MergeOptions options;
+  options.expected_records =
+      single_campaign_executions(a.points.size(), spec.grid);
+  EXPECT_THROW((void)dist::merge_shard_results(shards, options), Error);
+  options.allow_incomplete = true;
+  const auto partial_merge = dist::merge_shard_results(shards, options);
+  EXPECT_EQ(partial_merge.records.size(), a.records.size());
+}
+
+TEST(ShardMerge, DoubleFaultShardsMatchSingleProcess) {
+  auto spec = quick_spec("bv", 4);
+  spec.grid.theta_step_deg = 90.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.grid.phi_max_deg = 180.0;
+  spec.max_points = 4;
+
+  const auto single = run_double_fault_campaign(spec);
+  const auto plan = dist::plan_campaign_shards(spec, 3);
+  std::vector<CampaignResult> results;
+  for (const auto& shard : plan.shards) {
+    results.push_back(
+        run_double_fault_campaign_subset(spec, shard.point_indices));
+  }
+  const auto merged = dist::merge_shard_results(results);
+  EXPECT_EQ(merged.meta.executions, single.meta.executions);
+  expect_same_records(merged, single);
+}
+
+TEST(ShardRunner, ManifestExecutionMatchesDirectSubsetRun) {
+  TempDir dir("runner");
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 4;
+  const auto plan = dist::plan_campaign_shards(spec, 2);
+  const auto manifests = dist::make_manifests(
+      spec, "casablanca", dist::WorkerBackendKind::Density, plan, false);
+
+  std::vector<dist::PartialResult> parts;
+  for (const auto& manifest : manifests) {
+    dist::ShardRunOptions options;
+    options.snapshot_dir = (dir.path / "snaps").string();
+    options.threads = 2;
+    parts.push_back(dist::run_shard(manifest, options).partial);
+  }
+  const auto merged = dist::merge_partial_results(parts);
+  const auto single = run_single_fault_campaign(spec);
+  EXPECT_EQ(merged.meta.backend_name, single.meta.backend_name);
+  expect_same_records(merged, single);
+}
+
+}  // namespace
+}  // namespace qufi
