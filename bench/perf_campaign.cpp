@@ -8,11 +8,19 @@
 //   --no-batch       keep checkpointing but submit per-config run_suffix
 //                    jobs instead of one run_suffix_batch per injection
 //                    point — the batching baseline;
-//   --json           skip google-benchmark and instead time one campaign
-//                    per paper circuit (30-degree grid), printing one
-//                    machine-readable JSON line each:
+//   --no-tree        keep checkpointing and batching but disable the
+//                    prefix-tree engine (snapshot chains + deduplication +
+//                    the density suffix-response path) — the PR 2 flat
+//                    batch engine is the tree baseline;
+//   --json           skip google-benchmark and instead time one single- and
+//                    one double-fault campaign per paper circuit (30-degree
+//                    grid), printing one machine-readable JSON line each:
 //                      {"bench":"perf_campaign","circuit":"bv",
-//                       "mode":"batch","wall_ms":123.456,"executions":N}
+//                       "campaign":"single","mode":"tree","checkpoint":true,
+//                       "batch":true,"tree":true,"shards":1,
+//                       "wall_ms":123.456,"executions":N}
+//                    (the mode flags in effect always ride along, so bench
+//                    trajectories can distinguish engine configurations)
 //                    so BENCH_*.json files can track the perf trajectory;
 //   --shards N       (with --json) run each campaign through the sharded
 //                    path instead: plan N cost-weighted shards, execute
@@ -45,12 +53,14 @@ using namespace qufi;
 
 bool g_use_checkpoints = true;
 bool g_use_batch = true;
+bool g_use_tree = true;
 unsigned g_shards = 1;
 
 std::string mode_label() {
   if (g_shards > 1) return "shards" + std::to_string(g_shards);
   if (!g_use_checkpoints) return "no-checkpoint";
-  return g_use_batch ? "batch" : "no-batch";
+  if (!g_use_batch) return "no-batch";
+  return g_use_tree ? "tree" : "no-tree";
 }
 
 CampaignSpec small_spec() {
@@ -63,6 +73,7 @@ CampaignSpec small_spec() {
   spec.threads = 2;
   spec.use_checkpoints = g_use_checkpoints;
   spec.use_batch = g_use_batch;
+  spec.use_tree = g_use_tree;
   return spec;
 }
 
@@ -77,13 +88,17 @@ CampaignSpec paper_spec_30deg(const std::string& name, int width) {
   spec.grid.phi_step_deg = 30.0;
   spec.use_checkpoints = g_use_checkpoints;
   spec.use_batch = g_use_batch;
+  spec.use_tree = g_use_tree;
   return spec;
 }
 
 /// The sharded execution path: plan -> one isolated subset campaign per
 /// shard (own thread, own transpile + backend, like a worker process) ->
-/// deterministic merge. Returns the merged result.
-CampaignResult run_sharded(const CampaignSpec& spec, unsigned num_shards) {
+/// deterministic merge. Returns the merged result; handles both the
+/// single- and double-fault campaigns so every --json line labeled
+/// "shardsN" really went through plan -> shards -> merge.
+CampaignResult run_sharded(const CampaignSpec& spec, unsigned num_shards,
+                           bool double_fault) {
   const auto plan = dist::plan_campaign_shards(spec, num_shards);
   std::vector<CampaignResult> shard_results(plan.shards.size());
   std::vector<std::thread> workers;
@@ -94,20 +109,41 @@ CampaignResult run_sharded(const CampaignSpec& spec, unsigned num_shards) {
       CampaignSpec shard_spec = spec;
       // Split the machine across concurrent shard workers.
       shard_spec.threads = static_cast<int>(std::max(1u, hw / num_shards));
-      shard_results[k] = run_single_fault_campaign_subset(
-          shard_spec, plan.shards[k].point_indices);
+      shard_results[k] =
+          double_fault ? run_double_fault_campaign_subset(
+                             shard_spec, plan.shards[k].point_indices)
+                       : run_single_fault_campaign_subset(
+                             shard_spec, plan.shards[k].point_indices);
     });
   }
   for (auto& w : workers) w.join();
   dist::MergeOptions merge_options;
-  merge_options.expected_records = single_campaign_executions(
-      shard_results[0].points.size(), spec.grid);
+  merge_options.expected_records =
+      double_fault ? double_campaign_executions(
+                         campaign_point_neighbor_pairs(spec).size(), spec.grid)
+                   : single_campaign_executions(
+                         shard_results[0].points.size(), spec.grid);
   return dist::merge_shard_results(shard_results, merge_options);
 }
 
-/// Direct timing mode for perf tracking: runs the acceptance workload once
-/// per paper circuit (after one untimed warm-up of the smallest) and emits
-/// one JSON line per circuit on stdout.
+void print_json_line(const char* circuit, const char* campaign,
+                     double wall_ms, std::uint64_t executions) {
+  std::printf(
+      "{\"bench\":\"perf_campaign\",\"circuit\":\"%s\","
+      "\"campaign\":\"%s\",\"mode\":\"%s\","
+      "\"checkpoint\":%s,\"batch\":%s,\"tree\":%s,\"shards\":%u,"
+      "\"wall_ms\":%.3f,\"executions\":%llu}\n",
+      circuit, campaign, mode_label().c_str(),
+      g_use_checkpoints ? "true" : "false", g_use_batch ? "true" : "false",
+      g_use_tree ? "true" : "false", g_shards, wall_ms,
+      static_cast<unsigned long long>(executions));
+}
+
+/// Direct timing mode for perf tracking: runs the acceptance workloads once
+/// per paper circuit (after one untimed warm-up of the smallest) — the
+/// single-fault sweep and the double-fault primary x secondary sweep, both
+/// at the 30-degree grid — and emits one JSON line per (circuit, campaign)
+/// on stdout.
 int run_json_summary() {
   static const char* kNames[] = {"bv", "dj", "qft"};
   {
@@ -119,17 +155,30 @@ int run_json_summary() {
     auto spec = paper_spec_30deg(name, 4);
     spec.max_points = 8;
     const auto start = std::chrono::steady_clock::now();
-    const auto result = g_shards > 1 ? run_sharded(spec, g_shards)
-                                     : run_single_fault_campaign(spec);
+    const auto result = g_shards > 1
+                            ? run_sharded(spec, g_shards, /*double_fault=*/false)
+                            : run_single_fault_campaign(spec);
     const double wall_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count();
-    std::printf(
-        "{\"bench\":\"perf_campaign\",\"circuit\":\"%s\",\"mode\":\"%s\","
-        "\"wall_ms\":%.3f,\"executions\":%llu}\n",
-        name, mode_label().c_str(), wall_ms,
-        static_cast<unsigned long long>(result.meta.executions));
+    print_json_line(name, "single", wall_ms, result.meta.executions);
+  }
+  for (const char* name : kNames) {
+    // Double faults square the per-point grid (every theta1 <= theta0,
+    // phi1 <= phi0 on every coupled neighbor), so fewer points keep the
+    // bench in seconds while the per-point sweep stays the dominant cost.
+    auto spec = paper_spec_30deg(name, 4);
+    spec.max_points = 4;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = g_shards > 1
+                            ? run_sharded(spec, g_shards, /*double_fault=*/true)
+                            : run_double_fault_campaign(spec);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    print_json_line(name, "double", wall_ms, result.meta.executions);
   }
   return 0;
 }
@@ -218,10 +267,29 @@ int main(int argc, char** argv) {
   bool json_summary = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "perf_campaign: campaign-throughput benchmarks (google-benchmark "
+          "suite or --json one-shot timing)\n"
+          "execution-mode flags:\n"
+          "  --no-checkpoint  full re-simulation per config (PR 1 baseline)\n"
+          "  --no-batch       checkpointed, per-config run_suffix jobs "
+          "(batching baseline)\n"
+          "  --no-tree        checkpointed + batched, prefix-tree engine "
+          "disabled (tree baseline)\n"
+          "  --json           print one JSON line per (circuit, campaign) "
+          "with the mode flags in effect\n"
+          "  --shards N       (with --json) time the plan -> N concurrent "
+          "shards -> merge path\n"
+          "any other flags are forwarded to google-benchmark.\n");
+      return 0;
+    }
     if (std::strcmp(argv[i], "--no-checkpoint") == 0) {
       g_use_checkpoints = false;
     } else if (std::strcmp(argv[i], "--no-batch") == 0) {
       g_use_batch = false;
+    } else if (std::strcmp(argv[i], "--no-tree") == 0) {
+      g_use_tree = false;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_summary = true;
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {

@@ -35,6 +35,7 @@ struct CliOptions {
   std::uint64_t seed = 0x51754649;
   std::size_t points = 0;
   bool double_faults = false;
+  bool use_tree = true;
   std::string csv_path;
 };
 
@@ -52,6 +53,7 @@ struct CliOptions {
       "  --seed N          campaign seed\n"
       "  --points N        cap injection points (0 = all)\n"
       "  --double          run the double-fault campaign\n"
+      "  --no-tree         disable the prefix-tree engine (flat batch baseline)\n"
       "  --csv PATH        write per-record CSV\n",
       argv0);
   std::exit(2);
@@ -76,6 +78,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--seed") options.seed = std::stoull(value());
     else if (arg == "--points") options.points = std::stoull(value());
     else if (arg == "--double") options.double_faults = true;
+    else if (arg == "--no-tree") options.use_tree = false;
     else if (arg == "--csv") options.csv_path = value();
     else usage(argv[0]);
   }
@@ -113,6 +116,7 @@ int main(int argc, char** argv) {
     spec.shots = options.shots;
     spec.seed = options.seed;
     spec.max_points = options.points;
+    spec.use_tree = options.use_tree;
 
     const auto result = options.double_faults
                             ? run_double_fault_campaign(spec)

@@ -36,6 +36,7 @@ struct CliOptions {
   std::uint64_t seed = 0x51754649;
   std::size_t points = 0;
   bool double_faults = false;
+  bool use_tree = true;
   std::uint32_t shards = 2;
   std::string policy = "cost";
   std::string backend_kind = "density";
@@ -56,8 +57,9 @@ struct CliOptions {
       "  --seed N            campaign seed\n"
       "  --points N          cap injection points (0 = all)\n"
       "  --double            plan the double-fault campaign\n"
+      "  --no-tree           stamp manifests with the flat (non-tree) engine\n"
       "  --shards N          number of shards                  (default 2)\n"
-      "  --policy NAME       cost | points                     (default cost)\n"
+      "  --policy NAME       cost | points | tree              (default cost)\n"
       "  --backend-kind NAME density | trajectory              (default density)\n"
       "  --out-dir DIR       where shard_NNN.manifest files go (default .)\n",
       argv0);
@@ -83,6 +85,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--seed") options.seed = std::stoull(value());
     else if (arg == "--points") options.points = std::stoull(value());
     else if (arg == "--double") options.double_faults = true;
+    else if (arg == "--no-tree") options.use_tree = false;
     else if (arg == "--shards")
       options.shards = static_cast<std::uint32_t>(std::stoul(value()));
     else if (arg == "--policy") options.policy = value();
@@ -123,10 +126,12 @@ int main(int argc, char** argv) {
     spec.shots = options.shots;
     spec.seed = options.seed;
     spec.max_points = options.points;
+    spec.use_tree = options.use_tree;
 
     dist::ShardPolicy policy;
     if (options.policy == "cost") policy = dist::ShardPolicy::CostWeighted;
     else if (options.policy == "points") policy = dist::ShardPolicy::PointCount;
+    else if (options.policy == "tree") policy = dist::ShardPolicy::TreeAware;
     else throw Error("unknown policy: " + options.policy);
 
     dist::WorkerBackendKind kind;

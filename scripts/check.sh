@@ -11,7 +11,7 @@ cmake --build build -j
 
 # ---- docs target ------------------------------------------------------------
 status=0
-for doc in README.md docs/ARCHITECTURE.md docs/SHARDING.md docs/SNAPSHOT_FORMAT.md; do
+for doc in README.md docs/ARCHITECTURE.md docs/CAMPAIGNS.md docs/SHARDING.md docs/SNAPSHOT_FORMAT.md; do
   if [[ ! -f "$doc" ]]; then
     echo "docs check FAILED: $doc is missing" >&2
     status=1
@@ -37,10 +37,32 @@ if [[ -f README.md ]]; then
   fi
 fi
 
+# Every flag the README's "Performance modes" table advertises must exist
+# in perf_campaign --help, so the docs can never drift from the bench.
+flag_count=0
+if [[ -x build/perf_campaign ]]; then
+  perf_help="$(./build/perf_campaign --help)"
+  while IFS= read -r flag; do
+    flag_count=$((flag_count + 1))
+    if ! grep -qF -- "$flag" <<< "$perf_help"; then
+      echo "docs check FAILED: README performance mode $flag missing from perf_campaign --help" >&2
+      status=1
+    fi
+  done < <(sed -n '/^## Performance modes/,/^## /p' README.md |
+    grep -oE '`--[a-z-]+' | tr -d '\`' | sort -u)
+  if [[ $flag_count -eq 0 ]]; then
+    echo "docs check FAILED: README lists no performance-mode flags" >&2
+    status=1
+  fi
+else
+  echo "docs check FAILED: build/perf_campaign missing (needed for the flags check)" >&2
+  status=1
+fi
+
 if [[ $status -ne 0 ]]; then
   exit $status
 fi
-echo "docs check OK (README.md, docs/{ARCHITECTURE,SHARDING,SNAPSHOT_FORMAT}.md, $bench_count bench executables)"
+echo "docs check OK (README.md, docs/{ARCHITECTURE,CAMPAIGNS,SHARDING,SNAPSHOT_FORMAT}.md, $bench_count bench executables, $flag_count perf flags)"
 
 # ---- sharding smoke ----------------------------------------------------------
 # Drive the distribution layer end to end through its real CLIs — plan two
@@ -66,3 +88,26 @@ if ! diff -q "$smoke_dir/merged.csv" "$smoke_dir/single.csv" > /dev/null; then
   exit 1
 fi
 echo "sharding smoke OK (2-shard plan -> worker -> merge == single-process)"
+
+# Same contract for the double-fault campaign through the tree engine and
+# the tree-aware shard policy: the full primary x secondary grid, planned
+# as two shards (one resuming serialized snapshots), must merge
+# byte-identically to the single-process qufi_cli run.
+./build/qufi_shard_plan --circuit bv --width 4 --double --theta-step 60 \
+  --phi-step 90 --points 4 --shards 2 --policy tree \
+  --out-dir "$smoke_dir/double" > /dev/null
+./build/qufi_shard_worker --manifest "$smoke_dir/double/shard_000.manifest" \
+  --out "$smoke_dir/double/part_000.csv" \
+  --snapshot-dir "$smoke_dir/double/snaps" > /dev/null
+./build/qufi_shard_worker --manifest "$smoke_dir/double/shard_001.manifest" \
+  --out "$smoke_dir/double/part_001.csv" > /dev/null
+./build/qufi_shard_merge --out "$smoke_dir/double/merged.csv" \
+  "$smoke_dir/double/part_001.csv" "$smoke_dir/double/part_000.csv" > /dev/null
+./build/qufi_cli --circuit bv --width 4 --double --theta-step 60 \
+  --phi-step 90 --points 4 --csv "$smoke_dir/double/single.csv" > /dev/null
+if ! diff -q "$smoke_dir/double/merged.csv" "$smoke_dir/double/single.csv" > /dev/null; then
+  echo "double-fault smoke FAILED: merged shard CSV differs from single-process CSV" >&2
+  diff "$smoke_dir/double/merged.csv" "$smoke_dir/double/single.csv" | head -5 >&2
+  exit 1
+fi
+echo "double-fault smoke OK (tree-policy 2-shard merge == single-process)"

@@ -12,7 +12,7 @@ class SpliceSnapshot final : public PrefixSnapshot {
   SpliceSnapshot(circ::QuantumCircuit circuit, std::size_t prefix_length)
       : PrefixSnapshot(prefix_length), circuit_(std::move(circuit)) {}
 
-  const circ::QuantumCircuit& circuit() const { return circuit_; }
+  const circ::QuantumCircuit* circuit() const override { return &circuit_; }
 
  private:
   circ::QuantumCircuit circuit_;
@@ -54,9 +54,26 @@ ExecutionResult Backend::run_suffix(const PrefixSnapshot& snapshot,
   const auto* splice = dynamic_cast<const SpliceSnapshot*>(&snapshot);
   require(splice != nullptr,
           "run_suffix: snapshot was not produced by this backend");
-  return run(splice_circuit(splice->circuit(), splice->prefix_length(),
+  return run(splice_circuit(*splice->circuit(), splice->prefix_length(),
                             injected),
              shots, seed);
+}
+
+PrefixSnapshotPtr Backend::extend_snapshot(const PrefixSnapshot& parent,
+                                           std::size_t from_gate,
+                                           std::size_t to_gate,
+                                           std::uint64_t /*shots_hint*/,
+                                           std::uint64_t /*snapshot_seed*/) {
+  const auto* splice = dynamic_cast<const SpliceSnapshot*>(&parent);
+  require(splice != nullptr,
+          "extend_snapshot: snapshot was not produced by this backend");
+  require(from_gate == parent.prefix_length(),
+          "extend_snapshot: from_gate does not match the parent prefix");
+  require(to_gate >= from_gate,
+          "extend_snapshot: cannot extend a snapshot backwards");
+  require(to_gate <= splice->circuit()->size(),
+          "extend_snapshot: to_gate exceeds circuit size");
+  return std::make_shared<SpliceSnapshot>(*splice->circuit(), to_gate);
 }
 
 bool Backend::save_snapshot(const PrefixSnapshot& /*snapshot*/,

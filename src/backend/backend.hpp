@@ -28,6 +28,14 @@ class PrefixSnapshot {
   ///         remaining instructions).
   std::size_t prefix_length() const { return prefix_length_; }
 
+  /// \return The circuit this snapshot was prepared over, or nullptr when
+  ///         the snapshot kind does not retain it. All bundled snapshot
+  ///         kinds (splice, density, trajectory) return non-null; the
+  ///         accessor lets decorators (e.g. the dist snapshot cache) key
+  ///         derived snapshots without widening extend_snapshot's
+  ///         signature.
+  virtual const circ::QuantumCircuit* circuit() const { return nullptr; }
+
  protected:
   explicit PrefixSnapshot(std::size_t prefix_length)
       : prefix_length_(prefix_length) {}
@@ -109,6 +117,36 @@ class Backend {
                                            std::size_t prefix_length,
                                            std::uint64_t shots_hint = 0,
                                            std::uint64_t snapshot_seed = 0);
+
+  /// Derives a deeper snapshot from an existing one: advances `parent`
+  /// through circuit instructions [from_gate, to_gate) instead of
+  /// re-evolving from the initial state — the prefix-tree primitive that
+  /// lets a campaign's nested split points share prefix work (the child of
+  /// a snapshot at gate a is the snapshot at gate b > a).
+  ///
+  /// Equivalence contract: the returned snapshot is bit-identical to
+  /// prepare_prefix(circuit, to_gate, shots_hint, snapshot_seed) — the
+  /// density backend replays the same operation sequence on the parent's
+  /// state, and the trajectory backend resumes each cached shot's stored
+  /// RNG stream — so results are independent of the tree shape (chain
+  /// depth, skipped intermediate splits, sharding of the point set).
+  ///
+  /// \param parent        Snapshot produced by prepare_prefix or
+  ///                      extend_snapshot on this backend.
+  /// \param from_gate     Must equal parent.prefix_length() (validated;
+  ///                      spelled out so call sites document their chain).
+  /// \param to_gate       New prefix length, in [from_gate, circuit size].
+  /// \param shots_hint    As in prepare_prefix; backends whose snapshots
+  ///                      carry their sampling state ignore it.
+  /// \param snapshot_seed As in prepare_prefix; same note.
+  /// \return An immutable, thread-shareable snapshot at to_gate. The base
+  ///         implementation advances the splice fallback (no simulator
+  ///         state to reuse, still exact).
+  virtual PrefixSnapshotPtr extend_snapshot(const PrefixSnapshot& parent,
+                                            std::size_t from_gate,
+                                            std::size_t to_gate,
+                                            std::uint64_t shots_hint = 0,
+                                            std::uint64_t snapshot_seed = 0);
 
   /// Resumes from `snapshot`: executes the `injected` gates (all unitary),
   /// then the remaining instructions of the snapshot's circuit, and

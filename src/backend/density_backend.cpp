@@ -1,6 +1,8 @@
 #include "backend/density_backend.hpp"
 
 #include <algorithm>
+#include <complex>
+#include <memory>
 #include <mutex>
 
 #include "backend/snapshot_io.hpp"
@@ -371,6 +373,68 @@ void replay_suffix(sim::DensityMatrix& dm, std::span<const BakedOp> ops) {
   }
 }
 
+/// Complex analogue of resolve_probs for the response basis: basis matrices
+/// are not Hermitian, so their diagonals (and hence their "probabilities")
+/// are complex; the imaginary parts cancel when configs recombine them.
+/// The readout confusion map is real-linear, so it applies to the real and
+/// imaginary parts independently.
+std::vector<std::complex<double>> resolve_probs_complex(
+    const sim::DensityMatrix& dm, const MeasurementResolver& res) {
+  const std::uint64_t dim = dm.dim();
+  const auto raw = dm.raw();
+  const std::size_t num_outcomes = std::size_t{1} << res.num_clbits;
+  std::vector<std::complex<double>> clbit_probs(num_outcomes, 0.0);
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    const sim::cplx diag = raw[i * dim + i];
+    if (diag == sim::cplx{}) continue;
+    std::uint64_t j = 0;
+    for (int c = 0; c < res.num_clbits; ++c) {
+      const int q = res.clbit_source_compact[static_cast<std::size_t>(c)];
+      if (q >= 0 && ((i >> q) & 1ULL)) j |= 1ULL << c;
+    }
+    clbit_probs[j] += diag;
+  }
+  if (res.apply_readout) {
+    std::vector<double> re(num_outcomes), im(num_outcomes);
+    for (std::size_t o = 0; o < num_outcomes; ++o) {
+      re[o] = clbit_probs[o].real();
+      im[o] = clbit_probs[o].imag();
+    }
+    noise::apply_readout_error(re, res.measured_clbits, res.readout_errors);
+    noise::apply_readout_error(im, res.measured_clbits, res.readout_errors);
+    for (std::size_t o = 0; o < num_outcomes; ++o) {
+      clbit_probs[o] = {re[o], im[o]};
+    }
+  }
+  return clbit_probs;
+}
+
+/// The suffix pipeline of a snapshot, compiled into a linear-response basis
+/// over the fault slot — the deepest level of the prefix tree, where the
+/// injection site itself becomes a split point shared by the whole grid.
+///
+/// Everything a batched config executes after its injected gates is one
+/// fixed linear map L on density matrices (suffix superoperators, diagonal
+/// extraction, readout confusion). A config only perturbs the k injected
+/// qubits (k = 1 or 2), so its post-injection state decomposes over m^4
+/// slot basis matrices (m = 2^k):
+///
+///   rho' = sum_{a,b,c,d} Phi(|c><d|)_{ab} * B_{ab,cd},
+///   B_{ab,cd} = |a><b|_slot (x) rho0_slice(c,d),
+///
+/// where Phi is the config's slot channel (its injected unitaries composed
+/// with their noise channels). Precomputing the m^4 responses L(B) per
+/// snapshot turns each config into a 4^k-qubit channel build plus one
+/// m^4 x 2^nc weighted sum — replacing a full suffix replay. The responses
+/// are complex (the basis matrices are not Hermitian); imaginary parts
+/// cancel in the weighted sum.
+struct SuffixResponseBasis {
+  std::vector<int> targets;  ///< compact qubit indices, ascending (size 1-2)
+  /// Response vectors, indexed [((a*m + b)*m + c)*m + d] * num_outcomes + o.
+  std::vector<std::complex<double>> responses;
+  std::size_t num_outcomes = 0;
+};
+
 /// Density-matrix state captured after a circuit prefix, together with the
 /// compaction maps, the circuit whose suffix run_suffix will replay, and a
 /// lazily-built cache of the compiled suffix program so every batch chunk
@@ -386,7 +450,7 @@ class DensitySnapshot final : public PrefixSnapshot {
 
   const sim::DensityMatrix& dm() const { return dm_; }
   const Compaction& compaction() const { return compaction_; }
-  const circ::QuantumCircuit& circuit() const { return circuit_; }
+  const circ::QuantumCircuit* circuit() const override { return &circuit_; }
 
   /// The fused suffix program plus the terminal-measurement resolver,
   /// compiled on first use and cached. Thread-safe: snapshots are shared
@@ -406,13 +470,133 @@ class DensitySnapshot final : public PrefixSnapshot {
     return compiled_;
   }
 
+  /// Cached response basis per target-qubit set, built on first use by
+  /// `build` under the snapshot's lock. Chunked submissions against one
+  /// snapshot share the basis, so per-config results are independent of
+  /// batch granularity (the shard byte-identity contract).
+  template <typename BuildFn>
+  const SuffixResponseBasis& response_basis(const std::vector<int>& targets,
+                                            BuildFn&& build) const {
+    std::lock_guard<std::mutex> lock(response_mutex_);
+    for (const auto& basis : response_bases_) {
+      if (basis->targets == targets) return *basis;
+    }
+    response_bases_.push_back(
+        std::make_unique<SuffixResponseBasis>(build(targets)));
+    return *response_bases_.back();
+  }
+
  private:
   sim::DensityMatrix dm_;
   Compaction compaction_;
   circ::QuantumCircuit circuit_;
   mutable std::once_flag compile_once_;
   mutable CompiledSuffix compiled_;
+  mutable std::mutex response_mutex_;
+  mutable std::vector<std::unique_ptr<SuffixResponseBasis>> response_bases_;
 };
+
+/// Builds the m^4 basis responses for one target set: each slot matrix unit
+/// placement B_{ab,cd} (the |a><b| slot block filled with the snapshot's
+/// (c,d) slice) is replayed through the compiled suffix and resolved. One
+/// replay per basis element, amortized over every config that shares the
+/// targets.
+SuffixResponseBasis build_response_basis(
+    const DensitySnapshot& snap, const std::vector<int>& targets,
+    const DensitySnapshot::CompiledSuffix& compiled) {
+  const int k = static_cast<int>(targets.size());
+  const std::uint64_t m = std::uint64_t{1} << k;
+  const sim::DensityMatrix& rho0 = snap.dm();
+  const std::uint64_t dim = rho0.dim();
+  const auto raw0 = rho0.raw();
+
+  // spread[x]: slot label bits placed at their compact qubit positions;
+  // rests: every full index whose target bits are all zero.
+  std::vector<std::uint64_t> spread(m, 0);
+  for (std::uint64_t x = 0; x < m; ++x) {
+    for (int j = 0; j < k; ++j) {
+      if ((x >> j) & 1ULL) spread[x] |= std::uint64_t{1} << targets[j];
+    }
+  }
+  std::uint64_t target_mask = 0;
+  for (const int t : targets) target_mask |= std::uint64_t{1} << t;
+  std::vector<std::uint64_t> rests;
+  rests.reserve(dim >> k);
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    if ((i & target_mask) == 0) rests.push_back(i);
+  }
+
+  SuffixResponseBasis basis;
+  basis.targets = targets;
+  basis.num_outcomes = std::size_t{1} << compiled.resolver.num_clbits;
+  basis.responses.resize(m * m * m * m * basis.num_outcomes);
+  for (std::uint64_t a = 0; a < m; ++a) {
+    for (std::uint64_t b = 0; b < m; ++b) {
+      for (std::uint64_t c = 0; c < m; ++c) {
+        for (std::uint64_t d = 0; d < m; ++d) {
+          std::vector<sim::cplx> rawb(dim * dim, sim::cplx{});
+          for (const std::uint64_t ri : rests) {
+            const std::uint64_t row = (ri | spread[a]) * dim + spread[b];
+            const std::uint64_t src = (ri | spread[c]) * dim + spread[d];
+            for (const std::uint64_t si : rests) {
+              rawb[row + si] = raw0[src + si];
+            }
+          }
+          sim::DensityMatrix basis_dm = sim::DensityMatrix::from_raw(
+              rho0.num_qubits(), std::move(rawb));
+          replay_suffix(basis_dm, compiled.ops);
+          const auto response =
+              resolve_probs_complex(basis_dm, compiled.resolver);
+          const std::uint64_t beta = ((a * m + b) * m + c) * m + d;
+          std::copy(response.begin(), response.end(),
+                    basis.responses.begin() +
+                        static_cast<std::ptrdiff_t>(beta * basis.num_outcomes));
+        }
+      }
+    }
+  }
+  return basis;
+}
+
+/// Weights of one config over a response basis: W_beta = Phi(|c><d|)[a][b],
+/// where Phi is the config's slot channel — its injected unitaries composed
+/// with the same per-qubit noise channels the replay path applies. Computed
+/// by evolving each slot matrix unit through a tiny k-qubit density matrix
+/// with the same kernels, so the channel semantics match execute() exactly.
+std::vector<std::complex<double>> slot_channel_weights(
+    std::span<const Instruction> injected, const std::vector<int>& targets,
+    const std::vector<int>& to_compact, const noise::NoiseModel& nm) {
+  const int k = static_cast<int>(targets.size());
+  const std::uint64_t m = std::uint64_t{1} << k;
+  std::vector<std::complex<double>> weights(m * m * m * m);
+  for (std::uint64_t c = 0; c < m; ++c) {
+    for (std::uint64_t d = 0; d < m; ++d) {
+      std::vector<sim::cplx> raw(m * m, sim::cplx{});
+      raw[c * m + d] = 1.0;
+      sim::DensityMatrix tiny = sim::DensityMatrix::from_raw(k, std::move(raw));
+      for (const Instruction& instr : injected) {
+        const int compact =
+            to_compact[static_cast<std::size_t>(instr.qubits[0])];
+        int slot = 0;
+        while (targets[static_cast<std::size_t>(slot)] != compact) ++slot;
+        tiny.apply_unitary1(circ::gate_matrix1(instr.kind, instr.params),
+                            slot);
+        if (!nm.is_ideal()) {
+          if (const auto* superop =
+                  nm.superop_after_1q(instr.kind, instr.qubits[0])) {
+            tiny.apply_superop1(*superop, slot);
+          }
+        }
+      }
+      for (std::uint64_t a = 0; a < m; ++a) {
+        for (std::uint64_t b = 0; b < m; ++b) {
+          weights[((a * m + b) * m + c) * m + d] = tiny.at(a, b);
+        }
+      }
+    }
+  }
+  return weights;
+}
 
 }  // namespace
 
@@ -519,6 +703,32 @@ PrefixSnapshotPtr DensityMatrixBackend::prepare_prefix(
                                            prefix_length);
 }
 
+PrefixSnapshotPtr DensityMatrixBackend::extend_snapshot(
+    const PrefixSnapshot& parent, std::size_t from_gate, std::size_t to_gate,
+    std::uint64_t shots_hint, std::uint64_t snapshot_seed) {
+  const auto* snap = dynamic_cast<const DensitySnapshot*>(&parent);
+  if (!snap) {
+    return Backend::extend_snapshot(parent, from_gate, to_gate, shots_hint,
+                                    snapshot_seed);
+  }
+  const circ::QuantumCircuit& circuit = *snap->circuit();
+  require(from_gate == parent.prefix_length(),
+          "extend_snapshot: from_gate does not match the parent prefix");
+  require(to_gate >= from_gate,
+          "extend_snapshot: cannot extend a snapshot backwards");
+  require(to_gate <= circuit.size(),
+          "extend_snapshot: to_gate exceeds circuit size");
+
+  const DensityRunOptions options{};
+  DensityExecutor exec{snap->dm().clone(), noise_model_, options,
+                       snap->compaction().to_compact};
+  const auto& instrs = circuit.instructions();
+  for (std::size_t i = from_gate; i < to_gate; ++i) exec.execute(instrs[i]);
+  return std::make_shared<DensitySnapshot>(std::move(exec.dm),
+                                           snap->compaction(), circuit,
+                                           to_gate);
+}
+
 ExecutionResult DensityMatrixBackend::run_suffix(
     const PrefixSnapshot& snapshot,
     std::span<const circ::Instruction> injected, std::uint64_t shots,
@@ -526,7 +736,7 @@ ExecutionResult DensityMatrixBackend::run_suffix(
   const auto* snap = dynamic_cast<const DensitySnapshot*>(&snapshot);
   if (!snap) return Backend::run_suffix(snapshot, injected, shots, seed);
 
-  const circ::QuantumCircuit& circuit = snap->circuit();
+  const circ::QuantumCircuit& circuit = *snap->circuit();
   for (const auto& instr : injected) {
     require(instr.is_unitary(), "run_suffix: injected gate not unitary");
     for (int q : instr.qubits) {
@@ -561,7 +771,7 @@ bool DensityMatrixBackend::save_snapshot(const PrefixSnapshot& snapshot,
   if (!snap) return false;
 
   util::ByteWriter payload;
-  snapio::write_circuit(payload, snap->circuit());
+  snapio::write_circuit(payload, *snap->circuit());
   payload.u64(snap->prefix_length());
   const sim::DensityMatrix& dm = snap->dm();
   payload.u32(static_cast<std::uint32_t>(dm.num_qubits()));
@@ -615,7 +825,7 @@ std::vector<ExecutionResult> DensityMatrixBackend::run_suffix_batch(
   if (!snap) return Backend::run_suffix_batch(snapshot, configs, shots);
   if (configs.empty()) return {};
 
-  const circ::QuantumCircuit& circuit = snap->circuit();
+  const circ::QuantumCircuit& circuit = *snap->circuit();
   const std::vector<int>& to_compact = snap->compaction().to_compact;
 
   // Validate every config up front; configs whose fault touches a qubit
@@ -642,28 +852,105 @@ std::vector<ExecutionResult> DensityMatrixBackend::run_suffix_batch(
       snap->compiled_suffix(noise_model_);
   const std::string backend_name = name();
 
+  // Suffix-response grouping (the injection-site level of the prefix tree):
+  // configs whose injected gates are all single-qubit and touch at most two
+  // compact qubits share one m^4 basis of suffix responses; when enough of
+  // them share a target set, each is evaluated as a weighted basis sum
+  // instead of a full suffix replay. Everything else (small groups, splice
+  // fallbacks, exotic injections) takes the replay path below.
+  struct ResponseGroup {
+    std::vector<int> targets;
+    std::vector<std::size_t> config_indices;
+  };
+  std::vector<ResponseGroup> groups;
+  std::vector<std::ptrdiff_t> group_of(configs.size(), -1);
+  if (suffix_response_enabled_) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      if (needs_splice[c] || configs[c].injected.empty()) continue;
+      std::vector<int> targets;
+      bool eligible = true;
+      for (const auto& instr : configs[c].injected) {
+        if (circ::gate_info(instr.kind).num_qubits != 1) {
+          eligible = false;
+          break;
+        }
+        const int q = to_compact[static_cast<std::size_t>(instr.qubits[0])];
+        if (std::find(targets.begin(), targets.end(), q) == targets.end()) {
+          targets.push_back(q);
+        }
+      }
+      if (!eligible || targets.size() > 2) continue;
+      std::sort(targets.begin(), targets.end());
+      auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
+        return g.targets == targets;
+      });
+      if (it == groups.end()) {
+        groups.push_back(ResponseGroup{std::move(targets), {}});
+        it = groups.end() - 1;
+      }
+      it->config_indices.push_back(c);
+      group_of[c] = it - groups.begin();
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const std::size_t threshold = groups[g].targets.size() == 1
+                                        ? kResponseMinConfigs1q
+                                        : kResponseMinConfigs2q;
+      if (groups[g].config_indices.size() < threshold) {
+        for (const std::size_t c : groups[g].config_indices) group_of[c] = -1;
+        groups[g].config_indices.clear();  // below break-even: replay path
+      }
+    }
+  }
+
   const DensityRunOptions options{};
   // The scratch starts empty (cheap |0><0| init, no snapshot copy) and is
   // re-filled from the snapshot per config below.
   DensityExecutor exec{sim::DensityMatrix(snap->dm().num_qubits()),
                        noise_model_, options, to_compact};
 
-  std::vector<ExecutionResult> results;
-  results.reserve(configs.size());
+  std::vector<ExecutionResult> results(configs.size());
   for (std::size_t c = 0; c < configs.size(); ++c) {
     const SuffixConfig& config = configs[c];
     if (needs_splice[c]) {
-      results.push_back(
+      results[c] =
           run(splice_circuit(circuit, snap->prefix_length(), config.injected),
-              shots, config.seed));
+              shots, config.seed);
+      continue;
+    }
+    if (group_of[c] >= 0) {
+      const ResponseGroup& group = groups[static_cast<std::size_t>(group_of[c])];
+      const SuffixResponseBasis& basis = snap->response_basis(
+          group.targets, [&](const std::vector<int>& targets) {
+            return build_response_basis(*snap, targets, compiled);
+          });
+      const auto weights = slot_channel_weights(config.injected, group.targets,
+                                                to_compact, noise_model_);
+      std::vector<std::complex<double>> acc(basis.num_outcomes, 0.0);
+      for (std::size_t beta = 0; beta < weights.size(); ++beta) {
+        const std::complex<double> w = weights[beta];
+        if (w == std::complex<double>{}) continue;
+        const auto* response = &basis.responses[beta * basis.num_outcomes];
+        for (std::size_t o = 0; o < basis.num_outcomes; ++o) {
+          acc[o] += w * response[o];
+        }
+      }
+      // Imaginary parts cancel analytically; rounding can leave a state
+      // with probability ~ -1e-16, which samplers must never see.
+      std::vector<double> probs(basis.num_outcomes);
+      for (std::size_t o = 0; o < basis.num_outcomes; ++o) {
+        probs[o] = std::max(0.0, acc[o].real());
+      }
+      results[c] = ExecutionResult::from_distribution(
+          std::move(probs), circuit.num_clbits(), shots, config.seed,
+          backend_name);
       continue;
     }
     exec.dm = snap->dm();
     for (const auto& instr : config.injected) exec.execute(instr);
     replay_suffix(exec.dm, compiled.ops);
-    results.push_back(ExecutionResult::from_distribution(
+    results[c] = ExecutionResult::from_distribution(
         resolve_probs(exec.dm, compiled.resolver), circuit.num_clbits(),
-        shots, config.seed, backend_name));
+        shots, config.seed, backend_name);
   }
   return results;
 }

@@ -51,6 +51,18 @@ class DensityMatrixBackend : public Backend {
                                    std::uint64_t shots_hint = 0,
                                    std::uint64_t snapshot_seed = 0) override;
 
+  /// Advances the parent's evolved density matrix through instructions
+  /// [from_gate, to_gate) — the same operation sequence a from-scratch
+  /// prepare_prefix(circuit, to_gate) would run on that state, so the
+  /// derived snapshot is bit-identical to the from-scratch one regardless
+  /// of how many chain hops produced it. Falls back to the base splice
+  /// extension when checkpointing is off (idle_noise) or the parent is a
+  /// fallback snapshot.
+  PrefixSnapshotPtr extend_snapshot(const PrefixSnapshot& parent,
+                                    std::size_t from_gate, std::size_t to_gate,
+                                    std::uint64_t shots_hint = 0,
+                                    std::uint64_t snapshot_seed = 0) override;
+
   ExecutionResult run_suffix(const PrefixSnapshot& snapshot,
                              std::span<const circ::Instruction> injected,
                              std::uint64_t shots, std::uint64_t seed) override;
@@ -78,9 +90,34 @@ class DensityMatrixBackend : public Backend {
 
   const noise::NoiseModel& noise_model() const { return noise_model_; }
 
+  /// Enables the suffix-response fast path inside run_suffix_batch: large
+  /// same-qubit batches are evaluated against a precomputed linear-response
+  /// basis of the compiled suffix (one basis replay per slot matrix unit,
+  /// then a small weighted sum per config) instead of one full suffix
+  /// replay per config. Results match the replay path within floating-point
+  /// reassociation (QVF parity well under 1e-9); small batches always use
+  /// the replay path. Campaigns drive this from CampaignSpec::use_tree —
+  /// the response basis is the deepest level of the prefix tree (the
+  /// injection site itself as a shared split point). Set before submitting
+  /// work; not synchronized against in-flight batches.
+  void set_suffix_response_enabled(bool enabled) {
+    suffix_response_enabled_ = enabled;
+  }
+  bool suffix_response_enabled() const { return suffix_response_enabled_; }
+
+  /// Minimum same-target group sizes at which the response path engages
+  /// (the m^4 basis replays must amortize: 2 x 16 for one target qubit,
+  /// 2 x 256 for a pair). Public so campaign chunking can guarantee every
+  /// full chunk stays on the fast path — the response-vs-replay decision
+  /// must be a pure function of the batch contents, never of thread count
+  /// or sharding (the byte-identity contract).
+  static constexpr std::size_t kResponseMinConfigs1q = 32;
+  static constexpr std::size_t kResponseMinConfigs2q = 512;
+
  private:
   noise::NoiseModel noise_model_;
   bool idle_noise_;
+  bool suffix_response_enabled_ = true;
 };
 
 }  // namespace qufi::backend

@@ -19,8 +19,10 @@ enum class SnapshotKind : std::uint32_t {
 
 /// 8-byte file magic; the version bumps on any layout change (no in-place
 /// migration — old snapshots are cheap to regenerate from the circuit).
+/// v2: trajectory shots carry their prefix RNG state (4 u64 words per shot)
+/// so serialized snapshots stay extendable (prefix-tree derivation).
 inline constexpr char kMagic[8] = {'Q', 'U', 'F', 'I', 'S', 'N', 'A', 'P'};
-inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kVersion = 2;
 
 /// Serializes a circuit into `w` (dims, name, and every instruction with
 /// full-precision params). The exact byte layout is documented in

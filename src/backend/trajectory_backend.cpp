@@ -106,11 +106,15 @@ void collect_readout(const circ::QuantumCircuit& circuit,
   }
 }
 
-/// One cached prefix trajectory: the statevector plus the mid-circuit
-/// measurement bits already drawn.
+/// One cached prefix trajectory: the statevector, the mid-circuit
+/// measurement bits already drawn, and the state of the prefix RNG stream
+/// after the last prefix instruction — stored so extend_snapshot can
+/// continue the exact draw sequence a longer from-scratch prepare would
+/// have produced (prefix-tree bit-identity).
 struct CachedShot {
   sim::Statevector sv;
   std::uint64_t outcome = 0;
+  std::array<std::uint64_t, 4> rng_state{};
 };
 
 class TrajectorySnapshot final : public PrefixSnapshot {
@@ -121,7 +125,7 @@ class TrajectorySnapshot final : public PrefixSnapshot {
         circuit_(std::move(circuit)),
         shots_(std::move(shots)) {}
 
-  const circ::QuantumCircuit& circuit() const { return circuit_; }
+  const circ::QuantumCircuit* circuit() const override { return &circuit_; }
   const std::vector<CachedShot>& shots() const { return shots_; }
 
  private:
@@ -204,13 +208,50 @@ PrefixSnapshotPtr TrajectoryBackend::prepare_prefix(
   for (std::uint64_t shot = 0; shot < cacheable; ++shot) {
     const std::uint64_t words[] = {kPrefixSalt, snapshot_seed, shot};
     util::Xoshiro256pp rng(util::hash_combine(words));
-    CachedShot state{sim::Statevector(circuit.num_qubits()), 0};
+    CachedShot state{sim::Statevector(circuit.num_qubits()), 0, {}};
     for (std::size_t i = 0; i < prefix_length; ++i) {
       execute_one(state.sv, state.outcome, instrs[i], rng, noise_model_);
     }
+    state.rng_state = rng.state();
     cached.push_back(std::move(state));
   }
   return std::make_shared<TrajectorySnapshot>(circuit, prefix_length,
+                                              std::move(cached));
+}
+
+PrefixSnapshotPtr TrajectoryBackend::extend_snapshot(
+    const PrefixSnapshot& parent, std::size_t from_gate, std::size_t to_gate,
+    std::uint64_t shots_hint, std::uint64_t snapshot_seed) {
+  const auto* snap = dynamic_cast<const TrajectorySnapshot*>(&parent);
+  if (!snap) {
+    return Backend::extend_snapshot(parent, from_gate, to_gate, shots_hint,
+                                    snapshot_seed);
+  }
+  const circ::QuantumCircuit& circuit = *snap->circuit();
+  require(from_gate == parent.prefix_length(),
+          "extend_snapshot: from_gate does not match the parent prefix");
+  require(to_gate >= from_gate,
+          "extend_snapshot: cannot extend a snapshot backwards");
+  require(to_gate <= circuit.size(),
+          "extend_snapshot: to_gate exceeds circuit size");
+
+  const auto& instrs = circuit.instructions();
+  std::vector<CachedShot> cached;
+  cached.reserve(snap->shots().size());
+  for (const CachedShot& parent_shot : snap->shots()) {
+    // Resuming the stored stream reproduces exactly the draws a
+    // from-scratch prepare at to_gate would make for gates
+    // [from_gate, to_gate) — chain hops are invisible in the state bits.
+    util::Xoshiro256pp rng(0);
+    rng.set_state(parent_shot.rng_state);
+    CachedShot state{parent_shot.sv, parent_shot.outcome, {}};
+    for (std::size_t i = from_gate; i < to_gate; ++i) {
+      execute_one(state.sv, state.outcome, instrs[i], rng, noise_model_);
+    }
+    state.rng_state = rng.state();
+    cached.push_back(std::move(state));
+  }
+  return std::make_shared<TrajectorySnapshot>(circuit, to_gate,
                                               std::move(cached));
 }
 
@@ -220,11 +261,12 @@ bool TrajectoryBackend::save_snapshot(const PrefixSnapshot& snapshot,
   if (!snap) return false;
 
   util::ByteWriter payload;
-  snapio::write_circuit(payload, snap->circuit());
+  snapio::write_circuit(payload, *snap->circuit());
   payload.u64(snap->prefix_length());
   payload.u64(snap->shots().size());
   for (const CachedShot& shot : snap->shots()) {
     payload.u64(shot.outcome);
+    for (const std::uint64_t w : shot.rng_state) payload.u64(w);
     for (const auto& amp : shot.sv.amplitudes()) {
       payload.f64(amp.real());
       payload.f64(amp.imag());
@@ -251,9 +293,10 @@ PrefixSnapshotPtr TrajectoryBackend::load_snapshot(std::istream& in) const {
           "load_snapshot: trajectory qubit count out of range");
   const std::uint64_t num_shots = r.u64();
   const std::uint64_t dim = std::uint64_t{1} << circuit.num_qubits();
-  // Amplitude bytes must account for the rest of the payload exactly;
-  // dividing (instead of multiplying shot count) cannot wrap.
-  const std::uint64_t per_shot = 8 + dim * 16;
+  // Per-shot bytes (outcome + RNG state + amplitudes) must account for the
+  // rest of the payload exactly; dividing (instead of multiplying shot
+  // count) cannot wrap.
+  const std::uint64_t per_shot = 8 + 32 + dim * 16;
   require(r.remaining() % per_shot == 0 &&
               r.remaining() / per_shot == num_shots,
           "load_snapshot: trajectory payload size mismatch");
@@ -261,7 +304,8 @@ PrefixSnapshotPtr TrajectoryBackend::load_snapshot(std::istream& in) const {
   std::vector<CachedShot> shots;
   shots.reserve(static_cast<std::size_t>(num_shots));
   for (std::uint64_t s = 0; s < num_shots; ++s) {
-    CachedShot shot{sim::Statevector(circuit.num_qubits()), r.u64()};
+    CachedShot shot{sim::Statevector(circuit.num_qubits()), r.u64(), {}};
+    for (std::uint64_t& w : shot.rng_state) w = r.u64();
     std::vector<sim::cplx> amps(static_cast<std::size_t>(dim));
     for (auto& amp : amps) {
       const double re = r.f64();
@@ -297,7 +341,7 @@ std::vector<ExecutionResult> TrajectoryBackend::run_suffix_batch(
   if (configs.empty()) return {};
   require(shots > 0, "TrajectoryBackend: shots must be > 0");
 
-  const circ::QuantumCircuit& circuit = snap->circuit();
+  const circ::QuantumCircuit& circuit = *snap->circuit();
   const auto& instrs = circuit.instructions();
   for (const auto& config : configs) {
     for (const auto& instr : config.injected) {

@@ -37,6 +37,17 @@ class TrajectoryBackend : public Backend {
                                    std::uint64_t shots_hint = 0,
                                    std::uint64_t snapshot_seed = 0) override;
 
+  /// Advances every cached shot through instructions [from_gate, to_gate),
+  /// resuming each shot's stored prefix RNG stream — the derived snapshot
+  /// is bit-identical to prepare_prefix(circuit, to_gate, ...) with the
+  /// same snapshot_seed (which the cached streams already encode), so tree
+  /// shape and sharding never change sampled records. Falls back to the
+  /// base splice extension for fallback snapshots.
+  PrefixSnapshotPtr extend_snapshot(const PrefixSnapshot& parent,
+                                    std::size_t from_gate, std::size_t to_gate,
+                                    std::uint64_t shots_hint = 0,
+                                    std::uint64_t snapshot_seed = 0) override;
+
   ExecutionResult run_suffix(const PrefixSnapshot& snapshot,
                              std::span<const circ::Instruction> injected,
                              std::uint64_t shots, std::uint64_t seed) override;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "backend/density_backend.hpp"
+#include "core/snapshot_tree.hpp"
 #include "noise/noise_model.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -43,12 +44,83 @@ Prepared prepare(const CampaignSpec& spec) {
   if (spec.backend_override) {
     prep.exec = spec.backend_override;
   } else {
-    prep.owned_backend = std::make_unique<backend::DensityMatrixBackend>(
+    auto density = std::make_unique<backend::DensityMatrixBackend>(
         noise::NoiseModel::from_backend(spec.backend, spec.noise_scale));
+    // The suffix-response fast path is part of the tree engine, so the
+    // --no-tree baseline measures the PR 2 flat-batch engine faithfully.
+    density->set_suffix_response_enabled(spec.use_tree);
+    prep.owned_backend = std::move(density);
     prep.exec = prep.owned_backend.get();
   }
   return prep;
 }
+
+/// Walks a prefix-tree plan with one task per chain: the chain head is
+/// prepared from scratch, every later node is derived from its predecessor
+/// via extend_snapshot (bit-identical to a from-scratch prepare), and
+/// `visit(pos, snapshot)` runs for each of the node's member positions with
+/// work. Nodes none of whose members have work are skipped entirely — the
+/// next extension jumps across them — so e.g. double-fault points with no
+/// coupled active neighbor never materialize a snapshot. At most two
+/// snapshots are alive per chain, bounding memory like the flat engine
+/// (few-point campaigns that store the handful of snapshots for chunked
+/// sweeping are bounded by the pool size instead).
+template <typename HasWork, typename Visit>
+void run_tree_chains(util::ThreadPool& pool, backend::Backend& exec,
+                     const circ::QuantumCircuit& circuit,
+                     const CampaignSpec& spec, const SnapshotTreePlan& plan,
+                     const HasWork& has_work, const Visit& visit) {
+  pool.parallel_for(plan.num_chains(), [&](std::size_t chain) {
+    backend::PrefixSnapshotPtr prev;
+    std::size_t prev_split = 0;
+    for (std::size_t i = plan.chain_begin[chain];
+         i < plan.chain_begin[chain + 1]; ++i) {
+      const SnapshotTreeNode& node = plan.nodes[i];
+      const bool any_work = std::any_of(node.members.begin(),
+                                        node.members.end(), has_work);
+      if (!any_work) continue;
+      backend::PrefixSnapshotPtr snapshot =
+          prev ? exec.extend_snapshot(*prev, prev_split, node.split,
+                                      spec.shots, spec.seed)
+               : exec.prepare_prefix(circuit, node.split, spec.shots,
+                                     spec.seed);
+      for (const std::size_t pos : node.members) {
+        if (has_work(pos)) visit(pos, snapshot);
+      }
+      prev = std::move(snapshot);
+      prev_split = node.split;
+    }
+  });
+}
+
+/// Deterministic batch boundaries for a config slice: floor(len/chunk)
+/// chunks of at least `chunk` configs each, remainder merged into the last
+/// chunk. A pure function of (begin, end, chunk) — never of pool size or
+/// subset shape — so batch composition, and with it the backend's
+/// response-vs-replay choice, is identical across thread counts,
+/// shardings, and scheduling (the byte-identity contract). Chunk floors at
+/// or above the response thresholds keep every chunk on the fast path.
+std::vector<std::pair<std::size_t, std::size_t>> chunk_slice(
+    std::size_t begin, std::size_t end, std::size_t chunk) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (begin >= end) return out;
+  const std::size_t n = std::max<std::size_t>(1, (end - begin) / chunk);
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.emplace_back(begin + k * chunk,
+                     k + 1 == n ? end : begin + (k + 1) * chunk);
+  }
+  return out;
+}
+
+// Tree-engine chunk floors: single-fault grids inject one qubit (1q
+// response basis), double-fault grids a (primary, neighbor) pair (2q).
+constexpr std::size_t kTreeChunk1q = 64;
+constexpr std::size_t kTreeChunk2q = 512;
+static_assert(kTreeChunk1q >=
+              backend::DensityMatrixBackend::kResponseMinConfigs1q);
+static_assert(kTreeChunk2q >=
+              backend::DensityMatrixBackend::kResponseMinConfigs2q);
 
 std::uint64_t config_seed(const CampaignSpec& spec, std::uint64_t a,
                           std::uint64_t b, std::uint64_t c, std::uint64_t d) {
@@ -245,6 +317,49 @@ CampaignResult single_campaign_impl(const CampaignSpec& spec, Prepared& prep,
       spec.threads > 0 ? spec.threads : 0));
   if (subset.empty()) {
     // Empty shard: metadata + full point table, no work (idempotent).
+  } else if (spec.use_checkpoints && prep.exec->supports_checkpointing() &&
+             spec.use_tree) {
+    // Prefix-tree engine: one snapshot per unique split (operand points of
+    // a multi-qubit gate share one), derived along chains instead of
+    // re-evolved from scratch. Grids are swept in fixed-size chunks whose
+    // boundaries depend only on the grid (see chunk_slice), so records are
+    // identical whether chunks run inline on a chain's lane (many points)
+    // or fan out across the pool (few points).
+    std::vector<std::size_t> splits(subset.size());
+    for (std::size_t s = 0; s < subset.size(); ++s) {
+      splits[s] = result.points[subset[s]].split_index();
+    }
+    const SnapshotTreePlan tree = plan_snapshot_tree(splits, pool.size());
+    const auto chunks = chunk_slice(0, configs_per_point, kTreeChunk1q);
+    const auto always = [](std::size_t) { return true; };
+    if (subset.size() >= pool.size()) {
+      // Enough points to saturate the pool: chains stream, each point's
+      // chunks run inline, at most two live snapshots per lane.
+      run_tree_chains(pool, *prep.exec, prep.transpiled.circuit, spec, tree,
+                      always,
+                      [&](std::size_t s,
+                          const backend::PrefixSnapshotPtr& snap) {
+                        for (const auto& [begin, end] : chunks) {
+                          sweep_range(s, begin, end, snap.get());
+                        }
+                      });
+    } else {
+      // Fewer points than lanes: derive the (few) snapshots via chains,
+      // then fan the same chunks out across the pool so no lane idles.
+      std::vector<backend::PrefixSnapshotPtr> snapshots(subset.size());
+      run_tree_chains(pool, *prep.exec, prep.transpiled.circuit, spec, tree,
+                      always,
+                      [&](std::size_t s,
+                          const backend::PrefixSnapshotPtr& snap) {
+                        snapshots[s] = snap;
+                      });
+      pool.parallel_for(
+          subset.size() * chunks.size(), [&](std::size_t item) {
+            const std::size_t s = item / chunks.size();
+            const auto& [begin, end] = chunks[item % chunks.size()];
+            sweep_range(s, begin, end, snapshots[s].get());
+          });
+    }
   } else if (spec.use_checkpoints && prep.exec->supports_checkpointing()) {
     // All configs at one injection point share the gate prefix before the
     // fault, so the natural unit of parallel work is the point: evolve the
@@ -466,7 +581,53 @@ CampaignResult double_campaign_impl(const CampaignSpec& spec, Prepared& prep,
       slice_begin[s + 1] += slice_begin[s];
     }
 
-    if (subset.size() >= pool.size()) {
+    if (spec.use_tree) {
+      // Prefix-tree engine: snapshots deduplicated by split and derived
+      // along chains; each point's slice — the full primary x secondary
+      // grid over every coupled neighbor — sweeps from its shared
+      // snapshot in deterministic fixed-size chunks (see the single-fault
+      // tree branch). Points whose slice is empty (no coupled active
+      // neighbor) are skipped without materializing a snapshot.
+      std::vector<std::size_t> splits(subset.size());
+      for (std::size_t s = 0; s < subset.size(); ++s) {
+        splits[s] = result.points[subset[s]].split_index();
+      }
+      const SnapshotTreePlan tree = plan_snapshot_tree(splits, pool.size());
+      const auto has_work = [&](std::size_t s) {
+        return slice_begin[s] < slice_begin[s + 1];
+      };
+      if (subset.size() >= pool.size()) {
+        run_tree_chains(
+            pool, *prep.exec, prep.transpiled.circuit, spec, tree, has_work,
+            [&](std::size_t s, const backend::PrefixSnapshotPtr& snap) {
+              for (const auto& [begin, end] : chunk_slice(
+                       slice_begin[s], slice_begin[s + 1], kTreeChunk2q)) {
+                sweep_range(begin, end, snap.get());
+              }
+            });
+      } else {
+        std::vector<backend::PrefixSnapshotPtr> snapshots(subset.size());
+        run_tree_chains(
+            pool, *prep.exec, prep.transpiled.circuit, spec, tree, has_work,
+            [&](std::size_t s, const backend::PrefixSnapshotPtr& snap) {
+              snapshots[s] = snap;
+            });
+        struct ChunkItem {
+          std::size_t subset_pos, begin, end;
+        };
+        std::vector<ChunkItem> chunks;
+        for (std::size_t s = 0; s < subset.size(); ++s) {
+          for (const auto& [begin, end] : chunk_slice(
+                   slice_begin[s], slice_begin[s + 1], kTreeChunk2q)) {
+            chunks.push_back({s, begin, end});
+          }
+        }
+        pool.parallel_for(chunks.size(), [&](std::size_t i) {
+          sweep_range(chunks[i].begin, chunks[i].end,
+                      snapshots[chunks[i].subset_pos].get());
+        });
+      }
+    } else if (subset.size() >= pool.size()) {
       pool.parallel_for(subset.size(), [&](std::size_t s) {
         if (slice_begin[s] == slice_begin[s + 1]) return;  // no neighbors
         const auto snapshot = prep.exec->prepare_prefix(

@@ -58,6 +58,31 @@ struct CampaignSpec {
   /// backend. Disable for the batching baseline (bench --no-batch).
   bool use_batch = true;
 
+  /// Run the prefix-tree engine: the subset's injection points are
+  /// deduplicated by split index and organized into chains of nested split
+  /// points, each snapshot derived from its predecessor via
+  /// Backend::extend_snapshot instead of re-evolved from the initial state,
+  /// and each point's whole grid (for double campaigns: the full
+  /// primary x secondary grid across every neighbor) sweeps from its shared
+  /// per-point snapshot as one batch. On the density backend this also
+  /// enables the suffix-response fast path inside run_suffix_batch (see
+  /// DensityMatrixBackend::set_suffix_response_enabled) — the deepest tree
+  /// level, where the injection site itself is the shared split point.
+  /// Only takes effect together with use_checkpoints on a checkpointing
+  /// backend. Records match the flat engine within 1e-9 (QVF parity);
+  /// snapshot derivation itself is bit-identical to from-scratch prepares,
+  /// so sharding and tree shape never interact. Disable for the PR 2
+  /// flat-batch baseline (bench --no-tree).
+  ///
+  /// Caveat: campaigns only toggle the suffix-response path on the backend
+  /// they construct themselves. A caller-supplied backend_override is
+  /// never mutated — a DensityMatrixBackend passed in with its default
+  /// (enabled) response setting keeps it even when use_tree is false, so
+  /// for a faithful --no-tree baseline over an override, call
+  /// set_suffix_response_enabled(false) on it yourself (the dist shard
+  /// runner does exactly that from the manifest's use_tree knob).
+  bool use_tree = true;
+
   /// Execute on this backend instead of the density-matrix simulator built
   /// from `backend` (e.g. SimulatedHardwareBackend). Must be thread-safe:
   /// run(), prepare_prefix(), run_suffix() and run_suffix_batch() are all

@@ -1,0 +1,77 @@
+#include "core/snapshot_tree.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace qufi {
+
+std::uint64_t SnapshotTreePlan::scratch_gates() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes) {
+    if (node.parent < 0) total += node.split;
+  }
+  return total;
+}
+
+std::uint64_t SnapshotTreePlan::extended_gates() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes) {
+    if (node.parent >= 0) {
+      total += node.split - nodes[static_cast<std::size_t>(node.parent)].split;
+    }
+  }
+  return total;
+}
+
+std::uint64_t SnapshotTreePlan::flat_gates() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes) {
+    total += static_cast<std::uint64_t>(node.split) * node.members.size();
+  }
+  return total;
+}
+
+SnapshotTreePlan plan_snapshot_tree(std::span<const std::size_t> splits,
+                                    std::size_t max_chains) {
+  SnapshotTreePlan plan;
+  if (splits.empty()) {
+    plan.chain_begin.push_back(0);
+    return plan;
+  }
+
+  // Deduplicate: one node per unique split, members in input order (the
+  // map iterates splits ascending, which is also chain order).
+  std::map<std::size_t, std::vector<std::size_t>> members_by_split;
+  for (std::size_t pos = 0; pos < splits.size(); ++pos) {
+    members_by_split[splits[pos]].push_back(pos);
+  }
+
+  const std::size_t unique = members_by_split.size();
+  const std::size_t chains = std::min(std::max<std::size_t>(max_chains, 1),
+                                      unique);
+  plan.nodes.reserve(unique);
+  auto it = members_by_split.begin();
+  for (std::size_t node_index = 0; node_index < unique; ++node_index, ++it) {
+    SnapshotTreeNode node;
+    node.split = it->first;
+    node.members = std::move(it->second);
+    plan.nodes.push_back(std::move(node));
+  }
+
+  // Contiguous integer-strided chains (the stride_points idiom): chain k
+  // owns unique splits [k*U/C, (k+1)*U/C); the head of each chain is a
+  // root, every other node extends its predecessor.
+  plan.chain_begin.reserve(chains + 1);
+  for (std::size_t k = 0; k <= chains; ++k) {
+    plan.chain_begin.push_back(unique * k / chains);
+  }
+  for (std::size_t k = 0; k < chains; ++k) {
+    for (std::size_t i = plan.chain_begin[k] + 1; i < plan.chain_begin[k + 1];
+         ++i) {
+      plan.nodes[i].parent = static_cast<std::ptrdiff_t>(i - 1);
+    }
+  }
+  return plan;
+}
+
+}  // namespace qufi

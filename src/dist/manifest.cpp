@@ -43,7 +43,9 @@ void save_manifest(const ShardManifest& manifest, const std::string& path) {
   std::ofstream out(path);
   require(out.is_open(), "manifest: cannot open for writing: " + path);
 
-  out << "qufi-shard-manifest " << manifest.format_version << "\n";
+  // Written files always use the current format (the use_tree key below is
+  // a v2 key), whatever version the in-memory manifest was loaded from.
+  out << "qufi-shard-manifest " << 2 << "\n";
   out << "shard " << manifest.shard_index << " " << manifest.shard_count
       << "\n";
   out << "device " << manifest.device << "\n";
@@ -61,6 +63,7 @@ void save_manifest(const ShardManifest& manifest, const std::string& path) {
   out << "double " << (manifest.double_fault ? 1 : 0) << "\n";
   out << "use_checkpoints " << (manifest.use_checkpoints ? 1 : 0) << "\n";
   out << "use_batch " << (manifest.use_batch ? 1 : 0) << "\n";
+  out << "use_tree " << (manifest.use_tree ? 1 : 0) << "\n";
   for (const auto& expected : manifest.expected_outputs) {
     out << "expected " << expected << "\n";
   }
@@ -112,7 +115,7 @@ ShardManifest load_manifest(const std::string& path) {
       if (key != "qufi-shard-manifest") fail("missing manifest header");
       std::uint32_t version = 0;
       if (!(ls >> version)) fail("bad header");
-      if (version != 1) fail("unsupported manifest version");
+      if (version < 1 || version > 2) fail("unsupported manifest version");
       m.format_version = version;
       saw_header = true;
       continue;
@@ -157,6 +160,10 @@ ShardManifest load_manifest(const std::string& path) {
       int v = 0;
       if (!(ls >> v)) fail("bad use_batch line");
       m.use_batch = v != 0;
+    } else if (key == "use_tree") {
+      int v = 0;
+      if (!(ls >> v)) fail("bad use_tree line");
+      m.use_tree = v != 0;
     } else if (key == "expected") {
       std::string bits;
       if (!(ls >> bits)) fail("bad expected line");
@@ -233,6 +240,7 @@ CampaignSpec manifest_to_spec(const ShardManifest& manifest) {
   spec.max_points = manifest.max_points;
   spec.use_checkpoints = manifest.use_checkpoints;
   spec.use_batch = manifest.use_batch;
+  spec.use_tree = manifest.use_tree;
   return spec;
 }
 
@@ -268,6 +276,7 @@ std::vector<ShardManifest> make_manifests(const CampaignSpec& spec,
     m.double_fault = double_fault;
     m.use_checkpoints = spec.use_checkpoints;
     m.use_batch = spec.use_batch;
+    m.use_tree = spec.use_tree;
     m.point_indices = shard.point_indices;
     m.expected_records = expected_records;
     manifests.push_back(std::move(m));

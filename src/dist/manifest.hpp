@@ -26,7 +26,9 @@ enum class WorkerBackendKind {
 /// Manifests are plain text (one `key value...` line each, circuit block at
 /// the end); the format is versioned and documented in docs/SHARDING.md.
 struct ShardManifest {
-  std::uint32_t format_version = 1;
+  /// v1: initial format. v2: adds the optional `use_tree` engine knob
+  /// (absent keys default, so v1 files load unchanged).
+  std::uint32_t format_version = 2;
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
 
@@ -49,6 +51,7 @@ struct ShardManifest {
   bool double_fault = false;
   bool use_checkpoints = true;
   bool use_batch = true;
+  bool use_tree = true;
 
   /// This shard's global injection-point indices (strictly increasing).
   std::vector<std::size_t> point_indices;

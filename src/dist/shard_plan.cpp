@@ -13,6 +13,18 @@ std::uint64_t point_cost(const InjectionPoint& point,
   return 1 + static_cast<std::uint64_t>(circuit_size - point.split_index());
 }
 
+std::uint64_t tree_point_cost(const InjectionPoint& point,
+                              std::size_t circuit_size,
+                              std::size_t shard_max_split) {
+  require(point.split_index() <= circuit_size,
+          "tree_point_cost: split index beyond circuit size");
+  const std::size_t split = point.split_index();
+  const std::uint64_t extension =
+      split > shard_max_split ? split - shard_max_split : 0;
+  return 1 + extension +
+         static_cast<std::uint64_t>(circuit_size - split);
+}
+
 ShardPlan plan_shards(std::span<const InjectionPoint> points,
                       std::size_t circuit_size, std::uint32_t num_shards,
                       ShardPolicy policy) {
@@ -25,6 +37,44 @@ ShardPlan plan_shards(std::span<const InjectionPoint> points,
   plan.shards.resize(num_shards);
   for (std::uint32_t k = 0; k < num_shards; ++k) {
     plan.shards[k].shard_index = k;
+  }
+
+  if (policy == ShardPolicy::TreeAware) {
+    // Visit points in ascending split order — the chain order the tree
+    // engine executes in — and put each on the shard where load +
+    // incremental tree cost is smallest. Campaign point tables are already
+    // split-ordered, so index order is chain order (stable for equal
+    // splits, keeping the choice deterministic).
+    std::vector<std::size_t> max_split(num_shards, 0);
+    std::vector<char> has_points(num_shards, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::uint32_t best = 0;
+      std::uint64_t best_total = ~std::uint64_t{0};
+      std::uint64_t best_cost = 0;
+      for (std::uint32_t k = 0; k < num_shards; ++k) {
+        // A shard with no points has no chain yet: its first root pays the
+        // full prefix (max_split 0 models exactly that).
+        const std::uint64_t cost = tree_point_cost(
+            points[i], circuit_size, has_points[k] ? max_split[k] : 0);
+        const std::uint64_t total = plan.shards[k].estimated_cost + cost;
+        if (total < best_total) {
+          best = k;
+          best_total = total;
+          best_cost = cost;
+        }
+      }
+      plan.shards[best].point_indices.push_back(i);
+      plan.shards[best].estimated_cost += best_cost;
+      max_split[best] = std::max(max_split[best], points[i].split_index());
+      has_points[best] = 1;
+    }
+    // Ascending-split visiting order preserves index order per shard, but
+    // sort anyway: subset runners require strictly increasing indices even
+    // for hand-built point tables that are not split-ordered.
+    for (auto& shard : plan.shards) {
+      std::sort(shard.point_indices.begin(), shard.point_indices.end());
+    }
+    return plan;
   }
 
   if (policy == ShardPolicy::PointCount) {

@@ -28,6 +28,16 @@ enum class ShardPolicy {
   /// stable-sorted by descending cost, ties broken by point index, assigned
   /// to the least-loaded shard (ties to the lowest shard index).
   CostWeighted,
+  /// Cost balancing aware of the prefix-tree engine: each shard runs its
+  /// own chain over its points, so a point's prefix is not an independent
+  /// cost — adding a point to a shard costs its suffix sweep plus only the
+  /// prefix *extension* beyond the shard's deepest split so far. Points are
+  /// visited in ascending split order (the chain order) and greedily
+  /// assigned to the shard where the incremental cost, added to the
+  /// shard's load, is smallest (ties to the lowest shard index).
+  /// Deterministic; degenerates to suffix-cost balancing when every shard
+  /// already reaches similar depth.
+  TreeAware,
 };
 
 /// The points one worker executes, in strictly increasing global order (the
@@ -54,6 +64,15 @@ struct ShardPlan {
 /// the point's grid sweep replays. Units are arbitrary; only ratios matter.
 std::uint64_t point_cost(const InjectionPoint& point,
                          std::size_t circuit_size);
+
+/// Tree-aware incremental cost of adding `point` to a shard whose deepest
+/// split so far is `shard_max_split`: the suffix sweep (as in point_cost)
+/// plus the prefix gates the shard's chain must still extend through to
+/// reach this split (zero when the shard is already at least this deep —
+/// split-deduplicated points ride along for free).
+std::uint64_t tree_point_cost(const InjectionPoint& point,
+                              std::size_t circuit_size,
+                              std::size_t shard_max_split);
 
 /// Partitions `points` (the global enumeration, in order) into
 /// `num_shards` deterministic shards.

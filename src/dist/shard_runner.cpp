@@ -27,7 +27,12 @@ ShardRunOutput run_shard(const ShardManifest& manifest,
             "run_shard: trajectory backend requires shots > 0");
     exec = std::make_unique<backend::TrajectoryBackend>(noise_model);
   } else {
-    exec = std::make_unique<backend::DensityMatrixBackend>(noise_model);
+    auto density = std::make_unique<backend::DensityMatrixBackend>(noise_model);
+    // Workers must mirror the coordinator's engine exactly: the
+    // suffix-response path is part of the tree engine (see CampaignSpec::
+    // use_tree), so a --no-tree plan keeps every shard on the flat batch.
+    density->set_suffix_response_enabled(spec.use_tree);
+    exec = std::move(density);
   }
 
   std::unique_ptr<SnapshotCachingBackend> cache;

@@ -43,6 +43,31 @@ backend::ExecutionResult SnapshotCachingBackend::run(
   return inner_.run(circuit, shots, seed);
 }
 
+namespace {
+
+/// Key = execution identity (backend name + context) + exact circuit
+/// bytes + every prepare_prefix argument, so a cache directory can be
+/// shared by campaigns over different circuits, devices, noise scales or
+/// seeds without ever serving the wrong state. extend_snapshot uses the
+/// same key at its target split (derivation is bit-identical to a
+/// from-scratch prepare, so the tree path collapses out of the key).
+fs::path snapshot_key_path(const std::string& cache_dir,
+                           std::uint64_t context_hash,
+                           const circ::QuantumCircuit& circuit,
+                           std::size_t prefix_length, std::uint64_t shots_hint,
+                           std::uint64_t snapshot_seed) {
+  const std::uint64_t words[] = {context_hash,
+                                 backend::snapio::circuit_fingerprint(circuit),
+                                 prefix_length, shots_hint, snapshot_seed};
+  char key[64];
+  std::snprintf(key, sizeof key, "snap_%016" PRIx64 ".qsnap",
+                util::fnv1a64({reinterpret_cast<const char*>(words),
+                               sizeof words}));
+  return fs::path(cache_dir) / key;
+}
+
+}  // namespace
+
 backend::PrefixSnapshotPtr SnapshotCachingBackend::prepare_prefix(
     const circ::QuantumCircuit& circuit, std::size_t prefix_length,
     std::uint64_t shots_hint, std::uint64_t snapshot_seed) {
@@ -51,18 +76,9 @@ backend::PrefixSnapshotPtr SnapshotCachingBackend::prepare_prefix(
                                  snapshot_seed);
   }
 
-  // Key = execution identity (backend name + context) + exact circuit
-  // bytes + every prepare_prefix argument, so a cache directory can be
-  // shared by campaigns over different circuits, devices, noise scales or
-  // seeds without ever serving the wrong state.
-  const std::uint64_t words[] = {context_hash_,
-                                 backend::snapio::circuit_fingerprint(circuit),
-                                 prefix_length, shots_hint, snapshot_seed};
-  char key[64];
-  std::snprintf(key, sizeof key, "snap_%016" PRIx64 ".qsnap",
-                util::fnv1a64({reinterpret_cast<const char*>(words),
-                               sizeof words}));
-  const fs::path path = fs::path(cache_dir_) / key;
+  const fs::path path = snapshot_key_path(cache_dir_, context_hash_, circuit,
+                                          prefix_length, shots_hint,
+                                          snapshot_seed);
 
   if (fs::exists(path)) {
     try {
@@ -81,29 +97,71 @@ backend::PrefixSnapshotPtr SnapshotCachingBackend::prepare_prefix(
   auto snapshot = inner_.prepare_prefix(circuit, prefix_length, shots_hint,
                                         snapshot_seed);
   misses_.fetch_add(1);
+  persist(*snapshot, path.string());
+  return snapshot;
+}
 
+backend::PrefixSnapshotPtr SnapshotCachingBackend::extend_snapshot(
+    const backend::PrefixSnapshot& parent, std::size_t from_gate,
+    std::size_t to_gate, std::uint64_t shots_hint,
+    std::uint64_t snapshot_seed) {
+  const circ::QuantumCircuit* circuit = parent.circuit();
+  if (!inner_.supports_checkpointing() || circuit == nullptr) {
+    return inner_.extend_snapshot(parent, from_gate, to_gate, shots_hint,
+                                  snapshot_seed);
+  }
+  // Validate the chain contract up front so a bad call fails the same way
+  // on cache hits and misses.
+  require(from_gate == parent.prefix_length(),
+          "extend_snapshot: from_gate does not match the parent prefix");
+  require(to_gate >= from_gate && to_gate <= circuit->size(),
+          "extend_snapshot: to_gate out of range");
+
+  const fs::path path = snapshot_key_path(cache_dir_, context_hash_, *circuit,
+                                          to_gate, shots_hint, snapshot_seed);
+  if (fs::exists(path)) {
+    try {
+      std::ifstream in(path, std::ios::binary);
+      if (in.is_open()) {
+        auto snapshot = inner_.load_snapshot(in);
+        hits_.fetch_add(1);
+        return snapshot;
+      }
+    } catch (const Error&) {
+      // Corrupt/truncated cache entry: fall through and extend for real.
+    }
+  }
+
+  auto snapshot = inner_.extend_snapshot(parent, from_gate, to_gate,
+                                         shots_hint, snapshot_seed);
+  misses_.fetch_add(1);
+  persist(*snapshot, path.string());
+  return snapshot;
+}
+
+void SnapshotCachingBackend::persist(const backend::PrefixSnapshot& snapshot,
+                                     const std::string& path) {
   // Write-then-rename keeps readers from ever seeing a partial file; the
   // pid + counter temp name keeps concurrent writers of the same key —
   // other threads AND other worker processes sharing the directory — from
   // clobbering each other mid-write (content is identical either way:
   // snapshots are deterministic in the key).
-  const fs::path temp = path.string() + ".tmp" +
-                        std::to_string(::getpid()) + "." +
+  const fs::path target(path);
+  const fs::path temp = path + ".tmp" + std::to_string(::getpid()) + "." +
                         std::to_string(temp_counter_.fetch_add(1));
   {
     std::ofstream out(temp, std::ios::binary);
-    if (!out.is_open()) return snapshot;  // cache dir vanished: still correct
-    if (!inner_.save_snapshot(*snapshot, out)) {
+    if (!out.is_open()) return;  // cache dir vanished: still correct
+    if (!inner_.save_snapshot(snapshot, out)) {
       out.close();
       std::error_code ec;
       fs::remove(temp, ec);
-      return snapshot;  // inner backend has no serializable form
+      return;  // inner backend has no serializable form
     }
   }
   std::error_code ec;
-  fs::rename(temp, path, ec);
+  fs::rename(temp, target, ec);
   if (ec) fs::remove(temp, ec);
-  return snapshot;
 }
 
 backend::ExecutionResult SnapshotCachingBackend::run_suffix(

@@ -53,6 +53,20 @@ class SnapshotCachingBackend final : public backend::Backend {
       const circ::QuantumCircuit& circuit, std::size_t prefix_length,
       std::uint64_t shots_hint = 0, std::uint64_t snapshot_seed = 0) override;
 
+  /// Tree-derived snapshots share the prepare_prefix key space: because
+  /// extend_snapshot is bit-identical to a from-scratch prepare at the same
+  /// split, a derived snapshot's tree path collapses to its canonical
+  /// (circuit, to_gate, shots_hint, snapshot_seed) key — so an extension
+  /// can be served by a file another worker wrote via prepare_prefix, and
+  /// vice versa. On a miss the inner backend extends the parent and the
+  /// result is persisted under that canonical key. Requires the parent to
+  /// expose its circuit (all bundled snapshot kinds do); otherwise the
+  /// extension runs uncached.
+  backend::PrefixSnapshotPtr extend_snapshot(
+      const backend::PrefixSnapshot& parent, std::size_t from_gate,
+      std::size_t to_gate, std::uint64_t shots_hint = 0,
+      std::uint64_t snapshot_seed = 0) override;
+
   backend::ExecutionResult run_suffix(
       const backend::PrefixSnapshot& snapshot,
       std::span<const circ::Instruction> injected, std::uint64_t shots,
@@ -73,6 +87,12 @@ class SnapshotCachingBackend final : public backend::Backend {
   std::uint64_t misses() const { return misses_.load(); }
 
  private:
+  /// Best-effort write-then-rename of `snapshot` to cache file `path`;
+  /// shared by the prepare and extend miss paths. Failures leave the cache
+  /// cold but never affect the returned snapshot.
+  void persist(const backend::PrefixSnapshot& snapshot,
+               const std::string& path);
+
   backend::Backend& inner_;
   std::string cache_dir_;
   std::uint64_t context_hash_ = 0;  ///< hash of name() + key_context

@@ -51,6 +51,22 @@ class Xoshiro256pp {
   /// Linear scan over the CDF; fine for the small distributions used here.
   std::size_t discrete(std::span<const double> weights);
 
+  /// The four raw xoshiro256++ state words. Together with set_state this
+  /// lets a caller suspend a stream and resume it later bit-exactly — the
+  /// trajectory backend stores per-shot prefix RNG states in snapshots so
+  /// extend_snapshot continues the exact draw sequence a from-scratch
+  /// prepare_prefix would have produced.
+  std::array<std::uint64_t, 4> state() const { return s_; }
+
+  /// Restores a stream captured by state(). Discards any cached Box-Muller
+  /// normal deviate, so the resumed stream matches a generator that was
+  /// seeded-and-advanced to the same point (all snapshot consumers draw
+  /// uniforms only).
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    s_ = s;
+    has_cached_normal_ = false;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_;
   bool has_cached_normal_ = false;

@@ -508,6 +508,138 @@ TEST(ShardMerge, DoubleFaultShardsMatchSingleProcess) {
   expect_same_records(merged, single);
 }
 
+// ---- prefix-tree engine across the dist layer ------------------------------
+
+TEST(ShardPlan, TreeAwarePolicyPartitionsDeterministically) {
+  const auto spec = quick_spec("qft", 4);
+  const auto points = campaign_points(spec);
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const auto a = dist::plan_campaign_shards(spec, shards,
+                                              dist::ShardPolicy::TreeAware);
+    const auto b = dist::plan_campaign_shards(spec, shards,
+                                              dist::ShardPolicy::TreeAware);
+    ASSERT_EQ(a.shards.size(), shards);
+    std::vector<int> seen(points.size(), 0);
+    for (std::size_t k = 0; k < a.shards.size(); ++k) {
+      EXPECT_EQ(a.shards[k].point_indices, b.shards[k].point_indices);
+      EXPECT_EQ(a.shards[k].estimated_cost, b.shards[k].estimated_cost);
+      for (std::size_t s = 1; s < a.shards[k].point_indices.size(); ++s) {
+        EXPECT_LT(a.shards[k].point_indices[s - 1],
+                  a.shards[k].point_indices[s]);
+      }
+      for (const std::size_t p : a.shards[k].point_indices) {
+        ASSERT_LT(p, points.size());
+        ++seen[p];
+      }
+    }
+    for (std::size_t p = 0; p < seen.size(); ++p) {
+      EXPECT_EQ(seen[p], 1) << "point " << p << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardPlan, TreeCostChargesExtensionNotFullPrefix) {
+  InjectionPoint deep;
+  deep.instr_index = 19;  // split 20 of a 30-instruction circuit
+  // First point on an empty shard pays root prep + suffix; a second point
+  // at the same split rides the chain for just its suffix (+1).
+  EXPECT_EQ(dist::tree_point_cost(deep, 30, 0), 1u + 20 + 10);
+  EXPECT_EQ(dist::tree_point_cost(deep, 30, 20), 1u + 0 + 10);
+  EXPECT_EQ(dist::tree_point_cost(deep, 30, 25), 1u + 0 + 10);
+  InjectionPoint deeper;
+  deeper.instr_index = 24;
+  EXPECT_EQ(dist::tree_point_cost(deeper, 30, 20), 1u + 5 + 5);
+}
+
+TEST(ShardManifest, UseTreeKnobRoundTripsAndV1FilesStillLoad) {
+  TempDir dir("manifest_tree");
+  auto spec = quick_spec("bv", 4);
+  spec.use_tree = false;
+  const auto plan = dist::plan_campaign_shards(spec, 1);
+  const auto manifests = dist::make_manifests(
+      spec, "casablanca", dist::WorkerBackendKind::Density, plan, false);
+  const auto path = (dir.path / "tree.manifest").string();
+  dist::save_manifest(manifests[0], path);
+  const auto loaded = dist::load_manifest(path);
+  EXPECT_FALSE(loaded.use_tree);
+  EXPECT_FALSE(dist::manifest_to_spec(loaded).use_tree);
+
+  // A v1 file (no use_tree key) still loads, defaulting the knob on.
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  const auto v2_header = text.find("qufi-shard-manifest 2");
+  ASSERT_NE(v2_header, std::string::npos);
+  text.replace(v2_header, 21, "qufi-shard-manifest 1");
+  const auto tree_line = text.find("use_tree 0\n");
+  ASSERT_NE(tree_line, std::string::npos);
+  text.erase(tree_line, 11);
+  const auto v1_path = (dir.path / "v1.manifest").string();
+  {
+    std::ofstream out(v1_path);
+    out << text;
+  }
+  const auto v1 = dist::load_manifest(v1_path);
+  EXPECT_EQ(v1.format_version, 1u);
+  EXPECT_TRUE(v1.use_tree);
+}
+
+TEST(SnapshotCache, ExtendSharesTheCanonicalKeySpace) {
+  TempDir dir("cache_extend");
+  const auto qc = small_circuit();
+  backend::DensityMatrixBackend inner(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+
+  dist::SnapshotCachingBackend cached(inner, dir.str());
+  const auto parent = cached.prepare_prefix(qc, 2, 0, 42);
+  const auto derived = cached.extend_snapshot(*parent, 2, 4, 0, 42);
+  EXPECT_EQ(cached.misses(), 2u);
+  EXPECT_EQ(derived->prefix_length(), 4u);
+
+  // The derived snapshot was persisted under the canonical (circuit,
+  // split) key: a from-scratch prepare at the same split is served from
+  // disk, and so is a repeat extension.
+  EXPECT_EQ(cached.hits(), 0u);
+  const auto reloaded = cached.prepare_prefix(qc, 4, 0, 42);
+  EXPECT_EQ(cached.hits(), 1u);
+  const auto re_extended = cached.extend_snapshot(*parent, 2, 4, 0, 42);
+  EXPECT_EQ(cached.hits(), 2u);
+  EXPECT_EQ(cached.misses(), 2u);
+
+  const backend::SuffixConfig configs[] = {fault_config(1, 9)};
+  expect_same_probs(
+      cached.run_suffix_batch(*derived, configs, 0).at(0),
+      cached.run_suffix_batch(*reloaded, configs, 0).at(0));
+  expect_same_probs(
+      cached.run_suffix_batch(*derived, configs, 0).at(0),
+      cached.run_suffix_batch(*re_extended, configs, 0).at(0));
+}
+
+TEST(ShardMerge, TreePlannedDoubleFaultShardsMatchSingleProcess) {
+  auto spec = quick_spec("bv", 4);
+  spec.grid.theta_step_deg = 90.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.grid.phi_max_deg = 180.0;
+  spec.max_points = 4;
+  spec.use_tree = true;
+
+  const auto single = run_double_fault_campaign(spec);
+  const auto plan = dist::plan_campaign_shards(spec, 3,
+                                               dist::ShardPolicy::TreeAware);
+  std::vector<CampaignResult> results;
+  for (const auto& shard : plan.shards) {
+    results.push_back(
+        run_double_fault_campaign_subset(spec, shard.point_indices));
+  }
+  const auto merged = dist::merge_shard_results(results);
+  EXPECT_EQ(merged.meta.executions, single.meta.executions);
+  expect_same_records(merged, single);
+}
+
 TEST(ShardRunner, ManifestExecutionMatchesDirectSubsetRun) {
   TempDir dir("runner");
   auto spec = quick_spec("bv", 4);

@@ -1,0 +1,516 @@
+// Prefix-tree engine tests: the snapshot-tree planner, extend_snapshot on
+// both checkpointing backends (parent-vs-from-scratch bit equivalence,
+// chain hops, serialized derived snapshots), the density suffix-response
+// batch path, and tree-vs-flat campaign parity (single and double fault,
+// including points with no coupled active neighbor).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algorithms/algorithms.hpp"
+#include "backend/density_backend.hpp"
+#include "backend/ideal_backend.hpp"
+#include "backend/trajectory_backend.hpp"
+#include "core/campaign.hpp"
+#include "core/injection.hpp"
+#include "core/snapshot_tree.hpp"
+#include "noise/backend_props.hpp"
+#include "noise/noise_model.hpp"
+#include "util/error.hpp"
+
+namespace qufi {
+namespace {
+
+CampaignSpec quick_spec(const std::string& name, int width) {
+  const auto bench = algo::paper_circuit(name, width);
+  CampaignSpec spec;
+  spec.circuit = bench.circuit;
+  spec.expected_outputs = bench.expected_outputs;
+  spec.grid.theta_step_deg = 60.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.threads = 2;
+  return spec;
+}
+
+void expect_same_probs(const backend::ExecutionResult& a,
+                       const backend::ExecutionResult& b) {
+  ASSERT_EQ(a.probabilities.size(), b.probabilities.size());
+  for (std::size_t i = 0; i < a.probabilities.size(); ++i) {
+    EXPECT_EQ(a.probabilities[i], b.probabilities[i]) << "index " << i;
+  }
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+// ---- snapshot-tree planner -------------------------------------------------
+
+TEST(SnapshotTreePlanner, DeduplicatesSplitsAndChainsThem) {
+  // Operand points of 2q gates share splits: 7 points, 4 unique splits.
+  const std::size_t splits[] = {2, 2, 5, 5, 9, 9, 12};
+  const auto plan = plan_snapshot_tree(splits, 1);
+  ASSERT_EQ(plan.nodes.size(), 4u);
+  ASSERT_EQ(plan.num_chains(), 1u);
+  EXPECT_EQ(plan.nodes[0].split, 2u);
+  EXPECT_EQ(plan.nodes[3].split, 12u);
+  EXPECT_EQ(plan.nodes[0].parent, -1);
+  for (std::size_t i = 1; i < plan.nodes.size(); ++i) {
+    EXPECT_EQ(plan.nodes[i].parent, static_cast<std::ptrdiff_t>(i - 1));
+  }
+  // Every input position appears exactly once, on the node of its split.
+  std::size_t total_members = 0;
+  for (const auto& node : plan.nodes) {
+    for (const std::size_t pos : node.members) {
+      EXPECT_EQ(splits[pos], node.split);
+    }
+    total_members += node.members.size();
+  }
+  EXPECT_EQ(total_members, 7u);
+  // One chain evolves 2 gates from scratch and extends through the rest.
+  EXPECT_EQ(plan.scratch_gates(), 2u);
+  EXPECT_EQ(plan.extended_gates(), 10u);  // (5-2) + (9-5) + (12-9)
+  EXPECT_EQ(plan.flat_gates(), 2u + 2 + 5 + 5 + 9 + 9 + 12);
+}
+
+TEST(SnapshotTreePlanner, PartitionsIntoAtMostMaxChains) {
+  std::vector<std::size_t> splits(20);
+  for (std::size_t i = 0; i < splits.size(); ++i) splits[i] = i;
+  const auto plan = plan_snapshot_tree(splits, 4);
+  EXPECT_EQ(plan.num_chains(), 4u);
+  EXPECT_EQ(plan.nodes.size(), 20u);
+  // Chain heads are roots; everything else extends its predecessor.
+  std::size_t roots = 0;
+  for (std::size_t c = 0; c < plan.num_chains(); ++c) {
+    EXPECT_EQ(plan.nodes[plan.chain_begin[c]].parent, -1);
+    for (std::size_t i = plan.chain_begin[c] + 1; i < plan.chain_begin[c + 1];
+         ++i) {
+      EXPECT_EQ(plan.nodes[i].parent, static_cast<std::ptrdiff_t>(i - 1));
+    }
+    ++roots;
+  }
+  EXPECT_EQ(roots, 4u);
+  // More chains than unique splits degenerates to all-roots.
+  const auto wide = plan_snapshot_tree(splits, 100);
+  EXPECT_EQ(wide.num_chains(), 20u);
+  EXPECT_EQ(wide.extended_gates(), 0u);
+}
+
+TEST(SnapshotTreePlanner, EmptyInputAndZeroChains) {
+  const auto empty = plan_snapshot_tree({}, 8);
+  EXPECT_EQ(empty.nodes.size(), 0u);
+  EXPECT_EQ(empty.num_chains(), 0u);
+  const std::size_t one[] = {3};
+  const auto plan = plan_snapshot_tree(one, 0);  // 0 treated as 1
+  EXPECT_EQ(plan.num_chains(), 1u);
+  ASSERT_EQ(plan.nodes.size(), 1u);
+  EXPECT_EQ(plan.nodes[0].parent, -1);
+}
+
+// ---- extend_snapshot: density ----------------------------------------------
+
+TEST(ExtendSnapshot, DensityExtendMatchesFromScratchBitExactly) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  ASSERT_GE(points.size(), 4u);
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+
+  const std::size_t early = points[1].split_index();
+  const std::size_t late = points[points.size() - 2].split_index();
+  ASSERT_LT(early, late);
+
+  const auto parent = backend.prepare_prefix(transpiled.circuit, early);
+  const auto extended = backend.extend_snapshot(*parent, early, late);
+  const auto scratch = backend.prepare_prefix(transpiled.circuit, late);
+  EXPECT_EQ(extended->prefix_length(), late);
+
+  const PhaseShiftFault fault{0.9, 1.7};
+  const circ::Instruction injected[] = {
+      fault.as_instruction(points[points.size() - 2].qubit)};
+  expect_same_probs(backend.run_suffix(*extended, injected, 0, 11),
+                    backend.run_suffix(*scratch, injected, 0, 11));
+}
+
+TEST(ExtendSnapshot, DensityChainHopsAreInvisible) {
+  const auto spec = quick_spec("qft", 3);
+  const auto transpiled = campaign_transpile(spec);
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  const std::size_t size = transpiled.circuit.size();
+  ASSERT_GE(size, 8u);
+
+  // One hop vs three hops to the same split: records must not depend on
+  // the chain shape (the sharding contract — different shards take
+  // different hop sequences).
+  const auto direct = backend.extend_snapshot(
+      *backend.prepare_prefix(transpiled.circuit, 2), 2, size - 2);
+  auto chained = backend.prepare_prefix(transpiled.circuit, 2);
+  chained = backend.extend_snapshot(*chained, 2, 4);
+  chained = backend.extend_snapshot(*chained, 4, size / 2);
+  chained = backend.extend_snapshot(*chained, size / 2, size - 2);
+
+  const int qubit = transpiled.circuit.active_qubits().front();
+  const circ::Instruction injected[] = {
+      PhaseShiftFault{1.3, 0.4}.as_instruction(qubit)};
+  expect_same_probs(backend.run_suffix(*direct, injected, 0, 3),
+                    backend.run_suffix(*chained, injected, 0, 3));
+}
+
+TEST(ExtendSnapshot, RejectsMismatchedChainArguments) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  const auto snapshot = backend.prepare_prefix(transpiled.circuit, 4);
+  EXPECT_THROW(backend.extend_snapshot(*snapshot, 3, 6), Error);  // wrong from
+  EXPECT_THROW(backend.extend_snapshot(*snapshot, 4, 2), Error);  // backwards
+  EXPECT_THROW(
+      backend.extend_snapshot(*snapshot, 4, transpiled.circuit.size() + 1),
+      Error);
+}
+
+TEST(ExtendSnapshot, BaseSpliceFallbackStaysExact) {
+  const auto bench = algo::ghz(3);
+  backend::IdealBackend backend;
+  const auto parent = backend.prepare_prefix(bench.circuit, 1);
+  const auto extended = backend.extend_snapshot(*parent, 1, 3);
+  EXPECT_EQ(extended->prefix_length(), 3u);
+
+  const circ::Instruction injected[] = {
+      PhaseShiftFault{0.8, 2.0}.as_instruction(0)};
+  const auto resumed = backend.run_suffix(*extended, injected, 0, 1);
+  const auto scratch = backend.run_suffix(
+      *backend.prepare_prefix(bench.circuit, 3), injected, 0, 1);
+  expect_same_probs(resumed, scratch);
+}
+
+// ---- extend_snapshot: trajectory -------------------------------------------
+
+TEST(ExtendSnapshot, TrajectoryExtendResumesTheExactRngStream) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  backend::TrajectoryBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  const std::uint64_t shots = 128;
+  const std::size_t size = transpiled.circuit.size();
+
+  const auto parent =
+      backend.prepare_prefix(transpiled.circuit, 3, shots, /*seed=*/77);
+  const auto extended = backend.extend_snapshot(*parent, 3, size / 2, shots, 77);
+  const auto scratch =
+      backend.prepare_prefix(transpiled.circuit, size / 2, shots, 77);
+
+  // The derived snapshot continued each cached shot's stored RNG stream, so
+  // sampled counts are bit-identical to the from-scratch snapshot — not
+  // just distribution-close.
+  const int qubit = transpiled.circuit.active_qubits().front();
+  const circ::Instruction injected[] = {
+      PhaseShiftFault{0.6, 1.2}.as_instruction(qubit)};
+  expect_same_probs(backend.run_suffix(*extended, injected, shots, 5),
+                    backend.run_suffix(*scratch, injected, shots, 5));
+}
+
+// ---- serialized derived snapshots ------------------------------------------
+
+TEST(ExtendSnapshot, SerializedDerivedDensitySnapshotRoundTrips) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  const std::size_t size = transpiled.circuit.size();
+
+  const auto derived = backend.extend_snapshot(
+      *backend.prepare_prefix(transpiled.circuit, 2), 2, size / 2);
+  std::stringstream stream;
+  ASSERT_TRUE(backend.save_snapshot(*derived, stream));
+  const auto loaded = backend.load_snapshot(stream);
+  EXPECT_EQ(loaded->prefix_length(), size / 2);
+
+  const int qubit = transpiled.circuit.active_qubits().front();
+  const circ::Instruction injected[] = {
+      PhaseShiftFault{1.0, 0.3}.as_instruction(qubit)};
+  expect_same_probs(backend.run_suffix(*loaded, injected, 0, 9),
+                    backend.run_suffix(*derived, injected, 0, 9));
+}
+
+TEST(ExtendSnapshot, LoadedTrajectorySnapshotStaysExtendable) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  backend::TrajectoryBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  const std::uint64_t shots = 64;
+  const std::size_t size = transpiled.circuit.size();
+
+  const auto parent =
+      backend.prepare_prefix(transpiled.circuit, 3, shots, /*seed=*/13);
+  std::stringstream stream;
+  ASSERT_TRUE(backend.save_snapshot(*parent, stream));
+  const auto loaded = backend.load_snapshot(stream);
+
+  // The serialized per-shot RNG state survives the round-trip: extending
+  // the loaded snapshot matches extending the original bit-for-bit, so a
+  // worker can deepen a snapshot another process evolved.
+  const auto from_original =
+      backend.extend_snapshot(*parent, 3, size - 1, shots, 13);
+  const auto from_loaded =
+      backend.extend_snapshot(*loaded, 3, size - 1, shots, 13);
+  const int qubit = transpiled.circuit.active_qubits().front();
+  const circ::Instruction injected[] = {
+      PhaseShiftFault{2.2, 0.1}.as_instruction(qubit)};
+  expect_same_probs(backend.run_suffix(*from_original, injected, shots, 21),
+                    backend.run_suffix(*from_loaded, injected, shots, 21));
+}
+
+// ---- density suffix-response batch path ------------------------------------
+
+TEST(SuffixResponse, LargeSingleQubitBatchMatchesSequentialRunSuffix) {
+  auto spec = quick_spec("dj", 3);
+  spec.grid.theta_step_deg = 30.0;  // 7 x 12 = 84 configs: response-eligible
+  spec.grid.phi_step_deg = 30.0;
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  ASSERT_TRUE(backend.suffix_response_enabled());
+  const InjectionPoint& point = points[points.size() / 2];
+  const auto snapshot =
+      backend.prepare_prefix(transpiled.circuit, point.split_index());
+
+  std::vector<backend::SuffixConfig> configs;
+  for (const auto& fault : spec.grid.enumerate()) {
+    configs.push_back(backend::SuffixConfig{
+        {fault.as_instruction(point.qubit)}, configs.size()});
+  }
+  ASSERT_GE(configs.size(), 32u);
+  const auto batched = backend.run_suffix_batch(*snapshot, configs, 0);
+  ASSERT_EQ(batched.size(), configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const auto sequential = backend.run_suffix(
+        *snapshot, configs[c].injected, 0, configs[c].seed);
+    ASSERT_EQ(batched[c].probabilities.size(),
+              sequential.probabilities.size());
+    for (std::size_t s = 0; s < sequential.probabilities.size(); ++s) {
+      EXPECT_NEAR(batched[c].probabilities[s], sequential.probabilities[s],
+                  1e-12)
+          << "config " << c << " state " << s;
+    }
+  }
+}
+
+TEST(SuffixResponse, LargeTwoQubitBatchMatchesSequentialRunSuffix) {
+  auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  const auto pairs = campaign_point_neighbor_pairs(spec);
+  ASSERT_FALSE(pairs.empty());
+  const auto& [point, neighbor] = pairs[pairs.size() / 2];
+
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  const auto snapshot =
+      backend.prepare_prefix(transpiled.circuit, point.split_index());
+
+  // A double-fault-shaped grid big enough for the 2-qubit response basis
+  // (>= 512 configs on one (primary, neighbor) pair).
+  std::vector<backend::SuffixConfig> configs;
+  for (int i = 0; configs.size() < 520; ++i) {
+    const PhaseShiftFault primary{0.01 * i, 0.02 * i};
+    const PhaseShiftFault secondary{0.005 * i, 0.01 * i};
+    configs.push_back(backend::SuffixConfig{
+        {primary.as_instruction(point.qubit),
+         secondary.as_instruction(neighbor)},
+        static_cast<std::uint64_t>(1000 + i)});
+  }
+  const auto batched = backend.run_suffix_batch(*snapshot, configs, 0);
+  ASSERT_EQ(batched.size(), configs.size());
+  for (std::size_t c = 0; c < configs.size(); c += 7) {
+    const auto sequential = backend.run_suffix(
+        *snapshot, configs[c].injected, 0, configs[c].seed);
+    for (std::size_t s = 0; s < sequential.probabilities.size(); ++s) {
+      EXPECT_NEAR(batched[c].probabilities[s], sequential.probabilities[s],
+                  1e-12)
+          << "config " << c << " state " << s;
+    }
+  }
+}
+
+TEST(SuffixResponse, DisabledBackendKeepsTheReplayPath) {
+  // With the flag off (the --no-tree engine), large batches must keep the
+  // PR 2 fused-replay semantics: within 1e-12 of per-config run_suffix
+  // (the fused superops were never bit-equal to the two-pass execute),
+  // matching the pre-existing BatchApi contract.
+  auto spec = quick_spec("dj", 3);
+  spec.grid.theta_step_deg = 30.0;
+  spec.grid.phi_step_deg = 30.0;
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0));
+  backend.set_suffix_response_enabled(false);
+  const InjectionPoint& point = points.front();
+  const auto snapshot =
+      backend.prepare_prefix(transpiled.circuit, point.split_index());
+
+  std::vector<backend::SuffixConfig> configs;
+  for (const auto& fault : spec.grid.enumerate()) {
+    configs.push_back(backend::SuffixConfig{
+        {fault.as_instruction(point.qubit)}, configs.size()});
+  }
+  const auto batched = backend.run_suffix_batch(*snapshot, configs, 0);
+  for (std::size_t c = 0; c < configs.size(); c += 11) {
+    const auto sequential = backend.run_suffix(
+        *snapshot, configs[c].injected, 0, configs[c].seed);
+    ASSERT_EQ(batched[c].probabilities.size(),
+              sequential.probabilities.size());
+    for (std::size_t s = 0; s < sequential.probabilities.size(); ++s) {
+      EXPECT_NEAR(batched[c].probabilities[s], sequential.probabilities[s],
+                  1e-12)
+          << "config " << c << " state " << s;
+    }
+  }
+}
+
+// ---- tree-vs-flat campaign parity (the acceptance property) ----------------
+
+void expect_campaigns_match(const CampaignResult& a, const CampaignResult& b,
+                            double tol) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  ASSERT_EQ(a.meta.executions, b.meta.executions);
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].point_index, b.records[i].point_index);
+    EXPECT_EQ(a.records[i].theta_index, b.records[i].theta_index);
+    EXPECT_EQ(a.records[i].phi_index, b.records[i].phi_index);
+    EXPECT_EQ(a.records[i].neighbor_qubit, b.records[i].neighbor_qubit);
+    EXPECT_EQ(a.records[i].theta1_index, b.records[i].theta1_index);
+    EXPECT_EQ(a.records[i].phi1_index, b.records[i].phi1_index);
+    EXPECT_NEAR(a.records[i].qvf, b.records[i].qvf, tol) << "record " << i;
+    EXPECT_NEAR(a.records[i].pa, b.records[i].pa, tol) << "record " << i;
+    EXPECT_NEAR(a.records[i].pb, b.records[i].pb, tol) << "record " << i;
+  }
+}
+
+TEST(TreeEquivalence, SingleFaultCampaignsMatchOnPaperCircuits) {
+  const std::pair<const char*, int> circuits[] = {
+      {"bv", 4}, {"dj", 3}, {"qft", 3}};
+  for (const auto& [name, width] : circuits) {
+    auto spec = quick_spec(name, width);
+    spec.grid.theta_step_deg = 30.0;  // large enough for the response path
+    spec.grid.phi_step_deg = 30.0;
+    spec.max_points = 6;
+
+    spec.use_tree = true;
+    const auto tree = run_single_fault_campaign(spec);
+    spec.use_tree = false;
+    const auto flat = run_single_fault_campaign(spec);
+
+    SCOPED_TRACE(name);
+    expect_campaigns_match(tree, flat, 1e-9);
+  }
+}
+
+TEST(TreeEquivalence, DoubleFaultCampaignsMatchWithResponseActive) {
+  auto spec = quick_spec("bv", 4);
+  spec.grid.theta_step_deg = 45.0;  // 5x8 primary grid: 540 pair configs,
+  spec.grid.phi_step_deg = 45.0;    // above the 2q response threshold
+  spec.max_points = 3;
+
+  spec.use_tree = true;
+  const auto tree = run_double_fault_campaign(spec);
+  spec.use_tree = false;
+  const auto flat = run_double_fault_campaign(spec);
+  expect_campaigns_match(tree, flat, 1e-9);
+}
+
+TEST(TreeEquivalence, ChunkedLanesAndSampledCampaignsMatch) {
+  const auto bench = algo::ghz(3);
+  CampaignSpec spec;
+  spec.circuit = bench.circuit;
+  spec.expected_outputs = bench.expected_outputs;
+  spec.grid.theta_step_deg = 60.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.threads = 16;  // more lanes than points
+  spec.max_points = 8;
+  spec.shots = 128;
+
+  spec.use_tree = true;
+  const auto tree = run_single_fault_campaign(spec);
+  spec.use_tree = false;
+  const auto flat = run_single_fault_campaign(spec);
+  expect_campaigns_match(tree, flat, 1e-9);
+}
+
+TEST(TreeEquivalence, DoubleFaultSubsetsUnionToTheFullRun) {
+  // Different shards walk different chains over the same circuit; the
+  // derived snapshots must make that invisible in the records.
+  auto spec = quick_spec("bv", 4);
+  spec.grid.theta_step_deg = 90.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.grid.phi_max_deg = 180.0;
+  spec.max_points = 6;
+  spec.use_tree = true;
+
+  const auto full = run_double_fault_campaign(spec);
+  const std::size_t evens[] = {0, 2, 4};
+  const std::size_t odds[] = {1, 3, 5};
+  const auto a = run_double_fault_campaign_subset(spec, evens);
+  const auto b = run_double_fault_campaign_subset(spec, odds);
+
+  ASSERT_EQ(a.records.size() + b.records.size(), full.records.size());
+  std::size_t ia = 0, ib = 0;
+  for (const auto& rec : full.records) {
+    const auto& shard =
+        rec.point_index % 2 == 0 ? a.records[ia++] : b.records[ib++];
+    ASSERT_EQ(shard.point_index, rec.point_index);
+    ASSERT_EQ(shard.neighbor_qubit, rec.neighbor_qubit);
+    EXPECT_EQ(shard.qvf, rec.qvf);
+    EXPECT_EQ(shard.pa, rec.pa);
+    EXPECT_EQ(shard.pb, rec.pb);
+  }
+}
+
+TEST(TreeEquivalence, EmptyNeighborPointsYieldNoRecordsAndNoCrash) {
+  // A one-qubit-wide circuit maps a single logical qubit, so no coupled
+  // neighbor carries an active logical qubit and every double-fault point
+  // has an empty secondary set: the tree engine must skip those nodes
+  // without materializing snapshots, and the subset run must return
+  // metadata with zero records.
+  circ::QuantumCircuit qc(1, 1);
+  qc.set_name("lonely");
+  qc.h(0).rz(0.5, 0).h(0);
+  qc.measure(0, 0);
+
+  CampaignSpec spec;
+  spec.circuit = qc;
+  spec.grid.theta_step_deg = 90.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.threads = 2;
+  spec.use_tree = true;
+
+  const auto points = campaign_points(spec);
+  ASSERT_FALSE(points.empty());
+  std::vector<std::size_t> all(points.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  const auto result = run_double_fault_campaign_subset(spec, all);
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.meta.executions, 0u);
+  EXPECT_EQ(result.points.size(), points.size());
+}
+
+TEST(TreeEquivalence, NamedAndNoBatchEnginesStillMatch) {
+  // --no-batch + tree: chains without the batched sweep (run_suffix per
+  // config) must still match the flat engine.
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 5;
+  spec.use_batch = false;
+
+  spec.use_tree = true;
+  const auto tree = run_single_fault_campaign(spec);
+  spec.use_tree = false;
+  const auto flat = run_single_fault_campaign(spec);
+  expect_campaigns_match(tree, flat, 1e-9);
+}
+
+}  // namespace
+}  // namespace qufi
