@@ -2,9 +2,10 @@
 // noise only with gates; our DensityMatrixBackend optionally schedules
 // thermal relaxation on idle qubits per circuit moment (an extension
 // flagged in DESIGN.md). This bench measures how much that refinement
-// shifts the QVF picture.
+// shifts the QVF picture. Both legs run through the regular campaign
+// engine — idle-noise snapshots are moment-aware, so the checkpoint/batch/
+// tree pipeline applies to this mode too (CampaignSpec::idle_noise).
 
-#include "backend/density_backend.hpp"
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -20,9 +21,7 @@ int main(int argc, char** argv) {
     for (bool idle : {false, true}) {
       auto spec = bench::paper_spec(name, 4, full);
       if (!full) spec.max_points = 24;
-      backend::DensityMatrixBackend backend(
-          noise::NoiseModel::from_backend(spec.backend), idle);
-      spec.backend_override = &backend;
+      spec.idle_noise = idle;
       const auto result = run_single_fault_campaign(spec);
       std::printf("%-8s %6s %14.4f %12.4f\n", name.c_str(),
                   idle ? "on" : "off", result.meta.faultfree_qvf,

@@ -12,6 +12,10 @@
 //                    prefix-tree engine (snapshot chains + deduplication +
 //                    the density suffix-response path) — the PR 2 flat
 //                    batch engine is the tree baseline;
+//   --idle-noise     run the campaigns with moment-scheduled idle-qubit
+//                    relaxation (moment-aware snapshots); combine with
+//                    --no-checkpoint for the re-simulation baseline this
+//                    mode used to be stuck at;
 //   --json           skip google-benchmark and instead time one single- and
 //                    one double-fault campaign per paper circuit (30-degree
 //                    grid), printing one machine-readable JSON line each:
@@ -54,13 +58,17 @@ using namespace qufi;
 bool g_use_checkpoints = true;
 bool g_use_batch = true;
 bool g_use_tree = true;
+bool g_idle_noise = false;
 unsigned g_shards = 1;
 
 std::string mode_label() {
-  if (g_shards > 1) return "shards" + std::to_string(g_shards);
-  if (!g_use_checkpoints) return "no-checkpoint";
-  if (!g_use_batch) return "no-batch";
-  return g_use_tree ? "tree" : "no-tree";
+  std::string label;
+  if (g_shards > 1) label = "shards" + std::to_string(g_shards);
+  else if (!g_use_checkpoints) label = "no-checkpoint";
+  else if (!g_use_batch) label = "no-batch";
+  else label = g_use_tree ? "tree" : "no-tree";
+  if (g_idle_noise) label += "+idle";
+  return label;
 }
 
 CampaignSpec small_spec() {
@@ -74,6 +82,7 @@ CampaignSpec small_spec() {
   spec.use_checkpoints = g_use_checkpoints;
   spec.use_batch = g_use_batch;
   spec.use_tree = g_use_tree;
+  spec.idle_noise = g_idle_noise;
   return spec;
 }
 
@@ -89,6 +98,7 @@ CampaignSpec paper_spec_30deg(const std::string& name, int width) {
   spec.use_checkpoints = g_use_checkpoints;
   spec.use_batch = g_use_batch;
   spec.use_tree = g_use_tree;
+  spec.idle_noise = g_idle_noise;
   return spec;
 }
 
@@ -131,12 +141,12 @@ void print_json_line(const char* circuit, const char* campaign,
   std::printf(
       "{\"bench\":\"perf_campaign\",\"circuit\":\"%s\","
       "\"campaign\":\"%s\",\"mode\":\"%s\","
-      "\"checkpoint\":%s,\"batch\":%s,\"tree\":%s,\"shards\":%u,"
-      "\"wall_ms\":%.3f,\"executions\":%llu}\n",
+      "\"checkpoint\":%s,\"batch\":%s,\"tree\":%s,\"idle_noise\":%s,"
+      "\"shards\":%u,\"wall_ms\":%.3f,\"executions\":%llu}\n",
       circuit, campaign, mode_label().c_str(),
       g_use_checkpoints ? "true" : "false", g_use_batch ? "true" : "false",
-      g_use_tree ? "true" : "false", g_shards, wall_ms,
-      static_cast<unsigned long long>(executions));
+      g_use_tree ? "true" : "false", g_idle_noise ? "true" : "false",
+      g_shards, wall_ms, static_cast<unsigned long long>(executions));
 }
 
 /// Direct timing mode for perf tracking: runs the acceptance workloads once
@@ -277,6 +287,9 @@ int main(int argc, char** argv) {
           "(batching baseline)\n"
           "  --no-tree        checkpointed + batched, prefix-tree engine "
           "disabled (tree baseline)\n"
+          "  --idle-noise     moment-scheduled idle-qubit relaxation "
+          "(combines with every other mode; the moment-aware snapshot "
+          "engine vs its --no-checkpoint re-simulation baseline)\n"
           "  --json           print one JSON line per (circuit, campaign) "
           "with the mode flags in effect\n"
           "  --shards N       (with --json) time the plan -> N concurrent "
@@ -290,6 +303,8 @@ int main(int argc, char** argv) {
       g_use_batch = false;
     } else if (std::strcmp(argv[i], "--no-tree") == 0) {
       g_use_tree = false;
+    } else if (std::strcmp(argv[i], "--idle-noise") == 0) {
+      g_idle_noise = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_summary = true;
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {

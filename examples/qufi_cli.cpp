@@ -36,6 +36,7 @@ struct CliOptions {
   std::size_t points = 0;
   bool double_faults = false;
   bool use_tree = true;
+  bool idle_noise = false;
   std::string csv_path;
 };
 
@@ -54,6 +55,7 @@ struct CliOptions {
       "  --points N        cap injection points (0 = all)\n"
       "  --double          run the double-fault campaign\n"
       "  --no-tree         disable the prefix-tree engine (flat batch baseline)\n"
+      "  --idle-noise      moment-scheduled idle-qubit relaxation\n"
       "  --csv PATH        write per-record CSV\n",
       argv0);
   std::exit(2);
@@ -79,6 +81,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--points") options.points = std::stoull(value());
     else if (arg == "--double") options.double_faults = true;
     else if (arg == "--no-tree") options.use_tree = false;
+    else if (arg == "--idle-noise") options.idle_noise = true;
     else if (arg == "--csv") options.csv_path = value();
     else usage(argv[0]);
   }
@@ -117,6 +120,7 @@ int main(int argc, char** argv) {
     spec.seed = options.seed;
     spec.max_points = options.points;
     spec.use_tree = options.use_tree;
+    spec.idle_noise = options.idle_noise;
 
     const auto result = options.double_faults
                             ? run_double_fault_campaign(spec)

@@ -37,6 +37,7 @@ struct CliOptions {
   std::size_t points = 0;
   bool double_faults = false;
   bool use_tree = true;
+  bool idle_noise = false;
   std::uint32_t shards = 2;
   std::string policy = "cost";
   std::string backend_kind = "density";
@@ -58,6 +59,7 @@ struct CliOptions {
       "  --points N          cap injection points (0 = all)\n"
       "  --double            plan the double-fault campaign\n"
       "  --no-tree           stamp manifests with the flat (non-tree) engine\n"
+      "  --idle-noise        moment-scheduled idle relaxation (density only)\n"
       "  --shards N          number of shards                  (default 2)\n"
       "  --policy NAME       cost | points | tree              (default cost)\n"
       "  --backend-kind NAME density | trajectory              (default density)\n"
@@ -86,6 +88,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--points") options.points = std::stoull(value());
     else if (arg == "--double") options.double_faults = true;
     else if (arg == "--no-tree") options.use_tree = false;
+    else if (arg == "--idle-noise") options.idle_noise = true;
     else if (arg == "--shards")
       options.shards = static_cast<std::uint32_t>(std::stoul(value()));
     else if (arg == "--policy") options.policy = value();
@@ -127,6 +130,7 @@ int main(int argc, char** argv) {
     spec.seed = options.seed;
     spec.max_points = options.points;
     spec.use_tree = options.use_tree;
+    spec.idle_noise = options.idle_noise;
 
     dist::ShardPolicy policy;
     if (options.policy == "cost") policy = dist::ShardPolicy::CostWeighted;
@@ -141,6 +145,9 @@ int main(int argc, char** argv) {
       kind = dist::WorkerBackendKind::Trajectory;
     } else {
       throw Error("unknown backend kind: " + options.backend_kind);
+    }
+    if (options.idle_noise && kind == dist::WorkerBackendKind::Trajectory) {
+      throw Error("--idle-noise requires --backend-kind density");
     }
 
     const auto plan = dist::plan_campaign_shards(spec, options.shards, policy);

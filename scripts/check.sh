@@ -111,3 +111,37 @@ if ! diff -q "$smoke_dir/double/merged.csv" "$smoke_dir/double/single.csv" > /de
   exit 1
 fi
 echo "double-fault smoke OK (tree-policy 2-shard merge == single-process)"
+
+# Idle-noise campaigns run through the same plan -> worker -> merge path
+# with moment-aware snapshots (one worker resuming serialized v3 snapshot
+# files): the merged CSV must still be byte-identical to the single-process
+# idle-noise run — the re-admission contract of docs/CAMPAIGNS.md.
+./build/qufi_shard_plan --circuit bv --width 4 --idle-noise --theta-step 60 \
+  --phi-step 90 --points 4 --shards 2 --out-dir "$smoke_dir/idle" > /dev/null
+./build/qufi_shard_worker --manifest "$smoke_dir/idle/shard_000.manifest" \
+  --out "$smoke_dir/idle/part_000.csv" \
+  --snapshot-dir "$smoke_dir/idle/snaps" > /dev/null
+./build/qufi_shard_worker --manifest "$smoke_dir/idle/shard_001.manifest" \
+  --out "$smoke_dir/idle/part_001.csv" > /dev/null
+./build/qufi_shard_merge --out "$smoke_dir/idle/merged.csv" \
+  "$smoke_dir/idle/part_001.csv" "$smoke_dir/idle/part_000.csv" > /dev/null
+./build/qufi_cli --circuit bv --width 4 --idle-noise --theta-step 60 \
+  --phi-step 90 --points 4 --csv "$smoke_dir/idle/single.csv" > /dev/null
+if ! diff -q "$smoke_dir/idle/merged.csv" "$smoke_dir/idle/single.csv" > /dev/null; then
+  echo "idle-noise smoke FAILED: merged shard CSV differs from single-process CSV" >&2
+  diff "$smoke_dir/idle/merged.csv" "$smoke_dir/idle/single.csv" | head -5 >&2
+  exit 1
+fi
+echo "idle-noise smoke OK (moment-aware 2-shard merge == single-process)"
+
+# Golden-CSV regression through the real CLI: the committed bv-2q fixture
+# pins the column schema and row ordering documented in the README, so
+# qufi_cli --csv output must stay byte-identical to it.
+./build/qufi_cli --circuit bv --width 2 --theta-step 90 --phi-step 180 \
+  --csv "$smoke_dir/golden.csv" > /dev/null
+if ! diff -q "$smoke_dir/golden.csv" tests/golden/bv2q_single.csv > /dev/null; then
+  echo "golden CSV FAILED: qufi_cli output differs from tests/golden/bv2q_single.csv" >&2
+  diff "$smoke_dir/golden.csv" tests/golden/bv2q_single.csv | head -5 >&2
+  exit 1
+fi
+echo "golden CSV OK (qufi_cli --csv == tests/golden/bv2q_single.csv)"

@@ -99,6 +99,21 @@ class Backend {
   ///         whether grouping work by injection point pays off.
   virtual bool supports_checkpointing() const { return false; }
 
+  /// Digest of any execution *schedule* a snapshot at (circuit,
+  /// prefix_length) would depend on beyond the circuit bytes themselves — a
+  /// cache-key component for snapshot stores (src/dist snapshot cache).
+  /// Backends whose prefix evolution is a pure function of the instruction
+  /// list return 0 (the default). The idle-noise density backend returns a
+  /// digest of its sealed moment schedule at the split, so snapshots written
+  /// by a different scheduler version (or a different sealing boundary) can
+  /// never be served from a shared cache directory.
+  virtual std::uint64_t snapshot_schedule_digest(
+      const circ::QuantumCircuit& circuit, std::size_t prefix_length) const {
+    (void)circuit;
+    (void)prefix_length;
+    return 0;
+  }
+
   /// Captures the execution state after the first `prefix_length`
   /// instructions of `circuit`.
   ///

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <complex>
+#include <map>
 #include <memory>
 #include <mutex>
 
@@ -148,11 +149,74 @@ struct DensityExecutor {
   }
 };
 
+/// Executes moments [from_moment, to_moment) of `moments` over `circuit`:
+/// each moment's instructions in index order, then thermal relaxation on
+/// the moment's idle active qubits. This is the idle-noise scheduling loop,
+/// shared by run_density_probs and by the moment-aware snapshot paths
+/// (prepare_prefix / extend_snapshot / run_suffix), so a resumed execution
+/// applies the exact same kernel sequence a from-scratch run would.
+void execute_idle_moments(DensityExecutor& exec,
+                          const circ::QuantumCircuit& circuit,
+                          const circ::Moments& moments, int from_moment,
+                          int to_moment, const noise::NoiseModel& nm,
+                          const std::vector<int>& active) {
+  const auto& instrs = circuit.instructions();
+  for (int m = from_moment; m < to_moment; ++m) {
+    const auto& idx =
+        moments.instructions_per_moment[static_cast<std::size_t>(m)];
+    double duration = 0.0;
+    std::vector<bool> busy(active.size(), false);
+    for (const auto i : idx) {
+      duration = std::max(duration, instruction_duration_ns(instrs[i], nm));
+      for (int q : instrs[i].qubits) {
+        const int c = exec.compact(q);
+        if (c >= 0) busy[static_cast<std::size_t>(c)] = true;
+      }
+    }
+    for (const auto i : idx) exec.execute(instrs[i]);
+    if (duration > 0.0) {
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        if (busy[k]) continue;
+        const auto idle = nm.idle_relaxation(active[k], duration);
+        apply_channel(exec.dm, idle, static_cast<int>(k));
+      }
+    }
+  }
+}
+
 /// Physical <-> compact index maps for a circuit's active-qubit set.
 struct Compaction {
   std::vector<int> active;      // compact -> physical
   std::vector<int> to_compact;  // physical -> compact (-1 unused)
 };
+
+/// Digest of the sealed moment schedule a moment-aware snapshot at
+/// (circuit, prefix_length) depends on: the split, the sealing boundary and
+/// the per-active-qubit moment frontier. Stored in v3 snapshot containers
+/// and folded into dist snapshot-cache keys, so a snapshot written under a
+/// different scheduler (or loaded at the wrong boundary) is rejected
+/// instead of silently resuming a different schedule.
+std::uint64_t idle_schedule_digest(const circ::QuantumCircuit& circuit,
+                                   std::size_t prefix_length,
+                                   const std::vector<int>& active) {
+  const std::vector<int> frontier =
+      circ::moment_frontier(circuit, prefix_length);
+  // The sealed boundary is the min frontier over the active set (the same
+  // value sealed_moment_count computes; derived here from the frontier
+  // already in hand instead of rescanning the prefix).
+  int sealed = active.empty() ? 0
+                              : frontier[static_cast<std::size_t>(active[0])];
+  for (const int q : active) {
+    sealed = std::min(sealed, frontier[static_cast<std::size_t>(q)]);
+  }
+  util::ByteWriter w;
+  w.u64(prefix_length);
+  w.u64(static_cast<std::uint64_t>(sealed));
+  for (const int q : active) {
+    w.u32(static_cast<std::uint32_t>(frontier[static_cast<std::size_t>(q)]));
+  }
+  return util::fnv1a64(w.data());
+}
 
 Compaction build_compaction(const circ::QuantumCircuit& circuit) {
   Compaction c;
@@ -269,6 +333,7 @@ struct BakedOp {
     Superop1,  ///< fused 1q gate+channel superop: m4 on q0
     Superop2,  ///< fused 2q gate+channel superop: so2 on (q0, q1)
     CCX,       ///< noiseless Toffoli on (q0, q1, q2)
+    Inject,    ///< per-config fault slot: injected[q0] executes here
   };
   Kind kind = Kind::Unitary1;
   int q0 = 0, q1 = 0, q2 = 0;
@@ -277,100 +342,115 @@ struct BakedOp {
   noise::SuperOp2 so2{};
 };
 
+/// Bakes one instruction into `op` (gate matrix built once, noise fused in).
+/// Returns false for instructions with nothing to replay (barriers, and
+/// terminal measures, which are resolved from the final diagonal).
+bool bake_instruction(const Instruction& instr,
+                      const std::vector<int>& to_compact,
+                      const noise::NoiseModel& nm, BakedOp& op) {
+  const auto compact = [&](int physical) {
+    return to_compact[static_cast<std::size_t>(physical)];
+  };
+  switch (instr.kind) {
+    case GateKind::Barrier:
+    case GateKind::Measure:
+      return false;
+    case GateKind::Reset:
+      op.kind = BakedOp::Kind::Superop1;
+      op.q0 = compact(instr.qubits[0]);
+      op.m4 = noise::channel_superop(reset_channel());
+      return true;
+    default:
+      break;
+  }
+
+  const auto& info = circ::gate_info(instr.kind);
+  if (info.num_qubits == 1) {
+    const util::Mat2 u = circ::gate_matrix1(instr.kind, instr.params);
+    op.q0 = compact(instr.qubits[0]);
+    if (const auto* superop = nm.superop_after_1q(instr.kind,
+                                                  instr.qubits[0])) {
+      op.kind = BakedOp::Kind::Superop1;
+      op.m4 = noise::compose_superops(
+          *superop, noise::channel_superop(noise::KrausChannel1{{u}}));
+    } else {
+      op.kind = BakedOp::Kind::Unitary1;
+      op.m1 = u;
+    }
+  } else if (info.num_qubits == 2) {
+    const util::Mat4 u = circ::gate_matrix2(instr.kind, instr.params);
+    const int lo = std::min(instr.qubits[0], instr.qubits[1]);
+    const int hi = std::max(instr.qubits[0], instr.qubits[1]);
+    if (const auto* superop = nm.superop_after_2q(lo, hi)) {
+      // Edge superops are built for the sorted pair, so re-express the
+      // gate over (lo, hi) before fusing.
+      const util::Mat4 u_sorted =
+          instr.qubits[0] == lo ? u : swap_operand_order(u);
+      op.kind = BakedOp::Kind::Superop2;
+      op.q0 = compact(lo);
+      op.q1 = compact(hi);
+      op.so2 = noise::compose_superops(
+          *superop, noise::channel_superop(noise::KrausChannel2{{u_sorted}}));
+    } else {
+      op.kind = BakedOp::Kind::Unitary2;
+      op.q0 = compact(instr.qubits[0]);
+      op.q1 = compact(instr.qubits[1]);
+      op.m4 = u;
+    }
+  } else {
+    require(instr.kind == GateKind::CCX,
+            "run_suffix_batch: unsupported 3-qubit gate");
+    op.kind = BakedOp::Kind::CCX;
+    op.q0 = compact(instr.qubits[0]);
+    op.q1 = compact(instr.qubits[1]);
+    op.q2 = compact(instr.qubits[2]);
+  }
+  return true;
+}
+
 std::vector<BakedOp> bake_suffix(const circ::QuantumCircuit& circuit,
                                  std::size_t prefix_length,
                                  const std::vector<int>& to_compact,
                                  const noise::NoiseModel& nm) {
-  const auto compact = [&](int physical) {
-    return to_compact[static_cast<std::size_t>(physical)];
-  };
   std::vector<BakedOp> ops;
   const auto& instrs = circuit.instructions();
   for (std::size_t i = prefix_length; i < instrs.size(); ++i) {
-    const Instruction& instr = instrs[i];
     BakedOp op;
-    switch (instr.kind) {
-      case GateKind::Barrier:
-      case GateKind::Measure:
-        continue;  // terminal measures are resolved from the final diagonal
-      case GateKind::Reset:
-        op.kind = BakedOp::Kind::Superop1;
-        op.q0 = compact(instr.qubits[0]);
-        op.m4 = noise::channel_superop(reset_channel());
-        ops.push_back(op);
-        continue;
-      default:
-        break;
-    }
-
-    const auto& info = circ::gate_info(instr.kind);
-    if (info.num_qubits == 1) {
-      const util::Mat2 u = circ::gate_matrix1(instr.kind, instr.params);
-      op.q0 = compact(instr.qubits[0]);
-      if (const auto* superop = nm.superop_after_1q(instr.kind,
-                                                    instr.qubits[0])) {
-        op.kind = BakedOp::Kind::Superop1;
-        op.m4 = noise::compose_superops(
-            *superop, noise::channel_superop(noise::KrausChannel1{{u}}));
-      } else {
-        op.kind = BakedOp::Kind::Unitary1;
-        op.m1 = u;
-      }
-    } else if (info.num_qubits == 2) {
-      const util::Mat4 u = circ::gate_matrix2(instr.kind, instr.params);
-      const int lo = std::min(instr.qubits[0], instr.qubits[1]);
-      const int hi = std::max(instr.qubits[0], instr.qubits[1]);
-      if (const auto* superop = nm.superop_after_2q(lo, hi)) {
-        // Edge superops are built for the sorted pair, so re-express the
-        // gate over (lo, hi) before fusing.
-        const util::Mat4 u_sorted =
-            instr.qubits[0] == lo ? u : swap_operand_order(u);
-        op.kind = BakedOp::Kind::Superop2;
-        op.q0 = compact(lo);
-        op.q1 = compact(hi);
-        op.so2 = noise::compose_superops(
-            *superop, noise::channel_superop(noise::KrausChannel2{{u_sorted}}));
-      } else {
-        op.kind = BakedOp::Kind::Unitary2;
-        op.q0 = compact(instr.qubits[0]);
-        op.q1 = compact(instr.qubits[1]);
-        op.m4 = u;
-      }
-    } else {
-      require(instr.kind == GateKind::CCX,
-              "run_suffix_batch: unsupported 3-qubit gate");
-      op.kind = BakedOp::Kind::CCX;
-      op.q0 = compact(instr.qubits[0]);
-      op.q1 = compact(instr.qubits[1]);
-      op.q2 = compact(instr.qubits[2]);
-    }
-    ops.push_back(op);
+    if (bake_instruction(instrs[i], to_compact, nm, op)) ops.push_back(op);
   }
   return ops;
 }
 
-void replay_suffix(sim::DensityMatrix& dm, std::span<const BakedOp> ops) {
-  for (const auto& op : ops) {
-    switch (op.kind) {
-      case BakedOp::Kind::Unitary1:
-        dm.apply_unitary1(op.m1, op.q0);
-        break;
-      case BakedOp::Kind::Unitary2:
-        dm.apply_unitary2(op.m4, op.q0, op.q1);
-        break;
-      case BakedOp::Kind::Superop1:
-        dm.apply_superop1(op.m4, op.q0);
-        break;
-      case BakedOp::Kind::Superop2:
-        dm.apply_superop2(op.so2.a, op.q0, op.q1);
-        break;
-      case BakedOp::Kind::CCX: {
-        const Instruction mapped{GateKind::CCX, {op.q0, op.q1, op.q2}, {}, {}};
-        dm.apply_instruction(mapped);
-        break;
-      }
+void apply_baked_op(sim::DensityMatrix& dm, const BakedOp& op) {
+  switch (op.kind) {
+    case BakedOp::Kind::Unitary1:
+      dm.apply_unitary1(op.m1, op.q0);
+      break;
+    case BakedOp::Kind::Unitary2:
+      dm.apply_unitary2(op.m4, op.q0, op.q1);
+      break;
+    case BakedOp::Kind::Superop1:
+      dm.apply_superop1(op.m4, op.q0);
+      break;
+    case BakedOp::Kind::Superop2:
+      dm.apply_superop2(op.so2.a, op.q0, op.q1);
+      break;
+    case BakedOp::Kind::CCX: {
+      const Instruction mapped{GateKind::CCX, {op.q0, op.q1, op.q2}, {}, {}};
+      dm.apply_instruction(mapped);
+      break;
     }
+    case BakedOp::Kind::Inject:
+      break;  // per-config; callers substitute the config's fault gate
   }
+}
+
+/// Replays a compiled suffix, skipping Inject slots — the form the response
+/// basis builds against (the injection itself lives in the config weights).
+/// Per-config replays walk the op list themselves so Inject slots execute
+/// the config's own fault gates.
+void replay_suffix(sim::DensityMatrix& dm, std::span<const BakedOp> ops) {
+  for (const auto& op : ops) apply_baked_op(dm, op);
 }
 
 /// Complex analogue of resolve_probs for the response basis: basis matrices
@@ -430,10 +510,30 @@ std::vector<std::complex<double>> resolve_probs_complex(
 /// cancel in the weighted sum.
 struct SuffixResponseBasis {
   std::vector<int> targets;  ///< compact qubit indices, ascending (size 1-2)
+  /// Injection-shape key the basis was compiled for (empty when the suffix
+  /// does not depend on the shape, i.e. non-idle snapshots). Moment-aware
+  /// suffixes weave the spliced schedule's idle channels into the replayed
+  /// ops, and that schedule depends on where the fault gates land.
+  std::string shape;
   /// Response vectors, indexed [((a*m + b)*m + c)*m + d] * num_outcomes + o.
   std::vector<std::complex<double>> responses;
   std::size_t num_outcomes = 0;
 };
+
+/// Stable key of a batch config's injection *shape* — the gate kinds and
+/// operand qubits, excluding parameters. Two configs with the same shape
+/// splice into circuits with identical moment schedules (moment placement
+/// depends on qubits, durations on kind + qubits), so they share a compiled
+/// idle suffix and a response basis.
+std::string injection_shape_key(std::span<const Instruction> injected) {
+  util::ByteWriter w;
+  for (const Instruction& instr : injected) {
+    w.u32(static_cast<std::uint32_t>(instr.kind));
+    w.u32(static_cast<std::uint32_t>(instr.qubits.size()));
+    for (const int q : instr.qubits) w.u32(static_cast<std::uint32_t>(q));
+  }
+  return w.data();
+}
 
 /// Density-matrix state captured after a circuit prefix, together with the
 /// compaction maps, the circuit whose suffix run_suffix will replay, and a
@@ -441,16 +541,30 @@ struct SuffixResponseBasis {
 /// submitted against this snapshot shares one compilation.
 class DensitySnapshot final : public PrefixSnapshot {
  public:
+  /// \param idle_noise      True when the snapshot is moment-aware: the
+  ///                        state covers exactly the sealed moments below
+  ///                        `moment_cursor` (not a flat gate prefix).
+  /// \param moment_cursor   First unsealed moment at the split (0 for
+  ///                        non-idle snapshots).
+  /// \param schedule_digest idle_schedule_digest at the split (0 non-idle).
   DensitySnapshot(sim::DensityMatrix dm, Compaction compaction,
-                  circ::QuantumCircuit circuit, std::size_t prefix_length)
+                  circ::QuantumCircuit circuit, std::size_t prefix_length,
+                  bool idle_noise = false, std::size_t moment_cursor = 0,
+                  std::uint64_t schedule_digest = 0)
       : PrefixSnapshot(prefix_length),
         dm_(std::move(dm)),
         compaction_(std::move(compaction)),
-        circuit_(std::move(circuit)) {}
+        circuit_(std::move(circuit)),
+        idle_noise_(idle_noise),
+        moment_cursor_(moment_cursor),
+        schedule_digest_(schedule_digest) {}
 
   const sim::DensityMatrix& dm() const { return dm_; }
   const Compaction& compaction() const { return compaction_; }
   const circ::QuantumCircuit* circuit() const override { return &circuit_; }
+  bool idle_noise() const { return idle_noise_; }
+  std::size_t moment_cursor() const { return moment_cursor_; }
+  std::uint64_t schedule_digest() const { return schedule_digest_; }
 
   /// The fused suffix program plus the terminal-measurement resolver,
   /// compiled on first use and cached. Thread-safe: snapshots are shared
@@ -470,19 +584,40 @@ class DensitySnapshot final : public PrefixSnapshot {
     return compiled_;
   }
 
-  /// Cached response basis per target-qubit set, built on first use by
-  /// `build` under the snapshot's lock. Chunked submissions against one
-  /// snapshot share the basis, so per-config results are independent of
-  /// batch granularity (the shard byte-identity contract).
+  /// Shape-keyed compiled suffixes for moment-aware snapshots: the spliced
+  /// schedule (and with it the interleaved idle channels and the Inject
+  /// slot positions) depends on where the fault gates land, so each
+  /// injection shape bakes its own program. Built on first use by `build`
+  /// under the snapshot's lock and shared across chunks and lanes, so
+  /// results stay independent of batch granularity.
+  template <typename BuildFn>
+  const CompiledSuffix& compiled_idle_suffix(const std::string& shape,
+                                             BuildFn&& build) const {
+    std::lock_guard<std::mutex> lock(idle_compiled_mutex_);
+    auto it = idle_compiled_.find(shape);
+    if (it == idle_compiled_.end()) {
+      it = idle_compiled_
+               .emplace(shape, std::make_unique<CompiledSuffix>(build()))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// Cached response basis per (target-qubit set, injection shape), built
+  /// on first use by `build` under the snapshot's lock. Chunked submissions
+  /// against one snapshot share the basis, so per-config results are
+  /// independent of batch granularity (the shard byte-identity contract).
   template <typename BuildFn>
   const SuffixResponseBasis& response_basis(const std::vector<int>& targets,
+                                            const std::string& shape,
                                             BuildFn&& build) const {
     std::lock_guard<std::mutex> lock(response_mutex_);
     for (const auto& basis : response_bases_) {
-      if (basis->targets == targets) return *basis;
+      if (basis->targets == targets && basis->shape == shape) return *basis;
     }
     response_bases_.push_back(
         std::make_unique<SuffixResponseBasis>(build(targets)));
+    response_bases_.back()->shape = shape;
     return *response_bases_.back();
   }
 
@@ -490,11 +625,131 @@ class DensitySnapshot final : public PrefixSnapshot {
   sim::DensityMatrix dm_;
   Compaction compaction_;
   circ::QuantumCircuit circuit_;
+  bool idle_noise_ = false;
+  std::size_t moment_cursor_ = 0;
+  std::uint64_t schedule_digest_ = 0;
   mutable std::once_flag compile_once_;
   mutable CompiledSuffix compiled_;
+  mutable std::mutex idle_compiled_mutex_;
+  mutable std::map<std::string, std::unique_ptr<CompiledSuffix>>
+      idle_compiled_;
   mutable std::mutex response_mutex_;
   mutable std::vector<std::unique_ptr<SuffixResponseBasis>> response_bases_;
 };
+
+/// Compiles the moment-aware suffix of a snapshot for one injection shape:
+/// splices representative fault gates in at the split, recomputes the
+/// spliced circuit's moment schedule, and flattens every moment at or above
+/// the snapshot's sealed boundary into baked ops — residue prefix gates
+/// (sealed later than the split), Inject slots where the fault gates land,
+/// the suffix gates (noise fused as in bake_suffix), and one idle-channel
+/// superop per (moment, idle qubit) pair. Replaying the result from the
+/// snapshot state applies the same schedule a from-scratch run of the
+/// spliced circuit would (parameters of the representative gates never
+/// matter: moment placement depends on qubits, durations on kind + qubits).
+DensitySnapshot::CompiledSuffix compile_idle_suffix(
+    const DensitySnapshot& snap, std::span<const Instruction> injected_rep,
+    const noise::NoiseModel& nm) {
+  const circ::QuantumCircuit& circuit = *snap.circuit();
+  const circ::QuantumCircuit spliced =
+      splice_circuit(circuit, snap.prefix_length(), injected_rep);
+  const circ::Moments moments = circ::compute_moments(spliced);
+  const auto& instrs = spliced.instructions();
+  const std::vector<int>& to_compact = snap.compaction().to_compact;
+  const std::vector<int>& active = snap.compaction().active;
+  const std::size_t split = snap.prefix_length();
+  const std::size_t num_injected = injected_rep.size();
+
+  DensitySnapshot::CompiledSuffix compiled;
+  for (int m = static_cast<int>(snap.moment_cursor());
+       m < moments.num_moments(); ++m) {
+    const auto& idx =
+        moments.instructions_per_moment[static_cast<std::size_t>(m)];
+    double duration = 0.0;
+    std::vector<bool> busy(active.size(), false);
+    for (const auto i : idx) {
+      duration = std::max(duration, instruction_duration_ns(instrs[i], nm));
+      for (int q : instrs[i].qubits) {
+        const int c = to_compact[static_cast<std::size_t>(q)];
+        if (c >= 0) busy[static_cast<std::size_t>(c)] = true;
+      }
+    }
+    for (const auto i : idx) {
+      if (i >= split && i < split + num_injected) {
+        BakedOp op;
+        op.kind = BakedOp::Kind::Inject;
+        op.q0 = static_cast<int>(i - split);
+        compiled.ops.push_back(op);
+        continue;
+      }
+      BakedOp op;
+      if (bake_instruction(instrs[i], to_compact, nm, op)) {
+        compiled.ops.push_back(op);
+      }
+    }
+    if (duration > 0.0) {
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        if (busy[k]) continue;
+        const auto idle = nm.idle_relaxation(active[k], duration);
+        if (idle.is_identity()) continue;
+        BakedOp op;
+        op.kind = BakedOp::Kind::Superop1;
+        op.q0 = static_cast<int>(k);
+        op.m4 = noise::channel_superop(idle);
+        compiled.ops.push_back(op);
+      }
+    }
+  }
+  compiled.resolver = build_measurement_resolver(circuit, to_compact, nm);
+  return compiled;
+}
+
+/// True when a baked op acts on any of `targets` (compact indices) —
+/// the response-path eligibility scan under idle noise: an op on a target
+/// ahead of the last Inject slot would have to commute past the config's
+/// slot channel, which only disjoint-qubit ops do.
+bool op_touches(const BakedOp& op, const std::vector<int>& targets) {
+  const auto has = [&](int q) {
+    return std::find(targets.begin(), targets.end(), q) != targets.end();
+  };
+  switch (op.kind) {
+    case BakedOp::Kind::Unitary1:
+    case BakedOp::Kind::Superop1:
+      return has(op.q0);
+    case BakedOp::Kind::Unitary2:
+    case BakedOp::Kind::Superop2:
+      return has(op.q0) || has(op.q1);
+    case BakedOp::Kind::CCX:
+      return has(op.q0) || has(op.q1) || has(op.q2);
+    case BakedOp::Kind::Inject:
+      return false;
+  }
+  return false;
+}
+
+/// Response-path eligibility of a compiled idle suffix for one target set:
+/// every non-Inject op that precedes the last Inject slot must be disjoint
+/// from the targets. Then the whole post-injection pipeline factors as
+/// "slot channel, then one fixed linear map" exactly — ops ahead of the
+/// injection commute past the slot channel (disjoint qubits), idle channels
+/// on the targets only ever appear after the last fault gate (a target is
+/// busy in its own injection moment), and everything is baked into the
+/// basis replay.
+bool idle_response_eligible(const DensitySnapshot::CompiledSuffix& compiled,
+                            const std::vector<int>& targets) {
+  std::ptrdiff_t last_inject = -1;
+  for (std::size_t i = 0; i < compiled.ops.size(); ++i) {
+    if (compiled.ops[i].kind == BakedOp::Kind::Inject) {
+      last_inject = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  for (std::ptrdiff_t i = 0; i < last_inject; ++i) {
+    if (op_touches(compiled.ops[static_cast<std::size_t>(i)], targets)) {
+      return false;
+    }
+  }
+  return true;
+}
 
 /// Builds the m^4 basis responses for one target set: each slot matrix unit
 /// placement B_{ab,cd} (the |a><b| slot block filled with the snapshot's
@@ -623,30 +878,8 @@ std::vector<double> run_density_probs(const circ::QuantumCircuit& circuit,
   if (options.idle_noise && !noise_model.is_ideal()) {
     // Moment-scheduled execution: idle qubits decohere while others work.
     const auto moments = circ::compute_moments(circuit);
-    const auto& instrs = circuit.instructions();
-    for (int m = 0; m < moments.num_moments(); ++m) {
-      const auto& idx =
-          moments.instructions_per_moment[static_cast<std::size_t>(m)];
-      double duration = 0.0;
-      std::vector<bool> busy(active.size(), false);
-      for (const auto i : idx) {
-        duration = std::max(duration,
-                            instruction_duration_ns(instrs[i], noise_model));
-        for (int q : instrs[i].qubits) {
-          const int c = exec.compact(q);
-          if (c >= 0) busy[static_cast<std::size_t>(c)] = true;
-        }
-      }
-      for (const auto i : idx) exec.execute(instrs[i]);
-      if (duration > 0.0) {
-        for (std::size_t k = 0; k < active.size(); ++k) {
-          if (busy[k]) continue;
-          const auto idle =
-              noise_model.idle_relaxation(active[k], duration);
-          apply_channel(exec.dm, idle, static_cast<int>(k));
-        }
-      }
-    }
+    execute_idle_moments(exec, circuit, moments, 0, moments.num_moments(),
+                         noise_model, active);
   } else {
     for (const auto& instr : circuit.instructions()) exec.execute(instr);
   }
@@ -673,13 +906,18 @@ ExecutionResult DensityMatrixBackend::run(const circ::QuantumCircuit& circuit,
       std::move(probs), circuit.num_clbits(), shots, seed, name());
 }
 
+std::uint64_t DensityMatrixBackend::snapshot_schedule_digest(
+    const circ::QuantumCircuit& circuit, std::size_t prefix_length) const {
+  if (!idle_mode_active()) return 0;
+  return idle_schedule_digest(circuit, prefix_length,
+                              build_compaction(circuit).active);
+}
+
 PrefixSnapshotPtr DensityMatrixBackend::prepare_prefix(
     const circ::QuantumCircuit& circuit, std::size_t prefix_length,
     std::uint64_t shots_hint, std::uint64_t snapshot_seed) {
-  if (!supports_checkpointing()) {
-    return Backend::prepare_prefix(circuit, prefix_length, shots_hint,
-                                   snapshot_seed);
-  }
+  (void)shots_hint;
+  (void)snapshot_seed;
   require(prefix_length <= circuit.size(),
           "prepare_prefix: prefix length exceeds circuit size");
   require(circuit.num_clbits() > 0,
@@ -697,6 +935,24 @@ PrefixSnapshotPtr DensityMatrixBackend::prepare_prefix(
       sim::DensityMatrix(static_cast<int>(compaction.active.size())),
       noise_model_, options, compaction.to_compact};
   const auto& instrs = circuit.instructions();
+  if (idle_mode_active()) {
+    // Moment-aware snapshot: evolve exactly the moments that are sealed at
+    // the split (no spliced-in fault gate or later instruction can ever
+    // join them), in the same moment order a from-scratch run uses.
+    // Everything above the boundary — including prefix gates whose moment
+    // is still open — replays at run_suffix time against the spliced
+    // circuit's own schedule.
+    const circ::Moments moments = circ::compute_moments(circuit);
+    const int sealed =
+        circ::sealed_moment_count(circuit, prefix_length, compaction.active);
+    execute_idle_moments(exec, circuit, moments, 0, sealed, noise_model_,
+                         compaction.active);
+    const std::uint64_t digest =
+        idle_schedule_digest(circuit, prefix_length, compaction.active);
+    return std::make_shared<DensitySnapshot>(
+        std::move(exec.dm), std::move(compaction), circuit, prefix_length,
+        /*idle_noise=*/true, static_cast<std::size_t>(sealed), digest);
+  }
   for (std::size_t i = 0; i < prefix_length; ++i) exec.execute(instrs[i]);
   return std::make_shared<DensitySnapshot>(std::move(exec.dm),
                                            std::move(compaction), circuit,
@@ -718,11 +974,34 @@ PrefixSnapshotPtr DensityMatrixBackend::extend_snapshot(
           "extend_snapshot: cannot extend a snapshot backwards");
   require(to_gate <= circuit.size(),
           "extend_snapshot: to_gate exceeds circuit size");
+  require(snap->idle_noise() == idle_mode_active(),
+          "extend_snapshot: snapshot idle-noise mode does not match the "
+          "backend");
 
   const DensityRunOptions options{};
   DensityExecutor exec{snap->dm().clone(), noise_model_, options,
                        snap->compaction().to_compact};
   const auto& instrs = circuit.instructions();
+  if (snap->idle_noise()) {
+    // Advance the sealed boundary: the child's sealed moments are a
+    // superset of the parent's (frontiers only grow with the prefix), so
+    // the derivation replays exactly the newly sealed moments — the same
+    // moment sequence a from-scratch prepare at to_gate runs after the
+    // parent's boundary. Bit-identical by construction.
+    const circ::Moments moments = circ::compute_moments(circuit);
+    const int sealed_to =
+        circ::sealed_moment_count(circuit, to_gate, snap->compaction().active);
+    const int sealed_from = static_cast<int>(snap->moment_cursor());
+    require(sealed_to >= sealed_from,
+            "extend_snapshot: sealed boundary regressed (corrupt snapshot?)");
+    execute_idle_moments(exec, circuit, moments, sealed_from, sealed_to,
+                         noise_model_, snap->compaction().active);
+    const std::uint64_t digest =
+        idle_schedule_digest(circuit, to_gate, snap->compaction().active);
+    return std::make_shared<DensitySnapshot>(
+        std::move(exec.dm), snap->compaction(), circuit, to_gate,
+        /*idle_noise=*/true, static_cast<std::size_t>(sealed_to), digest);
+  }
   for (std::size_t i = from_gate; i < to_gate; ++i) exec.execute(instrs[i]);
   return std::make_shared<DensitySnapshot>(std::move(exec.dm),
                                            snap->compaction(), circuit,
@@ -737,6 +1016,8 @@ ExecutionResult DensityMatrixBackend::run_suffix(
   if (!snap) return Backend::run_suffix(snapshot, injected, shots, seed);
 
   const circ::QuantumCircuit& circuit = *snap->circuit();
+  require(snap->idle_noise() == idle_mode_active(),
+          "run_suffix: snapshot idle-noise mode does not match the backend");
   for (const auto& instr : injected) {
     require(instr.is_unitary(), "run_suffix: injected gate not unitary");
     for (int q : instr.qubits) {
@@ -755,6 +1036,22 @@ ExecutionResult DensityMatrixBackend::run_suffix(
   const DensityRunOptions options{};
   DensityExecutor exec{snap->dm().clone(), noise_model_, options,
                        snap->compaction().to_compact};
+  if (snap->idle_noise()) {
+    // Moment-aware resume: recompute the schedule of the spliced circuit
+    // (its sealed moments match the snapshot's by construction — that is
+    // what sealing means) and execute everything from the boundary on, idle
+    // channels included, in the same moment order run() uses.
+    const circ::QuantumCircuit spliced =
+        splice_circuit(circuit, snap->prefix_length(), injected);
+    const circ::Moments moments = circ::compute_moments(spliced);
+    execute_idle_moments(exec, spliced, moments,
+                         static_cast<int>(snap->moment_cursor()),
+                         moments.num_moments(), noise_model_,
+                         snap->compaction().active);
+    auto probs = resolve_clbit_probs(exec, spliced, noise_model_);
+    return ExecutionResult::from_distribution(
+        std::move(probs), circuit.num_clbits(), shots, seed, name());
+  }
   for (const auto& instr : injected) exec.execute(instr);
   const auto& instrs = circuit.instructions();
   for (std::size_t i = snap->prefix_length(); i < instrs.size(); ++i) {
@@ -773,6 +1070,12 @@ bool DensityMatrixBackend::save_snapshot(const PrefixSnapshot& snapshot,
   util::ByteWriter payload;
   snapio::write_circuit(payload, *snap->circuit());
   payload.u64(snap->prefix_length());
+  // v3 moment-aware header: idle flag, sealed-moment cursor, idle-schedule
+  // digest (zeros for plain snapshots — the flag keeps a moment-aware
+  // state from ever being resumed as a flat gate prefix, or vice versa).
+  payload.u8(snap->idle_noise() ? 1 : 0);
+  payload.u64(snap->moment_cursor());
+  payload.u64(snap->schedule_digest());
   const sim::DensityMatrix& dm = snap->dm();
   payload.u32(static_cast<std::uint32_t>(dm.num_qubits()));
   for (const auto& amp : dm.raw()) {
@@ -793,10 +1096,40 @@ PrefixSnapshotPtr DensityMatrixBackend::load_snapshot(std::istream& in) const {
   const std::uint64_t prefix_length = r.u64();
   require(prefix_length <= circuit.size(),
           "load_snapshot: prefix length exceeds circuit size");
+  // v3 moment-aware header; v1/v2 payloads predate idle-noise
+  // checkpointing, so they are always plain gate-prefix snapshots.
+  bool snapshot_idle = false;
+  std::uint64_t moment_cursor = 0;
+  std::uint64_t schedule_digest = 0;
+  if (container.version >= 3) {
+    snapshot_idle = r.u8() != 0;
+    moment_cursor = r.u64();
+    schedule_digest = r.u64();
+  }
+  require(snapshot_idle == idle_mode_active(),
+          "load_snapshot: snapshot idle-noise mode does not match the "
+          "backend");
 
   // The compaction is a pure function of the circuit, so it is re-derived
   // instead of stored; the qubit count cross-checks payload vs circuit.
   Compaction compaction = build_compaction(circuit);
+  if (snapshot_idle) {
+    // Re-derive the sealed schedule from the embedded circuit and require
+    // the stored cursor/digest to match: a snapshot written by a different
+    // moment scheduler (or tampered at the boundary) must never resume.
+    const int sealed = circ::sealed_moment_count(
+        circuit, static_cast<std::size_t>(prefix_length), compaction.active);
+    require(moment_cursor == static_cast<std::uint64_t>(sealed),
+            "load_snapshot: moment cursor does not match the schedule");
+    require(schedule_digest ==
+                idle_schedule_digest(circuit,
+                                     static_cast<std::size_t>(prefix_length),
+                                     compaction.active),
+            "load_snapshot: idle-schedule digest mismatch");
+  } else {
+    require(moment_cursor == 0 && schedule_digest == 0,
+            "load_snapshot: non-idle snapshot carries a moment cursor");
+  }
   const auto num_qubits = static_cast<int>(r.u32());
   require(num_qubits == static_cast<int>(compaction.active.size()),
           "load_snapshot: density dimension does not match circuit");
@@ -815,7 +1148,8 @@ PrefixSnapshotPtr DensityMatrixBackend::load_snapshot(std::istream& in) const {
   return std::make_shared<DensitySnapshot>(
       sim::DensityMatrix::from_raw(num_qubits, std::move(rho)),
       std::move(compaction), std::move(circuit),
-      static_cast<std::size_t>(prefix_length));
+      static_cast<std::size_t>(prefix_length), snapshot_idle,
+      static_cast<std::size_t>(moment_cursor), schedule_digest);
 }
 
 std::vector<ExecutionResult> DensityMatrixBackend::run_suffix_batch(
@@ -844,22 +1178,45 @@ std::vector<ExecutionResult> DensityMatrixBackend::run_suffix_batch(
     }
   }
 
+  require(snap->idle_noise() == idle_mode_active(),
+          "run_suffix_batch: snapshot idle-noise mode does not match the "
+          "backend");
+  const bool idle = snap->idle_noise();
+
   // Per-batch setup amortized over every config: the compiled suffix
   // (cached on the snapshot, so chunked submissions share one compile), the
   // backend name string, and one scratch density matrix (re-filled from the
-  // snapshot with no allocation).
-  const DensitySnapshot::CompiledSuffix& compiled =
-      snap->compiled_suffix(noise_model_);
+  // snapshot with no allocation). Moment-aware snapshots compile one suffix
+  // per injection *shape* (the spliced schedule depends on where the fault
+  // gates land); a single-fault grid has one shape, a double-fault slice
+  // one per neighbor.
+  const DensitySnapshot::CompiledSuffix* shared_compiled =
+      idle ? nullptr : &snap->compiled_suffix(noise_model_);
+  std::vector<const DensitySnapshot::CompiledSuffix*> compiled_of(
+      configs.size(), shared_compiled);
+  std::vector<std::string> shape_of(configs.size());
+  if (idle) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      if (needs_splice[c]) continue;
+      shape_of[c] = injection_shape_key(configs[c].injected);
+      compiled_of[c] = &snap->compiled_idle_suffix(shape_of[c], [&] {
+        return compile_idle_suffix(*snap, configs[c].injected, noise_model_);
+      });
+    }
+  }
   const std::string backend_name = name();
 
   // Suffix-response grouping (the injection-site level of the prefix tree):
   // configs whose injected gates are all single-qubit and touch at most two
   // compact qubits share one m^4 basis of suffix responses; when enough of
-  // them share a target set, each is evaluated as a weighted basis sum
-  // instead of a full suffix replay. Everything else (small groups, splice
-  // fallbacks, exotic injections) takes the replay path below.
+  // them share a target set (and, for moment-aware suffixes, an injection
+  // shape whose pre-injection ops are disjoint from the targets), each is
+  // evaluated as a weighted basis sum instead of a full suffix replay.
+  // Everything else (small groups, splice fallbacks, exotic injections)
+  // takes the replay path below.
   struct ResponseGroup {
     std::vector<int> targets;
+    std::string shape;
     std::vector<std::size_t> config_indices;
   };
   std::vector<ResponseGroup> groups;
@@ -882,10 +1239,10 @@ std::vector<ExecutionResult> DensityMatrixBackend::run_suffix_batch(
       if (!eligible || targets.size() > 2) continue;
       std::sort(targets.begin(), targets.end());
       auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
-        return g.targets == targets;
+        return g.targets == targets && g.shape == shape_of[c];
       });
       if (it == groups.end()) {
-        groups.push_back(ResponseGroup{std::move(targets), {}});
+        groups.push_back(ResponseGroup{std::move(targets), shape_of[c], {}});
         it = groups.end() - 1;
       }
       it->config_indices.push_back(c);
@@ -895,9 +1252,18 @@ std::vector<ExecutionResult> DensityMatrixBackend::run_suffix_batch(
       const std::size_t threshold = groups[g].targets.size() == 1
                                         ? kResponseMinConfigs1q
                                         : kResponseMinConfigs2q;
-      if (groups[g].config_indices.size() < threshold) {
+      // Below break-even, or a moment-aware shape whose pre-injection ops
+      // touch a target (the slot channel would not factor out): replay
+      // path. Both predicates are pure functions of the batch contents, so
+      // the choice is identical across chunkings and shardings.
+      const bool ineligible =
+          groups[g].config_indices.size() < threshold ||
+          (idle && !idle_response_eligible(
+                       *compiled_of[groups[g].config_indices.front()],
+                       groups[g].targets));
+      if (ineligible) {
         for (const std::size_t c : groups[g].config_indices) group_of[c] = -1;
-        groups[g].config_indices.clear();  // below break-even: replay path
+        groups[g].config_indices.clear();
       }
     }
   }
@@ -920,8 +1286,8 @@ std::vector<ExecutionResult> DensityMatrixBackend::run_suffix_batch(
     if (group_of[c] >= 0) {
       const ResponseGroup& group = groups[static_cast<std::size_t>(group_of[c])];
       const SuffixResponseBasis& basis = snap->response_basis(
-          group.targets, [&](const std::vector<int>& targets) {
-            return build_response_basis(*snap, targets, compiled);
+          group.targets, group.shape, [&](const std::vector<int>& targets) {
+            return build_response_basis(*snap, targets, *compiled_of[c]);
           });
       const auto weights = slot_channel_weights(config.injected, group.targets,
                                                 to_compact, noise_model_);
@@ -946,10 +1312,24 @@ std::vector<ExecutionResult> DensityMatrixBackend::run_suffix_batch(
       continue;
     }
     exec.dm = snap->dm();
-    for (const auto& instr : config.injected) exec.execute(instr);
-    replay_suffix(exec.dm, compiled.ops);
+    if (idle) {
+      // Moment-aware replay: the compiled program interleaves residue
+      // prefix gates, Inject slots, suffix gates and idle channels in the
+      // spliced schedule's moment order; Inject slots execute this config's
+      // own fault gates (unitary + its noise channel, as execute() would).
+      for (const auto& op : compiled_of[c]->ops) {
+        if (op.kind == BakedOp::Kind::Inject) {
+          exec.execute(config.injected[static_cast<std::size_t>(op.q0)]);
+        } else {
+          apply_baked_op(exec.dm, op);
+        }
+      }
+    } else {
+      for (const auto& instr : config.injected) exec.execute(instr);
+      replay_suffix(exec.dm, compiled_of[c]->ops);
+    }
     results[c] = ExecutionResult::from_distribution(
-        resolve_probs(exec.dm, compiled.resolver), circuit.num_clbits(),
+        resolve_probs(exec.dm, compiled_of[c]->resolver), circuit.num_clbits(),
         shots, config.seed, backend_name);
   }
   return results;

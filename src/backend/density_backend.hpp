@@ -40,11 +40,22 @@ class DensityMatrixBackend : public Backend {
                       std::uint64_t seed) override;
 
   /// Real checkpointing: the snapshot holds the evolved density matrix.
-  /// Disabled under idle_noise, where the moment schedule of the spliced
-  /// faulty circuit differs from the original's and a prefix state would
-  /// not be equivalent to full re-simulation (the base splice fallback is
-  /// used instead, which stays exact).
-  bool supports_checkpointing() const override { return !idle_noise_; }
+  /// Under idle_noise the snapshot is *moment-aware*: it captures the state
+  /// after the moments that are sealed at the split (no spliced-in fault
+  /// gate or later instruction can ever be scheduled into them) together
+  /// with the sealed boundary, and run_suffix resumes the idle-relaxation
+  /// schedule of the spliced circuit from that boundary — so the resumed
+  /// execution applies bit-identical idle channels to a from-scratch run.
+  bool supports_checkpointing() const override { return true; }
+
+  /// Under idle_noise: a digest of the sealed moment schedule at the split
+  /// (the sealing boundary plus the per-qubit moment frontier) — the
+  /// snapshot-cache key component that keeps moment-aware snapshots from
+  /// being served across scheduler versions. 0 when idle_noise is off (the
+  /// prefix evolution is then a pure function of the circuit bytes).
+  std::uint64_t snapshot_schedule_digest(
+      const circ::QuantumCircuit& circuit,
+      std::size_t prefix_length) const override;
 
   PrefixSnapshotPtr prepare_prefix(const circ::QuantumCircuit& circuit,
                                    std::size_t prefix_length,
@@ -55,9 +66,11 @@ class DensityMatrixBackend : public Backend {
   /// [from_gate, to_gate) — the same operation sequence a from-scratch
   /// prepare_prefix(circuit, to_gate) would run on that state, so the
   /// derived snapshot is bit-identical to the from-scratch one regardless
-  /// of how many chain hops produced it. Falls back to the base splice
-  /// extension when checkpointing is off (idle_noise) or the parent is a
-  /// fallback snapshot.
+  /// of how many chain hops produced it. Under idle_noise the extension
+  /// advances moment-by-moment from the parent's sealed boundary to the
+  /// child's (gates in moment order, idle channels per moment), preserving
+  /// the same bit-identity. Falls back to the base splice extension when
+  /// the parent is a fallback snapshot.
   PrefixSnapshotPtr extend_snapshot(const PrefixSnapshot& parent,
                                     std::size_t from_gate, std::size_t to_gate,
                                     std::uint64_t shots_hint = 0,
@@ -115,6 +128,15 @@ class DensityMatrixBackend : public Backend {
   static constexpr std::size_t kResponseMinConfigs2q = 512;
 
  private:
+  /// True when moment-scheduled execution is actually in effect: the
+  /// idle_noise knob is on AND the model has noise to schedule (an ideal
+  /// model takes the plain path, matching run()). The single definition of
+  /// "moment-aware mode" — snapshots record it, and every resume path
+  /// (extend/run_suffix/batch/load) validates against this predicate.
+  bool idle_mode_active() const {
+    return idle_noise_ && !noise_model_.is_ideal();
+  }
+
   noise::NoiseModel noise_model_;
   bool idle_noise_;
   bool suffix_response_enabled_ = true;

@@ -82,13 +82,16 @@ Container read_container(std::istream& in) {
   require(tail.u64() == util::fnv1a64(body), "snapshot: checksum mismatch");
 
   util::ByteReader r(body);
-  require(r.u32() == kVersion, "snapshot: unsupported version");
+  const std::uint32_t version = r.u32();
+  require(version >= kMinReadVersion && version <= kVersion,
+          "snapshot: unsupported version");
   const std::uint32_t kind = r.u32();
   require(kind == static_cast<std::uint32_t>(SnapshotKind::Density) ||
               kind == static_cast<std::uint32_t>(SnapshotKind::Trajectory),
           "snapshot: unknown backend kind");
 
   Container c;
+  c.version = version;
   c.kind = static_cast<SnapshotKind>(kind);
   c.payload.assign(body.substr(8));
   return c;

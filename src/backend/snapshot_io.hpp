@@ -21,8 +21,14 @@ enum class SnapshotKind : std::uint32_t {
 /// migration — old snapshots are cheap to regenerate from the circuit).
 /// v2: trajectory shots carry their prefix RNG state (4 u64 words per shot)
 /// so serialized snapshots stay extendable (prefix-tree derivation).
+/// v3: density payloads carry the moment-aware idle-noise header (idle flag,
+/// sealed-moment cursor, idle-schedule digest) so moment-scheduled
+/// executions can resume a serialized prefix; readers accept v1-v3 (the
+/// per-kind loaders decide what the payload can express — see
+/// docs/SNAPSHOT_FORMAT.md for the compatibility table).
 inline constexpr char kMagic[8] = {'Q', 'U', 'F', 'I', 'S', 'N', 'A', 'P'};
-inline constexpr std::uint32_t kVersion = 2;
+inline constexpr std::uint32_t kVersion = 3;
+inline constexpr std::uint32_t kMinReadVersion = 1;
 
 /// Serializes a circuit into `w` (dims, name, and every instruction with
 /// full-precision params). The exact byte layout is documented in
@@ -39,8 +45,12 @@ circ::QuantumCircuit read_circuit(util::ByteReader& r);
 void write_container(std::ostream& out, SnapshotKind kind,
                      const std::string& payload);
 
-/// A parsed container: the kind tag plus the raw payload bytes.
+/// A parsed container: the format version, the kind tag, and the raw
+/// payload bytes. Loaders branch on `version` to parse payload fields that
+/// were added in later formats (and to reject versions whose payload cannot
+/// express what the backend needs, e.g. trajectory RNG state before v2).
 struct Container {
+  std::uint32_t version = kVersion;
   SnapshotKind kind = SnapshotKind::Density;
   std::string payload;
 };

@@ -1,6 +1,7 @@
 #include "circuit/moments.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace qufi::circ {
 
@@ -40,6 +41,46 @@ Moments compute_moments(const QuantumCircuit& circuit) {
         i);
   }
   return result;
+}
+
+std::vector<int> moment_frontier(const QuantumCircuit& circuit,
+                                 std::size_t prefix_length) {
+  const auto& instrs = circuit.instructions();
+  std::vector<int> level(
+      static_cast<std::size_t>(circuit.num_qubits() + circuit.num_clbits()),
+      0);
+  const std::size_t n = std::min(prefix_length, instrs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& instr = instrs[i];
+    int start = 0;
+    for (int q : instr.qubits)
+      start = std::max(start, level[static_cast<std::size_t>(q)]);
+    for (int c : instr.clbits)
+      start = std::max(
+          start, level[static_cast<std::size_t>(circuit.num_qubits() + c)]);
+
+    if (instr.kind == GateKind::Barrier) {
+      for (int q : instr.qubits) level[static_cast<std::size_t>(q)] = start;
+      continue;
+    }
+
+    const int end = start + 1;
+    for (int q : instr.qubits) level[static_cast<std::size_t>(q)] = end;
+    for (int c : instr.clbits)
+      level[static_cast<std::size_t>(circuit.num_qubits() + c)] = end;
+  }
+  return level;
+}
+
+int sealed_moment_count(const QuantumCircuit& circuit,
+                        std::size_t prefix_length,
+                        const std::vector<int>& qubits) {
+  const std::vector<int> frontier = moment_frontier(circuit, prefix_length);
+  int sealed = std::numeric_limits<int>::max();
+  for (const int q : qubits) {
+    sealed = std::min(sealed, frontier[static_cast<std::size_t>(q)]);
+  }
+  return qubits.empty() ? 0 : sealed;
 }
 
 }  // namespace qufi::circ

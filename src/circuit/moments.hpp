@@ -28,4 +28,30 @@ struct Moments {
 /// qubits but occupy no layer of their own.
 Moments compute_moments(const QuantumCircuit& circuit);
 
+/// ASAP frontier after the first `prefix_length` instructions: for each wire
+/// (qubits first, then clbits offset by num_qubits), the index of the first
+/// moment that wire is still free in — exactly the scheduler state
+/// compute_moments holds after processing those instructions. Any
+/// instruction processed later (the circuit's own suffix, or fault gates
+/// spliced in at the split) lands in moment >= the max frontier over its
+/// wires, which is what moment-aware snapshots build their sealing argument
+/// on.
+std::vector<int> moment_frontier(const QuantumCircuit& circuit,
+                                 std::size_t prefix_length);
+
+/// Number of leading moments that are *sealed* at a split: every moment
+/// below the returned boundary already has its full membership among the
+/// first `prefix_length` instructions, and no instruction appended at or
+/// after the split — including spliced-in fault gates, as long as they act
+/// only on `qubits` — can ever be scheduled into one of them. The boundary
+/// is the minimum frontier over `qubits` (an instruction's moment is the
+/// max frontier over its wires, so it can never drop below the min).
+///
+/// \param qubits The qubit set future instructions may touch (a campaign
+///               passes the circuit's active qubits; injections outside it
+///               take the splice fallback anyway). Must be non-empty.
+int sealed_moment_count(const QuantumCircuit& circuit,
+                        std::size_t prefix_length,
+                        const std::vector<int>& qubits);
+
 }  // namespace qufi::circ

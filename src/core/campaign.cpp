@@ -45,7 +45,8 @@ Prepared prepare(const CampaignSpec& spec) {
     prep.exec = spec.backend_override;
   } else {
     auto density = std::make_unique<backend::DensityMatrixBackend>(
-        noise::NoiseModel::from_backend(spec.backend, spec.noise_scale));
+        noise::NoiseModel::from_backend(spec.backend, spec.noise_scale),
+        spec.idle_noise);
     // The suffix-response fast path is part of the tree engine, so the
     // --no-tree baseline measures the PR 2 flat-batch engine faithfully.
     density->set_suffix_response_enabled(spec.use_tree);
@@ -143,6 +144,7 @@ CampaignMetadata base_metadata(const CampaignSpec& spec, const Prepared& prep) {
   meta.grid = spec.grid;
   meta.shots = spec.shots;
   meta.seed = spec.seed;
+  meta.idle_noise = spec.idle_noise;
   meta.faultfree_qvf = faultfree_qvf(prep, spec);
   return meta;
 }

@@ -35,6 +35,17 @@ struct CampaignSpec {
   std::uint64_t seed = 0x51754649;
   double noise_scale = 1.0;  ///< scales the backend noise (0 = ideal run)
 
+  /// Apply thermal relaxation to idle qubits per circuit moment (the
+  /// calibrated-T1/T2 extension of the paper's noise model; see
+  /// docs/CAMPAIGNS.md). The density backend's snapshots are moment-aware,
+  /// so idle-noise campaigns run through the same checkpoint/batch/tree
+  /// engine as plain ones — records match the --no-checkpoint re-simulation
+  /// reference within the usual 1e-9 QVF bound. Ignored when a
+  /// backend_override executes the campaign (configure the override
+  /// itself); recorded in CampaignMetadata::idle_noise either way so shard
+  /// merges can refuse to mix modes.
+  bool idle_noise = false;
+
   /// Keep only every k-th injection point so the total stays <= max_points
   /// (0 = keep all). Deterministic striding, used by quick benches.
   std::size_t max_points = 0;

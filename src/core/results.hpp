@@ -49,6 +49,10 @@ struct CampaignMetadata {
   std::uint64_t shots = 0;  ///< 0 = exact distributions
   std::uint64_t seed = 0;
   bool double_fault = false;
+  /// Moment-scheduled idle-qubit relaxation was active (see
+  /// CampaignSpec::idle_noise). Carried through partial-result files so the
+  /// shard merger can reject mixing idle-noise and plain shards.
+  bool idle_noise = false;
   double faultfree_qvf = 0.0;  ///< QVF of the noisy, fault-free execution
   std::uint64_t executions = 0;  ///< faulty circuits executed
   std::uint64_t injections = 0;  ///< paper accounting: executions x shots

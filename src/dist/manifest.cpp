@@ -43,9 +43,10 @@ void save_manifest(const ShardManifest& manifest, const std::string& path) {
   std::ofstream out(path);
   require(out.is_open(), "manifest: cannot open for writing: " + path);
 
-  // Written files always use the current format (the use_tree key below is
-  // a v2 key), whatever version the in-memory manifest was loaded from.
-  out << "qufi-shard-manifest " << 2 << "\n";
+  // Written files always use the current format (use_tree is a v2 key,
+  // idle_noise a v3 key), whatever version the in-memory manifest was
+  // loaded from.
+  out << "qufi-shard-manifest " << 3 << "\n";
   out << "shard " << manifest.shard_index << " " << manifest.shard_count
       << "\n";
   out << "device " << manifest.device << "\n";
@@ -64,6 +65,7 @@ void save_manifest(const ShardManifest& manifest, const std::string& path) {
   out << "use_checkpoints " << (manifest.use_checkpoints ? 1 : 0) << "\n";
   out << "use_batch " << (manifest.use_batch ? 1 : 0) << "\n";
   out << "use_tree " << (manifest.use_tree ? 1 : 0) << "\n";
+  out << "idle_noise " << (manifest.idle_noise ? 1 : 0) << "\n";
   for (const auto& expected : manifest.expected_outputs) {
     out << "expected " << expected << "\n";
   }
@@ -115,7 +117,7 @@ ShardManifest load_manifest(const std::string& path) {
       if (key != "qufi-shard-manifest") fail("missing manifest header");
       std::uint32_t version = 0;
       if (!(ls >> version)) fail("bad header");
-      if (version < 1 || version > 2) fail("unsupported manifest version");
+      if (version < 1 || version > 3) fail("unsupported manifest version");
       m.format_version = version;
       saw_header = true;
       continue;
@@ -164,6 +166,10 @@ ShardManifest load_manifest(const std::string& path) {
       int v = 0;
       if (!(ls >> v)) fail("bad use_tree line");
       m.use_tree = v != 0;
+    } else if (key == "idle_noise") {
+      int v = 0;
+      if (!(ls >> v)) fail("bad idle_noise line");
+      m.idle_noise = v != 0;
     } else if (key == "expected") {
       std::string bits;
       if (!(ls >> bits)) fail("bad expected line");
@@ -241,6 +247,7 @@ CampaignSpec manifest_to_spec(const ShardManifest& manifest) {
   spec.use_checkpoints = manifest.use_checkpoints;
   spec.use_batch = manifest.use_batch;
   spec.use_tree = manifest.use_tree;
+  spec.idle_noise = manifest.idle_noise;
   return spec;
 }
 
@@ -277,6 +284,7 @@ std::vector<ShardManifest> make_manifests(const CampaignSpec& spec,
     m.use_checkpoints = spec.use_checkpoints;
     m.use_batch = spec.use_batch;
     m.use_tree = spec.use_tree;
+    m.idle_noise = spec.idle_noise;
     m.point_indices = shard.point_indices;
     m.expected_records = expected_records;
     manifests.push_back(std::move(m));

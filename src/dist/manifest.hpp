@@ -26,9 +26,10 @@ enum class WorkerBackendKind {
 /// Manifests are plain text (one `key value...` line each, circuit block at
 /// the end); the format is versioned and documented in docs/SHARDING.md.
 struct ShardManifest {
-  /// v1: initial format. v2: adds the optional `use_tree` engine knob
-  /// (absent keys default, so v1 files load unchanged).
-  std::uint32_t format_version = 2;
+  /// v1: initial format. v2: adds the optional `use_tree` engine knob.
+  /// v3: adds the optional `idle_noise` execution-mode knob. Absent keys
+  /// default, so v1/v2 files load unchanged.
+  std::uint32_t format_version = 3;
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
 
@@ -52,6 +53,9 @@ struct ShardManifest {
   bool use_checkpoints = true;
   bool use_batch = true;
   bool use_tree = true;
+  /// Moment-scheduled idle-qubit relaxation (density backend only; the
+  /// trajectory family has no idle mode and run_shard rejects the combo).
+  bool idle_noise = false;
 
   /// This shard's global injection-point indices (strictly increasing).
   std::vector<std::size_t> point_indices;

@@ -25,7 +25,7 @@ bool meta_matches(const CampaignMetadata& a, const CampaignMetadata& b) {
          a.grid.theta_max_deg == b.grid.theta_max_deg &&
          a.grid.phi_max_deg == b.grid.phi_max_deg && a.shots == b.shots &&
          a.seed == b.seed && a.double_fault == b.double_fault &&
-         a.faultfree_qvf == b.faultfree_qvf;
+         a.idle_noise == b.idle_noise && a.faultfree_qvf == b.faultfree_qvf;
 }
 
 bool points_match(const std::vector<InjectionPoint>& a,
@@ -52,6 +52,13 @@ CampaignResult merge_views(std::span<const ShardView> shards,
                            const MergeOptions& options) {
   require(!shards.empty(), "merge: no shard results");
   for (const ShardView& shard : shards) {
+    // Checked before the general metadata comparison so the mode mixup —
+    // an idle-noise shard merged into a plain campaign (or vice versa) —
+    // fails with a diagnosis, not a generic mismatch.
+    require(shards[0].meta->idle_noise == shard.meta->idle_noise,
+            "merge: cannot mix idle-noise and non-idle shards (the "
+            "idle_noise execution mode changes every record; re-run the "
+            "shard with the campaign's mode)");
     require(meta_matches(*shards[0].meta, *shard.meta),
             "merge: shard metadata mismatch (different campaigns?)");
     require(points_match(*shards[0].points, *shard.points),

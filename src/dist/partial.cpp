@@ -21,7 +21,9 @@ int to_int(const std::string& s) { return std::stoi(s); }
 void write_partial(const std::string& path, const PartialResult& partial) {
   util::CsvWriter csv(path);
   const CampaignMetadata& m = partial.meta;
-  csv.write_row({"qufi_partial", std::to_string(partial.format_version)});
+  // Always written as the current format (the idle_noise row is a v2 row),
+  // whatever version the in-memory partial was loaded from.
+  csv.write_row({"qufi_partial", "2"});
   csv.write_row({"shard", std::to_string(partial.shard_index),
                  std::to_string(partial.shard_count)});
   csv.write_row({"expected_total_records",
@@ -34,6 +36,7 @@ void write_partial(const std::string& path, const PartialResult& partial) {
                  g17(m.grid.theta_max_deg), g17(m.grid.phi_max_deg)});
   csv.write_row({"run", std::to_string(m.shots), std::to_string(m.seed),
                  m.double_fault ? "1" : "0"});
+  csv.write_row({"idle_noise", m.idle_noise ? "1" : "0"});
   csv.write_row({"faultfree_qvf", g17(m.faultfree_qvf)});
   csv.write_row({"work", std::to_string(m.executions),
                  std::to_string(m.injections)});
@@ -79,7 +82,9 @@ PartialResult read_partial(const std::string& path) {
       if (!saw_header) {
         if (kind != "qufi_partial") fail("missing qufi_partial header");
         want(1);
-        if (to_u64(fields[1]) != 1) fail("unsupported partial version");
+        const std::uint64_t version = to_u64(fields[1]);
+        if (version < 1 || version > 2) fail("unsupported partial version");
+        out.format_version = static_cast<std::uint32_t>(version);
         saw_header = true;
       } else if (kind == "shard") {
         want(2);
@@ -109,6 +114,9 @@ PartialResult read_partial(const std::string& path) {
         out.meta.shots = to_u64(fields[1]);
         out.meta.seed = to_u64(fields[2]);
         out.meta.double_fault = fields[3] == "1";
+      } else if (kind == "idle_noise") {
+        want(1);
+        out.meta.idle_noise = fields[1] == "1";
       } else if (kind == "faultfree_qvf") {
         want(1);
         out.meta.faultfree_qvf = to_double(fields[1]);

@@ -15,7 +15,10 @@ namespace qufi::dist {
 /// so partials stay greppable; values use %.17g, which round-trips doubles
 /// exactly — a merged result carries the same bits the worker computed.
 struct PartialResult {
-  std::uint32_t format_version = 1;
+  /// v1: initial format. v2: adds the `idle_noise` metadata row (absent in
+  /// v1 files, defaulting to false), so the merger can refuse to combine
+  /// idle-noise and plain shards.
+  std::uint32_t format_version = 2;
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
   /// Global record count of the *full* campaign (all shards), computed by

@@ -25,9 +25,12 @@ ShardRunOutput run_shard(const ShardManifest& manifest,
   if (manifest.backend_kind == WorkerBackendKind::Trajectory) {
     require(spec.shots > 0,
             "run_shard: trajectory backend requires shots > 0");
+    require(!manifest.idle_noise,
+            "run_shard: idle_noise requires the density backend");
     exec = std::make_unique<backend::TrajectoryBackend>(noise_model);
   } else {
-    auto density = std::make_unique<backend::DensityMatrixBackend>(noise_model);
+    auto density = std::make_unique<backend::DensityMatrixBackend>(
+        noise_model, manifest.idle_noise);
     // Workers must mirror the coordinator's engine exactly: the
     // suffix-response path is part of the tree engine (see CampaignSpec::
     // use_tree), so a --no-tree plan keeps every shard on the flat batch.

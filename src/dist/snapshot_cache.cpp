@@ -37,6 +37,11 @@ bool SnapshotCachingBackend::supports_checkpointing() const {
   return inner_.supports_checkpointing();
 }
 
+std::uint64_t SnapshotCachingBackend::snapshot_schedule_digest(
+    const circ::QuantumCircuit& circuit, std::size_t prefix_length) const {
+  return inner_.snapshot_schedule_digest(circuit, prefix_length);
+}
+
 backend::ExecutionResult SnapshotCachingBackend::run(
     const circ::QuantumCircuit& circuit, std::uint64_t shots,
     std::uint64_t seed) {
@@ -46,19 +51,24 @@ backend::ExecutionResult SnapshotCachingBackend::run(
 namespace {
 
 /// Key = execution identity (backend name + context) + exact circuit
-/// bytes + every prepare_prefix argument, so a cache directory can be
-/// shared by campaigns over different circuits, devices, noise scales or
-/// seeds without ever serving the wrong state. extend_snapshot uses the
-/// same key at its target split (derivation is bit-identical to a
-/// from-scratch prepare, so the tree path collapses out of the key).
+/// bytes + every prepare_prefix argument + the backend's schedule digest
+/// at the split (non-zero only for moment-aware idle-noise snapshots,
+/// where the evolved state also depends on the sealed moment schedule), so
+/// a cache directory can be shared by campaigns over different circuits,
+/// devices, noise scales, seeds or scheduler versions without ever serving
+/// the wrong state. extend_snapshot uses the same key at its target split
+/// (derivation is bit-identical to a from-scratch prepare, so the tree
+/// path collapses out of the key).
 fs::path snapshot_key_path(const std::string& cache_dir,
                            std::uint64_t context_hash,
                            const circ::QuantumCircuit& circuit,
                            std::size_t prefix_length, std::uint64_t shots_hint,
-                           std::uint64_t snapshot_seed) {
+                           std::uint64_t snapshot_seed,
+                           std::uint64_t schedule_digest) {
   const std::uint64_t words[] = {context_hash,
                                  backend::snapio::circuit_fingerprint(circuit),
-                                 prefix_length, shots_hint, snapshot_seed};
+                                 prefix_length, shots_hint, snapshot_seed,
+                                 schedule_digest};
   char key[64];
   std::snprintf(key, sizeof key, "snap_%016" PRIx64 ".qsnap",
                 util::fnv1a64({reinterpret_cast<const char*>(words),
@@ -76,9 +86,10 @@ backend::PrefixSnapshotPtr SnapshotCachingBackend::prepare_prefix(
                                  snapshot_seed);
   }
 
-  const fs::path path = snapshot_key_path(cache_dir_, context_hash_, circuit,
-                                          prefix_length, shots_hint,
-                                          snapshot_seed);
+  const fs::path path = snapshot_key_path(
+      cache_dir_, context_hash_, circuit, prefix_length, shots_hint,
+      snapshot_seed,
+      inner_.snapshot_schedule_digest(circuit, prefix_length));
 
   if (fs::exists(path)) {
     try {
@@ -117,8 +128,9 @@ backend::PrefixSnapshotPtr SnapshotCachingBackend::extend_snapshot(
   require(to_gate >= from_gate && to_gate <= circuit->size(),
           "extend_snapshot: to_gate out of range");
 
-  const fs::path path = snapshot_key_path(cache_dir_, context_hash_, *circuit,
-                                          to_gate, shots_hint, snapshot_seed);
+  const fs::path path = snapshot_key_path(
+      cache_dir_, context_hash_, *circuit, to_gate, shots_hint, snapshot_seed,
+      inner_.snapshot_schedule_digest(*circuit, to_gate));
   if (fs::exists(path)) {
     try {
       std::ifstream in(path, std::ios::binary);

@@ -44,6 +44,9 @@ class SnapshotCachingBackend final : public backend::Backend {
 
   std::string name() const override;
   bool supports_checkpointing() const override;
+  std::uint64_t snapshot_schedule_digest(
+      const circ::QuantumCircuit& circuit,
+      std::size_t prefix_length) const override;
 
   backend::ExecutionResult run(const circ::QuantumCircuit& circuit,
                                std::uint64_t shots,

@@ -134,26 +134,90 @@ TEST(PrefixCheckpoint, DensityRunSuffixMatchesFullRun) {
   }
 }
 
-TEST(PrefixCheckpoint, IdleNoiseBackendFallsBackToExactSplice) {
+TEST(PrefixCheckpoint, IdleNoiseSnapshotsAreMomentAwareAndExact) {
+  // The moment-aware snapshot contract: under idle_noise the backend now
+  // *does* checkpoint (the snapshot captures exactly the sealed moments at
+  // the split), and resuming is bit-identical to a full run of the spliced
+  // circuit — the same moment schedule, the same idle channels.
   const auto spec = quick_spec("bv", 4);
   const auto transpiled = campaign_transpile(spec);
   const auto points = enumerate_injection_points(
       transpiled, InjectionStrategy::OperandsAfterEachGate);
   backend::DensityMatrixBackend backend(
       noise::NoiseModel::from_backend(spec.backend, 1.0), /*idle_noise=*/true);
-  EXPECT_FALSE(backend.supports_checkpointing());
+  EXPECT_TRUE(backend.supports_checkpointing());
 
+  for (const std::size_t p :
+       {std::size_t{0}, points.size() / 2, points.size() - 1}) {
+    const InjectionPoint& point = points[p];
+    const PhaseShiftFault fault{1.2, 0.4};
+    const auto full =
+        backend.run(inject_fault(transpiled.circuit, point, fault), 0, 7);
+    const auto snapshot =
+        backend.prepare_prefix(transpiled.circuit, point.split_index());
+    const circ::Instruction injected[] = {fault.as_instruction(point.qubit)};
+    const auto resumed = backend.run_suffix(*snapshot, injected, 0, 7);
+    ASSERT_EQ(resumed.probabilities.size(), full.probabilities.size());
+    EXPECT_EQ(resumed.probabilities, full.probabilities) << "point " << p;
+  }
+}
+
+TEST(PrefixCheckpoint, IdleNoiseExtendMatchesFromScratchBitExactly) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0), /*idle_noise=*/true);
+
+  // Chain across every consecutive split pair; each hop must land on the
+  // same state a from-scratch prepare reaches (sealed moments only).
+  backend::PrefixSnapshotPtr chained =
+      backend.prepare_prefix(transpiled.circuit, points[0].split_index());
+  for (std::size_t p = 1; p < points.size(); ++p) {
+    if (points[p].split_index() == chained->prefix_length()) continue;
+    chained = backend.extend_snapshot(*chained, chained->prefix_length(),
+                                      points[p].split_index());
+    const auto scratch =
+        backend.prepare_prefix(transpiled.circuit, points[p].split_index());
+    const PhaseShiftFault fault{0.9, 2.2};
+    const circ::Instruction injected[] = {fault.as_instruction(points[p].qubit)};
+    const auto a = backend.run_suffix(*chained, injected, 0, 3);
+    const auto b = backend.run_suffix(*scratch, injected, 0, 3);
+    EXPECT_EQ(a.probabilities, b.probabilities) << "split "
+                                                << points[p].split_index();
+  }
+}
+
+TEST(PrefixCheckpoint, IdleNoiseBatchMatchesSuffixWithinQvfBound) {
+  const auto spec = quick_spec("bv", 4);
+  const auto transpiled = campaign_transpile(spec);
+  const auto points = enumerate_injection_points(
+      transpiled, InjectionStrategy::OperandsAfterEachGate);
+  backend::DensityMatrixBackend backend(
+      noise::NoiseModel::from_backend(spec.backend, 1.0), /*idle_noise=*/true);
   const InjectionPoint& point = points[points.size() / 2];
-  const PhaseShiftFault fault{1.2, 0.4};
-  const auto full =
-      backend.run(inject_fault(transpiled.circuit, point, fault), 0, 7);
   const auto snapshot =
       backend.prepare_prefix(transpiled.circuit, point.split_index());
-  const circ::Instruction injected[] = {fault.as_instruction(point.qubit)};
-  const auto resumed = backend.run_suffix(*snapshot, injected, 0, 7);
-  ASSERT_EQ(resumed.probabilities.size(), full.probabilities.size());
-  for (std::size_t s = 0; s < full.probabilities.size(); ++s) {
-    EXPECT_NEAR(resumed.probabilities[s], full.probabilities[s], 1e-15);
+
+  // Cross the 1q response threshold so the fast path (idle channels folded
+  // into the basis replays) is what gets compared, not just the replay.
+  std::vector<backend::SuffixConfig> configs;
+  for (int k = 0; k < 48; ++k) {
+    configs.push_back(backend::SuffixConfig{
+        {PhaseShiftFault{0.06 * k, 0.13 * k}.as_instruction(point.qubit)},
+        static_cast<std::uint64_t>(k)});
+  }
+  const auto batched = backend.run_suffix_batch(*snapshot, configs, 0);
+  ASSERT_EQ(batched.size(), configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const auto sequential =
+        backend.run_suffix(*snapshot, configs[c].injected, 0, configs[c].seed);
+    for (std::size_t s = 0; s < sequential.probabilities.size(); ++s) {
+      EXPECT_NEAR(batched[c].probabilities[s], sequential.probabilities[s],
+                  1e-9)
+          << "config " << c << " state " << s;
+    }
   }
 }
 
@@ -274,6 +338,72 @@ TEST(CheckpointEquivalence, DoubleFaultCampaignsMatch) {
               resimulated.records[i].theta1_index);
     EXPECT_NEAR(checkpointed.records[i].qvf, resimulated.records[i].qvf, 1e-9);
   }
+}
+
+TEST(CheckpointEquivalence, IdleNoiseCampaignsMatchOnPaperCircuits) {
+  // The re-admission acceptance property: idle-noise campaigns with the
+  // full checkpoint/batch/tree engine must match the --no-checkpoint
+  // re-simulation reference (the mode's prior permanent baseline) within
+  // the 1e-9 QVF bound, on more than one paper circuit.
+  const std::pair<const char*, int> circuits[] = {
+      {"bv", 4}, {"dj", 3}, {"qft", 3}};
+  for (const auto& [name, width] : circuits) {
+    auto spec = quick_spec(name, width);
+    spec.max_points = 10;
+    spec.idle_noise = true;
+
+    spec.use_checkpoints = true;
+    spec.use_batch = true;
+    spec.use_tree = true;
+    const auto engine = run_single_fault_campaign(spec);
+    spec.use_checkpoints = false;
+    const auto resimulated = run_single_fault_campaign(spec);
+
+    SCOPED_TRACE(name);
+    EXPECT_TRUE(engine.meta.idle_noise);
+    expect_campaigns_match(engine, resimulated, 1e-9);
+  }
+}
+
+TEST(CheckpointEquivalence, IdleNoiseDoubleFaultCampaignMatches) {
+  auto spec = quick_spec("bv", 4);
+  spec.grid.theta_step_deg = 90.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.grid.phi_max_deg = 180.0;
+  spec.max_points = 6;
+  spec.idle_noise = true;
+
+  spec.use_checkpoints = true;
+  const auto engine = run_double_fault_campaign(spec);
+  spec.use_checkpoints = false;
+  const auto resimulated = run_double_fault_campaign(spec);
+
+  ASSERT_EQ(engine.records.size(), resimulated.records.size());
+  for (std::size_t i = 0; i < engine.records.size(); ++i) {
+    EXPECT_EQ(engine.records[i].neighbor_qubit,
+              resimulated.records[i].neighbor_qubit);
+    EXPECT_EQ(engine.records[i].theta1_index,
+              resimulated.records[i].theta1_index);
+    EXPECT_NEAR(engine.records[i].qvf, resimulated.records[i].qvf, 1e-9)
+        << "record " << i;
+  }
+}
+
+TEST(CheckpointEquivalence, IdleNoiseTreeMatchesFlatEngine) {
+  // Tree engine (snapshot chains + response basis) vs the flat batch
+  // engine, both under idle noise: re-admission covers the whole pipeline,
+  // not just the first checkpointing rung.
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 10;
+  spec.idle_noise = true;
+  spec.use_checkpoints = true;
+  spec.use_batch = true;
+
+  spec.use_tree = true;
+  const auto tree = run_single_fault_campaign(spec);
+  spec.use_tree = false;
+  const auto flat = run_single_fault_campaign(spec);
+  expect_campaigns_match(tree, flat, 1e-9);
 }
 
 TEST(CheckpointEquivalence, SampledCampaignsMatchBitExactly) {

@@ -279,5 +279,56 @@ TEST(Moments, EmptyCircuit) {
   EXPECT_EQ(m.num_moments(), 0);
 }
 
+TEST(Moments, FrontierMatchesSchedulerStateAtEveryPrefix) {
+  QuantumCircuit qc(3);
+  qc.h(0).h(1).cx(0, 1).h(2).cx(1, 2);
+  const auto m = compute_moments(qc);
+  // At the full prefix, each qubit's frontier is one past the last moment
+  // it was busy in — the scheduler's own level array.
+  const auto full = moment_frontier(qc, qc.size());
+  for (std::size_t i = 0; i < qc.size(); ++i) {
+    for (const int q : qc.instructions()[i].qubits) {
+      EXPECT_GE(full[static_cast<std::size_t>(q)], m.moment_of[i] + 1);
+    }
+  }
+  // Frontiers are monotone in the prefix, and an untouched wire stays 0.
+  std::vector<int> prev(static_cast<std::size_t>(qc.num_qubits()), 0);
+  for (std::size_t n = 0; n <= qc.size(); ++n) {
+    const auto f = moment_frontier(qc, n);
+    for (int q = 0; q < qc.num_qubits(); ++q) {
+      EXPECT_GE(f[static_cast<std::size_t>(q)],
+                prev[static_cast<std::size_t>(q)])
+          << "prefix " << n << " qubit " << q;
+      prev[static_cast<std::size_t>(q)] = f[static_cast<std::size_t>(q)];
+    }
+  }
+  EXPECT_EQ(moment_frontier(qc, 1)[1], 0);  // h(1) not yet processed
+}
+
+TEST(Moments, SealedCountBoundsFutureInstructionPlacement) {
+  QuantumCircuit qc(3);
+  qc.h(0).h(1).cx(0, 1).h(2).cx(1, 2).h(0);
+  const auto m = compute_moments(qc);
+  const std::vector<int> all = {0, 1, 2};
+  for (std::size_t split = 0; split <= qc.size(); ++split) {
+    const int sealed = sealed_moment_count(qc, split, all);
+    // The defining property: no instruction at or after the split is ever
+    // scheduled into a sealed moment.
+    for (std::size_t i = split; i < qc.size(); ++i) {
+      EXPECT_GE(m.moment_of[i], sealed)
+          << "instr " << i << " split " << split;
+    }
+    // And sealing is monotone in the split.
+    if (split > 0) {
+      EXPECT_GE(sealed, sealed_moment_count(qc, split - 1, all));
+    }
+  }
+  EXPECT_EQ(sealed_moment_count(qc, 0, all), 0);
+  // A qubit that idles forever holds the boundary at its frontier.
+  const std::vector<int> with_idle = {0, 2};
+  EXPECT_LE(sealed_moment_count(qc, 3, with_idle),
+            sealed_moment_count(qc, 3, std::vector<int>{0}));
+}
+
 }  // namespace
 }  // namespace qufi::circ

@@ -572,12 +572,15 @@ TEST(ShardManifest, UseTreeKnobRoundTripsAndV1FilesStillLoad) {
     buffer << in.rdbuf();
     text = buffer.str();
   }
-  const auto v2_header = text.find("qufi-shard-manifest 2");
-  ASSERT_NE(v2_header, std::string::npos);
-  text.replace(v2_header, 21, "qufi-shard-manifest 1");
+  const auto header = text.find("qufi-shard-manifest 3");
+  ASSERT_NE(header, std::string::npos);
+  text.replace(header, 21, "qufi-shard-manifest 1");
   const auto tree_line = text.find("use_tree 0\n");
   ASSERT_NE(tree_line, std::string::npos);
   text.erase(tree_line, 11);
+  const auto idle_line = text.find("idle_noise 0\n");
+  ASSERT_NE(idle_line, std::string::npos);
+  text.erase(idle_line, 13);
   const auto v1_path = (dir.path / "v1.manifest").string();
   {
     std::ofstream out(v1_path);
@@ -638,6 +641,273 @@ TEST(ShardMerge, TreePlannedDoubleFaultShardsMatchSingleProcess) {
   const auto merged = dist::merge_shard_results(results);
   EXPECT_EQ(merged.meta.executions, single.meta.executions);
   expect_same_records(merged, single);
+}
+
+// ---- moment-aware (idle-noise) distribution --------------------------------
+
+TEST(SnapshotSerialization, IdleNoiseRoundTripCarriesMomentCursor) {
+  const auto qc = small_circuit();
+  backend::DensityMatrixBackend be(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()),
+      /*idle_noise=*/true);
+
+  const auto snapshot = be.prepare_prefix(qc, 3, 0, 42);
+  std::stringstream stream;
+  ASSERT_TRUE(be.save_snapshot(*snapshot, stream));
+  const auto loaded = be.load_snapshot(stream);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->prefix_length(), snapshot->prefix_length());
+
+  const backend::SuffixConfig configs[] = {fault_config(0, 7),
+                                           fault_config(1, 8)};
+  const auto original = be.run_suffix_batch(*snapshot, configs, 0);
+  const auto resumed = be.run_suffix_batch(*loaded, configs, 0);
+  ASSERT_EQ(original.size(), resumed.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    expect_same_probs(original[i], resumed[i]);
+  }
+
+  // A plain backend must refuse the moment-aware container (and the other
+  // way round): resuming the wrong execution mode silently would change
+  // every record downstream.
+  backend::DensityMatrixBackend plain(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+  std::stringstream again;
+  ASSERT_TRUE(be.save_snapshot(*snapshot, again));
+  EXPECT_THROW((void)plain.load_snapshot(again), Error);
+  std::stringstream plain_stream;
+  ASSERT_TRUE(plain.save_snapshot(*plain.prepare_prefix(qc, 3), plain_stream));
+  EXPECT_THROW((void)be.load_snapshot(plain_stream), Error);
+}
+
+TEST(SnapshotSerialization, ExhaustiveFlipAndTruncationSweepNeverLoads) {
+  // The loader-robustness sweep: for a small v3 container, every
+  // single-byte corruption and every truncation must be rejected with a
+  // qufi::Error — never a crash, never a silently loaded snapshot. The
+  // container checksum covers version, kind and payload; the magic guards
+  // the head; ByteReader guards the tail.
+  const auto qc = small_circuit();
+  backend::DensityMatrixBackend be(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()),
+      /*idle_noise=*/true);
+  std::stringstream stream;
+  ASSERT_TRUE(be.save_snapshot(*be.prepare_prefix(qc, 3), stream));
+  const std::string good = stream.str();
+  ASSERT_GT(good.size(), 0u);
+
+  // Sanity: the pristine bytes do load.
+  {
+    std::istringstream in(good);
+    EXPECT_NO_THROW((void)be.load_snapshot(in));
+  }
+  for (std::size_t offset = 0; offset < good.size(); ++offset) {
+    for (const char mask : {char(0x01), char(0x80)}) {
+      std::string bad = good;
+      bad[offset] ^= mask;
+      std::istringstream in(bad);
+      EXPECT_THROW((void)be.load_snapshot(in), Error)
+          << "flipped byte " << offset << " mask " << int(mask)
+          << " loaded anyway";
+    }
+  }
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    std::istringstream in(good.substr(0, len));
+    EXPECT_THROW((void)be.load_snapshot(in), Error)
+        << "truncation to " << len << " bytes loaded anyway";
+  }
+}
+
+TEST(ShardManifest, IdleNoiseKnobRoundTripsAndOlderVersionsDefaultOff) {
+  TempDir dir("manifest_idle");
+  auto spec = quick_spec("bv", 4);
+  spec.idle_noise = true;
+  const auto plan = dist::plan_campaign_shards(spec, 1);
+  const auto manifests = dist::make_manifests(
+      spec, "casablanca", dist::WorkerBackendKind::Density, plan, false);
+  const auto path = (dir.path / "idle.manifest").string();
+  dist::save_manifest(manifests[0], path);
+  const auto loaded = dist::load_manifest(path);
+  EXPECT_EQ(loaded.format_version, 3u);
+  EXPECT_TRUE(loaded.idle_noise);
+  EXPECT_TRUE(dist::manifest_to_spec(loaded).idle_noise);
+
+  // A v2 file (no idle_noise key) still loads, defaulting the mode off.
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  const auto header = text.find("qufi-shard-manifest 3");
+  ASSERT_NE(header, std::string::npos);
+  text.replace(header, 21, "qufi-shard-manifest 2");
+  const auto idle_line = text.find("idle_noise 1\n");
+  ASSERT_NE(idle_line, std::string::npos);
+  text.erase(idle_line, 13);
+  const auto v2_path = (dir.path / "v2.manifest").string();
+  {
+    std::ofstream out(v2_path);
+    out << text;
+  }
+  const auto v2 = dist::load_manifest(v2_path);
+  EXPECT_EQ(v2.format_version, 2u);
+  EXPECT_FALSE(v2.idle_noise);
+
+  // Unknown future versions are rejected, not guessed at.
+  text.replace(text.find("qufi-shard-manifest 2"), 21,
+               "qufi-shard-manifest 4");
+  const auto v4_path = (dir.path / "v4.manifest").string();
+  {
+    std::ofstream out(v4_path);
+    out << text;
+  }
+  EXPECT_THROW((void)dist::load_manifest(v4_path), Error);
+}
+
+TEST(PartialResult, IdleNoiseFlagRoundTripsAndV1FilesDefaultOff) {
+  TempDir dir("partial_idle");
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 2;
+  spec.idle_noise = true;
+  const std::size_t subset[] = {0, 1};
+  const auto shard = run_single_fault_campaign_subset(spec, subset);
+  ASSERT_TRUE(shard.meta.idle_noise);
+
+  dist::PartialResult partial;
+  partial.shard_index = 0;
+  partial.shard_count = 1;
+  partial.expected_total_records =
+      single_campaign_executions(shard.points.size(), spec.grid);
+  partial.meta = shard.meta;
+  partial.points = shard.points;
+  partial.records = shard.records;
+  const auto path = (dir.path / "idle_part.csv").string();
+  dist::write_partial(path, partial);
+  const auto loaded = dist::read_partial(path);
+  EXPECT_EQ(loaded.format_version, 2u);
+  EXPECT_TRUE(loaded.meta.idle_noise);
+
+  // Strip the v2 row and downgrade the header: a v1 partial still reads,
+  // with the mode defaulting off.
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  const auto header = text.find("qufi_partial,2");
+  ASSERT_NE(header, std::string::npos);
+  text.replace(header, 14, "qufi_partial,1");
+  const auto idle_row = text.find("idle_noise,1\n");
+  ASSERT_NE(idle_row, std::string::npos);
+  text.erase(idle_row, 13);
+  const auto v1_path = (dir.path / "v1_part.csv").string();
+  {
+    std::ofstream out(v1_path);
+    out << text;
+  }
+  const auto v1 = dist::read_partial(v1_path);
+  EXPECT_EQ(v1.format_version, 1u);
+  EXPECT_FALSE(v1.meta.idle_noise);
+}
+
+TEST(ShardMerge, RefusesToMixIdleNoiseAndPlainShards) {
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 4;
+  const std::size_t first[] = {0, 1};
+  const std::size_t second[] = {2, 3};
+  const auto plain = run_single_fault_campaign_subset(spec, first);
+  spec.idle_noise = true;
+  const auto idle = run_single_fault_campaign_subset(spec, second);
+
+  const CampaignResult shards[] = {plain, idle};
+  try {
+    (void)dist::merge_shard_results(shards);
+    FAIL() << "merge accepted mixed idle-noise/plain shards";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("idle-noise"), std::string::npos)
+        << "mixup error should diagnose the idle_noise mode, got: "
+        << e.what();
+  }
+}
+
+TEST(ShardMerge, IdleNoiseShardsMatchSingleProcess) {
+  // The re-admission contract across the process seam: disjoint idle-noise
+  // shard runs union bit-identically to the one-process campaign (same
+  // moment-aware snapshots, same chunk boundaries, same response bases).
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 6;
+  spec.idle_noise = true;
+  const auto single = run_single_fault_campaign(spec);
+  EXPECT_TRUE(single.meta.idle_noise);
+  for (const std::uint32_t shards : {2u, 4u}) {
+    const auto merged = run_sharded(spec, shards,
+                                    dist::ShardPolicy::TreeAware);
+    EXPECT_EQ(merged.meta.executions, single.meta.executions);
+    expect_same_records(merged, single);
+  }
+}
+
+TEST(ShardRunner, IdleNoiseManifestMatchesDirectSubsetRun) {
+  TempDir dir("runner_idle");
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 4;
+  spec.idle_noise = true;
+  const auto plan = dist::plan_campaign_shards(spec, 2);
+  const auto manifests = dist::make_manifests(
+      spec, "casablanca", dist::WorkerBackendKind::Density, plan, false);
+  ASSERT_TRUE(manifests[0].idle_noise);
+
+  std::vector<dist::PartialResult> parts;
+  for (const auto& manifest : manifests) {
+    dist::ShardRunOptions options;
+    options.snapshot_dir = (dir.path / "snaps").string();
+    options.threads = 2;
+    parts.push_back(dist::run_shard(manifest, options).partial);
+  }
+  const auto merged = dist::merge_partial_results(parts);
+  const auto single = run_single_fault_campaign(spec);
+  EXPECT_EQ(merged.meta.backend_name, single.meta.backend_name);
+  EXPECT_TRUE(merged.meta.idle_noise);
+  expect_same_records(merged, single);
+
+  // The trajectory family has no idle mode: a manifest that asks for the
+  // combination is rejected with a diagnosis, not silently downgraded.
+  auto bad = manifests[0];
+  bad.backend_kind = dist::WorkerBackendKind::Trajectory;
+  bad.shots = 32;
+  EXPECT_THROW((void)dist::run_shard(bad, {}), Error);
+}
+
+TEST(SnapshotCache, IdleNoiseKeysSeparateFromPlainSnapshots) {
+  TempDir dir("cache_idle");
+  const auto qc = small_circuit();
+  backend::DensityMatrixBackend plain(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+  backend::DensityMatrixBackend idle(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()),
+      /*idle_noise=*/true);
+
+  dist::SnapshotCachingBackend cached_plain(plain, dir.str());
+  (void)cached_plain.prepare_prefix(qc, 3, 0, 42);
+  EXPECT_EQ(cached_plain.misses(), 1u);
+
+  // Same circuit, same split: the idle-noise execution mode (backend name
+  // + schedule digest in the key) must never be served the plain state.
+  dist::SnapshotCachingBackend cached_idle(idle, dir.str());
+  const auto first = cached_idle.prepare_prefix(qc, 3, 0, 42);
+  EXPECT_EQ(cached_idle.hits(), 0u);
+  EXPECT_EQ(cached_idle.misses(), 1u);
+
+  // And the idle entry round-trips: a second idle prepare is a disk hit
+  // that resumes identically.
+  const auto second = cached_idle.prepare_prefix(qc, 3, 0, 42);
+  EXPECT_EQ(cached_idle.hits(), 1u);
+  const backend::SuffixConfig configs[] = {fault_config(1, 3)};
+  expect_same_probs(cached_idle.run_suffix_batch(*first, configs, 0).at(0),
+                    cached_idle.run_suffix_batch(*second, configs, 0).at(0));
 }
 
 TEST(ShardRunner, ManifestExecutionMatchesDirectSubsetRun) {
