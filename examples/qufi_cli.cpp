@@ -17,6 +17,7 @@
 #include "algorithms/algorithms.hpp"
 #include "core/campaign.hpp"
 #include "core/report.hpp"
+#include "core/result_io.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -38,6 +39,7 @@ struct CliOptions {
   bool use_tree = true;
   bool idle_noise = false;
   std::string csv_path;
+  std::string out_path;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -56,7 +58,9 @@ struct CliOptions {
       "  --double          run the double-fault campaign\n"
       "  --no-tree         disable the prefix-tree engine (flat batch baseline)\n"
       "  --idle-noise      moment-scheduled idle-qubit relaxation\n"
-      "  --csv PATH        write per-record CSV\n",
+      "  --csv PATH        write per-record CSV\n"
+      "  --out PATH        write binary columnar result (QUFIPART,\n"
+      "                    docs/RESULT_FORMAT.md; qufi_export_csv converts)\n",
       argv0);
   std::exit(2);
 }
@@ -83,6 +87,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--no-tree") options.use_tree = false;
     else if (arg == "--idle-noise") options.idle_noise = true;
     else if (arg == "--csv") options.csv_path = value();
+    else if (arg == "--out") options.out_path = value();
     else usage(argv[0]);
   }
   return options;
@@ -137,6 +142,17 @@ int main(int argc, char** argv) {
     if (!options.csv_path.empty()) {
       result.write_csv(options.csv_path);
       std::printf("records written to %s\n", options.csv_path.c_str());
+    }
+    if (!options.out_path.empty()) {
+      resio::ResultFileHeader header;
+      header.expected_total_records = result.records.size();
+      header.meta = result.meta;
+      header.points = result.points;
+      resio::write_result_file(options.out_path, header, result.records,
+                               result.meta.executions,
+                               result.meta.injections);
+      std::printf("columnar result written to %s\n",
+                  options.out_path.c_str());
     }
     return 0;
   } catch (const qufi::Error& e) {

@@ -1,0 +1,66 @@
+// QUFIPART-to-CSV exporter — converts binary columnar result files
+// (docs/RESULT_FORMAT.md) into the campaign CSV, byte-identical to what
+// CampaignResult::write_csv / `qufi_cli --csv` writes for the same records.
+//
+// Runs as a streaming merge (one decoded block resident per input), so it
+// doubles as a merger: pass several shard partials and the output is the
+// merged campaign CSV, same as `qufi_shard_merge --format csv`.
+//
+// Usage examples:
+//   qufi_export_csv --out campaign.csv campaign.qp
+//   qufi_export_csv --out merged.csv --allow-partial parts/part_000.qp
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dist/merge.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --out PATH [--allow-partial] RESULT.qp...\n"
+      "  --out PATH       campaign CSV to write\n"
+      "  --allow-partial  export even when shard outputs are missing\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  qufi::dist::MergeOptions options;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) usage(argv[0]);
+      out_path = argv[++i];
+    } else if (arg == "--allow-partial") {
+      options.allow_incomplete = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (out_path.empty() || inputs.empty()) usage(argv[0]);
+
+  try {
+    const auto stats =
+        qufi::dist::merge_result_files_to_csv(inputs, out_path, options);
+    std::printf(
+        "{\"tool\":\"qufi_export_csv\",\"inputs\":%zu,\"records\":%llu,"
+        "\"input_bytes\":%llu,\"out\":\"%s\"}\n",
+        inputs.size(), static_cast<unsigned long long>(stats.merged_records),
+        static_cast<unsigned long long>(stats.input_bytes), out_path.c_str());
+    return 0;
+  } catch (const qufi::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,18 +1,30 @@
-// Shard-merge CLI — recombines partial-result files into the full-campaign
-// CSV (docs/SHARDING.md). Deterministic: output row order is canonical
+// Shard-merge CLI — recombines partial-result files into the full campaign
+// (docs/SHARDING.md). Deterministic: output row order is canonical
 // (ascending point index), independent of the order partials are listed or
 // arrived in; on the density backend the merged CSV is byte-identical to
 // the one a single-process `qufi_cli --csv` run writes.
 //
+// When every input is a binary columnar partial (QUFIPART,
+// docs/RESULT_FORMAT.md) the merge streams: a k-way merge over block
+// iterators holds at most one decoded block per shard in memory, so merge
+// peak-RSS is bounded by shards x block size, not by the campaign. Text
+// partials (or a mix) fall back to the in-memory merge with identical
+// semantics and output bytes.
+//
 // Usage examples:
 //   qufi_shard_merge --out merged.csv parts/part_000.csv parts/part_001.csv
+//   qufi_shard_merge --out merged.qp --format columnar parts/part_*.qp
 //   qufi_shard_merge --out partial.csv --allow-partial parts/part_000.csv
+//
+// --format picks the *output* flavor: csv (campaign CSV, default) or
+// columnar (one merged QUFIPART file, convertible via qufi_export_csv).
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "core/result_io.hpp"
 #include "dist/merge.hpp"
 #include "util/error.hpp"
 
@@ -20,8 +32,9 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::printf(
-      "usage: %s --out PATH [--allow-partial] PARTIAL.csv...\n"
-      "  --out PATH       merged campaign CSV to write\n"
+      "usage: %s --out PATH [options] PARTIAL...\n"
+      "  --out PATH       merged campaign file to write\n"
+      "  --format FMT     output format: csv (default) or columnar\n"
       "  --allow-partial  merge even when shard outputs are missing\n",
       argv0);
   std::exit(2);
@@ -30,7 +43,7 @@ namespace {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path;
+  std::string out_path, format = "csv";
   qufi::dist::MergeOptions options;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
@@ -38,6 +51,9 @@ int main(int argc, char** argv) {
     if (arg == "--out") {
       if (i + 1 >= argc) usage(argv[0]);
       out_path = argv[++i];
+    } else if (arg == "--format") {
+      if (i + 1 >= argc) usage(argv[0]);
+      format = argv[++i];
     } else if (arg == "--allow-partial") {
       options.allow_incomplete = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -47,20 +63,54 @@ int main(int argc, char** argv) {
     }
   }
   if (out_path.empty() || inputs.empty()) usage(argv[0]);
+  if (format != "csv" && format != "columnar") usage(argv[0]);
 
   try {
+    bool all_columnar = true;
+    for (const auto& path : inputs) {
+      all_columnar = all_columnar && qufi::resio::is_result_file(path);
+    }
+
+    if (all_columnar) {
+      const auto stats =
+          format == "csv"
+              ? qufi::dist::merge_result_files_to_csv(inputs, out_path,
+                                                      options)
+              : qufi::dist::merge_result_files(inputs, out_path, options);
+      std::printf(
+          "{\"tool\":\"qufi_shard_merge\",\"mode\":\"streaming\","
+          "\"partials\":%zu,\"records\":%llu,\"duplicates\":%llu,"
+          "\"input_bytes\":%llu,\"format\":\"%s\",\"out\":\"%s\"}\n",
+          inputs.size(),
+          static_cast<unsigned long long>(stats.merged_records),
+          static_cast<unsigned long long>(stats.duplicate_records),
+          static_cast<unsigned long long>(stats.input_bytes), format.c_str(),
+          out_path.c_str());
+      return 0;
+    }
+
     std::vector<qufi::dist::PartialResult> parts;
     parts.reserve(inputs.size());
     for (const auto& path : inputs) {
-      parts.push_back(qufi::dist::read_partial(path));
+      parts.push_back(qufi::dist::read_partial_any(path));
     }
     const auto merged = qufi::dist::merge_partial_results(parts, options);
-    merged.write_csv(out_path);
+    if (format == "csv") {
+      merged.write_csv(out_path);
+    } else {
+      qufi::dist::PartialResult whole;
+      whole.expected_total_records = merged.records.size();
+      whole.meta = merged.meta;
+      whole.points = merged.points;
+      whole.records = merged.records;
+      qufi::dist::write_partial_columnar(out_path, whole);
+    }
     std::printf(
-        "{\"tool\":\"qufi_shard_merge\",\"partials\":%zu,\"records\":%zu,"
-        "\"mean_qvf\":%.6f,\"out\":\"%s\"}\n",
+        "{\"tool\":\"qufi_shard_merge\",\"mode\":\"in-memory\","
+        "\"partials\":%zu,\"records\":%zu,\"mean_qvf\":%.6f,"
+        "\"format\":\"%s\",\"out\":\"%s\"}\n",
         parts.size(), merged.records.size(), merged.qvf_stats().mean(),
-        out_path.c_str());
+        format.c_str(), out_path.c_str());
     return 0;
   } catch (const qufi::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -9,6 +9,8 @@
 //                     --out parts/part_000.csv
 //   qufi_shard_worker --manifest shards/shard_001.manifest \
 //                     --out parts/part_001.csv --snapshot-dir snaps/ -j 4
+//   qufi_shard_worker --manifest shards/shard_002.manifest \
+//                     --out parts/part_002.qp --format columnar
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,7 +26,11 @@ namespace {
       "usage: %s --manifest PATH --out PATH [options]\n"
       "  --manifest PATH      shard manifest from qufi_shard_plan\n"
       "  --out PATH           partial-result file to write\n"
+      "  --format FMT         partial format: csv (text, default) or\n"
+      "                       columnar (binary QUFIPART, streamed to disk as\n"
+      "                       points complete; docs/RESULT_FORMAT.md)\n"
       "  --snapshot-dir DIR   load/save serialized prefix snapshots here\n"
+      "  --compress-snapshots store cache snapshots deflate-compressed\n"
       "  -j, --threads N      worker threads (0 = hardware concurrency)\n",
       argv0);
   std::exit(2);
@@ -33,7 +39,7 @@ namespace {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string manifest_path, out_path;
+  std::string manifest_path, out_path, format = "csv";
   qufi::dist::ShardRunOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -43,23 +49,34 @@ int main(int argc, char** argv) {
     };
     if (arg == "--manifest") manifest_path = value();
     else if (arg == "--out") out_path = value();
+    else if (arg == "--format") format = value();
     else if (arg == "--snapshot-dir") options.snapshot_dir = value();
+    else if (arg == "--compress-snapshots") options.compress_snapshots = true;
     else if (arg == "-j" || arg == "--threads")
       options.threads = std::stoi(value());
     else usage(argv[0]);
   }
   if (manifest_path.empty() || out_path.empty()) usage(argv[0]);
+  if (format != "csv" && format != "columnar") usage(argv[0]);
 
   try {
     const auto manifest = qufi::dist::load_manifest(manifest_path);
+    // Columnar partials stream straight out of the engine: run_shard opens
+    // the QUFIPART writer itself, so the records never accumulate in memory.
+    if (format == "columnar") options.columnar_output_path = out_path;
     const auto output = qufi::dist::run_shard(manifest, options);
-    qufi::dist::write_partial(out_path, output.partial);
+    if (format == "csv") qufi::dist::write_partial(out_path, output.partial);
+    const std::size_t records = format == "columnar"
+                                    ? output.streamed_records
+                                    : output.partial.records.size();
     std::printf(
         "{\"tool\":\"qufi_shard_worker\",\"shard\":%u,\"of\":%u,"
-        "\"points\":%zu,\"records\":%zu,\"snapshot_hits\":%llu,"
+        "\"points\":%zu,\"records\":%zu,\"format\":\"%s\","
+        "\"partial_bytes\":%llu,\"snapshot_hits\":%llu,"
         "\"snapshot_misses\":%llu,\"out\":\"%s\"}\n",
         output.partial.shard_index, output.partial.shard_count,
-        manifest.point_indices.size(), output.partial.records.size(),
+        manifest.point_indices.size(), records, format.c_str(),
+        static_cast<unsigned long long>(output.partial_bytes),
         static_cast<unsigned long long>(output.snapshot_hits),
         static_cast<unsigned long long>(output.snapshot_misses),
         out_path.c_str());

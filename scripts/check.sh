@@ -11,7 +11,7 @@ cmake --build build -j
 
 # ---- docs target ------------------------------------------------------------
 status=0
-for doc in README.md docs/ARCHITECTURE.md docs/CAMPAIGNS.md docs/SHARDING.md docs/SNAPSHOT_FORMAT.md; do
+for doc in README.md docs/ARCHITECTURE.md docs/CAMPAIGNS.md docs/SHARDING.md docs/SNAPSHOT_FORMAT.md docs/RESULT_FORMAT.md; do
   if [[ ! -f "$doc" ]]; then
     echo "docs check FAILED: $doc is missing" >&2
     status=1
@@ -62,7 +62,7 @@ fi
 if [[ $status -ne 0 ]]; then
   exit $status
 fi
-echo "docs check OK (README.md, docs/{ARCHITECTURE,CAMPAIGNS,SHARDING,SNAPSHOT_FORMAT}.md, $bench_count bench executables, $flag_count perf flags)"
+echo "docs check OK (README.md, docs/{ARCHITECTURE,CAMPAIGNS,SHARDING,SNAPSHOT_FORMAT,RESULT_FORMAT}.md, $bench_count bench executables, $flag_count perf flags)"
 
 # ---- sharding smoke ----------------------------------------------------------
 # Drive the distribution layer end to end through its real CLIs — plan two
@@ -133,6 +133,55 @@ if ! diff -q "$smoke_dir/idle/merged.csv" "$smoke_dir/idle/single.csv" > /dev/nu
   exit 1
 fi
 echo "idle-noise smoke OK (moment-aware 2-shard merge == single-process)"
+
+# Columnar result-path smoke: the same three campaigns (single, double,
+# idle-noise) through the binary QUFIPART pipeline — workers streaming
+# columnar partials, a streaming k-way merge to a merged container, and a
+# CSV export — must all be byte-identical to the single-process CSV each
+# text smoke above already produced (the docs/RESULT_FORMAT.md projection
+# contract). The direct merge-to-CSV path is checked too.
+for variant in single double idle; do
+  case "$variant" in
+    single) vdir="$smoke_dir";        vlabel="single-fault" ;;
+    double) vdir="$smoke_dir/double"; vlabel="double-fault" ;;
+    idle)   vdir="$smoke_dir/idle";   vlabel="idle-noise" ;;
+  esac
+  ./build/qufi_shard_worker --manifest "$vdir/shard_000.manifest" \
+    --format columnar --out "$vdir/part_000.qp" \
+    --snapshot-dir "$vdir/snaps" > /dev/null
+  ./build/qufi_shard_worker --manifest "$vdir/shard_001.manifest" \
+    --format columnar --out "$vdir/part_001.qp" > /dev/null
+  ./build/qufi_shard_merge --format columnar --out "$vdir/merged.qp" \
+    "$vdir/part_001.qp" "$vdir/part_000.qp" > /dev/null
+  ./build/qufi_export_csv --out "$vdir/exported.csv" "$vdir/merged.qp" \
+    > /dev/null
+  if ! diff -q "$vdir/exported.csv" "$vdir/single.csv" > /dev/null; then
+    echo "columnar smoke FAILED ($vlabel): merge+export CSV differs from single-process CSV" >&2
+    diff "$vdir/exported.csv" "$vdir/single.csv" | head -5 >&2
+    exit 1
+  fi
+  ./build/qufi_shard_merge --format csv --out "$vdir/streamed.csv" \
+    "$vdir/part_001.qp" "$vdir/part_000.qp" > /dev/null
+  if ! diff -q "$vdir/streamed.csv" "$vdir/single.csv" > /dev/null; then
+    echo "columnar smoke FAILED ($vlabel): streaming merge-to-CSV differs from single-process CSV" >&2
+    diff "$vdir/streamed.csv" "$vdir/single.csv" | head -5 >&2
+    exit 1
+  fi
+done
+echo "columnar smoke OK (QUFIPART worker -> streaming merge -> export == single-process, 3 campaigns)"
+
+# The sharded bench line must keep reporting the result-path metrics the
+# README documents (merge_ms, partial_bytes), so perf trajectories can
+# track the streaming merge. One --json --shards 2 pass over the paper
+# circuits exercises the real plan -> worker -> merge path.
+perf_json="$(./build/perf_campaign --json --shards 2)"
+for key in merge_ms partial_bytes peak_rss_kb; do
+  if ! grep -q "\"$key\":" <<< "$perf_json"; then
+    echo "perf json FAILED: perf_campaign --json --shards 2 output lacks \"$key\"" >&2
+    exit 1
+  fi
+done
+echo "perf json OK (merge_ms / partial_bytes / peak_rss_kb reported)"
 
 # Golden-CSV regression through the real CLI: the committed bv-2q fixture
 # pins the column schema and row ordering documented in the README, so

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "util/compress.hpp"
 #include "util/error.hpp"
 
 namespace qufi::backend::snapio {
@@ -52,11 +53,19 @@ circ::QuantumCircuit read_circuit(util::ByteReader& r) {
 }
 
 void write_container(std::ostream& out, SnapshotKind kind,
-                     const std::string& payload) {
+                     const std::string& payload, PayloadCodec codec) {
   util::ByteWriter body;  // everything the checksum covers
   body.u32(kVersion);
   body.u32(static_cast<std::uint32_t>(kind));
-  body.raw(payload.data(), payload.size());
+  body.u8(static_cast<std::uint8_t>(codec));
+  body.u64(payload.size());
+  if (codec == PayloadCodec::Deflate) {
+    const std::string stored = util::deflate_compress(payload);
+    body.raw(stored.data(), stored.size());
+  } else {
+    require(codec == PayloadCodec::None, "snapshot: unknown payload codec");
+    body.raw(payload.data(), payload.size());
+  }
 
   out.write(kMagic, sizeof kMagic);
   out.write(body.data().data(), static_cast<std::streamsize>(body.size()));
@@ -93,7 +102,26 @@ Container read_container(std::istream& in) {
   Container c;
   c.version = version;
   c.kind = static_cast<SnapshotKind>(kind);
-  c.payload.assign(body.substr(8));
+  if (version >= 4) {
+    // v4 body: codec tag + raw payload size + stored (maybe compressed)
+    // payload. The checksum above covered the stored bytes, so corruption
+    // is already ruled out before any decompression runs.
+    const std::uint8_t codec = r.u8();
+    const std::uint64_t raw_size = r.u64();
+    const std::string_view stored = body.substr(4 + 4 + 1 + 8);
+    if (codec == static_cast<std::uint8_t>(PayloadCodec::Deflate)) {
+      c.payload = util::deflate_decompress(
+          stored, static_cast<std::size_t>(raw_size));
+    } else {
+      require(codec == static_cast<std::uint8_t>(PayloadCodec::None),
+              "snapshot: unknown payload codec");
+      require(stored.size() == raw_size,
+              "snapshot: payload size mismatch");
+      c.payload.assign(stored);
+    }
+  } else {
+    c.payload.assign(body.substr(8));
+  }
   return c;
 }
 

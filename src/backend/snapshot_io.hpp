@@ -23,12 +23,23 @@ enum class SnapshotKind : std::uint32_t {
 /// so serialized snapshots stay extendable (prefix-tree derivation).
 /// v3: density payloads carry the moment-aware idle-noise header (idle flag,
 /// sealed-moment cursor, idle-schedule digest) so moment-scheduled
-/// executions can resume a serialized prefix; readers accept v1-v3 (the
-/// per-kind loaders decide what the payload can express — see
-/// docs/SNAPSHOT_FORMAT.md for the compatibility table).
+/// executions can resume a serialized prefix.
+/// v4: the container body carries a payload codec tag + raw size, so
+/// payloads can optionally be deflate-compressed on disk (the checksum
+/// covers the *stored* bytes — corruption is detected before inflating).
+/// Readers accept v1-v4 (the per-kind loaders decide what the payload can
+/// express — see docs/SNAPSHOT_FORMAT.md for the compatibility table).
 inline constexpr char kMagic[8] = {'Q', 'U', 'F', 'I', 'S', 'N', 'A', 'P'};
-inline constexpr std::uint32_t kVersion = 3;
+inline constexpr std::uint32_t kVersion = 4;
 inline constexpr std::uint32_t kMinReadVersion = 1;
+
+/// How a v4+ container's payload bytes are stored on disk. read_container
+/// always hands loaders the *decompressed* payload, so per-kind payload
+/// formats never see the codec.
+enum class PayloadCodec : std::uint8_t {
+  None = 0,     ///< payload stored verbatim
+  Deflate = 1,  ///< zlib stream (requires a zlib-enabled build to read)
+};
 
 /// Serializes a circuit into `w` (dims, name, and every instruction with
 /// full-precision params). The exact byte layout is documented in
@@ -39,14 +50,20 @@ void write_circuit(util::ByteWriter& w, const circ::QuantumCircuit& circuit);
 /// gate id, operand counts that fail circuit validation, truncation).
 circ::QuantumCircuit read_circuit(util::ByteReader& r);
 
-/// Frames `payload` as a snapshot container — magic, version, kind, payload,
-/// trailing FNV-1a checksum over everything between magic and checksum —
-/// and writes it to `out`. Throws qufi::Error when the stream write fails.
+/// Frames `payload` as a v4 snapshot container — magic, version, kind,
+/// codec tag, raw payload size, stored payload, trailing FNV-1a checksum
+/// over everything between magic and checksum — and writes it to `out`.
+/// With PayloadCodec::Deflate the payload is compressed before storing
+/// (requires util::deflate_available(); callers should fall back to None
+/// otherwise). Throws qufi::Error when compression or the stream write
+/// fails.
 void write_container(std::ostream& out, SnapshotKind kind,
-                     const std::string& payload);
+                     const std::string& payload,
+                     PayloadCodec codec = PayloadCodec::None);
 
-/// A parsed container: the format version, the kind tag, and the raw
-/// payload bytes. Loaders branch on `version` to parse payload fields that
+/// A parsed container: the format version, the kind tag, and the payload
+/// bytes (already decompressed for v4 containers with a non-None codec).
+/// Loaders branch on `version` to parse payload fields that
 /// were added in later formats (and to reject versions whose payload cannot
 /// express what the backend needs, e.g. trajectory RNG state before v2).
 struct Container {

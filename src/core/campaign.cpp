@@ -1,7 +1,9 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
+#include <mutex>
 
 #include "backend/density_backend.hpp"
 #include "core/snapshot_tree.hpp"
@@ -178,6 +180,51 @@ std::vector<std::size_t> identity_subset(std::size_t n) {
   return all;
 }
 
+/// Streaming-emission state for CampaignSpec::record_sink: one lazily
+/// allocated record buffer per subset point plus an atomic countdown of its
+/// unfinished configs. The lane that scores a point's last config emits the
+/// whole buffer to the sink and frees it, so engine memory is bounded by the
+/// records of in-flight points instead of the whole campaign. The release
+/// decrements / acquire final-decrement pair makes every lane's buffer
+/// writes visible to the emitting lane.
+class PointEmitter {
+ public:
+  PointEmitter(ResultBlockSink& sink, std::size_t num_slices)
+      : sink_(sink),
+        buffers_(num_slices),
+        sizes_(num_slices, 0),
+        once_(std::make_unique<std::once_flag[]>(num_slices)),
+        remaining_(std::make_unique<std::atomic<std::size_t>[]>(num_slices)) {}
+
+  void set_slice_size(std::size_t s, std::size_t num_records) {
+    remaining_[s].store(num_records, std::memory_order_relaxed);
+    sizes_[s] = num_records;
+  }
+
+  /// Slot for record `local` (enumeration order within the point) of slice
+  /// `s`. Safe to call concurrently for different locals of one slice.
+  InjectionRecord& slot(std::size_t s, std::size_t local) {
+    std::call_once(once_[s], [&] { buffers_[s].resize(sizes_[s]); });
+    return buffers_[s][local];
+  }
+
+  /// Marks one record of slice `s` complete; emits and frees the buffer
+  /// when it was the last.
+  void complete_one(std::size_t s) {
+    if (remaining_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      sink_.emit(buffers_[s]);
+      buffers_[s] = {};
+    }
+  }
+
+ private:
+  ResultBlockSink& sink_;
+  std::vector<std::vector<InjectionRecord>> buffers_;
+  std::vector<std::size_t> sizes_;
+  std::unique_ptr<std::once_flag[]> once_;
+  std::unique_ptr<std::atomic<std::size_t>[]> remaining_;
+};
+
 }  // namespace
 
 std::vector<InjectionPoint> stride_points(std::vector<InjectionPoint> points,
@@ -240,7 +287,17 @@ CampaignResult single_campaign_impl(const CampaignSpec& spec, Prepared& prep,
   const std::size_t configs_per_point =
       static_cast<std::size_t>(num_theta) * static_cast<std::size_t>(num_phi);
   const std::size_t total = subset.size() * configs_per_point;
-  result.records.resize(total);
+  std::unique_ptr<PointEmitter> emitter;
+  if (spec.record_sink) {
+    // Streaming mode: records live in per-point buffers that are emitted
+    // and freed as each point's grid completes; result.records stays empty.
+    emitter = std::make_unique<PointEmitter>(*spec.record_sink, subset.size());
+    for (std::size_t s = 0; s < subset.size(); ++s) {
+      emitter->set_slice_size(s, configs_per_point);
+    }
+  } else {
+    result.records.resize(total);
+  }
 
   // The single source of a config's fault gate and seed, addressed by the
   // GLOBAL (point, phi, theta) triple so results are independent of
@@ -264,11 +321,14 @@ CampaignResult single_campaign_impl(const CampaignSpec& spec, Prepared& prep,
   // has a single source.
   const auto fill_record = [&](std::size_t s, std::size_t rem,
                                std::span<const double> probs) {
-    InjectionRecord& rec = result.records[s * configs_per_point + rem];
+    InjectionRecord& rec = emitter
+                               ? emitter->slot(s, rem)
+                               : result.records[s * configs_per_point + rem];
     rec.point_index = static_cast<std::uint32_t>(subset[s]);
     rec.theta_index = static_cast<int>(rem % num_theta);
     rec.phi_index = static_cast<int>(rem / num_theta);
     score_record(rec, probs, prep.golden);
+    if (emitter) emitter->complete_one(s);
   };
 
   // One config = one faulty execution.
@@ -491,7 +551,31 @@ CampaignResult double_campaign_impl(const CampaignSpec& spec, Prepared& prep,
   }
   require(!require_neighbors || any_neighbors,
           "double campaign: no coupled active neighbors (check topology)");
-  result.records.resize(configs.size());
+
+  // Each subset point owns one contiguous slice of `configs` (the list is
+  // ordered by point). The boundaries drive both the checkpointed sweeps
+  // and the streaming emitter, so compute them once up front.
+  std::vector<std::size_t> slice_begin(subset.size() + 1, 0);
+  std::vector<std::size_t> subset_pos(result.points.size(), 0);
+  for (std::size_t s = 0; s < subset.size(); ++s) subset_pos[subset[s]] = s;
+  for (const Config& cfg : configs) {
+    ++slice_begin[subset_pos[cfg.point_index] + 1];
+  }
+  for (std::size_t s = 0; s < subset.size(); ++s) {
+    slice_begin[s + 1] += slice_begin[s];
+  }
+
+  std::unique_ptr<PointEmitter> emitter;
+  if (spec.record_sink) {
+    // Streaming mode: see single_campaign_impl. Zero-length slices (points
+    // with no coupled active neighbor) simply never emit.
+    emitter = std::make_unique<PointEmitter>(*spec.record_sink, subset.size());
+    for (std::size_t s = 0; s < subset.size(); ++s) {
+      emitter->set_slice_size(s, slice_begin[s + 1] - slice_begin[s]);
+    }
+  } else {
+    result.records.resize(configs.size());
+  }
 
   // The single source of a flat config's fault pair and seed, shared by
   // batched and per-config submission.
@@ -515,7 +599,9 @@ CampaignResult double_campaign_impl(const CampaignSpec& spec, Prepared& prep,
   // paths so the field mapping from Config has a single source.
   const auto fill_record = [&](std::size_t idx, std::span<const double> probs) {
     const Config& cfg = configs[idx];
-    InjectionRecord& rec = result.records[idx];
+    const std::size_t s = subset_pos[cfg.point_index];
+    InjectionRecord& rec = emitter ? emitter->slot(s, idx - slice_begin[s])
+                                   : result.records[idx];
     rec.point_index = cfg.point_index;
     rec.theta_index = cfg.theta_index;
     rec.phi_index = cfg.phi_index;
@@ -523,6 +609,7 @@ CampaignResult double_campaign_impl(const CampaignSpec& spec, Prepared& prep,
     rec.theta1_index = cfg.theta1_index;
     rec.phi1_index = cfg.phi1_index;
     score_record(rec, probs, prep.golden);
+    if (emitter) emitter->complete_one(s);
   };
 
   const auto run_config = [&](std::size_t idx,
@@ -570,19 +657,8 @@ CampaignResult double_campaign_impl(const CampaignSpec& spec, Prepared& prep,
   if (configs.empty()) {
     // Empty shard (or no neighbors anywhere in the subset): metadata only.
   } else if (spec.use_checkpoints && prep.exec->supports_checkpointing()) {
-    // `configs` is ordered by point, so each subset point owns one
-    // contiguous slice; every config in a slice shares the prefix before
-    // the injection site and sweeps from one snapshot.
-    std::vector<std::size_t> slice_begin(subset.size() + 1, 0);
-    std::vector<std::size_t> subset_pos(result.points.size(), 0);
-    for (std::size_t s = 0; s < subset.size(); ++s) subset_pos[subset[s]] = s;
-    for (const Config& cfg : configs) {
-      ++slice_begin[subset_pos[cfg.point_index] + 1];
-    }
-    for (std::size_t s = 0; s < subset.size(); ++s) {
-      slice_begin[s + 1] += slice_begin[s];
-    }
-
+    // Every config in a point's slice shares the prefix before the
+    // injection site and sweeps from one snapshot.
     if (spec.use_tree) {
       // Prefix-tree engine: snapshots deduplicated by split and derived
       // along chains; each point's slice — the full primary x secondary

@@ -100,6 +100,17 @@ struct CampaignSpec {
   /// called concurrently from pool workers (batched campaigns submit
   /// multiple chunks against one shared snapshot). Not owned.
   backend::Backend* backend_override = nullptr;
+
+  /// Stream each injection point's completed record slice out of the engine
+  /// the moment its whole grid finished, instead of accumulating the full
+  /// record vector: the returned CampaignResult then carries metadata, the
+  /// point table and execution totals but an *empty* records vector, keeping
+  /// engine memory at O(points) slices instead of O(campaign). Blocks
+  /// arrive in completion order (not point order) and emit() is called
+  /// concurrently from pool lanes — see ResultBlockSink. Values are
+  /// bit-identical to the accumulated records (same slots, same seeds).
+  /// Not owned; nullptr = accumulate as before.
+  ResultBlockSink* record_sink = nullptr;
 };
 
 /// Runs the single-fault campaign of §IV-B: every injection point x every

@@ -1,6 +1,10 @@
 #include "core/results.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <set>
 
 #include "core/qvf.hpp"
@@ -150,8 +154,7 @@ CampaignResult::ImpactBreakdown CampaignResult::impact_breakdown() const {
   return b;
 }
 
-void CampaignResult::write_csv(const std::string& path) const {
-  util::CsvWriter csv(path);
+void write_csv_preamble(util::CsvWriter& csv, const CampaignMetadata& meta) {
   csv.write_row({"# circuit", meta.circuit_name, "backend", meta.backend_name,
                  "shots", util::CsvWriter::field(meta.shots), "seed",
                  util::CsvWriter::field(meta.seed), "faultfree_qvf",
@@ -159,34 +162,55 @@ void CampaignResult::write_csv(const std::string& path) const {
   csv.write_row({"point_index", "instr_index", "physical_qubit",
                  "logical_qubit", "moment", "theta", "phi", "neighbor_qubit",
                  "theta1", "phi1", "qvf", "pa", "pb"});
-  // Rows are emitted in canonical point-ascending order no matter how the
-  // records were assembled (merged shard results arrive grouped by shard,
-  // not by point), so single-process and merged-shard CSVs are
-  // byte-comparable. The sort is stable: within a point, records keep their
-  // enumeration order, which every assembly path already shares.
-  std::vector<std::size_t> order(records.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return records[a].point_index < records[b].point_index;
-                   });
-  for (const std::size_t i : order) {
-    const auto& r = records[i];
-    const auto& p = points[r.point_index];
-    const bool dbl = r.theta1_index >= 0;
-    csv.write_row(
-        {util::CsvWriter::field(r.point_index),
-         util::CsvWriter::field(p.instr_index),
-         util::CsvWriter::field(p.qubit),
-         util::CsvWriter::field(p.logical_qubit),
-         util::CsvWriter::field(p.moment),
-         util::CsvWriter::field(meta.grid.theta_at(r.theta_index)),
-         util::CsvWriter::field(meta.grid.phi_at(r.phi_index)),
-         util::CsvWriter::field(r.neighbor_qubit),
-         dbl ? util::CsvWriter::field(meta.grid.theta_at(r.theta1_index)) : "",
-         dbl ? util::CsvWriter::field(meta.grid.phi_at(r.phi1_index)) : "",
-         util::CsvWriter::field(r.qvf), util::CsvWriter::field(r.pa),
-         util::CsvWriter::field(r.pb)});
+}
+
+void write_csv_record(util::CsvWriter& csv, const CampaignMetadata& meta,
+                      std::span<const InjectionPoint> points,
+                      const InjectionRecord& r) {
+  const auto& p = points[r.point_index];
+  const bool dbl = r.theta1_index >= 0;
+  csv.write_row(
+      {util::CsvWriter::field(r.point_index),
+       util::CsvWriter::field(p.instr_index),
+       util::CsvWriter::field(p.qubit),
+       util::CsvWriter::field(p.logical_qubit),
+       util::CsvWriter::field(p.moment),
+       util::CsvWriter::field(meta.grid.theta_at(r.theta_index)),
+       util::CsvWriter::field(meta.grid.phi_at(r.phi_index)),
+       util::CsvWriter::field(r.neighbor_qubit),
+       dbl ? util::CsvWriter::field(meta.grid.theta_at(r.theta1_index)) : "",
+       dbl ? util::CsvWriter::field(meta.grid.phi_at(r.phi1_index)) : "",
+       util::CsvWriter::field(r.qvf), util::CsvWriter::field(r.pa),
+       util::CsvWriter::field(r.pb)});
+}
+
+void CampaignResult::write_csv(const std::string& path) const {
+  // Write-then-rename (matching the snapshot cache): the destination name
+  // only ever holds a complete export.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string temp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                           std::to_string(counter.fetch_add(1));
+  {
+    util::CsvWriter csv(temp);
+    write_csv_preamble(csv, meta);
+    // Rows are emitted in canonical point-ascending order no matter how the
+    // records were assembled (merged shard results arrive grouped by shard,
+    // not by point), so single-process and merged-shard CSVs are
+    // byte-comparable. The sort is stable: within a point, records keep
+    // their enumeration order, which every assembly path already shares.
+    std::vector<std::size_t> order(records.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return records[a].point_index < records[b].point_index;
+                     });
+    for (const std::size_t i : order) {
+      write_csv_record(csv, meta, points, records[i]);
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    throw Error("write_csv: cannot rename temp file into place: " + path);
   }
 }
 

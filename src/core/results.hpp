@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,10 @@
 #include "util/stats.hpp"
 
 namespace qufi {
+
+namespace util {
+class CsvWriter;
+}  // namespace util
 
 /// One executed injection configuration and its score.
 struct InjectionRecord {
@@ -37,6 +42,23 @@ struct HeatmapGrid {
   HeatmapGrid delta(const HeatmapGrid& other) const;
 
   double at(int phi_index, int theta_index) const;
+};
+
+/// Receives completed record blocks from a running campaign engine.
+///
+/// When CampaignSpec::record_sink is set, the engine hands each injection
+/// point's finished record slice to emit() the moment its grid sweep
+/// completes — blocks arrive in completion order, not point order, and
+/// concurrently from pool lanes, so implementations must be internally
+/// synchronized and must consume the span before returning (it aliases
+/// engine-owned storage that is recycled afterwards). Each emitted block is
+/// one whole point's records, sorted in enumeration order — exactly the
+/// block shape the columnar result container stores (src/core/result_io.hpp)
+/// and the streaming shard merger consumes.
+class ResultBlockSink {
+ public:
+  virtual ~ResultBlockSink() = default;
+  virtual void emit(std::span<const InjectionRecord> records) = 0;
 };
 
 /// Campaign-level metadata for reports.
@@ -99,11 +121,24 @@ class CampaignResult {
   /// sorted by point index (stable within a point), so output is
   /// deterministic for merged shard results as well as single-process runs;
   /// the column schema is documented in the README ("Campaign CSV schema").
+  /// The file is written to a temp name and renamed into place, so a
+  /// crashed export can never leave a truncated CSV behind.
   void write_csv(const std::string& path) const;
 
  private:
   HeatmapGrid empty_primary_grid() const;
 };
+
+/// The two leading rows of every campaign CSV (metadata comment + column
+/// header). Shared by CampaignResult::write_csv and the streaming exporters
+/// (qufi_export_csv, the columnar shard merger), so their output is
+/// byte-identical by construction.
+void write_csv_preamble(util::CsvWriter& csv, const CampaignMetadata& meta);
+
+/// One record row of the campaign CSV (see write_csv_preamble).
+void write_csv_record(util::CsvWriter& csv, const CampaignMetadata& meta,
+                      std::span<const InjectionPoint> points,
+                      const InjectionRecord& record);
 
 /// Paper-style injection accounting: executions x shots ("we report the
 /// finding of more than 285,249,536 injections").

@@ -1,7 +1,16 @@
 #include "dist/merge.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <vector>
 
+#include "core/result_io.hpp"
+#include "util/csv.hpp"
 #include "util/error.hpp"
 
 namespace qufi::dist {
@@ -9,10 +18,12 @@ namespace qufi::dist {
 namespace {
 
 /// Uniform view over in-memory shard results and file-loaded partials.
+/// `label` names the input in diagnostics ("shard 3", "input 0").
 struct ShardView {
   const CampaignMetadata* meta;
   const std::vector<InjectionPoint>* points;
   const std::vector<InjectionRecord>* records;
+  std::string label;
 };
 
 bool meta_matches(const CampaignMetadata& a, const CampaignMetadata& b) {
@@ -41,11 +52,30 @@ bool points_match(const std::vector<InjectionPoint>& a,
   return true;
 }
 
+/// Bit-exact record equality. Doubles compare by bit pattern, not value:
+/// shards are deterministic, so a retried shard reproduces the *bits* — a
+/// value-equal-but-bit-different double (-0.0 vs 0.0) still means the
+/// workers diverged.
 bool record_matches(const InjectionRecord& a, const InjectionRecord& b) {
   return a.point_index == b.point_index && a.theta_index == b.theta_index &&
          a.phi_index == b.phi_index && a.neighbor_qubit == b.neighbor_qubit &&
          a.theta1_index == b.theta1_index && a.phi1_index == b.phi1_index &&
-         a.qvf == b.qvf && a.pa == b.pa && a.pb == b.pb;
+         std::bit_cast<std::uint64_t>(a.qvf) ==
+             std::bit_cast<std::uint64_t>(b.qvf) &&
+         std::bit_cast<std::uint64_t>(a.pa) ==
+             std::bit_cast<std::uint64_t>(b.pa) &&
+         std::bit_cast<std::uint64_t>(a.pb) ==
+             std::bit_cast<std::uint64_t>(b.pb);
+}
+
+/// "shard 0 and shard 2 disagree on point 17 (...)" — duplicate points are
+/// only legal as bit-exact retries, so a conflict must name the pair that
+/// diverged for the operator to requeue the right shard.
+std::string conflict_message(const std::string& a, const std::string& b,
+                             std::uint32_t point, const std::string& detail) {
+  return "merge: " + a + " and " + b + " disagree on point " +
+         std::to_string(point) + " (" + detail +
+         "); duplicates must be bit-exact retries";
 }
 
 CampaignResult merge_views(std::span<const ShardView> shards,
@@ -87,11 +117,20 @@ CampaignResult merge_views(std::span<const ShardView> shards,
         buckets[p] = std::move(mine[p]);
         continue;
       }
+      const std::string& owner_label =
+          shards[static_cast<std::size_t>(owner[p])].label;
+      const std::uint32_t point = static_cast<std::uint32_t>(p);
       require(buckets[p].size() == mine[p].size(),
-              "merge: conflicting duplicate records for a point");
+              conflict_message(owner_label, shards[s].label, point,
+                               std::to_string(buckets[p].size()) + " vs " +
+                                   std::to_string(mine[p].size()) +
+                                   " records"));
       for (std::size_t k = 0; k < mine[p].size(); ++k) {
         require(record_matches(*buckets[p][k], *mine[p][k]),
-                "merge: conflicting duplicate records for a point");
+                conflict_message(owner_label, shards[s].label, point,
+                                 "record " + std::to_string(k) + " of " +
+                                     std::to_string(mine[p].size()) +
+                                     " differs"));
       }
     }
   }
@@ -121,8 +160,9 @@ CampaignResult merge_shard_results(std::span<const CampaignResult> shards,
                                    const MergeOptions& options) {
   std::vector<ShardView> views;
   views.reserve(shards.size());
-  for (const CampaignResult& shard : shards) {
-    views.push_back({&shard.meta, &shard.points, &shard.records});
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    views.push_back({&shards[s].meta, &shards[s].points, &shards[s].records,
+                     "input " + std::to_string(s)});
   }
   return merge_views(views, options);
 }
@@ -143,9 +183,214 @@ CampaignResult merge_partial_results(std::span<const PartialResult> parts,
   std::vector<ShardView> views;
   views.reserve(parts.size());
   for (const PartialResult& part : parts) {
-    views.push_back({&part.meta, &part.points, &part.records});
+    views.push_back({&part.meta, &part.points, &part.records,
+                     "shard " + std::to_string(part.shard_index)});
   }
   return merge_views(views, effective);
+}
+
+namespace {
+
+/// One input of the streaming merge: a block-indexed reader plus a cursor
+/// over the current (single) decoded block — the only record storage the
+/// merge holds per input.
+struct BlockStream {
+  std::unique_ptr<resio::ResultReader> reader;
+  std::string label;
+  std::size_t next_block = 0;
+  std::vector<InjectionRecord> cur;
+  std::size_t pos = 0;
+
+  /// Positions the cursor on the next record; false at end of input.
+  bool ready() {
+    while (pos == cur.size()) {
+      if (next_block == reader->num_blocks()) {
+        cur.clear();
+        pos = 0;
+        return false;
+      }
+      cur = reader->read_block(next_block++);
+      pos = 0;
+    }
+    return true;
+  }
+
+  std::uint32_t point() const { return cur[pos].point_index; }
+
+  /// Consumes and returns the current point's whole record run. A point
+  /// never spans blocks (container invariant), so the run is a contiguous
+  /// slice of the current block; the span stays valid until the next
+  /// ready() call.
+  std::span<const InjectionRecord> take_run() {
+    const std::uint32_t p = point();
+    const std::size_t begin = pos;
+    while (pos < cur.size() && cur[pos].point_index == p) ++pos;
+    return {cur.data() + begin, pos - begin};
+  }
+};
+
+/// Core streaming k-way merge: validates headers, then repeatedly extracts
+/// the minimum-point run across inputs, cross-checks duplicate runs
+/// bit-exactly, and hands the surviving run to `emit` in ascending global
+/// point order. Memory: one decoded block per input, one run in flight.
+template <typename Emit>
+StreamingMergeStats run_file_merge(std::span<const std::string> inputs,
+                                   const MergeOptions& options,
+                                   std::vector<BlockStream>& streams,
+                                   const Emit& emit) {
+  require(!inputs.empty(), "merge: no partial results");
+  streams.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    BlockStream s;
+    s.reader = std::make_unique<resio::ResultReader>(inputs[i]);
+    s.label = "shard " + std::to_string(s.reader->header().shard_index);
+    streams.push_back(std::move(s));
+  }
+  const resio::ResultFileHeader& first = streams[0].reader->header();
+  for (const BlockStream& s : streams) {
+    const resio::ResultFileHeader& h = s.reader->header();
+    require(first.meta.idle_noise == h.meta.idle_noise,
+            "merge: cannot mix idle-noise and non-idle shards (the "
+            "idle_noise execution mode changes every record; re-run the "
+            "shard with the campaign's mode)");
+    require(meta_matches(first.meta, h.meta),
+            "merge: shard metadata mismatch (different campaigns?)");
+    require(points_match(first.points, h.points),
+            "merge: shard point tables differ (different campaigns?)");
+    require(h.shard_count == first.shard_count,
+            "merge: partials disagree on shard count");
+    require(h.expected_total_records == first.expected_total_records,
+            "merge: partials disagree on expected record count");
+  }
+
+  std::uint64_t expected = options.expected_records > 0
+                              ? options.expected_records
+                              : first.expected_total_records;
+
+  StreamingMergeStats stats;
+  while (true) {
+    // The owner of the next point: the first input (in order) at the
+    // minimum pending point index — matching the bucket merge's
+    // first-shard-wins rule, so in-memory and streaming merges agree.
+    std::size_t owner = inputs.size();
+    std::uint32_t min_point = 0;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (!streams[i].ready()) continue;
+      if (owner == inputs.size() || streams[i].point() < min_point) {
+        owner = i;
+        min_point = streams[i].point();
+      }
+    }
+    if (owner == inputs.size()) break;
+
+    const auto run = streams[owner].take_run();
+    for (std::size_t i = owner + 1; i < streams.size(); ++i) {
+      if (!streams[i].ready() || streams[i].point() != min_point) continue;
+      const auto dup = streams[i].take_run();
+      require(dup.size() == run.size(),
+              conflict_message(streams[owner].label, streams[i].label,
+                               min_point,
+                               std::to_string(run.size()) + " vs " +
+                                   std::to_string(dup.size()) + " records"));
+      for (std::size_t k = 0; k < run.size(); ++k) {
+        require(record_matches(run[k], dup[k]),
+                conflict_message(streams[owner].label, streams[i].label,
+                                 min_point,
+                                 "record " + std::to_string(k) + " of " +
+                                     std::to_string(run.size()) +
+                                     " differs"));
+      }
+      stats.duplicate_records += dup.size();
+    }
+    emit(run);
+    stats.merged_records += run.size();
+  }
+
+  if (!options.allow_incomplete && expected > 0) {
+    require(stats.merged_records == expected,
+            "merge: incomplete campaign: " +
+                std::to_string(stats.merged_records) + " of " +
+                std::to_string(expected) +
+                " expected records (missing shard output?)");
+  }
+  for (const std::string& path : inputs) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (!ec) stats.input_bytes += size;
+  }
+  return stats;
+}
+
+}  // namespace
+
+StreamingMergeStats merge_result_files(std::span<const std::string> inputs,
+                                       const std::string& out_path,
+                                       const MergeOptions& options) {
+  std::vector<BlockStream> streams;
+  std::unique_ptr<resio::ResultWriter> writer;
+  StreamingMergeStats stats =
+      run_file_merge(inputs, options, streams,
+                     [&](std::span<const InjectionRecord> run) {
+                       if (!writer) {
+                         resio::ResultFileHeader header =
+                             streams[0].reader->header();
+                         header.shard_index = 0;
+                         header.shard_count = 1;
+                         writer = std::make_unique<resio::ResultWriter>(
+                             out_path, header);
+                       }
+                       writer->append(run);
+                     });
+  if (!writer) {
+    // Zero-record merge (empty shards): still produce a valid file.
+    resio::ResultFileHeader header = streams[0].reader->header();
+    header.shard_index = 0;
+    header.shard_count = 1;
+    writer = std::make_unique<resio::ResultWriter>(out_path, header);
+  }
+  // Match merge_shard_results: executions are recomputed from the merged
+  // record set, not summed over shards (duplicates would double-count).
+  const CampaignMetadata& meta = streams[0].reader->header().meta;
+  writer->finish(stats.merged_records,
+                 campaign_injections(stats.merged_records, meta.shots));
+  return stats;
+}
+
+StreamingMergeStats merge_result_files_to_csv(
+    std::span<const std::string> inputs, const std::string& csv_path,
+    const MergeOptions& options) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string temp = csv_path + ".tmp." + std::to_string(::getpid()) +
+                           "." + std::to_string(counter.fetch_add(1));
+  StreamingMergeStats stats;
+  try {
+    std::vector<BlockStream> streams;
+    std::unique_ptr<util::CsvWriter> csv;
+    stats = run_file_merge(
+        inputs, options, streams,
+        [&](std::span<const InjectionRecord> run) {
+          if (!csv) {
+            csv = std::make_unique<util::CsvWriter>(temp);
+            write_csv_preamble(*csv, streams[0].reader->header().meta);
+          }
+          const auto& header = streams[0].reader->header();
+          for (const InjectionRecord& r : run) {
+            write_csv_record(*csv, header.meta, header.points, r);
+          }
+        });
+    if (!csv) {
+      csv = std::make_unique<util::CsvWriter>(temp);
+      write_csv_preamble(*csv, streams[0].reader->header().meta);
+    }
+  } catch (...) {
+    std::remove(temp.c_str());
+    throw;
+  }
+  if (std::rename(temp.c_str(), csv_path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    throw Error("merge: cannot rename CSV temp file into place: " + csv_path);
+  }
+  return stats;
 }
 
 }  // namespace qufi::dist

@@ -52,4 +52,35 @@ CampaignResult merge_shard_results(std::span<const CampaignResult> shards,
 CampaignResult merge_partial_results(std::span<const PartialResult> parts,
                                      const MergeOptions& options = {});
 
+/// What a streaming file merge did (for perf reporting and CLI summaries).
+struct StreamingMergeStats {
+  std::uint64_t merged_records = 0;  ///< records written to the output
+  /// Records dropped as bit-exact duplicates of an earlier shard's (retried
+  /// shards re-execute points; identical output confirms the retry).
+  std::uint64_t duplicate_records = 0;
+  std::uint64_t input_bytes = 0;  ///< total size of the input files
+};
+
+/// Streaming k-way merge over columnar QUFIPART partials, writing the
+/// merged result as one columnar file (shard 0-of-1). Never materializes
+/// the campaign: each input contributes at most one decoded block at a time
+/// (peak memory O(shards x block), not O(campaign)), and the output
+/// streams through a resio::ResultWriter. Semantics match
+/// merge_partial_results — order-independent (ascending global point
+/// order), duplicate-tolerant for bit-exact retries, completeness checked
+/// against expected_total_records — with conflicts diagnosed by shard and
+/// point ("shard 2 and shard 5 disagree on point 17"). Throws qufi::Error
+/// on any header mismatch, conflict, or failed completeness check.
+StreamingMergeStats merge_result_files(std::span<const std::string> inputs,
+                                       const std::string& out_path,
+                                       const MergeOptions& options = {});
+
+/// Same streaming merge, but exporting straight to campaign CSV — the rows
+/// are byte-identical to CampaignResult::write_csv on the merged result
+/// (shared preamble/row helpers, same canonical point order). Written via
+/// temp file + rename like every result artifact.
+StreamingMergeStats merge_result_files_to_csv(
+    std::span<const std::string> inputs, const std::string& csv_path,
+    const MergeOptions& options = {});
+
 }  // namespace qufi::dist

@@ -1,6 +1,10 @@
 #include "dist/partial.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -12,7 +16,23 @@ namespace {
 /// Round-trip double formatting, shared with every other result exporter.
 std::string g17(double v) { return util::CsvWriter::field(v); }
 
-double to_double(const std::string& s) { return std::stod(s); }
+/// Full-round-trip double parsing. std::stod throws out_of_range for
+/// *subnormal* results (glibc strtod flags ERANGE on underflow), but
+/// subnormals are legitimate %.17g round-trips of computed QVF values — so
+/// parse via strtod directly and reject only true overflow.
+double to_double(const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || end == nullptr || *end != '\0') {
+    throw std::invalid_argument("to_double: " + s);
+  }
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    throw std::out_of_range("to_double: " + s);
+  }
+  return v;
+}
+
 std::uint64_t to_u64(const std::string& s) { return std::stoull(s); }
 int to_int(const std::string& s) { return std::stoi(s); }
 
@@ -164,6 +184,40 @@ PartialResult read_partial(const std::string& path) {
     require(r.point_index < out.points.size(),
             "partial: record references unknown point: " + path);
   }
+  return out;
+}
+
+resio::ResultFileHeader columnar_partial_header(const PartialResult& partial) {
+  resio::ResultFileHeader header;
+  header.shard_index = partial.shard_index;
+  header.shard_count = partial.shard_count;
+  header.expected_total_records = partial.expected_total_records;
+  header.meta = partial.meta;
+  header.points = partial.points;
+  return header;
+}
+
+void write_partial_columnar(const std::string& path,
+                            const PartialResult& partial) {
+  resio::write_result_file(path, columnar_partial_header(partial),
+                           partial.records, partial.meta.executions,
+                           partial.meta.injections);
+}
+
+PartialResult read_partial_any(const std::string& path) {
+  if (!resio::is_result_file(path)) return read_partial(path);
+  resio::LoadedResultFile file = resio::read_result_file(path);
+  PartialResult out;
+  out.shard_index = file.header.shard_index;
+  out.shard_count = file.header.shard_count;
+  out.expected_total_records = file.header.expected_total_records;
+  out.meta = file.header.meta;
+  out.meta.executions = file.executions;
+  out.meta.injections = file.injections;
+  out.points = file.header.points;
+  out.records = std::move(file.records);
+  require(out.shard_count >= 1 && out.shard_index < out.shard_count,
+          "partial: shard index/count out of range: " + path);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/result_io.hpp"
 #include "core/results.hpp"
 
 namespace qufi::dist {
@@ -39,5 +40,23 @@ void write_partial(const std::string& path, const PartialResult& partial);
 /// Parses a file written by write_partial. Throws qufi::Error with a
 /// line-tagged reason on malformed input or an unsupported version.
 PartialResult read_partial(const std::string& path);
+
+/// The columnar QUFIPART header equivalent of `partial`'s text rows —
+/// shard identity, expected total, metadata, point table. Shared by
+/// write_partial_columnar and the worker's streaming output path (which
+/// opens a resio::ResultWriter on it before any record exists).
+resio::ResultFileHeader columnar_partial_header(const PartialResult& partial);
+
+/// Writes one shard's partial as a binary columnar QUFIPART file
+/// (docs/RESULT_FORMAT.md) — the at-scale sibling of write_partial. The
+/// stored doubles are the exact bit patterns of the in-memory records, so
+/// text (%.17g) and columnar partials merge to identical results.
+void write_partial_columnar(const std::string& path,
+                            const PartialResult& partial);
+
+/// Reads either partial flavor: binary columnar (sniffed via the QUFIPART
+/// magic) or text. Throws qufi::Error as read_partial / resio::ResultReader
+/// do.
+PartialResult read_partial_any(const std::string& path);
 
 }  // namespace qufi::dist

@@ -4,6 +4,7 @@
 
 #include "backend/density_backend.hpp"
 #include "backend/trajectory_backend.hpp"
+#include "core/result_io.hpp"
 #include "dist/snapshot_cache.hpp"
 #include "noise/noise_model.hpp"
 #include "util/csv.hpp"
@@ -44,10 +45,55 @@ ShardRunOutput run_shard(const ShardManifest& manifest,
     // circuit bytes and the backend name, so it must ride in the key.
     cache = std::make_unique<SnapshotCachingBackend>(
         *exec, options.snapshot_dir,
-        "noise_scale=" + util::CsvWriter::field(spec.noise_scale));
+        "noise_scale=" + util::CsvWriter::field(spec.noise_scale),
+        options.compress_snapshots);
     spec.backend_override = cache.get();
   } else {
     spec.backend_override = exec.get();
+  }
+
+  // Completeness total for the merger: planner-stamped when available,
+  // otherwise derived here (hand-written manifests; double campaigns pay a
+  // transpile via campaign_point_neighbor_pairs in that fallback only).
+  const auto derive_expected = [&](std::size_t num_points) -> std::uint64_t {
+    if (manifest.expected_records > 0) return manifest.expected_records;
+    if (manifest.double_fault) {
+      return double_campaign_executions(
+          campaign_point_neighbor_pairs(spec).size(), spec.grid);
+    }
+    return single_campaign_executions(num_points, spec.grid);
+  };
+
+  std::unique_ptr<resio::ResultWriter> writer;
+  std::unique_ptr<resio::ResultFileSink> sink;
+  if (!options.columnar_output_path.empty()) {
+    // Streaming mode needs the file header — point table, metadata,
+    // expected total — before the first record exists, so mirror the
+    // campaign's own derivation (one extra transpile, same enumeration).
+    const auto transpiled = campaign_transpile(spec);
+    resio::ResultFileHeader header;
+    header.shard_index = manifest.shard_index;
+    header.shard_count = manifest.shard_count;
+    header.points = stride_points(
+        enumerate_injection_points(transpiled, spec.strategy),
+        spec.max_points);
+    header.expected_total_records = derive_expected(header.points.size());
+    header.meta.circuit_name = spec.circuit.name();
+    header.meta.backend_name = spec.backend_override->name();
+    header.meta.circuit_qubits = spec.circuit.num_qubits();
+    header.meta.transpiled_gates = transpiled.circuit.num_unitary_gates();
+    header.meta.grid = spec.grid;
+    header.meta.shots = spec.shots;
+    header.meta.seed = spec.seed;
+    header.meta.double_fault = manifest.double_fault;
+    header.meta.idle_noise = spec.idle_noise;
+    // faultfree_qvf is only known once the campaign has run the fault-free
+    // reference; set_meta patches it in before finish() seals the header.
+    header.meta.faultfree_qvf = 0.0;
+    writer = std::make_unique<resio::ResultWriter>(
+        options.columnar_output_path, header);
+    sink = std::make_unique<resio::ResultFileSink>(*writer);
+    spec.record_sink = sink.get();
   }
 
   const CampaignResult result =
@@ -58,21 +104,16 @@ ShardRunOutput run_shard(const ShardManifest& manifest,
   ShardRunOutput out;
   out.partial.shard_index = manifest.shard_index;
   out.partial.shard_count = manifest.shard_count;
-  // The merger's completeness total: planner-stamped when available,
-  // otherwise derived here (hand-written manifests; double campaigns pay a
-  // transpile via campaign_point_neighbor_pairs in that fallback only).
-  if (manifest.expected_records > 0) {
-    out.partial.expected_total_records = manifest.expected_records;
-  } else if (manifest.double_fault) {
-    out.partial.expected_total_records = double_campaign_executions(
-        campaign_point_neighbor_pairs(spec).size(), spec.grid);
-  } else {
-    out.partial.expected_total_records =
-        single_campaign_executions(result.points.size(), spec.grid);
-  }
+  out.partial.expected_total_records = derive_expected(result.points.size());
   out.partial.meta = result.meta;
   out.partial.points = result.points;
   out.partial.records = result.records;
+  if (writer) {
+    writer->set_meta(result.meta);
+    writer->finish(result.meta.executions, result.meta.injections);
+    out.partial_bytes = writer->bytes_written();
+    out.streamed_records = writer->records_written();
+  }
   if (cache) {
     out.snapshot_hits = cache->hits();
     out.snapshot_misses = cache->misses();

@@ -14,8 +14,21 @@ struct ShardRunOptions {
   /// Directory of serialized prefix snapshots; empty = always re-simulate
   /// prefixes. Shared across workers/retries, keyed to circuit bytes.
   std::string snapshot_dir;
+  /// Store cache snapshots deflate-compressed (container v4). Purely a
+  /// storage choice: keys and loaded states are codec-independent, so
+  /// compressed and plain workers can share one snapshot_dir. Ignored
+  /// without zlib support or snapshot_dir.
+  bool compress_snapshots = false;
   /// Worker threads; 0 = hardware concurrency.
   int threads = 0;
+  /// Stream the shard's records into this columnar QUFIPART file as points
+  /// complete (docs/RESULT_FORMAT.md), instead of accumulating them in
+  /// memory: the returned partial then carries metadata and the point table
+  /// but an *empty* records vector, and worker memory stays at O(in-flight
+  /// points) whatever the grid size. Empty = accumulate in the partial as
+  /// before. The file is a complete shard partial (read_partial_any /
+  /// merge_result_files consume it directly) written via temp + rename.
+  std::string columnar_output_path;
 };
 
 /// What one shard execution produced.
@@ -24,6 +37,12 @@ struct ShardRunOutput {
   /// Snapshot-cache counters (both 0 when no snapshot_dir was given).
   std::uint64_t snapshot_hits = 0;
   std::uint64_t snapshot_misses = 0;
+  /// Size of the streamed columnar partial (0 unless columnar_output_path
+  /// was given).
+  std::uint64_t partial_bytes = 0;
+  /// Records streamed into the columnar partial (partial.records stays
+  /// empty in that mode; 0 unless columnar_output_path was given).
+  std::uint64_t streamed_records = 0;
 };
 
 /// Executes one shard manifest end to end: rebuilds the campaign spec,

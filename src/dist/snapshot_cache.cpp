@@ -6,10 +6,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "backend/snapshot_io.hpp"
 #include "util/binary_io.hpp"
+#include "util/compress.hpp"
 #include "util/error.hpp"
+#include "util/mmap_file.hpp"
 
 namespace qufi::dist {
 
@@ -17,8 +20,11 @@ namespace fs = std::filesystem;
 
 SnapshotCachingBackend::SnapshotCachingBackend(backend::Backend& inner,
                                                std::string cache_dir,
-                                               std::string key_context)
-    : inner_(inner), cache_dir_(std::move(cache_dir)) {
+                                               std::string key_context,
+                                               bool compress)
+    : inner_(inner),
+      cache_dir_(std::move(cache_dir)),
+      compress_(compress && util::deflate_available()) {
   require(!cache_dir_.empty(), "snapshot cache: empty cache directory");
   // The inner backend's name encodes its family and noise-model source
   // ("density_matrix(fake_casablanca)"), so two devices with identical
@@ -91,18 +97,9 @@ backend::PrefixSnapshotPtr SnapshotCachingBackend::prepare_prefix(
       snapshot_seed,
       inner_.snapshot_schedule_digest(circuit, prefix_length));
 
-  if (fs::exists(path)) {
-    try {
-      std::ifstream in(path, std::ios::binary);
-      if (in.is_open()) {
-        auto snapshot = inner_.load_snapshot(in);
-        hits_.fetch_add(1);
-        return snapshot;
-      }
-    } catch (const Error&) {
-      // Corrupt/truncated file (killed worker mid-write without the atomic
-      // rename, bit rot): fall through and recompute.
-    }
+  if (auto snapshot = load_cached(path.string())) {
+    hits_.fetch_add(1);
+    return snapshot;
   }
 
   auto snapshot = inner_.prepare_prefix(circuit, prefix_length, shots_hint,
@@ -131,17 +128,9 @@ backend::PrefixSnapshotPtr SnapshotCachingBackend::extend_snapshot(
   const fs::path path = snapshot_key_path(
       cache_dir_, context_hash_, *circuit, to_gate, shots_hint, snapshot_seed,
       inner_.snapshot_schedule_digest(*circuit, to_gate));
-  if (fs::exists(path)) {
-    try {
-      std::ifstream in(path, std::ios::binary);
-      if (in.is_open()) {
-        auto snapshot = inner_.load_snapshot(in);
-        hits_.fetch_add(1);
-        return snapshot;
-      }
-    } catch (const Error&) {
-      // Corrupt/truncated cache entry: fall through and extend for real.
-    }
+  if (auto snapshot = load_cached(path.string())) {
+    hits_.fetch_add(1);
+    return snapshot;
   }
 
   auto snapshot = inner_.extend_snapshot(parent, from_gate, to_gate,
@@ -149,6 +138,25 @@ backend::PrefixSnapshotPtr SnapshotCachingBackend::extend_snapshot(
   misses_.fetch_add(1);
   persist(*snapshot, path.string());
   return snapshot;
+}
+
+backend::PrefixSnapshotPtr SnapshotCachingBackend::load_cached(
+    const std::string& path) {
+  try {
+    util::MmapFile map(path);
+    if (map.is_open()) {
+      util::ViewIstream in(map.view());
+      return inner_.load_snapshot(in);
+    }
+    // Mapping unavailable (file vanished, empty, exotic filesystem): a
+    // plain stream read is still correct, just private-buffered.
+    std::ifstream in(path, std::ios::binary);
+    if (in.is_open()) return inner_.load_snapshot(in);
+  } catch (const Error&) {
+    // Corrupt/truncated file (killed worker mid-write without the atomic
+    // rename, bit rot): the caller recomputes.
+  }
+  return nullptr;
 }
 
 void SnapshotCachingBackend::persist(const backend::PrefixSnapshot& snapshot,
@@ -164,7 +172,25 @@ void SnapshotCachingBackend::persist(const backend::PrefixSnapshot& snapshot,
   {
     std::ofstream out(temp, std::ios::binary);
     if (!out.is_open()) return;  // cache dir vanished: still correct
-    if (!inner_.save_snapshot(snapshot, out)) {
+    bool ok = false;
+    if (compress_) {
+      // The inner backend always frames uncompressed; re-frame its
+      // container with the deflate codec. The payload bytes (and so the
+      // loaded state) are identical — only the storage encoding changes.
+      std::ostringstream plain;
+      ok = inner_.save_snapshot(snapshot, plain);
+      if (ok) {
+        std::istringstream in(std::move(plain).str());
+        const auto container = backend::snapio::read_container(in);
+        backend::snapio::write_container(
+            out, container.kind, container.payload,
+            backend::snapio::PayloadCodec::Deflate);
+        ok = out.good();
+      }
+    } else {
+      ok = inner_.save_snapshot(snapshot, out);
+    }
+    if (!ok) {
       out.close();
       std::error_code ec;
       fs::remove(temp, ec);

@@ -39,8 +39,14 @@ class SnapshotCachingBackend final : public backend::Backend {
   ///                    key — pass everything that alters evolved state
   ///                    but is not visible in the circuit bytes or the
   ///                    inner backend's name (e.g. noise_scale).
+  /// \param compress    Store snapshot payloads deflate-compressed (the
+  ///                    container v4 codec flag). Ignored — with an
+  ///                    uncompressed fallback — when the build carries no
+  ///                    zlib. Loads always accept both codecs, so
+  ///                    compressed and plain workers can share a
+  ///                    directory; cache keys are codec-independent.
   SnapshotCachingBackend(backend::Backend& inner, std::string cache_dir,
-                         std::string key_context = {});
+                         std::string key_context = {}, bool compress = false);
 
   std::string name() const override;
   bool supports_checkpointing() const override;
@@ -96,9 +102,16 @@ class SnapshotCachingBackend final : public backend::Backend {
   void persist(const backend::PrefixSnapshot& snapshot,
                const std::string& path);
 
+  /// Loads a cache file through an mmap-backed view (worker fleets sharing
+  /// a directory then share OS page cache instead of each buffering a
+  /// private copy), falling back to a plain ifstream when mapping fails.
+  /// Returns nullptr on any validation failure — the caller recomputes.
+  backend::PrefixSnapshotPtr load_cached(const std::string& path);
+
   backend::Backend& inner_;
   std::string cache_dir_;
   std::uint64_t context_hash_ = 0;  ///< hash of name() + key_context
+  bool compress_ = false;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> temp_counter_{0};

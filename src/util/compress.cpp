@@ -1,0 +1,58 @@
+#include "util/compress.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+#if defined(QUFI_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
+namespace qufi::util {
+
+#if defined(QUFI_HAVE_ZLIB)
+
+bool deflate_available() { return true; }
+
+std::string deflate_compress(std::string_view raw) {
+  require(raw.size() <= std::numeric_limits<uLong>::max(),
+          "deflate: input too large");
+  uLongf bound = compressBound(static_cast<uLong>(raw.size()));
+  std::string out(static_cast<std::size_t>(bound), '\0');
+  const int rc = compress2(reinterpret_cast<Bytef*>(out.data()), &bound,
+                           reinterpret_cast<const Bytef*>(raw.data()),
+                           static_cast<uLong>(raw.size()),
+                           Z_DEFAULT_COMPRESSION);
+  require(rc == Z_OK, "deflate: compression failed");
+  out.resize(static_cast<std::size_t>(bound));
+  return out;
+}
+
+std::string deflate_decompress(std::string_view compressed,
+                               std::size_t raw_size) {
+  std::string out(raw_size, '\0');
+  uLongf dest_len = static_cast<uLongf>(raw_size);
+  const int rc =
+      uncompress(reinterpret_cast<Bytef*>(out.data()), &dest_len,
+                 reinterpret_cast<const Bytef*>(compressed.data()),
+                 static_cast<uLong>(compressed.size()));
+  require(rc == Z_OK, "deflate: corrupt compressed payload");
+  require(dest_len == raw_size, "deflate: decompressed size mismatch");
+  return out;
+}
+
+#else  // !QUFI_HAVE_ZLIB
+
+bool deflate_available() { return false; }
+
+std::string deflate_compress(std::string_view) {
+  throw Error("deflate: zlib support not built in");
+}
+
+std::string deflate_decompress(std::string_view, std::size_t) {
+  throw Error("deflate: zlib support not built in");
+}
+
+#endif
+
+}  // namespace qufi::util

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace qufi::util {
+
+/// Whether this build carries zlib and can (de)compress deflate streams.
+/// When false, deflate_compress/deflate_decompress throw qufi::Error — the
+/// snapshot container layer keys on this to fall back to uncompressed
+/// payloads (write side) or fail loudly (read side).
+bool deflate_available();
+
+/// Compresses `raw` as a zlib stream (RFC 1950). Throws qufi::Error when
+/// zlib is unavailable or compression fails.
+std::string deflate_compress(std::string_view raw);
+
+/// Inflates a zlib stream produced by deflate_compress. `raw_size` is the
+/// exact expected output size (snapshot containers store it next to the
+/// codec tag); a stream that inflates to any other size is rejected.
+/// Throws qufi::Error on unavailability, corrupt input, or size mismatch.
+std::string deflate_decompress(std::string_view compressed,
+                               std::size_t raw_size);
+
+}  // namespace qufi::util

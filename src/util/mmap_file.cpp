@@ -1,0 +1,29 @@
+#include "util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace qufi::util {
+
+MmapFile::MmapFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  struct stat st{};
+  if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+    void* mapped = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                          PROT_READ, MAP_SHARED, fd, 0);
+    if (mapped != MAP_FAILED) {
+      data_ = mapped;
+      size_ = static_cast<std::size_t>(st.st_size);
+    }
+  }
+  ::close(fd);  // the mapping keeps its own reference
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+}  // namespace qufi::util

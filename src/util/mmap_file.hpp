@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <streambuf>
+#include <string>
+#include <string_view>
+
+namespace qufi::util {
+
+/// Read-only memory-mapped file (POSIX mmap).
+///
+/// Used by the snapshot cache's load path so a fleet of worker processes
+/// reading the same snapshot files shares OS page cache instead of each
+/// copying the bytes through a private ifstream buffer. Mapping can fail
+/// (exotic filesystems, empty files); callers treat an unopened map as
+/// "fall back to ifstream", never as an error.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  /// Maps `path` read-only. Check is_open() — construction never throws.
+  explicit MmapFile(const std::string& path);
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  bool is_open() const { return data_ != nullptr; }
+  std::string_view view() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Zero-copy istream over a string_view (e.g. an MmapFile's view) — adapts
+/// mapped bytes to the Backend::load_snapshot(istream) interface without
+/// materializing a copy.
+class ViewStreambuf : public std::streambuf {
+ public:
+  explicit ViewStreambuf(std::string_view view) {
+    char* begin = const_cast<char*>(view.data());
+    setg(begin, begin, begin + view.size());
+  }
+};
+
+class ViewIstream : private ViewStreambuf, public std::istream {
+ public:
+  explicit ViewIstream(std::string_view view)
+      : ViewStreambuf(view), std::istream(this) {}
+};
+
+}  // namespace qufi::util

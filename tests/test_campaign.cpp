@@ -2,9 +2,14 @@
 // single/double campaigns, determinism, aggregations, reports.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <numbers>
+#include <span>
+#include <vector>
 
 #include "algorithms/algorithms.hpp"
 #include "backend/hardware_backend.hpp"
@@ -372,6 +377,108 @@ TEST(Results, InjectionAccountingFormulas) {
   FaultParamGrid primary;
   primary.phi_max_deg = 180.0;
   EXPECT_EQ(double_campaign_executions(20, primary) * 1024, 169594880u);
+}
+
+TEST(Results, WriteCsvIsAtomicNoTempLeftBehind) {
+  const auto spec = quick_spec();
+  const auto result = run_single_fault_campaign(spec);
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) /
+      ("qufi_csv_atomic_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::create_directories(dir);
+  const std::string path = (dir / "out.csv").string();
+  result.write_csv(path);
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string(), path) << "temp file left behind";
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------------------- record streaming
+
+/// Collects emitted blocks; emit() is called concurrently from pool lanes.
+class CollectingSink final : public ResultBlockSink {
+ public:
+  void emit(std::span<const InjectionRecord> records) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    blocks_.emplace_back(records.begin(), records.end());
+  }
+  /// All records, re-sorted into canonical ascending-point order.
+  std::vector<InjectionRecord> sorted() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::sort(blocks_.begin(), blocks_.end(),
+              [](const auto& a, const auto& b) {
+                return a.front().point_index < b.front().point_index;
+              });
+    std::vector<InjectionRecord> all;
+    for (const auto& block : blocks_) {
+      all.insert(all.end(), block.begin(), block.end());
+    }
+    return all;
+  }
+  std::size_t num_blocks() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return blocks_.size();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::vector<InjectionRecord>> blocks_;
+};
+
+void expect_identical_records(const std::vector<InjectionRecord>& a,
+                              const std::vector<InjectionRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].point_index, b[i].point_index) << "record " << i;
+    EXPECT_EQ(a[i].theta_index, b[i].theta_index) << "record " << i;
+    EXPECT_EQ(a[i].phi_index, b[i].phi_index) << "record " << i;
+    EXPECT_EQ(a[i].neighbor_qubit, b[i].neighbor_qubit) << "record " << i;
+    EXPECT_EQ(a[i].theta1_index, b[i].theta1_index) << "record " << i;
+    EXPECT_EQ(a[i].phi1_index, b[i].phi1_index) << "record " << i;
+    EXPECT_EQ(a[i].qvf, b[i].qvf) << "record " << i;  // bit-identical engine
+    EXPECT_EQ(a[i].pa, b[i].pa) << "record " << i;
+    EXPECT_EQ(a[i].pb, b[i].pb) << "record " << i;
+  }
+}
+
+TEST(RecordSink, SingleCampaignStreamsWholePointsBitIdentically) {
+  auto spec = quick_spec();
+  const auto accumulated = run_single_fault_campaign(spec);
+
+  CollectingSink sink;
+  spec.record_sink = &sink;
+  const auto streamed = run_single_fault_campaign(spec);
+
+  EXPECT_TRUE(streamed.records.empty())
+      << "sink mode must not also accumulate";
+  EXPECT_EQ(streamed.meta.executions, accumulated.meta.executions);
+  EXPECT_EQ(streamed.meta.faultfree_qvf, accumulated.meta.faultfree_qvf);
+  EXPECT_EQ(sink.num_blocks(), accumulated.points.size())
+      << "one emitted block per injection point";
+  expect_identical_records(sink.sorted(), accumulated.records);
+}
+
+TEST(RecordSink, DoubleCampaignStreamsWholePointsBitIdentically) {
+  auto spec = quick_spec();
+  spec.grid.theta_step_deg = 90.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.grid.phi_max_deg = 180.0;
+  spec.max_points = 4;
+  const auto accumulated = run_double_fault_campaign(spec);
+
+  CollectingSink sink;
+  spec.record_sink = &sink;
+  const auto streamed = run_double_fault_campaign(spec);
+
+  EXPECT_TRUE(streamed.records.empty());
+  EXPECT_EQ(streamed.meta.executions, accumulated.meta.executions);
+  expect_identical_records(sink.sorted(), accumulated.records);
 }
 
 // ---------------------------------------------------------------- report

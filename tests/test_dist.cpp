@@ -11,8 +11,10 @@
 
 #include "algorithms/algorithms.hpp"
 #include "backend/density_backend.hpp"
+#include "backend/snapshot_io.hpp"
 #include "backend/trajectory_backend.hpp"
 #include "core/campaign.hpp"
+#include "core/result_io.hpp"
 #include "dist/manifest.hpp"
 #include "dist/merge.hpp"
 #include "dist/partial.hpp"
@@ -21,6 +23,7 @@
 #include "dist/snapshot_cache.hpp"
 #include "noise/backend_props.hpp"
 #include "noise/noise_model.hpp"
+#include "util/compress.hpp"
 #include "util/error.hpp"
 
 namespace qufi {
@@ -929,6 +932,281 @@ TEST(ShardRunner, ManifestExecutionMatchesDirectSubsetRun) {
   const auto single = run_single_fault_campaign(spec);
   EXPECT_EQ(merged.meta.backend_name, single.meta.backend_name);
   expect_same_records(merged, single);
+}
+
+// ---- columnar partials and the streaming file merge ------------------------
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Subset-runs spec as `shards` columnar partial files on disk.
+std::vector<std::string> write_columnar_shards(const fs::path& dir,
+                                               const CampaignSpec& spec,
+                                               std::uint32_t shards) {
+  const auto plan = dist::plan_campaign_shards(spec, shards);
+  std::vector<std::string> paths;
+  for (std::size_t k = 0; k < plan.shards.size(); ++k) {
+    const auto result =
+        run_single_fault_campaign_subset(spec, plan.shards[k].point_indices);
+    dist::PartialResult partial;
+    partial.shard_index = static_cast<std::uint32_t>(k);
+    partial.shard_count = static_cast<std::uint32_t>(plan.shards.size());
+    partial.expected_total_records =
+        single_campaign_executions(result.points.size(), spec.grid);
+    partial.meta = result.meta;
+    partial.points = result.points;
+    partial.records = result.records;
+    paths.push_back((dir / ("part_" + std::to_string(k) + ".qp")).string());
+    dist::write_partial_columnar(paths.back(), partial);
+  }
+  return paths;
+}
+
+TEST(StreamingMerge, FileMergeMatchesInMemoryAndSingleProcessAt2And8Shards) {
+  TempDir dir("streaming");
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 6;
+  const auto single = run_single_fault_campaign(spec);
+  const std::string reference_csv = (dir.path / "single.csv").string();
+  single.write_csv(reference_csv);
+
+  for (const std::uint32_t shards : {2u, 8u}) {
+    const auto sub = dir.path / ("s" + std::to_string(shards));
+    fs::create_directories(sub);
+    const auto paths = write_columnar_shards(sub, spec, shards);
+
+    // Columnar file merge == the single-process campaign, bit for bit.
+    const std::string merged_path = (sub / "merged.qp").string();
+    const auto stats = dist::merge_result_files(paths, merged_path);
+    EXPECT_EQ(stats.merged_records, single.records.size());
+    EXPECT_EQ(stats.duplicate_records, 0u);
+    const auto merged_file = resio::read_result_file(merged_path);
+    CampaignResult merged;
+    merged.meta = merged_file.header.meta;
+    merged.points = merged_file.header.points;
+    merged.records = merged_file.records;
+    expect_same_records(merged, single);
+    EXPECT_EQ(merged.meta.faultfree_qvf, single.meta.faultfree_qvf);
+
+    // Streaming CSV export == CampaignResult::write_csv, byte for byte.
+    const std::string merged_csv = (sub / "merged.csv").string();
+    (void)dist::merge_result_files_to_csv(paths, merged_csv);
+    EXPECT_EQ(slurp_file(merged_csv), slurp_file(reference_csv))
+        << shards << "-shard streaming CSV diverges from write_csv";
+
+    // And the same partials through the in-memory path agree too.
+    std::vector<dist::PartialResult> parts;
+    for (const auto& path : paths) {
+      parts.push_back(dist::read_partial_any(path));
+    }
+    expect_same_records(dist::merge_partial_results(parts), single);
+  }
+}
+
+TEST(StreamingMerge, BitExactDuplicatesMergeConflictsAreNamed) {
+  TempDir dir("conflict");
+  // Synthetic two-point campaign so the duplicate bits are fully controlled.
+  dist::PartialResult base;
+  base.shard_index = 0;
+  base.shard_count = 2;
+  base.expected_total_records = 2;
+  base.meta.circuit_name = "conflict_test";
+  base.meta.backend_name = "synthetic";
+  base.meta.grid.theta_step_deg = 60.0;
+  base.meta.grid.phi_step_deg = 90.0;
+  base.points.resize(2);
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    InjectionRecord r;
+    r.point_index = p;
+    r.neighbor_qubit = -1;
+    r.theta1_index = -1;
+    r.phi1_index = -1;
+    r.qvf = p == 1 ? 0.0 : 0.5;
+    r.pa = 0.25;
+    r.pb = 0.75;
+    base.records.push_back(r);
+  }
+
+  auto retry = base;
+  retry.shard_index = 1;
+
+  const std::string a_path = (dir.path / "a.qp").string();
+  const std::string ok_path = (dir.path / "ok.qp").string();
+  const std::string bad_path = (dir.path / "bad.qp").string();
+  dist::write_partial_columnar(a_path, base);
+  dist::write_partial_columnar(ok_path, retry);
+  // A "retry" that disagrees only in the sign bit of a zero: operator==
+  // would accept it, the bit-exact duplicate check must not.
+  retry.records[1].qvf = -0.0;
+  dist::write_partial_columnar(bad_path, retry);
+
+  // Bit-exact duplicates are confirmations, counted but merged once.
+  const std::string merged_path = (dir.path / "merged.qp").string();
+  const std::string good_inputs[] = {a_path, ok_path};
+  const auto stats = dist::merge_result_files(good_inputs, merged_path);
+  EXPECT_EQ(stats.merged_records, 2u);
+  EXPECT_EQ(stats.duplicate_records, 2u);
+
+  // The corrupted retry is refused, naming the shard pair and the point.
+  const std::string bad_inputs[] = {a_path, bad_path};
+  try {
+    (void)dist::merge_result_files(bad_inputs, merged_path);
+    FAIL() << "conflicting duplicate not detected";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("disagree on point 1"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("shard 0"), std::string::npos) << message;
+    EXPECT_NE(message.find("shard 1"), std::string::npos) << message;
+  }
+
+  // The in-memory merge applies the identical rule with the same naming.
+  const dist::PartialResult bad_parts[] = {dist::read_partial_any(a_path),
+                                           dist::read_partial_any(bad_path)};
+  try {
+    (void)dist::merge_partial_results(bad_parts);
+    FAIL() << "conflicting duplicate not detected (in-memory)";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("disagree on point 1"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(StreamingMerge, IncompleteColumnarMergeIsDiagnosedUnlessAllowed) {
+  TempDir dir("incomplete");
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 4;
+  auto paths = write_columnar_shards(dir.path, spec, 2);
+  paths.pop_back();  // lose a shard
+
+  const std::string merged_path = (dir.path / "merged.qp").string();
+  try {
+    (void)dist::merge_result_files(paths, merged_path);
+    FAIL() << "missing shard not detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("incomplete campaign"),
+              std::string::npos)
+        << e.what();
+  }
+  dist::MergeOptions options;
+  options.allow_incomplete = true;
+  const auto stats = dist::merge_result_files(paths, merged_path, options);
+  EXPECT_GT(stats.merged_records, 0u);
+}
+
+TEST(ShardRunner, StreamingColumnarOutputMatchesInMemoryPartial) {
+  TempDir dir("runner_columnar");
+  auto spec = quick_spec("bv", 4);
+  spec.max_points = 4;
+  const auto plan = dist::plan_campaign_shards(spec, 2);
+  const auto manifests = dist::make_manifests(
+      spec, "casablanca", dist::WorkerBackendKind::Density, plan, false);
+
+  for (std::size_t k = 0; k < manifests.size(); ++k) {
+    dist::ShardRunOptions plain;
+    plain.threads = 2;
+    const auto reference = dist::run_shard(manifests[k], plain);
+
+    dist::ShardRunOptions streaming = plain;
+    streaming.columnar_output_path =
+        (dir.path / ("part_" + std::to_string(k) + ".qp")).string();
+    const auto streamed = dist::run_shard(manifests[k], streaming);
+    EXPECT_TRUE(streamed.partial.records.empty())
+        << "streaming mode must not accumulate records";
+    EXPECT_GT(streamed.partial_bytes, 0u);
+    EXPECT_EQ(streamed.streamed_records, reference.partial.records.size());
+    EXPECT_EQ(fs::file_size(streaming.columnar_output_path),
+              streamed.partial_bytes);
+
+    // The streamed file is a complete partial: same shard identity, same
+    // metadata (fault-free QVF patched in after the run), same record bits.
+    const auto from_disk =
+        dist::read_partial_any(streaming.columnar_output_path);
+    EXPECT_EQ(from_disk.shard_index, reference.partial.shard_index);
+    EXPECT_EQ(from_disk.shard_count, reference.partial.shard_count);
+    EXPECT_EQ(from_disk.expected_total_records,
+              reference.partial.expected_total_records);
+    EXPECT_EQ(from_disk.meta.faultfree_qvf,
+              reference.partial.meta.faultfree_qvf);
+    EXPECT_EQ(from_disk.meta.executions, reference.partial.meta.executions);
+    ASSERT_EQ(from_disk.records.size(), reference.partial.records.size());
+    for (std::size_t i = 0; i < from_disk.records.size(); ++i) {
+      EXPECT_EQ(from_disk.records[i].point_index,
+                reference.partial.records[i].point_index);
+      EXPECT_EQ(from_disk.records[i].qvf, reference.partial.records[i].qvf);
+      EXPECT_EQ(from_disk.records[i].pa, reference.partial.records[i].pa);
+      EXPECT_EQ(from_disk.records[i].pb, reference.partial.records[i].pb);
+    }
+  }
+}
+
+TEST(SnapshotCache, CompressedEntriesLoadBitIdenticalAndShareKeys) {
+  if (!util::deflate_available()) GTEST_SKIP() << "built without zlib";
+  TempDir dir("cache_compress");
+  const auto qc = small_circuit();
+  backend::DensityMatrixBackend inner(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+  const backend::SuffixConfig configs[] = {fault_config(1, 3)};
+
+  std::vector<double> plain_probs;
+  {
+    dist::SnapshotCachingBackend cached(inner, dir.str(), "",
+                                        /*compress=*/true);
+    const auto snapshot = cached.prepare_prefix(qc, 3, 0, 42);
+    EXPECT_EQ(cached.misses(), 1u);
+    plain_probs =
+        cached.run_suffix_batch(*snapshot, configs, 0).at(0).probabilities;
+  }
+  {
+    // Compression is a storage codec, not part of the cache key: a plain
+    // (uncompressed) cache instance must hit the compressed entry and
+    // resume to bit-identical results.
+    dist::SnapshotCachingBackend cached(inner, dir.str(), "",
+                                        /*compress=*/false);
+    const auto snapshot = cached.prepare_prefix(qc, 3, 0, 42);
+    EXPECT_EQ(cached.hits(), 1u);
+    EXPECT_EQ(cached.misses(), 0u);
+    const auto probs =
+        cached.run_suffix_batch(*snapshot, configs, 0).at(0).probabilities;
+    EXPECT_EQ(probs, plain_probs);
+  }
+}
+
+TEST(SnapshotCache, CompressedAndPlainContainersCarrySamePayload) {
+  if (!util::deflate_available()) GTEST_SKIP() << "built without zlib";
+  const auto qc = small_circuit();
+  backend::DensityMatrixBackend be(
+      noise::NoiseModel::from_backend(noise::fake_casablanca()));
+  std::stringstream direct;
+  ASSERT_TRUE(be.save_snapshot(*be.prepare_prefix(qc, 3, 0, 42), direct));
+  const auto container = backend::snapio::read_container(direct);
+
+  std::stringstream plain, deflated;
+  backend::snapio::write_container(plain, container.kind, container.payload,
+                                   backend::snapio::PayloadCodec::None);
+  backend::snapio::write_container(deflated, container.kind,
+                                   container.payload,
+                                   backend::snapio::PayloadCodec::Deflate);
+  EXPECT_LT(deflated.str().size(), plain.str().size())
+      << "deflate should shrink a density snapshot";
+
+  // Both frames decode to the identical payload, and the loaded snapshot
+  // resumes to bit-identical suffix results.
+  EXPECT_EQ(backend::snapio::read_container(plain).payload,
+            container.payload);
+  EXPECT_EQ(backend::snapio::read_container(deflated).payload,
+            container.payload);
+  deflated.seekg(0);
+  const auto loaded = be.load_snapshot(deflated);
+  ASSERT_NE(loaded, nullptr);
+  const backend::SuffixConfig configs[] = {fault_config(0, 7)};
+  const auto snapshot = be.prepare_prefix(qc, 3, 0, 42);
+  expect_same_probs(be.run_suffix_batch(*snapshot, configs, 0).at(0),
+                    be.run_suffix_batch(*loaded, configs, 0).at(0));
 }
 
 }  // namespace

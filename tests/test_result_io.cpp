@@ -1,0 +1,417 @@
+// QUFIPART container tests (docs/RESULT_FORMAT.md): round-trips through
+// ResultWriter/ResultReader, the block invariants that make the streaming
+// k-way merge possible, exhaustive corruption rejection (every byte flipped,
+// every truncation length), and the bit-exactness property shared by the
+// text and columnar partial formats.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/result_io.hpp"
+#include "dist/merge.hpp"
+#include "dist/partial.hpp"
+#include "util/binary_io.hpp"
+#include "util/error.hpp"
+
+namespace qufi {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("qufi_resio_" + tag + "_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string str() const { return (path / "file").string(); }
+  std::string str(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+/// A header over `num_points` synthetic points with distinctive metadata.
+resio::ResultFileHeader test_header(std::size_t num_points) {
+  resio::ResultFileHeader header;
+  header.shard_index = 0;
+  header.shard_count = 1;
+  header.meta.circuit_name = "resio_test";
+  header.meta.backend_name = "synthetic";
+  header.meta.circuit_qubits = 4;
+  header.meta.transpiled_gates = 17;
+  header.meta.grid.theta_step_deg = 30.0;
+  header.meta.grid.phi_step_deg = 30.0;
+  header.meta.shots = 1024;
+  header.meta.seed = 0x51754649;
+  header.meta.faultfree_qvf = 0.125;
+  for (std::size_t i = 0; i < num_points; ++i) {
+    InjectionPoint p;
+    p.instr_index = 2 * i + 1;
+    p.qubit = static_cast<int>(i % 5);
+    p.logical_qubit = static_cast<int>(i % 3);
+    p.moment = static_cast<int>(i);
+    header.points.push_back(p);
+  }
+  return header;
+}
+
+/// `per_point` records for each of `num_points` points, with value patterns
+/// that expose column mixups (every field differs from every other).
+std::vector<InjectionRecord> test_records(std::size_t num_points,
+                                          std::size_t per_point) {
+  std::vector<InjectionRecord> records;
+  for (std::size_t p = 0; p < num_points; ++p) {
+    for (std::size_t k = 0; k < per_point; ++k) {
+      InjectionRecord r;
+      r.point_index = static_cast<std::uint32_t>(p);
+      r.theta_index = static_cast<int>(k);
+      r.phi_index = static_cast<int>(k + 1);
+      r.neighbor_qubit = (k % 2 == 0) ? -1 : static_cast<int>(k);
+      r.theta1_index = (k % 3 == 0) ? -1 : static_cast<int>(k + 2);
+      r.phi1_index = (k % 3 == 0) ? -1 : static_cast<int>(k + 3);
+      r.qvf = 0.25 + 0.5 * static_cast<double>(p * per_point + k);
+      r.pa = 1.0 / (1.0 + static_cast<double>(k));
+      r.pb = 1.0 / (3.0 + static_cast<double>(p));
+      records.push_back(r);
+    }
+  }
+  return records;
+}
+
+void expect_bit_identical(const std::vector<InjectionRecord>& a,
+                          const std::vector<InjectionRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].point_index, b[i].point_index) << "record " << i;
+    EXPECT_EQ(a[i].theta_index, b[i].theta_index) << "record " << i;
+    EXPECT_EQ(a[i].phi_index, b[i].phi_index) << "record " << i;
+    EXPECT_EQ(a[i].neighbor_qubit, b[i].neighbor_qubit) << "record " << i;
+    EXPECT_EQ(a[i].theta1_index, b[i].theta1_index) << "record " << i;
+    EXPECT_EQ(a[i].phi1_index, b[i].phi1_index) << "record " << i;
+    // Bit-level equality: distinguishes -0.0 from 0.0 and survives NaN-free
+    // subnormals, which is the format's actual contract.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].qvf),
+              std::bit_cast<std::uint64_t>(b[i].qvf))
+        << "record " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].pa),
+              std::bit_cast<std::uint64_t>(b[i].pa))
+        << "record " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].pb),
+              std::bit_cast<std::uint64_t>(b[i].pb))
+        << "record " << i;
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---- round trips -----------------------------------------------------------
+
+TEST(ResultIo, RoundTripAcrossMultipleBlocks) {
+  TempDir dir("roundtrip");
+  const auto header = test_header(9);
+  const auto records = test_records(9, 7);  // 63 records, block cut at 8+
+
+  resio::write_result_file(dir.str(), header, records, /*executions=*/64,
+                           /*injections=*/63, /*block_records=*/8);
+  ASSERT_TRUE(resio::is_result_file(dir.str()));
+
+  const auto loaded = resio::read_result_file(dir.str());
+  EXPECT_EQ(loaded.header.shard_index, header.shard_index);
+  EXPECT_EQ(loaded.header.shard_count, header.shard_count);
+  EXPECT_EQ(loaded.header.meta.circuit_name, header.meta.circuit_name);
+  EXPECT_EQ(loaded.header.meta.backend_name, header.meta.backend_name);
+  EXPECT_EQ(loaded.header.meta.seed, header.meta.seed);
+  EXPECT_EQ(loaded.header.meta.faultfree_qvf, header.meta.faultfree_qvf);
+  ASSERT_EQ(loaded.header.points.size(), header.points.size());
+  for (std::size_t i = 0; i < header.points.size(); ++i) {
+    EXPECT_EQ(loaded.header.points[i].instr_index,
+              header.points[i].instr_index);
+    EXPECT_EQ(loaded.header.points[i].qubit, header.points[i].qubit);
+    EXPECT_EQ(loaded.header.points[i].moment, header.points[i].moment);
+  }
+  EXPECT_EQ(loaded.executions, 64u);
+  EXPECT_EQ(loaded.injections, 63u);
+  expect_bit_identical(loaded.records, records);
+
+  resio::ResultReader reader(dir.str());
+  EXPECT_GT(reader.num_blocks(), 1u) << "block size 8 must split 63 records";
+  for (std::size_t i = 0; i < reader.num_blocks(); ++i) {
+    const auto& info = reader.block_info(i);
+    EXPECT_LE(info.first_point, info.last_point);
+    if (i > 0) {
+      EXPECT_LT(reader.block_info(i - 1).last_point, info.first_point)
+          << "block ranges must be pairwise disjoint";
+    }
+  }
+}
+
+TEST(ResultIo, CompletionOrderAppendsYieldSortedDisjointBlocks) {
+  TempDir dir("completion_order");
+  const auto header = test_header(5);
+  const auto records = test_records(5, 3);
+
+  // Emit whole points in scrambled completion order, as a campaign sink
+  // would; the writer must cut blocks so ranges stay disjoint.
+  resio::ResultWriter writer(dir.str(), header, /*block_records=*/4);
+  const std::size_t order[] = {3, 0, 4, 1, 2};
+  for (const std::size_t p : order) {
+    writer.append(std::span<const InjectionRecord>(&records[p * 3], 3));
+  }
+  writer.finish(/*executions=*/15, /*injections=*/15);
+
+  const auto loaded = resio::read_result_file(dir.str());
+  expect_bit_identical(loaded.records, records);  // reader sorts by point
+}
+
+TEST(ResultIo, SetMetaPatchesHeaderBeforeSeal) {
+  TempDir dir("set_meta");
+  auto header = test_header(2);
+  header.meta.faultfree_qvf = 0.0;  // streaming placeholder
+  const auto records = test_records(2, 2);
+
+  resio::ResultWriter writer(dir.str(), header);
+  writer.append(records);
+  auto meta = header.meta;
+  meta.faultfree_qvf = 0.03125;
+  meta.executions = 5;  // not stored in the header; end marker carries it
+  writer.set_meta(meta);
+  writer.finish(/*executions=*/5, /*injections=*/4);
+
+  const auto loaded = resio::read_result_file(dir.str());
+  EXPECT_EQ(loaded.header.meta.faultfree_qvf, 0.03125);
+  EXPECT_EQ(loaded.executions, 5u);
+
+  // Changing a string's length would shift every block offset — refused.
+  resio::ResultWriter other(dir.str("other"), header);
+  auto longer = header.meta;
+  longer.circuit_name += "_suffix";
+  EXPECT_THROW(other.set_meta(longer), Error);
+}
+
+TEST(ResultIo, AbortedWriterLeavesNothingBehind) {
+  TempDir dir("abort");
+  {
+    resio::ResultWriter writer(dir.str(), test_header(2));
+    writer.append(test_records(2, 2));
+    // No finish(): destructor must remove the temp file.
+  }
+  EXPECT_FALSE(fs::exists(dir.str()));
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 0u) << "temp file leaked";
+}
+
+TEST(ResultIo, RejectsDescendingPointsWithinSpan) {
+  TempDir dir("descending");
+  resio::ResultWriter writer(dir.str(), test_header(3));
+  auto records = test_records(3, 1);
+  std::swap(records[0], records[2]);  // 2, 1, 0
+  EXPECT_THROW(writer.append(records), Error);
+}
+
+// ---- corruption ------------------------------------------------------------
+
+/// Every single-byte corruption (two flip masks per byte) must be rejected,
+/// and so must every truncation length: the container checksums each
+/// section, validates every size field, and requires the end marker.
+TEST(ResultIo, ExhaustiveByteFlipAndTruncationSweep) {
+  TempDir dir("corruption");
+  const std::string good_path = dir.str("good");
+  // Two points per block keeps the file small enough for an exhaustive
+  // sweep while still exercising multi-block indexing.
+  resio::write_result_file(good_path, test_header(4), test_records(4, 2),
+                           /*executions=*/8, /*injections=*/8,
+                           /*block_records=*/3);
+  const std::string good = slurp(good_path);
+  ASSERT_GT(good.size(), 0u);
+
+  const std::string mutant_path = dir.str("mutant");
+  for (const unsigned char mask : {0x01u, 0x80u}) {
+    for (std::size_t i = 0; i < good.size(); ++i) {
+      std::string mutant = good;
+      mutant[i] = static_cast<char>(static_cast<unsigned char>(mutant[i]) ^
+                                    mask);
+      spit(mutant_path, mutant);
+      try {
+        (void)resio::read_result_file(mutant_path);
+        FAIL() << "byte " << i << " mask " << static_cast<int>(mask)
+               << ": corruption not detected";
+      } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("result file"),
+                  std::string::npos)
+            << "byte " << i << ": diagnosis should name the file/section: "
+            << e.what();
+      }
+    }
+  }
+
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    spit(mutant_path, good.substr(0, len));
+    EXPECT_THROW((void)resio::read_result_file(mutant_path), Error)
+        << "truncation to " << len << " bytes not detected";
+  }
+}
+
+TEST(ResultIo, CorruptionDiagnosisNamesTheBadSection) {
+  TempDir dir("diagnosis");
+  const std::string good_path = dir.str("good");
+  resio::write_result_file(good_path, test_header(3), test_records(3, 2),
+                           /*executions=*/6, /*injections=*/6,
+                           /*block_records=*/2);
+  const std::string good = slurp(good_path);
+  const std::string mutant_path = dir.str("mutant");
+
+  const auto message_for = [&](const std::string& mutant) -> std::string {
+    spit(mutant_path, mutant);
+    try {
+      (void)resio::read_result_file(mutant_path);
+    } catch (const Error& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  {  // magic
+    std::string mutant = good;
+    mutant[0] = 'X';
+    EXPECT_NE(message_for(mutant).find("bad magic"), std::string::npos);
+  }
+  {  // version
+    std::string mutant = good;
+    mutant[8] = 99;
+    EXPECT_NE(message_for(mutant).find("unsupported container version"),
+              std::string::npos);
+  }
+  {  // header body (first byte past magic + version + header size)
+    std::string mutant = good;
+    mutant[8 + 4 + 8] ^= 0x40;
+    EXPECT_NE(message_for(mutant).find("header checksum mismatch"),
+              std::string::npos);
+  }
+  {  // block body: flip one byte inside the first block's column data.
+    // Layout: the first block starts right after the header section; its
+    // body begins 1 (tag) + 8 (size) bytes later, and the prefix is used
+    // for indexing, so flip a byte past the 16-byte prefix.
+    const std::string size_bytes = good.substr(8 + 4, 8);
+    util::ByteReader sizer(size_bytes);
+    const std::uint64_t header_size = sizer.u64();
+    const std::size_t block_body =
+        8 + 4 + 8 + static_cast<std::size_t>(header_size) + 8 + 1 + 8;
+    std::string mutant = good;
+    mutant[block_body + 16 + 2] ^= 0x20;
+    const std::string message = message_for(mutant);
+    EXPECT_NE(message.find("block"), std::string::npos) << message;
+    EXPECT_NE(message.find("checksum mismatch"), std::string::npos)
+        << message;
+  }
+  {  // end marker: flip the declared total in the last section's body.
+    std::string mutant = good;
+    mutant[mutant.size() - 8 - 24] ^= 0x01;  // total_records low byte
+    const std::string message = message_for(mutant);
+    EXPECT_NE(message.find("end marker"), std::string::npos) << message;
+  }
+  {  // trailing garbage after the end marker
+    std::string mutant = good + "junk";
+    EXPECT_NE(message_for(mutant).find("trailing bytes"), std::string::npos);
+  }
+}
+
+// ---- text/columnar bit-exactness property ----------------------------------
+
+/// The property the merger relies on: a record survives write -> read ->
+/// merge with its exact double bits through *both* partial formats — text
+/// (%.17g round-trip) and columnar (raw bits) — including negative zero and
+/// subnormals.
+TEST(ResultIo, TextAndColumnarPartialsRoundTripDoubleBitsExactly) {
+  TempDir dir("bitexact");
+
+  const double specials[] = {
+      0.0,
+      -0.0,
+      1.0 / 3.0,
+      5e-324,                                  // smallest subnormal
+      2.2250738585072011e-308,                 // largest subnormal
+      -5e-324,
+      std::numeric_limits<double>::min(),      // smallest normal
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      0.1,
+      1.0 - 0x1p-53,
+  };
+  const std::size_t n = sizeof(specials) / sizeof(specials[0]);
+
+  dist::PartialResult partial;
+  partial.shard_index = 0;
+  partial.shard_count = 1;
+  partial.expected_total_records = n;
+  partial.meta = test_header(n).meta;
+  partial.points = test_header(n).points;
+  for (std::size_t i = 0; i < n; ++i) {
+    InjectionRecord r;
+    r.point_index = static_cast<std::uint32_t>(i);
+    r.theta_index = static_cast<int>(i);
+    r.phi_index = 0;
+    r.neighbor_qubit = -1;
+    r.theta1_index = -1;
+    r.phi1_index = -1;
+    r.qvf = specials[i];
+    r.pa = specials[(i + 3) % n];
+    r.pb = -specials[(i + 5) % n];
+    partial.records.push_back(r);
+  }
+
+  const std::string text_path = dir.str("partial.csv");
+  const std::string columnar_path = dir.str("partial.qp");
+  dist::write_partial(text_path, partial);
+  dist::write_partial_columnar(columnar_path, partial);
+
+  const auto from_text = dist::read_partial_any(text_path);
+  const auto from_columnar = dist::read_partial_any(columnar_path);
+  expect_bit_identical(from_text.records, partial.records);
+  expect_bit_identical(from_columnar.records, partial.records);
+
+  // Through the merge as well: a lone shard merges to itself, and the two
+  // formats must agree bit-for-bit — they carry the same doubles.
+  const dist::PartialResult text_parts[] = {from_text};
+  const dist::PartialResult columnar_parts[] = {from_columnar};
+  const auto merged_text = dist::merge_partial_results(text_parts);
+  const auto merged_columnar = dist::merge_partial_results(columnar_parts);
+  expect_bit_identical(merged_text.records, partial.records);
+  expect_bit_identical(merged_columnar.records, partial.records);
+
+  // And through the streaming file merge.
+  const std::string merged_path = dir.str("merged.qp");
+  const std::string inputs[] = {columnar_path};
+  const auto stats = dist::merge_result_files(inputs, merged_path);
+  EXPECT_EQ(stats.merged_records, n);
+  expect_bit_identical(resio::read_result_file(merged_path).records,
+                       partial.records);
+}
+
+}  // namespace
+}  // namespace qufi
