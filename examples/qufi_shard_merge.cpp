@@ -35,9 +35,25 @@ namespace {
       "usage: %s --out PATH [options] PARTIAL...\n"
       "  --out PATH       merged campaign file to write\n"
       "  --format FMT     output format: csv (default) or columnar\n"
-      "  --allow-partial  merge even when shard outputs are missing\n",
+      "  --allow-partial  merge even when shard outputs are missing; the\n"
+      "                   summary then reports how many points have no\n"
+      "                   records and the first few missing global indices\n",
       argv0);
   std::exit(2);
+}
+
+/// `"missing_points":N,"first_missing":[a,b,...]` — the requeue-aware gap
+/// report (count stays 0 for a complete merge).
+std::string missing_json(const qufi::dist::MissingPointReport& missing) {
+  std::string out =
+      "\"missing_points\":" + std::to_string(missing.count) +
+      ",\"first_missing\":[";
+  for (std::size_t i = 0; i < missing.first.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(missing.first[i]);
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace
@@ -80,11 +96,12 @@ int main(int argc, char** argv) {
       std::printf(
           "{\"tool\":\"qufi_shard_merge\",\"mode\":\"streaming\","
           "\"partials\":%zu,\"records\":%llu,\"duplicates\":%llu,"
-          "\"input_bytes\":%llu,\"format\":\"%s\",\"out\":\"%s\"}\n",
+          "\"input_bytes\":%llu,%s,\"format\":\"%s\",\"out\":\"%s\"}\n",
           inputs.size(),
           static_cast<unsigned long long>(stats.merged_records),
           static_cast<unsigned long long>(stats.duplicate_records),
-          static_cast<unsigned long long>(stats.input_bytes), format.c_str(),
+          static_cast<unsigned long long>(stats.input_bytes),
+          missing_json(stats.missing).c_str(), format.c_str(),
           out_path.c_str());
       return 0;
     }
@@ -105,12 +122,14 @@ int main(int argc, char** argv) {
       whole.records = merged.records;
       qufi::dist::write_partial_columnar(out_path, whole);
     }
+    const auto missing = qufi::dist::find_missing_points(
+        merged.points.size(), merged.records);
     std::printf(
         "{\"tool\":\"qufi_shard_merge\",\"mode\":\"in-memory\","
-        "\"partials\":%zu,\"records\":%zu,\"mean_qvf\":%.6f,"
+        "\"partials\":%zu,\"records\":%zu,\"mean_qvf\":%.6f,%s,"
         "\"format\":\"%s\",\"out\":\"%s\"}\n",
         parts.size(), merged.records.size(), merged.qvf_stats().mean(),
-        format.c_str(), out_path.c_str());
+        missing_json(missing).c_str(), format.c_str(), out_path.c_str());
     return 0;
   } catch (const qufi::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -11,7 +11,7 @@ cmake --build build -j
 
 # ---- docs target ------------------------------------------------------------
 status=0
-for doc in README.md docs/ARCHITECTURE.md docs/CAMPAIGNS.md docs/SHARDING.md docs/SNAPSHOT_FORMAT.md docs/RESULT_FORMAT.md; do
+for doc in README.md docs/ARCHITECTURE.md docs/CAMPAIGNS.md docs/SHARDING.md docs/SNAPSHOT_FORMAT.md docs/RESULT_FORMAT.md docs/DISPATCHER.md; do
   if [[ ! -f "$doc" ]]; then
     echo "docs check FAILED: $doc is missing" >&2
     status=1
@@ -62,7 +62,7 @@ fi
 if [[ $status -ne 0 ]]; then
   exit $status
 fi
-echo "docs check OK (README.md, docs/{ARCHITECTURE,CAMPAIGNS,SHARDING,SNAPSHOT_FORMAT,RESULT_FORMAT}.md, $bench_count bench executables, $flag_count perf flags)"
+echo "docs check OK (README.md, docs/{ARCHITECTURE,CAMPAIGNS,SHARDING,SNAPSHOT_FORMAT,RESULT_FORMAT,DISPATCHER}.md, $bench_count bench executables, $flag_count perf flags)"
 
 # ---- sharding smoke ----------------------------------------------------------
 # Drive the distribution layer end to end through its real CLIs — plan two
@@ -182,6 +182,40 @@ for key in merge_ms partial_bytes peak_rss_kb; do
   fi
 done
 echo "perf json OK (merge_ms / partial_bytes / peak_rss_kb reported)"
+
+# Dispatcher smoke: two concurrent campaigns through qufid's process fleet
+# with a chaos kill — the first spawned worker is SIGKILLed mid-shard (once
+# its live partial has a readable header), its lease expires, the shard is
+# requeued and re-run — and both final CSVs must STILL be byte-identical to
+# the single-process qufi_cli runs (the docs/DISPATCHER.md contract).
+disp_dir=build/dispatcher_smoke
+rm -rf "$disp_dir"
+mkdir -p "$disp_dir/out"
+./build/qufi_submit --spool "$disp_dir/spool" --name bv4 --circuit bv \
+  --width 4 --theta-step 60 --phi-step 90 --csv "$disp_dir/out/bv4.csv" \
+  > /dev/null
+./build/qufi_submit --spool "$disp_dir/spool" --name dj4 --circuit dj \
+  --width 4 --theta-step 60 --phi-step 90 --priority 5 \
+  --csv "$disp_dir/out/dj4.csv" > /dev/null
+./build/qufid --spool "$disp_dir/spool" --work-dir "$disp_dir/work" \
+  --fleet process --workers 2 --chaos-kill 1 --lease-timeout 2000 \
+  --drain > "$disp_dir/qufid.log"
+if ! grep -q '"event":"chaos_kill"' "$disp_dir/qufid.log"; then
+  echo "dispatcher smoke FAILED: qufid --chaos-kill never killed a worker" >&2
+  exit 1
+fi
+./build/qufi_cli --circuit bv --width 4 --theta-step 60 --phi-step 90 \
+  --csv "$disp_dir/ref_bv4.csv" > /dev/null
+./build/qufi_cli --circuit dj --width 4 --theta-step 60 --phi-step 90 \
+  --csv "$disp_dir/ref_dj4.csv" > /dev/null
+for name in bv4 dj4; do
+  if ! diff -q "$disp_dir/out/$name.csv" "$disp_dir/ref_$name.csv" > /dev/null; then
+    echo "dispatcher smoke FAILED: $name CSV differs from single-process CSV after worker kill" >&2
+    diff "$disp_dir/out/$name.csv" "$disp_dir/ref_$name.csv" | head -5 >&2
+    exit 1
+  fi
+done
+echo "dispatcher smoke OK (2 campaigns, chaos-killed worker, CSVs == single-process)"
 
 # Golden-CSV regression through the real CLI: the committed bv-2q fixture
 # pins the column schema and row ordering documented in the README, so

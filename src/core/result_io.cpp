@@ -126,12 +126,22 @@ std::uint64_t read_u64(std::ifstream& in, const std::string& path,
 }  // namespace
 
 ResultWriter::ResultWriter(std::string path, const ResultFileHeader& header,
-                           std::size_t block_records)
-    : path_(std::move(path)), header_(header), block_records_(block_records) {
+                           std::size_t block_records, WriteMode mode)
+    : path_(std::move(path)),
+      header_(header),
+      block_records_(block_records),
+      mode_(mode) {
   require(block_records_ > 0, "ResultWriter: block_records must be positive");
-  static std::atomic<std::uint64_t> counter{0};
-  temp_path_ = path_ + ".tmp." + std::to_string(::getpid()) + "." +
-               std::to_string(counter.fetch_add(1));
+  if (mode_ == WriteMode::Live) {
+    // Live mode streams straight to the destination so tail readers can
+    // watch blocks appear; the missing end marker is what marks it
+    // unfinished, not a temp name.
+    temp_path_ = path_;
+  } else {
+    static std::atomic<std::uint64_t> counter{0};
+    temp_path_ = path_ + ".tmp." + std::to_string(::getpid()) + "." +
+                 std::to_string(counter.fetch_add(1));
+  }
   out_.open(temp_path_, std::ios::binary | std::ios::trunc);
   require(out_.is_open(),
           "ResultWriter: cannot create output file: " + temp_path_);
@@ -147,6 +157,7 @@ ResultWriter::ResultWriter(std::string path, const ResultFileHeader& header,
   head.u64(util::fnv1a64(body.data()));
   out_.write(head.data().data(),
              static_cast<std::streamsize>(head.size()));
+  if (mode_ == WriteMode::Live) out_.flush();
   require(out_.good(), "ResultWriter: write failed: " + temp_path_);
   bytes_written_ = head.size();
 }
@@ -166,7 +177,10 @@ void ResultWriter::set_meta(const CampaignMetadata& meta) {
 ResultWriter::~ResultWriter() {
   if (!finished_) {
     out_.close();
-    std::remove(temp_path_.c_str());
+    // Live mode keeps the unsealed file: that *is* the dead-worker artifact
+    // (tail readers salvage its complete blocks; the strict reader rejects
+    // it). TempRename mode removes the temp so `path` never appears.
+    if (mode_ != WriteMode::Live) std::remove(temp_path_.c_str());
   }
 }
 
@@ -225,6 +239,10 @@ void ResultWriter::write_block_locked(
   frame.u64(util::fnv1a64(body.data()));
   out_.write(frame.data().data(),
              static_cast<std::streamsize>(frame.size()));
+  // Live blocks must reach the file promptly: a tail reader's view advances
+  // block by block, and an ofstream-buffered block would stall the
+  // incremental-merge frontier until the next flush.
+  if (mode_ == WriteMode::Live) out_.flush();
   require(out_.good(), "ResultWriter: write failed: " + temp_path_);
   bytes_written_ += frame.size();
 }
@@ -263,14 +281,16 @@ void ResultWriter::finish(std::uint64_t executions, std::uint64_t injections) {
   out_.flush();
   require(out_.good(), "ResultWriter: write failed: " + temp_path_);
   out_.close();
-  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+  if (mode_ != WriteMode::Live &&
+      std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
     std::remove(temp_path_.c_str());
     throw Error("ResultWriter: cannot rename temp file into place: " + path_);
   }
   finished_ = true;
 }
 
-ResultReader::ResultReader(std::string path) : path_(std::move(path)) {
+ResultReader::ResultReader(std::string path, ReadMode mode)
+    : path_(std::move(path)) {
   in_.open(path_, std::ios::binary);
   require(in_.is_open(), "result file " + path_ + ": cannot open");
   in_.seekg(0, std::ios::end);
@@ -305,22 +325,45 @@ ResultReader::ResultReader(std::string path) : path_(std::move(path)) {
             "result file " + path_ + ": header has trailing bytes");
   }
 
-  bool saw_end = false;
+  // A live writer appends whole frames sequentially, so a still-growing (or
+  // killed-mid-write) file is always a *prefix* of a valid frame sequence:
+  // running out of bytes inside a frame means "not written yet" (torn tail),
+  // while an inconsistency inside fully available bytes is genuine
+  // corruption. Tail mode therefore stops cleanly on the former and still
+  // throws on the latter; Sealed mode throws on both.
+  bool torn = false;
+  const auto torn_or_throw = [&](const std::string& what) {
+    if (mode == ReadMode::Tail) {
+      torn = true;
+      return;
+    }
+    throw Error("result file " + path_ + ": " + what);
+  };
   std::size_t ordinal = 0;
-  while (!saw_end) {
+  while (!sealed_ && !torn) {
     char tag_ch = 0;
     in_.read(&tag_ch, 1);
-    require(in_.gcount() == 1,
-            "result file " + path_ + ": truncated (missing end marker)");
+    if (in_.gcount() != 1) {
+      in_.clear();
+      torn_or_throw("truncated (missing end marker)");
+      break;  // clean EOF at a frame boundary: an unsealed tail read
+    }
+    const std::uint64_t after_tag = static_cast<std::uint64_t>(in_.tellg());
     const std::uint8_t tag = static_cast<std::uint8_t>(tag_ch);
     if (tag == kBlockTag) {
       const std::string label = "block " + std::to_string(ordinal);
+      if (file_size - after_tag < 8) {
+        torn_or_throw("truncated in " + label + " size");
+        break;
+      }
       const std::uint64_t body_size =
           read_u64(in_, path_, label + " size");
       const std::uint64_t body_offset =
           static_cast<std::uint64_t>(in_.tellg());
-      require(body_offset + body_size + 8 <= file_size,
-              "result file " + path_ + ": " + label + ": truncated");
+      if (body_offset + body_size + 8 > file_size) {
+        torn_or_throw(label + ": truncated");
+        break;
+      }
       const std::string prefix =
           read_exact(in_, kBlockPrefixBytes, path_, label + " prefix");
       util::ByteReader r(prefix);
@@ -346,6 +389,10 @@ ResultReader::ResultReader(std::string path) : path_(std::move(path)) {
                 std::ios::beg);
       ++ordinal;
     } else if (tag == kEndTag) {
+      if (file_size - after_tag < 8 + kEndBodyBytes + 8) {
+        torn_or_throw("truncated in end marker");
+        break;
+      }
       const std::uint64_t body_size = read_u64(in_, path_, "end marker size");
       require(body_size == kEndBodyBytes,
               "result file " + path_ + ": end marker: size mismatch");
@@ -358,22 +405,25 @@ ResultReader::ResultReader(std::string path) : path_(std::move(path)) {
       total_records_ = r.u64();
       executions_ = r.u64();
       injections_ = r.u64();
-      saw_end = true;
+      sealed_ = true;
     } else {
       throw Error("result file " + path_ + ": unknown section tag at block " +
                   std::to_string(ordinal));
     }
   }
-  require(in_.peek() == std::ifstream::traits_type::eof(),
-          "result file " + path_ + ": trailing bytes after end marker");
+  if (sealed_) {
+    require(in_.peek() == std::ifstream::traits_type::eof(),
+            "result file " + path_ + ": trailing bytes after end marker");
+  }
   in_.clear();
 
-  std::uint64_t indexed = 0;
-  for (const auto& b : blocks_) indexed += b.info.num_records;
-  require(indexed == total_records_,
-          "result file " + path_ + ": end marker record count mismatch (" +
-              std::to_string(indexed) + " indexed, " +
-              std::to_string(total_records_) + " declared)");
+  for (const auto& b : blocks_) indexed_records_ += b.info.num_records;
+  if (sealed_) {
+    require(indexed_records_ == total_records_,
+            "result file " + path_ + ": end marker record count mismatch (" +
+                std::to_string(indexed_records_) + " indexed, " +
+                std::to_string(total_records_) + " declared)");
+  }
 
   std::sort(blocks_.begin(), blocks_.end(),
             [](const IndexedBlock& a, const IndexedBlock& b) {
@@ -439,6 +489,25 @@ bool is_result_file(const std::string& path) {
   in.read(magic, sizeof(magic));
   return in.gcount() == sizeof(magic) &&
          std::memcmp(magic, kResultMagic, sizeof(kResultMagic)) == 0;
+}
+
+bool result_header_available(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  // Fixed prefix: magic + version + header size field.
+  constexpr std::uint64_t kFixed = sizeof(kResultMagic) + 4 + 8;
+  if (file_size < kFixed + 8) return false;
+  in.seekg(static_cast<std::streamoff>(sizeof(kResultMagic) + 4),
+           std::ios::beg);
+  std::string bytes(8, '\0');
+  in.read(bytes.data(), 8);
+  if (in.gcount() != 8) return false;
+  util::ByteReader r(bytes);
+  const std::uint64_t header_size = r.u64();
+  // Body + trailing checksum fully present? (Avoids summing into overflow.)
+  return file_size - kFixed - 8 >= header_size;
 }
 
 void write_result_file(const std::string& path, const ResultFileHeader& header,

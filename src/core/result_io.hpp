@@ -23,6 +23,36 @@ inline constexpr std::uint32_t kResultVersion = 1;
 /// O(shards x block) while per-block framing overhead stays negligible.
 inline constexpr std::size_t kDefaultBlockRecords = 4096;
 
+/// How ResultWriter materializes the output file.
+enum class WriteMode {
+  /// Stream to a process-unique temp file, rename into place at finish():
+  /// a crashed writer never leaves a file at `path` at all. The default,
+  /// and the right mode for every batch artifact.
+  TempRename,
+  /// Stream directly to `path` (truncating it) and flush each block as it
+  /// is written, so a concurrent ReadMode::Tail reader observes sealed
+  /// blocks while the file grows — the dispatcher's live-progress path. A
+  /// crashed writer leaves an unsealed (end-marker-less) file behind; tail
+  /// readers consume its complete blocks, the strict reader rejects it.
+  Live,
+};
+
+/// How ResultReader treats the file's seal.
+enum class ReadMode {
+  /// Require the end marker: a file without one is truncated output from a
+  /// crashed worker and is rejected up front. The default.
+  Sealed,
+  /// Tail a possibly still-growing file: index every complete block, stop
+  /// cleanly at a torn tail (an incomplete final frame — bytes a live
+  /// writer has not finished appending), and treat the end marker as
+  /// optional. Complete-but-invalid sections (a checksum mismatch inside a
+  /// fully present block) still throw: a torn append is always a *prefix*
+  /// of valid frames, so inconsistency inside available bytes is
+  /// corruption, not growth. sealed() reports whether the end marker was
+  /// seen; until then totals come from indexed blocks only.
+  Tail,
+};
+
 /// Everything a result file knows before any record is computed: shard
 /// identity, campaign metadata, and the full global point table (identical
 /// across shards, so the merger cross-checks without re-transpiling).
@@ -64,12 +94,16 @@ struct ResultFileHeader {
 /// lanes flush completed points directly); internal state is mutex-guarded.
 class ResultWriter {
  public:
-  /// Opens `path` for writing (via temp file; see class comment) and writes
-  /// the header. Throws qufi::Error when the file cannot be created.
+  /// Opens `path` for writing (via temp file in TempRename mode, in place in
+  /// Live mode; see WriteMode) and writes the header. Throws qufi::Error
+  /// when the file cannot be created.
   ResultWriter(std::string path, const ResultFileHeader& header,
-               std::size_t block_records = kDefaultBlockRecords);
+               std::size_t block_records = kDefaultBlockRecords,
+               WriteMode mode = WriteMode::TempRename);
   /// Aborting destructor: if finish() was never called, the temp file is
-  /// removed and `path` is left untouched.
+  /// removed and `path` is left untouched (TempRename), or the unsealed
+  /// in-place file is left as-is (Live) — exactly the artifact a killed
+  /// worker leaves for tail readers and quarantine logic to deal with.
   ~ResultWriter();
 
   ResultWriter(const ResultWriter&) = delete;
@@ -92,7 +126,8 @@ class ResultWriter {
 
   /// Flushes the remaining buffer, writes the end marker (record total plus
   /// the campaign's execution accounting), rewrites the header (see
-  /// set_meta) and renames the temp file into place. Must be called exactly
+  /// set_meta) and renames the temp file into place (TempRename mode; Live
+  /// mode patches the header of the in-place file). Must be called exactly
   /// once.
   void finish(std::uint64_t executions, std::uint64_t injections);
 
@@ -110,6 +145,7 @@ class ResultWriter {
   ResultFileHeader header_;
   std::uint64_t header_body_size_ = 0;
   std::size_t block_records_;
+  WriteMode mode_;
   std::mutex mutex_;
   std::vector<InjectionRecord> pending_;
   std::uint64_t records_written_ = 0;
@@ -126,15 +162,26 @@ class ResultWriter {
 /// the bad section ("header checksum mismatch", "block 3: truncated", ...).
 /// Block *bodies* are only read and checksummed by read_block(), one block
 /// in memory at a time — the property the k-way merger builds on.
+///
+/// ReadMode::Tail relaxes exactly one thing: the end marker (and the bytes
+/// of an unfinished final frame) may be missing, so a still-growing Live
+/// file can be observed mid-write. Indexed blocks are complete either way —
+/// a tail read never surfaces a torn block.
 class ResultReader {
  public:
-  explicit ResultReader(std::string path);
+  explicit ResultReader(std::string path, ReadMode mode = ReadMode::Sealed);
 
   const ResultFileHeader& header() const { return header_; }
-  /// Totals from the end marker.
+  /// True when the end marker was present (always true in Sealed mode).
+  bool sealed() const { return sealed_; }
+  /// Totals from the end marker. In Tail mode these are only meaningful
+  /// once sealed(); use indexed_records() for live progress before that.
   std::uint64_t total_records() const { return total_records_; }
   std::uint64_t executions() const { return executions_; }
   std::uint64_t injections() const { return injections_; }
+  /// Sum of record counts over the indexed (complete) blocks — equals
+  /// total_records() once sealed.
+  std::uint64_t indexed_records() const { return indexed_records_; }
 
   struct BlockInfo {
     std::uint32_t first_point = 0;
@@ -164,6 +211,8 @@ class ResultReader {
   std::ifstream in_;
   ResultFileHeader header_;
   std::vector<IndexedBlock> blocks_;
+  bool sealed_ = false;
+  std::uint64_t indexed_records_ = 0;
   std::uint64_t total_records_ = 0;
   std::uint64_t executions_ = 0;
   std::uint64_t injections_ = 0;
@@ -171,6 +220,14 @@ class ResultReader {
 
 /// Sniffs the 8-byte magic: true when `path` starts with "QUFIPART".
 bool is_result_file(const std::string& path);
+
+/// True when `path` currently holds at least a complete header section
+/// (magic through header checksum) — the gate incremental mergers use to
+/// separate "a live writer has not flushed its header yet" (skip the input
+/// for now) from "readable": once this returns true, a Tail-mode
+/// ResultReader either succeeds or diagnoses genuine corruption. Never
+/// throws; a missing or too-short file is simply false.
+bool result_header_available(const std::string& path);
 
 /// Convenience one-shot writer: emits `records` (already sorted by point —
 /// the canonical order every campaign/merge produces) as a sequence of

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstdio>
@@ -26,7 +27,11 @@ struct ShardView {
   std::string label;
 };
 
-bool meta_matches(const CampaignMetadata& a, const CampaignMetadata& b) {
+/// Campaign-identity comparison without the fault-free QVF: live partials
+/// carry the streaming placeholder there until their writer seals, so the
+/// incremental (prefix) merge must not treat the placeholder-vs-real
+/// difference as a campaign mismatch.
+bool meta_matches_prefix(const CampaignMetadata& a, const CampaignMetadata& b) {
   return a.circuit_name == b.circuit_name &&
          a.backend_name == b.backend_name &&
          a.circuit_qubits == b.circuit_qubits &&
@@ -36,7 +41,11 @@ bool meta_matches(const CampaignMetadata& a, const CampaignMetadata& b) {
          a.grid.theta_max_deg == b.grid.theta_max_deg &&
          a.grid.phi_max_deg == b.grid.phi_max_deg && a.shots == b.shots &&
          a.seed == b.seed && a.double_fault == b.double_fault &&
-         a.idle_noise == b.idle_noise && a.faultfree_qvf == b.faultfree_qvf;
+         a.idle_noise == b.idle_noise;
+}
+
+bool meta_matches(const CampaignMetadata& a, const CampaignMetadata& b) {
+  return meta_matches_prefix(a, b) && a.faultfree_qvf == b.faultfree_qvf;
 }
 
 bool points_match(const std::vector<InjectionPoint>& a,
@@ -156,6 +165,36 @@ CampaignResult merge_views(std::span<const ShardView> shards,
 
 }  // namespace
 
+std::string MissingPointReport::describe() const {
+  if (count == 0) return "";
+  std::string out = " (" + std::to_string(count) + " point" +
+                    (count == 1 ? "" : "s") + " have no records; first missing:";
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    out += (i == 0 ? " " : ", ") + std::to_string(first[i]);
+  }
+  if (count > first.size()) out += ", ...";
+  out += ")";
+  return out;
+}
+
+MissingPointReport find_missing_points(std::size_t num_points,
+                                       std::span<const InjectionRecord> records,
+                                       std::size_t max_examples) {
+  std::vector<bool> seen(num_points, false);
+  for (const InjectionRecord& r : records) {
+    if (r.point_index < num_points) seen[r.point_index] = true;
+  }
+  MissingPointReport report;
+  for (std::size_t p = 0; p < num_points; ++p) {
+    if (seen[p]) continue;
+    ++report.count;
+    if (report.first.size() < max_examples) {
+      report.first.push_back(static_cast<std::uint32_t>(p));
+    }
+  }
+  return report;
+}
+
 CampaignResult merge_shard_results(std::span<const CampaignResult> shards,
                                    const MergeOptions& options) {
   std::vector<ShardView> views;
@@ -229,6 +268,31 @@ struct BlockStream {
   }
 };
 
+/// Consumes every later stream's run at `point` and cross-checks it against
+/// the owning stream's run (the bit-exact retry rule shared by all merges).
+/// Returns the number of duplicate records dropped.
+std::uint64_t consume_duplicate_runs(std::vector<BlockStream>& streams,
+                                     std::size_t owner, std::uint32_t point,
+                                     std::span<const InjectionRecord> run) {
+  std::uint64_t dropped = 0;
+  for (std::size_t i = owner + 1; i < streams.size(); ++i) {
+    if (!streams[i].ready() || streams[i].point() != point) continue;
+    const auto dup = streams[i].take_run();
+    require(dup.size() == run.size(),
+            conflict_message(streams[owner].label, streams[i].label, point,
+                             std::to_string(run.size()) + " vs " +
+                                 std::to_string(dup.size()) + " records"));
+    for (std::size_t k = 0; k < run.size(); ++k) {
+      require(record_matches(run[k], dup[k]),
+              conflict_message(streams[owner].label, streams[i].label, point,
+                               "record " + std::to_string(k) + " of " +
+                                   std::to_string(run.size()) + " differs"));
+    }
+    dropped += dup.size();
+  }
+  return dropped;
+}
+
 /// Core streaming k-way merge: validates headers, then repeatedly extracts
 /// the minimum-point run across inputs, cross-checks duplicate runs
 /// bit-exactly, and hands the surviving run to `emit` in ascending global
@@ -268,6 +332,7 @@ StreamingMergeStats run_file_merge(std::span<const std::string> inputs,
                               : first.expected_total_records;
 
   StreamingMergeStats stats;
+  std::vector<bool> emitted(first.points.size(), false);
   while (true) {
     // The owner of the next point: the first input (in order) at the
     // minimum pending point index — matching the bucket merge's
@@ -284,26 +349,22 @@ StreamingMergeStats run_file_merge(std::span<const std::string> inputs,
     if (owner == inputs.size()) break;
 
     const auto run = streams[owner].take_run();
-    for (std::size_t i = owner + 1; i < streams.size(); ++i) {
-      if (!streams[i].ready() || streams[i].point() != min_point) continue;
-      const auto dup = streams[i].take_run();
-      require(dup.size() == run.size(),
-              conflict_message(streams[owner].label, streams[i].label,
-                               min_point,
-                               std::to_string(run.size()) + " vs " +
-                                   std::to_string(dup.size()) + " records"));
-      for (std::size_t k = 0; k < run.size(); ++k) {
-        require(record_matches(run[k], dup[k]),
-                conflict_message(streams[owner].label, streams[i].label,
-                                 min_point,
-                                 "record " + std::to_string(k) + " of " +
-                                     std::to_string(run.size()) +
-                                     " differs"));
-      }
-      stats.duplicate_records += dup.size();
-    }
+    stats.duplicate_records +=
+        consume_duplicate_runs(streams, owner, min_point, run);
     emit(run);
     stats.merged_records += run.size();
+    if (min_point < emitted.size()) emitted[min_point] = true;
+  }
+
+  // The requeue-aware diagnostic: which global points contributed nothing.
+  // A lost or still-requeued shard shows up here by its point indices, so
+  // dispatcher logs and --allow-partial CLI output name the same thing.
+  for (std::size_t p = 0; p < emitted.size(); ++p) {
+    if (emitted[p]) continue;
+    ++stats.missing.count;
+    if (stats.missing.first.size() < 8) {
+      stats.missing.first.push_back(static_cast<std::uint32_t>(p));
+    }
   }
 
   if (!options.allow_incomplete && expected > 0) {
@@ -311,7 +372,8 @@ StreamingMergeStats run_file_merge(std::span<const std::string> inputs,
             "merge: incomplete campaign: " +
                 std::to_string(stats.merged_records) + " of " +
                 std::to_string(expected) +
-                " expected records (missing shard output?)");
+                " expected records (missing shard output?)" +
+                stats.missing.describe());
   }
   for (const std::string& path : inputs) {
     std::error_code ec;
@@ -391,6 +453,135 @@ StreamingMergeStats merge_result_files_to_csv(
     throw Error("merge: cannot rename CSV temp file into place: " + csv_path);
   }
   return stats;
+}
+
+bool result_files_equivalent(const std::string& a, const std::string& b) {
+  BlockStream x;
+  BlockStream y;
+  x.reader = std::make_unique<resio::ResultReader>(a);
+  y.reader = std::make_unique<resio::ResultReader>(b);
+  if (!meta_matches(x.reader->header().meta, y.reader->header().meta) ||
+      !points_match(x.reader->header().points, y.reader->header().points) ||
+      x.reader->total_records() != y.reader->total_records()) {
+    return false;
+  }
+  while (true) {
+    const bool more_x = x.ready();
+    const bool more_y = y.ready();
+    if (more_x != more_y) return false;
+    if (!more_x) return true;
+    if (!record_matches(x.cur[x.pos], y.cur[y.pos])) return false;
+    ++x.pos;
+    ++y.pos;
+  }
+}
+
+PrefixMergeResult merge_result_prefix(
+    std::span<const PrefixMergeInput> inputs) {
+  PrefixMergeResult out;
+
+  // Open every input that already has a complete header, in Tail mode. An
+  // input whose header has not reached the disk yet contributes nothing
+  // (counted, skipped); once the header is readable, any inconsistency the
+  // Tail reader finds is corruption and propagates.
+  std::vector<BlockStream> streams;
+  std::vector<const PrefixMergeInput*> specs;
+  for (const PrefixMergeInput& input : inputs) {
+    if (!resio::result_header_available(input.path)) {
+      ++out.unreadable_inputs;
+      continue;
+    }
+    BlockStream s;
+    s.reader = std::make_unique<resio::ResultReader>(input.path,
+                                                     resio::ReadMode::Tail);
+    s.label = "shard " + std::to_string(s.reader->header().shard_index) +
+              " (" + input.path + ")";
+    if (s.reader->sealed()) ++out.sealed_inputs;
+    streams.push_back(std::move(s));
+    specs.push_back(&input);
+  }
+  if (streams.empty()) return out;
+
+  const resio::ResultFileHeader& first = streams[0].reader->header();
+  const std::size_t num_points = first.points.size();
+  out.total_points = static_cast<std::uint32_t>(num_points);
+  out.meta = first.meta;
+  out.points = first.points;
+  for (const BlockStream& s : streams) {
+    const resio::ResultFileHeader& h = s.reader->header();
+    require(first.meta.idle_noise == h.meta.idle_noise,
+            "merge: cannot mix idle-noise and non-idle shards (the "
+            "idle_noise execution mode changes every record; re-run the "
+            "shard with the campaign's mode)");
+    require(meta_matches_prefix(first.meta, h.meta),
+            "merge: shard metadata mismatch (different campaigns?)");
+    require(points_match(first.points, h.points),
+            "merge: shard point tables differ (different campaigns?)");
+  }
+  // Prefer a sealed input's metadata: its fault-free QVF is the real value,
+  // not the streaming placeholder a live header still carries.
+  for (const BlockStream& s : streams) {
+    if (s.reader->sealed()) {
+      out.meta = s.reader->header().meta;
+      break;
+    }
+  }
+
+  // Resolve the frontier. A point is final when an input *owning* it proves
+  // it: a complete block whose range covers the point (block ranges within a
+  // file are pairwise disjoint, so that input can never append the point
+  // again), or the input being sealed (proving the point produced zero
+  // records). Range coverage alone is not enough — under strided ownership
+  // a block's range can straddle points the writing shard never executes.
+  std::vector<bool> resolved(num_points, false);
+  for (std::size_t si = 0; si < streams.size(); ++si) {
+    const std::vector<std::size_t>& owned = specs[si]->owned_points;
+    if (streams[si].reader->sealed()) {
+      for (std::size_t p : owned) {
+        if (p < num_points) resolved[p] = true;
+      }
+      continue;
+    }
+    for (std::size_t b = 0; b < streams[si].reader->num_blocks(); ++b) {
+      const auto& info = streams[si].reader->block_info(b);
+      const auto lo = std::lower_bound(
+          owned.begin(), owned.end(),
+          static_cast<std::size_t>(info.first_point));
+      const auto hi = std::upper_bound(
+          owned.begin(), owned.end(),
+          static_cast<std::size_t>(info.last_point));
+      for (auto it = lo; it != hi; ++it) {
+        if (*it < num_points) resolved[*it] = true;
+      }
+    }
+  }
+  std::uint32_t frontier = 0;
+  while (frontier < num_points && resolved[frontier]) ++frontier;
+  out.frontier = frontier;
+  out.complete = frontier == num_points;
+
+  // Merge exactly the points below the frontier — the same ascending-order,
+  // first-input-wins, bit-exact-duplicate walk as the full file merge, cut
+  // short at the first unresolved point.
+  while (true) {
+    std::size_t owner = streams.size();
+    std::uint32_t min_point = 0;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (!streams[i].ready()) continue;
+      if (owner == streams.size() || streams[i].point() < min_point) {
+        owner = i;
+        min_point = streams[i].point();
+      }
+    }
+    if (owner == streams.size() || min_point >= frontier) break;
+    const auto run = streams[owner].take_run();
+    consume_duplicate_runs(streams, owner, min_point, run);
+    out.records.insert(out.records.end(), run.begin(), run.end());
+  }
+  out.meta.executions = out.records.size();
+  out.meta.injections =
+      campaign_injections(out.records.size(), out.meta.shots);
+  return out;
 }
 
 }  // namespace qufi::dist

@@ -52,6 +52,28 @@ CampaignResult merge_shard_results(std::span<const CampaignResult> shards,
 CampaignResult merge_partial_results(std::span<const PartialResult> parts,
                                      const MergeOptions& options = {});
 
+/// Which injection points ended a merge with zero records. For single-fault
+/// campaigns that is exactly the not-yet-merged set (every point sweeps a
+/// non-empty grid); double-fault points with no coupled active neighbor
+/// legitimately appear here too, so the report is a diagnostic, not a
+/// failure by itself. Dispatchers and humans read the same thing: how many
+/// points are outstanding and which global indices to look at first.
+struct MissingPointReport {
+  std::uint64_t count = 0;
+  /// First few missing global point indices (at most `max_examples` of the
+  /// finder call), ascending.
+  std::vector<std::uint32_t> first;
+
+  /// " (3 points have no records; first missing: 4, 7, 11)" — empty string
+  /// when nothing is missing. Appended to merge errors and CLI summaries.
+  std::string describe() const;
+};
+
+/// Scans `records` (any order) against a `num_points`-entry point table.
+MissingPointReport find_missing_points(std::size_t num_points,
+                                       std::span<const InjectionRecord> records,
+                                       std::size_t max_examples = 8);
+
 /// What a streaming file merge did (for perf reporting and CLI summaries).
 struct StreamingMergeStats {
   std::uint64_t merged_records = 0;  ///< records written to the output
@@ -59,6 +81,10 @@ struct StreamingMergeStats {
   /// shards re-execute points; identical output confirms the retry).
   std::uint64_t duplicate_records = 0;
   std::uint64_t input_bytes = 0;  ///< total size of the input files
+  /// Points that contributed zero records to the merged output (see
+  /// MissingPointReport) — the requeue-aware diagnostic behind
+  /// --allow-partial: a lost shard shows up here by its point indices.
+  MissingPointReport missing;
 };
 
 /// Streaming k-way merge over columnar QUFIPART partials, writing the
@@ -82,5 +108,67 @@ StreamingMergeStats merge_result_files(std::span<const std::string> inputs,
 StreamingMergeStats merge_result_files_to_csv(
     std::span<const std::string> inputs, const std::string& csv_path,
     const MergeOptions& options = {});
+
+/// One input of an incremental (prefix) merge: a columnar partial that may
+/// still be growing, plus the global point indices its shard owns (from the
+/// shard's manifest). Ownership is what lets the merge distinguish "this
+/// point's records have not arrived yet" from "this point has none".
+struct PrefixMergeInput {
+  std::string path;
+  /// Strictly increasing global point indices assigned to the shard that
+  /// writes (or wrote) this file. Multiple inputs may carry the same owned
+  /// set: retries of one shard all own the same points.
+  std::vector<std::size_t> owned_points;
+};
+
+/// What merge_result_prefix saw and produced.
+struct PrefixMergeResult {
+  /// Points [0, frontier) are final: every one of them is either present in
+  /// a complete block of some input or owned by a *sealed* input (which
+  /// proves it has zero records). The merged prefix below covers exactly
+  /// these points and is bit-identical to the first records of the final
+  /// merged output — and it only ever grows as inputs grow.
+  std::uint32_t frontier = 0;
+  std::uint32_t total_points = 0;
+  bool complete = false;  ///< frontier == total_points and some input seen
+  std::uint64_t sealed_inputs = 0;
+  /// Inputs skipped because not even their header could be read yet (a live
+  /// writer that has not flushed it, or a worker killed that early). They
+  /// contribute nothing; corruption *inside* a readable file still throws.
+  std::uint64_t unreadable_inputs = 0;
+  /// The monotone merge prefix: records for points [0, frontier) in
+  /// ascending point order, duplicates verified bit-exactly and dropped
+  /// (first input wins, as in merge_result_files).
+  std::vector<InjectionRecord> records;
+  /// Header metadata — from a sealed input when one exists (its
+  /// faultfree_qvf is the real value), otherwise from the first readable
+  /// input (faultfree_qvf is then still the streaming placeholder).
+  /// executions/injections are recomputed over the prefix records.
+  CampaignMetadata meta;
+  /// Global point table (identical across inputs), so callers can render
+  /// the prefix as CSV rows without reopening any input.
+  std::vector<InjectionPoint> points;
+};
+
+/// Bit-exact equivalence of two *sealed* columnar partials: same campaign
+/// identity (metadata + point table) and identical record sequences in
+/// ascending point order, doubles compared by bit pattern. Block layout may
+/// differ (completion order varies run to run) — equivalence is over the
+/// records, which is what merging consumes. This is the dispatcher's
+/// duplicate-completion check: a requeued shard's original worker reporting
+/// late must have produced the same bits as the accepted retry. Throws
+/// qufi::Error when either file cannot be read as a sealed partial.
+bool result_files_equivalent(const std::string& a, const std::string& b);
+
+/// Incremental k-way merge over possibly still-growing columnar partials —
+/// the dispatcher's live QVF view (docs/DISPATCHER.md). Opens every input
+/// in ReadMode::Tail, computes the resolved frontier from complete blocks
+/// plus sealed-input ownership, and merges exactly the points below it.
+/// Successive calls over growing files yield prefixes that extend each
+/// other bit-exactly and converge to the final merged record sequence once
+/// every shard's output is sealed. Throws qufi::Error on metadata/point
+/// table mismatches between readable inputs, on conflicting duplicates, or
+/// on corruption inside available bytes.
+PrefixMergeResult merge_result_prefix(std::span<const PrefixMergeInput> inputs);
 
 }  // namespace qufi::dist

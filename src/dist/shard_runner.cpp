@@ -91,7 +91,9 @@ ShardRunOutput run_shard(const ShardManifest& manifest,
     // reference; set_meta patches it in before finish() seals the header.
     header.meta.faultfree_qvf = 0.0;
     writer = std::make_unique<resio::ResultWriter>(
-        options.columnar_output_path, header);
+        options.columnar_output_path, header, resio::kDefaultBlockRecords,
+        options.columnar_live ? resio::WriteMode::Live
+                              : resio::WriteMode::TempRename);
     sink = std::make_unique<resio::ResultFileSink>(*writer);
     spec.record_sink = sink.get();
   }

@@ -29,6 +29,12 @@ struct ShardRunOptions {
   /// before. The file is a complete shard partial (read_partial_any /
   /// merge_result_files consume it directly) written via temp + rename.
   std::string columnar_output_path;
+  /// Write the columnar partial in WriteMode::Live (in place, per-block
+  /// flush) instead of temp + rename, so a dispatcher's Tail-mode reader
+  /// can merge the shard's completed points while it still runs — the
+  /// live-progress path of docs/DISPATCHER.md. Ignored without
+  /// columnar_output_path.
+  bool columnar_live = false;
 };
 
 /// What one shard execution produced.

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+/// \dir src/service
+/// Campaign service layer: a dispatcher that queues submitted campaigns,
+/// leases their shards to a worker fleet, supervises the leases
+/// (heartbeats, expiry, bounded retries, quarantine of corrupt partials)
+/// and streams incremental merges of the partial outputs. Pure library —
+/// the qufid CLI wraps it in a process. See docs/DISPATCHER.md.
+
+namespace qufi::service {
+
+/// Millisecond time source the dispatcher schedules against. Injectable so
+/// the fault-injection tests script lease expiry deterministically instead
+/// of sleeping: every timeout decision in the service layer goes through
+/// this interface, never through std::chrono directly.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic milliseconds. Only differences are meaningful.
+  virtual std::int64_t now_ms() = 0;
+};
+
+/// Wall implementation over std::chrono::steady_clock (monotonic: lease
+/// deadlines must not jump with NTP corrections).
+class SystemClock final : public Clock {
+ public:
+  std::int64_t now_ms() override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Scripted test clock: time moves only when the test advances it, so "the
+/// worker missed three heartbeat windows" is a statement the test makes,
+/// not a race it hopes to win.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::int64_t start_ms = 0) : now_(start_ms) {}
+  std::int64_t now_ms() override { return now_.load(); }
+  void advance(std::int64_t delta_ms) { now_.fetch_add(delta_ms); }
+  void set(std::int64_t t_ms) { now_.store(t_ms); }
+
+ private:
+  std::atomic<std::int64_t> now_;
+};
+
+}  // namespace qufi::service

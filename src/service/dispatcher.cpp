@@ -1,0 +1,443 @@
+#include "service/dispatcher.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/result_io.hpp"
+#include "util/error.hpp"
+
+namespace qufi::service {
+
+struct Dispatcher::Shard {
+  std::uint32_t index = 0;
+  dist::ShardManifest manifest;
+  ShardState state = ShardState::Pending;
+  std::uint32_t attempts = 0;
+  std::uint32_t quarantined = 0;
+  std::uint64_t lease_id = 0;  ///< active lease when state == Leased
+  std::string accepted_path;
+  std::string last_failure;
+  /// Outputs of every attempt, minus quarantined ones — the progress()
+  /// input set. Attempt-unique paths mean entries are only ever appended
+  /// (or removed on quarantine), never rewritten.
+  std::vector<std::string> attempt_paths;
+};
+
+struct Dispatcher::Campaign {
+  std::string name;
+  int priority = 0;
+  CampaignState state = CampaignState::Queued;
+  std::string csv_path;
+  std::string dir;
+  std::string error;
+  std::uint32_t requeues = 0;
+  std::vector<Shard> shards;
+};
+
+struct Dispatcher::ActiveLease {
+  std::string campaign;
+  std::uint32_t shard_index = 0;
+  std::string output_path;
+  std::string worker_id;
+  std::int64_t last_beat_ms = 0;
+};
+
+Dispatcher::Dispatcher(DispatcherOptions options, Clock& clock)
+    : options_(std::move(options)), clock_(clock) {
+  require(options_.lease_timeout_ms > 0,
+          "Dispatcher: lease_timeout_ms must be positive");
+  require(options_.max_retries >= 0,
+          "Dispatcher: max_retries must be non-negative");
+}
+
+Dispatcher::~Dispatcher() = default;
+
+void Dispatcher::submit(CampaignJob job) {
+  require(!job.name.empty(), "Dispatcher::submit: campaign name is empty");
+  require(job.name.find('/') == std::string::npos &&
+              job.name.find('\\') == std::string::npos,
+          "Dispatcher::submit: campaign name must not contain path "
+          "separators: " + job.name);
+  require(!job.manifests.empty(),
+          "Dispatcher::submit: campaign has no shards: " + job.name);
+  require(!job.csv_path.empty(),
+          "Dispatcher::submit: campaign has no csv_path: " + job.name);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(find_campaign_locked(job.name) == nullptr,
+          "Dispatcher::submit: duplicate campaign name: " + job.name);
+
+  auto campaign = std::make_unique<Campaign>();
+  campaign->name = job.name;
+  campaign->priority = job.priority;
+  campaign->csv_path = job.csv_path;
+  campaign->dir =
+      (std::filesystem::path(options_.work_dir) / job.name).string();
+  std::filesystem::create_directories(campaign->dir);
+  campaign->shards.reserve(job.manifests.size());
+  for (std::size_t i = 0; i < job.manifests.size(); ++i) {
+    require(job.manifests[i].shard_index == i,
+            "Dispatcher::submit: manifests must arrive in shard-index "
+            "order (campaign " + job.name + ")");
+    Shard shard;
+    shard.index = static_cast<std::uint32_t>(i);
+    shard.manifest = std::move(job.manifests[i]);
+    campaign->shards.push_back(std::move(shard));
+  }
+  campaigns_.push_back(std::move(campaign));
+}
+
+std::optional<ShardLease> Dispatcher::acquire(const std::string& worker_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  expire_leases_locked();
+
+  // Highest priority wins; submission order breaks ties (strict > keeps the
+  // earlier campaign when priorities match).
+  Campaign* best = nullptr;
+  for (const auto& campaign : campaigns_) {
+    if (campaign->state != CampaignState::Queued &&
+        campaign->state != CampaignState::Running) {
+      continue;
+    }
+    const bool has_pending =
+        std::any_of(campaign->shards.begin(), campaign->shards.end(),
+                    [](const Shard& s) {
+                      return s.state == ShardState::Pending;
+                    });
+    if (!has_pending) continue;
+    if (best == nullptr || campaign->priority > best->priority) {
+      best = campaign.get();
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+
+  Shard* shard = nullptr;
+  for (Shard& s : best->shards) {
+    if (s.state == ShardState::Pending) {
+      shard = &s;
+      break;
+    }
+  }
+
+  ++shard->attempts;
+  shard->state = ShardState::Leased;
+  const std::uint64_t id = next_lease_id_++;
+  shard->lease_id = id;
+  char file[64];
+  std::snprintf(file, sizeof file, "shard_%03u.attempt%u.qp", shard->index,
+                shard->attempts);
+  const std::string output =
+      (std::filesystem::path(best->dir) / file).string();
+  shard->attempt_paths.push_back(output);
+  active_[id] = ActiveLease{best->name, shard->index, output, worker_id,
+                            clock_.now_ms()};
+  best->state = CampaignState::Running;
+
+  ShardLease lease;
+  lease.id = id;
+  lease.campaign = best->name;
+  lease.shard_index = shard->index;
+  lease.attempt = shard->attempts;
+  lease.manifest = shard->manifest;
+  lease.output_path = output;
+  return lease;
+}
+
+bool Dispatcher::heartbeat(std::uint64_t lease_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_.find(lease_id);
+  if (it == active_.end()) return false;
+  it->second.last_beat_ms = clock_.now_ms();
+  return true;
+}
+
+void Dispatcher::complete(std::uint64_t lease_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string campaign_name;
+  std::uint32_t shard_index = 0;
+  std::string output;
+  if (auto it = active_.find(lease_id); it != active_.end()) {
+    campaign_name = it->second.campaign;
+    shard_index = it->second.shard_index;
+    output = it->second.output_path;
+    retire_lease_locked(lease_id);
+  } else if (auto rt = retired_.find(lease_id); rt != retired_.end()) {
+    // A presumed-dead worker reporting late: its lease was expired and the
+    // shard possibly re-run, but its output is still attempt-unique data —
+    // verify it like any other completion.
+    campaign_name = rt->second.campaign;
+    shard_index = rt->second.shard_index;
+    output = rt->second.output_path;
+  } else {
+    return;  // never issued by this dispatcher
+  }
+
+  Campaign* campaign = find_campaign_locked(campaign_name);
+  if (campaign == nullptr || campaign->state == CampaignState::Failed) return;
+  Shard& shard = campaign->shards[shard_index];
+  const bool was_this_lease = shard.lease_id == lease_id;
+  if (was_this_lease) shard.lease_id = 0;
+
+  // A completion only counts if the file parses as a sealed partial whose
+  // every block checksums clean: a worker that died between its last block
+  // flush and finish() leaves an unsealed file, and a flipped bit leaves a
+  // checksum mismatch. Constructing the reader validates the header, block
+  // index and end marker; the read_block pass validates the block bodies —
+  // without it, body corruption would sail through to the final merge and
+  // fail the whole campaign instead of costing one retry.
+  std::string invalid_reason;
+  try {
+    resio::ResultReader probe(output, resio::ReadMode::Sealed);
+    for (std::size_t i = 0; i < probe.num_blocks(); ++i) {
+      (void)probe.read_block(i);
+    }
+  } catch (const Error& e) {
+    invalid_reason = e.what();
+  }
+
+  if (!invalid_reason.empty()) {
+    const std::string quarantined = output + ".quarantined";
+    if (std::rename(output.c_str(), quarantined.c_str()) == 0) {
+      ++shard.quarantined;
+    }
+    auto& paths = shard.attempt_paths;
+    paths.erase(std::remove(paths.begin(), paths.end(), output),
+                paths.end());
+    if (shard.state == ShardState::Leased && was_this_lease) {
+      shard.state = ShardState::Pending;  // requeue_locked expects no lease
+      requeue_locked(*campaign, shard, "corrupt partial: " + invalid_reason);
+    }
+    // Done (another attempt already accepted) or re-leased/pending (a stale
+    // late completion): the quarantine alone is the whole response.
+    return;
+  }
+
+  if (shard.state == ShardState::Done) {
+    // Duplicate completion: legal only as a bit-exact reproduction of the
+    // accepted partial — shards are deterministic, so divergence means a
+    // broken worker, and merging either file would be a guess.
+    bool same = false;
+    std::string why;
+    try {
+      same = dist::result_files_equivalent(shard.accepted_path, output);
+    } catch (const Error& e) {
+      why = e.what();
+    }
+    if (!same) {
+      fail_campaign_locked(
+          *campaign,
+          "campaign '" + campaign->name + "': shard " +
+              std::to_string(shard.index) +
+              ": duplicate completion diverges from the accepted partial (" +
+              (why.empty() ? output + " vs " + shard.accepted_path : why) +
+              "); workers must be deterministic");
+    }
+    return;
+  }
+
+  accept_completion_locked(*campaign, shard, output);
+}
+
+void Dispatcher::fail(std::uint64_t lease_id, const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_.find(lease_id);
+  if (it == active_.end()) return;
+  const std::string campaign_name = it->second.campaign;
+  const std::uint32_t shard_index = it->second.shard_index;
+  retire_lease_locked(lease_id);
+  Campaign* campaign = find_campaign_locked(campaign_name);
+  if (campaign == nullptr || campaign->state == CampaignState::Completed ||
+      campaign->state == CampaignState::Failed) {
+    return;
+  }
+  Shard& shard = campaign->shards[shard_index];
+  if (shard.state != ShardState::Leased || shard.lease_id != lease_id) return;
+  shard.lease_id = 0;
+  shard.state = ShardState::Pending;
+  requeue_locked(*campaign, shard, "worker failure: " + reason);
+}
+
+std::size_t Dispatcher::tick() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return expire_leases_locked();
+}
+
+std::size_t Dispatcher::expire_leases_locked() {
+  const std::int64_t now = clock_.now_ms();
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, lease] : active_) {
+    if (now - lease.last_beat_ms > options_.lease_timeout_ms) {
+      expired.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : expired) {
+    const ActiveLease lease = active_.at(id);
+    retire_lease_locked(id);
+    Campaign* campaign = find_campaign_locked(lease.campaign);
+    if (campaign == nullptr ||
+        campaign->state == CampaignState::Completed ||
+        campaign->state == CampaignState::Failed) {
+      continue;
+    }
+    Shard& shard = campaign->shards[lease.shard_index];
+    if (shard.state != ShardState::Leased || shard.lease_id != id) continue;
+    shard.lease_id = 0;
+    shard.state = ShardState::Pending;
+    requeue_locked(*campaign, shard,
+                   "lease expired after " +
+                       std::to_string(options_.lease_timeout_ms) +
+                       " ms without a heartbeat");
+  }
+  return expired.size();
+}
+
+void Dispatcher::retire_lease_locked(std::uint64_t lease_id) {
+  auto it = active_.find(lease_id);
+  if (it == active_.end()) return;
+  retired_[lease_id] = RetiredLease{it->second.campaign,
+                                    it->second.shard_index,
+                                    it->second.output_path};
+  active_.erase(it);
+}
+
+void Dispatcher::requeue_locked(Campaign& campaign, Shard& shard,
+                                const std::string& why) {
+  ++campaign.requeues;
+  shard.last_failure = why;
+  const std::uint32_t max_attempts =
+      static_cast<std::uint32_t>(options_.max_retries) + 1;
+  if (shard.attempts >= max_attempts) {
+    fail_campaign_locked(
+        campaign,
+        "campaign '" + campaign.name + "': shard " +
+            std::to_string(shard.index) +
+            " exhausted its retry budget (" + std::to_string(shard.attempts) +
+            " of " + std::to_string(max_attempts) +
+            " attempts; last failure: " + why + ")");
+  }
+  // Otherwise the shard is already Pending and the next acquire re-leases
+  // it — attempt-unique output paths make the old attempt's file inert.
+}
+
+void Dispatcher::fail_campaign_locked(Campaign& campaign,
+                                      const std::string& error) {
+  campaign.state = CampaignState::Failed;
+  campaign.error = error;
+  // Active leases of this campaign are left to finish or expire; their
+  // completions are ignored (the campaign is terminal either way).
+}
+
+void Dispatcher::accept_completion_locked(Campaign& campaign, Shard& shard,
+                                          const std::string& output_path) {
+  shard.state = ShardState::Done;
+  shard.accepted_path = output_path;
+  const bool all_done =
+      std::all_of(campaign.shards.begin(), campaign.shards.end(),
+                  [](const Shard& s) { return s.state == ShardState::Done; });
+  if (all_done) finalize_locked(campaign);
+}
+
+void Dispatcher::finalize_locked(Campaign& campaign) {
+  std::vector<std::string> inputs;
+  inputs.reserve(campaign.shards.size());
+  for (const Shard& shard : campaign.shards) {
+    inputs.push_back(shard.accepted_path);
+  }
+  try {
+    dist::merge_result_files_to_csv(inputs, campaign.csv_path);
+    campaign.state = CampaignState::Completed;
+  } catch (const Error& e) {
+    fail_campaign_locked(campaign, "campaign '" + campaign.name +
+                                       "': final merge failed: " + e.what());
+  }
+}
+
+Dispatcher::Campaign* Dispatcher::find_campaign_locked(
+    const std::string& name) {
+  for (const auto& campaign : campaigns_) {
+    if (campaign->name == name) return campaign.get();
+  }
+  return nullptr;
+}
+
+const Dispatcher::Campaign* Dispatcher::find_campaign_locked(
+    const std::string& name) const {
+  for (const auto& campaign : campaigns_) {
+    if (campaign->name == name) return campaign.get();
+  }
+  return nullptr;
+}
+
+CampaignStatusView Dispatcher::status_locked(const Campaign& campaign) const {
+  CampaignStatusView view;
+  view.name = campaign.name;
+  view.state = campaign.state;
+  view.priority = campaign.priority;
+  view.csv_path = campaign.csv_path;
+  view.error = campaign.error;
+  view.shards_total = campaign.shards.size();
+  view.requeues = campaign.requeues;
+  for (const Shard& shard : campaign.shards) {
+    ShardStatusView sv;
+    sv.shard_index = shard.index;
+    sv.state = shard.state;
+    sv.attempts = shard.attempts;
+    sv.quarantined = shard.quarantined;
+    sv.accepted_path = shard.accepted_path;
+    view.shards.push_back(std::move(sv));
+    switch (shard.state) {
+      case ShardState::Pending: ++view.shards_pending; break;
+      case ShardState::Leased: ++view.shards_leased; break;
+      case ShardState::Done: ++view.shards_done; break;
+    }
+  }
+  return view;
+}
+
+std::vector<CampaignStatusView> Dispatcher::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CampaignStatusView> views;
+  views.reserve(campaigns_.size());
+  for (const auto& campaign : campaigns_) {
+    views.push_back(status_locked(*campaign));
+  }
+  return views;
+}
+
+CampaignStatusView Dispatcher::campaign_status(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Campaign* campaign = find_campaign_locked(name);
+  require(campaign != nullptr,
+          "Dispatcher: unknown campaign: " + name);
+  return status_locked(*campaign);
+}
+
+dist::PrefixMergeResult Dispatcher::progress(const std::string& name) const {
+  std::vector<dist::PrefixMergeInput> inputs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Campaign* campaign = find_campaign_locked(name);
+    require(campaign != nullptr, "Dispatcher: unknown campaign: " + name);
+    for (const Shard& shard : campaign->shards) {
+      for (const std::string& path : shard.attempt_paths) {
+        inputs.push_back(
+            dist::PrefixMergeInput{path, shard.manifest.point_indices});
+      }
+    }
+  }
+  // The merge runs unlocked: attempt files are append-only and unique per
+  // lease, so reading them races with nothing the lock protects.
+  return dist::merge_result_prefix(inputs);
+}
+
+bool Dispatcher::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::all_of(campaigns_.begin(), campaigns_.end(),
+                     [](const std::unique_ptr<Campaign>& c) {
+                       return c->state == CampaignState::Completed ||
+                              c->state == CampaignState::Failed;
+                     });
+}
+
+}  // namespace qufi::service

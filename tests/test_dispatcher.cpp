@@ -1,0 +1,505 @@
+// Dispatcher fault-injection harness (docs/DISPATCHER.md): every failure
+// mode the lease/heartbeat/retry state machine claims to survive is scripted
+// here against the injectable FakeClock — a worker killed mid-shard, a
+// heartbeat stall, an exhausted retry budget, duplicate completions from
+// presumed-dead workers (bit-exact tolerated, divergent fatal), and a
+// corrupt partial (quarantined, requeued, never merged). The invariant under
+// test throughout: whatever the kill schedule, the final merged campaign CSV
+// is byte-identical to the single-process run's.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.hpp"
+#include "core/campaign.hpp"
+#include "core/result_io.hpp"
+#include "dist/manifest.hpp"
+#include "dist/merge.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/shard_runner.hpp"
+#include "service/clock.hpp"
+#include "service/dispatcher.hpp"
+#include "service/fleet.hpp"
+#include "util/error.hpp"
+
+namespace qufi {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("qufi_disp_" + tag + "_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string str(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+/// Small paper circuit on a coarse grid: fast enough to run many times per
+/// test, large enough that a 2-shard split is non-trivial.
+CampaignSpec quick_spec(const std::string& name, int width) {
+  const auto bench = algo::paper_circuit(name, width);
+  CampaignSpec spec;
+  spec.circuit = bench.circuit;
+  spec.expected_outputs = bench.expected_outputs;
+  spec.grid.theta_step_deg = 60.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.threads = 2;
+  return spec;
+}
+
+service::CampaignJob make_job(const std::string& name, int priority,
+                              const CampaignSpec& spec, std::uint32_t shards,
+                              const std::string& csv_path) {
+  const auto plan =
+      dist::plan_campaign_shards(spec, shards, dist::ShardPolicy::CostWeighted);
+  service::CampaignJob job;
+  job.name = name;
+  job.priority = priority;
+  job.manifests = dist::make_manifests(
+      spec, "casablanca", dist::WorkerBackendKind::Density, plan,
+      /*double_fault=*/false);
+  job.csv_path = csv_path;
+  return job;
+}
+
+/// Executes one leased attempt exactly as a fleet worker would: Live
+/// columnar streaming into the lease's attempt path, sealed at finish.
+void run_lease(const service::ShardLease& lease) {
+  dist::ShardRunOptions options;
+  options.threads = 2;
+  options.columnar_output_path = lease.output_path;
+  options.columnar_live = true;
+  (void)dist::run_shard(lease.manifest, options);
+}
+
+std::string reference_csv(const CampaignSpec& spec, const std::string& path) {
+  run_single_fault_campaign(spec).write_csv(path);
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// ---- submission + priority --------------------------------------------------
+
+TEST(Dispatcher, SubmitRejectsBadJobs) {
+  TempDir dir("submit");
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  service::Dispatcher dispatcher(options, clock);
+
+  const auto spec = quick_spec("bv", 4);
+  dispatcher.submit(make_job("ok", 0, spec, 2, dir.str("ok.csv")));
+  // Duplicate name.
+  EXPECT_THROW(dispatcher.submit(make_job("ok", 0, spec, 2, dir.str("b.csv"))),
+               Error);
+  // Path separators in the name would escape the spool directory.
+  EXPECT_THROW(
+      dispatcher.submit(make_job("../oops", 0, spec, 2, dir.str("c.csv"))),
+      Error);
+  // Empty manifest list.
+  service::CampaignJob empty_job;
+  empty_job.name = "empty";
+  empty_job.csv_path = dir.str("d.csv");
+  EXPECT_THROW(dispatcher.submit(empty_job), Error);
+}
+
+TEST(Dispatcher, AcquireOrdersByPriorityThenSubmission) {
+  TempDir dir("priority");
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  service::Dispatcher dispatcher(options, clock);
+
+  const auto spec = quick_spec("bv", 4);
+  dispatcher.submit(make_job("low-early", 0, spec, 1, dir.str("a.csv")));
+  dispatcher.submit(make_job("high", 5, spec, 1, dir.str("b.csv")));
+  dispatcher.submit(make_job("low-late", 0, spec, 1, dir.str("c.csv")));
+
+  const auto first = dispatcher.acquire("w0");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->campaign, "high");
+  // Priority ties go to the earlier submission.
+  const auto second = dispatcher.acquire("w0");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->campaign, "low-early");
+  const auto third = dispatcher.acquire("w0");
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->campaign, "low-late");
+  EXPECT_FALSE(dispatcher.acquire("w0").has_value());
+}
+
+// ---- kill / stall / requeue -------------------------------------------------
+
+TEST(Dispatcher, WorkerKilledMidShardIsRequeuedAndCsvStaysByteIdentical) {
+  TempDir dir("kill");
+  const auto spec = quick_spec("bv", 4);
+  const std::string reference = reference_csv(spec, dir.str("reference.csv"));
+
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  options.lease_timeout_ms = 1'000;
+  service::Dispatcher dispatcher(options, clock);
+  dispatcher.submit(make_job("bv4", 0, spec, 2, dir.str("bv4.csv")));
+
+  // Worker 0 takes shard 0 and dies mid-write: simulate by running the
+  // shard fully, then truncating its Live output to a torn tail — exactly
+  // the artifact a SIGKILL between block flushes leaves behind.
+  const auto doomed = dispatcher.acquire("w0");
+  ASSERT_TRUE(doomed.has_value());
+  EXPECT_EQ(doomed->attempt, 1u);
+  EXPECT_NE(doomed->output_path.find("attempt1"), std::string::npos);
+  run_lease(*doomed);
+  const auto full_size = fs::file_size(doomed->output_path);
+  fs::resize_file(doomed->output_path, full_size - full_size / 3);
+
+  // The live progress merge tolerates the torn attempt file: it merges the
+  // complete blocks below the frontier and never throws on the torn tail.
+  const auto partial = dispatcher.progress("bv4");
+  EXPECT_FALSE(partial.complete);
+  EXPECT_LE(partial.frontier, partial.total_points);
+
+  // No heartbeat arrives; the lease expires and the shard requeues.
+  clock.advance(1'500);
+  EXPECT_EQ(dispatcher.tick(), 1u);
+  EXPECT_FALSE(dispatcher.heartbeat(doomed->id));
+
+  // The retry gets a fresh attempt path — the torn file is never reused.
+  const auto retry = dispatcher.acquire("w1");
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->campaign, "bv4");
+  EXPECT_EQ(retry->shard_index, doomed->shard_index);
+  EXPECT_EQ(retry->attempt, 2u);
+  EXPECT_NE(retry->output_path, doomed->output_path);
+  run_lease(*retry);
+  dispatcher.complete(retry->id);
+
+  const auto other = dispatcher.acquire("w1");
+  ASSERT_TRUE(other.has_value());
+  EXPECT_NE(other->shard_index, doomed->shard_index);
+  run_lease(*other);
+  dispatcher.complete(other->id);
+
+  const auto status = dispatcher.campaign_status("bv4");
+  EXPECT_EQ(status.state, service::CampaignState::Completed);
+  EXPECT_EQ(status.shards_done, 2u);
+  EXPECT_EQ(status.requeues, 1u);
+  EXPECT_TRUE(dispatcher.idle());
+
+  // The whole point of the exercise: the kill never shows in the output.
+  EXPECT_EQ(slurp(dir.str("bv4.csv")), slurp(reference));
+
+  // And the completed campaign's progress view is the full merge.
+  const auto final_view = dispatcher.progress("bv4");
+  EXPECT_TRUE(final_view.complete);
+  EXPECT_EQ(final_view.frontier, final_view.total_points);
+}
+
+TEST(Dispatcher, HeartbeatKeepsLeaseAliveUntilTheWorkerStalls) {
+  TempDir dir("stall");
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  options.lease_timeout_ms = 1'000;
+  service::Dispatcher dispatcher(options, clock);
+  dispatcher.submit(
+      make_job("bv4", 0, quick_spec("bv", 4), 1, dir.str("bv4.csv")));
+
+  const auto lease = dispatcher.acquire("w0");
+  ASSERT_TRUE(lease.has_value());
+
+  // Regular heartbeats hold the lease across several timeout windows.
+  for (int i = 0; i < 4; ++i) {
+    clock.advance(800);
+    EXPECT_TRUE(dispatcher.heartbeat(lease->id));
+    EXPECT_EQ(dispatcher.tick(), 0u);
+  }
+  EXPECT_EQ(dispatcher.campaign_status("bv4").shards_leased, 1u);
+
+  // The worker stalls: one missed window and the lease expires.
+  clock.advance(1'200);
+  EXPECT_EQ(dispatcher.tick(), 1u);
+  EXPECT_FALSE(dispatcher.heartbeat(lease->id));
+  const auto status = dispatcher.campaign_status("bv4");
+  EXPECT_EQ(status.shards_pending, 1u);
+  EXPECT_EQ(status.requeues, 1u);
+}
+
+TEST(Dispatcher, RetryBudgetExhaustionFailsTheCampaignNamingTheShard) {
+  TempDir dir("budget");
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  options.max_retries = 1;  // two attempts total
+  service::Dispatcher dispatcher(options, clock);
+  dispatcher.submit(
+      make_job("bv4", 0, quick_spec("bv", 4), 1, dir.str("bv4.csv")));
+
+  const auto first = dispatcher.acquire("w0");
+  ASSERT_TRUE(first.has_value());
+  dispatcher.fail(first->id, "synthetic worker crash");
+  EXPECT_EQ(dispatcher.campaign_status("bv4").state,
+            service::CampaignState::Running);
+
+  const auto second = dispatcher.acquire("w0");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->attempt, 2u);
+  dispatcher.fail(second->id, "synthetic worker crash");
+
+  const auto status = dispatcher.campaign_status("bv4");
+  EXPECT_EQ(status.state, service::CampaignState::Failed);
+  EXPECT_NE(status.error.find("shard 0"), std::string::npos) << status.error;
+  EXPECT_NE(status.error.find("retry budget"), std::string::npos)
+      << status.error;
+  EXPECT_NE(status.error.find("synthetic worker crash"), std::string::npos)
+      << status.error;
+  EXPECT_FALSE(dispatcher.acquire("w0").has_value());
+  EXPECT_TRUE(dispatcher.idle());
+}
+
+// ---- duplicate completions --------------------------------------------------
+
+TEST(Dispatcher, LateDuplicateCompletionIsVerifiedBitExactAndTolerated) {
+  TempDir dir("duplicate");
+  const auto spec = quick_spec("bv", 4);
+  const std::string reference = reference_csv(spec, dir.str("reference.csv"));
+
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  options.lease_timeout_ms = 1'000;
+  service::Dispatcher dispatcher(options, clock);
+  dispatcher.submit(make_job("bv4", 0, spec, 1, dir.str("bv4.csv")));
+
+  // Attempt 1 finishes its shard but is presumed dead before it can report:
+  // the sealed file sits on disk while the lease expires.
+  const auto slow = dispatcher.acquire("w0");
+  ASSERT_TRUE(slow.has_value());
+  run_lease(*slow);
+  clock.advance(1'500);
+  EXPECT_EQ(dispatcher.tick(), 1u);
+
+  // Attempt 2 re-runs the shard and completes the campaign.
+  const auto retry = dispatcher.acquire("w1");
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->attempt, 2u);
+  run_lease(*retry);
+  dispatcher.complete(retry->id);
+  EXPECT_EQ(dispatcher.campaign_status("bv4").state,
+            service::CampaignState::Completed);
+
+  // The presumed-dead worker wakes up and reports after all. Determinism
+  // means its file is bit-identical, so the duplicate is simply dropped.
+  dispatcher.complete(slow->id);
+  const auto status = dispatcher.campaign_status("bv4");
+  EXPECT_EQ(status.state, service::CampaignState::Completed);
+  EXPECT_EQ(status.shards.at(0).quarantined, 0u);
+  EXPECT_EQ(slurp(dir.str("bv4.csv")), slurp(reference));
+}
+
+TEST(Dispatcher, DivergentDuplicateCompletionFailsTheCampaign) {
+  TempDir dir("divergent");
+  const auto spec = quick_spec("bv", 4);
+
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  options.lease_timeout_ms = 1'000;
+  service::Dispatcher dispatcher(options, clock);
+  dispatcher.submit(make_job("bv4", 0, spec, 1, dir.str("bv4.csv")));
+
+  const auto slow = dispatcher.acquire("w0");
+  ASSERT_TRUE(slow.has_value());
+  run_lease(*slow);
+  clock.advance(1'500);
+  EXPECT_EQ(dispatcher.tick(), 1u);
+
+  const auto retry = dispatcher.acquire("w1");
+  ASSERT_TRUE(retry.has_value());
+  run_lease(*retry);
+  dispatcher.complete(retry->id);
+
+  // Forge a diverging attempt-1 file: same campaign identity, one QVF off.
+  // A real worker can only produce this through nondeterminism, which is
+  // exactly what the duplicate check exists to catch.
+  auto forged = resio::read_result_file(retry->output_path);
+  ASSERT_FALSE(forged.records.empty());
+  forged.records.front().qvf += 0.25;
+  resio::ResultFileHeader header = forged.header;
+  resio::write_result_file(slow->output_path, header, forged.records,
+                           forged.executions, forged.injections);
+
+  dispatcher.complete(slow->id);
+  const auto status = dispatcher.campaign_status("bv4");
+  EXPECT_EQ(status.state, service::CampaignState::Failed);
+  EXPECT_NE(status.error.find("diverge"), std::string::npos) << status.error;
+  EXPECT_NE(status.error.find("deterministic"), std::string::npos)
+      << status.error;
+}
+
+// ---- corrupt partials -------------------------------------------------------
+
+TEST(Dispatcher, CorruptPartialIsQuarantinedRequeuedAndNeverMerged) {
+  TempDir dir("corrupt");
+  const auto spec = quick_spec("bv", 4);
+  const std::string reference = reference_csv(spec, dir.str("reference.csv"));
+
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  service::Dispatcher dispatcher(options, clock);
+  dispatcher.submit(make_job("bv4", 0, spec, 1, dir.str("bv4.csv")));
+
+  const auto lease = dispatcher.acquire("w0");
+  ASSERT_TRUE(lease.has_value());
+  run_lease(*lease);
+
+  // Flip one byte in the middle of the sealed file (a block body), then
+  // report it complete: disk corruption, a bad NIC, a buggy worker — the
+  // dispatcher cannot tell and must not merge any of them.
+  {
+    std::fstream file(lease->output_path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    file.seekp(size / 2, std::ios::beg);
+    char byte = 0;
+    file.seekg(size / 2, std::ios::beg);
+    file.read(&byte, 1);
+    byte = static_cast<char>(static_cast<unsigned char>(byte) ^ 0x01u);
+    file.seekp(size / 2, std::ios::beg);
+    file.write(&byte, 1);
+  }
+  dispatcher.complete(lease->id);
+
+  auto status = dispatcher.campaign_status("bv4");
+  EXPECT_EQ(status.state, service::CampaignState::Running);
+  EXPECT_EQ(status.shards.at(0).state, service::ShardState::Pending);
+  EXPECT_EQ(status.shards.at(0).quarantined, 1u);
+  EXPECT_EQ(status.requeues, 1u);
+  EXPECT_FALSE(fs::exists(lease->output_path));
+  EXPECT_TRUE(fs::exists(lease->output_path + ".quarantined"));
+
+  // The quarantined file is out of the merge set: the live progress view
+  // still works and sees an empty frontier, not a corruption error.
+  const auto partial = dispatcher.progress("bv4");
+  EXPECT_EQ(partial.records.size(), 0u);
+
+  // The requeued attempt completes the campaign; the corrupt bytes never
+  // reach the merged CSV.
+  const auto retry = dispatcher.acquire("w1");
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->attempt, 2u);
+  run_lease(*retry);
+  dispatcher.complete(retry->id);
+  status = dispatcher.campaign_status("bv4");
+  EXPECT_EQ(status.state, service::CampaignState::Completed);
+  EXPECT_EQ(slurp(dir.str("bv4.csv")), slurp(reference));
+  EXPECT_TRUE(fs::exists(lease->output_path + ".quarantined"));
+}
+
+// ---- streaming progress -----------------------------------------------------
+
+TEST(Dispatcher, ProgressGrowsMonotonicallyWhileShardsLand) {
+  TempDir dir("progress");
+  const auto spec = quick_spec("dj", 4);
+
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  service::Dispatcher dispatcher(options, clock);
+  dispatcher.submit(make_job("dj4", 0, spec, 2, dir.str("dj4.csv")));
+
+  // Before any lease: nothing readable, empty prefix, no error.
+  auto view = dispatcher.progress("dj4");
+  EXPECT_EQ(view.frontier, 0u);
+  EXPECT_FALSE(view.complete);
+
+  std::uint32_t last_frontier = 0;
+  std::size_t last_records = 0;
+  for (int i = 0; i < 2; ++i) {
+    const auto lease = dispatcher.acquire("w0");
+    ASSERT_TRUE(lease.has_value());
+    run_lease(*lease);
+    dispatcher.complete(lease->id);
+    view = dispatcher.progress("dj4");
+    EXPECT_GE(view.frontier, last_frontier);
+    EXPECT_GE(view.records.size(), last_records);
+    last_frontier = view.frontier;
+    last_records = view.records.size();
+  }
+  EXPECT_TRUE(view.complete);
+  EXPECT_EQ(view.frontier, view.total_points);
+  EXPECT_THROW((void)dispatcher.progress("no-such-campaign"), Error);
+}
+
+// ---- end to end through the thread fleet ------------------------------------
+
+TEST(Dispatcher, ThreadFleetSurvivesASwallowedCompletionEndToEnd) {
+  TempDir dir("fleet");
+  const auto bv = quick_spec("bv", 4);
+  const auto dj = quick_spec("dj", 4);
+  const std::string ref_bv = reference_csv(bv, dir.str("ref_bv.csv"));
+  const std::string ref_dj = reference_csv(dj, dir.str("ref_dj.csv"));
+
+  service::SystemClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  options.lease_timeout_ms = 1'500;
+  service::Dispatcher dispatcher(options, clock);
+  dispatcher.submit(make_job("bv4", 0, bv, 2, dir.str("bv4.csv")));
+  dispatcher.submit(make_job("dj4", 5, dj, 2, dir.str("dj4.csv")));
+
+  // Swallow the first completion: the worker computed and sealed its file
+  // but "dies" before reporting — the dispatcher only learns through the
+  // lease expiring, and must requeue and retry.
+  std::atomic<bool> swallowed{false};
+  service::FleetOptions fleet_options;
+  fleet_options.workers = 2;
+  fleet_options.threads_per_worker = 1;
+  fleet_options.heartbeat_interval_ms = 300;
+  fleet_options.deliver_completion = [&](const service::ShardLease&) {
+    return swallowed.exchange(true);
+  };
+  service::ThreadWorkerFleet fleet(dispatcher, fleet_options);
+  fleet.drain();
+  fleet.stop();
+
+  const auto all = dispatcher.status();
+  ASSERT_EQ(all.size(), 2u);
+  std::uint32_t total_requeues = 0;
+  for (const auto& campaign : all) {
+    EXPECT_EQ(campaign.state, service::CampaignState::Completed)
+        << campaign.name << ": " << campaign.error;
+    total_requeues += campaign.requeues;
+  }
+  EXPECT_GE(total_requeues, 1u);
+  EXPECT_TRUE(swallowed.load());
+
+  // Kill schedules never leak into results: both CSVs byte-identical.
+  EXPECT_EQ(slurp(dir.str("bv4.csv")), slurp(ref_bv));
+  EXPECT_EQ(slurp(dir.str("dj4.csv")), slurp(ref_dj));
+}
+
+}  // namespace
+}  // namespace qufi

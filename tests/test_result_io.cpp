@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -270,11 +271,92 @@ TEST(ResultIo, ExhaustiveByteFlipAndTruncationSweep) {
     }
   }
 
-  for (std::size_t len = 0; len < good.size(); ++len) {
-    spit(mutant_path, good.substr(0, len));
-    EXPECT_THROW((void)resio::read_result_file(mutant_path), Error)
-        << "truncation to " << len << " bytes not detected";
+  // Ground truth for the tail sweep: every block of the intact file, in the
+  // reader's sorted order (which here is also file order — write_result_file
+  // streams records already sorted by point).
+  resio::ResultReader full(good_path);
+  std::vector<std::vector<InjectionRecord>> full_blocks;
+  for (std::size_t b = 0; b < full.num_blocks(); ++b) {
+    full_blocks.push_back(full.read_block(b));
   }
+
+  std::uint64_t last_indexed = 0;
+  for (std::size_t len = 0; len <= good.size(); ++len) {
+    spit(mutant_path, good.substr(0, len));
+    if (len < good.size()) {
+      EXPECT_THROW((void)resio::read_result_file(mutant_path), Error)
+          << "truncation to " << len << " bytes not detected";
+    }
+    // Tail mode: every truncation is exactly what a live writer killed
+    // mid-append leaves behind. Below a complete header the reader cannot
+    // exist and must throw (result_header_available is the gate callers
+    // probe first); from the header on it must succeed, index only the
+    // complete blocks, and hand each of them back bit-identical to the
+    // intact file's — a tail read never returns a torn block.
+    if (!resio::result_header_available(mutant_path)) {
+      EXPECT_THROW(resio::ResultReader(mutant_path, resio::ReadMode::Tail),
+                   Error)
+          << "no complete header at " << len << " bytes";
+      continue;
+    }
+    resio::ResultReader tail(mutant_path, resio::ReadMode::Tail);
+    EXPECT_EQ(tail.sealed(), len == good.size())
+        << "seal misreported at " << len << " bytes";
+    EXPECT_GE(tail.indexed_records(), last_indexed)
+        << "indexed records regressed at " << len << " bytes";
+    last_indexed = tail.indexed_records();
+    ASSERT_LE(tail.num_blocks(), full_blocks.size()) << len << " bytes";
+    for (std::size_t b = 0; b < tail.num_blocks(); ++b) {
+      EXPECT_EQ(tail.block_info(b).first_point,
+                full.block_info(b).first_point)
+          << "block " << b << " at " << len << " bytes";
+      EXPECT_EQ(tail.block_info(b).num_records,
+                full.block_info(b).num_records)
+          << "block " << b << " at " << len << " bytes";
+      expect_bit_identical(tail.read_block(b), full_blocks[b]);
+    }
+  }
+  EXPECT_EQ(last_indexed, full.indexed_records());
+}
+
+TEST(ResultIo, TailReaderObservesLiveWriterGrowth) {
+  TempDir dir("tail");
+  const std::string path = dir.str("live");
+  const auto header = test_header(4);
+  const auto records = test_records(4, 2);
+
+  // Stream one point per block so every append changes the observable file.
+  resio::ResultWriter writer(path, header, /*block_records=*/1,
+                             resio::WriteMode::Live);
+  for (std::size_t p = 0; p < 4; ++p) {
+    {
+      // Before the next append: the header is readable, the file unsealed,
+      // and the blocks flushed so far are indexed. The writer keeps the
+      // most recent point buffered (it may coalesce with the next
+      // consecutive point into one block), so the tail view lags the
+      // append stream by exactly one point until finish() drains it.
+      ASSERT_TRUE(resio::result_header_available(path));
+      resio::ResultReader tail(path, resio::ReadMode::Tail);
+      EXPECT_FALSE(tail.sealed());
+      const std::size_t flushed = p == 0 ? 0 : p - 1;
+      EXPECT_EQ(tail.num_blocks(), flushed);
+      EXPECT_EQ(tail.indexed_records(), 2 * flushed);
+      // The strict reader refuses the unsealed file throughout.
+      EXPECT_THROW(resio::ResultReader(path, resio::ReadMode::Sealed), Error);
+    }
+    writer.append(std::span<const InjectionRecord>(records.data() + 2 * p, 2));
+  }
+  writer.finish(/*executions=*/8, /*injections=*/8);
+
+  resio::ResultReader sealed(path, resio::ReadMode::Tail);
+  EXPECT_TRUE(sealed.sealed());
+  EXPECT_EQ(sealed.indexed_records(), records.size());
+  std::vector<InjectionRecord> all;
+  for (std::size_t b = 0; b < sealed.num_blocks(); ++b) {
+    const auto block = sealed.read_block(b);
+    all.insert(all.end(), block.begin(), block.end());
+  }
+  expect_bit_identical(all, records);
 }
 
 TEST(ResultIo, CorruptionDiagnosisNamesTheBadSection) {
