@@ -228,3 +228,50 @@ if ! diff -q "$smoke_dir/golden.csv" tests/golden/bv2q_single.csv > /dev/null; t
   exit 1
 fi
 echo "golden CSV OK (qufi_cli --csv == tests/golden/bv2q_single.csv)"
+
+# ---- kernel smoke ------------------------------------------------------------
+# Every kernel set available on this host must produce byte-identical
+# fixed-seed statevector + density digests (perf_simulator --digest prints
+# no set name, so the outputs diff byte-exactly), and the golden CSV must
+# survive a forced-scalar run — the kernel-dispatch bit-identity contract
+# of docs/ARCHITECTURE.md. The --json speedup lines are informational here;
+# BENCH tracking compares them across commits.
+if [[ -x build/perf_simulator ]]; then
+  kernel_sets="$(./build/perf_simulator --list-kernels)"
+  QUFI_KERNELS=scalar ./build/perf_simulator --digest > build/kernel_digest_scalar.txt
+  for kset in $kernel_sets; do
+    QUFI_KERNELS="$kset" ./build/perf_simulator --digest > "build/kernel_digest_$kset.txt"
+    if ! diff -q "build/kernel_digest_$kset.txt" build/kernel_digest_scalar.txt > /dev/null; then
+      echo "kernel smoke FAILED: $kset digests differ from scalar" >&2
+      diff "build/kernel_digest_$kset.txt" build/kernel_digest_scalar.txt >&2
+      exit 1
+    fi
+  done
+  QUFI_KERNELS=scalar ./build/qufi_cli --circuit bv --width 2 --theta-step 90 \
+    --phi-step 180 --csv "$smoke_dir/golden_scalar.csv" > /dev/null
+  if ! diff -q "$smoke_dir/golden_scalar.csv" tests/golden/bv2q_single.csv > /dev/null; then
+    echo "kernel smoke FAILED: scalar-kernel golden CSV differs from fixture" >&2
+    exit 1
+  fi
+  echo "kernel smoke OK (byte-identical digests across: $(echo $kernel_sets | tr '\n' ' '))"
+else
+  echo "kernel smoke SKIPPED: build/perf_simulator missing (google-benchmark not found)"
+fi
+
+# ---- opt-in sanitizer pass ---------------------------------------------------
+# CHECK_SANITIZE=1 rebuilds the kernel-facing tests under ASan+UBSan in a
+# separate build tree and runs them, so the vectorized pointer arithmetic is
+# exercised with checking on before merge.
+if [[ "${CHECK_SANITIZE:-0}" == "1" ]]; then
+  cmake -B build-asan -S . -DQUFI_SANITIZE=ON -DQUFI_BUILD_BENCHES=OFF \
+    -DQUFI_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j --target test_kernels test_sim
+  for t in test_kernels test_sim; do
+    ./build-asan/$t > /dev/null
+  done
+  # The vectorized sets must survive sanitized runs too, not just the default.
+  for kset in $(./build/perf_simulator --list-kernels); do
+    QUFI_KERNELS="$kset" ./build-asan/test_kernels > /dev/null
+  done
+  echo "sanitizer pass OK (test_kernels + test_sim under ASan+UBSan)"
+fi

@@ -11,6 +11,7 @@
 #include "noise/channels.hpp"
 #include "noise/readout.hpp"
 #include "sim/density_matrix.hpp"
+#include "util/arena.hpp"
 #include "util/binary_io.hpp"
 #include "util/error.hpp"
 
@@ -273,11 +274,10 @@ MeasurementResolver build_measurement_resolver(
   return res;
 }
 
-/// Resolves terminal measurements from the final diagonal and applies
-/// readout error per the resolver.
-std::vector<double> resolve_probs(const sim::DensityMatrix& dm,
-                                  const MeasurementResolver& res) {
-  const auto qubit_probs = dm.probabilities();
+/// Resolves terminal measurements from precomputed basis-state
+/// probabilities and applies readout error per the resolver.
+std::vector<double> resolve_probs_from(std::span<const double> qubit_probs,
+                                       const MeasurementResolver& res) {
   std::vector<double> clbit_probs(std::size_t{1} << res.num_clbits, 0.0);
   for (std::uint64_t i = 0; i < qubit_probs.size(); ++i) {
     if (qubit_probs[i] == 0.0) continue;
@@ -293,6 +293,23 @@ std::vector<double> resolve_probs(const sim::DensityMatrix& dm,
                                res.readout_errors);
   }
   return clbit_probs;
+}
+
+/// Resolves terminal measurements from the final diagonal and applies
+/// readout error per the resolver.
+std::vector<double> resolve_probs(const sim::DensityMatrix& dm,
+                                  const MeasurementResolver& res) {
+  return resolve_probs_from(dm.probabilities(), res);
+}
+
+/// Arena-backed variant for batch loops: the dim-sized diagonal scratch
+/// comes from the arena instead of a per-config heap allocation.
+std::vector<double> resolve_probs(const sim::DensityMatrix& dm,
+                                  const MeasurementResolver& res,
+                                  util::Arena& arena) {
+  auto qubit_probs = arena.alloc<double>(dm.dim());
+  dm.probabilities_into(qubit_probs);
+  return resolve_probs_from(qubit_probs, res);
 }
 
 std::vector<double> resolve_clbit_probs(const DensityExecutor& exec,
@@ -785,11 +802,16 @@ SuffixResponseBasis build_response_basis(
   basis.targets = targets;
   basis.num_outcomes = std::size_t{1} << compiled.resolver.num_clbits;
   basis.responses.resize(m * m * m * m * basis.num_outcomes);
+  // One scratch matrix refilled in place per basis element — the m^4 loop
+  // used to allocate (and zero via from_raw) a fresh dim^2 buffer each
+  // iteration.
+  sim::DensityMatrix basis_dm(rho0.num_qubits());
   for (std::uint64_t a = 0; a < m; ++a) {
     for (std::uint64_t b = 0; b < m; ++b) {
       for (std::uint64_t c = 0; c < m; ++c) {
         for (std::uint64_t d = 0; d < m; ++d) {
-          std::vector<sim::cplx> rawb(dim * dim, sim::cplx{});
+          const std::span<sim::cplx> rawb = basis_dm.mutable_raw();
+          std::fill(rawb.begin(), rawb.end(), sim::cplx{});
           for (const std::uint64_t ri : rests) {
             const std::uint64_t row = (ri | spread[a]) * dim + spread[b];
             const std::uint64_t src = (ri | spread[c]) * dim + spread[d];
@@ -797,8 +819,6 @@ SuffixResponseBasis build_response_basis(
               rawb[row + si] = raw0[src + si];
             }
           }
-          sim::DensityMatrix basis_dm = sim::DensityMatrix::from_raw(
-              rho0.num_qubits(), std::move(rawb));
           replay_suffix(basis_dm, compiled.ops);
           const auto response =
               resolve_probs_complex(basis_dm, compiled.resolver);
@@ -818,17 +838,19 @@ SuffixResponseBasis build_response_basis(
 /// with the same per-qubit noise channels the replay path applies. Computed
 /// by evolving each slot matrix unit through a tiny k-qubit density matrix
 /// with the same kernels, so the channel semantics match execute() exactly.
-std::vector<std::complex<double>> slot_channel_weights(
-    std::span<const Instruction> injected, const std::vector<int>& targets,
-    const std::vector<int>& to_compact, const noise::NoiseModel& nm) {
+std::span<std::complex<double>> slot_channel_weights(
+    util::Arena& arena, std::span<const Instruction> injected,
+    const std::vector<int>& targets, const std::vector<int>& to_compact,
+    const noise::NoiseModel& nm) {
   const int k = static_cast<int>(targets.size());
   const std::uint64_t m = std::uint64_t{1} << k;
-  std::vector<std::complex<double>> weights(m * m * m * m);
+  auto weights = arena.alloc_zeroed<std::complex<double>>(m * m * m * m);
+  sim::DensityMatrix tiny(k);
   for (std::uint64_t c = 0; c < m; ++c) {
     for (std::uint64_t d = 0; d < m; ++d) {
-      std::vector<sim::cplx> raw(m * m, sim::cplx{});
+      const std::span<sim::cplx> raw = tiny.mutable_raw();
+      std::fill(raw.begin(), raw.end(), sim::cplx{});
       raw[c * m + d] = 1.0;
-      sim::DensityMatrix tiny = sim::DensityMatrix::from_raw(k, std::move(raw));
       for (const Instruction& instr : injected) {
         const int compact =
             to_compact[static_cast<std::size_t>(instr.qubits[0])];
@@ -1275,7 +1297,12 @@ std::vector<ExecutionResult> DensityMatrixBackend::run_suffix_batch(
                        noise_model_, options, to_compact};
 
   std::vector<ExecutionResult> results(configs.size());
+  // Per-config scratch (response weights, accumulators, diagonal buffers)
+  // comes from one arena: after the first config its blocks are warm and
+  // the steady-state loop allocates nothing.
+  util::Arena arena;
   for (std::size_t c = 0; c < configs.size(); ++c) {
+    arena.reset();
     const SuffixConfig& config = configs[c];
     if (needs_splice[c]) {
       results[c] =
@@ -1289,9 +1316,10 @@ std::vector<ExecutionResult> DensityMatrixBackend::run_suffix_batch(
           group.targets, group.shape, [&](const std::vector<int>& targets) {
             return build_response_basis(*snap, targets, *compiled_of[c]);
           });
-      const auto weights = slot_channel_weights(config.injected, group.targets,
-                                                to_compact, noise_model_);
-      std::vector<std::complex<double>> acc(basis.num_outcomes, 0.0);
+      const auto weights = slot_channel_weights(
+          arena, config.injected, group.targets, to_compact, noise_model_);
+      const auto acc = arena.alloc_zeroed<std::complex<double>>(
+          basis.num_outcomes);
       for (std::size_t beta = 0; beta < weights.size(); ++beta) {
         const std::complex<double> w = weights[beta];
         if (w == std::complex<double>{}) continue;
@@ -1329,8 +1357,8 @@ std::vector<ExecutionResult> DensityMatrixBackend::run_suffix_batch(
       replay_suffix(exec.dm, compiled_of[c]->ops);
     }
     results[c] = ExecutionResult::from_distribution(
-        resolve_probs(exec.dm, compiled_of[c]->resolver), circuit.num_clbits(),
-        shots, config.seed, backend_name);
+        resolve_probs(exec.dm, compiled_of[c]->resolver, arena),
+        circuit.num_clbits(), shots, config.seed, backend_name);
   }
   return results;
 }

@@ -1,5 +1,6 @@
 #include "sim/density_matrix.hpp"
 
+#include "sim/kernel_dispatch.hpp"
 #include "sim/kernels.hpp"
 #include "util/error.hpp"
 
@@ -37,16 +38,16 @@ cplx DensityMatrix::at(std::uint64_t r, std::uint64_t c) const {
 
 void DensityMatrix::apply_unitary1(const util::Mat2& u, int q) {
   require(q >= 0 && q < num_qubits_, "apply_unitary1: qubit out of range");
-  detail::apply_matrix1(rho_, u, q + num_qubits_);          // rows: U rho
-  detail::apply_matrix1(rho_, detail::conj_elementwise(u), q);  // cols: rho U†
+  dispatch::apply_matrix1(rho_, u, q + num_qubits_);          // rows: U rho
+  dispatch::apply_matrix1(rho_, detail::conj_elementwise(u), q);  // cols: rho U†
 }
 
 void DensityMatrix::apply_unitary2(const util::Mat4& u, int q0, int q1) {
   require(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 && q1 < num_qubits_ &&
               q0 != q1,
           "apply_unitary2: bad qubit operands");
-  detail::apply_matrix2(rho_, u, q0 + num_qubits_, q1 + num_qubits_);
-  detail::apply_matrix2(rho_, detail::conj_elementwise(u), q0, q1);
+  dispatch::apply_matrix2(rho_, u, q0 + num_qubits_, q1 + num_qubits_);
+  dispatch::apply_matrix2(rho_, detail::conj_elementwise(u), q0, q1);
 }
 
 void DensityMatrix::apply_instruction(const circ::Instruction& instr) {
@@ -66,10 +67,10 @@ void DensityMatrix::apply_instruction(const circ::Instruction& instr) {
     case 3: {
       require(instr.kind == circ::GateKind::CCX,
               "DensityMatrix: unsupported 3-qubit gate");
-      detail::apply_ccx(rho_, instr.qubits[0] + num_qubits_,
+      dispatch::apply_ccx(rho_, instr.qubits[0] + num_qubits_,
                         instr.qubits[1] + num_qubits_,
                         instr.qubits[2] + num_qubits_);
-      detail::apply_ccx(rho_, instr.qubits[0], instr.qubits[1],
+      dispatch::apply_ccx(rho_, instr.qubits[0], instr.qubits[1],
                         instr.qubits[2]);
       return;
     }
@@ -83,8 +84,8 @@ void DensityMatrix::apply_kraus1(std::span<const util::Mat2> kraus, int q) {
   require(!kraus.empty(), "apply_kraus1: empty Kraus set");
   if (kraus.size() == 1) {
     // Single operator: same machinery as a (possibly non-unitary) gate.
-    detail::apply_matrix1(rho_, kraus[0], q + num_qubits_);
-    detail::apply_matrix1(rho_, detail::conj_elementwise(kraus[0]), q);
+    dispatch::apply_matrix1(rho_, kraus[0], q + num_qubits_);
+    dispatch::apply_matrix1(rho_, detail::conj_elementwise(kraus[0]), q);
     return;
   }
   // Superoperator fast path: vec_rm(K B K†) = (K (x) conj(K)) vec_rm(B), so
@@ -93,7 +94,7 @@ void DensityMatrix::apply_kraus1(std::span<const util::Mat2> kraus, int q) {
   for (const auto& k : kraus) {
     superop = superop + util::kron(k, detail::conj_elementwise(k));
   }
-  detail::apply_matrix2(rho_, superop, q, q + num_qubits_);
+  dispatch::apply_matrix2(rho_, superop, q, q + num_qubits_);
 }
 
 void DensityMatrix::apply_kraus2(std::span<const util::Mat4> kraus, int q0,
@@ -120,12 +121,12 @@ void DensityMatrix::apply_kraus2(std::span<const util::Mat4> kraus, int q0,
     }
   }
   const int bits[] = {q0, q1, q0 + num_qubits_, q1 + num_qubits_};
-  detail::apply_matrix_k(rho_, superop, bits);
+  dispatch::apply_matrix_k(rho_, superop, bits);
 }
 
 void DensityMatrix::apply_superop1(const util::Mat4& superop, int q) {
   require(q >= 0 && q < num_qubits_, "apply_superop1: qubit out of range");
-  detail::apply_matrix2(rho_, superop, q, q + num_qubits_);
+  dispatch::apply_matrix2(rho_, superop, q, q + num_qubits_);
 }
 
 void DensityMatrix::apply_superop2(std::span<const util::cplx> superop,
@@ -135,14 +136,20 @@ void DensityMatrix::apply_superop2(std::span<const util::cplx> superop,
           "apply_superop2: bad qubit operands");
   require(superop.size() == 256, "apply_superop2: need a 16x16 matrix");
   const int bits[] = {q0, q1, q0 + num_qubits_, q1 + num_qubits_};
-  detail::apply_matrix_k(rho_, superop, bits);
+  dispatch::apply_matrix_k(rho_, superop, bits);
 }
 
 std::vector<double> DensityMatrix::probabilities() const {
   std::vector<double> probs(dim_);
-  for (std::uint64_t i = 0; i < dim_; ++i)
-    probs[i] = rho_[(i << num_qubits_) | i].real();
+  probabilities_into(probs);
   return probs;
+}
+
+void DensityMatrix::probabilities_into(std::span<double> out) const {
+  require(out.size() == dim_,
+          "probabilities_into: output span must have dim() entries");
+  for (std::uint64_t i = 0; i < dim_; ++i)
+    out[i] = rho_[(i << num_qubits_) | i].real();
 }
 
 double DensityMatrix::trace() const {

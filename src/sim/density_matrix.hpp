@@ -43,6 +43,12 @@ class DensityMatrix {
   /// Read-only view of the flat row-major storage (index (row << n) | col).
   std::span<const cplx> raw() const { return rho_; }
 
+  /// Mutable view of the flat storage, for callers that refill a scratch
+  /// DensityMatrix in place (response-basis construction) instead of
+  /// churning a fresh allocation per element. The caller owns keeping the
+  /// contents a valid state before the next evolution call.
+  std::span<cplx> mutable_raw() { return rho_; }
+
   int num_qubits() const { return num_qubits_; }
   std::uint64_t dim() const { return std::uint64_t{1} << num_qubits_; }
 
@@ -71,6 +77,10 @@ class DensityMatrix {
 
   /// Diagonal of rho: probability of each basis state.
   std::vector<double> probabilities() const;
+
+  /// probabilities() into caller-provided storage (size must be dim());
+  /// allocation-free for arena-backed batch loops.
+  void probabilities_into(std::span<double> out) const;
 
   /// tr(rho); should stay ~1 under CPTP evolution.
   double trace() const;

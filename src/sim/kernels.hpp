@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <span>
 
+#include "util/error.hpp"
 #include "util/matrix.hpp"
 
 namespace qufi::sim::detail {
@@ -76,9 +77,19 @@ inline void apply_ccx(std::span<cplx> amps, int c0, int c1, int t) {
 /// to ~20-30% nonzeros), so the matrix is converted to sparse rows once per
 /// call; entries below 1e-12 in magnitude are dropped (far under any
 /// physical tolerance used here).
+/// Hard capacity of the apply_matrix_k scratch tables: `offset`/`v` hold
+/// 2^k entries and the sparse-row store dim^2 entries, both sized for k = 4
+/// (the 16x16 two-qubit superoperator). A caller growing past that must
+/// widen the tables; until then, reject instead of silently indexing out of
+/// bounds.
+inline constexpr std::size_t kApplyMatrixKMaxBits = 4;
+
 inline void apply_matrix_k(std::span<cplx> amps, std::span<const cplx> m,
                            std::span<const int> bits) {
   const std::size_t k = bits.size();
+  require(k <= kApplyMatrixKMaxBits,
+          "apply_matrix_k: at most 4 bit positions supported (16x16 matrix); "
+          "widen the kernel scratch tables before growing k");
   const std::size_t dim = std::size_t{1} << k;
 
   std::uint64_t mask = 0;
@@ -121,6 +132,44 @@ inline void apply_matrix_k(std::span<cplx> amps, std::span<const cplx> m,
       for (std::uint16_t e = row_start[r]; e < row_start[r + 1]; ++e) {
         sum += entries[e].value * v[entries[e].col];
       }
+      amps[base | offset[r]] = sum;
+    }
+  }
+}
+
+/// Naive dense reference for apply_matrix_k: no sparsification and no
+/// drop threshold — every entry of `m` participates in every row sum. This
+/// is the oracle the kernel-conformance/fuzz suite checks the sparse
+/// production path against (the sparse path may drop entries with
+/// |x| <= 1e-12, so agreement is within that documented tolerance, not
+/// bit-level).
+inline void apply_matrix_k_dense(std::span<cplx> amps, std::span<const cplx> m,
+                                 std::span<const int> bits) {
+  const std::size_t k = bits.size();
+  require(k <= kApplyMatrixKMaxBits,
+          "apply_matrix_k_dense: at most 4 bit positions supported");
+  const std::size_t dim = std::size_t{1} << k;
+
+  std::uint64_t mask = 0;
+  std::array<std::uint64_t, 16> offset{};
+  for (std::size_t j = 0; j < dim; ++j) {
+    std::uint64_t off = 0;
+    for (std::size_t b = 0; b < k; ++b) {
+      if ((j >> b) & 1) off |= 1ULL << bits[b];
+    }
+    offset[j] = off;
+  }
+  for (std::size_t b = 0; b < k; ++b) mask |= 1ULL << bits[b];
+
+  std::array<cplx, 16> v{};
+  const std::uint64_t size = amps.size();
+  for (std::uint64_t base = 0; base < size; ++base) {
+    if (base & mask) continue;
+    for (std::size_t j = 0; j < dim; ++j) v[j] = amps[base | offset[j]];
+    for (std::size_t r = 0; r < dim; ++r) {
+      cplx sum{};
+      const cplx* row = m.data() + r * dim;
+      for (std::size_t c = 0; c < dim; ++c) sum += row[c] * v[c];
       amps[base | offset[r]] = sum;
     }
   }

@@ -1,0 +1,640 @@
+#pragma once
+
+// Vectorized, range-partitionable variants of the simulator bit-kernels.
+//
+// Every kernel here operates on "groups": the independent amplitude tuples a
+// gate application touches (pairs for a 1q matrix, quadruples for a 2q
+// matrix, 2^k-tuples for apply_matrix_k). A kernel variant processes the
+// half-open group range [g_begin, g_end) — the seam the dispatch layer uses
+// for cache-tiled iteration and for splitting one state across ThreadPool
+// lanes. Because groups are disjoint and each group's arithmetic is a fixed
+// sequence of IEEE-754 operations, results are bit-identical for any
+// partition of the range.
+//
+// The bit-identity contract (docs/ARCHITECTURE.md "Kernel dispatch"): every
+// variant performs, per amplitude, the exact operation sequence of the
+// scalar reference in kernels.hpp — products in the same operand order,
+// sums associated left-to-right, no FMA contraction (explicit intrinsics
+// only), no reassociation across lanes. The differential suite in
+// tests/test_kernels.cpp enforces this bit-for-bit; campaign-level results
+// (golden CSVs, shard merges) therefore do not depend on which kernel set
+// executed them.
+//
+// Three implementations:
+//   scalar   — the reference loops, restructured over group ranges;
+//   simd     — std::experimental::simd (portable; SSE2-width by default);
+//   avx2     — AVX2 intrinsics behind __attribute__((target)), selected at
+//              runtime by CPUID, so the build needs no global arch flags.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "sim/kernels.hpp"
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+
+#ifndef QUFI_ENABLE_AVX2
+#define QUFI_ENABLE_AVX2 1
+#endif
+
+#if QUFI_ENABLE_AVX2 && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define QUFI_KERNELS_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define QUFI_KERNELS_HAVE_AVX2 0
+#endif
+
+#if __has_include(<experimental/simd>)
+#define QUFI_KERNELS_HAVE_STD_SIMD 1
+#include <experimental/simd>
+#else
+#define QUFI_KERNELS_HAVE_STD_SIMD 0
+#endif
+
+namespace qufi::sim::kern {
+
+using util::cplx;
+using util::Mat2;
+using util::Mat4;
+using u64 = std::uint64_t;
+
+/// Inserts a zero bit at position `pos`: bits >= pos shift up by one.
+inline u64 insert_zero_bit(u64 g, int pos) {
+  const u64 low = (u64{1} << pos) - 1;
+  return ((g & ~low) << 1) | (g & low);
+}
+
+// ---- shared apply_matrix_k setup --------------------------------------------
+
+/// Precomputed per-call tables for apply_matrix_k: local-offset expansion,
+/// sorted mask positions for group expansion, and the sparse rows of the
+/// matrix (same 1e-12 magnitude drop threshold as the scalar reference).
+struct MkTables {
+  std::size_t k = 0;
+  std::size_t dim = 0;
+  u64 mask = 0;
+  std::array<u64, 16> offset{};
+  std::array<int, 4> sorted{};
+  struct Entry {
+    std::uint16_t col;
+    cplx value;
+  };
+  std::array<Entry, 256> entries;
+  std::array<std::uint16_t, 17> row_start{};
+};
+
+inline MkTables build_mk_tables(std::span<const cplx> m,
+                                std::span<const int> bits) {
+  MkTables t;
+  t.k = bits.size();
+  require(t.k <= detail::kApplyMatrixKMaxBits,
+          "apply_matrix_k: at most 4 bit positions supported (16x16 matrix); "
+          "widen the kernel scratch tables before growing k");
+  t.dim = std::size_t{1} << t.k;
+  for (std::size_t j = 0; j < t.dim; ++j) {
+    u64 off = 0;
+    for (std::size_t b = 0; b < t.k; ++b) {
+      if ((j >> b) & 1) off |= u64{1} << bits[b];
+    }
+    t.offset[j] = off;
+  }
+  for (std::size_t b = 0; b < t.k; ++b) {
+    t.mask |= u64{1} << bits[b];
+    t.sorted[b] = bits[b];
+  }
+  std::sort(t.sorted.begin(), t.sorted.begin() + t.k);
+  std::uint16_t nnz = 0;
+  for (std::size_t r = 0; r < t.dim; ++r) {
+    t.row_start[r] = nnz;
+    const cplx* row = m.data() + r * t.dim;
+    for (std::size_t c = 0; c < t.dim; ++c) {
+      if (std::norm(row[c]) > 1e-24) {
+        t.entries[nnz++] =
+            MkTables::Entry{static_cast<std::uint16_t>(c), row[c]};
+      }
+    }
+  }
+  t.row_start[t.dim] = nnz;
+  return t;
+}
+
+/// Expands group index `g` to a base amplitude index: zeros are inserted at
+/// the (ascending) masked bit positions.
+inline u64 expand_group(u64 g, const MkTables& t) {
+  u64 x = g;
+  for (std::size_t b = 0; b < t.k; ++b) x = insert_zero_bit(x, t.sorted[b]);
+  return x;
+}
+
+// ---- scalar reference over group ranges -------------------------------------
+
+inline void scalar_m1_part(std::span<cplx> amps, const Mat2& m, int q,
+                           u64 g_begin, u64 g_end) {
+  cplx* a = amps.data();
+  const u64 stride = u64{1} << q;
+  u64 g = g_begin;
+  while (g < g_end) {
+    const u64 off0 = g & (stride - 1);
+    const u64 run = std::min(stride - off0, g_end - g);
+    const u64 i0_first = ((g >> q) << (q + 1)) | off0;
+    for (u64 r = 0; r < run; ++r) {
+      const u64 i0 = i0_first + r;
+      const u64 i1 = i0 + stride;
+      const cplx a0 = a[i0];
+      const cplx a1 = a[i1];
+      a[i0] = m.a[0] * a0 + m.a[1] * a1;
+      a[i1] = m.a[2] * a0 + m.a[3] * a1;
+    }
+    g += run;
+  }
+}
+
+inline void scalar_m2_part(std::span<cplx> amps, const Mat4& m, int q_low,
+                           int q_high, u64 g_begin, u64 g_end) {
+  cplx* a = amps.data();
+  const u64 bl = u64{1} << q_low;
+  const u64 bh = u64{1} << q_high;
+  const int s0 = std::min(q_low, q_high);
+  const int s1 = std::max(q_low, q_high);
+  const u64 low = u64{1} << s0;
+  u64 g = g_begin;
+  while (g < g_end) {
+    const u64 off0 = g & (low - 1);
+    const u64 run = std::min(low - off0, g_end - g);
+    const u64 i00_first = insert_zero_bit(insert_zero_bit(g, s0), s1);
+    for (u64 r = 0; r < run; ++r) {
+      const u64 i00 = i00_first + r;
+      const u64 i01 = i00 | bl;
+      const u64 i10 = i00 | bh;
+      const u64 i11 = i00 | bl | bh;
+      const cplx a0 = a[i00];
+      const cplx a1 = a[i01];
+      const cplx a2 = a[i10];
+      const cplx a3 = a[i11];
+      a[i00] = m.a[0] * a0 + m.a[1] * a1 + m.a[2] * a2 + m.a[3] * a3;
+      a[i01] = m.a[4] * a0 + m.a[5] * a1 + m.a[6] * a2 + m.a[7] * a3;
+      a[i10] = m.a[8] * a0 + m.a[9] * a1 + m.a[10] * a2 + m.a[11] * a3;
+      a[i11] = m.a[12] * a0 + m.a[13] * a1 + m.a[14] * a2 + m.a[15] * a3;
+    }
+    g += run;
+  }
+}
+
+inline void scalar_ccx_part(std::span<cplx> amps, int c0, int c1, int t,
+                            u64 g_begin, u64 g_end) {
+  cplx* a = amps.data();
+  const u64 bc0 = u64{1} << c0;
+  const u64 bc1 = u64{1} << c1;
+  const u64 bt = u64{1} << t;
+  for (u64 g = g_begin; g < g_end; ++g) {
+    const u64 i = insert_zero_bit(g, t);
+    if ((i & bc0) && (i & bc1)) std::swap(a[i], a[i | bt]);
+  }
+}
+
+inline void scalar_mk_part(std::span<cplx> amps, std::span<const cplx> m,
+                           std::span<const int> bits, u64 g_begin, u64 g_end) {
+  const MkTables t = build_mk_tables(m, bits);
+  cplx* a = amps.data();
+  std::array<cplx, 16> v{};
+  for (u64 g = g_begin; g < g_end; ++g) {
+    const u64 base = expand_group(g, t);
+    for (std::size_t j = 0; j < t.dim; ++j) v[j] = a[base | t.offset[j]];
+    for (std::size_t r = 0; r < t.dim; ++r) {
+      cplx sum{};
+      for (std::uint16_t e = t.row_start[r]; e < t.row_start[r + 1]; ++e) {
+        sum += t.entries[e].value * v[t.entries[e].col];
+      }
+      a[base | t.offset[r]] = sum;
+    }
+  }
+}
+
+// ---- portable std::experimental::simd variants ------------------------------
+//
+// Complexes stay interleaved (re, im, re, im, ...); a coefficient multiply
+// uses the alternating-sign trick: with rr = broadcast(c.re) and
+// ia = (-c.im, +c.im, ...), cmul(x) = x*rr + swap_pairs(x)*ia reproduces the
+// scalar (re*re - im*im, re*im + im*re) bit-for-bit (IEEE a + (-b) == a - b
+// and negation/multiplication commute exactly).
+
+#if QUFI_KERNELS_HAVE_STD_SIMD
+
+namespace stdx = std::experimental;
+using vd = stdx::native_simd<double>;
+
+struct PortableCoeff {
+  vd rr;  ///< coefficient real part in every lane
+  vd ia;  ///< alternating (-im, +im) per complex lane pair
+};
+
+inline PortableCoeff portable_coeff(cplx c) {
+  PortableCoeff out;
+  out.rr = vd(c.real());
+  out.ia = vd([&](auto i) {
+    return (static_cast<int>(i) & 1) ? c.imag() : -c.imag();
+  });
+  return out;
+}
+
+inline vd portable_cmul(const PortableCoeff& c, vd x) {
+  const vd swp([&x](auto i) { return x[static_cast<int>(i) ^ 1]; });
+  return x * c.rr + swp * c.ia;
+}
+
+inline void portable_m1_part(std::span<cplx> amps, const Mat2& m, int q,
+                             u64 g_begin, u64 g_end) {
+  constexpr u64 kVc = vd::size() / 2;  // complexes per vector
+  if constexpr (kVc < 1) {
+    scalar_m1_part(amps, m, q, g_begin, g_end);
+    return;
+  }
+  cplx* a = amps.data();
+  const u64 stride = u64{1} << q;
+  const PortableCoeff c0 = portable_coeff(m.a[0]);
+  const PortableCoeff c1 = portable_coeff(m.a[1]);
+  const PortableCoeff c2 = portable_coeff(m.a[2]);
+  const PortableCoeff c3 = portable_coeff(m.a[3]);
+  u64 g = g_begin;
+  while (g < g_end) {
+    const u64 off0 = g & (stride - 1);
+    const u64 run = std::min(stride - off0, g_end - g);
+    const u64 i0_first = ((g >> q) << (q + 1)) | off0;
+    u64 r = 0;
+    for (; r + kVc <= run; r += kVc) {
+      double* p0 = reinterpret_cast<double*>(a + i0_first + r);
+      double* p1 = reinterpret_cast<double*>(a + i0_first + r + stride);
+      const vd a0(p0, stdx::element_aligned);
+      const vd a1(p1, stdx::element_aligned);
+      const vd r0 = portable_cmul(c0, a0) + portable_cmul(c1, a1);
+      const vd r1 = portable_cmul(c2, a0) + portable_cmul(c3, a1);
+      r0.copy_to(p0, stdx::element_aligned);
+      r1.copy_to(p1, stdx::element_aligned);
+    }
+    for (; r < run; ++r) {
+      const u64 i0 = i0_first + r;
+      const u64 i1 = i0 + stride;
+      const cplx a0 = a[i0];
+      const cplx a1 = a[i1];
+      a[i0] = m.a[0] * a0 + m.a[1] * a1;
+      a[i1] = m.a[2] * a0 + m.a[3] * a1;
+    }
+    g += run;
+  }
+}
+
+inline void portable_m2_part(std::span<cplx> amps, const Mat4& m, int q_low,
+                             int q_high, u64 g_begin, u64 g_end) {
+  constexpr u64 kVc = vd::size() / 2;
+  if constexpr (kVc < 1) {
+    scalar_m2_part(amps, m, q_low, q_high, g_begin, g_end);
+    return;
+  }
+  cplx* a = amps.data();
+  const u64 bl = u64{1} << q_low;
+  const u64 bh = u64{1} << q_high;
+  const int s0 = std::min(q_low, q_high);
+  const int s1 = std::max(q_low, q_high);
+  const u64 low = u64{1} << s0;
+  std::array<PortableCoeff, 16> c;
+  for (int i = 0; i < 16; ++i) c[static_cast<std::size_t>(i)] = portable_coeff(m.a[static_cast<std::size_t>(i)]);
+  u64 g = g_begin;
+  while (g < g_end) {
+    const u64 off0 = g & (low - 1);
+    const u64 run = std::min(low - off0, g_end - g);
+    const u64 i00_first = insert_zero_bit(insert_zero_bit(g, s0), s1);
+    u64 r = 0;
+    for (; r + kVc <= run; r += kVc) {
+      const u64 i00 = i00_first + r;
+      double* p0 = reinterpret_cast<double*>(a + i00);
+      double* p1 = reinterpret_cast<double*>(a + (i00 | bl));
+      double* p2 = reinterpret_cast<double*>(a + (i00 | bh));
+      double* p3 = reinterpret_cast<double*>(a + (i00 | bl | bh));
+      const vd a0(p0, stdx::element_aligned);
+      const vd a1(p1, stdx::element_aligned);
+      const vd a2(p2, stdx::element_aligned);
+      const vd a3(p3, stdx::element_aligned);
+      const vd r0 = portable_cmul(c[0], a0) + portable_cmul(c[1], a1) +
+                    portable_cmul(c[2], a2) + portable_cmul(c[3], a3);
+      const vd r1 = portable_cmul(c[4], a0) + portable_cmul(c[5], a1) +
+                    portable_cmul(c[6], a2) + portable_cmul(c[7], a3);
+      const vd r2 = portable_cmul(c[8], a0) + portable_cmul(c[9], a1) +
+                    portable_cmul(c[10], a2) + portable_cmul(c[11], a3);
+      const vd r3 = portable_cmul(c[12], a0) + portable_cmul(c[13], a1) +
+                    portable_cmul(c[14], a2) + portable_cmul(c[15], a3);
+      r0.copy_to(p0, stdx::element_aligned);
+      r1.copy_to(p1, stdx::element_aligned);
+      r2.copy_to(p2, stdx::element_aligned);
+      r3.copy_to(p3, stdx::element_aligned);
+    }
+    for (; r < run; ++r) {
+      const u64 i00 = i00_first + r;
+      const u64 i01 = i00 | bl;
+      const u64 i10 = i00 | bh;
+      const u64 i11 = i00 | bl | bh;
+      const cplx a0 = a[i00];
+      const cplx a1 = a[i01];
+      const cplx a2 = a[i10];
+      const cplx a3 = a[i11];
+      a[i00] = m.a[0] * a0 + m.a[1] * a1 + m.a[2] * a2 + m.a[3] * a3;
+      a[i01] = m.a[4] * a0 + m.a[5] * a1 + m.a[6] * a2 + m.a[7] * a3;
+      a[i10] = m.a[8] * a0 + m.a[9] * a1 + m.a[10] * a2 + m.a[11] * a3;
+      a[i11] = m.a[12] * a0 + m.a[13] * a1 + m.a[14] * a2 + m.a[15] * a3;
+    }
+    g += run;
+  }
+}
+
+#endif  // QUFI_KERNELS_HAVE_STD_SIMD
+
+// ---- AVX2 variants ----------------------------------------------------------
+//
+// One __m256d holds two interleaved complexes. cmul applies a coefficient to
+// both: t1 = x * bc(re); t2 = swap_within_pairs(x) * bc(im);
+// addsub(t1, t2) = (x.re*re - x.im*im, x.im*re + x.re*im) — the scalar
+// formula, lane for lane, with no FMA contraction (explicit mul/addsub).
+
+#if QUFI_KERNELS_HAVE_AVX2
+
+#define QUFI_AVX2_FN __attribute__((target("avx2")))
+#define QUFI_AVX2_INLINE \
+  __attribute__((target("avx2"), always_inline)) inline
+
+struct Avx2Coeff {
+  __m256d rr;
+  __m256d ii;
+};
+
+QUFI_AVX2_INLINE Avx2Coeff avx2_coeff(cplx c) {
+  return {_mm256_set1_pd(c.real()), _mm256_set1_pd(c.imag())};
+}
+
+/// Per-128-lane coefficients: `lo` multiplies the low complex, `hi` the
+/// high one (for paths where the two lanes carry different local indices).
+QUFI_AVX2_INLINE Avx2Coeff avx2_coeff_pair(cplx lo, cplx hi) {
+  return {_mm256_set_pd(hi.real(), hi.real(), lo.real(), lo.real()),
+          _mm256_set_pd(hi.imag(), hi.imag(), lo.imag(), lo.imag())};
+}
+
+QUFI_AVX2_INLINE __m256d avx2_cmul(const Avx2Coeff& c, __m256d x) {
+  const __m256d t1 = _mm256_mul_pd(x, c.rr);
+  const __m256d sw = _mm256_permute_pd(x, 0x5);  // swap re/im within pairs
+  const __m256d t2 = _mm256_mul_pd(sw, c.ii);
+  return _mm256_addsub_pd(t1, t2);
+}
+
+QUFI_AVX2_FN inline void avx2_m1_part(std::span<cplx> amps, const Mat2& m,
+                                      int q, u64 g_begin, u64 g_end) {
+  cplx* a = amps.data();
+  const u64 stride = u64{1} << q;
+  const Avx2Coeff c0 = avx2_coeff(m.a[0]);
+  const Avx2Coeff c1 = avx2_coeff(m.a[1]);
+  const Avx2Coeff c2 = avx2_coeff(m.a[2]);
+  const Avx2Coeff c3 = avx2_coeff(m.a[3]);
+  if (stride >= 2) {
+    u64 g = g_begin;
+    while (g < g_end) {
+      const u64 off0 = g & (stride - 1);
+      const u64 run = std::min(stride - off0, g_end - g);
+      const u64 i0_first = ((g >> q) << (q + 1)) | off0;
+      u64 r = 0;
+      for (; r + 2 <= run; r += 2) {
+        double* p0 = reinterpret_cast<double*>(a + i0_first + r);
+        double* p1 = reinterpret_cast<double*>(a + i0_first + r + stride);
+        const __m256d a0 = _mm256_loadu_pd(p0);
+        const __m256d a1 = _mm256_loadu_pd(p1);
+        const __m256d r0 = _mm256_add_pd(avx2_cmul(c0, a0), avx2_cmul(c1, a1));
+        const __m256d r1 = _mm256_add_pd(avx2_cmul(c2, a0), avx2_cmul(c3, a1));
+        _mm256_storeu_pd(p0, r0);
+        _mm256_storeu_pd(p1, r1);
+      }
+      for (; r < run; ++r) {
+        const u64 i0 = i0_first + r;
+        const u64 i1 = i0 + stride;
+        const cplx a0 = a[i0];
+        const cplx a1 = a[i1];
+        a[i0] = m.a[0] * a0 + m.a[1] * a1;
+        a[i1] = m.a[2] * a0 + m.a[3] * a1;
+      }
+      g += run;
+    }
+    return;
+  }
+  // q == 0: each group is an adjacent (a0, a1) pair; process two groups per
+  // iteration by regrouping lanes so each vector holds one local index of
+  // both groups.
+  u64 g = g_begin;
+  for (; g + 2 <= g_end; g += 2) {
+    double* p = reinterpret_cast<double*>(a + 2 * g);
+    const __m256d x = _mm256_loadu_pd(p);      // [g0.a0, g0.a1]
+    const __m256d y = _mm256_loadu_pd(p + 4);  // [g1.a0, g1.a1]
+    const __m256d a0 = _mm256_permute2f128_pd(x, y, 0x20);  // [g0.a0, g1.a0]
+    const __m256d a1 = _mm256_permute2f128_pd(x, y, 0x31);  // [g0.a1, g1.a1]
+    const __m256d r0 = _mm256_add_pd(avx2_cmul(c0, a0), avx2_cmul(c1, a1));
+    const __m256d r1 = _mm256_add_pd(avx2_cmul(c2, a0), avx2_cmul(c3, a1));
+    _mm256_storeu_pd(p, _mm256_permute2f128_pd(r0, r1, 0x20));
+    _mm256_storeu_pd(p + 4, _mm256_permute2f128_pd(r0, r1, 0x31));
+  }
+  for (; g < g_end; ++g) {
+    const u64 i0 = 2 * g;
+    const cplx a0 = a[i0];
+    const cplx a1 = a[i0 + 1];
+    a[i0] = m.a[0] * a0 + m.a[1] * a1;
+    a[i0 + 1] = m.a[2] * a0 + m.a[3] * a1;
+  }
+}
+
+QUFI_AVX2_FN inline void avx2_m2_part(std::span<cplx> amps, const Mat4& m,
+                                      int q_low, int q_high, u64 g_begin,
+                                      u64 g_end) {
+  cplx* a = amps.data();
+  const u64 bl = u64{1} << q_low;
+  const u64 bh = u64{1} << q_high;
+  const int s0 = std::min(q_low, q_high);
+  const int s1 = std::max(q_low, q_high);
+  if (s0 >= 1) {
+    // Offsets below s0 are contiguous in every plane: vectorize two offsets
+    // per step with broadcast coefficients.
+    std::array<Avx2Coeff, 16> c;
+    for (std::size_t i = 0; i < 16; ++i) c[i] = avx2_coeff(m.a[i]);
+    const u64 low = u64{1} << s0;
+    u64 g = g_begin;
+    while (g < g_end) {
+      const u64 off0 = g & (low - 1);
+      const u64 run = std::min(low - off0, g_end - g);
+      const u64 i00_first = insert_zero_bit(insert_zero_bit(g, s0), s1);
+      u64 r = 0;
+      for (; r + 2 <= run; r += 2) {
+        const u64 i00 = i00_first + r;
+        double* p0 = reinterpret_cast<double*>(a + i00);
+        double* p1 = reinterpret_cast<double*>(a + (i00 | bl));
+        double* p2 = reinterpret_cast<double*>(a + (i00 | bh));
+        double* p3 = reinterpret_cast<double*>(a + (i00 | bl | bh));
+        const __m256d a0 = _mm256_loadu_pd(p0);
+        const __m256d a1 = _mm256_loadu_pd(p1);
+        const __m256d a2 = _mm256_loadu_pd(p2);
+        const __m256d a3 = _mm256_loadu_pd(p3);
+        const __m256d r0 = _mm256_add_pd(
+            _mm256_add_pd(_mm256_add_pd(avx2_cmul(c[0], a0),
+                                        avx2_cmul(c[1], a1)),
+                          avx2_cmul(c[2], a2)),
+            avx2_cmul(c[3], a3));
+        const __m256d r1 = _mm256_add_pd(
+            _mm256_add_pd(_mm256_add_pd(avx2_cmul(c[4], a0),
+                                        avx2_cmul(c[5], a1)),
+                          avx2_cmul(c[6], a2)),
+            avx2_cmul(c[7], a3));
+        const __m256d r2 = _mm256_add_pd(
+            _mm256_add_pd(_mm256_add_pd(avx2_cmul(c[8], a0),
+                                        avx2_cmul(c[9], a1)),
+                          avx2_cmul(c[10], a2)),
+            avx2_cmul(c[11], a3));
+        const __m256d r3 = _mm256_add_pd(
+            _mm256_add_pd(_mm256_add_pd(avx2_cmul(c[12], a0),
+                                        avx2_cmul(c[13], a1)),
+                          avx2_cmul(c[14], a2)),
+            avx2_cmul(c[15], a3));
+        _mm256_storeu_pd(p0, r0);
+        _mm256_storeu_pd(p1, r1);
+        _mm256_storeu_pd(p2, r2);
+        _mm256_storeu_pd(p3, r3);
+      }
+      for (; r < run; ++r) {
+        const u64 i00 = i00_first + r;
+        const u64 i01 = i00 | bl;
+        const u64 i10 = i00 | bh;
+        const u64 i11 = i00 | bl | bh;
+        const cplx a0 = a[i00];
+        const cplx a1 = a[i01];
+        const cplx a2 = a[i10];
+        const cplx a3 = a[i11];
+        a[i00] = m.a[0] * a0 + m.a[1] * a1 + m.a[2] * a2 + m.a[3] * a3;
+        a[i01] = m.a[4] * a0 + m.a[5] * a1 + m.a[6] * a2 + m.a[7] * a3;
+        a[i10] = m.a[8] * a0 + m.a[9] * a1 + m.a[10] * a2 + m.a[11] * a3;
+        a[i11] = m.a[12] * a0 + m.a[13] * a1 + m.a[14] * a2 + m.a[15] * a3;
+      }
+      g += run;
+    }
+    return;
+  }
+  // One operand is qubit 0: each group's four amplitudes live in two
+  // adjacent-pair vectors. Broadcast each local amplitude across both
+  // lanes and use per-lane coefficient rows to produce two outputs per
+  // cmul chain.
+  //
+  // Lane labels depend on which operand is bit 0:
+  //   q_low == 0 : x = (a0, a1) at i00, z = (a2, a3) at i00|bh
+  //   q_high == 0: x = (a0, a2) at i00, z = (a1, a3) at i00|bl
+  const bool low_is_bit0 = q_low == 0;
+  const u64 bfar = low_is_bit0 ? bh : bl;
+  const std::size_t lx1 = low_is_bit0 ? 1 : 2;  // local index of x's high lane
+  const std::size_t lz0 = low_is_bit0 ? 2 : 1;  // local index of z's low lane
+  // Output-row coefficient pairs: rx lanes hold rows (0, lx1), rz rows
+  // (lz0, 3); column j coefficients in ascending j to match the scalar sum
+  // order.
+  std::array<Avx2Coeff, 4> cx;
+  std::array<Avx2Coeff, 4> cz;
+  for (std::size_t j = 0; j < 4; ++j) {
+    cx[j] = avx2_coeff_pair(m.a[0 * 4 + j], m.a[lx1 * 4 + j]);
+    cz[j] = avx2_coeff_pair(m.a[lz0 * 4 + j], m.a[3 * 4 + j]);
+  }
+  for (u64 g = g_begin; g < g_end; ++g) {
+    const u64 i00 = insert_zero_bit(g << 1, s1);
+    double* px = reinterpret_cast<double*>(a + i00);
+    double* pz = reinterpret_cast<double*>(a + (i00 | bfar));
+    const __m256d x = _mm256_loadu_pd(px);
+    const __m256d z = _mm256_loadu_pd(pz);
+    // Broadcast the four local amplitudes, indexed by local label.
+    __m256d amp[4];
+    amp[0] = _mm256_permute2f128_pd(x, x, 0x00);
+    amp[lx1] = _mm256_permute2f128_pd(x, x, 0x11);
+    amp[lz0] = _mm256_permute2f128_pd(z, z, 0x00);
+    amp[3] = _mm256_permute2f128_pd(z, z, 0x11);
+    const __m256d rx = _mm256_add_pd(
+        _mm256_add_pd(
+            _mm256_add_pd(avx2_cmul(cx[0], amp[0]), avx2_cmul(cx[1], amp[1])),
+            avx2_cmul(cx[2], amp[2])),
+        avx2_cmul(cx[3], amp[3]));
+    const __m256d rz = _mm256_add_pd(
+        _mm256_add_pd(
+            _mm256_add_pd(avx2_cmul(cz[0], amp[0]), avx2_cmul(cz[1], amp[1])),
+            avx2_cmul(cz[2], amp[2])),
+        avx2_cmul(cz[3], amp[3]));
+    _mm256_storeu_pd(px, rx);
+    _mm256_storeu_pd(pz, rz);
+  }
+}
+
+QUFI_AVX2_INLINE __m128d avx2_cmul128(cplx c, __m128d x) {
+  const __m128d rr = _mm_set1_pd(c.real());
+  const __m128d ii = _mm_set1_pd(c.imag());
+  const __m128d t1 = _mm_mul_pd(x, rr);
+  const __m128d sw = _mm_shuffle_pd(x, x, 0x1);
+  const __m128d t2 = _mm_mul_pd(sw, ii);
+  return _mm_addsub_pd(t1, t2);
+}
+
+QUFI_AVX2_FN inline void avx2_mk_part(std::span<cplx> amps,
+                                      std::span<const cplx> m,
+                                      std::span<const int> bits, u64 g_begin,
+                                      u64 g_end) {
+  const MkTables t = build_mk_tables(m, bits);
+  cplx* a = amps.data();
+  if ((t.mask & 1) == 0) {
+    // Bit 0 is free: group g and g+1 expand to adjacent bases (g even), so
+    // every local amplitude vector serves two bases at once.
+    std::array<Avx2Coeff, 256> ec;
+    const std::uint16_t nnz = t.row_start[t.dim];
+    for (std::uint16_t e = 0; e < nnz; ++e) {
+      ec[e] = avx2_coeff(t.entries[e].value);
+    }
+    u64 g = g_begin;
+    if ((g & 1) && g < g_end) {
+      scalar_mk_part(amps, m, bits, g, g + 1);
+      ++g;
+    }
+    __m256d v[16];
+    for (; g + 2 <= g_end; g += 2) {
+      const u64 base = expand_group(g, t);
+      for (std::size_t j = 0; j < t.dim; ++j) {
+        v[j] = _mm256_loadu_pd(
+            reinterpret_cast<double*>(a + (base | t.offset[j])));
+      }
+      for (std::size_t r = 0; r < t.dim; ++r) {
+        __m256d sum = _mm256_setzero_pd();
+        for (std::uint16_t e = t.row_start[r]; e < t.row_start[r + 1]; ++e) {
+          sum = _mm256_add_pd(sum, avx2_cmul(ec[e], v[t.entries[e].col]));
+        }
+        _mm256_storeu_pd(reinterpret_cast<double*>(a + (base | t.offset[r])),
+                         sum);
+      }
+    }
+    if (g < g_end) scalar_mk_part(amps, m, bits, g, g_end);
+    return;
+  }
+  // Bit 0 is masked: bases are never adjacent; use branch-free 128-bit
+  // complex arithmetic per base.
+  __m128d v[16];
+  for (u64 g = g_begin; g < g_end; ++g) {
+    const u64 base = expand_group(g, t);
+    for (std::size_t j = 0; j < t.dim; ++j) {
+      v[j] =
+          _mm_loadu_pd(reinterpret_cast<double*>(a + (base | t.offset[j])));
+    }
+    for (std::size_t r = 0; r < t.dim; ++r) {
+      __m128d sum = _mm_setzero_pd();
+      for (std::uint16_t e = t.row_start[r]; e < t.row_start[r + 1]; ++e) {
+        sum = _mm_add_pd(sum,
+                         avx2_cmul128(t.entries[e].value, v[t.entries[e].col]));
+      }
+      _mm_storeu_pd(reinterpret_cast<double*>(a + (base | t.offset[r])), sum);
+    }
+  }
+}
+
+#endif  // QUFI_KERNELS_HAVE_AVX2
+
+}  // namespace qufi::sim::kern

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "sim/kernel_dispatch.hpp"
 #include "sim/kernels.hpp"
 #include "util/error.hpp"
 
@@ -26,14 +27,14 @@ Statevector Statevector::from_amplitudes(std::vector<cplx> amps) {
 
 void Statevector::apply_matrix1(const util::Mat2& m, int q) {
   require(q >= 0 && q < num_qubits_, "apply_matrix1: qubit out of range");
-  detail::apply_matrix1(amps_, m, q);
+  dispatch::apply_matrix1(amps_, m, q);
 }
 
 void Statevector::apply_matrix2(const util::Mat4& m, int q0, int q1) {
   require(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 && q1 < num_qubits_ &&
               q0 != q1,
           "apply_matrix2: bad qubit operands");
-  detail::apply_matrix2(amps_, m, q0, q1);
+  dispatch::apply_matrix2(amps_, m, q0, q1);
 }
 
 void Statevector::apply_instruction(const circ::Instruction& instr) {
@@ -53,7 +54,7 @@ void Statevector::apply_instruction(const circ::Instruction& instr) {
     case 3:
       require(instr.kind == circ::GateKind::CCX,
               "Statevector: unsupported 3-qubit gate");
-      detail::apply_ccx(amps_, instr.qubits[0], instr.qubits[1],
+      dispatch::apply_ccx(amps_, instr.qubits[0], instr.qubits[1],
                         instr.qubits[2]);
       return;
     default:

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace qufi::util {
+
+/// Monotonic bump allocator for per-batch scratch buffers.
+///
+/// Batched suffix sweeps churn the same small scratch shapes (response-basis
+/// weights, accumulators, diagonal extraction buffers) hundreds of times per
+/// injection point; an arena turns that into pointer bumps over a handful of
+/// blocks that live for the whole batch. reset() rewinds the cursor without
+/// releasing memory, so steady-state batches allocate nothing at all.
+///
+/// Only trivially-destructible element types are supported (no destructors
+/// run at reset), and the arena is single-threaded by design: every batch
+/// loop owns its own instance.
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 1 << 16)
+      : first_block_bytes_(first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned allocation; memory is uninitialized. Alignments up to the
+  /// default operator-new alignment (16 on the supported toolchains) are
+  /// honored; block bases are new[]-aligned, so relative alignment suffices.
+  void* allocate_bytes(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    for (; block_ < blocks_.size(); ++block_, used_ = 0) {
+      Block& b = blocks_[block_];
+      const std::size_t start = (used_ + align - 1) & ~(align - 1);
+      if (start + bytes <= b.size) {
+        used_ = start + bytes;
+        return b.data.get() + start;
+      }
+    }
+    // No existing block fits: grow geometrically (and at least enough for
+    // this request, so one oversized ask never loops).
+    std::size_t size = blocks_.empty() ? first_block_bytes_
+                                       : blocks_.back().size * 2;
+    while (size < bytes) size *= 2;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    block_ = blocks_.size() - 1;
+    used_ = bytes;
+    return blocks_.back().data.get();
+  }
+
+  /// Typed span of `n` elements, uninitialized.
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Arena memory is raw storage");
+    T* p = static_cast<T*>(allocate_bytes(n * sizeof(T), alignof(T)));
+    return {p, n};
+  }
+
+  /// Typed span of `n` elements, zero-initialized.
+  template <typename T>
+  std::span<T> alloc_zeroed(std::size_t n) {
+    auto s = alloc<T>(n);
+    std::memset(static_cast<void*>(s.data()), 0, n * sizeof(T));
+    return s;
+  }
+
+  /// Rewinds the cursor to the start; keeps every block for reuse.
+  void reset() {
+    block_ = 0;
+    used_ = 0;
+  }
+
+  /// Total bytes held across blocks (capacity, not live allocations).
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;  ///< current block index
+  std::size_t used_ = 0;   ///< bytes used in the current block
+};
+
+}  // namespace qufi::util

@@ -23,6 +23,7 @@
 #include "core/injection.hpp"
 #include "noise/backend_props.hpp"
 #include "noise/noise_model.hpp"
+#include "sim/kernel_dispatch.hpp"
 #include "util/error.hpp"
 
 namespace qufi {
@@ -46,6 +47,10 @@ struct BackendCase {
   SuffixEquivalence equivalence = SuffixEquivalence::Numeric;
   /// Batch-vs-sequential tolerance; 0 demands bit equality (counts too).
   double batch_tol = 0.0;
+  /// Kernel set the whole case runs under ("" = leave the default active).
+  /// The contract must hold for every set — campaign-level QVF parity is
+  /// kernel-independent, and this axis is what proves it.
+  std::string kernels;
 };
 
 std::vector<BackendCase> contract_cases() {
@@ -85,13 +90,29 @@ std::vector<BackendCase> contract_cases() {
              noise::NoiseModel::from_backend(props, 1.0));
        },
        0, true, SuffixEquivalence::Numeric, 1e-9});
-  return cases;
+
+  // Kernel-dispatch axis: every backend case runs under the scalar
+  // reference set and, when the host has one, the best vectorized set.
+  std::vector<std::string> kernel_axis = {"scalar"};
+  const std::string best = sim::available_kernel_sets().front()->name;
+  if (best != "scalar") kernel_axis.push_back(best);
+  std::vector<BackendCase> expanded;
+  for (const auto& kernels : kernel_axis) {
+    for (BackendCase c : cases) {
+      c.kernels = kernels;
+      c.label += "_" + kernels;
+      expanded.push_back(std::move(c));
+    }
+  }
+  return expanded;
 }
 
 class BackendContract : public ::testing::TestWithParam<BackendCase> {
  protected:
   void SetUp() override {
     const BackendCase& c = GetParam();
+    saved_kernels_ = sim::active_kernel_set().name;
+    if (!c.kernels.empty()) sim::select_kernel_set(c.kernels);
     const auto bench = algo::paper_circuit("bv", 4);
     CampaignSpec spec;
     spec.circuit = bench.circuit;
@@ -102,6 +123,8 @@ class BackendContract : public ::testing::TestWithParam<BackendCase> {
     ASSERT_GE(points_.size(), 3u);
     exec_ = c.make(spec.backend);
   }
+
+  void TearDown() override { sim::select_kernel_set(saved_kernels_); }
 
   /// Three representative splits: start, middle, end of the circuit.
   std::vector<std::size_t> sample_points() const {
@@ -136,6 +159,7 @@ class BackendContract : public ::testing::TestWithParam<BackendCase> {
   transpile::TranspileResult transpiled_;
   std::vector<InjectionPoint> points_;
   std::unique_ptr<backend::Backend> exec_;
+  std::string saved_kernels_;
 };
 
 // run_suffix from a prepared snapshot must reproduce run() on the spliced

@@ -1,0 +1,464 @@
+// Differential kernel-conformance and fuzz suite.
+//
+// The engine's merge/golden-CSV gates promise bit-identical results no
+// matter which kernel set, tile size, range partition, or thread count
+// executed a campaign. This suite is that promise's enforcement point:
+// every available kernel variant is diffed bit-for-bit against the scalar
+// reference in kernels.hpp on randomized states and matrices across all
+// qubit positions and sizes, and the sparse apply_matrix_k path is fuzzed
+// against a naive dense oracle.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/kernel_dispatch.hpp"
+#include "sim/kernels.hpp"
+#include "sim/kernels_simd.hpp"
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace qufi::sim {
+namespace {
+
+using util::cplx;
+using util::Mat2;
+using util::Mat4;
+using u64 = std::uint64_t;
+
+std::vector<cplx> random_state(std::size_t size, util::Xoshiro256pp& rng) {
+  std::vector<cplx> amps(size);
+  for (auto& a : amps) a = cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return amps;
+}
+
+Mat2 random_mat2(util::Xoshiro256pp& rng) {
+  Mat2 m;
+  for (auto& x : m.a) x = cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return m;
+}
+
+Mat4 random_mat4(util::Xoshiro256pp& rng) {
+  Mat4 m;
+  for (auto& x : m.a) x = cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return m;
+}
+
+/// Bit-level comparison; on mismatch names the first differing amplitude so
+/// failures point at a concrete lane, not just "vectors differ".
+::testing::AssertionResult BitIdentical(const std::vector<cplx>& got,
+                                        const std::vector<cplx>& want) {
+  if (got.size() != want.size()) {
+    return ::testing::AssertionFailure()
+           << "size " << got.size() << " != " << want.size();
+  }
+  if (std::memcmp(got.data(), want.data(), got.size() * sizeof(cplx)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::memcmp(&got[i], &want[i], sizeof(cplx)) != 0) {
+      return ::testing::AssertionFailure()
+             << "first bit difference at amplitude " << i << ": got ("
+             << got[i].real() << ", " << got[i].imag() << ") want ("
+             << want[i].real() << ", " << want[i].imag() << ")";
+    }
+  }
+  return ::testing::AssertionFailure() << "memcmp mismatch (padding?)";
+}
+
+/// Saves and restores the globally selected kernel set + tuning so each
+/// test can reconfigure dispatch freely.
+class KernelConformance : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_set_ = active_kernel_set().name;
+    saved_tuning_ = kernel_tuning();
+  }
+  void TearDown() override {
+    select_kernel_set(saved_set_);
+    set_kernel_tuning(saved_tuning_);
+  }
+
+ private:
+  std::string saved_set_;
+  KernelTuning saved_tuning_;
+};
+
+TEST_F(KernelConformance, ScalarSetIsAlwaysAvailable) {
+  ASSERT_NE(find_kernel_set("scalar"), nullptr);
+  ASSERT_FALSE(available_kernel_sets().empty());
+  // Best-first ordering: the default pick is the front of the list.
+  EXPECT_EQ(find_kernel_set(available_kernel_sets().front()->name),
+            available_kernel_sets().front());
+}
+
+TEST_F(KernelConformance, SelectRejectsUnknownSet) {
+  EXPECT_THROW(select_kernel_set("avx9000"), Error);
+}
+
+// ---- apply_matrix1: every set x every qubit position x 1..12 qubits -------
+
+TEST_F(KernelConformance, Matrix1AllSetsAllPositionsBitIdentical) {
+  util::Xoshiro256pp rng(101);
+  for (int n = 1; n <= 12; ++n) {
+    const std::size_t size = std::size_t{1} << n;
+    const auto base = random_state(size, rng);
+    const Mat2 m = random_mat2(rng);
+    for (int q = 0; q < n; ++q) {
+      auto want = base;
+      detail::apply_matrix1(want, m, q);
+      for (const KernelSet* ks : available_kernel_sets()) {
+        auto got = base;
+        ks->m1_part(got, m, q, 0, size / 2);
+        EXPECT_TRUE(BitIdentical(got, want))
+            << "set=" << ks->name << " n=" << n << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST_F(KernelConformance, Matrix1PartitionAndOddSplitInvariance) {
+  util::Xoshiro256pp rng(202);
+  const int n = 9;
+  const std::size_t size = std::size_t{1} << n;
+  const auto base = random_state(size, rng);
+  const Mat2 m = random_mat2(rng);
+  for (int q : {0, 1, n / 2, n - 1}) {
+    auto want = base;
+    detail::apply_matrix1(want, m, q);
+    for (const KernelSet* ks : available_kernel_sets()) {
+      const u64 groups = size / 2;
+      // Odd/prime split points land mid-stride and mid-vector on purpose.
+      for (u64 split : {u64{1}, u64{3}, u64{37}, groups / 2 + 1, groups - 1}) {
+        auto got = base;
+        ks->m1_part(got, m, q, 0, split);
+        ks->m1_part(got, m, q, split, groups);
+        EXPECT_TRUE(BitIdentical(got, want))
+            << "set=" << ks->name << " q=" << q << " split=" << split;
+      }
+    }
+  }
+}
+
+TEST_F(KernelConformance, Matrix1MisalignedSubspan) {
+  // A view starting at an odd complex offset is 16- but not 32-byte
+  // aligned; every vector path must tolerate it (unaligned loads).
+  util::Xoshiro256pp rng(303);
+  const std::size_t size = 1 << 8;
+  auto backing = random_state(size + 1, rng);
+  const Mat2 m = random_mat2(rng);
+  for (const KernelSet* ks : available_kernel_sets()) {
+    auto got_backing = backing;
+    auto want_backing = backing;
+    std::span<cplx> got(got_backing.data() + 1, size);
+    std::span<cplx> want(want_backing.data() + 1, size);
+    detail::apply_matrix1(want, m, 3);
+    ks->m1_part(got, m, 3, 0, size / 2);
+    EXPECT_TRUE(BitIdentical(got_backing, want_backing)) << "set=" << ks->name;
+  }
+}
+
+// ---- apply_matrix2: every set x every (q0, q1) pair ------------------------
+
+TEST_F(KernelConformance, Matrix2AllSetsAllPairsBitIdentical) {
+  util::Xoshiro256pp rng(404);
+  for (int n = 2; n <= 12; n += 2) {
+    const std::size_t size = std::size_t{1} << n;
+    const auto base = random_state(size, rng);
+    const Mat4 m = random_mat4(rng);
+    // Both operand orders for every unordered pair: adjacent, far, and the
+    // q=0 / q=n-1 edges all occur naturally.
+    for (int q0 = 0; q0 < n; ++q0) {
+      for (int q1 = 0; q1 < n; ++q1) {
+        if (q0 == q1) continue;
+        auto want = base;
+        detail::apply_matrix2(want, m, q0, q1);
+        for (const KernelSet* ks : available_kernel_sets()) {
+          auto got = base;
+          ks->m2_part(got, m, q0, q1, 0, size / 4);
+          EXPECT_TRUE(BitIdentical(got, want))
+              << "set=" << ks->name << " n=" << n << " q0=" << q0
+              << " q1=" << q1;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelConformance, Matrix2PartitionInvariance) {
+  util::Xoshiro256pp rng(505);
+  const int n = 10;
+  const std::size_t size = std::size_t{1} << n;
+  const auto base = random_state(size, rng);
+  const Mat4 m = random_mat4(rng);
+  const std::pair<int, int> pairs[] = {{0, 1}, {1, 0}, {0, n - 1},
+                                       {n - 1, 0}, {3, 7}, {n - 2, n - 1}};
+  for (auto [q0, q1] : pairs) {
+    auto want = base;
+    detail::apply_matrix2(want, m, q0, q1);
+    for (const KernelSet* ks : available_kernel_sets()) {
+      const u64 groups = size / 4;
+      for (u64 split : {u64{1}, u64{5}, u64{31}, groups - 1}) {
+        auto got = base;
+        ks->m2_part(got, m, q0, q1, 0, split);
+        ks->m2_part(got, m, q0, q1, split, groups);
+        EXPECT_TRUE(BitIdentical(got, want))
+            << "set=" << ks->name << " q0=" << q0 << " q1=" << q1
+            << " split=" << split;
+      }
+    }
+  }
+}
+
+// ---- apply_ccx -------------------------------------------------------------
+
+TEST_F(KernelConformance, CcxAllSetsBitIdentical) {
+  util::Xoshiro256pp rng(606);
+  for (int n = 3; n <= 12; n += 3) {
+    const std::size_t size = std::size_t{1} << n;
+    const auto base = random_state(size, rng);
+    const std::array<std::array<int, 3>, 4> cases = {{
+        {0, 1, 2},
+        {n - 1, n - 2, 0},
+        {0, n - 1, n / 2},
+        {1, n / 2, n - 1},
+    }};
+    for (const auto& [c0, c1, t] : cases) {
+      auto want = base;
+      detail::apply_ccx(want, c0, c1, t);
+      for (const KernelSet* ks : available_kernel_sets()) {
+        auto got = base;
+        ks->ccx_part(got, c0, c1, t, 0, size / 2);
+        EXPECT_TRUE(BitIdentical(got, want))
+            << "set=" << ks->name << " n=" << n << " c0=" << c0
+            << " c1=" << c1 << " t=" << t;
+      }
+    }
+  }
+}
+
+// ---- apply_matrix_k: variants, partitioning, fuzz vs dense oracle ----------
+
+/// Pauli-mixture-shaped superoperator: structurally sparse with the zero
+/// pattern real channels produce, plus optional fill to hit capacity.
+std::vector<cplx> random_sparse_superop(std::size_t dim,
+                                        util::Xoshiro256pp& rng,
+                                        double density) {
+  std::vector<cplx> m(dim * dim);
+  for (auto& x : m) {
+    if (rng.uniform() < density) x = cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  // Keep a dominant diagonal so the matrix is not accidentally all-zero.
+  for (std::size_t i = 0; i < dim; ++i) {
+    m[i * dim + i] += cplx{1.0, 0.0};
+  }
+  return m;
+}
+
+TEST_F(KernelConformance, MatrixKAllSetsBitIdentical) {
+  util::Xoshiro256pp rng(707);
+  const int n = 10;
+  const std::size_t size = std::size_t{1} << n;
+  const auto base = random_state(size, rng);
+  const std::vector<std::vector<int>> bit_cases = {
+      {0}, {5}, {n - 1},          // k=1: bit 0 masked and free
+      {0, 5}, {3, 8}, {1, 0},     // k=2, both orders
+      {0, 4, 7}, {2, 5, 9},       // k=3
+      {0, 3, 6, 9}, {1, 4, 7, 2}, // k=4 with and without bit 0
+  };
+  for (const auto& bits : bit_cases) {
+    const std::size_t dim = std::size_t{1} << bits.size();
+    const auto m = random_sparse_superop(dim, rng, 0.3);
+    auto want = base;
+    detail::apply_matrix_k(want, m, bits);
+    for (const KernelSet* ks : available_kernel_sets()) {
+      const u64 groups = size >> bits.size();
+      auto got = base;
+      ks->mk_part(got, m, bits, 0, groups);
+      EXPECT_TRUE(BitIdentical(got, want))
+          << "set=" << ks->name << " k=" << bits.size();
+      // Odd split: exercises the scalar head/tail stitching in the paired
+      // AVX2 path.
+      auto got2 = base;
+      ks->mk_part(got2, m, bits, 0, 3);
+      ks->mk_part(got2, m, bits, 3, groups);
+      EXPECT_TRUE(BitIdentical(got2, want))
+          << "set=" << ks->name << " k=" << bits.size() << " (split)";
+    }
+  }
+}
+
+TEST_F(KernelConformance, MatrixKSparseFuzzAgainstDenseOracle) {
+  util::Xoshiro256pp rng(808);
+  const int n = 8;
+  const std::size_t size = std::size_t{1} << n;
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t k = 1 + rng.uniform_int(4);
+    std::vector<int> bits;
+    while (bits.size() < k) {
+      const int b = static_cast<int>(rng.uniform_int(n));
+      bool dup = false;
+      for (int x : bits) dup |= (x == b);
+      if (!dup) bits.push_back(b);
+    }
+    const std::size_t dim = std::size_t{1} << k;
+    const auto m = random_sparse_superop(dim, rng, rng.uniform(0.1, 0.9));
+    const auto base = random_state(size, rng);
+    auto sparse = base;
+    auto dense = base;
+    detail::apply_matrix_k(sparse, m, bits);
+    detail::apply_matrix_k_dense(dense, m, bits);
+    for (std::size_t i = 0; i < size; ++i) {
+      ASSERT_NEAR(sparse[i].real(), dense[i].real(), 1e-12)
+          << "iter=" << iter << " k=" << k << " amp=" << i;
+      ASSERT_NEAR(sparse[i].imag(), dense[i].imag(), 1e-12)
+          << "iter=" << iter << " k=" << k << " amp=" << i;
+    }
+  }
+}
+
+TEST_F(KernelConformance, MatrixKDropThresholdBoundary) {
+  // The sparsifier keeps entries with |x| > 1e-12 and drops the rest. An
+  // entry exactly at the boundary is dropped; one at 2e-12 must survive and
+  // contribute to the result.
+  const std::vector<int> bits = {0};
+  std::vector<cplx> base = {cplx{1.0, 0.0}, cplx{1.0, 0.0}};
+
+  std::vector<cplx> m_dropped = {cplx{1.0, 0.0}, cplx{1e-12, 0.0},
+                                 cplx{0.0, 0.0}, cplx{1.0, 0.0}};
+  auto dropped = base;
+  detail::apply_matrix_k(dropped, m_dropped, bits);
+  EXPECT_EQ(dropped[0], (cplx{1.0, 0.0}));  // off-diagonal 1e-12 was dropped
+
+  std::vector<cplx> m_kept = {cplx{1.0, 0.0}, cplx{2e-12, 0.0},
+                              cplx{0.0, 0.0}, cplx{1.0, 0.0}};
+  auto kept = base;
+  detail::apply_matrix_k(kept, m_kept, bits);
+  EXPECT_EQ(kept[0], (cplx{1.0 + 2e-12, 0.0}));
+
+  // And the dense oracle never drops anything.
+  auto dense = base;
+  detail::apply_matrix_k_dense(dense, m_dropped, bits);
+  EXPECT_EQ(dense[0], (cplx{1.0 + 1e-12, 0.0}));
+}
+
+TEST_F(KernelConformance, MatrixKFullDenseHitsEntryCapacity) {
+  // k=4 with every one of the 256 entries nonzero: exercises the full
+  // sparse-entry store on every set.
+  util::Xoshiro256pp rng(909);
+  const int n = 8;
+  const std::size_t size = std::size_t{1} << n;
+  const std::vector<int> bits = {0, 2, 5, 7};
+  std::vector<cplx> m(256);
+  for (auto& x : m) x = cplx{rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0)};
+  const auto base = random_state(size, rng);
+  auto want = base;
+  detail::apply_matrix_k(want, m, bits);
+  auto dense = base;
+  detail::apply_matrix_k_dense(dense, m, bits);
+  EXPECT_TRUE(BitIdentical(want, dense));  // nothing droppable: bit-equal
+  for (const KernelSet* ks : available_kernel_sets()) {
+    auto got = base;
+    ks->mk_part(got, m, bits, 0, size >> 4);
+    EXPECT_TRUE(BitIdentical(got, want)) << "set=" << ks->name;
+  }
+}
+
+TEST_F(KernelConformance, MatrixKRejectsMoreThanFourBits) {
+  // Regression for the capacity hazard: offset/v scratch holds 16 entries
+  // (k=4); k=5 used to index out of bounds silently.
+  std::vector<cplx> amps(64, cplx{0.1, 0.0});
+  std::vector<cplx> m(32 * 32, cplx{});
+  const std::vector<int> bits = {0, 1, 2, 3, 4};
+  EXPECT_THROW(detail::apply_matrix_k(amps, m, bits), Error);
+  EXPECT_THROW(detail::apply_matrix_k_dense(amps, m, bits), Error);
+  EXPECT_THROW(dispatch::apply_matrix_k(amps, m, bits), Error);
+  EXPECT_THROW(kern::build_mk_tables(m, bits), Error);
+}
+
+// ---- dispatch layer: tiling and intra-state parallelism --------------------
+
+TEST_F(KernelConformance, DispatchBlockedVsUnblockedBitIdentical) {
+  util::Xoshiro256pp rng(1010);
+  const int n = 11;
+  const std::size_t size = std::size_t{1} << n;
+  const auto base = random_state(size, rng);
+  const Mat2 m1 = random_mat2(rng);
+  const Mat4 m2 = random_mat4(rng);
+  for (const KernelSet* ks : available_kernel_sets()) {
+    select_kernel_set(ks->name);
+    KernelTuning t = kernel_tuning();
+    t.parallel_enabled = false;
+    t.block_groups = u64{1} << 30;  // one tile: unblocked
+    set_kernel_tuning(t);
+    auto want = base;
+    dispatch::apply_matrix1(want, m1, 4);
+    dispatch::apply_matrix2(want, m2, 1, n - 1);
+    for (u64 block : {u64{3}, u64{64}, u64{1000}}) {
+      t.block_groups = block;
+      set_kernel_tuning(t);
+      auto got = base;
+      dispatch::apply_matrix1(got, m1, 4);
+      dispatch::apply_matrix2(got, m2, 1, n - 1);
+      EXPECT_TRUE(BitIdentical(got, want))
+          << "set=" << ks->name << " block=" << block;
+    }
+  }
+}
+
+TEST_F(KernelConformance, DispatchParallelVsSerialBitIdentical) {
+  util::Xoshiro256pp rng(1111);
+  const int n = 12;
+  const std::size_t size = std::size_t{1} << n;
+  const auto base = random_state(size, rng);
+  const Mat2 m1 = random_mat2(rng);
+  const Mat4 m2 = random_mat4(rng);
+  for (const KernelSet* ks : available_kernel_sets()) {
+    select_kernel_set(ks->name);
+    KernelTuning t = kernel_tuning();
+    t.parallel_enabled = false;
+    set_kernel_tuning(t);
+    auto want = base;
+    dispatch::apply_matrix1(want, m1, 0);
+    dispatch::apply_matrix2(want, m2, 0, n - 1);
+    dispatch::apply_ccx(want, 1, n - 1, 3);
+
+    t.parallel_enabled = true;
+    t.parallel_min_groups = 2;  // force the pool even at test sizes
+    t.threads = 4;
+    t.block_groups = 17;  // odd tile inside each lane chunk
+    set_kernel_tuning(t);
+    auto got = base;
+    dispatch::apply_matrix1(got, m1, 0);
+    dispatch::apply_matrix2(got, m2, 0, n - 1);
+    dispatch::apply_ccx(got, 1, n - 1, 3);
+    EXPECT_TRUE(BitIdentical(got, want)) << "set=" << ks->name;
+  }
+}
+
+TEST_F(KernelConformance, DispatchSelectionRoutesToNamedSet) {
+  // Selecting a set is observable end to end: a statevector evolved under
+  // each set produces bit-identical amplitudes (the whole point of the
+  // contract), and the active set reports the selected name.
+  util::Xoshiro256pp rng(1212);
+  const std::size_t size = 1 << 10;
+  const auto base = random_state(size, rng);
+  const Mat2 m = random_mat2(rng);
+  select_kernel_set("scalar");
+  EXPECT_STREQ(active_kernel_set().name, "scalar");
+  auto want = base;
+  dispatch::apply_matrix1(want, m, 7);
+  for (const KernelSet* ks : available_kernel_sets()) {
+    select_kernel_set(ks->name);
+    EXPECT_STREQ(active_kernel_set().name, ks->name);
+    auto got = base;
+    dispatch::apply_matrix1(got, m, 7);
+    EXPECT_TRUE(BitIdentical(got, want)) << "set=" << ks->name;
+  }
+}
+
+}  // namespace
+}  // namespace qufi::sim
