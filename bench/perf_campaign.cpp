@@ -39,6 +39,7 @@
 #include <sys/resource.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -48,6 +49,7 @@
 #include <vector>
 
 #include "algorithms/algorithms.hpp"
+#include "core/adaptive.hpp"
 #include "core/campaign.hpp"
 #include "core/injection.hpp"
 #include "core/qvf.hpp"
@@ -65,6 +67,7 @@ bool g_use_checkpoints = true;
 bool g_use_batch = true;
 bool g_use_tree = true;
 bool g_idle_noise = false;
+bool g_adaptive = false;
 unsigned g_shards = 1;
 unsigned g_grid_div = 1;
 
@@ -75,6 +78,7 @@ std::string mode_label() {
   else if (!g_use_batch) label = "no-batch";
   else label = g_use_tree ? "tree" : "no-tree";
   if (g_idle_noise) label += "+idle";
+  if (g_adaptive) label += "+adaptive";
   return label;
 }
 
@@ -112,6 +116,41 @@ CampaignSpec paper_spec_30deg(const std::string& name, int width) {
   spec.use_tree = g_use_tree;
   spec.idle_noise = g_idle_noise;
   return spec;
+}
+
+/// What the adaptive --json path measured beyond wall time: how much of
+/// the grid the estimator actually swept and how far its per-point QVF
+/// estimates land from the exhaustive per-point grid means (the untimed
+/// reference run).
+struct AdaptiveRunStats {
+  std::uint64_t configs_evaluated = 0;
+  double est_abs_err = 0.0;
+};
+
+/// Runs the circuit's adaptive campaign (timed by the caller) plus an
+/// untimed exhaustive reference, and reports the max per-point absolute
+/// error of the estimated grid-mean QVF.
+AdaptiveRunStats adaptive_accuracy(const CampaignSpec& spec,
+                                   const CampaignResult& adaptive_result) {
+  AdaptiveRunStats stats;
+  stats.configs_evaluated = adaptive_result.meta.executions;
+  auto reference_spec = spec;
+  reference_spec.adaptive.reset();
+  const auto reference = run_single_fault_campaign(reference_spec);
+  std::vector<double> mean(reference.points.size(), 0.0);
+  std::vector<std::uint64_t> count(reference.points.size(), 0);
+  for (const auto& record : reference.records) {
+    mean[record.point_index] += record.qvf;
+    ++count[record.point_index];
+  }
+  for (std::size_t p = 0; p < mean.size(); ++p) {
+    if (count[p] == 0) continue;
+    mean[p] /= static_cast<double>(count[p]);
+    const double err =
+        std::abs(adaptive_result.point_estimates[p].est_qvf - mean[p]);
+    stats.est_abs_err = std::max(stats.est_abs_err, err);
+  }
+  return stats;
 }
 
 /// What the sharded --json path measured beyond wall time.
@@ -189,20 +228,32 @@ std::uint64_t peak_rss_kb() {
 
 void print_json_line(const char* circuit, const char* campaign,
                      double wall_ms, std::uint64_t executions,
-                     const ShardedRunStats& sharded) {
+                     const ShardedRunStats& sharded,
+                     const AdaptiveRunStats* adaptive = nullptr) {
+  std::string adaptive_fields;
+  if (adaptive != nullptr) {
+    char buffer[96];
+    std::snprintf(buffer, sizeof buffer,
+                  ",\"configs_evaluated\":%llu,\"est_abs_err\":%.6f",
+                  static_cast<unsigned long long>(adaptive->configs_evaluated),
+                  adaptive->est_abs_err);
+    adaptive_fields = buffer;
+  }
   std::printf(
       "{\"bench\":\"perf_campaign\",\"circuit\":\"%s\","
       "\"campaign\":\"%s\",\"mode\":\"%s\","
       "\"checkpoint\":%s,\"batch\":%s,\"tree\":%s,\"idle_noise\":%s,"
+      "\"adaptive\":%s,"
       "\"shards\":%u,\"grid_div\":%u,\"wall_ms\":%.3f,\"executions\":%llu,"
-      "\"merge_ms\":%.3f,\"partial_bytes\":%llu,\"peak_rss_kb\":%llu}\n",
+      "\"merge_ms\":%.3f,\"partial_bytes\":%llu,\"peak_rss_kb\":%llu%s}\n",
       circuit, campaign, mode_label().c_str(),
       g_use_checkpoints ? "true" : "false", g_use_batch ? "true" : "false",
       g_use_tree ? "true" : "false", g_idle_noise ? "true" : "false",
-      g_shards, g_grid_div, wall_ms,
+      g_adaptive ? "true" : "false", g_shards, g_grid_div, wall_ms,
       static_cast<unsigned long long>(executions), sharded.merge_ms,
       static_cast<unsigned long long>(sharded.partial_bytes),
-      static_cast<unsigned long long>(peak_rss_kb()));
+      static_cast<unsigned long long>(peak_rss_kb()),
+      adaptive_fields.c_str());
 }
 
 /// Direct timing mode for perf tracking: runs the acceptance workloads once
@@ -220,12 +271,18 @@ int run_json_summary() {
   for (const char* name : kNames) {
     auto spec = paper_spec_30deg(name, 4);
     spec.max_points = 8;
+    if (g_adaptive) spec.adaptive = AdaptivePolicy{};
     ShardedRunStats sharded;
+    AdaptiveRunStats adaptive;
     const auto start = std::chrono::steady_clock::now();
     std::uint64_t executions = 0;
+    CampaignResult adaptive_result;
     if (g_shards > 1) {
       sharded = run_sharded(spec, g_shards, /*double_fault=*/false);
       executions = sharded.executions;
+    } else if (g_adaptive) {
+      adaptive_result = run_single_fault_campaign(spec);
+      executions = adaptive_result.meta.executions;
     } else {
       executions = run_single_fault_campaign(spec).meta.executions;
     }
@@ -233,8 +290,17 @@ int run_json_summary() {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count();
-    print_json_line(name, "single", wall_ms, executions, sharded);
+    if (g_adaptive && g_shards == 1) {
+      // The exhaustive reference run is untimed — wall_ms stays the
+      // adaptive campaign's own cost.
+      adaptive = adaptive_accuracy(spec, adaptive_result);
+      print_json_line(name, "single", wall_ms, executions, sharded,
+                      &adaptive);
+    } else {
+      print_json_line(name, "single", wall_ms, executions, sharded);
+    }
   }
+  if (g_adaptive) return 0;  // adaptive estimation is single-fault only
   for (const char* name : kNames) {
     // Double faults square the per-point grid (every theta1 <= theta0,
     // phi1 <= phi0 on every coupled neighbor), so fewer points keep the
@@ -356,6 +422,12 @@ int main(int argc, char** argv) {
           "  --idle-noise     moment-scheduled idle-qubit relaxation "
           "(combines with every other mode; the moment-aware snapshot "
           "engine vs its --no-checkpoint re-simulation baseline)\n"
+          "  --adaptive       adaptive QVF estimation (default policy): the "
+          "--json single-fault lines run the estimator instead of the "
+          "exhaustive sweep and gain configs_evaluated (grid configs the "
+          "estimator actually ran) and est_abs_err (max per-point absolute "
+          "error of the estimated grid-mean QVF vs an untimed exhaustive "
+          "reference); double-fault lines are skipped (single-fault only)\n"
           "  --json           print one JSON line per (circuit, campaign) "
           "with the mode flags in effect\n"
           "  --shards N       (with --json) time the plan -> N concurrent "
@@ -377,6 +449,8 @@ int main(int argc, char** argv) {
       g_use_tree = false;
     } else if (std::strcmp(argv[i], "--idle-noise") == 0) {
       g_idle_noise = true;
+    } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+      g_adaptive = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_summary = true;
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
@@ -390,6 +464,16 @@ int main(int argc, char** argv) {
     }
   }
   argc = kept;
+  if (g_adaptive && g_shards > 1) {
+    std::fprintf(stderr,
+                 "perf_campaign: --adaptive measures the single-process "
+                 "estimator; drop --shards\n");
+    return 2;
+  }
+  if (g_adaptive && !json_summary) {
+    std::fprintf(stderr, "perf_campaign: --adaptive requires --json\n");
+    return 2;
+  }
   if (g_shards > 1 && !json_summary) {
     std::fprintf(stderr,
                  "perf_campaign: --shards requires --json (the registered "

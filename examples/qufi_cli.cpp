@@ -15,6 +15,7 @@
 #include <string>
 
 #include "algorithms/algorithms.hpp"
+#include "core/adaptive.hpp"
 #include "core/campaign.hpp"
 #include "core/report.hpp"
 #include "core/result_io.hpp"
@@ -38,6 +39,8 @@ struct CliOptions {
   bool double_faults = false;
   bool use_tree = true;
   bool idle_noise = false;
+  bool adaptive = false;
+  AdaptivePolicy adaptive_policy;
   std::string csv_path;
   std::string out_path;
 };
@@ -58,6 +61,13 @@ struct CliOptions {
       "  --double          run the double-fault campaign\n"
       "  --no-tree         disable the prefix-tree engine (flat batch baseline)\n"
       "  --idle-noise      moment-scheduled idle-qubit relaxation\n"
+      "  --adaptive        adaptive QVF estimation (single-fault only):\n"
+      "                    sweep a coarse deterministic lattice per point,\n"
+      "                    then refine only high-uncertainty grid cells\n"
+      "  --adaptive-budget F  max fraction of the grid per point (default 0.25)\n"
+      "  --adaptive-ci X   stop once the QVF CI half-width <= X (default 0.005)\n"
+      "  --adaptive-min N  per-point config floor              (default 32)\n"
+      "  --adaptive-seed N refinement-probe seed               (default 0)\n"
       "  --csv PATH        write per-record CSV\n"
       "  --out PATH        write binary columnar result (QUFIPART,\n"
       "                    docs/RESULT_FORMAT.md; qufi_export_csv converts)\n",
@@ -86,6 +96,21 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--double") options.double_faults = true;
     else if (arg == "--no-tree") options.use_tree = false;
     else if (arg == "--idle-noise") options.idle_noise = true;
+    else if (arg == "--adaptive") options.adaptive = true;
+    else if (arg == "--adaptive-budget") {
+      options.adaptive = true;
+      options.adaptive_policy.max_config_fraction = std::stod(value());
+    } else if (arg == "--adaptive-ci") {
+      options.adaptive = true;
+      options.adaptive_policy.qvf_ci_target = std::stod(value());
+    } else if (arg == "--adaptive-min") {
+      options.adaptive = true;
+      options.adaptive_policy.min_configs_per_point =
+          static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--adaptive-seed") {
+      options.adaptive = true;
+      options.adaptive_policy.seed = std::stoull(value());
+    }
     else if (arg == "--csv") options.csv_path = value();
     else if (arg == "--out") options.out_path = value();
     else usage(argv[0]);
@@ -126,6 +151,11 @@ int main(int argc, char** argv) {
     spec.max_points = options.points;
     spec.use_tree = options.use_tree;
     spec.idle_noise = options.idle_noise;
+    if (options.adaptive) {
+      require(!options.double_faults,
+              "--adaptive supports single-fault campaigns only");
+      spec.adaptive = options.adaptive_policy;
+    }
 
     const auto result = options.double_faults
                             ? run_double_fault_campaign(spec)

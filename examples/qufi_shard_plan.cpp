@@ -15,6 +15,7 @@
 #include <string>
 
 #include "algorithms/algorithms.hpp"
+#include "core/adaptive.hpp"
 #include "core/campaign.hpp"
 #include "dist/manifest.hpp"
 #include "dist/shard_plan.hpp"
@@ -38,6 +39,8 @@ struct CliOptions {
   bool double_faults = false;
   bool use_tree = true;
   bool idle_noise = false;
+  bool adaptive = false;
+  AdaptivePolicy adaptive_policy;
   std::uint32_t shards = 2;
   std::string policy = "cost";
   std::string backend_kind = "density";
@@ -60,6 +63,13 @@ struct CliOptions {
       "  --double            plan the double-fault campaign\n"
       "  --no-tree           stamp manifests with the flat (non-tree) engine\n"
       "  --idle-noise        moment-scheduled idle relaxation (density only)\n"
+      "  --adaptive          plan an adaptive-estimation campaign: workers\n"
+      "                      inherit the policy; sweep costs scale to the\n"
+      "                      per-point config budget (single-fault only)\n"
+      "  --adaptive-budget F max fraction of the grid per point (default 0.25)\n"
+      "  --adaptive-ci X     QVF CI half-width target          (default 0.005)\n"
+      "  --adaptive-min N    per-point config floor            (default 32)\n"
+      "  --adaptive-seed N   refinement-probe seed             (default 0)\n"
       "  --shards N          number of shards                  (default 2)\n"
       "  --policy NAME       cost | points | tree              (default cost)\n"
       "  --backend-kind NAME density | trajectory              (default density)\n"
@@ -89,6 +99,21 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--double") options.double_faults = true;
     else if (arg == "--no-tree") options.use_tree = false;
     else if (arg == "--idle-noise") options.idle_noise = true;
+    else if (arg == "--adaptive") options.adaptive = true;
+    else if (arg == "--adaptive-budget") {
+      options.adaptive = true;
+      options.adaptive_policy.max_config_fraction = std::stod(value());
+    } else if (arg == "--adaptive-ci") {
+      options.adaptive = true;
+      options.adaptive_policy.qvf_ci_target = std::stod(value());
+    } else if (arg == "--adaptive-min") {
+      options.adaptive = true;
+      options.adaptive_policy.min_configs_per_point =
+          static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--adaptive-seed") {
+      options.adaptive = true;
+      options.adaptive_policy.seed = std::stoull(value());
+    }
     else if (arg == "--shards")
       options.shards = static_cast<std::uint32_t>(std::stoul(value()));
     else if (arg == "--policy") options.policy = value();
@@ -131,6 +156,11 @@ int main(int argc, char** argv) {
     spec.max_points = options.points;
     spec.use_tree = options.use_tree;
     spec.idle_noise = options.idle_noise;
+    if (options.adaptive) {
+      require(!options.double_faults,
+              "--adaptive supports single-fault campaigns only");
+      spec.adaptive = options.adaptive_policy;
+    }
 
     dist::ShardPolicy policy;
     if (options.policy == "cost") policy = dist::ShardPolicy::CostWeighted;

@@ -34,6 +34,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -185,8 +186,30 @@ void write_partial_csv(const std::string& path,
   {
     util::CsvWriter csv(temp);
     write_csv_preamble(csv, prefix.meta);
-    for (const InjectionRecord& record : prefix.records) {
-      write_csv_record(csv, prefix.meta, prefix.points, record);
+    if (prefix.meta.adaptive) {
+      // Adaptive rows carry per-point estimate columns, recomputed by
+      // replaying the point's (complete, whole-point) record run.
+      for (std::size_t i = 0; i < prefix.records.size();) {
+        std::size_t j = i;
+        while (j < prefix.records.size() &&
+               prefix.records[j].point_index ==
+                   prefix.records[i].point_index) {
+          ++j;
+        }
+        const auto estimate = adaptive_point_estimate(
+            prefix.meta,
+            std::span<const InjectionRecord>(prefix.records.data() + i,
+                                             j - i));
+        for (std::size_t k = i; k < j; ++k) {
+          write_csv_record(csv, prefix.meta, prefix.points,
+                           prefix.records[k], &estimate);
+        }
+        i = j;
+      }
+    } else {
+      for (const InjectionRecord& record : prefix.records) {
+        write_csv_record(csv, prefix.meta, prefix.points, record);
+      }
     }
   }
   if (std::rename(temp.c_str(), path.c_str()) != 0) {

@@ -2,6 +2,12 @@
 # Local/CI entry point mirroring the tier-1 verify command, plus the docs
 # target: the documentation layer must exist and every bench executable the
 # README lists must be present in the build tree.
+#
+# Opt-in legs:
+#   CHECK_SANITIZE=1  rebuild the kernel-facing suites plus the adaptive
+#                     estimation suite under ASan+UBSan in build-asan/ and
+#                     run them (the leg .github/workflows/ci.yml runs on
+#                     every push).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -134,6 +140,31 @@ if ! diff -q "$smoke_dir/idle/merged.csv" "$smoke_dir/idle/single.csv" > /dev/nu
 fi
 echo "idle-noise smoke OK (moment-aware 2-shard merge == single-process)"
 
+# Adaptive-estimation campaigns ride the identical plan -> worker -> merge
+# path: the policy travels in the v4 manifest, every worker runs the
+# deterministic estimator over its points, and the merged CSV — including
+# the derived configs_evaluated / ci_halfwidth / est_qvf columns, which
+# exporters recompute by replay — must be byte-identical to the
+# single-process `qufi_cli --adaptive` run (docs/CAMPAIGNS.md "Adaptive
+# estimation" determinism contract).
+./build/qufi_shard_plan --circuit bv --width 4 --adaptive --points 4 \
+  --shards 2 --out-dir "$smoke_dir/adaptive" > /dev/null
+./build/qufi_shard_worker --manifest "$smoke_dir/adaptive/shard_000.manifest" \
+  --out "$smoke_dir/adaptive/part_000.csv" \
+  --snapshot-dir "$smoke_dir/adaptive/snaps" > /dev/null
+./build/qufi_shard_worker --manifest "$smoke_dir/adaptive/shard_001.manifest" \
+  --out "$smoke_dir/adaptive/part_001.csv" > /dev/null
+./build/qufi_shard_merge --out "$smoke_dir/adaptive/merged.csv" \
+  "$smoke_dir/adaptive/part_001.csv" "$smoke_dir/adaptive/part_000.csv" > /dev/null
+./build/qufi_cli --circuit bv --width 4 --adaptive --points 4 \
+  --csv "$smoke_dir/adaptive/single.csv" > /dev/null
+if ! diff -q "$smoke_dir/adaptive/merged.csv" "$smoke_dir/adaptive/single.csv" > /dev/null; then
+  echo "adaptive smoke FAILED: merged shard CSV differs from single-process --adaptive CSV" >&2
+  diff "$smoke_dir/adaptive/merged.csv" "$smoke_dir/adaptive/single.csv" | head -5 >&2
+  exit 1
+fi
+echo "adaptive smoke OK (estimation-policy 2-shard merge == single-process)"
+
 # Columnar result-path smoke: the same three campaigns (single, double,
 # idle-noise) through the binary QUFIPART pipeline — workers streaming
 # columnar partials, a streaming k-way merge to a merged container, and a
@@ -188,20 +219,31 @@ echo "perf json OK (merge_ms / partial_bytes / peak_rss_kb reported)"
 # its live partial has a readable header), its lease expires, the shard is
 # requeued and re-run — and both final CSVs must STILL be byte-identical to
 # the single-process qufi_cli runs (the docs/DISPATCHER.md contract).
+# The kill only lands while the victim's live partial is mid-write; on a
+# fast machine the shard can finish first, so retry the whole drain until
+# a kill is observed (the byte-identity checks below always apply to the
+# attempt that did observe one).
 disp_dir=build/dispatcher_smoke
-rm -rf "$disp_dir"
-mkdir -p "$disp_dir/out"
-./build/qufi_submit --spool "$disp_dir/spool" --name bv4 --circuit bv \
-  --width 4 --theta-step 60 --phi-step 90 --csv "$disp_dir/out/bv4.csv" \
-  > /dev/null
-./build/qufi_submit --spool "$disp_dir/spool" --name dj4 --circuit dj \
-  --width 4 --theta-step 60 --phi-step 90 --priority 5 \
-  --csv "$disp_dir/out/dj4.csv" > /dev/null
-./build/qufid --spool "$disp_dir/spool" --work-dir "$disp_dir/work" \
-  --fleet process --workers 2 --chaos-kill 1 --lease-timeout 2000 \
-  --drain > "$disp_dir/qufid.log"
-if ! grep -q '"event":"chaos_kill"' "$disp_dir/qufid.log"; then
-  echo "dispatcher smoke FAILED: qufid --chaos-kill never killed a worker" >&2
+chaos_seen=0
+for attempt in 1 2 3 4 5; do
+  rm -rf "$disp_dir"
+  mkdir -p "$disp_dir/out"
+  ./build/qufi_submit --spool "$disp_dir/spool" --name bv4 --circuit bv \
+    --width 4 --theta-step 60 --phi-step 90 --csv "$disp_dir/out/bv4.csv" \
+    > /dev/null
+  ./build/qufi_submit --spool "$disp_dir/spool" --name dj4 --circuit dj \
+    --width 4 --theta-step 60 --phi-step 90 --priority 5 \
+    --csv "$disp_dir/out/dj4.csv" > /dev/null
+  ./build/qufid --spool "$disp_dir/spool" --work-dir "$disp_dir/work" \
+    --fleet process --workers 2 --chaos-kill 1 --lease-timeout 2000 \
+    --drain > "$disp_dir/qufid.log"
+  if grep -q '"event":"chaos_kill"' "$disp_dir/qufid.log"; then
+    chaos_seen=1
+    break
+  fi
+done
+if [[ "$chaos_seen" != "1" ]]; then
+  echo "dispatcher smoke FAILED: qufid --chaos-kill never killed a worker (5 attempts)" >&2
   exit 1
 fi
 ./build/qufi_cli --circuit bv --width 4 --theta-step 60 --phi-step 90 \
@@ -253,25 +295,38 @@ if [[ -x build/perf_simulator ]]; then
     echo "kernel smoke FAILED: scalar-kernel golden CSV differs from fixture" >&2
     exit 1
   fi
+  # The golden CSV must also survive the best vectorized set this host has
+  # (--list-kernels prints best-first), not just the forced-scalar run.
+  best_kset="$(echo "$kernel_sets" | head -n 1)"
+  if [[ "$best_kset" != "scalar" ]]; then
+    QUFI_KERNELS="$best_kset" ./build/qufi_cli --circuit bv --width 2 \
+      --theta-step 90 --phi-step 180 \
+      --csv "$smoke_dir/golden_$best_kset.csv" > /dev/null
+    if ! diff -q "$smoke_dir/golden_$best_kset.csv" tests/golden/bv2q_single.csv > /dev/null; then
+      echo "kernel smoke FAILED: $best_kset-kernel golden CSV differs from fixture" >&2
+      exit 1
+    fi
+  fi
   echo "kernel smoke OK (byte-identical digests across: $(echo $kernel_sets | tr '\n' ' '))"
 else
   echo "kernel smoke SKIPPED: build/perf_simulator missing (google-benchmark not found)"
 fi
 
 # ---- opt-in sanitizer pass ---------------------------------------------------
-# CHECK_SANITIZE=1 rebuilds the kernel-facing tests under ASan+UBSan in a
-# separate build tree and runs them, so the vectorized pointer arithmetic is
-# exercised with checking on before merge.
+# CHECK_SANITIZE=1 rebuilds the kernel-facing tests plus the adaptive
+# estimation suite under ASan+UBSan in a separate build tree and runs them,
+# so the vectorized pointer arithmetic and the estimator's cell bookkeeping
+# are exercised with checking on before merge.
 if [[ "${CHECK_SANITIZE:-0}" == "1" ]]; then
   cmake -B build-asan -S . -DQUFI_SANITIZE=ON -DQUFI_BUILD_BENCHES=OFF \
     -DQUFI_BUILD_EXAMPLES=OFF
-  cmake --build build-asan -j --target test_kernels test_sim
-  for t in test_kernels test_sim; do
+  cmake --build build-asan -j --target test_kernels test_sim test_adaptive
+  for t in test_kernels test_sim test_adaptive; do
     ./build-asan/$t > /dev/null
   done
   # The vectorized sets must survive sanitized runs too, not just the default.
   for kset in $(./build/perf_simulator --list-kernels); do
     QUFI_KERNELS="$kset" ./build-asan/test_kernels > /dev/null
   done
-  echo "sanitizer pass OK (test_kernels + test_sim under ASan+UBSan)"
+  echo "sanitizer pass OK (test_kernels + test_sim + test_adaptive under ASan+UBSan)"
 fi

@@ -1,0 +1,363 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/results.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qufi {
+
+namespace {
+
+/// Coarse-lattice stride in grid-index space. Stride 3 puts the coarse
+/// pass at ~1/9 of the grid — under every sane budget — and two midpoint
+/// splits take any cell down to fully-evaluated 1x1 rectangles.
+constexpr int kLatticeStride = 3;
+
+/// Boundary-inclusive strided lattice over one axis: {0, 3, 6, ..., N-1}.
+/// Depends only on the axis size, never on the budget, so the evaluation
+/// sequence is a prefix-extension across budgets.
+std::vector<int> axis_lattice(int n) {
+  std::vector<int> idx;
+  for (int i = 0; i < n; i += kLatticeStride) idx.push_back(i);
+  if (idx.back() != n - 1) idx.push_back(n - 1);
+  return idx;
+}
+
+/// One rectangular cell of the (theta, phi) index grid; corners are always
+/// evaluated. Degenerate spans (t0 == t1) only occur on axes of size 1.
+struct Cell {
+  int t0, t1, p0, p1;
+};
+
+struct Assessment {
+  double est = 0.0;
+  double ci = 0.0;
+  std::vector<double> cell_err;
+};
+
+class PointEstimator {
+ public:
+  PointEstimator(const FaultParamGrid& grid, const AdaptivePolicy& policy,
+                 std::uint64_t campaign_seed, std::uint64_t point_index,
+                 const AdaptiveBatchEval& eval)
+      : policy_(policy),
+        campaign_seed_(campaign_seed),
+        point_index_(point_index),
+        eval_(eval),
+        num_theta_(grid.num_theta()),
+        num_phi_(grid.num_phi()),
+        total_(static_cast<std::uint64_t>(grid.num_configs())),
+        budget_(adaptive_config_budget(grid, policy)),
+        value_(total_, 0.0),
+        known_(total_, 0) {}
+
+  AdaptivePointEstimate run() {
+    if (budget_ >= total_) return run_exhaustive();
+    seed_lattice();
+    std::uint64_t round = 0;
+    for (;;) {
+      const Assessment a = assess();
+      if (a.ci <= policy_.qvf_ci_target || evaluated_ >= budget_) {
+        return {evaluated_, a.ci, a.est};
+      }
+      const std::size_t best = pick_cell(a.cell_err);
+      if (a.cell_err[best] <= 0.0) return {evaluated_, a.ci, a.est};
+      ++round;
+      refine(best, round);
+    }
+  }
+
+ private:
+  std::uint32_t rem_of(int t, int p) const {
+    return static_cast<std::uint32_t>(p * num_theta_ + t);
+  }
+
+  AdaptivePointEstimate run_exhaustive() {
+    std::vector<std::uint32_t> all(total_);
+    for (std::uint64_t r = 0; r < total_; ++r) {
+      all[r] = static_cast<std::uint32_t>(r);
+    }
+    evaluate(all);
+    double sum = 0.0;
+    for (const double v : value_) sum += v;
+    return {evaluated_, 0.0, sum / static_cast<double>(total_)};
+  }
+
+  void evaluate(std::span<const std::uint32_t> rems) {
+    if (rems.empty()) return;
+    const auto qvfs = eval_(rems);
+    require(qvfs.size() == rems.size(),
+            "adaptive: batch eval returned wrong result count");
+    for (std::size_t k = 0; k < rems.size(); ++k) {
+      value_[rems[k]] = qvfs[k];
+      known_[rems[k]] = 1;
+    }
+    evaluated_ += rems.size();
+  }
+
+  void seed_lattice() {
+    const auto lat_t = axis_lattice(num_theta_);
+    const auto lat_p = axis_lattice(num_phi_);
+    std::vector<std::uint32_t> rems;
+    rems.reserve(lat_t.size() * lat_p.size());
+    for (const int p : lat_p) {
+      for (const int t : lat_t) rems.push_back(rem_of(t, p));
+    }
+    std::sort(rems.begin(), rems.end());
+    evaluate(rems);  // lattice size <= budget by adaptive_config_budget
+    const auto spans = [](const std::vector<int>& lat) {
+      std::vector<std::pair<int, int>> out;
+      if (lat.size() == 1) {
+        out.emplace_back(lat[0], lat[0]);
+      } else {
+        for (std::size_t i = 0; i + 1 < lat.size(); ++i) {
+          out.emplace_back(lat[i], lat[i + 1]);
+        }
+      }
+      return out;
+    };
+    for (const auto& [p0, p1] : spans(lat_p)) {
+      for (const auto& [t0, t1] : spans(lat_t)) {
+        cells_.push_back({t0, t1, p0, p1});
+      }
+    }
+  }
+
+  /// Whether config (t, p) of `cell` is owned by it: cells tile the grid,
+  /// sharing edges, so ownership is half-open except at the top boundary.
+  bool owned(const Cell& c, int t, int p) const {
+    return (t < c.t1 || c.t1 == num_theta_ - 1) &&
+           (p < c.p1 || c.p1 == num_phi_ - 1);
+  }
+
+  /// Full deterministic pass: the surface estimate sums known values and
+  /// bilinear fits per owned config; each cell's CI contribution is its
+  /// unknown count x a per-config error bound (half the corner spread, or
+  /// the worst observed fit residual among its evaluated non-corner
+  /// configs, whichever is larger).
+  Assessment assess() const {
+    Assessment a;
+    a.cell_err.reserve(cells_.size());
+    double est_sum = 0.0;
+    double err_sum = 0.0;
+    for (const Cell& c : cells_) {
+      const double v00 = value_[rem_of(c.t0, c.p0)];
+      const double v10 = value_[rem_of(c.t1, c.p0)];
+      const double v01 = value_[rem_of(c.t0, c.p1)];
+      const double v11 = value_[rem_of(c.t1, c.p1)];
+      const double spread = std::max({v00, v10, v01, v11}) -
+                            std::min({v00, v10, v01, v11});
+      double resid = 0.0;
+      std::uint64_t unknown = 0;
+      for (int p = c.p0; p <= c.p1; ++p) {
+        for (int t = c.t0; t <= c.t1; ++t) {
+          if (!owned(c, t, p)) continue;
+          const double wt =
+              c.t1 > c.t0 ? static_cast<double>(t - c.t0) / (c.t1 - c.t0)
+                          : 0.0;
+          const double wp =
+              c.p1 > c.p0 ? static_cast<double>(p - c.p0) / (c.p1 - c.p0)
+                          : 0.0;
+          const double fit = v00 * (1.0 - wt) * (1.0 - wp) +
+                             v10 * wt * (1.0 - wp) +
+                             v01 * (1.0 - wt) * wp + v11 * wt * wp;
+          const std::uint32_t rem = rem_of(t, p);
+          if (known_[rem]) {
+            est_sum += value_[rem];
+            const bool corner = (t == c.t0 || t == c.t1) &&
+                                (p == c.p0 || p == c.p1);
+            if (!corner) resid = std::max(resid, std::abs(value_[rem] - fit));
+          } else {
+            est_sum += fit;
+            ++unknown;
+          }
+        }
+      }
+      const double per_config = std::max(0.5 * spread, resid);
+      const double err = static_cast<double>(unknown) * per_config;
+      err_sum += err;
+      a.cell_err.push_back(err);
+    }
+    a.est = est_sum / static_cast<double>(total_);
+    a.ci = err_sum / static_cast<double>(total_);
+    return a;
+  }
+
+  /// Highest-error cell, ties broken toward the lowest (p0, t0) — pure
+  /// value comparisons, no scheduling dependence.
+  std::size_t pick_cell(const std::vector<double>& err) const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < err.size(); ++i) {
+      if (err[i] > err[best] ||
+          (err[i] == err[best] &&
+           std::pair(cells_[i].p0, cells_[i].t0) <
+               std::pair(cells_[best].p0, cells_[best].t0))) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  /// Splits the cell at its index midpoints (evaluating the new cross
+  /// configs) plus one hash-chosen probe among its unevaluated configs, so
+  /// interpolation residuals are observable and not just bounded by corner
+  /// spread. The request list is truncated at the remaining budget — the
+  /// only budget dependence, preserving the prefix-extension contract.
+  void refine(std::size_t index, std::uint64_t round) {
+    const Cell c = cells_[index];
+    const int tm = c.t1 - c.t0 > 1 ? (c.t0 + c.t1) / 2 : -1;
+    const int pm = c.p1 - c.p0 > 1 ? (c.p0 + c.p1) / 2 : -1;
+    std::vector<std::uint32_t> request;
+    const auto want = [&](int t, int p) {
+      const std::uint32_t rem = rem_of(t, p);
+      if (!known_[rem]) request.push_back(rem);
+    };
+    if (tm >= 0) {
+      want(tm, c.p0);
+      want(tm, c.p1);
+    }
+    if (pm >= 0) {
+      want(c.t0, pm);
+      want(c.t1, pm);
+    }
+    if (tm >= 0 && pm >= 0) want(tm, pm);
+
+    std::vector<std::uint32_t> unknowns;
+    for (int p = c.p0; p <= c.p1; ++p) {
+      for (int t = c.t0; t <= c.t1; ++t) {
+        const std::uint32_t rem = rem_of(t, p);
+        if (!known_[rem] &&
+            std::find(request.begin(), request.end(), rem) == request.end()) {
+          unknowns.push_back(rem);
+        }
+      }
+    }
+    if (!unknowns.empty()) {
+      const std::uint64_t words[] = {
+          policy_.seed, campaign_seed_, point_index_, round,
+          (static_cast<std::uint64_t>(rem_of(c.t0, c.p0)) << 32) |
+              rem_of(c.t1, c.p1)};
+      request.push_back(
+          unknowns[util::hash_combine(words) % unknowns.size()]);
+    }
+    std::sort(request.begin(), request.end());
+    request.erase(std::unique(request.begin(), request.end()), request.end());
+    if (evaluated_ + request.size() > budget_) {
+      request.resize(static_cast<std::size_t>(budget_ - evaluated_));
+    }
+    evaluate(request);
+
+    if (tm < 0 && pm < 0) return;  // 1x1 cells have no interior to split off
+    std::vector<Cell> sub;
+    const int tsplits[] = {c.t0, tm >= 0 ? tm : c.t1, c.t1};
+    const int psplits[] = {c.p0, pm >= 0 ? pm : c.p1, c.p1};
+    for (int jp = 0; jp + 1 < (pm >= 0 ? 3 : 2); ++jp) {
+      for (int jt = 0; jt + 1 < (tm >= 0 ? 3 : 2); ++jt) {
+        const int pa = pm >= 0 ? psplits[jp] : c.p0;
+        const int pb = pm >= 0 ? psplits[jp + 1] : c.p1;
+        const int ta = tm >= 0 ? tsplits[jt] : c.t0;
+        const int tb = tm >= 0 ? tsplits[jt + 1] : c.t1;
+        sub.push_back({ta, tb, pa, pb});
+      }
+    }
+    cells_.erase(cells_.begin() + static_cast<std::ptrdiff_t>(index));
+    cells_.insert(cells_.begin() + static_cast<std::ptrdiff_t>(index),
+                  sub.begin(), sub.end());
+  }
+
+  const AdaptivePolicy& policy_;
+  const std::uint64_t campaign_seed_;
+  const std::uint64_t point_index_;
+  const AdaptiveBatchEval& eval_;
+  const int num_theta_;
+  const int num_phi_;
+  const std::uint64_t total_;
+  const std::uint64_t budget_;
+  std::vector<double> value_;
+  std::vector<char> known_;
+  std::vector<Cell> cells_;
+  std::uint64_t evaluated_ = 0;
+};
+
+}  // namespace
+
+void validate_adaptive_policy(const AdaptivePolicy& policy) {
+  require(policy.max_config_fraction > 0.0 &&
+              policy.max_config_fraction <= 1.0,
+          "adaptive: max_config_fraction must be in (0, 1]");
+  require(policy.qvf_ci_target >= 0.0,
+          "adaptive: qvf_ci_target must be non-negative");
+  require(policy.min_configs_per_point >= 1,
+          "adaptive: min_configs_per_point must be at least 1");
+}
+
+std::uint64_t adaptive_config_budget(const FaultParamGrid& grid,
+                                     const AdaptivePolicy& policy) {
+  const auto total = static_cast<std::uint64_t>(grid.num_configs());
+  auto budget = static_cast<std::uint64_t>(
+      std::floor(policy.max_config_fraction * static_cast<double>(total)));
+  budget = std::max(budget,
+                    static_cast<std::uint64_t>(policy.min_configs_per_point));
+  // The coarse lattice must always fit, so its corners are evaluated and
+  // every later decision has data; its size depends only on the grid.
+  budget = std::max(budget, static_cast<std::uint64_t>(
+                                axis_lattice(grid.num_theta()).size() *
+                                axis_lattice(grid.num_phi()).size()));
+  return std::min(budget, total);
+}
+
+AdaptivePointEstimate run_adaptive_point(const FaultParamGrid& grid,
+                                         const AdaptivePolicy& policy,
+                                         std::uint64_t campaign_seed,
+                                         std::uint64_t point_index,
+                                         const AdaptiveBatchEval& eval) {
+  validate_adaptive_policy(policy);
+  grid.validate();
+  return PointEstimator(grid, policy, campaign_seed, point_index, eval).run();
+}
+
+AdaptivePointEstimate replay_adaptive_point(
+    const FaultParamGrid& grid, const AdaptivePolicy& policy,
+    std::uint64_t campaign_seed, std::uint64_t point_index,
+    std::span<const InjectionRecord> records) {
+  const auto total = static_cast<std::uint64_t>(grid.num_configs());
+  const int num_theta = grid.num_theta();
+  std::vector<double> lookup(total, 0.0);
+  std::vector<char> have(total, 0);
+  for (const InjectionRecord& rec : records) {
+    require(rec.neighbor_qubit < 0,
+            "adaptive replay: double-fault record in adaptive result");
+    require(rec.theta_index >= 0 && rec.theta_index < num_theta &&
+                rec.phi_index >= 0 && rec.phi_index < grid.num_phi(),
+            "adaptive replay: record grid index out of range");
+    const auto rem = static_cast<std::uint64_t>(rec.phi_index) *
+                         static_cast<std::uint64_t>(num_theta) +
+                     static_cast<std::uint64_t>(rec.theta_index);
+    require(!have[rem], "adaptive replay: duplicate record for one config");
+    lookup[rem] = rec.qvf;
+    have[rem] = 1;
+  }
+  const AdaptiveBatchEval eval =
+      [&](std::span<const std::uint32_t> rems) -> std::vector<double> {
+    std::vector<double> out;
+    out.reserve(rems.size());
+    for (const std::uint32_t rem : rems) {
+      require(have[rem],
+              "adaptive replay: records do not cover the estimator's "
+              "sampling sequence (wrong seed/policy or corrupt result)");
+      out.push_back(lookup[rem]);
+    }
+    return out;
+  };
+  const auto estimate =
+      run_adaptive_point(grid, policy, campaign_seed, point_index, eval);
+  require(estimate.configs_evaluated == records.size(),
+          "adaptive replay: records outside the estimator's sampling "
+          "sequence (wrong seed/policy or corrupt result)");
+  return estimate;
+}
+
+}  // namespace qufi

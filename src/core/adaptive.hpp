@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/fault_model.hpp"
+
+namespace qufi {
+
+struct InjectionRecord;
+
+/// Budget/tolerance policy for adaptive QVF estimation
+/// (CampaignSpec::adaptive; docs/CAMPAIGNS.md "Adaptive estimation").
+///
+/// The estimator runs a coarse deterministic stratified pass over each
+/// injection point's (theta, phi) grid, fits a local bilinear surface per
+/// grid cell, and iteratively refines only the cell whose error-bound
+/// contribution to the point's QVF confidence interval is largest, until
+/// the interval halfwidth drops under qvf_ci_target or the config budget
+/// is spent. All sampling is driven by per-(point, round) counter-based
+/// seeds, so the evaluated config set is a pure function of
+/// (grid, policy, campaign seed, point index) — never of thread or shard
+/// scheduling.
+struct AdaptivePolicy {
+  /// Hard per-point config budget as a fraction of the full grid, in
+  /// (0, 1]. 1.0 degenerates to the exhaustive sweep (zero error).
+  double max_config_fraction = 0.25;
+  /// Stop refining a point once the estimated |QVF_est - QVF_exhaustive|
+  /// bound drops under this.
+  double qvf_ci_target = 0.005;
+  /// Budget floor: never evaluate fewer configs per point than this (the
+  /// estimator additionally floors at its coarse-lattice size, which
+  /// depends only on the grid). Grids at or under the floor are swept
+  /// exhaustively.
+  std::uint32_t min_configs_per_point = 32;
+  /// Salt for the refinement probes, mixed with the campaign seed. Two
+  /// campaigns differing only in this seed probe different configs.
+  std::uint64_t seed = 0;
+
+  friend bool operator==(const AdaptivePolicy&,
+                         const AdaptivePolicy&) = default;
+};
+
+/// Per-point output of the adaptive estimator.
+struct AdaptivePointEstimate {
+  std::uint64_t configs_evaluated = 0;  ///< grid configs actually executed
+  double ci_halfwidth = 0.0;  ///< final error bound on est_qvf
+  double est_qvf = 0.0;       ///< estimated grid-mean QVF of the point
+};
+
+/// Throws qufi::Error on out-of-range policy fields.
+void validate_adaptive_policy(const AdaptivePolicy& policy);
+
+/// The per-point config budget: max(min_configs_per_point,
+/// floor(max_config_fraction x grid configs), coarse-lattice size),
+/// clamped to the grid size. Budgets at the grid size sweep exhaustively.
+/// The planner uses this to scale per-point sweep costs
+/// (dist::plan_campaign_shards).
+std::uint64_t adaptive_config_budget(const FaultParamGrid& grid,
+                                     const AdaptivePolicy& policy);
+
+/// Evaluates a batch of grid configs for one point and returns their QVF
+/// values in input order. `rems` are flat grid indices
+/// (phi_index * num_theta + theta_index), strictly increasing within a
+/// batch, never repeated across batches of one point.
+using AdaptiveBatchEval =
+    std::function<std::vector<double>(std::span<const std::uint32_t>)>;
+
+/// Runs the adaptive estimation loop for one injection point, driving all
+/// executions through `eval`. The sequence of requested configs is
+/// deterministic given (grid, policy, campaign_seed, point_index) and the
+/// QVF values `eval` returns — with a budget that is strictly a stop
+/// condition, so raising max_config_fraction extends the sequence without
+/// changing its prefix (the budget-monotonicity contract the test harness
+/// pins).
+AdaptivePointEstimate run_adaptive_point(const FaultParamGrid& grid,
+                                         const AdaptivePolicy& policy,
+                                         std::uint64_t campaign_seed,
+                                         std::uint64_t point_index,
+                                         const AdaptiveBatchEval& eval);
+
+/// Recomputes one point's AdaptivePointEstimate from its final records by
+/// replaying the estimator's decision sequence against a rem -> qvf lookup
+/// instead of a backend. Because every decision depends only on QVF values
+/// of configs the estimator itself evaluated — all of which are in the
+/// records — the replay reproduces configs_evaluated / ci_halfwidth /
+/// est_qvf bit-identically, which is how merged shard results and CSV
+/// exporters project adaptive columns without carrying them in the
+/// container. Throws qufi::Error when the record set is not exactly the
+/// estimator's evaluated set (corruption, or records from a different
+/// seed/policy).
+AdaptivePointEstimate replay_adaptive_point(
+    const FaultParamGrid& grid, const AdaptivePolicy& policy,
+    std::uint64_t campaign_seed, std::uint64_t point_index,
+    std::span<const InjectionRecord> records);
+
+}  // namespace qufi

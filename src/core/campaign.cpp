@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "backend/density_backend.hpp"
+#include "core/adaptive.hpp"
 #include "core/snapshot_tree.hpp"
 #include "noise/noise_model.hpp"
 #include "util/error.hpp"
@@ -475,6 +476,135 @@ CampaignResult single_campaign_impl(const CampaignSpec& spec, Prepared& prep,
   return result;
 }
 
+/// Adaptive single-fault engine (CampaignSpec::adaptive): each subset point
+/// runs the adaptive estimator (core/adaptive.hpp) instead of sweeping the
+/// whole grid, executing the estimator's batches through the same
+/// snapshot + run_suffix_batch machinery as the exhaustive engine with the
+/// same global (point, phi, theta)-addressed seeds. A point's whole
+/// estimation loop lives on one pool lane and its batch compositions are a
+/// pure function of the estimator's deterministic request sequence, so
+/// records are bit-identical across reruns, thread counts and shardings —
+/// the same contract as the exhaustive engine, reached the same way.
+/// Per-point record blocks are sorted into grid-enumeration order before
+/// they are stored or emitted, keeping merged-shard output canonical.
+CampaignResult adaptive_campaign_impl(const CampaignSpec& spec, Prepared& prep,
+                                      std::vector<InjectionPoint> points,
+                                      std::span<const std::size_t> subset) {
+  const AdaptivePolicy& policy = *spec.adaptive;
+  validate_adaptive_policy(policy);
+
+  CampaignResult result;
+  result.points = std::move(points);
+  validate_subset(subset, result.points.size());
+  result.point_estimates.resize(result.points.size());
+
+  const int num_theta = spec.grid.num_theta();
+  const bool checkpointed =
+      spec.use_checkpoints && prep.exec->supports_checkpointing();
+  std::vector<std::vector<InjectionRecord>> blocks(subset.size());
+  std::atomic<std::uint64_t> executions{0};
+
+  util::ThreadPool pool(static_cast<std::size_t>(
+      spec.threads > 0 ? spec.threads : 0));
+  pool.parallel_for(subset.size(), [&](std::size_t s) {
+    const std::size_t global_point = subset[s];
+    const InjectionPoint& point = result.points[global_point];
+    backend::PrefixSnapshotPtr snapshot;
+    if (checkpointed) {
+      snapshot = prep.exec->prepare_prefix(prep.transpiled.circuit,
+                                           point.split_index(), spec.shots,
+                                           spec.seed);
+    }
+    auto& block = blocks[s];
+
+    const auto make_config = [&](std::uint32_t rem) {
+      const int phi_index = static_cast<int>(rem / num_theta);
+      const int theta_index = static_cast<int>(rem % num_theta);
+      const PhaseShiftFault fault{spec.grid.theta_at(theta_index),
+                                  spec.grid.phi_at(phi_index)};
+      backend::SuffixConfig config;
+      config.injected = {fault.as_instruction(point.qubit)};
+      config.seed = config_seed(spec, global_point,
+                                static_cast<std::uint64_t>(phi_index),
+                                static_cast<std::uint64_t>(theta_index), 0);
+      return config;
+    };
+    const auto score = [&](std::uint32_t rem, std::span<const double> probs) {
+      InjectionRecord rec;
+      rec.point_index = static_cast<std::uint32_t>(global_point);
+      rec.theta_index = static_cast<int>(rem % num_theta);
+      rec.phi_index = static_cast<int>(rem / num_theta);
+      score_record(rec, probs, prep.golden);
+      block.push_back(rec);
+      return rec.qvf;
+    };
+    const AdaptiveBatchEval eval =
+        [&](std::span<const std::uint32_t> rems) -> std::vector<double> {
+      std::vector<double> qvfs;
+      qvfs.reserve(rems.size());
+      if (checkpointed && spec.use_batch) {
+        std::vector<backend::SuffixConfig> configs;
+        configs.reserve(rems.size());
+        for (const std::uint32_t rem : rems) {
+          configs.push_back(make_config(rem));
+        }
+        const auto runs =
+            prep.exec->run_suffix_batch(*snapshot, configs, spec.shots);
+        require(runs.size() == configs.size(),
+                "campaign: run_suffix_batch returned wrong result count");
+        for (std::size_t k = 0; k < runs.size(); ++k) {
+          qvfs.push_back(score(rems[k], runs[k].probabilities));
+        }
+      } else {
+        for (const std::uint32_t rem : rems) {
+          const backend::SuffixConfig config = make_config(rem);
+          backend::ExecutionResult run;
+          if (checkpointed) {
+            run = prep.exec->run_suffix(*snapshot, config.injected,
+                                        spec.shots, config.seed);
+          } else {
+            run = prep.exec->run(
+                backend::splice_circuit(prep.transpiled.circuit,
+                                        point.split_index(), config.injected),
+                spec.shots, config.seed);
+          }
+          qvfs.push_back(score(rem, run.probabilities));
+        }
+      }
+      return qvfs;
+    };
+
+    const AdaptivePointEstimate estimate = run_adaptive_point(
+        spec.grid, policy, spec.seed, global_point, eval);
+    result.point_estimates[global_point] = estimate;
+    executions.fetch_add(estimate.configs_evaluated,
+                         std::memory_order_relaxed);
+    std::sort(block.begin(), block.end(),
+              [](const InjectionRecord& a, const InjectionRecord& b) {
+                return std::pair(a.phi_index, a.theta_index) <
+                       std::pair(b.phi_index, b.theta_index);
+              });
+    if (spec.record_sink) {
+      spec.record_sink->emit(block);
+      block = {};
+    }
+  });
+
+  if (!spec.record_sink) {
+    for (auto& block : blocks) {
+      result.records.insert(result.records.end(), block.begin(), block.end());
+    }
+  }
+  result.meta = base_metadata(spec, prep);
+  result.meta.double_fault = false;
+  result.meta.adaptive = true;
+  result.meta.adaptive_policy = policy;
+  result.meta.executions = executions.load(std::memory_order_relaxed);
+  result.meta.injections =
+      campaign_injections(result.meta.executions, spec.shots);
+  return result;
+}
+
 }  // namespace
 
 CampaignResult run_single_fault_campaign(const CampaignSpec& spec) {
@@ -484,6 +614,9 @@ CampaignResult run_single_fault_campaign(const CampaignSpec& spec) {
       spec.max_points);
   require(!points.empty(), "campaign: no injection points");
   const auto subset = identity_subset(points.size());
+  if (spec.adaptive) {
+    return adaptive_campaign_impl(spec, prep, std::move(points), subset);
+  }
   return single_campaign_impl(spec, prep, std::move(points), subset);
 }
 
@@ -494,6 +627,10 @@ CampaignResult run_single_fault_campaign_subset(
       enumerate_injection_points(prep.transpiled, spec.strategy),
       spec.max_points);
   require(!points.empty(), "campaign: no injection points");
+  if (spec.adaptive) {
+    return adaptive_campaign_impl(spec, prep, std::move(points),
+                                  point_indices);
+  }
   return single_campaign_impl(spec, prep, std::move(points), point_indices);
 }
 
@@ -761,6 +898,9 @@ CampaignResult double_campaign_impl(const CampaignSpec& spec, Prepared& prep,
 }  // namespace
 
 CampaignResult run_double_fault_campaign(const CampaignSpec& spec) {
+  require(!spec.adaptive,
+          "campaign: adaptive estimation supports single-fault campaigns "
+          "only");
   Prepared prep = prepare(spec);
   auto points = stride_points(
       enumerate_injection_points(prep.transpiled, spec.strategy),
@@ -773,6 +913,9 @@ CampaignResult run_double_fault_campaign(const CampaignSpec& spec) {
 
 CampaignResult run_double_fault_campaign_subset(
     const CampaignSpec& spec, std::span<const std::size_t> point_indices) {
+  require(!spec.adaptive,
+          "campaign: adaptive estimation supports single-fault campaigns "
+          "only");
   Prepared prep = prepare(spec);
   auto points = stride_points(
       enumerate_injection_points(prep.transpiled, spec.strategy),
@@ -784,6 +927,9 @@ CampaignResult run_double_fault_campaign_subset(
 
 std::vector<NamedFaultQvf> run_named_fault_campaign(
     const CampaignSpec& spec, std::span<const NamedFault> faults) {
+  require(!spec.adaptive,
+          "campaign: adaptive estimation supports single-fault campaigns "
+          "only");
   Prepared prep = prepare(spec);
   const auto points = stride_points(
       enumerate_injection_points(prep.transpiled, spec.strategy),

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -49,6 +50,21 @@ struct CampaignSpec {
   /// Keep only every k-th injection point so the total stays <= max_points
   /// (0 = keep all). Deterministic striding, used by quick benches.
   std::size_t max_points = 0;
+
+  /// Adaptive estimation mode (docs/CAMPAIGNS.md "Adaptive estimation"):
+  /// instead of sweeping every (theta, phi) config per injection point, run
+  /// the adaptive estimator (core/adaptive.hpp), which evaluates a coarse
+  /// stratified lattice and refines only high-uncertainty cells until the
+  /// per-point QVF confidence interval or config budget is reached. Records
+  /// then cover only the evaluated subset (sorted in enumeration order per
+  /// point), CampaignResult gains per-point estimates, and CSVs grow
+  /// configs_evaluated/ci_halfwidth/est_qvf columns. The evaluated config
+  /// set is deterministic-by-seed — a pure function of (grid, policy,
+  /// spec.seed, global point index) — so adaptive runs are bit-identical
+  /// across reruns, thread counts, and shard splits, exactly like
+  /// exhaustive ones. Single-fault campaigns only (double-fault and named
+  /// campaigns reject it).
+  std::optional<AdaptivePolicy> adaptive;
 
   int threads = 0;  ///< worker threads; 0 = hardware concurrency
 

@@ -49,6 +49,13 @@ void encode_header(util::ByteWriter& w, const ResultFileHeader& h) {
   w.u8(h.meta.double_fault ? 1 : 0);
   w.u8(h.meta.idle_noise ? 1 : 0);
   w.f64(h.meta.faultfree_qvf);
+  // v2 adaptive fields — fixed-size, so set_meta()'s byte-size-identical
+  // header rewrite keeps working whatever the flag values.
+  w.u8(h.meta.adaptive ? 1 : 0);
+  w.f64(h.meta.adaptive_policy.max_config_fraction);
+  w.f64(h.meta.adaptive_policy.qvf_ci_target);
+  w.u32(h.meta.adaptive_policy.min_configs_per_point);
+  w.u64(h.meta.adaptive_policy.seed);
   w.u64(h.points.size());
   for (const auto& p : h.points) {
     w.u64(static_cast<std::uint64_t>(p.instr_index));
@@ -58,7 +65,7 @@ void encode_header(util::ByteWriter& w, const ResultFileHeader& h) {
   }
 }
 
-ResultFileHeader decode_header(util::ByteReader& r) {
+ResultFileHeader decode_header(util::ByteReader& r, std::uint32_t version) {
   ResultFileHeader h;
   h.shard_index = r.u32();
   h.shard_count = r.u32();
@@ -76,6 +83,13 @@ ResultFileHeader decode_header(util::ByteReader& r) {
   h.meta.double_fault = r.u8() != 0;
   h.meta.idle_noise = r.u8() != 0;
   h.meta.faultfree_qvf = r.f64();
+  if (version >= 2) {
+    h.meta.adaptive = r.u8() != 0;
+    h.meta.adaptive_policy.max_config_fraction = r.f64();
+    h.meta.adaptive_policy.qvf_ci_target = r.f64();
+    h.meta.adaptive_policy.min_configs_per_point = r.u32();
+    h.meta.adaptive_policy.seed = r.u64();
+  }
   const std::uint64_t num_points = r.u64();
   h.points.reserve(num_points);
   for (std::uint64_t i = 0; i < num_points; ++i) {
@@ -301,10 +315,11 @@ ResultReader::ResultReader(std::string path, ReadMode mode)
                                        "magic");
   require(std::memcmp(magic.data(), kResultMagic, sizeof(kResultMagic)) == 0,
           "result file " + path_ + ": bad magic (not a QUFIPART file)");
+  std::uint32_t version = 0;
   {
     const std::string bytes = read_exact(in_, 4, path_, "version");
     util::ByteReader r(bytes);
-    const std::uint32_t version = r.u32();
+    version = r.u32();
     require(version >= 1 && version <= kResultVersion,
             "result file " + path_ + ": unsupported container version " +
                 std::to_string(version));
@@ -320,7 +335,7 @@ ResultReader::ResultReader(std::string path, ReadMode mode)
           "result file " + path_ + ": header checksum mismatch");
   {
     util::ByteReader r(header_bytes);
-    header_ = decode_header(r);
+    header_ = decode_header(r, version);
     require(r.at_end(),
             "result file " + path_ + ": header has trailing bytes");
   }

@@ -13,10 +13,14 @@ namespace qufi::resio {
 
 /// 8-byte file magic of the binary columnar result/partial container — the
 /// result-layer sibling of QUFISNAP (docs/RESULT_FORMAT.md). The version
-/// bumps on any layout change; readers reject newer versions.
+/// bumps on any layout change; readers reject newer versions but accept all
+/// older ones (v1 files simply carry no adaptive metadata — adaptive
+/// defaults off).
 inline constexpr char kResultMagic[8] = {'Q', 'U', 'F', 'I',
                                          'P', 'A', 'R', 'T'};
-inline constexpr std::uint32_t kResultVersion = 1;
+/// v2: fixed-size adaptive-estimation fields after faultfree_qvf (flag,
+/// max_config_fraction, qvf_ci_target, min_configs_per_point, seed).
+inline constexpr std::uint32_t kResultVersion = 2;
 
 /// Default block-cut target: ResultWriter closes a block at the first point
 /// boundary at or past this many buffered records, so merge memory is

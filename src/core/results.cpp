@@ -155,33 +155,80 @@ CampaignResult::ImpactBreakdown CampaignResult::impact_breakdown() const {
 }
 
 void write_csv_preamble(util::CsvWriter& csv, const CampaignMetadata& meta) {
-  csv.write_row({"# circuit", meta.circuit_name, "backend", meta.backend_name,
-                 "shots", util::CsvWriter::field(meta.shots), "seed",
-                 util::CsvWriter::field(meta.seed), "faultfree_qvf",
-                 util::CsvWriter::field(meta.faultfree_qvf)});
-  csv.write_row({"point_index", "instr_index", "physical_qubit",
-                 "logical_qubit", "moment", "theta", "phi", "neighbor_qubit",
-                 "theta1", "phi1", "qvf", "pa", "pb"});
+  std::vector<std::string> head = {
+      "# circuit", meta.circuit_name, "backend", meta.backend_name,
+      "shots", util::CsvWriter::field(meta.shots), "seed",
+      util::CsvWriter::field(meta.seed), "faultfree_qvf",
+      util::CsvWriter::field(meta.faultfree_qvf)};
+  if (meta.adaptive) {
+    const AdaptivePolicy& ap = meta.adaptive_policy;
+    for (const auto& f : {std::string("adaptive_fraction"),
+                          util::CsvWriter::field(ap.max_config_fraction),
+                          std::string("adaptive_ci_target"),
+                          util::CsvWriter::field(ap.qvf_ci_target),
+                          std::string("adaptive_min_configs"),
+                          util::CsvWriter::field(ap.min_configs_per_point),
+                          std::string("adaptive_seed"),
+                          util::CsvWriter::field(ap.seed)}) {
+      head.push_back(f);
+    }
+  }
+  csv.write_row(head);
+  std::vector<std::string> columns = {
+      "point_index", "instr_index", "physical_qubit", "logical_qubit",
+      "moment",      "theta",       "phi",            "neighbor_qubit",
+      "theta1",      "phi1",        "qvf",            "pa",
+      "pb"};
+  if (meta.adaptive) {
+    for (const char* c : {"configs_evaluated", "ci_halfwidth", "est_qvf"}) {
+      columns.emplace_back(c);
+    }
+  }
+  csv.write_row(columns);
 }
 
 void write_csv_record(util::CsvWriter& csv, const CampaignMetadata& meta,
                       std::span<const InjectionPoint> points,
-                      const InjectionRecord& r) {
+                      const InjectionRecord& r,
+                      const AdaptivePointEstimate* estimate) {
   const auto& p = points[r.point_index];
   const bool dbl = r.theta1_index >= 0;
-  csv.write_row(
-      {util::CsvWriter::field(r.point_index),
-       util::CsvWriter::field(p.instr_index),
-       util::CsvWriter::field(p.qubit),
-       util::CsvWriter::field(p.logical_qubit),
-       util::CsvWriter::field(p.moment),
-       util::CsvWriter::field(meta.grid.theta_at(r.theta_index)),
-       util::CsvWriter::field(meta.grid.phi_at(r.phi_index)),
-       util::CsvWriter::field(r.neighbor_qubit),
-       dbl ? util::CsvWriter::field(meta.grid.theta_at(r.theta1_index)) : "",
-       dbl ? util::CsvWriter::field(meta.grid.phi_at(r.phi1_index)) : "",
-       util::CsvWriter::field(r.qvf), util::CsvWriter::field(r.pa),
-       util::CsvWriter::field(r.pb)});
+  std::vector<std::string> row = {
+      util::CsvWriter::field(r.point_index),
+      util::CsvWriter::field(p.instr_index),
+      util::CsvWriter::field(p.qubit),
+      util::CsvWriter::field(p.logical_qubit),
+      util::CsvWriter::field(p.moment),
+      util::CsvWriter::field(meta.grid.theta_at(r.theta_index)),
+      util::CsvWriter::field(meta.grid.phi_at(r.phi_index)),
+      util::CsvWriter::field(r.neighbor_qubit),
+      dbl ? util::CsvWriter::field(meta.grid.theta_at(r.theta1_index)) : "",
+      dbl ? util::CsvWriter::field(meta.grid.phi_at(r.phi1_index)) : "",
+      util::CsvWriter::field(r.qvf), util::CsvWriter::field(r.pa),
+      util::CsvWriter::field(r.pb)};
+  if (meta.adaptive) {
+    require(estimate != nullptr,
+            "write_csv_record: adaptive campaign rows need the point's "
+            "estimate (see adaptive_point_estimate)");
+    row.push_back(util::CsvWriter::field(estimate->configs_evaluated));
+    row.push_back(util::CsvWriter::field(estimate->ci_halfwidth));
+    row.push_back(util::CsvWriter::field(estimate->est_qvf));
+  }
+  csv.write_row(row);
+}
+
+AdaptivePointEstimate adaptive_point_estimate(
+    const CampaignMetadata& meta, std::span<const InjectionRecord> records) {
+  require(meta.adaptive,
+          "adaptive_point_estimate: campaign is not adaptive");
+  require(!records.empty(),
+          "adaptive_point_estimate: empty record block");
+  for (const auto& r : records) {
+    require(r.point_index == records.front().point_index,
+            "adaptive_point_estimate: record block spans multiple points");
+  }
+  return replay_adaptive_point(meta.grid, meta.adaptive_policy, meta.seed,
+                               records.front().point_index, records);
 }
 
 void CampaignResult::write_csv(const std::string& path) const {
@@ -204,8 +251,29 @@ void CampaignResult::write_csv(const std::string& path) const {
                      [&](std::size_t a, std::size_t b) {
                        return records[a].point_index < records[b].point_index;
                      });
-    for (const std::size_t i : order) {
-      write_csv_record(csv, meta, points, records[i]);
+    if (!meta.adaptive) {
+      for (const std::size_t i : order) {
+        write_csv_record(csv, meta, points, records[i]);
+      }
+    } else {
+      // Adaptive columns are per-point replay projections: gather each
+      // point's (now contiguous) block, recompute its estimate from the
+      // recorded QVFs, and stamp it on every row of the block.
+      std::vector<InjectionRecord> block;
+      for (std::size_t begin = 0; begin < order.size();) {
+        std::size_t end = begin;
+        block.clear();
+        while (end < order.size() &&
+               records[order[end]].point_index ==
+                   records[order[begin]].point_index) {
+          block.push_back(records[order[end++]]);
+        }
+        const AdaptivePointEstimate est = adaptive_point_estimate(meta, block);
+        for (const auto& r : block) {
+          write_csv_record(csv, meta, points, r, &est);
+        }
+        begin = end;
+      }
     }
   }
   if (std::rename(temp.c_str(), path.c_str()) != 0) {

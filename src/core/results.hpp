@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/adaptive.hpp"
 #include "core/fault_model.hpp"
 #include "core/injection.hpp"
 #include "util/stats.hpp"
@@ -75,6 +76,13 @@ struct CampaignMetadata {
   /// CampaignSpec::idle_noise). Carried through partial-result files so the
   /// shard merger can reject mixing idle-noise and plain shards.
   bool idle_noise = false;
+  /// Campaign ran in adaptive estimation mode (CampaignSpec::adaptive):
+  /// records cover only the estimator's evaluated subset of each point's
+  /// grid. Carried through partial-result files and manifests so the shard
+  /// merger can reject mixing adaptive and exhaustive shards (or shards
+  /// with differing policies, which sample different config sets).
+  bool adaptive = false;
+  AdaptivePolicy adaptive_policy;  ///< meaningful only when `adaptive`
   double faultfree_qvf = 0.0;  ///< QVF of the noisy, fault-free execution
   std::uint64_t executions = 0;  ///< faulty circuits executed
   std::uint64_t injections = 0;  ///< paper accounting: executions x shots
@@ -87,6 +95,12 @@ class CampaignResult {
   CampaignMetadata meta;
   std::vector<InjectionPoint> points;
   std::vector<InjectionRecord> records;
+  /// Adaptive campaigns only: per-point estimator outputs, parallel to
+  /// `points` (empty otherwise). Derived data — every exporter recomputes
+  /// these from `records` via replay_adaptive_point rather than trusting
+  /// this vector, so merged-shard and single-process projections cannot
+  /// diverge; it exists for in-process consumers (CLIs, tests).
+  std::vector<AdaptivePointEstimate> point_estimates;
 
   /// Mean QVF per primary (theta, phi) cell over all points (Fig. 5; for
   /// double campaigns this averages over all secondary combos too, Fig 8b).
@@ -135,10 +149,22 @@ class CampaignResult {
 /// byte-identical by construction.
 void write_csv_preamble(util::CsvWriter& csv, const CampaignMetadata& meta);
 
-/// One record row of the campaign CSV (see write_csv_preamble).
+/// One record row of the campaign CSV (see write_csv_preamble). Adaptive
+/// campaigns append per-point estimator columns, so `estimate` must be
+/// non-null when meta.adaptive (use adaptive_point_estimate on the point's
+/// complete record block); it is ignored otherwise.
 void write_csv_record(util::CsvWriter& csv, const CampaignMetadata& meta,
                       std::span<const InjectionPoint> points,
-                      const InjectionRecord& record);
+                      const InjectionRecord& record,
+                      const AdaptivePointEstimate* estimate = nullptr);
+
+/// Recomputes one point's adaptive estimate from its complete record block
+/// (all records share one point_index) by replaying the estimator against
+/// the recorded QVF values — the single projection path every CSV exporter
+/// shares. Throws qufi::Error when the block does not exactly match the
+/// estimator's evaluated config set for that point.
+AdaptivePointEstimate adaptive_point_estimate(
+    const CampaignMetadata& meta, std::span<const InjectionRecord> records);
 
 /// Paper-style injection accounting: executions x shots ("we report the
 /// finding of more than 285,249,536 injections").

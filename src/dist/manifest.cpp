@@ -44,9 +44,9 @@ void save_manifest(const ShardManifest& manifest, const std::string& path) {
   require(out.is_open(), "manifest: cannot open for writing: " + path);
 
   // Written files always use the current format (use_tree is a v2 key,
-  // idle_noise a v3 key), whatever version the in-memory manifest was
-  // loaded from.
-  out << "qufi-shard-manifest " << 3 << "\n";
+  // idle_noise a v3 key, adaptive a v4 key), whatever version the in-memory
+  // manifest was loaded from.
+  out << "qufi-shard-manifest " << 4 << "\n";
   out << "shard " << manifest.shard_index << " " << manifest.shard_count
       << "\n";
   out << "device " << manifest.device << "\n";
@@ -66,6 +66,12 @@ void save_manifest(const ShardManifest& manifest, const std::string& path) {
   out << "use_batch " << (manifest.use_batch ? 1 : 0) << "\n";
   out << "use_tree " << (manifest.use_tree ? 1 : 0) << "\n";
   out << "idle_noise " << (manifest.idle_noise ? 1 : 0) << "\n";
+  if (manifest.adaptive) {
+    out << "adaptive " << g17(manifest.adaptive->max_config_fraction) << " "
+        << g17(manifest.adaptive->qvf_ci_target) << " "
+        << manifest.adaptive->min_configs_per_point << " "
+        << manifest.adaptive->seed << "\n";
+  }
   for (const auto& expected : manifest.expected_outputs) {
     out << "expected " << expected << "\n";
   }
@@ -117,7 +123,7 @@ ShardManifest load_manifest(const std::string& path) {
       if (key != "qufi-shard-manifest") fail("missing manifest header");
       std::uint32_t version = 0;
       if (!(ls >> version)) fail("bad header");
-      if (version < 1 || version > 3) fail("unsupported manifest version");
+      if (version < 1 || version > 4) fail("unsupported manifest version");
       m.format_version = version;
       saw_header = true;
       continue;
@@ -170,6 +176,13 @@ ShardManifest load_manifest(const std::string& path) {
       int v = 0;
       if (!(ls >> v)) fail("bad idle_noise line");
       m.idle_noise = v != 0;
+    } else if (key == "adaptive") {
+      AdaptivePolicy policy;
+      if (!(ls >> policy.max_config_fraction >> policy.qvf_ci_target >>
+            policy.min_configs_per_point >> policy.seed)) {
+        fail("bad adaptive line");
+      }
+      m.adaptive = policy;
     } else if (key == "expected") {
       std::string bits;
       if (!(ls >> bits)) fail("bad expected line");
@@ -248,6 +261,7 @@ CampaignSpec manifest_to_spec(const ShardManifest& manifest) {
   spec.use_batch = manifest.use_batch;
   spec.use_tree = manifest.use_tree;
   spec.idle_noise = manifest.idle_noise;
+  spec.adaptive = manifest.adaptive;
   return spec;
 }
 
@@ -256,13 +270,22 @@ std::vector<ShardManifest> make_manifests(const CampaignSpec& spec,
                                           WorkerBackendKind kind,
                                           const ShardPlan& plan,
                                           bool double_fault) {
+  require(!(double_fault && spec.adaptive),
+          "make_manifests: adaptive estimation supports single-fault "
+          "campaigns only");
   // The planner computes the full-campaign record total once (for double
   // campaigns this costs a transpile — here, in the coordinator, instead
-  // of once per worker) and stamps it into every manifest.
+  // of once per worker) and stamps it into every manifest. Adaptive
+  // campaigns stamp 0 ("unknown"): how many configs each point evaluates is
+  // only decided while the estimator runs, so the merger's completeness
+  // check degrades to per-point coverage instead of a record total.
   const std::uint64_t expected_records =
-      double_fault ? double_campaign_executions(
-                         campaign_point_neighbor_pairs(spec).size(), spec.grid)
-                   : single_campaign_executions(plan.total_points, spec.grid);
+      spec.adaptive
+          ? 0
+          : (double_fault
+                 ? double_campaign_executions(
+                       campaign_point_neighbor_pairs(spec).size(), spec.grid)
+                 : single_campaign_executions(plan.total_points, spec.grid));
   std::vector<ShardManifest> manifests;
   manifests.reserve(plan.shards.size());
   for (const ShardAssignment& shard : plan.shards) {
@@ -285,6 +308,7 @@ std::vector<ShardManifest> make_manifests(const CampaignSpec& spec,
     m.use_batch = spec.use_batch;
     m.use_tree = spec.use_tree;
     m.idle_noise = spec.idle_noise;
+    m.adaptive = spec.adaptive;
     m.point_indices = shard.point_indices;
     m.expected_records = expected_records;
     manifests.push_back(std::move(m));

@@ -27,9 +27,10 @@ enum class WorkerBackendKind {
 /// the end); the format is versioned and documented in docs/SHARDING.md.
 struct ShardManifest {
   /// v1: initial format. v2: adds the optional `use_tree` engine knob.
-  /// v3: adds the optional `idle_noise` execution-mode knob. Absent keys
-  /// default, so v1/v2 files load unchanged.
-  std::uint32_t format_version = 3;
+  /// v3: adds the optional `idle_noise` execution-mode knob. v4: adds the
+  /// optional `adaptive` estimation-policy key. Absent keys default (so
+  /// v1-v3 files load unchanged, with adaptive off).
+  std::uint32_t format_version = 4;
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
 
@@ -56,6 +57,10 @@ struct ShardManifest {
   /// Moment-scheduled idle-qubit relaxation (density backend only; the
   /// trajectory family has no idle mode and run_shard rejects the combo).
   bool idle_noise = false;
+  /// Adaptive estimation policy (CampaignSpec::adaptive). Every worker of
+  /// a campaign must carry the identical policy — the merger rejects
+  /// mixing adaptive and exhaustive shards or differing policies.
+  std::optional<AdaptivePolicy> adaptive;
 
   /// This shard's global injection-point indices (strictly increasing).
   std::vector<std::size_t> point_indices;

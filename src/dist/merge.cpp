@@ -41,7 +41,53 @@ bool meta_matches_prefix(const CampaignMetadata& a, const CampaignMetadata& b) {
          a.grid.theta_max_deg == b.grid.theta_max_deg &&
          a.grid.phi_max_deg == b.grid.phi_max_deg && a.shots == b.shots &&
          a.seed == b.seed && a.double_fault == b.double_fault &&
-         a.idle_noise == b.idle_noise;
+         a.idle_noise == b.idle_noise && a.adaptive == b.adaptive &&
+         (!a.adaptive || a.adaptive_policy == b.adaptive_policy);
+}
+
+/// The adaptive analog of the idle-noise mode check: an adaptive shard in
+/// an exhaustive campaign (or a different policy) evaluates a different
+/// config set per point, so the mixup gets its own diagnosis before the
+/// generic metadata comparison.
+void require_adaptive_compatible(const CampaignMetadata& a,
+                                 const CampaignMetadata& b) {
+  require(a.adaptive == b.adaptive,
+          "merge: cannot mix adaptive and exhaustive shards (adaptive "
+          "estimation changes which configs each point evaluates; re-run "
+          "the shard with the campaign's mode)");
+  require(!a.adaptive || a.adaptive_policy == b.adaptive_policy,
+          "merge: shards disagree on the adaptive policy (budget, CI "
+          "target, floor and seed must match for the evaluated config sets "
+          "to line up; re-run the shard with the campaign's policy)");
+}
+
+/// Adaptive completeness: with no pre-computable record total (manifests
+/// stamp expected_records = 0), a merged adaptive campaign is complete when
+/// every point of the table contributed records — the estimator always
+/// evaluates at least its coarse lattice per point.
+void require_adaptive_coverage(const MissingPointReport& missing) {
+  require(missing.count == 0,
+          "merge: incomplete adaptive campaign (missing shard output?)" +
+              missing.describe());
+}
+
+/// Fills CampaignResult::point_estimates for a merged adaptive result by
+/// replaying each point's (contiguous, ascending) record run.
+void project_point_estimates(CampaignResult& merged) {
+  if (!merged.meta.adaptive) return;
+  merged.point_estimates.resize(merged.points.size());
+  std::span<const InjectionRecord> records = merged.records;
+  for (std::size_t begin = 0; begin < records.size();) {
+    std::size_t end = begin;
+    while (end < records.size() &&
+           records[end].point_index == records[begin].point_index) {
+      ++end;
+    }
+    merged.point_estimates[records[begin].point_index] =
+        adaptive_point_estimate(merged.meta,
+                                records.subspan(begin, end - begin));
+    begin = end;
+  }
 }
 
 bool meta_matches(const CampaignMetadata& a, const CampaignMetadata& b) {
@@ -98,6 +144,7 @@ CampaignResult merge_views(std::span<const ShardView> shards,
             "merge: cannot mix idle-noise and non-idle shards (the "
             "idle_noise execution mode changes every record; re-run the "
             "shard with the campaign's mode)");
+    require_adaptive_compatible(*shards[0].meta, *shard.meta);
     require(meta_matches(*shards[0].meta, *shard.meta),
             "merge: shard metadata mismatch (different campaigns?)");
     require(points_match(*shards[0].points, *shard.points),
@@ -160,6 +207,11 @@ CampaignResult merge_views(std::span<const ShardView> shards,
     require(merged.records.size() == options.expected_records,
             "merge: incomplete campaign (missing shard output?)");
   }
+  if (!options.allow_incomplete && merged.meta.adaptive) {
+    require_adaptive_coverage(
+        find_missing_points(num_points, merged.records));
+  }
+  project_point_estimates(merged);
   return merged;
 }
 
@@ -317,6 +369,7 @@ StreamingMergeStats run_file_merge(std::span<const std::string> inputs,
             "merge: cannot mix idle-noise and non-idle shards (the "
             "idle_noise execution mode changes every record; re-run the "
             "shard with the campaign's mode)");
+    require_adaptive_compatible(first.meta, h.meta);
     require(meta_matches(first.meta, h.meta),
             "merge: shard metadata mismatch (different campaigns?)");
     require(points_match(first.points, h.points),
@@ -374,6 +427,9 @@ StreamingMergeStats run_file_merge(std::span<const std::string> inputs,
                 std::to_string(expected) +
                 " expected records (missing shard output?)" +
                 stats.missing.describe());
+  }
+  if (!options.allow_incomplete && first.meta.adaptive) {
+    require_adaptive_coverage(stats.missing);
   }
   for (const std::string& path : inputs) {
     std::error_code ec;
@@ -436,6 +492,18 @@ StreamingMergeStats merge_result_files_to_csv(
             write_csv_preamble(*csv, streams[0].reader->header().meta);
           }
           const auto& header = streams[0].reader->header();
+          if (header.meta.adaptive) {
+            // Each emitted run is one whole point: replay its estimate
+            // once and stamp it on every row — the same projection
+            // CampaignResult::write_csv applies, so merged and
+            // single-process CSVs stay byte-identical.
+            const AdaptivePointEstimate est =
+                adaptive_point_estimate(header.meta, run);
+            for (const InjectionRecord& r : run) {
+              write_csv_record(*csv, header.meta, header.points, r, &est);
+            }
+            return;
+          }
           for (const InjectionRecord& r : run) {
             write_csv_record(*csv, header.meta, header.points, r);
           }
@@ -513,6 +581,7 @@ PrefixMergeResult merge_result_prefix(
             "merge: cannot mix idle-noise and non-idle shards (the "
             "idle_noise execution mode changes every record; re-run the "
             "shard with the campaign's mode)");
+    require_adaptive_compatible(first.meta, h.meta);
     require(meta_matches_prefix(first.meta, h.meta),
             "merge: shard metadata mismatch (different campaigns?)");
     require(points_match(first.points, h.points),

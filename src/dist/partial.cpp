@@ -41,9 +41,10 @@ int to_int(const std::string& s) { return std::stoi(s); }
 void write_partial(const std::string& path, const PartialResult& partial) {
   util::CsvWriter csv(path);
   const CampaignMetadata& m = partial.meta;
-  // Always written as the current format (the idle_noise row is a v2 row),
-  // whatever version the in-memory partial was loaded from.
-  csv.write_row({"qufi_partial", "2"});
+  // Always written as the current format (the idle_noise row is a v2 row,
+  // the adaptive row a v3 one), whatever version the in-memory partial was
+  // loaded from.
+  csv.write_row({"qufi_partial", "3"});
   csv.write_row({"shard", std::to_string(partial.shard_index),
                  std::to_string(partial.shard_count)});
   csv.write_row({"expected_total_records",
@@ -57,6 +58,11 @@ void write_partial(const std::string& path, const PartialResult& partial) {
   csv.write_row({"run", std::to_string(m.shots), std::to_string(m.seed),
                  m.double_fault ? "1" : "0"});
   csv.write_row({"idle_noise", m.idle_noise ? "1" : "0"});
+  csv.write_row({"adaptive", m.adaptive ? "1" : "0",
+                 g17(m.adaptive_policy.max_config_fraction),
+                 g17(m.adaptive_policy.qvf_ci_target),
+                 std::to_string(m.adaptive_policy.min_configs_per_point),
+                 std::to_string(m.adaptive_policy.seed)});
   csv.write_row({"faultfree_qvf", g17(m.faultfree_qvf)});
   csv.write_row({"work", std::to_string(m.executions),
                  std::to_string(m.injections)});
@@ -103,7 +109,7 @@ PartialResult read_partial(const std::string& path) {
         if (kind != "qufi_partial") fail("missing qufi_partial header");
         want(1);
         const std::uint64_t version = to_u64(fields[1]);
-        if (version < 1 || version > 2) fail("unsupported partial version");
+        if (version < 1 || version > 3) fail("unsupported partial version");
         out.format_version = static_cast<std::uint32_t>(version);
         saw_header = true;
       } else if (kind == "shard") {
@@ -137,6 +143,14 @@ PartialResult read_partial(const std::string& path) {
       } else if (kind == "idle_noise") {
         want(1);
         out.meta.idle_noise = fields[1] == "1";
+      } else if (kind == "adaptive") {
+        want(5);
+        out.meta.adaptive = fields[1] == "1";
+        out.meta.adaptive_policy.max_config_fraction = to_double(fields[2]);
+        out.meta.adaptive_policy.qvf_ci_target = to_double(fields[3]);
+        out.meta.adaptive_policy.min_configs_per_point =
+            static_cast<std::uint32_t>(to_u64(fields[4]));
+        out.meta.adaptive_policy.seed = to_u64(fields[5]);
       } else if (kind == "faultfree_qvf") {
         want(1);
         out.meta.faultfree_qvf = to_double(fields[1]);

@@ -18,8 +18,10 @@ namespace qufi::dist {
 struct PartialResult {
   /// v1: initial format. v2: adds the `idle_noise` metadata row (absent in
   /// v1 files, defaulting to false), so the merger can refuse to combine
-  /// idle-noise and plain shards.
-  std::uint32_t format_version = 2;
+  /// idle-noise and plain shards. v3: adds the `adaptive` metadata row
+  /// (absent = exhaustive), carrying the estimation policy the merger
+  /// cross-checks across shards.
+  std::uint32_t format_version = 3;
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
   /// Global record count of the *full* campaign (all shards), computed by

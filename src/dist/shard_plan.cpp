@@ -1,33 +1,50 @@
 #include "dist/shard_plan.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "core/adaptive.hpp"
 #include "util/error.hpp"
 
 namespace qufi::dist {
 
-std::uint64_t point_cost(const InjectionPoint& point,
-                         std::size_t circuit_size) {
+namespace {
+
+/// Integer suffix-sweep cost with the adaptive budget scale applied.
+/// Ceiling keeps a nonzero suffix nonzero, and sweep_scale = 1.0 (the
+/// exhaustive default) reproduces the unscaled cost bit-for-bit.
+std::uint64_t scaled_suffix(std::size_t circuit_size, std::size_t split,
+                            double sweep_scale) {
+  require(sweep_scale > 0.0 && sweep_scale <= 1.0,
+          "shard plan: sweep_scale must be in (0, 1]");
+  return static_cast<std::uint64_t>(std::ceil(
+      sweep_scale * static_cast<double>(circuit_size - split)));
+}
+
+}  // namespace
+
+std::uint64_t point_cost(const InjectionPoint& point, std::size_t circuit_size,
+                         double sweep_scale) {
   require(point.split_index() <= circuit_size,
           "point_cost: split index beyond circuit size");
-  return 1 + static_cast<std::uint64_t>(circuit_size - point.split_index());
+  return 1 + scaled_suffix(circuit_size, point.split_index(), sweep_scale);
 }
 
 std::uint64_t tree_point_cost(const InjectionPoint& point,
                               std::size_t circuit_size,
-                              std::size_t shard_max_split) {
+                              std::size_t shard_max_split,
+                              double sweep_scale) {
   require(point.split_index() <= circuit_size,
           "tree_point_cost: split index beyond circuit size");
   const std::size_t split = point.split_index();
   const std::uint64_t extension =
       split > shard_max_split ? split - shard_max_split : 0;
-  return 1 + extension +
-         static_cast<std::uint64_t>(circuit_size - split);
+  return 1 + extension + scaled_suffix(circuit_size, split, sweep_scale);
 }
 
 ShardPlan plan_shards(std::span<const InjectionPoint> points,
                       std::size_t circuit_size, std::uint32_t num_shards,
-                      ShardPolicy policy) {
+                      ShardPolicy policy, double sweep_scale) {
   require(num_shards >= 1, "plan_shards: need at least one shard");
 
   ShardPlan plan;
@@ -54,8 +71,9 @@ ShardPlan plan_shards(std::span<const InjectionPoint> points,
       for (std::uint32_t k = 0; k < num_shards; ++k) {
         // A shard with no points has no chain yet: its first root pays the
         // full prefix (max_split 0 models exactly that).
-        const std::uint64_t cost = tree_point_cost(
-            points[i], circuit_size, has_points[k] ? max_split[k] : 0);
+        const std::uint64_t cost =
+            tree_point_cost(points[i], circuit_size,
+                            has_points[k] ? max_split[k] : 0, sweep_scale);
         const std::uint64_t total = plan.shards[k].estimated_cost + cost;
         if (total < best_total) {
           best = k;
@@ -85,7 +103,8 @@ ShardPlan plan_shards(std::span<const InjectionPoint> points,
       const std::size_t end = points.size() * (k + 1) / num_shards;
       for (std::size_t i = begin; i < end; ++i) {
         plan.shards[k].point_indices.push_back(i);
-        plan.shards[k].estimated_cost += point_cost(points[i], circuit_size);
+        plan.shards[k].estimated_cost +=
+            point_cost(points[i], circuit_size, sweep_scale);
       }
     }
     return plan;
@@ -99,8 +118,9 @@ ShardPlan plan_shards(std::span<const InjectionPoint> points,
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
-                     return point_cost(points[a], circuit_size) >
-                            point_cost(points[b], circuit_size);
+                     return point_cost(points[a], circuit_size,
+                                       sweep_scale) >
+                            point_cost(points[b], circuit_size, sweep_scale);
                    });
   for (const std::size_t i : order) {
     ShardAssignment* lightest = &plan.shards[0];
@@ -108,7 +128,8 @@ ShardPlan plan_shards(std::span<const InjectionPoint> points,
       if (shard.estimated_cost < lightest->estimated_cost) lightest = &shard;
     }
     lightest->point_indices.push_back(i);
-    lightest->estimated_cost += point_cost(points[i], circuit_size);
+    lightest->estimated_cost += point_cost(points[i], circuit_size,
+                                           sweep_scale);
   }
   // Subset runners require strictly increasing indices.
   for (auto& shard : plan.shards) {
@@ -122,7 +143,18 @@ ShardPlan plan_campaign_shards(const CampaignSpec& spec,
   const auto transpiled = campaign_transpile(spec);
   const auto points = stride_points(
       enumerate_injection_points(transpiled, spec.strategy), spec.max_points);
-  return plan_shards(points, transpiled.circuit.size(), num_shards, policy);
+  // Adaptive campaigns sweep only the policy's per-point config budget, so
+  // the planner shrinks every point's sweep cost by the same fraction; the
+  // prefix terms keep full weight, which shifts tree-aware balancing toward
+  // prefix work exactly as the engine experiences it.
+  double sweep_scale = 1.0;
+  if (spec.adaptive) {
+    sweep_scale =
+        static_cast<double>(adaptive_config_budget(spec.grid, *spec.adaptive)) /
+        static_cast<double>(spec.grid.num_configs());
+  }
+  return plan_shards(points, transpiled.circuit.size(), num_shards, policy,
+                     sweep_scale);
 }
 
 }  // namespace qufi::dist

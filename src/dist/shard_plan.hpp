@@ -62,8 +62,12 @@ struct ShardPlan {
 /// Cost model for one injection point: 1 (the prefix snapshot) plus the
 /// number of instructions after the split, which is what every config of
 /// the point's grid sweep replays. Units are arbitrary; only ratios matter.
-std::uint64_t point_cost(const InjectionPoint& point,
-                         std::size_t circuit_size);
+/// `sweep_scale` scales the suffix term: adaptive campaigns sweep only
+/// adaptive_config_budget / num_configs of each point's grid, which shrinks
+/// the sweep cost relative to the fixed prefix work (see
+/// plan_campaign_shards, which derives the scale from the spec's policy).
+std::uint64_t point_cost(const InjectionPoint& point, std::size_t circuit_size,
+                         double sweep_scale = 1.0);
 
 /// Tree-aware incremental cost of adding `point` to a shard whose deepest
 /// split so far is `shard_max_split`: the suffix sweep (as in point_cost)
@@ -72,7 +76,8 @@ std::uint64_t point_cost(const InjectionPoint& point,
 /// split-deduplicated points ride along for free).
 std::uint64_t tree_point_cost(const InjectionPoint& point,
                               std::size_t circuit_size,
-                              std::size_t shard_max_split);
+                              std::size_t shard_max_split,
+                              double sweep_scale = 1.0);
 
 /// Partitions `points` (the global enumeration, in order) into
 /// `num_shards` deterministic shards.
@@ -82,15 +87,22 @@ std::uint64_t tree_point_cost(const InjectionPoint& point,
 ///                     points index into (cost-model input).
 /// \param num_shards   Must be >= 1.
 /// \param policy       Split policy; see ShardPolicy.
+/// \param sweep_scale  Fraction of each point's grid actually swept
+///                     (see point_cost); 1.0 = exhaustive.
 /// \return A plan covering every point exactly once. Deterministic: the
 ///         same inputs always produce the same plan, so re-planning after
 ///         a coordinator crash reproduces identical shard manifests.
 ShardPlan plan_shards(std::span<const InjectionPoint> points,
                       std::size_t circuit_size, std::uint32_t num_shards,
-                      ShardPolicy policy = ShardPolicy::CostWeighted);
+                      ShardPolicy policy = ShardPolicy::CostWeighted,
+                      double sweep_scale = 1.0);
 
 /// Convenience: transpiles `spec`, enumerates + strides its points exactly
-/// as the campaign would, and plans over them.
+/// as the campaign would, and plans over them. When spec.adaptive is set,
+/// the per-point sweep costs are scaled by the policy's config budget over
+/// the full grid size, so adaptive budgets slot straight into ShardPolicy
+/// balancing (prefix work keeps its full weight — it does not shrink with
+/// the budget).
 ShardPlan plan_campaign_shards(const CampaignSpec& spec,
                                std::uint32_t num_shards,
                                ShardPolicy policy = ShardPolicy::CostWeighted);

@@ -57,6 +57,10 @@ ShardRunOutput run_shard(const ShardManifest& manifest,
   // transpile via campaign_point_neighbor_pairs in that fallback only).
   const auto derive_expected = [&](std::size_t num_points) -> std::uint64_t {
     if (manifest.expected_records > 0) return manifest.expected_records;
+    // Adaptive campaigns decide their record count while running, so the
+    // total is unknowable here; 0 tells the merger to use point coverage
+    // as its completeness check instead.
+    if (spec.adaptive) return 0;
     if (manifest.double_fault) {
       return double_campaign_executions(
           campaign_point_neighbor_pairs(spec).size(), spec.grid);
@@ -87,6 +91,10 @@ ShardRunOutput run_shard(const ShardManifest& manifest,
     header.meta.seed = spec.seed;
     header.meta.double_fault = manifest.double_fault;
     header.meta.idle_noise = spec.idle_noise;
+    if (spec.adaptive) {
+      header.meta.adaptive = true;
+      header.meta.adaptive_policy = *spec.adaptive;
+    }
     // faultfree_qvf is only known once the campaign has run the fault-free
     // reference; set_meta patches it in before finish() seals the header.
     header.meta.faultfree_qvf = 0.0;

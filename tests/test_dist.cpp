@@ -575,7 +575,7 @@ TEST(ShardManifest, UseTreeKnobRoundTripsAndV1FilesStillLoad) {
     buffer << in.rdbuf();
     text = buffer.str();
   }
-  const auto header = text.find("qufi-shard-manifest 3");
+  const auto header = text.find("qufi-shard-manifest 4");
   ASSERT_NE(header, std::string::npos);
   text.replace(header, 21, "qufi-shard-manifest 1");
   const auto tree_line = text.find("use_tree 0\n");
@@ -730,7 +730,7 @@ TEST(ShardManifest, IdleNoiseKnobRoundTripsAndOlderVersionsDefaultOff) {
   const auto path = (dir.path / "idle.manifest").string();
   dist::save_manifest(manifests[0], path);
   const auto loaded = dist::load_manifest(path);
-  EXPECT_EQ(loaded.format_version, 3u);
+  EXPECT_EQ(loaded.format_version, 4u);
   EXPECT_TRUE(loaded.idle_noise);
   EXPECT_TRUE(dist::manifest_to_spec(loaded).idle_noise);
 
@@ -742,7 +742,7 @@ TEST(ShardManifest, IdleNoiseKnobRoundTripsAndOlderVersionsDefaultOff) {
     buffer << in.rdbuf();
     text = buffer.str();
   }
-  const auto header = text.find("qufi-shard-manifest 3");
+  const auto header = text.find("qufi-shard-manifest 4");
   ASSERT_NE(header, std::string::npos);
   text.replace(header, 21, "qufi-shard-manifest 2");
   const auto idle_line = text.find("idle_noise 1\n");
@@ -759,13 +759,13 @@ TEST(ShardManifest, IdleNoiseKnobRoundTripsAndOlderVersionsDefaultOff) {
 
   // Unknown future versions are rejected, not guessed at.
   text.replace(text.find("qufi-shard-manifest 2"), 21,
-               "qufi-shard-manifest 4");
-  const auto v4_path = (dir.path / "v4.manifest").string();
+               "qufi-shard-manifest 5");
+  const auto v5_path = (dir.path / "v5.manifest").string();
   {
-    std::ofstream out(v4_path);
+    std::ofstream out(v5_path);
     out << text;
   }
-  EXPECT_THROW((void)dist::load_manifest(v4_path), Error);
+  EXPECT_THROW((void)dist::load_manifest(v5_path), Error);
 }
 
 TEST(PartialResult, IdleNoiseFlagRoundTripsAndV1FilesDefaultOff) {
@@ -788,7 +788,7 @@ TEST(PartialResult, IdleNoiseFlagRoundTripsAndV1FilesDefaultOff) {
   const auto path = (dir.path / "idle_part.csv").string();
   dist::write_partial(path, partial);
   const auto loaded = dist::read_partial(path);
-  EXPECT_EQ(loaded.format_version, 2u);
+  EXPECT_EQ(loaded.format_version, 3u);
   EXPECT_TRUE(loaded.meta.idle_noise);
 
   // Strip the v2 row and downgrade the header: a v1 partial still reads,
@@ -800,7 +800,7 @@ TEST(PartialResult, IdleNoiseFlagRoundTripsAndV1FilesDefaultOff) {
     buffer << in.rdbuf();
     text = buffer.str();
   }
-  const auto header = text.find("qufi_partial,2");
+  const auto header = text.find("qufi_partial,3");
   ASSERT_NE(header, std::string::npos);
   text.replace(header, 14, "qufi_partial,1");
   const auto idle_row = text.find("idle_noise,1\n");

@@ -286,6 +286,93 @@ void run_property(const std::string& circuit) {
   }
 }
 
+// Adaptive campaigns ride the same recombination machinery: for random
+// shard emission orders, random merge input orders, and a duplicate retry
+// attempt re-emitting a whole shard, the streaming file merge's CSV must
+// stay byte-identical to the single-process adaptive run's write_csv —
+// including the derived per-point estimate columns, which every exporter
+// recomputes by replay.
+TEST(MergePrefix, AdaptiveShardSchedulesMergeToTheSingleProcessCsv) {
+  auto spec = quick_spec("bv", 4);
+  spec.grid = FaultParamGrid{};  // full 15-degree grid: room to adapt
+  spec.max_points = 6;
+  spec.adaptive = AdaptivePolicy{};
+
+  TempDir dir("adaptive_csv");
+  const auto single = run_single_fault_campaign(spec);
+  const auto single_csv = dir.str("single.csv");
+  single.write_csv(single_csv);
+  std::string single_bytes;
+  {
+    std::ifstream in(single_csv, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    single_bytes = buffer.str();
+  }
+  ASSERT_FALSE(single_bytes.empty());
+
+  const auto plan =
+      dist::plan_campaign_shards(spec, 2, dist::ShardPolicy::CostWeighted);
+  std::vector<CampaignResult> results;
+  for (const auto& assignment : plan.shards) {
+    results.push_back(
+        run_single_fault_campaign_subset(spec, assignment.point_indices));
+  }
+
+  int trial = 0;
+  for (const std::uint64_t seed : {0x5EEDull, 0xCAFEull, 0xF00Dull}) {
+    std::mt19937_64 rng(seed);
+    std::vector<std::string> inputs;
+    // Attempt 0 and 1 are the two shards; attempt 2 is a bit-exact retry
+    // of a random shard (the duplicate schedule the merger must collapse).
+    const std::size_t retried = rng() % results.size();
+    for (std::size_t a = 0; a < 3; ++a) {
+      const std::size_t shard = a < 2 ? a : retried;
+      const auto& result = results[shard];
+      resio::ResultFileHeader header;
+      header.shard_index = static_cast<std::uint32_t>(shard);
+      header.shard_count = 2;
+      header.expected_total_records = 0;  // adaptive: decided at run time
+      header.meta = result.meta;
+      header.points = result.points;
+      const auto path = dir.str("t" + std::to_string(trial) + "_a" +
+                                std::to_string(a) + ".qp");
+      resio::ResultWriter writer(path, header, /*block_records=*/1,
+                                 resio::WriteMode::Live);
+      // Emit whole points in a shuffled order — blocks never split points,
+      // so any emission order is a valid worker schedule.
+      std::vector<std::vector<InjectionRecord>> slices;
+      for (std::size_t i = 0; i < result.records.size();) {
+        std::size_t j = i;
+        while (j < result.records.size() &&
+               result.records[j].point_index ==
+                   result.records[i].point_index) {
+          ++j;
+        }
+        slices.emplace_back(result.records.begin() + i,
+                            result.records.begin() + j);
+        i = j;
+      }
+      for (const std::size_t k : shuffled_order(slices.size(), rng)) {
+        writer.append(slices[k]);
+      }
+      writer.finish(result.meta.executions, result.meta.injections);
+      inputs.push_back(path);
+    }
+
+    std::shuffle(inputs.begin(), inputs.end(), rng);
+    const auto merged_csv = dir.str("t" + std::to_string(trial) + ".csv");
+    const auto stats = dist::merge_result_files_to_csv(inputs, merged_csv);
+    EXPECT_GT(stats.duplicate_records, 0u) << "trial " << trial;
+    std::ifstream in(merged_csv, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), single_bytes)
+        << "trial " << trial << " (retry of shard " << retried << ")";
+    ++trial;
+  }
+}
+
 TEST(MergePrefix, RandomOrdersAndKillsYieldBitExactPrefixesBv) {
   run_property("bv");
 }

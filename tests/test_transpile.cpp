@@ -6,6 +6,8 @@
 #include <numbers>
 
 #include "algorithms/algorithms.hpp"
+#include "core/campaign.hpp"
+#include "noise/backend_props.hpp"
 #include "sim/statevector.hpp"
 #include "sim/unitary.hpp"
 #include "transpile/coupling.hpp"
@@ -501,6 +503,93 @@ TEST(Transpile, CouplingOnlyOverload) {
   TranspileOptions na;
   na.layout_method = LayoutMethod::NoiseAdaptive;
   EXPECT_THROW(transpile(bench.circuit, cm, na), Error);
+}
+
+// A cx spanning the full length of a 5-qubit line needs the router to walk
+// one operand down the chain: multiple SWAPs, every 2q gate coupled, and
+// the measured distribution unchanged by the rerouting.
+TEST(Router, MultiSwapRouteAcrossALinearChain) {
+  const auto cm = CouplingMap::from_backend(noise::fake_linear(5));
+  circ::QuantumCircuit qc(5, 2);
+  qc.h(0).cx(0, 4).measure(0, 0).measure(4, 1);
+  const auto before = sim::ideal_clbit_probabilities(qc);
+
+  const auto routed = route(qc, cm, trivial_layout(5, 5));
+  int swaps = 0;
+  for (const auto& instr : routed.circuit.instructions()) {
+    if (instr.kind == circ::GateKind::SWAP) ++swaps;
+    if (instr.qubits.size() == 2 && instr.kind != circ::GateKind::Barrier) {
+      EXPECT_TRUE(cm.connected(instr.qubits[0], instr.qubits[1]))
+          << instr.name() << " " << instr.qubits[0] << ","
+          << instr.qubits[1];
+    }
+  }
+  // distance(0, 4) = 4 on the line: adjacency costs 3 SWAPs.
+  EXPECT_EQ(swaps, 3);
+  EXPECT_EQ(routed.p2l_per_instruction.size(), routed.circuit.size());
+
+  const auto after = sim::ideal_clbit_probabilities(routed.circuit);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(after[i], before[i], 1e-9) << "clbit outcome " << i;
+  }
+}
+
+// On an all-to-all coupling map every pair is adjacent: the router must be
+// the identity — no SWAPs, the instruction stream untouched, and the
+// physical -> logical snapshot pinned to the identity for every
+// instruction.
+TEST(Router, AllToAllMapNeedsNoSwapsAndKeepsIdentityLayout) {
+  const auto cm =
+      CouplingMap::from_backend(noise::fake_fully_connected(4));
+  circ::QuantumCircuit qc(4, 4);
+  qc.h(0).cx(0, 3).cx(1, 2).cx(3, 1).measure_all();
+  const auto routed = route(qc, cm, trivial_layout(4, 4));
+  ASSERT_EQ(routed.circuit.size(), qc.size());
+  const std::vector<int> identity{0, 1, 2, 3};
+  for (std::size_t i = 0; i < routed.circuit.size(); ++i) {
+    EXPECT_EQ(routed.circuit.instructions()[i].kind,
+              qc.instructions()[i].kind)
+        << "instruction " << i;
+    EXPECT_EQ(routed.p2l_per_instruction[i], identity) << "instruction " << i;
+  }
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_EQ(routed.final_layout.physical(q), q);
+    EXPECT_EQ(routed.final_layout.logical(q), q);
+  }
+}
+
+// Campaign smoke: under an all-to-all map at optimization level 0 the
+// campaign's own transpile is idempotent, so injecting into the
+// pre-transpiled circuit must reproduce the logical circuit's campaign —
+// same injection points, same QVFs. This pins the p2l bookkeeping the QVF
+// attribution rides on (a layout bug would shift records between qubits).
+TEST(Transpile, CampaignQvfParityOnAllToAllMap) {
+  const auto bench = algo::paper_circuit("bv", 4);
+  CampaignSpec spec;
+  spec.circuit = bench.circuit;
+  spec.expected_outputs = bench.expected_outputs;
+  spec.backend = noise::fake_fully_connected(4);
+  spec.transpile_options.optimization_level = 0;
+  spec.grid.theta_step_deg = 60.0;
+  spec.grid.phi_step_deg = 90.0;
+  spec.max_points = 8;
+  const auto logical_run = run_single_fault_campaign(spec);
+
+  auto pre = spec;
+  pre.circuit = campaign_transpile(spec).circuit;
+  const auto transpiled_run = run_single_fault_campaign(pre);
+
+  ASSERT_EQ(logical_run.points.size(), transpiled_run.points.size());
+  ASSERT_EQ(logical_run.records.size(), transpiled_run.records.size());
+  for (std::size_t i = 0; i < logical_run.records.size(); ++i) {
+    const auto& a = logical_run.records[i];
+    const auto& b = transpiled_run.records[i];
+    EXPECT_EQ(a.point_index, b.point_index) << "record " << i;
+    EXPECT_EQ(a.theta_index, b.theta_index) << "record " << i;
+    EXPECT_EQ(a.phi_index, b.phi_index) << "record " << i;
+    EXPECT_NEAR(a.qvf, b.qvf, 1e-12) << "record " << i;
+  }
 }
 
 }  // namespace
