@@ -15,8 +15,16 @@
 //   --fleet process  one forked worker process per lease; children can be
 //                    SIGKILLed (or die) and the lease-expiry path recovers.
 //                    --chaos-kill N self-injects exactly that fault: the
-//                    Nth spawned worker is SIGKILLed once its live partial
-//                    has a readable header (i.e. genuinely mid-shard).
+//                    Nth spawned worker is SIGKILLed at spawn, while it
+//                    provably holds its lease (a shard takes far longer
+//                    than the fork-to-kill window, so the kill cannot race
+//                    shard completion).
+//
+// Crash durability: the dispatcher write-ahead journals every transition
+// to `<work-dir>/qufid.journal` (QUFIJRNL v1, docs/DISPATCHER.md) unless
+// `--journal off`. Restarting qufid over the same work dir replays the
+// journal, re-adopts sealed attempt files, and resumes without re-running
+// completed shards.
 //
 // Usage examples:
 //   qufi_submit --spool spool/ --name bv4 --circuit bv --width 4 \
@@ -39,7 +47,6 @@
 #include <thread>
 #include <vector>
 
-#include "core/result_io.hpp"
 #include "core/results.hpp"
 #include "dist/shard_runner.hpp"
 #include "service/dispatcher.hpp"
@@ -65,6 +72,8 @@ struct DaemonOptions {
   std::int64_t progress_every_ms = 1'000;
   int chaos_kill = 0;
   bool drain = false;
+  /// Empty = default (`<work_dir>/qufid.journal`); "off" disables.
+  std::string journal;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -81,8 +90,11 @@ struct DaemonOptions {
       "  --max-retries N      re-leases per shard           (default 2)\n"
       "  --poll MS            main-loop interval            (default 50)\n"
       "  --progress-every MS  progress emit interval        (default 1000)\n"
-      "  --chaos-kill N       SIGKILL the Nth worker process mid-shard\n"
-      "                       (process fleet only; a supervision self-test)\n"
+      "  --chaos-kill N       SIGKILL the Nth worker process at spawn,\n"
+      "                       while it holds its lease (process fleet only;\n"
+      "                       a supervision self-test)\n"
+      "  --journal PATH|off   write-ahead journal for crash recovery\n"
+      "                       (default <work-dir>/qufid.journal)\n"
       "  --drain              exit once the spool is empty and every\n"
       "                       campaign is terminal\n",
       argv0);
@@ -111,6 +123,7 @@ DaemonOptions parse(int argc, char** argv) {
     else if (arg == "--progress-every")
       options.progress_every_ms = std::stoll(value());
     else if (arg == "--chaos-kill") options.chaos_kill = std::stoi(value());
+    else if (arg == "--journal") options.journal = value();
     else if (arg == "--drain") options.drain = true;
     else usage(argv[0]);
   }
@@ -288,8 +301,16 @@ void run_process_fleet(const DaemonOptions& options,
       if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
         dispatcher.complete(it->lease_id);
       } else if (WIFEXITED(status)) {
-        dispatcher.fail(it->lease_id, "worker exited with status " +
-                                          std::to_string(WEXITSTATUS(status)));
+        if (!dispatcher.fail(it->lease_id,
+                             "worker exited with status " +
+                                 std::to_string(WEXITSTATUS(status)))) {
+          // The lease already expired and was requeued (or its campaign is
+          // terminal): the report changed nothing, which is worth a line —
+          // the journal carries the matching fail-unknown record.
+          std::fprintf(stderr,
+                       "qufid: ignored late failure report for lease %llu\n",
+                       static_cast<unsigned long long>(it->lease_id));
+        }
       }
       // Killed by a signal: say nothing. The heartbeat stops and the
       // dispatcher's lease expiry requeues the shard — the same recovery a
@@ -326,22 +347,20 @@ void run_process_fleet(const DaemonOptions& options,
       ++spawned;
       children.push_back(
           ChildWorker{pid, lease->id, lease->output_path, spawned});
-    }
 
-    // Chaos self-test: SIGKILL the chosen worker once its live partial has
-    // a readable header — provably mid-shard, after real bytes hit disk.
-    if (options.chaos_kill > 0 && !chaos_done) {
-      for (const ChildWorker& child : children) {
-        if (child.spawn_index != options.chaos_kill) continue;
-        if (!resio::result_header_available(child.output_path)) break;
-        ::kill(child.pid, SIGKILL);
+      // Chaos self-test: SIGKILL the chosen worker immediately — at this
+      // point it provably holds a live lease, and a shard takes far longer
+      // than the fork-to-kill window, so the kill cannot race shard
+      // completion (the old readable-header gate could: a fast shard would
+      // seal before the poll noticed, and the whole drain had to retry).
+      if (!chaos_done && spawned == options.chaos_kill) {
+        ::kill(pid, SIGKILL);
         chaos_done = true;
         std::printf("{\"tool\":\"qufid\",\"event\":\"chaos_kill\","
                     "\"pid\":%d,\"lease\":%llu}\n",
-                    static_cast<int>(child.pid),
-                    static_cast<unsigned long long>(child.lease_id));
+                    static_cast<int>(pid),
+                    static_cast<unsigned long long>(lease->id));
         std::fflush(stdout);
-        break;
       }
     }
 
@@ -400,7 +419,25 @@ int main(int argc, char** argv) {
     dispatcher_options.work_dir = options.work_dir;
     dispatcher_options.lease_timeout_ms = options.lease_timeout_ms;
     dispatcher_options.max_retries = options.max_retries;
+    if (options.journal != "off") {
+      dispatcher_options.journal_path =
+          options.journal.empty()
+              ? (std::filesystem::path(options.work_dir) / "qufid.journal")
+                    .string()
+              : options.journal;
+    }
     service::Dispatcher dispatcher(dispatcher_options, clock);
+    if (const auto& rec = dispatcher.recovery_report(); rec.recovered) {
+      std::printf(
+          "{\"tool\":\"qufid\",\"event\":\"recovered\","
+          "\"events_replayed\":%zu,\"campaigns\":%zu,"
+          "\"shards_adopted\":%zu,\"shards_requeued\":%zu,"
+          "\"files_quarantined\":%zu,\"journal_truncated\":%s}\n",
+          rec.events_replayed, rec.campaigns_restored, rec.shards_adopted,
+          rec.shards_requeued, rec.files_quarantined,
+          rec.journal_truncated ? "true" : "false");
+      std::fflush(stdout);
+    }
 
     if (options.fleet == "process") {
       run_process_fleet(options, dispatcher);

@@ -215,35 +215,31 @@ done
 echo "perf json OK (merge_ms / partial_bytes / peak_rss_kb reported)"
 
 # Dispatcher smoke: two concurrent campaigns through qufid's process fleet
-# with a chaos kill — the first spawned worker is SIGKILLed mid-shard (once
-# its live partial has a readable header), its lease expires, the shard is
-# requeued and re-run — and both final CSVs must STILL be byte-identical to
-# the single-process qufi_cli runs (the docs/DISPATCHER.md contract).
-# The kill only lands while the victim's live partial is mid-write; on a
-# fast machine the shard can finish first, so retry the whole drain until
-# a kill is observed (the byte-identity checks below always apply to the
-# attempt that did observe one).
+# with a chaos kill — the first spawned worker is SIGKILLed at spawn, while
+# it provably holds its lease, so the kill can never race shard completion
+# and a single drain always observes it (no retry loop needed). The lease
+# expires, the shard is requeued and re-run — and both final CSVs must
+# STILL be byte-identical to the single-process qufi_cli runs (the
+# docs/DISPATCHER.md contract).
 disp_dir=build/dispatcher_smoke
-chaos_seen=0
-for attempt in 1 2 3 4 5; do
-  rm -rf "$disp_dir"
-  mkdir -p "$disp_dir/out"
-  ./build/qufi_submit --spool "$disp_dir/spool" --name bv4 --circuit bv \
-    --width 4 --theta-step 60 --phi-step 90 --csv "$disp_dir/out/bv4.csv" \
-    > /dev/null
-  ./build/qufi_submit --spool "$disp_dir/spool" --name dj4 --circuit dj \
-    --width 4 --theta-step 60 --phi-step 90 --priority 5 \
-    --csv "$disp_dir/out/dj4.csv" > /dev/null
-  ./build/qufid --spool "$disp_dir/spool" --work-dir "$disp_dir/work" \
-    --fleet process --workers 2 --chaos-kill 1 --lease-timeout 2000 \
-    --drain > "$disp_dir/qufid.log"
-  if grep -q '"event":"chaos_kill"' "$disp_dir/qufid.log"; then
-    chaos_seen=1
-    break
-  fi
-done
-if [[ "$chaos_seen" != "1" ]]; then
-  echo "dispatcher smoke FAILED: qufid --chaos-kill never killed a worker (5 attempts)" >&2
+rm -rf "$disp_dir"
+mkdir -p "$disp_dir/out"
+./build/qufi_submit --spool "$disp_dir/spool" --name bv4 --circuit bv \
+  --width 4 --theta-step 60 --phi-step 90 --csv "$disp_dir/out/bv4.csv" \
+  > /dev/null
+./build/qufi_submit --spool "$disp_dir/spool" --name dj4 --circuit dj \
+  --width 4 --theta-step 60 --phi-step 90 --priority 5 \
+  --csv "$disp_dir/out/dj4.csv" > /dev/null
+./build/qufid --spool "$disp_dir/spool" --work-dir "$disp_dir/work" \
+  --fleet process --workers 2 --chaos-kill 1 --lease-timeout 2000 \
+  --drain > "$disp_dir/qufid.log"
+if ! grep -q '"event":"chaos_kill"' "$disp_dir/qufid.log"; then
+  echo "dispatcher smoke FAILED: qufid --chaos-kill never killed a worker" >&2
+  exit 1
+fi
+# The killed worker held a lease, so the journal must record its requeue.
+if ! grep -q ' requeue ' "$disp_dir/work/qufid.journal"; then
+  echo "dispatcher smoke FAILED: no requeue journaled after the chaos kill" >&2
   exit 1
 fi
 ./build/qufi_cli --circuit bv --width 4 --theta-step 60 --phi-step 90 \
@@ -258,6 +254,66 @@ for name in bv4 dj4; do
   fi
 done
 echo "dispatcher smoke OK (2 campaigns, chaos-killed worker, CSVs == single-process)"
+
+# Crash-durability smoke: SIGKILL the daemon ITSELF (and its workers)
+# mid-campaign, then restart qufid over the same spool + work dir. The
+# write-ahead journal (on by default) must drive recovery: the restarted
+# daemon replays it, adopts/requeues the in-flight attempts, finishes the
+# drain with byte-identical CSVs, and never re-runs a shard the journal
+# already recorded as complete.
+crash_dir=build/dispatcher_crash_smoke
+rm -rf "$crash_dir"
+mkdir -p "$crash_dir/out"
+./build/qufi_submit --spool "$crash_dir/spool" --name bv4 --circuit bv \
+  --width 4 --theta-step 60 --phi-step 90 --csv "$crash_dir/out/bv4.csv" \
+  > /dev/null
+./build/qufi_submit --spool "$crash_dir/spool" --name dj4 --circuit dj \
+  --width 4 --theta-step 60 --phi-step 90 --priority 5 \
+  --csv "$crash_dir/out/dj4.csv" > /dev/null
+./build/qufid --spool "$crash_dir/spool" --work-dir "$crash_dir/work" \
+  --fleet process --workers 1 --lease-timeout 2000 --drain \
+  > "$crash_dir/qufid1.log" &
+qufid_pid=$!
+# Kill once the journal has acknowledged at least one completed shard, so
+# the no-re-execution check below is about a genuinely Done shard.
+for i in $(seq 1 200); do
+  if [[ -f "$crash_dir/work/qufid.journal" ]] &&
+     grep -q ' complete ' "$crash_dir/work/qufid.journal" 2>/dev/null; then
+    break
+  fi
+  if ! kill -0 "$qufid_pid" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+worker_pids="$(pgrep -P "$qufid_pid" 2>/dev/null || true)"
+kill -9 "$qufid_pid" $worker_pids 2>/dev/null || true
+wait "$qufid_pid" 2>/dev/null || true
+./build/qufid --spool "$crash_dir/spool" --work-dir "$crash_dir/work" \
+  --fleet process --workers 2 --lease-timeout 2000 --drain \
+  > "$crash_dir/qufid2.log"
+if ! grep -q '"event":"recovered"' "$crash_dir/qufid2.log"; then
+  echo "restart smoke FAILED: restarted qufid did not report journal recovery" >&2
+  cat "$crash_dir/qufid2.log" >&2
+  exit 1
+fi
+for name in bv4 dj4; do
+  if ! diff -q "$crash_dir/out/$name.csv" "$disp_dir/ref_$name.csv" > /dev/null; then
+    echo "restart smoke FAILED: $name CSV differs from single-process CSV after daemon SIGKILL + restart" >&2
+    diff "$crash_dir/out/$name.csv" "$disp_dir/ref_$name.csv" | head -5 >&2
+    exit 1
+  fi
+done
+# No completed shard may ever be leased again: once the journal records
+# `complete` for a (campaign, shard), no later record may `acquire` it.
+if ! awk '
+  $2 == "complete" { done[$5 " " $6] = $1 + 0 }
+  $2 == "acquire"  { key = $5 " " $6
+                     if (key in done && $1 + 0 > done[key]) {
+                       print "shard re-acquired after complete: " key; bad = 1 } }
+  END { exit bad }' "$crash_dir/work/qufid.journal"; then
+  echo "restart smoke FAILED: a completed shard was re-executed after recovery" >&2
+  exit 1
+fi
+echo "restart smoke OK (daemon SIGKILLed mid-campaign, journal recovery, no completed shard re-run)"
 
 # Golden-CSV regression through the real CLI: the committed bv-2q fixture
 # pins the column schema and row ordering documented in the README, so
@@ -313,20 +369,22 @@ else
 fi
 
 # ---- opt-in sanitizer pass ---------------------------------------------------
-# CHECK_SANITIZE=1 rebuilds the kernel-facing tests plus the adaptive
-# estimation suite under ASan+UBSan in a separate build tree and runs them,
-# so the vectorized pointer arithmetic and the estimator's cell bookkeeping
-# are exercised with checking on before merge.
+# CHECK_SANITIZE=1 rebuilds the kernel-facing tests, the adaptive
+# estimation suite, and the dispatcher/journal suite under ASan+UBSan in a
+# separate build tree and runs them, so the vectorized pointer arithmetic,
+# the estimator's cell bookkeeping, and the journal's recovery/truncation
+# paths are exercised with checking on before merge.
 if [[ "${CHECK_SANITIZE:-0}" == "1" ]]; then
   cmake -B build-asan -S . -DQUFI_SANITIZE=ON -DQUFI_BUILD_BENCHES=OFF \
     -DQUFI_BUILD_EXAMPLES=OFF
-  cmake --build build-asan -j --target test_kernels test_sim test_adaptive
-  for t in test_kernels test_sim test_adaptive; do
+  cmake --build build-asan -j --target test_kernels test_sim test_adaptive \
+    test_dispatcher
+  for t in test_kernels test_sim test_adaptive test_dispatcher; do
     ./build-asan/$t > /dev/null
   done
   # The vectorized sets must survive sanitized runs too, not just the default.
   for kset in $(./build/perf_simulator --list-kernels); do
     QUFI_KERNELS="$kset" ./build-asan/test_kernels > /dev/null
   done
-  echo "sanitizer pass OK (test_kernels + test_sim + test_adaptive under ASan+UBSan)"
+  echo "sanitizer pass OK (test_kernels + test_sim + test_adaptive + test_dispatcher under ASan+UBSan)"
 fi

@@ -9,6 +9,37 @@
 
 namespace qufi::service {
 
+namespace {
+
+/// Manifests are persisted beside the attempt files when journaling, so
+/// recovery can rebuild the shard set without re-planning (replay, not
+/// re-planning, is the recovery contract).
+std::string manifest_path(const std::string& campaign_dir,
+                          std::uint32_t shard_index) {
+  char file[32];
+  std::snprintf(file, sizeof file, "shard_%03u.manifest", shard_index);
+  return (std::filesystem::path(campaign_dir) / file).string();
+}
+
+/// The completion probe: a file counts iff it parses as a sealed partial
+/// whose every block checksums clean. Shared verbatim between complete()
+/// and recovery's re-adoption pass — "exactly as complete() does today" is
+/// the recovery contract, so it is literally the same code.
+bool probe_sealed_clean(const std::string& path, std::string* why) {
+  try {
+    resio::ResultReader probe(path, resio::ReadMode::Sealed);
+    for (std::size_t i = 0; i < probe.num_blocks(); ++i) {
+      (void)probe.read_block(i);
+    }
+    return true;
+  } catch (const Error& e) {
+    if (why != nullptr) *why = e.what();
+    return false;
+  }
+}
+
+}  // namespace
+
 struct Dispatcher::Shard {
   std::uint32_t index = 0;
   dist::ShardManifest manifest;
@@ -49,9 +80,268 @@ Dispatcher::Dispatcher(DispatcherOptions options, Clock& clock)
           "Dispatcher: lease_timeout_ms must be positive");
   require(options_.max_retries >= 0,
           "Dispatcher: max_retries must be non-negative");
+  if (!options_.journal_path.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    init_journal_locked();
+  }
 }
 
 Dispatcher::~Dispatcher() = default;
+
+// ---- journal plumbing -------------------------------------------------------
+
+void Dispatcher::init_journal_locked() {
+  namespace fs = std::filesystem;
+  const std::string& path = options_.journal_path;
+  std::error_code ec;
+  const fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) fs::create_directories(parent, ec);
+  const bool has_bytes = fs::exists(path, ec) && fs::file_size(path, ec) > 0;
+  if (!has_bytes) {
+    journal_ = std::make_unique<JournalWriter>(path, 1, 0);
+    journal_->sync();
+    return;
+  }
+  // Recovery: replay the acknowledged prefix, resume the journal on a clean
+  // line boundary, then reconcile the replayed state with the files on
+  // disk. Corruption throws out of the constructor with the offset — a
+  // dispatcher never starts on a journal it cannot fully account for.
+  const JournalReadResult log = read_journal(path);
+  recovery_.recovered = !log.events.empty();
+  recovery_.journal_truncated = log.truncated_tail;
+  recovery_.events_replayed = log.events.size();
+  replay_journal_locked(log.events);
+  journal_ = std::make_unique<JournalWriter>(path, log.last_seq + 1,
+                                             log.valid_bytes == 0
+                                                 ? 0
+                                                 : log.valid_bytes);
+  adopt_disk_state_locked();
+  journal_sync_locked();
+}
+
+void Dispatcher::replay_journal_locked(
+    const std::vector<JournalEvent>& events) {
+  namespace fs = std::filesystem;
+  const auto shard_of = [&](const JournalEvent& event) -> Shard& {
+    Campaign* campaign = find_campaign_locked(event.campaign);
+    require(campaign != nullptr,
+            "journal " + options_.journal_path + ": record " +
+                std::to_string(event.seq) +
+                " references unknown campaign: " + event.campaign);
+    require(event.shard_index < campaign->shards.size(),
+            "journal " + options_.journal_path + ": record " +
+                std::to_string(event.seq) + " references shard " +
+                std::to_string(event.shard_index) + " beyond campaign " +
+                event.campaign);
+    return campaign->shards[event.shard_index];
+  };
+
+  for (const JournalEvent& event : events) {
+    switch (event.type) {
+      case JournalEventType::Submit: {
+        require(find_campaign_locked(event.campaign) == nullptr,
+                "journal " + options_.journal_path +
+                    ": duplicate submit for campaign: " + event.campaign);
+        auto campaign = std::make_unique<Campaign>();
+        campaign->name = event.campaign;
+        campaign->priority = event.priority;
+        campaign->csv_path = event.path;
+        campaign->dir =
+            (fs::path(options_.work_dir) / event.campaign).string();
+        campaign->shards.reserve(event.shard_count);
+        for (std::uint32_t i = 0; i < event.shard_count; ++i) {
+          Shard shard;
+          shard.index = i;
+          // Manifests were persisted before the submit record was
+          // acknowledged; a missing file means the work dir was tampered
+          // with, which recovery must refuse rather than re-plan around.
+          shard.manifest =
+              dist::load_manifest(manifest_path(campaign->dir, i));
+          campaign->shards.push_back(std::move(shard));
+        }
+        campaigns_.push_back(std::move(campaign));
+        ++recovery_.campaigns_restored;
+        break;
+      }
+      case JournalEventType::Acquire: {
+        Shard& shard = shard_of(event);
+        Campaign& campaign = *find_campaign_locked(event.campaign);
+        shard.attempts = std::max(shard.attempts, event.attempt);
+        shard.state = ShardState::Leased;
+        shard.lease_id = event.lease_id;
+        shard.attempt_paths.push_back(event.path);
+        active_[event.lease_id] =
+            ActiveLease{event.campaign, event.shard_index, event.path,
+                        "recovered", event.at_ms};
+        next_lease_id_ = std::max(next_lease_id_, event.lease_id + 1);
+        campaign.state = CampaignState::Running;
+        break;
+      }
+      case JournalEventType::HeartbeatBatch: {
+        for (const auto& [lease, at] : event.beats) {
+          if (auto it = active_.find(lease); it != active_.end()) {
+            it->second.last_beat_ms = at;
+          }
+        }
+        break;
+      }
+      case JournalEventType::Requeue: {
+        Shard& shard = shard_of(event);
+        Campaign& campaign = *find_campaign_locked(event.campaign);
+        if (shard.state == ShardState::Leased) {
+          retire_lease_locked(shard.lease_id);
+          shard.lease_id = 0;
+          shard.state = ShardState::Pending;
+        }
+        shard.last_failure = event.detail;
+        ++campaign.requeues;
+        break;
+      }
+      case JournalEventType::Quarantine: {
+        Shard& shard = shard_of(event);
+        ++shard.quarantined;
+        auto& paths = shard.attempt_paths;
+        paths.erase(std::remove(paths.begin(), paths.end(), event.path),
+                    paths.end());
+        break;
+      }
+      case JournalEventType::Complete: {
+        Shard& shard = shard_of(event);
+        retire_lease_locked(event.lease_id);
+        if (shard.lease_id == event.lease_id) shard.lease_id = 0;
+        shard.state = ShardState::Done;
+        shard.accepted_path = event.path;
+        break;
+      }
+      case JournalEventType::FailUnknown:
+        break;  // post-mortem breadcrumb only, no state
+      case JournalEventType::CampaignTerminal: {
+        Campaign* campaign = find_campaign_locked(event.campaign);
+        require(campaign != nullptr,
+                "journal " + options_.journal_path +
+                    ": terminal record for unknown campaign: " +
+                    event.campaign);
+        if (event.detail.rfind("failed", 0) == 0) {
+          campaign->state = CampaignState::Failed;
+          campaign->error = event.detail.size() > 7 ? event.detail.substr(7)
+                                                    : std::string();
+        } else {
+          campaign->state = CampaignState::Completed;
+        }
+        prune_retired_locked(campaign->name);
+        break;
+      }
+    }
+  }
+}
+
+void Dispatcher::adopt_disk_state_locked() {
+  namespace fs = std::filesystem;
+  for (const auto& campaign_ptr : campaigns_) {
+    Campaign& campaign = *campaign_ptr;
+    if (campaign.state == CampaignState::Failed) continue;
+    if (campaign.state == CampaignState::Completed) {
+      // The CSV write and the terminal record are one accept point, but a
+      // crash can still land between rename and append in the other order
+      // across restarts of restarts — re-merging from the accepted partials
+      // is idempotent, so a missing final CSV is simply re-finalized.
+      std::error_code ec;
+      if (!fs::exists(campaign.csv_path, ec)) finalize_locked(campaign);
+      continue;
+    }
+    for (Shard& shard : campaign.shards) {
+      if (campaign.state == CampaignState::Failed) break;
+      if (shard.state == ShardState::Leased) {
+        // The lease's worker died with the daemon. Its attempt file decides:
+        // sealed + checksum-clean is a finished shard the crash merely
+        // prevented from being reported — adopt it; anything else is the
+        // torn artifact of a mid-write kill — quarantine and requeue.
+        const std::uint64_t lease_id = shard.lease_id;
+        std::string output;
+        if (auto it = active_.find(lease_id); it != active_.end()) {
+          output = it->second.output_path;
+        }
+        retire_lease_locked(lease_id);
+        shard.lease_id = 0;
+        std::string why;
+        if (!output.empty() && probe_sealed_clean(output, &why)) {
+          ++recovery_.shards_adopted;
+          journal_append_locked([&] {
+            JournalEvent event;
+            event.type = JournalEventType::Complete;
+            event.lease_id = lease_id;
+            event.campaign = campaign.name;
+            event.shard_index = shard.index;
+            event.path = output;
+            return event;
+          }());
+          accept_completion_locked(campaign, shard, lease_id, output);
+        } else {
+          if (!output.empty()) {
+            quarantine_locked(campaign, shard, output);
+            ++recovery_.files_quarantined;
+          }
+          shard.state = ShardState::Pending;
+          ++recovery_.shards_requeued;
+          requeue_locked(campaign, shard,
+                         "attempt not adopted at recovery: " +
+                             (why.empty() ? "no attempt file" : why));
+        }
+      } else if (shard.state == ShardState::Done) {
+        // Done shards are re-verified by checksum exactly as complete()
+        // verified them the first time: bit rot between crash and restart
+        // costs one retry, never a corrupt final merge.
+        std::string why;
+        if (!probe_sealed_clean(shard.accepted_path, &why)) {
+          const std::string bad = shard.accepted_path;
+          shard.accepted_path.clear();
+          shard.state = ShardState::Pending;
+          quarantine_locked(campaign, shard, bad);
+          ++recovery_.files_quarantined;
+          ++recovery_.shards_requeued;
+          requeue_locked(campaign, shard,
+                         "accepted partial failed re-verification at "
+                         "recovery: " + why);
+        }
+      }
+    }
+    // Crash between the complete record and the terminal record: every
+    // shard is Done but the campaign never finalized. Merge now.
+    if ((campaign.state == CampaignState::Running ||
+         campaign.state == CampaignState::Queued) &&
+        !campaign.shards.empty() &&
+        std::all_of(campaign.shards.begin(), campaign.shards.end(),
+                    [](const Shard& s) {
+                      return s.state == ShardState::Done;
+                    })) {
+      finalize_locked(campaign);
+    }
+  }
+}
+
+void Dispatcher::journal_append_locked(JournalEvent event) {
+  if (!journal_) return;
+  if (event.type != JournalEventType::HeartbeatBatch) flush_beats_locked();
+  event.at_ms = clock_.now_ms();
+  journal_->append(std::move(event));
+}
+
+void Dispatcher::flush_beats_locked() {
+  if (!journal_ || dirty_beats_.empty()) return;
+  JournalEvent event;
+  event.type = JournalEventType::HeartbeatBatch;
+  event.at_ms = clock_.now_ms();
+  event.beats.assign(dirty_beats_.begin(), dirty_beats_.end());
+  dirty_beats_.clear();
+  journal_->append(std::move(event));
+}
+
+void Dispatcher::journal_sync_locked() {
+  if (!journal_) return;
+  journal_->sync();
+}
+
+// ---- submission -------------------------------------------------------------
 
 void Dispatcher::submit(CampaignJob job) {
   require(!job.name.empty(), "Dispatcher::submit: campaign name is empty");
@@ -85,6 +375,22 @@ void Dispatcher::submit(CampaignJob job) {
     shard.manifest = std::move(job.manifests[i]);
     campaign->shards.push_back(std::move(shard));
   }
+  if (journal_) {
+    // Manifests hit disk before the submit record: a submit the journal
+    // acknowledges is always replayable.
+    for (const Shard& shard : campaign->shards) {
+      dist::save_manifest(shard.manifest,
+                          manifest_path(campaign->dir, shard.index));
+    }
+    JournalEvent event;
+    event.type = JournalEventType::Submit;
+    event.campaign = campaign->name;
+    event.priority = campaign->priority;
+    event.shard_count = static_cast<std::uint32_t>(campaign->shards.size());
+    event.path = campaign->csv_path;
+    journal_append_locked(std::move(event));
+    journal_sync_locked();
+  }
   campaigns_.push_back(std::move(campaign));
 }
 
@@ -110,7 +416,10 @@ std::optional<ShardLease> Dispatcher::acquire(const std::string& worker_id) {
       best = campaign.get();
     }
   }
-  if (best == nullptr) return std::nullopt;
+  if (best == nullptr) {
+    journal_sync_locked();  // expiry requeues above still need durability
+    return std::nullopt;
+  }
 
   Shard* shard = nullptr;
   for (Shard& s : best->shards) {
@@ -134,6 +443,18 @@ std::optional<ShardLease> Dispatcher::acquire(const std::string& worker_id) {
                             clock_.now_ms()};
   best->state = CampaignState::Running;
 
+  {
+    JournalEvent event;
+    event.type = JournalEventType::Acquire;
+    event.lease_id = id;
+    event.campaign = best->name;
+    event.shard_index = shard->index;
+    event.attempt = shard->attempts;
+    event.path = output;
+    journal_append_locked(std::move(event));
+    journal_sync_locked();  // the lease id is an acknowledgment
+  }
+
   ShardLease lease;
   lease.id = id;
   lease.campaign = best->name;
@@ -149,6 +470,10 @@ bool Dispatcher::heartbeat(std::uint64_t lease_id) {
   auto it = active_.find(lease_id);
   if (it == active_.end()) return false;
   it->second.last_beat_ms = clock_.now_ms();
+  // Coalesced into one heartbeat-batch record ahead of the next journaled
+  // transition (or tick) — heartbeats are the one transition that must not
+  // cost an fsync each.
+  if (journal_) dirty_beats_[lease_id] = it->second.last_beat_ms;
   return true;
 }
 
@@ -170,7 +495,7 @@ void Dispatcher::complete(std::uint64_t lease_id) {
     shard_index = rt->second.shard_index;
     output = rt->second.output_path;
   } else {
-    return;  // never issued by this dispatcher
+    return;  // never issued by this dispatcher, or campaign already terminal
   }
 
   Campaign* campaign = find_campaign_locked(campaign_name);
@@ -187,27 +512,15 @@ void Dispatcher::complete(std::uint64_t lease_id) {
   // without it, body corruption would sail through to the final merge and
   // fail the whole campaign instead of costing one retry.
   std::string invalid_reason;
-  try {
-    resio::ResultReader probe(output, resio::ReadMode::Sealed);
-    for (std::size_t i = 0; i < probe.num_blocks(); ++i) {
-      (void)probe.read_block(i);
-    }
-  } catch (const Error& e) {
-    invalid_reason = e.what();
-  }
+  (void)probe_sealed_clean(output, &invalid_reason);
 
   if (!invalid_reason.empty()) {
-    const std::string quarantined = output + ".quarantined";
-    if (std::rename(output.c_str(), quarantined.c_str()) == 0) {
-      ++shard.quarantined;
-    }
-    auto& paths = shard.attempt_paths;
-    paths.erase(std::remove(paths.begin(), paths.end(), output),
-                paths.end());
+    quarantine_locked(*campaign, shard, output);
     if (shard.state == ShardState::Leased && was_this_lease) {
       shard.state = ShardState::Pending;  // requeue_locked expects no lease
       requeue_locked(*campaign, shard, "corrupt partial: " + invalid_reason);
     }
+    journal_sync_locked();
     // Done (another attempt already accepted) or re-leased/pending (a stale
     // late completion): the quarantine alone is the whole response.
     return;
@@ -232,35 +545,69 @@ void Dispatcher::complete(std::uint64_t lease_id) {
               ": duplicate completion diverges from the accepted partial (" +
               (why.empty() ? output + " vs " + shard.accepted_path : why) +
               "); workers must be deterministic");
+      journal_sync_locked();
     }
     return;
   }
 
-  accept_completion_locked(*campaign, shard, output);
+  {
+    JournalEvent event;
+    event.type = JournalEventType::Complete;
+    event.lease_id = lease_id;
+    event.campaign = campaign->name;
+    event.shard_index = shard.index;
+    event.path = output;
+    journal_append_locked(std::move(event));
+  }
+  accept_completion_locked(*campaign, shard, lease_id, output);
+  journal_sync_locked();  // complete() returning IS the acknowledgment
 }
 
-void Dispatcher::fail(std::uint64_t lease_id, const std::string& reason) {
+bool Dispatcher::fail(std::uint64_t lease_id, const std::string& reason) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = active_.find(lease_id);
-  if (it == active_.end()) return;
+  if (it == active_.end()) {
+    // Distinguish "lease retired normally, report changed nothing" from a
+    // lease id the in-memory maps have never heard of (a caller bug, or a
+    // lease pruned with its terminal campaign): the latter is worth a
+    // post-mortem breadcrumb in the journal.
+    if (retired_.find(lease_id) == retired_.end()) {
+      JournalEvent event;
+      event.type = JournalEventType::FailUnknown;
+      event.lease_id = lease_id;
+      event.detail = reason;
+      journal_append_locked(std::move(event));
+      journal_sync_locked();
+    }
+    return false;
+  }
   const std::string campaign_name = it->second.campaign;
   const std::uint32_t shard_index = it->second.shard_index;
   retire_lease_locked(lease_id);
   Campaign* campaign = find_campaign_locked(campaign_name);
   if (campaign == nullptr || campaign->state == CampaignState::Completed ||
       campaign->state == CampaignState::Failed) {
-    return;
+    return true;
   }
   Shard& shard = campaign->shards[shard_index];
-  if (shard.state != ShardState::Leased || shard.lease_id != lease_id) return;
+  if (shard.state != ShardState::Leased || shard.lease_id != lease_id) {
+    return true;
+  }
   shard.lease_id = 0;
   shard.state = ShardState::Pending;
   requeue_locked(*campaign, shard, "worker failure: " + reason);
+  journal_sync_locked();
+  return true;
 }
 
 std::size_t Dispatcher::tick() {
   std::lock_guard<std::mutex> lock(mutex_);
-  return expire_leases_locked();
+  const std::size_t expired = expire_leases_locked();
+  // Persist coalesced heartbeats at the tick cadence so a recovered journal
+  // carries recent liveness even across quiet stretches.
+  flush_beats_locked();
+  journal_sync_locked();
+  return expired;
 }
 
 std::size_t Dispatcher::expire_leases_locked() {
@@ -295,16 +642,60 @@ std::size_t Dispatcher::expire_leases_locked() {
 void Dispatcher::retire_lease_locked(std::uint64_t lease_id) {
   auto it = active_.find(lease_id);
   if (it == active_.end()) return;
-  retired_[lease_id] = RetiredLease{it->second.campaign,
-                                    it->second.shard_index,
-                                    it->second.output_path};
+  // Leases of terminal campaigns are dropped outright: late completions for
+  // them change nothing, and remembering them forever is the leak the
+  // retired-map prune exists to stop (the journal keeps the forensic
+  // record).
+  const Campaign* campaign = find_campaign_locked(it->second.campaign);
+  if (campaign != nullptr && campaign->state != CampaignState::Completed &&
+      campaign->state != CampaignState::Failed) {
+    retired_[lease_id] = RetiredLease{it->second.campaign,
+                                      it->second.shard_index,
+                                      it->second.output_path};
+  }
   active_.erase(it);
+}
+
+void Dispatcher::prune_retired_locked(const std::string& campaign_name) {
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    if (it->second.campaign == campaign_name) {
+      it = retired_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Dispatcher::quarantine_locked(Campaign& campaign, Shard& shard,
+                                   const std::string& output_path) {
+  const std::string quarantined = output_path + ".quarantined";
+  if (std::rename(output_path.c_str(), quarantined.c_str()) == 0) {
+    ++shard.quarantined;
+  }
+  auto& paths = shard.attempt_paths;
+  paths.erase(std::remove(paths.begin(), paths.end(), output_path),
+              paths.end());
+  JournalEvent event;
+  event.type = JournalEventType::Quarantine;
+  event.campaign = campaign.name;
+  event.shard_index = shard.index;
+  event.path = output_path;
+  journal_append_locked(std::move(event));
 }
 
 void Dispatcher::requeue_locked(Campaign& campaign, Shard& shard,
                                 const std::string& why) {
   ++campaign.requeues;
   shard.last_failure = why;
+  {
+    JournalEvent event;
+    event.type = JournalEventType::Requeue;
+    event.campaign = campaign.name;
+    event.shard_index = shard.index;
+    event.attempt = shard.attempts;
+    event.detail = why;
+    journal_append_locked(std::move(event));
+  }
   const std::uint32_t max_attempts =
       static_cast<std::uint32_t>(options_.max_retries) + 1;
   if (shard.attempts >= max_attempts) {
@@ -324,12 +715,24 @@ void Dispatcher::fail_campaign_locked(Campaign& campaign,
                                       const std::string& error) {
   campaign.state = CampaignState::Failed;
   campaign.error = error;
+  {
+    JournalEvent event;
+    event.type = JournalEventType::CampaignTerminal;
+    event.campaign = campaign.name;
+    event.detail = "failed " + error;
+    journal_append_locked(std::move(event));
+  }
   // Active leases of this campaign are left to finish or expire; their
-  // completions are ignored (the campaign is terminal either way).
+  // completions are ignored (the campaign is terminal either way). Retired
+  // leases are pruned — late duplicates for a terminal campaign change
+  // nothing, and the journal keeps them reconstructible for post-mortem.
+  prune_retired_locked(campaign.name);
 }
 
 void Dispatcher::accept_completion_locked(Campaign& campaign, Shard& shard,
+                                          std::uint64_t lease_id,
                                           const std::string& output_path) {
+  (void)lease_id;  // journaled by the caller before state changes
   shard.state = ShardState::Done;
   shard.accepted_path = output_path;
   const bool all_done =
@@ -347,6 +750,12 @@ void Dispatcher::finalize_locked(Campaign& campaign) {
   try {
     dist::merge_result_files_to_csv(inputs, campaign.csv_path);
     campaign.state = CampaignState::Completed;
+    JournalEvent event;
+    event.type = JournalEventType::CampaignTerminal;
+    event.campaign = campaign.name;
+    event.detail = "completed";
+    journal_append_locked(std::move(event));
+    prune_retired_locked(campaign.name);
   } catch (const Error& e) {
     fail_campaign_locked(campaign, "campaign '" + campaign.name +
                                        "': final merge failed: " + e.what());
@@ -411,6 +820,11 @@ CampaignStatusView Dispatcher::campaign_status(const std::string& name) const {
   require(campaign != nullptr,
           "Dispatcher: unknown campaign: " + name);
   return status_locked(*campaign);
+}
+
+std::size_t Dispatcher::retired_lease_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retired_.size();
 }
 
 dist::PrefixMergeResult Dispatcher::progress(const std::string& name) const {

@@ -11,6 +11,7 @@
 #include "dist/manifest.hpp"
 #include "dist/merge.hpp"
 #include "service/clock.hpp"
+#include "service/journal.hpp"
 
 namespace qufi::service {
 
@@ -27,6 +28,30 @@ struct DispatcherOptions {
   /// Re-lease budget per shard after its first attempt: a shard may run at
   /// most `max_retries + 1` times before its campaign fails.
   int max_retries = 2;
+  /// Write-ahead journal (QUFIJRNL v1, src/service/journal.hpp). Empty
+  /// disables durability: the dispatcher is then in-memory only, as before
+  /// PR 10. When set, every transition is journaled (fsync'd at accept
+  /// points), shard manifests are persisted beside the attempt files, and
+  /// constructing a Dispatcher over an existing journal *recovers*: the
+  /// journal is replayed, still-valid attempt files re-adopted, and no
+  /// Done shard is ever re-run (docs/DISPATCHER.md "Crash durability").
+  std::string journal_path;
+};
+
+/// What recovery found when a Dispatcher was constructed over a non-empty
+/// journal. All zeros (recovered == false) for a fresh dispatcher.
+struct RecoveryReport {
+  bool recovered = false;          ///< the journal held acknowledged events
+  bool journal_truncated = false;  ///< a torn tail record was dropped
+  std::size_t events_replayed = 0;
+  std::size_t campaigns_restored = 0;
+  /// Leased-at-crash attempts whose file probed sealed + checksum-clean and
+  /// was accepted as a completion without re-running the shard.
+  std::size_t shards_adopted = 0;
+  /// Shards requeued at recovery (torn / missing / corrupt attempt files).
+  std::size_t shards_requeued = 0;
+  /// Attempt files renamed *.quarantined during recovery.
+  std::size_t files_quarantined = 0;
 };
 
 /// One campaign as submitted to the dispatcher: a name (unique while the
@@ -101,6 +126,16 @@ struct CampaignStatusView {
 /// lease/heartbeat/retry state machine.
 class Dispatcher {
  public:
+  /// Constructs the dispatcher. When options.journal_path names an existing
+  /// non-empty journal, this IS the recovery path: the journal is replayed,
+  /// Done shards and retry budgets restored, leased-at-crash attempts
+  /// reconciled with their files on disk (sealed + checksum-clean files are
+  /// adopted as completions exactly as complete() would accept them; torn
+  /// Live files are quarantined and the shard requeued against its budget),
+  /// and the journal resumes appending. Throws qufi::Error with an
+  /// offset-naming diagnosis on journal corruption — recovery never
+  /// silently drops acknowledged transitions. recovery_report() says what
+  /// happened.
   Dispatcher(DispatcherOptions options, Clock& clock);
   ~Dispatcher();
 
@@ -136,8 +171,12 @@ class Dispatcher {
   void complete(std::uint64_t lease_id);
 
   /// Voluntary failure (the worker caught an exception): requeues the
-  /// shard against its retry budget. Unknown/expired leases are ignored.
-  void fail(std::uint64_t lease_id, const std::string& reason);
+  /// shard against its retry budget. Returns false when the lease is no
+  /// longer active (expired and requeued, or already completed) — the
+  /// report changed nothing, mirroring heartbeat(), so fleets can tell
+  /// "lease already expired" from a caller bug. A lease id this dispatcher
+  /// never issued is additionally journaled (fail-unknown) for post-mortem.
+  bool fail(std::uint64_t lease_id, const std::string& reason);
 
   /// Expires leases whose heartbeat is older than lease_timeout_ms and
   /// requeues their shards (or fails the campaign when the retry budget is
@@ -161,6 +200,16 @@ class Dispatcher {
   /// True when every campaign is terminal (Completed or Failed).
   bool idle() const;
 
+  /// What constructing over an existing journal recovered (all-zeros for a
+  /// fresh dispatcher). Written once in the constructor, immutable after.
+  const RecoveryReport& recovery_report() const { return recovery_; }
+
+  /// Retired leases currently remembered for late-duplicate verification.
+  /// Entries are pruned when their campaign reaches a terminal state (the
+  /// journal keeps late completions reconstructible for post-mortem), so a
+  /// long-running daemon's map stays bounded by in-flight work.
+  std::size_t retired_lease_count() const;
+
  private:
   struct Shard;
   struct Campaign;
@@ -174,9 +223,21 @@ class Dispatcher {
                       const std::string& why);
   void fail_campaign_locked(Campaign& campaign, const std::string& error);
   void accept_completion_locked(Campaign& campaign, Shard& shard,
+                                std::uint64_t lease_id,
                                 const std::string& output_path);
   void finalize_locked(Campaign& campaign);
+  void prune_retired_locked(const std::string& campaign_name);
+  void quarantine_locked(Campaign& campaign, Shard& shard,
+                         const std::string& output_path);
   CampaignStatusView status_locked(const Campaign& campaign) const;
+
+  // Journal plumbing (all no-ops when options_.journal_path is empty).
+  void init_journal_locked();
+  void replay_journal_locked(const std::vector<JournalEvent>& events);
+  void adopt_disk_state_locked();
+  void journal_append_locked(JournalEvent event);
+  void flush_beats_locked();
+  void journal_sync_locked();
 
   DispatcherOptions options_;
   Clock& clock_;
@@ -184,7 +245,8 @@ class Dispatcher {
   std::vector<std::unique_ptr<Campaign>> campaigns_;  // submission order
   std::map<std::uint64_t, ActiveLease> active_;
   /// Retired leases (expired, completed, failed) kept so a late complete()
-  /// from a presumed-dead worker can still be verified and credited.
+  /// from a presumed-dead worker can still be verified and credited. Pruned
+  /// once the campaign is terminal (see retired_lease_count()).
   struct RetiredLease {
     std::string campaign;
     std::uint32_t shard_index = 0;
@@ -192,6 +254,11 @@ class Dispatcher {
   };
   std::map<std::uint64_t, RetiredLease> retired_;
   std::uint64_t next_lease_id_ = 1;
+  std::unique_ptr<JournalWriter> journal_;
+  /// Heartbeats since the last journal record, coalesced into one
+  /// heartbeat-batch line (per-beat fsync would dominate the journal).
+  std::map<std::uint64_t, std::int64_t> dirty_beats_;
+  RecoveryReport recovery_;
 };
 
 }  // namespace qufi::service

@@ -68,11 +68,12 @@ void ThreadWorkerFleet::worker_loop(int worker_index) {
         shards_completed_.fetch_add(1);
       }
     } catch (const Error& e) {
-      dispatcher_.fail(lease->id, e.what());
-      shards_failed_.fetch_add(1);
+      // fail() returning false means the lease was already expired and
+      // requeued (or its campaign is terminal) — the report changed
+      // nothing, so it is not counted as a shard failure.
+      if (dispatcher_.fail(lease->id, e.what())) shards_failed_.fetch_add(1);
     } catch (const std::exception& e) {
-      dispatcher_.fail(lease->id, e.what());
-      shards_failed_.fetch_add(1);
+      if (dispatcher_.fail(lease->id, e.what())) shards_failed_.fetch_add(1);
     }
     {
       std::lock_guard<std::mutex> lock(inflight_mutex_);

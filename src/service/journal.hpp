@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file journal.hpp
+/// QUFIJRNL v1 — the dispatcher's crash-durable write-ahead journal.
+///
+/// An append-only, line-oriented text log of every dispatcher transition
+/// (submit / acquire / heartbeat-batch / requeue / quarantine / complete /
+/// fail-unknown / campaign-terminal). Each record line carries a strictly
+/// increasing sequence number and an FNV-1a checksum of its own bytes, and
+/// the file is fsync'd at accept points (acquire, complete, requeue, ...),
+/// so after a crash the journal is exactly the set of transitions the
+/// dispatcher acknowledged. Recovery is replay: `read_journal` hands back
+/// the acknowledged prefix, the Dispatcher reconstructs its state from it
+/// and reconciles with the attempt files on disk (docs/DISPATCHER.md).
+///
+/// Corruption policy, enforced by tests/test_dispatcher.cpp's byte-flip +
+/// truncation sweep: a torn *tail* (an unterminated final line — what a
+/// crash mid-append leaves) is dropped and the valid prefix returned; any
+/// corruption of a complete, newline-terminated record is a hard error
+/// with a diagnosis naming the byte offset. Acknowledged transitions are
+/// never silently skipped.
+
+namespace qufi::service {
+
+enum class JournalEventType {
+  Submit,            ///< campaign registered (manifests already on disk)
+  Acquire,           ///< lease issued for one shard attempt
+  HeartbeatBatch,    ///< coalesced lease heartbeats since the last record
+  Requeue,           ///< shard returned to Pending (expiry/fail/corrupt)
+  Quarantine,        ///< attempt file renamed *.quarantined, out of merges
+  Complete,          ///< sealed attempt accepted, shard Done
+  FailUnknown,       ///< fail() for a lease this dispatcher never issued
+  CampaignTerminal,  ///< campaign reached Completed or Failed
+};
+
+/// One journal record. Which fields are meaningful depends on `type`; the
+/// serialization (format_journal_event / parse) round-trips exactly the
+/// fields each type writes and zero-initializes the rest.
+struct JournalEvent {
+  std::uint64_t seq = 0;  ///< assigned by the writer, strictly +1
+  JournalEventType type = JournalEventType::Submit;
+  std::int64_t at_ms = 0;  ///< dispatcher clock at append time
+  std::uint64_t lease_id = 0;
+  std::string campaign;
+  std::uint32_t shard_index = 0;
+  std::uint32_t attempt = 0;      ///< Acquire: 1-based; Requeue: attempts so far
+  int priority = 0;               ///< Submit
+  std::uint32_t shard_count = 0;  ///< Submit
+  std::string path;    ///< Submit: csv_path; Acquire/Quarantine/Complete: attempt file
+  std::string detail;  ///< Requeue/FailUnknown: reason; CampaignTerminal: "completed"|"failed <error>"
+  /// HeartbeatBatch: (lease_id, last_beat_ms) pairs.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> beats;
+};
+
+/// What read_journal recovered.
+struct JournalReadResult {
+  std::vector<JournalEvent> events;  ///< the acknowledged prefix, in order
+  /// True when an unterminated final line (a torn crash-time append) was
+  /// dropped. `valid_bytes` then points at its first byte.
+  bool truncated_tail = false;
+  /// Byte offset of the first non-replayed byte — the resume point a
+  /// JournalWriter truncates to before appending.
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t last_seq = 0;  ///< 0 when no events survived
+};
+
+/// Reads and validates a journal. Throws qufi::Error (naming the file and
+/// byte offset) on a corrupt header, a checksum mismatch or parse failure
+/// in any newline-terminated record, or a sequence-number gap. A torn final
+/// line is tolerated per the corruption policy above.
+JournalReadResult read_journal(const std::string& path);
+
+/// Appends records to a journal file. Writes are one full line per
+/// append(); durability is explicit via sync() so callers batch several
+/// records per fsync at accept points.
+class JournalWriter {
+ public:
+  /// Opens `path` for appending. `resume_at_bytes == 0` (re)initializes the
+  /// file with a fresh header; otherwise the file is truncated to that
+  /// offset (dropping a torn tail found by read_journal) and appending
+  /// continues with `next_seq`. Throws qufi::Error on I/O failure.
+  JournalWriter(const std::string& path, std::uint64_t next_seq,
+                std::uint64_t resume_at_bytes);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Stamps the next sequence number onto `event`, serializes and writes
+  /// it. No fsync — call sync() at the accept point. Returns the seq.
+  std::uint64_t append(JournalEvent event);
+
+  /// fsync()s the file iff anything was appended since the last sync.
+  void sync();
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t next_seq_ = 1;
+  bool dirty_ = false;
+};
+
+/// Serialization helpers, exposed for the corruption-sweep tests.
+std::string format_journal_event(const JournalEvent& event);
+const char* journal_event_type_name(JournalEventType type);
+
+}  // namespace qufi::service

@@ -325,16 +325,21 @@ TEST(Dispatcher, DivergentDuplicateCompletionFailsTheCampaign) {
   options.work_dir = dir.str("work");
   options.lease_timeout_ms = 1'000;
   service::Dispatcher dispatcher(options, clock);
-  dispatcher.submit(make_job("bv4", 0, spec, 1, dir.str("bv4.csv")));
+  // Two shards: shard 1 stays pending so the campaign is still live when
+  // the late divergent report lands (retired leases of a *terminal*
+  // campaign are pruned — see RetiredLeasesPrunedAtCampaignTerminal).
+  dispatcher.submit(make_job("bv4", 0, spec, 2, dir.str("bv4.csv")));
 
   const auto slow = dispatcher.acquire("w0");
   ASSERT_TRUE(slow.has_value());
+  EXPECT_EQ(slow->shard_index, 0u);
   run_lease(*slow);
   clock.advance(1'500);
   EXPECT_EQ(dispatcher.tick(), 1u);
 
   const auto retry = dispatcher.acquire("w1");
   ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->shard_index, 0u);
   run_lease(*retry);
   dispatcher.complete(retry->id);
 
@@ -499,6 +504,396 @@ TEST(Dispatcher, ThreadFleetSurvivesASwallowedCompletionEndToEnd) {
   // Kill schedules never leak into results: both CSVs byte-identical.
   EXPECT_EQ(slurp(dir.str("bv4.csv")), slurp(ref_bv));
   EXPECT_EQ(slurp(dir.str("dj4.csv")), slurp(ref_dj));
+}
+
+// ---- lease-lifecycle bugfixes -----------------------------------------------
+
+TEST(Dispatcher, FailReturnsFalseForUnknownOrRetiredLeases) {
+  TempDir dir("failbool");
+  const auto spec = quick_spec("bv", 4);
+
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  options.lease_timeout_ms = 1'000;
+  options.journal_path = dir.str("work/journal");
+  fs::create_directories(options.work_dir);
+  service::Dispatcher dispatcher(options, clock);
+  dispatcher.submit(make_job("bv4", 0, spec, 1, dir.str("bv4.csv")));
+
+  // A lease id this dispatcher never issued: rejected, and journaled as
+  // fail-unknown for post-mortem.
+  EXPECT_FALSE(dispatcher.fail(999, "caller bug"));
+  EXPECT_NE(slurp(options.journal_path).find(" fail-unknown "),
+            std::string::npos);
+
+  const auto lease = dispatcher.acquire("w0");
+  ASSERT_TRUE(lease.has_value());
+
+  // Expire the lease: a late failure report must be rejected (the requeue
+  // already happened; counting it again would double-book the failure) —
+  // and it is a *known* retired lease, so no fail-unknown record.
+  clock.advance(1'500);
+  EXPECT_EQ(dispatcher.tick(), 1u);
+  const auto journal_before = slurp(options.journal_path);
+  EXPECT_FALSE(dispatcher.fail(lease->id, "late report"));
+  EXPECT_EQ(slurp(options.journal_path), journal_before);
+
+  // An active lease: the report is accepted.
+  const auto retry = dispatcher.acquire("w1");
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_TRUE(dispatcher.fail(retry->id, "worker exception"));
+  EXPECT_EQ(dispatcher.campaign_status("bv4").requeues, 2u);
+}
+
+TEST(Dispatcher, RetiredLeasesPrunedAtCampaignTerminal) {
+  TempDir dir("prune");
+  const auto spec = quick_spec("bv", 4);
+  const std::string reference = reference_csv(spec, dir.str("ref.csv"));
+
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  options.lease_timeout_ms = 1'000;
+  service::Dispatcher dispatcher(options, clock);
+  dispatcher.submit(make_job("bv4", 0, spec, 2, dir.str("bv4.csv")));
+
+  // Populate retired_ through every retirement flavor: an expiry, a
+  // voluntary failure, and ordinary completions.
+  const auto slow = dispatcher.acquire("w0");
+  ASSERT_TRUE(slow.has_value());
+  clock.advance(1'500);
+  EXPECT_EQ(dispatcher.tick(), 1u);
+  const auto failed = dispatcher.acquire("w1");
+  ASSERT_TRUE(failed.has_value());
+  EXPECT_TRUE(dispatcher.fail(failed->id, "induced"));
+  EXPECT_EQ(dispatcher.retired_lease_count(), 2u);
+
+  // Drain: the campaign completes and every retired lease of the now
+  // terminal campaign is pruned — a long-running daemon's map stays
+  // bounded by in-flight work instead of leaking one entry per lease ever
+  // issued (the journal keeps late duplicates reconstructible).
+  for (int i = 0; i < 8; ++i) {
+    const auto lease = dispatcher.acquire("w2");
+    if (!lease) break;
+    run_lease(*lease);
+    dispatcher.complete(lease->id);
+  }
+  EXPECT_EQ(dispatcher.campaign_status("bv4").state,
+            service::CampaignState::Completed);
+  EXPECT_EQ(slurp(dir.str("bv4.csv")), slurp(reference));
+  EXPECT_EQ(dispatcher.retired_lease_count(), 0u);
+}
+
+// ---- write-ahead journal + restart recovery ---------------------------------
+
+/// Drains a recovered dispatcher exactly as a fleet would: lease, run,
+/// complete, expiring stuck leases as needed. Bounded so a regression
+/// fails the test instead of hanging it.
+void drain(service::Dispatcher& dispatcher, service::FakeClock& clock,
+           std::int64_t lease_timeout_ms) {
+  for (int i = 0; i < 32 && !dispatcher.idle(); ++i) {
+    const auto lease = dispatcher.acquire("drain");
+    if (!lease) {
+      clock.advance(lease_timeout_ms + 1);
+      dispatcher.tick();
+      continue;
+    }
+    run_lease(*lease);
+    dispatcher.complete(lease->id);
+  }
+}
+
+TEST(Dispatcher, JournalRecoveryResumesWithoutRerunningDoneShards) {
+  TempDir dir("recover");
+  const auto spec = quick_spec("bv", 4);
+  const std::string reference = reference_csv(spec, dir.str("ref.csv"));
+
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  options.lease_timeout_ms = 1'000;
+  options.journal_path = dir.str("work/journal");
+  fs::create_directories(options.work_dir);
+
+  auto dispatcher =
+      std::make_unique<service::Dispatcher>(options, clock);
+  EXPECT_FALSE(dispatcher->recovery_report().recovered);
+  dispatcher->submit(make_job("bv4", 0, spec, 2, dir.str("bv4.csv")));
+
+  // Complete shard 0, then "crash" with shard 1 still pending.
+  const auto first = dispatcher->acquire("w0");
+  ASSERT_TRUE(first.has_value());
+  run_lease(*first);
+  dispatcher->complete(first->id);
+  dispatcher.reset();  // no orderly shutdown exists — destruction IS the kill
+
+  dispatcher = std::make_unique<service::Dispatcher>(options, clock);
+  const auto& report = dispatcher->recovery_report();
+  EXPECT_TRUE(report.recovered);
+  EXPECT_EQ(report.campaigns_restored, 1u);
+  EXPECT_FALSE(report.journal_truncated);
+  const auto status = dispatcher->campaign_status("bv4");
+  EXPECT_EQ(status.shards_done, 1u);
+  EXPECT_EQ(status.shards_pending, 1u);
+  EXPECT_EQ(status.shards.at(0).attempts, 1u);
+
+  drain(*dispatcher, clock, options.lease_timeout_ms);
+  const auto final_status = dispatcher->campaign_status("bv4");
+  EXPECT_EQ(final_status.state, service::CampaignState::Completed);
+  // The Done shard was never re-executed: still exactly one attempt.
+  EXPECT_EQ(final_status.shards.at(0).attempts, 1u);
+  EXPECT_EQ(final_status.shards.at(1).attempts, 1u);
+  EXPECT_EQ(slurp(dir.str("bv4.csv")), slurp(reference));
+}
+
+TEST(Dispatcher, JournalRecoveryAdoptsSealedAndQuarantinesTornAttempts) {
+  TempDir dir("adopt");
+  const auto spec = quick_spec("bv", 4);
+  const std::string reference = reference_csv(spec, dir.str("ref.csv"));
+
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  options.lease_timeout_ms = 1'000;
+  options.journal_path = dir.str("work/journal");
+  fs::create_directories(options.work_dir);
+
+  auto dispatcher =
+      std::make_unique<service::Dispatcher>(options, clock);
+  dispatcher->submit(make_job("bv4", 0, spec, 2, dir.str("bv4.csv")));
+
+  // Shard 0's worker finished its file but the daemon died before the
+  // completion was reported. Shard 1's worker died mid-write: truncate its
+  // sealed file back to a torn Live prefix.
+  const auto sealed = dispatcher->acquire("w0");
+  const auto torn = dispatcher->acquire("w1");
+  ASSERT_TRUE(sealed.has_value());
+  ASSERT_TRUE(torn.has_value());
+  run_lease(*sealed);
+  run_lease(*torn);
+  fs::resize_file(torn->output_path, fs::file_size(torn->output_path) / 2);
+  dispatcher.reset();
+
+  dispatcher = std::make_unique<service::Dispatcher>(options, clock);
+  const auto& report = dispatcher->recovery_report();
+  EXPECT_TRUE(report.recovered);
+  EXPECT_EQ(report.shards_adopted, 1u);
+  EXPECT_EQ(report.shards_requeued, 1u);
+  EXPECT_EQ(report.files_quarantined, 1u);
+  const auto status = dispatcher->campaign_status("bv4");
+  EXPECT_EQ(status.shards_done, 1u);       // adopted, not re-run
+  EXPECT_EQ(status.shards_pending, 1u);    // quarantined + requeued
+  EXPECT_TRUE(fs::exists(torn->output_path + ".quarantined"));
+  EXPECT_FALSE(fs::exists(torn->output_path));
+
+  drain(*dispatcher, clock, options.lease_timeout_ms);
+  const auto final_status = dispatcher->campaign_status("bv4");
+  EXPECT_EQ(final_status.state, service::CampaignState::Completed);
+  EXPECT_EQ(final_status.shards.at(sealed->shard_index).attempts, 1u);
+  EXPECT_EQ(final_status.shards.at(torn->shard_index).attempts, 2u);
+  EXPECT_EQ(slurp(dir.str("bv4.csv")), slurp(reference));
+}
+
+/// The restart-at-every-transition property (ISSUE 10 acceptance): a fixed
+/// campaign script — submit, complete one shard, tear one attempt, expire
+/// it, retry — is cut short after every prefix of its actions; recovery
+/// over the journal plus a plain drain must always converge to the byte-
+/// identical final CSV, and a shard that was Done at the kill point must
+/// never run again (its attempt count is frozen by the crash).
+TEST(Dispatcher, RestartAtEveryJournalPrefixYieldsIdenticalResults) {
+  const auto spec = quick_spec("bv", 4);
+  TempDir ref_dir("prefix_ref");
+  const std::string reference =
+      reference_csv(spec, ref_dir.str("ref.csv"));
+
+  struct Script {
+    service::FakeClock clock;
+    std::optional<service::ShardLease> first, torn, retry;
+  };
+  using Action = void (*)(service::Dispatcher&, Script&,
+                          const std::string& csv);
+  const Action actions[] = {
+      [](service::Dispatcher& d, Script&, const std::string& csv) {
+        d.submit(make_job("bv4", 0, quick_spec("bv", 4), 2, csv));
+      },
+      [](service::Dispatcher& d, Script& s, const std::string&) {
+        s.first = d.acquire("w0");
+        ASSERT_TRUE(s.first.has_value());
+        run_lease(*s.first);
+      },
+      [](service::Dispatcher& d, Script& s, const std::string&) {
+        d.complete(s.first->id);
+      },
+      [](service::Dispatcher& d, Script& s, const std::string&) {
+        s.torn = d.acquire("w1");
+        ASSERT_TRUE(s.torn.has_value());
+        run_lease(*s.torn);
+        fs::resize_file(s.torn->output_path,
+                        fs::file_size(s.torn->output_path) / 2);
+      },
+      [](service::Dispatcher& d, Script& s, const std::string&) {
+        s.clock.advance(1'500);
+        EXPECT_EQ(d.tick(), 1u);
+      },
+      [](service::Dispatcher& d, Script& s, const std::string&) {
+        s.retry = d.acquire("w2");
+        ASSERT_TRUE(s.retry.has_value());
+        run_lease(*s.retry);
+      },
+      [](service::Dispatcher& d, Script& s, const std::string&) {
+        d.complete(s.retry->id);
+      },
+  };
+  const std::size_t num_actions = std::size(actions);
+
+  for (std::size_t prefix = 0; prefix <= num_actions; ++prefix) {
+    SCOPED_TRACE("killed after action " + std::to_string(prefix) + "/" +
+                 std::to_string(num_actions));
+    TempDir dir("prefix_" + std::to_string(prefix));
+    Script script;
+    service::DispatcherOptions options;
+    options.work_dir = dir.str("work");
+    options.lease_timeout_ms = 1'000;
+    options.journal_path = dir.str("work/journal");
+    fs::create_directories(options.work_dir);
+    const std::string csv = dir.str("bv4.csv");
+
+    auto dispatcher =
+        std::make_unique<service::Dispatcher>(options, script.clock);
+    for (std::size_t i = 0; i < prefix; ++i) {
+      actions[i](*dispatcher, script, csv);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
+    // Snapshot which shards were Done (and at how many attempts) at the
+    // kill point: recovery must never re-run them.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> done_at_kill;
+    if (prefix > 0) {
+      for (const auto& shard : dispatcher->campaign_status("bv4").shards) {
+        if (shard.state == service::ShardState::Done) {
+          done_at_kill.emplace_back(shard.shard_index, shard.attempts);
+        }
+      }
+    }
+    dispatcher.reset();  // the kill
+
+    dispatcher =
+        std::make_unique<service::Dispatcher>(options, script.clock);
+    if (prefix == 0) {
+      // Nothing was journaled; the recovered daemon simply sees no
+      // campaigns. Submit and run as a fresh one would.
+      EXPECT_FALSE(dispatcher->recovery_report().recovered);
+      dispatcher->submit(make_job("bv4", 0, spec, 2, csv));
+    }
+    drain(*dispatcher, script.clock, options.lease_timeout_ms);
+
+    const auto status = dispatcher->campaign_status("bv4");
+    EXPECT_EQ(status.state, service::CampaignState::Completed)
+        << status.error;
+    EXPECT_EQ(slurp(csv), slurp(reference));
+    for (const auto& [index, attempts] : done_at_kill) {
+      EXPECT_EQ(status.shards.at(index).attempts, attempts)
+          << "Done shard " << index << " was re-executed after recovery";
+    }
+    EXPECT_EQ(dispatcher->retired_lease_count(), 0u);
+  }
+}
+
+// ---- journal corruption policy ----------------------------------------------
+
+namespace {
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Records a small but representative journal: submit, two acquires, a
+/// heartbeat batch, an expiry requeue, completions, and the terminal
+/// record.
+std::string record_journal(const TempDir& dir) {
+  const auto spec = quick_spec("bv", 4);
+  service::FakeClock clock;
+  service::DispatcherOptions options;
+  options.work_dir = dir.str("work");
+  options.lease_timeout_ms = 1'000;
+  options.journal_path = dir.str("work/journal");
+  fs::create_directories(options.work_dir);
+  service::Dispatcher dispatcher(options, clock);
+  dispatcher.submit(make_job("bv4", 0, spec, 2, dir.str("bv4.csv")));
+  const auto a = dispatcher.acquire("w0");
+  const auto b = dispatcher.acquire("w1");
+  dispatcher.heartbeat(a->id);
+  clock.advance(1'500);
+  dispatcher.tick();  // expires both: requeue records
+  for (int i = 0; i < 4; ++i) {
+    const auto lease = dispatcher.acquire("w2");
+    if (!lease) break;
+    run_lease(*lease);
+    dispatcher.complete(lease->id);
+  }
+  EXPECT_EQ(dispatcher.campaign_status("bv4").state,
+            service::CampaignState::Completed);
+  return slurp(options.journal_path);
+}
+
+}  // namespace
+
+TEST(Journal, CorruptionSweepNeverSilentlyDropsTransitions) {
+  TempDir dir("jcorrupt");
+  const std::string bytes = record_journal(dir);
+  const std::string path = dir.str("sweep.journal");
+
+  spit(path, bytes);
+  const auto full = service::read_journal(path);
+  ASSERT_FALSE(full.truncated_tail);
+  ASSERT_GE(full.events.size(), 8u);
+  ASSERT_EQ(full.valid_bytes, bytes.size());
+
+  // Every-length truncation: reading must recover exactly the records whose
+  // lines survived whole — a strict prefix, never a resequenced subset —
+  // and flag the torn tail.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    spit(path, bytes.substr(0, len));
+    const auto got = service::read_journal(path);
+    ASSERT_LE(got.events.size(), full.events.size()) << "len=" << len;
+    ASSERT_LE(got.valid_bytes, len) << "len=" << len;
+    ASSERT_TRUE(got.truncated_tail || got.valid_bytes == len)
+        << "len=" << len;
+    for (std::size_t i = 0; i < got.events.size(); ++i) {
+      ASSERT_EQ(got.events[i].seq, full.events[i].seq) << "len=" << len;
+      ASSERT_EQ(got.events[i].type, full.events[i].type) << "len=" << len;
+    }
+    ASSERT_EQ(got.last_seq, got.events.size()) << "len=" << len;
+  }
+
+  // Byte flips: corruption of any acknowledged byte either throws with a
+  // diagnosis naming the byte offset, or — only when the flip tears the
+  // final newline — reads as a torn tail missing exactly that last record.
+  // Silently skipping a middle record is never acceptable.
+  for (const unsigned char mask : {0x01, 0x80}) {
+    for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+      std::string mutated = bytes;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ mask);
+      spit(path, mutated);
+      try {
+        const auto got = service::read_journal(path);
+        ASSERT_TRUE(got.truncated_tail)
+            << "flip at " << pos << " mask " << int(mask)
+            << " read clean with " << got.events.size() << " events";
+        ASSERT_EQ(got.events.size() + 1, full.events.size())
+            << "flip at " << pos << " mask " << int(mask);
+        ASSERT_GE(pos, got.valid_bytes)
+            << "flip at " << pos << " mask " << int(mask)
+            << " dropped records before the flipped byte";
+      } catch (const Error& e) {
+        const std::string what = e.what();
+        ASSERT_NE(what.find("offset"), std::string::npos)
+            << "flip at " << pos << ": diagnosis names no offset: " << what;
+      }
+    }
+  }
 }
 
 }  // namespace
